@@ -1,0 +1,29 @@
+//! # perfvec-baselines
+//!
+//! The comparison systems of the paper's Tables III and IV, each
+//! implemented at the same scale as the PerfVec reproduction:
+//!
+//! * [`simnet`] — per-instruction latency model on
+//!   microarchitecture-*dependent* features (SimNet, SIGMETRICS'22);
+//! * [`ithemal`] — per-machine basic-block LSTM (Ithemal, ICML'19);
+//! * [`prog_specific`] — per-program MLP over configuration parameters
+//!   (Ipek et al., ASPLOS'06);
+//! * [`cross_program`] — cross-program linear predictor with program
+//!   signatures and per-program calibration (Dubach et al., MICRO'07);
+//! * [`actboost`] — AdaBoost.R2 + active sampling (Li et al., DAC'16).
+//!
+//! Together they realize the paper's central contrast: every baseline is
+//! bound to a program and/or a microarchitecture, while PerfVec's
+//! representations are reusable across both.
+
+pub mod actboost;
+pub mod cross_program;
+pub mod ithemal;
+pub mod prog_specific;
+pub mod simnet;
+
+pub use actboost::{ActBoost, ActBoostConfig};
+pub use cross_program::{signature, CrossProgramModel};
+pub use ithemal::{Ithemal, IthemalConfig};
+pub use prog_specific::{ProgSpecificConfig, ProgSpecificModel};
+pub use simnet::{simnet_features, SimNet, SimNetConfig};

@@ -1,0 +1,105 @@
+//! Program-specific predictive models (Ipek et al., ASPLOS'06 flavour).
+//!
+//! One MLP **per program**: microarchitecture configuration parameters
+//! in, total execution time out. Accurate after enough training
+//! simulations of *that* program, but — the generality failure the paper
+//! targets — a new program means a new model and a new simulation
+//! campaign.
+
+use perfvec_ml::adam::Adam;
+use perfvec_ml::mlp::Mlp;
+use perfvec_sim::MicroArchConfig;
+
+/// A per-program configuration-to-time model.
+pub struct ProgSpecificModel {
+    mlp: Mlp,
+    scale: f32,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ProgSpecificConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Epochs (full-batch; sample counts are tiny).
+    pub epochs: u32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ProgSpecificConfig {
+    fn default() -> ProgSpecificConfig {
+        ProgSpecificConfig { hidden: 16, epochs: 600, lr: 5e-3, seed: 0x9513 }
+    }
+}
+
+impl ProgSpecificModel {
+    /// Train from `(configuration, total time)` pairs obtained by
+    /// simulating the target program.
+    pub fn train(
+        samples: &[(&MicroArchConfig, f64)],
+        cfg: &ProgSpecificConfig,
+    ) -> ProgSpecificModel {
+        assert!(!samples.is_empty());
+        let xs: Vec<Vec<f32>> = samples.iter().map(|(c, _)| c.param_vector()).collect();
+        let scale = (samples.iter().map(|(_, t)| t.abs()).sum::<f64>() / samples.len() as f64)
+            .max(1e-9) as f32;
+        let ys: Vec<f32> = samples.iter().map(|(_, t)| *t as f32 / scale).collect();
+        let mut mlp = Mlp::new(&[xs[0].len(), cfg.hidden, 1], cfg.seed);
+        let mut opt = Adam::new(mlp.params().len());
+        for _ in 0..cfg.epochs {
+            let mut grads = vec![0.0f32; mlp.params().len()];
+            for (x, &y) in xs.iter().zip(&ys) {
+                let (out, cache) = mlp.forward(x);
+                let err = out[0] - y;
+                mlp.backward(x, &cache, &[2.0 * err / xs.len() as f32], &mut grads);
+            }
+            let mut p = mlp.params().to_vec();
+            opt.step(&mut p, &grads, cfg.lr);
+            mlp.params_mut().copy_from_slice(&p);
+        }
+        ProgSpecificModel { mlp, scale }
+    }
+
+    /// Predict the program's total time (0.1 ns) on a configuration.
+    pub fn predict(&self, config: &MicroArchConfig) -> f64 {
+        (self.mlp.forward(&config.param_vector()).0[0] * self.scale) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvec_sim::sample::sample_configs;
+    use perfvec_sim::simulate;
+    use perfvec_workloads::by_name;
+
+    #[test]
+    fn interpolates_between_training_configs() {
+        let trace = by_name("specrand").unwrap().trace(3_000);
+        let configs = sample_configs(11, 14, 2);
+        let times: Vec<f64> = configs.iter().map(|c| simulate(&trace, c).total_tenths).collect();
+        // Train on 12, hold out 4.
+        let train: Vec<(&MicroArchConfig, f64)> =
+            configs.iter().take(12).zip(times.iter().take(12)).map(|(c, &t)| (c, t)).collect();
+        let model = ProgSpecificModel::train(&train, &ProgSpecificConfig::default());
+        // Training configs must fit well.
+        let train_err: f64 = train
+            .iter()
+            .map(|(c, t)| (model.predict(c) - t).abs() / t)
+            .sum::<f64>()
+            / train.len() as f64;
+        assert!(train_err < 0.15, "train error {train_err:.3}");
+        // Held-out error is finite and bounded (generalizes somewhat
+        // within the sampled family).
+        let ho_err: f64 = configs[12..]
+            .iter()
+            .zip(&times[12..])
+            .map(|(c, &t)| (model.predict(c) - t).abs() / t)
+            .sum::<f64>()
+            / 4.0;
+        assert!(ho_err < 1.0, "held-out error {ho_err:.3}");
+    }
+}

@@ -1,0 +1,163 @@
+//! SimNet-like baseline (Li et al., SIGMETRICS'22).
+//!
+//! SimNet predicts each instruction's latency from
+//! **microarchitecture-dependent** features (cache hit level, branch
+//! misprediction) plus instruction context, then "simulates" the program
+//! by predicting every instruction in order. Two consequences the paper
+//! contrasts with PerfVec (Table III):
+//!
+//! * a model is bound to one microarchitecture — the inputs themselves
+//!   (hit levels, mispredicts) change with the machine;
+//! * prediction cost is linear in trace length (per-instruction model
+//!   evaluation), vs PerfVec's single dot product from reusable
+//!   representations.
+
+use perfvec_ml::adam::Adam;
+use perfvec_ml::mlp::Mlp;
+use perfvec_ml::parallel::batch_gradients;
+use perfvec_sim::SimResult;
+use perfvec_trace::features::Matrix;
+use perfvec_trace::NUM_FEATURES;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Microarchitecture-dependent per-instruction feature width:
+/// 51 base features + hit-level one-hot (4) + mispredict flag.
+pub const SIMNET_FEATURES: usize = NUM_FEATURES + 5;
+
+/// Build SimNet's input matrix for one (trace, machine) pair.
+pub fn simnet_features(base: &Matrix, sim: &SimResult) -> Matrix {
+    let n = base.rows;
+    let mut m = Matrix::zeros(n, SIMNET_FEATURES);
+    for i in 0..n {
+        let row = m.row_mut(i);
+        row[..NUM_FEATURES].copy_from_slice(base.row(i));
+        let lvl = sim.mem_level[i];
+        row[NUM_FEATURES + lvl as usize] = 1.0;
+        row[NUM_FEATURES + 4] = sim.mispredicted[i] as u8 as f32;
+    }
+    m
+}
+
+/// A per-microarchitecture SimNet model.
+pub struct SimNet {
+    mlp: Mlp,
+    /// Target normalization scale (mean |latency|).
+    scale: f32,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SimNetConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Epochs.
+    pub epochs: u32,
+    /// Batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SimNetConfig {
+    fn default() -> SimNetConfig {
+        SimNetConfig { hidden: 32, epochs: 12, batch: 64, lr: 3e-3, seed: 0x51e7 }
+    }
+}
+
+impl SimNet {
+    /// Train on one machine's data: `features` from [`simnet_features`],
+    /// targets are that machine's incremental latencies (0.1 ns).
+    pub fn train(features: &Matrix, latencies: &[f32], cfg: &SimNetConfig) -> SimNet {
+        assert_eq!(features.rows, latencies.len());
+        let mean = (latencies.iter().map(|&t| t.abs() as f64).sum::<f64>()
+            / latencies.len().max(1) as f64) as f32;
+        let scale = mean.max(1e-3);
+        let mut mlp = Mlp::new(&[SIMNET_FEATURES, cfg.hidden, 1], cfg.seed);
+        let mut opt = Adam::new(mlp.params().len());
+        let mut order: Vec<usize> = (0..features.rows).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch) {
+                let (_, grads) = batch_gradients(chunk.len(), mlp.params().len(), |b, grads| {
+                    let i = chunk[b];
+                    let (y, cache) = mlp.forward(features.row(i));
+                    let err = y[0] - latencies[i] / scale;
+                    mlp.backward(features.row(i), &cache, &[2.0 * err], grads);
+                    (err * err) as f64
+                });
+                let inv = 1.0 / chunk.len() as f32;
+                let g: Vec<f32> = grads.iter().map(|v| v * inv).collect();
+                let mut p = mlp.params().to_vec();
+                opt.step(&mut p, &g, cfg.lr);
+                mlp.params_mut().copy_from_slice(&p);
+            }
+        }
+        SimNet { mlp, scale }
+    }
+
+    /// Predict one instruction's incremental latency (0.1 ns).
+    pub fn predict_one(&self, row: &[f32]) -> f64 {
+        (self.mlp.forward(row).0[0] * self.scale) as f64
+    }
+
+    /// "Simulate" the program: predict every instruction in order and
+    /// sum — the per-instruction cost the paper contrasts with PerfVec.
+    pub fn predict_total_tenths(&self, features: &Matrix) -> f64 {
+        (0..features.rows).map(|i| self.predict_one(features.row(i))).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvec_sim::sample::predefined_configs;
+    use perfvec_sim::{simulate, HitLevel};
+    use perfvec_trace::features::{extract_features, FeatureMask};
+    use perfvec_workloads::by_name;
+
+    #[test]
+    fn simnet_fits_one_machine_reasonably() {
+        let trace = by_name("specrand").unwrap().trace(4_000);
+        let cfg = &predefined_configs()[1];
+        let sim = simulate(&trace, cfg);
+        let base = extract_features(&trace, FeatureMask::Full);
+        let feats = simnet_features(&base, &sim);
+        let model = SimNet::train(&feats, &sim.inc_latency_tenths, &SimNetConfig::default());
+        let pred = model.predict_total_tenths(&feats);
+        let truth = sim.total_tenths;
+        let err = (pred - truth).abs() / truth;
+        assert!(err < 0.25, "SimNet total error {err:.3} on its own machine");
+    }
+
+    #[test]
+    fn features_include_hit_levels() {
+        let trace = by_name("mcf").unwrap().trace(3_000);
+        let cfg = &predefined_configs()[2];
+        let sim = simulate(&trace, cfg);
+        let base = extract_features(&trace, FeatureMask::Full);
+        let feats = simnet_features(&base, &sim);
+        assert_eq!(feats.cols, SIMNET_FEATURES);
+        // Pointer chasing on a small cache must mark some memory-level hits.
+        let mem_hits: f32 = (0..feats.rows)
+            .map(|i| feats.row(i)[NUM_FEATURES + HitLevel::Mem as usize])
+            .sum();
+        assert!(mem_hits > 0.0, "expected memory-level accesses in mcf");
+    }
+
+    #[test]
+    fn simnet_inputs_change_across_machines() {
+        // The microarchitecture-dependence the paper criticizes: the same
+        // trace yields different SimNet inputs on different machines.
+        let trace = by_name("mcf").unwrap().trace(3_000);
+        let base = extract_features(&trace, FeatureMask::Full);
+        let cfgs = predefined_configs();
+        let a = simnet_features(&base, &simulate(&trace, &cfgs[0]));
+        let b = simnet_features(&base, &simulate(&trace, &cfgs[6]));
+        assert_ne!(a.data, b.data);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion: microarchitecture-independent feature extraction
+//! throughput (Table I pipeline: stack distances, branch entropies,
+//! operand encoding).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use perfvec_trace::features::{extract_features, FeatureMask};
+use perfvec_trace::stack_distance::StackDistance;
+use perfvec_workloads::by_name;
+
+fn bench_extraction(c: &mut Criterion) {
+    let trace = by_name("xz").unwrap().trace(10_000);
+    let mut g = c.benchmark_group("features");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("extract_51_features", |b| {
+        b.iter(|| extract_features(&trace, FeatureMask::Full))
+    });
+    g.finish();
+}
+
+fn bench_stack_distance(c: &mut Criterion) {
+    // A mixed-locality address stream.
+    let addrs: Vec<u64> = (0..10_000u64).map(|i| (i * 2654435761) % 4096).collect();
+    let mut g = c.benchmark_group("stack_distance");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.sample_size(10);
+    g.bench_function("fenwick_online", |b| {
+        b.iter(|| {
+            let mut sd = StackDistance::with_capacity(addrs.len());
+            let mut acc = 0u64;
+            for &a in &addrs {
+                let d = sd.access(a);
+                if d != u64::MAX {
+                    acc = acc.wrapping_add(d);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_stack_distance);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion: end-to-end building blocks of the figure harnesses —
+//! dataset generation for one (program, machine-population) pair, and
+//! the DSE inner loop (grid sweep by dot products vs one simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfvec::data::build_program_data;
+use perfvec::dse::{cache_param_vector, with_cache_sizes, CacheGrid};
+use perfvec_sim::sample::predefined_configs;
+use perfvec_sim::simulate;
+use perfvec_trace::features::FeatureMask;
+use perfvec_workloads::by_name;
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let trace = by_name("specrand").unwrap().trace(5_000);
+    let configs = predefined_configs();
+    let mut g = c.benchmark_group("dataset");
+    g.sample_size(10);
+    g.bench_function("one_program_7_machines", |b| {
+        b.iter(|| build_program_data("s", &trace, &configs, FeatureMask::Full))
+    });
+    g.finish();
+}
+
+fn bench_dse_loop(c: &mut Criterion) {
+    let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
+    let grid = CacheGrid::default();
+    let trace = by_name("specrand").unwrap().trace(5_000);
+    let mut g = c.benchmark_group("dse");
+    g.sample_size(10);
+    // Ground-truth path: one simulation per grid point.
+    g.bench_function("simulate_one_grid_point", |b| {
+        let cfg = with_cache_sizes(&base, 32, 1024);
+        b.iter(|| simulate(&trace, &cfg))
+    });
+    // PerfVec path: predict the whole 36-point grid with dot products.
+    g.bench_function("predict_full_grid_dots", |b| {
+        let rp = vec![0.3f32; 32];
+        let m = vec![0.2f32; 32];
+        b.iter(|| {
+            grid.points()
+                .iter()
+                .map(|&(l1, l2)| {
+                    let p = cache_param_vector(l1, l2);
+                    let s: f32 = rp.iter().zip(&m).map(|(a, b)| a * b).sum();
+                    s as f64 * (p[0] + p[1]) as f64
+                })
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataset_generation, bench_dse_loop);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: sequence-model forward/backward step cost for the
+//! Figure 6 architecture families at the reproduction's default size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfvec_ml::seq::SeqModel;
+use perfvec_trace::NUM_FEATURES;
+
+fn bench_forward(c: &mut Criterion) {
+    let (d, w) = (32usize, 13usize);
+    let xs = vec![0.1f32; w * NUM_FEATURES];
+    let models = vec![
+        SeqModel::linear(NUM_FEATURES, d, w, 1),
+        SeqModel::mlp(NUM_FEATURES, d, w, 2),
+        SeqModel::gru(NUM_FEATURES, d, 2, 3),
+        SeqModel::lstm(NUM_FEATURES, d, 2, 4),
+        SeqModel::transformer(NUM_FEATURES, d, 2, 5),
+    ];
+    let mut g = c.benchmark_group("seq_forward");
+    g.sample_size(20);
+    for m in &models {
+        g.bench_with_input(BenchmarkId::from_parameter(m.describe()), m, |b, m| {
+            b.iter(|| m.forward(&xs, w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let (d, w) = (32usize, 13usize);
+    let xs = vec![0.1f32; w * NUM_FEATURES];
+    let m = SeqModel::lstm(NUM_FEATURES, d, 2, 4);
+    let dout = vec![1.0f32; d];
+    let mut g = c.benchmark_group("seq_train_step");
+    g.sample_size(20);
+    g.bench_function("LSTM-2-32 fwd+bwd", |b| {
+        b.iter(|| {
+            let (_, cache) = m.forward(&xs, w);
+            let mut grads = vec![0.0f32; m.num_params()];
+            m.backward(&xs, w, &cache, &dout, &mut grads);
+            grads
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: program-representation generation (the one-time PerfVec
+//! cost per program) — windowed exact mode vs the streaming LSTM fast
+//! path — and the per-prediction dot product that follows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use perfvec::compose::{program_representation, program_representation_streaming};
+use perfvec::foundation::{ArchSpec, Foundation};
+use perfvec::predict::predict_total_tenths;
+use perfvec_trace::features::{extract_features, FeatureMask};
+use perfvec_workloads::by_name;
+
+fn bench_representation(c: &mut Criterion) {
+    let trace = by_name("xz").unwrap().trace(5_000);
+    let feats = extract_features(&trace, FeatureMask::Full);
+    let f = Foundation::new(ArchSpec::default_lstm(32), 12, 1.0, 7);
+    let mut g = c.benchmark_group("representation");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("windowed (c=12)", |b| b.iter(|| program_representation(&f, &feats)));
+    g.bench_function("streaming", |b| {
+        b.iter(|| program_representation_streaming(&f, &feats, 4_096, 64).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    // After representations exist, a prediction is just a dot product —
+    // the "instant" entry of Table III.
+    let rp = vec![0.5f32; 32];
+    let m = vec![0.25f32; 32];
+    let mut g = c.benchmark_group("prediction");
+    g.bench_function("dot_product_d32", |b| {
+        b.iter(|| predict_total_tenths(&rp, &m, 1.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_representation, bench_prediction);
+criterion_main!(benches);

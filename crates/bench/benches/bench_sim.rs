@@ -1,0 +1,39 @@
+//! Criterion: timing-simulator throughput (instructions/second) for the
+//! out-of-order and in-order core models — the substrate cost every
+//! experiment pays per (program, machine) pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfvec_sim::sample::predefined_configs;
+use perfvec_sim::simulate;
+use perfvec_workloads::by_name;
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = by_name("xz").unwrap().trace(10_000);
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    for name in ["o3-big", "o3-little", "cortex-a7-like", "scalar-simple"] {
+        let cfg = predefined_configs().into_iter().find(|c| c.name == name).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| simulate(&trace, cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_mix(c: &mut Criterion) {
+    let cfg = predefined_configs().remove(1);
+    let mut g = c.benchmark_group("simulator_by_workload");
+    g.sample_size(10);
+    for name in ["specrand", "mcf", "lbm"] {
+        let trace = by_name(name).unwrap().trace(10_000);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| simulate(t, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_workload_mix);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion: the Section IV-B claim in microbenchmark form — a
+//! training step with instruction-representation **reuse** has
+//! near-constant cost in the number of sampled microarchitectures, while
+//! the naive procedure is linear in it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfvec::data::build_program_data;
+use perfvec::foundation::ArchSpec;
+use perfvec::trainer::{train_foundation, TrainConfig};
+use perfvec_ml::schedule::StepDecay;
+use perfvec_sim::sample::training_population;
+use perfvec_trace::features::FeatureMask;
+use perfvec_workloads::by_name;
+
+fn bench_reuse_vs_naive(c: &mut Criterion) {
+    let configs = training_population(7);
+    let data = vec![build_program_data(
+        "xz",
+        &by_name("xz").unwrap().trace(3_000),
+        &configs,
+        FeatureMask::Full,
+    )];
+    let mut g = c.benchmark_group("train_epoch");
+    g.sample_size(10);
+    for k in [5usize, 20] {
+        let keep: Vec<usize> = (0..k).collect();
+        let subset = vec![data[0].with_march_subset(&keep)];
+        for reuse in [true, false] {
+            let cfg = TrainConfig {
+                arch: ArchSpec::default_lstm(16),
+                context: 8,
+                epochs: 1,
+                batch_size: 32,
+                windows_per_epoch: 64,
+                val_windows: 0,
+                schedule: StepDecay::paper_default(),
+                reuse,
+                ..TrainConfig::default()
+            };
+            let label = format!("k={k}/{}", if reuse { "reuse" } else { "naive" });
+            g.bench_with_input(BenchmarkId::from_parameter(label), &subset, |b, subset| {
+                b.iter(|| train_foundation(subset, &cfg))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reuse_vs_naive);
+criterion_main!(benches);

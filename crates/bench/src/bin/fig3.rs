@@ -1,0 +1,49 @@
+//! **Figure 3**: performance-prediction accuracy for seen and unseen
+//! programs on the 77 seen microarchitectures.
+//!
+//! Protocol (paper Section V-A): train the default foundation model on
+//! the 9 training programs x 77 sampled machines; evaluate predicted
+//! total execution time per (program, machine) pair against the
+//! simulator for all 17 programs. Expected shape: seen-program errors
+//! low, unseen errors higher but mostly moderate, with `519.lbm-like` as
+//! the generalization outlier (fixed by Figure 4).
+
+use perfvec_bench::chart::error_chart;
+use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets, train_and_refit};
+use perfvec_bench::Scale;
+use perfvec_sim::sample::training_population;
+use perfvec_trace::features::FeatureMask;
+
+fn main() {
+    let scale = Scale::from_args();
+    let t0 = std::time::Instant::now();
+    eprintln!("[fig3] generating datasets (17 programs x 77 microarchitectures)...");
+    let configs = training_population(scale.march_seed());
+    let data = suite_datasets(&configs, scale, FeatureMask::Full);
+    eprintln!("[fig3] datasets ready in {:.1}s; training foundation model...", t0.elapsed().as_secs_f64());
+
+    let cfg = scale.train_config();
+    let trained = train_and_refit(&data, &cfg);
+    eprintln!(
+        "[fig3] trained {} in {:.1}s (best epoch {}, val loss {:.4})",
+        trained.foundation.describe(),
+        trained.report.wall_seconds,
+        trained.report.best_epoch,
+        trained.report.val_loss[trained.report.best_epoch as usize],
+    );
+
+    let rows = eval_seen_unseen(&trained, &data);
+    println!(
+        "{}",
+        error_chart("Figure 3: prediction error, seen + unseen programs, seen microarchitectures", &rows)
+    );
+    println!(
+        "seen-program mean error   {:>5.1}%",
+        subset_mean(&rows, true) * 100.0
+    );
+    println!(
+        "unseen-program mean error {:>5.1}%",
+        subset_mean(&rows, false) * 100.0
+    );
+    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,67 @@
+//! **Figure 4**: prediction accuracy after moving `519.lbm-like` into
+//! the training set.
+//!
+//! The paper's hypothesis test: lbm's high unseen error comes from the
+//! training data lacking coverage of its instruction-combination
+//! scenarios, so retraining with lbm included should collapse its error
+//! (and help other programs). This binary trains twice — the Table II
+//! split, then the updated split — and prints both, with deltas.
+
+use perfvec_bench::chart::error_chart;
+use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets, train_and_refit, SuiteData};
+use perfvec_bench::Scale;
+use perfvec_sim::sample::training_population;
+use perfvec_trace::features::FeatureMask;
+
+fn main() {
+    let scale = Scale::from_args();
+    let t0 = std::time::Instant::now();
+    eprintln!("[fig4] generating datasets...");
+    let configs = training_population(scale.march_seed());
+    let data = suite_datasets(&configs, scale, FeatureMask::Full);
+    let cfg = scale.train_config();
+
+    eprintln!("[fig4] training on the Table II split (lbm unseen)...");
+    let base = train_and_refit(&data, &cfg);
+    let base_rows = eval_seen_unseen(&base, &data);
+
+    // Move lbm into the training set.
+    let mut train = data.train.clone();
+    let mut test = Vec::new();
+    for d in &data.test {
+        if d.name.contains("lbm") {
+            train.push(d.clone());
+        } else {
+            test.push(d.clone());
+        }
+    }
+    let moved = SuiteData { train, test };
+    eprintln!("[fig4] retraining with 519.lbm-like in the training set...");
+    let updated = train_and_refit(&moved, &cfg);
+    let rows = eval_seen_unseen(&updated, &moved);
+
+    let lbm_before = base_rows
+        .iter()
+        .find(|r| r.program.contains("lbm"))
+        .map(|r| r.mean)
+        .unwrap_or(f64::NAN);
+    let lbm_after =
+        rows.iter().find(|r| r.program.contains("lbm")).map(|r| r.mean).unwrap_or(f64::NAN);
+
+    println!(
+        "{}",
+        error_chart("Figure 4: accuracy after moving 519.lbm-like into training", &rows)
+    );
+    println!("519.lbm-like mean error: {:.1}% (unseen) -> {:.1}% (seen)", lbm_before * 100.0, lbm_after * 100.0);
+    println!(
+        "unseen mean error: {:.1}% (before) -> {:.1}% (after, excl. lbm)",
+        subset_mean(&base_rows, false) * 100.0,
+        subset_mean(&rows, false) * 100.0
+    );
+    println!(
+        "seen mean error: {:.1}% (before) -> {:.1}% (after)",
+        subset_mean(&base_rows, true) * 100.0,
+        subset_mean(&rows, true) * 100.0
+    );
+    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+}

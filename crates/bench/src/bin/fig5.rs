@@ -1,0 +1,64 @@
+//! **Figure 5**: prediction accuracy on *unseen microarchitectures*.
+//!
+//! Protocol (paper Section V-A): sample 10 fresh machines never used in
+//! training; obtain a small tuning dataset by simulating a few *seen*
+//! programs on them; learn their representations with the foundation
+//! model frozen (fine-tuning); then predict every program's time on the
+//! unseen machines.
+
+use perfvec::compose::program_representation;
+use perfvec::data::build_program_data;
+use perfvec::finetune::{learn_march_reps, FinetuneConfig};
+use perfvec::predict::evaluate_program;
+use perfvec_bench::chart::error_chart;
+use perfvec_bench::pipeline::{subset_mean, suite_datasets, train_and_refit};
+use perfvec_bench::Scale;
+use perfvec_sim::sample::{training_population, unseen_population};
+use perfvec_trace::features::FeatureMask;
+use perfvec_workloads::{suite, SuiteRole};
+
+fn main() {
+    let scale = Scale::from_args();
+    let t0 = std::time::Instant::now();
+    eprintln!("[fig5] generating datasets + training foundation...");
+    let configs = training_population(scale.march_seed());
+    let data = suite_datasets(&configs, scale, FeatureMask::Full);
+    let trained = train_and_refit(&data, &scale.train_config());
+
+    // 10 fresh machines; tuning data = 3 seen programs simulated on them.
+    let unseen = unseen_population(scale.march_seed());
+    eprintln!("[fig5] fine-tuning representations of {} unseen machines...", unseen.len());
+    let tuning: Vec<_> = suite()
+        .iter()
+        .filter(|w| w.role == SuiteRole::Training)
+        .take(3)
+        .map(|w| build_program_data(w.name, &w.trace(scale.trace_len()), &unseen, FeatureMask::Full))
+        .collect();
+    let ft = FinetuneConfig { windows: 5_000, epochs: 40, ..Default::default() };
+    let (march_table, ft_loss) = learn_march_reps(&trained.foundation, &tuning, &ft);
+    eprintln!("[fig5] fine-tuned (final loss {ft_loss:.4}); evaluating all programs...");
+
+    // Evaluate every program on the unseen machines.
+    let mut rows = Vec::new();
+    for w in suite() {
+        let trace = w.trace(scale.trace_len());
+        let d = build_program_data(w.name, &trace, &unseen, FeatureMask::Full);
+        let rp = program_representation(&trained.foundation, &d.features);
+        let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
+        rows.push(evaluate_program(
+            w.name,
+            w.role == SuiteRole::Training,
+            &rp,
+            &trained.foundation,
+            &march_table,
+            &truths,
+        ));
+    }
+    println!(
+        "{}",
+        error_chart("Figure 5: prediction error on 10 unseen microarchitectures", &rows)
+    );
+    println!("seen-program mean error   {:>5.1}%", subset_mean(&rows, true) * 100.0);
+    println!("unseen-program mean error {:>5.1}%", subset_mean(&rows, false) * 100.0);
+    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,92 @@
+//! **Figure 6**: foundation-model architecture ablation.
+//!
+//! Trains every architecture family of the paper's comparison — linear
+//! regression, MLP, GRU, biLSTM, Transformer, and LSTMs of varying depth
+//! and width — under one reduced budget and reports the mean prediction
+//! error across unseen programs. Expected shape: Linear worst,
+//! Transformer near the back, LSTM-2-d sufficient with depth/width
+//! saturating beyond that.
+
+use perfvec::compose::program_representation;
+use perfvec::data::build_program_data;
+use perfvec::foundation::{ArchKind, ArchSpec};
+use perfvec::predict::evaluate_program;
+use perfvec::trainer::train_foundation;
+use perfvec_bench::chart::bar_chart;
+use perfvec_bench::Scale;
+use perfvec_sim::sample::training_population;
+use perfvec_trace::features::FeatureMask;
+use perfvec_workloads::{suite, SuiteRole};
+
+fn main() {
+    let scale = Scale::from_args();
+    let t0 = std::time::Instant::now();
+    // Reduced budget: the ablation compares architectures *relative* to
+    // one another, so every candidate gets the same smaller dataset and
+    // schedule.
+    let trace_len = scale.trace_len() / 2;
+    eprintln!("[fig6] generating ablation datasets ({trace_len} instrs/program)...");
+    let configs = training_population(scale.march_seed());
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for w in suite() {
+        let d = build_program_data(w.name, &w.trace(trace_len), &configs, FeatureMask::Full);
+        match w.role {
+            SuiteRole::Training => train.push(d),
+            SuiteRole::Testing => test.push(d),
+        }
+    }
+
+    let d = 32usize;
+    let candidates: Vec<ArchSpec> = vec![
+        ArchSpec { kind: ArchKind::Linear, layers: 1, dim: d },
+        ArchSpec { kind: ArchKind::Mlp, layers: 2, dim: d },
+        ArchSpec { kind: ArchKind::Gru, layers: 2, dim: d },
+        ArchSpec { kind: ArchKind::BiLstm, layers: 1, dim: d },
+        ArchSpec { kind: ArchKind::Transformer, layers: 2, dim: d },
+        ArchSpec { kind: ArchKind::Lstm, layers: 1, dim: d },
+        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: d },
+        ArchSpec { kind: ArchKind::Lstm, layers: 3, dim: d },
+        ArchSpec { kind: ArchKind::Lstm, layers: 4, dim: d },
+        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 8 },
+        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 16 },
+        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 64 },
+    ];
+
+    let mut series = Vec::new();
+    for spec in candidates {
+        let mut cfg = scale.train_config();
+        cfg.arch = spec;
+        cfg.epochs = cfg.epochs / 2;
+        cfg.windows_per_epoch = cfg.windows_per_epoch / 2;
+        let trained = train_foundation(&train, &cfg);
+        // Evaluate on unseen programs only (what Figure 6 reports).
+        let mut errs = Vec::new();
+        for d in &test {
+            let rp = program_representation(&trained.foundation, &d.features);
+            let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
+            let row = evaluate_program(
+                &d.name, false, &rp, &trained.foundation, &trained.march_table, &truths,
+            );
+            errs.push(row.mean);
+        }
+        let unseen_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        let name = trained.foundation.model.describe();
+        eprintln!(
+            "[fig6] {:<18} unseen error {:5.1}%  ({:.0}s train)",
+            name,
+            unseen_err * 100.0,
+            trained.report.wall_seconds
+        );
+        series.push((name, unseen_err * 100.0));
+    }
+    println!(
+        "{}",
+        bar_chart(
+            "Figure 6: mean unseen-program error by foundation architecture",
+            "%",
+            &series
+        )
+    );
+    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,79 @@
+//! Scratch utility: sweep the refit ridge strength on one trained model.
+use perfvec::compose::program_representation;
+use perfvec::predict::evaluate_program;
+use perfvec::refit::{accumulate_normal_equations, solve_table};
+use perfvec::trainer::train_foundation;
+use perfvec_bench::pipeline::{subset_mean, suite_datasets};
+use perfvec_bench::Scale;
+use perfvec_sim::sample::training_population;
+use perfvec_trace::features::FeatureMask;
+
+fn main() {
+    let scale = Scale::Quick;
+    let configs = training_population(scale.march_seed());
+    let tlen: u64 = std::env::var("PV_TRACE").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let data = if tlen > 0 {
+        use perfvec::data::build_program_data;
+        use perfvec_workloads::{suite, SuiteRole};
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for w in suite() {
+            let trace = w.trace(tlen);
+            let d = build_program_data(w.name, &trace, &configs, FeatureMask::Full);
+            match w.role { SuiteRole::Training => train.push(d), SuiteRole::Testing => test.push(d) }
+        }
+        perfvec_bench::pipeline::SuiteData { train, test }
+    } else {
+        suite_datasets(&configs, scale, FeatureMask::Full)
+    };
+    let mut cfg = scale.train_config();
+    // override arch from env for sweeps
+    if let Ok(d) = std::env::var("PV_DIM") { cfg.arch.dim = d.parse().unwrap(); }
+    if let Ok(c) = std::env::var("PV_CTX") { cfg.context = c.parse().unwrap(); }
+    if let Ok(e) = std::env::var("PV_EPOCHS") { cfg.epochs = e.parse().unwrap(); }
+    if let Ok(w) = std::env::var("PV_WINDOWS") { cfg.windows_per_epoch = w.parse().unwrap(); }
+    let trained = train_foundation(&data.train, &cfg);
+    eprintln!("trained; accumulating normal equations + reps...");
+    let eq = accumulate_normal_equations(&trained.foundation, &data.train);
+    let reps: Vec<(String, bool, Vec<f32>, Vec<f64>)> = data
+        .train
+        .iter()
+        .map(|d| (d.name.clone(), true, d, ()))
+        .map(|(n, s, d, _)| {
+            let rp = program_representation(&trained.foundation, &d.features);
+            let tr: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
+            (n, s, rp, tr)
+        })
+        .chain(data.test.iter().map(|d| {
+            let rp = program_representation(&trained.foundation, &d.features);
+            let tr: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
+            (d.name.clone(), false, rp, tr)
+        }))
+        .collect();
+    for ridge in [1e-8, 1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1] {
+        let table = solve_table(&eq, ridge);
+        let rows: Vec<_> = reps
+            .iter()
+            .map(|(n, s, rp, tr)| {
+                evaluate_program(n, *s, rp, &trained.foundation, &table, tr)
+            })
+            .collect();
+        println!(
+            "ridge {ridge:>8.0e}: seen {:5.1}%  unseen {:5.1}%",
+            subset_mean(&rows, true) * 100.0,
+            subset_mean(&rows, false) * 100.0
+        );
+    }
+    // Also the SGD table without refit:
+    let rows: Vec<_> = reps
+        .iter()
+        .map(|(n, s, rp, tr)| {
+            evaluate_program(n, *s, rp, &trained.foundation, &trained.march_table, tr)
+        })
+        .collect();
+    println!(
+        "sgd table     : seen {:5.1}%  unseen {:5.1}%",
+        subset_mean(&rows, true) * 100.0,
+        subset_mean(&rows, false) * 100.0
+    );
+}

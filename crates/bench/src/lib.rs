@@ -1,0 +1,15 @@
+//! # perfvec-bench
+//!
+//! The experiment harness: shared plumbing for the per-figure/table
+//! binaries (`fig3` … `fig8`, `table3`, `table4`, `ablation_*`,
+//! `train_opt`) and the Criterion micro-benchmarks.
+//!
+//! Every binary accepts `--scale quick|full` (default `quick`); scales
+//! only change trace lengths and training budgets, never the protocol.
+
+pub mod chart;
+pub mod pipeline;
+pub mod scale;
+
+pub use pipeline::{eval_seen_unseen, suite_datasets, SuiteData};
+pub use scale::Scale;

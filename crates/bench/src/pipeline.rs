@@ -1,0 +1,99 @@
+//! Shared experiment pipeline: dataset generation over the Table II
+//! suite, foundation evaluation, and report assembly.
+
+use crate::scale::Scale;
+use perfvec::compose::program_representation;
+use perfvec::data::build_program_data;
+use perfvec::predict::{evaluate_program, EvalRow};
+use perfvec::refit::refit_march_table;
+use perfvec::trainer::{train_foundation, TrainConfig, TrainedFoundation};
+use perfvec_sim::MicroArchConfig;
+use perfvec_trace::features::FeatureMask;
+use perfvec_trace::ProgramData;
+use perfvec_workloads::{suite, SuiteRole};
+
+/// Datasets for the whole Table II suite against one machine population.
+pub struct SuiteData {
+    /// Training programs (9) with their datasets.
+    pub train: Vec<ProgramData>,
+    /// Testing programs (8) with their datasets.
+    pub test: Vec<ProgramData>,
+}
+
+/// Generate datasets for all 17 workloads on `configs`.
+pub fn suite_datasets(configs: &[MicroArchConfig], scale: Scale, mask: FeatureMask) -> SuiteData {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for w in suite() {
+        let trace = w.trace(scale.trace_len());
+        let data = build_program_data(w.name, &trace, configs, mask);
+        match w.role {
+            SuiteRole::Training => train.push(data),
+            SuiteRole::Testing => test.push(data),
+        }
+    }
+    SuiteData { train, test }
+}
+
+/// Train the foundation on the training programs and refit its
+/// microarchitecture table in closed form over all training instructions
+/// (the converged fixed point of the paper's long table-SGD schedule).
+pub fn train_and_refit(data: &SuiteData, cfg: &TrainConfig) -> TrainedFoundation {
+    let mut trained = train_foundation(&data.train, cfg);
+    trained.march_table = refit_march_table(&trained.foundation, &data.train, 3e-3);
+    trained
+}
+
+/// Evaluate a trained foundation on seen (training) and unseen (testing)
+/// programs against the machines of its own table; ground truth is the
+/// column sums of each dataset (identical to the simulator totals).
+pub fn eval_seen_unseen(trained: &TrainedFoundation, data: &SuiteData) -> Vec<EvalRow> {
+    let mut rows = Vec::new();
+    for (seen, set) in [(true, &data.train), (false, &data.test)] {
+        for d in set {
+            let rp = program_representation(&trained.foundation, &d.features);
+            let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
+            rows.push(evaluate_program(
+                &d.name,
+                seen,
+                &rp,
+                &trained.foundation,
+                &trained.march_table,
+                &truths,
+            ));
+        }
+    }
+    rows
+}
+
+/// Mean error over the seen or unseen subset of rows.
+pub fn subset_mean(rows: &[EvalRow], seen: bool) -> f64 {
+    let sel: Vec<f64> = rows.iter().filter(|r| r.seen == seen).map(|r| r.mean).collect();
+    if sel.is_empty() {
+        0.0
+    } else {
+        sel.iter().sum::<f64>() / sel.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, seen: bool, mean: f64) -> EvalRow {
+        EvalRow { program: name.into(), seen, mean, std: 0.0, min: 0.0, max: mean }
+    }
+
+    #[test]
+    fn subset_mean_separates_seen_and_unseen() {
+        let rows = vec![row("a", true, 0.1), row("b", true, 0.3), row("c", false, 0.5)];
+        assert!((subset_mean(&rows, true) - 0.2).abs() < 1e-12);
+        assert!((subset_mean(&rows, false) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_mean_of_empty_subset_is_zero() {
+        let rows = vec![row("a", true, 0.1)];
+        assert_eq!(subset_mean(&rows, false), 0.0);
+    }
+}

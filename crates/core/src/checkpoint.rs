@@ -1,0 +1,231 @@
+//! Foundation-model checkpoints.
+//!
+//! The paper's adoption story is that users consume a *pre-trained*
+//! foundation model the way LLM users consume weights — without paying
+//! training cost. This module serializes a trained foundation (and
+//! optionally its microarchitecture table) to a compact binary file and
+//! restores it exactly.
+
+use crate::foundation::{ArchKind, ArchSpec, Foundation};
+use crate::march_table::MarchTable;
+use bytesless::{get_f32s, put_f32s};
+
+const MAGIC: u32 = 0x5046_4d31; // "PFM1"
+
+/// Errors while reading a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Wrong magic/version or unknown architecture tag.
+    BadHeader,
+    /// Payload ended early or sizes disagree.
+    Truncated,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadHeader => write!(f, "bad checkpoint header"),
+            CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+// A tiny little-endian encoder kept local to this module to avoid
+// dragging a serialization framework through the hot path.
+mod bytesless {
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+        put_u32(buf, vs.len() as u32);
+        for v in vs {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    pub fn get_u32(buf: &[u8], off: &mut usize) -> Option<u32> {
+        let v = u32::from_le_bytes(buf.get(*off..*off + 4)?.try_into().ok()?);
+        *off += 4;
+        Some(v)
+    }
+    pub fn get_f32s(buf: &[u8], off: &mut usize) -> Option<Vec<f32>> {
+        let n = get_u32(buf, off)? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = f32::from_le_bytes(buf.get(*off..*off + 4)?.try_into().ok()?);
+            *off += 4;
+            out.push(v);
+        }
+        Some(out)
+    }
+}
+
+fn kind_tag(kind: ArchKind) -> u32 {
+    match kind {
+        ArchKind::Linear => 0,
+        ArchKind::Mlp => 1,
+        ArchKind::Lstm => 2,
+        ArchKind::BiLstm => 3,
+        ArchKind::Gru => 4,
+        ArchKind::Transformer => 5,
+    }
+}
+
+fn tag_kind(tag: u32) -> Option<ArchKind> {
+    Some(match tag {
+        0 => ArchKind::Linear,
+        1 => ArchKind::Mlp,
+        2 => ArchKind::Lstm,
+        3 => ArchKind::BiLstm,
+        4 => ArchKind::Gru,
+        5 => ArchKind::Transformer,
+        _ => return None,
+    })
+}
+
+/// Serialize a foundation model (+ optional table) into bytes.
+pub fn encode(f: &Foundation, spec: ArchSpec, table: Option<&MarchTable>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    bytesless::put_u32(&mut buf, MAGIC);
+    bytesless::put_u32(&mut buf, kind_tag(spec.kind));
+    bytesless::put_u32(&mut buf, spec.layers as u32);
+    bytesless::put_u32(&mut buf, spec.dim as u32);
+    bytesless::put_u32(&mut buf, f.context as u32);
+    bytesless::put_u32(&mut buf, f.target_scale.to_bits());
+    put_f32s(&mut buf, &f.model.get_params());
+    match table {
+        Some(t) => {
+            bytesless::put_u32(&mut buf, t.k as u32);
+            put_f32s(&mut buf, &t.reps);
+        }
+        None => bytesless::put_u32(&mut buf, 0),
+    }
+    buf
+}
+
+/// Restore a foundation model (and table, if present) from bytes.
+pub fn decode(buf: &[u8]) -> Result<(Foundation, ArchSpec, Option<MarchTable>), CheckpointError> {
+    let mut off = 0usize;
+    let magic = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let kind = tag_kind(bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?)
+        .ok_or(CheckpointError::BadHeader)?;
+    let layers = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
+    let dim = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
+    let context = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
+    let target_scale = f32::from_bits(
+        bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?,
+    );
+    let params = get_f32s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let spec = ArchSpec { kind, layers, dim };
+    let mut foundation = Foundation::new(spec, context, target_scale, 0);
+    if params.len() != foundation.model.num_params() {
+        return Err(CheckpointError::Truncated);
+    }
+    foundation.model.set_params(&params);
+    let k = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
+    let table = if k > 0 {
+        let reps = get_f32s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+        if reps.len() != k * dim {
+            return Err(CheckpointError::Truncated);
+        }
+        Some(MarchTable::from_rows(k, dim, reps))
+    } else {
+        None
+    };
+    Ok((foundation, spec, table))
+}
+
+/// Save to a file.
+pub fn save(
+    f: &Foundation,
+    spec: ArchSpec,
+    table: Option<&MarchTable>,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::write(path, encode(f, spec, table))
+}
+
+/// Load from a file.
+pub fn load(path: &std::path::Path) -> std::io::Result<(Foundation, ArchSpec, Option<MarchTable>)> {
+    let buf = std::fs::read(path)?;
+    decode(&buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvec_trace::features::Matrix;
+    use perfvec_trace::NUM_FEATURES;
+
+    fn sample_foundation(kind: ArchKind) -> (Foundation, ArchSpec) {
+        let spec = ArchSpec { kind, layers: 2, dim: 8 };
+        (Foundation::new(spec, 4, 0.5, 42), spec)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_for_every_architecture() {
+        let mut feats = Matrix::zeros(20, NUM_FEATURES);
+        for i in 0..20 {
+            feats.row_mut(i)[i % 11] = 0.7;
+        }
+        for kind in [
+            ArchKind::Linear,
+            ArchKind::Mlp,
+            ArchKind::Lstm,
+            ArchKind::BiLstm,
+            ArchKind::Gru,
+            ArchKind::Transformer,
+        ] {
+            let (f, spec) = sample_foundation(kind);
+            let table = MarchTable::new(3, 8, 9);
+            let bytes = encode(&f, spec, Some(&table));
+            let (f2, spec2, table2) = decode(&bytes).unwrap();
+            assert_eq!(spec, spec2);
+            assert_eq!(table2.as_ref().unwrap().reps, table.reps);
+            assert_eq!(f2.context, f.context);
+            assert_eq!(f2.target_scale, f.target_scale);
+            // identical representations after restore
+            assert_eq!(f.repr_at(&feats, 10), f2.repr_at(&feats, 10), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn table_is_optional() {
+        let (f, spec) = sample_foundation(ArchKind::Lstm);
+        let (f2, _, table) = decode(&encode(&f, spec, None)).unwrap();
+        assert!(table.is_none());
+        assert_eq!(f2.model.num_params(), f.model.num_params());
+    }
+
+    #[test]
+    fn corrupted_header_is_rejected() {
+        let (f, spec) = sample_foundation(ArchKind::Lstm);
+        let mut bytes = encode(&f, spec, None);
+        bytes[0] ^= 0xff;
+        assert!(matches!(decode(&bytes), Err(CheckpointError::BadHeader)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let (f, spec) = sample_foundation(ArchKind::Gru);
+        let bytes = encode(&f, spec, None);
+        assert!(matches!(decode(&bytes[..bytes.len() - 3]), Err(CheckpointError::Truncated)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("perfvec_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foundation.pfm");
+        let (f, spec) = sample_foundation(ArchKind::Lstm);
+        save(&f, spec, None, &path).unwrap();
+        let (f2, spec2, _) = load(&path).unwrap();
+        assert_eq!(spec, spec2);
+        assert_eq!(f2.model.get_params(), f.model.get_params());
+        std::fs::remove_file(&path).ok();
+    }
+}

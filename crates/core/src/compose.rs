@@ -1,0 +1,227 @@
+//! Composing program representations from instruction representations
+//! (Section III-B).
+//!
+//! The paper's central theorem: with a bias-free linear predictor and an
+//! integrable target (incremental latency), the representation of a
+//! program is the **sum** of the representations of its executed
+//! instructions, so total time is `R_p . M`.
+//!
+//! Representation generation is embarrassingly parallel across
+//! instructions — the property the paper highlights for GPU/HPC
+//! execution. Here the windowed generator fans out over rayon; a
+//! stateful streaming generator (LSTM only) is provided as the fast
+//! single-pass alternative, with chunk-level parallelism and warmup
+//! context.
+
+use crate::foundation::Foundation;
+use perfvec_ml::parallel::parallel_map;
+use perfvec_trace::features::Matrix;
+use perfvec_trace::{fill_window, NUM_FEATURES};
+
+/// Per-instruction representations for `range` (windowed, exact
+/// training-time semantics); returns an `len x d` matrix.
+pub fn instruction_representations(
+    foundation: &Foundation,
+    features: &Matrix,
+    range: std::ops::Range<usize>,
+) -> Matrix {
+    let d = foundation.dim();
+    let idx: Vec<usize> = range.collect();
+    let rows = parallel_map(idx.len(), |n| foundation.repr_at(features, idx[n]));
+    let mut m = Matrix::zeros(idx.len(), d);
+    for (i, r) in rows.iter().enumerate() {
+        m.row_mut(i).copy_from_slice(r);
+    }
+    m
+}
+
+/// The program representation `R_p = sum_i R_i` over the whole trace,
+/// computed with the exact windowed semantics. Chunk-parallel: each
+/// rayon task sums a contiguous block of instruction representations.
+pub fn program_representation(foundation: &Foundation, features: &Matrix) -> Vec<f32> {
+    let d = foundation.dim();
+    let n = features.rows;
+    if n == 0 {
+        return vec![0.0; d];
+    }
+    let chunk = 2_048usize;
+    let n_chunks = n.div_ceil(chunk);
+    let partials = parallel_map(n_chunks, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let w = foundation.window();
+        let mut buf = vec![0.0f32; w * NUM_FEATURES];
+        let mut acc = vec![0.0f32; d];
+        for i in lo..hi {
+            fill_window(features, i, foundation.context, &mut buf);
+            let (r, _) = foundation.model.forward(&buf, w);
+            for (a, &v) in acc.iter_mut().zip(&r) {
+                *a += v;
+            }
+        }
+        acc
+    });
+    let mut total = vec![0.0f32; d];
+    for p in partials {
+        for (t, &v) in total.iter_mut().zip(&p) {
+            *t += v;
+        }
+    }
+    total
+}
+
+/// Fast single-pass streaming representation (LSTM foundation models
+/// only): one stateful step per instruction instead of a full window.
+///
+/// The trace is split into chunks processed in parallel; each chunk
+/// replays `warmup` preceding instructions to rebuild recurrent state
+/// before contributing, so the result approaches the windowed sum as
+/// `warmup` grows past the training context. Returns `None` for
+/// non-streaming architectures.
+pub fn program_representation_streaming(
+    foundation: &Foundation,
+    features: &Matrix,
+    chunk: usize,
+    warmup: usize,
+) -> Option<Vec<f32>> {
+    let lstm = foundation.model.as_lstm()?;
+    let d = foundation.dim();
+    let n = features.rows;
+    if n == 0 {
+        return Some(vec![0.0; d]);
+    }
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let partials = parallel_map(n_chunks, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let start = lo.saturating_sub(warmup);
+        let mut state = lstm.zero_state();
+        let mut out = vec![0.0f32; d];
+        let mut acc = vec![0.0f32; d];
+        for i in start..hi {
+            lstm.step(&mut state, features.row(i), &mut out);
+            if i >= lo {
+                for (a, &v) in acc.iter_mut().zip(&out) {
+                    *a += v;
+                }
+            }
+        }
+        acc
+    });
+    let mut total = vec![0.0f32; d];
+    for p in partials {
+        for (t, &v) in total.iter_mut().zip(&p) {
+            *t += v;
+        }
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foundation::{ArchKind, ArchSpec};
+
+    fn toy_features(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, NUM_FEATURES);
+        for i in 0..n {
+            m.row_mut(i)[i % 7] = 1.0;
+            m.row_mut(i)[45] = (i as f32 * 0.01).fract();
+        }
+        m
+    }
+
+    fn lstm_foundation() -> Foundation {
+        Foundation::new(ArchSpec::default_lstm(8), 3, 0.1, 11)
+    }
+
+    #[test]
+    fn program_representation_is_sum_of_instruction_representations() {
+        let f = lstm_foundation();
+        let feats = toy_features(100);
+        let rp = program_representation(&f, &feats);
+        let per = instruction_representations(&f, &feats, 0..100);
+        let mut sum = vec![0.0f32; 8];
+        for i in 0..100 {
+            for (s, &v) in sum.iter_mut().zip(per.row(i)) {
+                *s += v;
+            }
+        }
+        for (a, b) in rp.iter().zip(&sum) {
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_zero_representation() {
+        let f = lstm_foundation();
+        let feats = Matrix::zeros(0, NUM_FEATURES);
+        assert_eq!(program_representation(&f, &feats), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn streaming_approaches_windowed_with_enough_warmup() {
+        let f = lstm_foundation();
+        let feats = toy_features(400);
+        let windowed = program_representation(&f, &feats);
+        let streamed = program_representation_streaming(&f, &feats, 64, 32).unwrap();
+        // Streaming carries longer context than the window, so the two
+        // differ, but they must be strongly correlated in scale/sign.
+        let dot: f32 = windowed.iter().zip(&streamed).map(|(a, b)| a * b).sum();
+        let na: f32 = windowed.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let nb: f32 = streamed.iter().map(|b| b * b).sum::<f32>().sqrt();
+        assert!(dot / (na * nb) > 0.9, "cosine similarity too low: {}", dot / (na * nb));
+    }
+
+    #[test]
+    fn streaming_chunking_is_consistent() {
+        // With warmup >= the full prefix, chunked == single-chunk.
+        let f = lstm_foundation();
+        let feats = toy_features(120);
+        let one = program_representation_streaming(&f, &feats, 400, 0).unwrap();
+        let many = program_representation_streaming(&f, &feats, 30, 120).unwrap();
+        for (a, b) in one.iter().zip(&many) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_lstm_models_do_not_stream() {
+        let f = Foundation::new(
+            ArchSpec { kind: ArchKind::Gru, layers: 1, dim: 8 },
+            3,
+            0.1,
+            1,
+        );
+        assert!(program_representation_streaming(&f, &toy_features(10), 4, 2).is_none());
+    }
+
+    #[test]
+    fn representation_is_additive_over_trace_concatenation() {
+        // R(ab) == R(a) + R(b) when the window is fully contained (no
+        // cross-boundary context): verify with context 0.
+        let f = Foundation::new(ArchSpec::default_lstm(8), 0, 0.1, 2);
+        let a = toy_features(37);
+        let b = toy_features(53);
+        let mut ab = Matrix::zeros(90, NUM_FEATURES);
+        for i in 0..37 {
+            ab.row_mut(i).copy_from_slice(a.row(i));
+        }
+        for i in 0..53 {
+            ab.row_mut(37 + i).copy_from_slice(b.row(i));
+        }
+        let ra = program_representation(&f, &a);
+        let rb = program_representation(&f, &b);
+        let rab = program_representation(&f, &ab);
+        for i in 0..8 {
+            assert!(
+                (rab[i] - ra[i] - rb[i]).abs() < 1e-3 * (1.0 + rab[i].abs()),
+                "dim {i}: {} vs {} + {}",
+                rab[i],
+                ra[i],
+                rb[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Dataset generation: run workloads through the functional emulator,
+//! extract microarchitecture-independent features, and simulate the
+//! trace on every sampled microarchitecture to obtain per-instruction
+//! incremental-latency targets (the paper's Section IV-C pipeline, with
+//! `perfvec-sim` standing in for gem5).
+
+use perfvec_isa::Trace;
+use perfvec_ml::parallel::parallel_map;
+use perfvec_sim::{simulate, MicroArchConfig};
+use perfvec_trace::features::{extract_features, FeatureMask, Matrix};
+use perfvec_trace::ProgramData;
+
+/// Build one program's dataset: `n x 51` features plus `n x k`
+/// incremental latencies (0.1 ns) for the `k` given microarchitectures.
+///
+/// Simulations of distinct microarchitectures are independent and run in
+/// parallel; the logical trace is shared by all of them (the fact that
+/// PerfVec's representation reuse exploits during training).
+pub fn build_program_data(
+    name: &str,
+    trace: &Trace,
+    configs: &[MicroArchConfig],
+    mask: FeatureMask,
+) -> ProgramData {
+    let features = extract_features(trace, mask);
+    let n = trace.len();
+    let k = configs.len();
+    let columns: Vec<Vec<f32>> =
+        parallel_map(k, |j| simulate(trace, &configs[j]).inc_latency_tenths);
+    let mut targets = Matrix::zeros(n, k);
+    for (j, col) in columns.iter().enumerate() {
+        debug_assert_eq!(col.len(), n);
+        for i in 0..n {
+            targets.row_mut(i)[j] = col[i];
+        }
+    }
+    ProgramData { name: name.to_string(), features, targets }
+}
+
+/// Total simulated execution times (0.1 ns) per microarchitecture for a
+/// trace — the evaluation ground truth.
+pub fn ground_truth_times(trace: &Trace, configs: &[MicroArchConfig]) -> Vec<f64> {
+    parallel_map(configs.len(), |j| simulate(trace, &configs[j]).total_tenths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvec_sim::sample::predefined_configs;
+    use perfvec_trace::NUM_FEATURES;
+    use perfvec_workloads::by_name;
+
+    #[test]
+    fn dataset_dimensions_match_trace_and_configs() {
+        let trace = by_name("specrand").unwrap().trace(2_000);
+        let configs = predefined_configs();
+        let d = build_program_data("t", &trace, &configs, FeatureMask::Full);
+        assert_eq!(d.len(), trace.len());
+        assert_eq!(d.features.cols, NUM_FEATURES);
+        assert_eq!(d.num_marches(), configs.len());
+    }
+
+    #[test]
+    fn target_columns_sum_to_ground_truth() {
+        let trace = by_name("specrand").unwrap().trace(2_000);
+        let configs = predefined_configs();
+        let d = build_program_data("t", &trace, &configs, FeatureMask::Full);
+        let truth = ground_truth_times(&trace, &configs);
+        for (j, &t) in truth.iter().enumerate() {
+            let sum = d.total_time(j);
+            assert!(
+                (sum - t).abs() < 1e-4 * t.max(1.0),
+                "march {j}: column sum {sum} vs simulated total {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_simulation_is_deterministic() {
+        let trace = by_name("specrand").unwrap().trace(1_000);
+        let configs = predefined_configs();
+        let a = build_program_data("a", &trace, &configs, FeatureMask::Full);
+        let b = build_program_data("b", &trace, &configs, FeatureMask::Full);
+        assert_eq!(a.targets, b.targets);
+    }
+}

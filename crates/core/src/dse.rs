@@ -1,0 +1,173 @@
+//! Design-space exploration over cache geometries (Section VI-A,
+//! Figure 7 and Table IV).
+//!
+//! The case study: choose L1-data and L2 sizes for a Cortex-A7-like
+//! in-order core minimizing
+//! `(1000 + 10 * L1_kB + L2_kB) * execution_time`, a chip-footprint /
+//! performance tradeoff. PerfVec explores the grid with dot products
+//! from a trained [`crate::march_model`]; exhaustive simulation provides
+//! the ground truth for quality scoring.
+
+use perfvec_sim::config::CacheConfig;
+use perfvec_sim::MicroArchConfig;
+
+/// The paper's 6x6 cache design space: L1D 4..128 kB, L2 256 kB..8 MB.
+#[derive(Debug, Clone)]
+pub struct CacheGrid {
+    /// Candidate L1 data-cache sizes (kB).
+    pub l1_kb: Vec<u64>,
+    /// Candidate L2 sizes (kB).
+    pub l2_kb: Vec<u64>,
+}
+
+impl Default for CacheGrid {
+    fn default() -> CacheGrid {
+        CacheGrid {
+            l1_kb: vec![4, 8, 16, 32, 64, 128],
+            l2_kb: vec![256, 512, 1024, 2048, 4096, 8192],
+        }
+    }
+}
+
+impl CacheGrid {
+    /// All `(l1_kb, l2_kb)` points, row-major over L2 then L1 (matching
+    /// the Figure 7 axes).
+    pub fn points(&self) -> Vec<(u64, u64)> {
+        let mut pts = Vec::with_capacity(self.l1_kb.len() * self.l2_kb.len());
+        for &l2 in &self.l2_kb {
+            for &l1 in &self.l1_kb {
+                pts.push((l1, l2));
+            }
+        }
+        pts
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.l1_kb.len() * self.l2_kb.len()
+    }
+
+    /// True when the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Derive a concrete machine from `base` with the given cache sizes
+/// (associativity and latency follow the base configuration).
+pub fn with_cache_sizes(base: &MicroArchConfig, l1_kb: u64, l2_kb: u64) -> MicroArchConfig {
+    let mut cfg = base.clone();
+    cfg.name = format!("{}-l1_{}k-l2_{}k", base.name, l1_kb, l2_kb);
+    cfg.l1d = CacheConfig { size_bytes: l1_kb * 1024, ..base.l1d };
+    cfg.l2 = CacheConfig { size_bytes: l2_kb * 1024, ..base.l2 };
+    cfg
+}
+
+/// The DSE input-parameter vector for a cache point: normalized log
+/// sizes (what the microarchitecture representation model consumes).
+pub fn cache_param_vector(l1_kb: u64, l2_kb: u64) -> Vec<f32> {
+    vec![(l1_kb as f32).log2() / 8.0, (l2_kb as f32).log2() / 14.0]
+}
+
+/// The paper's objective: `(1000 + 10 * L1kB + L2kB) * T`, with `T` in
+/// milliseconds of simulated time (units only scale the surface).
+pub fn objective(l1_kb: u64, l2_kb: u64, time_tenths: f64) -> f64 {
+    let area = 1000.0 + 10.0 * l1_kb as f64 + l2_kb as f64;
+    area * (time_tenths * 1e-7) // 0.1 ns -> ms
+}
+
+/// Outcome of one program's DSE run.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// Program name.
+    pub program: String,
+    /// Objective value per grid point under exhaustive simulation.
+    pub true_objective: Vec<f64>,
+    /// Objective value per grid point under PerfVec prediction.
+    pub pred_objective: Vec<f64>,
+    /// Index of the truly optimal design.
+    pub true_best: usize,
+    /// Index of the design PerfVec selects.
+    pub pred_best: usize,
+}
+
+impl DseOutcome {
+    /// Rank of the selected design in the true ordering (0 = optimal).
+    pub fn selected_rank(&self) -> usize {
+        let chosen = self.true_objective[self.pred_best];
+        self.true_objective.iter().filter(|&&o| o < chosen).count()
+    }
+
+    /// The paper's quality metric: the fraction of designs that
+    /// outperform the selected one (smaller is better; Table IV reports
+    /// 3.6% for PerfVec).
+    pub fn quality(&self) -> f64 {
+        self.selected_rank() as f64 / self.true_objective.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvec_sim::sample::predefined_configs;
+
+    #[test]
+    fn default_grid_matches_paper() {
+        let g = CacheGrid::default();
+        assert_eq!(g.len(), 36);
+        assert_eq!(g.points()[0], (4, 256));
+        assert_eq!(g.points()[35], (128, 8192));
+    }
+
+    #[test]
+    fn derived_configs_change_only_cache_sizes() {
+        let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
+        let derived = with_cache_sizes(&base, 64, 2048);
+        assert_eq!(derived.l1d.size_bytes, 64 * 1024);
+        assert_eq!(derived.l2.size_bytes, 2048 * 1024);
+        assert_eq!(derived.l1d.assoc, base.l1d.assoc);
+        assert_eq!(derived.freq_ghz, base.freq_ghz);
+        assert_eq!(derived.l1i, base.l1i);
+    }
+
+    #[test]
+    fn objective_prefers_small_fast_designs() {
+        // Same time: smaller caches win.
+        assert!(objective(4, 256, 1e7) < objective(128, 8192, 1e7));
+        // Same area: faster wins.
+        assert!(objective(32, 1024, 1e6) < objective(32, 1024, 1e7));
+    }
+
+    #[test]
+    fn quality_counts_strictly_better_designs() {
+        let o = DseOutcome {
+            program: "p".into(),
+            true_objective: vec![5.0, 1.0, 3.0, 4.0],
+            pred_objective: vec![9.0, 2.0, 1.0, 9.0],
+            true_best: 1,
+            pred_best: 2, // true objective 3.0; designs better: {1.0} -> rank 1
+        };
+        assert_eq!(o.selected_rank(), 1);
+        assert!((o.quality() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_selection_has_zero_quality() {
+        let o = DseOutcome {
+            program: "p".into(),
+            true_objective: vec![2.0, 1.0],
+            pred_objective: vec![4.0, 3.0],
+            true_best: 1,
+            pred_best: 1,
+        };
+        assert_eq!(o.quality(), 0.0);
+    }
+
+    #[test]
+    fn cache_params_are_monotone_in_size() {
+        let a = cache_param_vector(4, 256);
+        let b = cache_param_vector(128, 8192);
+        assert!(b[0] > a[0] && b[1] > a[1]);
+        assert!(b.iter().all(|v| *v <= 1.0));
+    }
+}

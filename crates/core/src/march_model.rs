@@ -1,0 +1,176 @@
+//! The microarchitecture representation *model* for design-space
+//! exploration (Section VI-A).
+//!
+//! Unlike the table of [`crate::march_table`], this is a small MLP
+//! mapping configuration parameters to representations, so it
+//! generalizes to configurations never simulated. It is trained exactly
+//! like fine-tuning — foundation frozen, instruction representations
+//! cached — but the gradient flows through the MLP instead of directly
+//! into table rows.
+
+use crate::finetune::CachedReps;
+use perfvec_ml::adam::Adam;
+use perfvec_ml::mlp::Mlp;
+use perfvec_ml::tensor::{axpy, dot};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters for the microarchitecture representation
+/// model.
+#[derive(Debug, Clone)]
+pub struct MarchModelConfig {
+    /// Hidden width of the 2-layer MLP (the paper uses a 2-layer MLP
+    /// with ~4.4k parameters for the cache DSE).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: u32,
+    /// Windows per gradient step.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MarchModelConfig {
+    fn default() -> MarchModelConfig {
+        MarchModelConfig { hidden: 16, epochs: 40, batch_size: 64, lr: 3e-3, seed: 0xd5e }
+    }
+}
+
+/// A trained parameters-to-representation model.
+pub struct MarchModel {
+    /// The underlying MLP (`param_dim -> hidden -> d`).
+    pub mlp: Mlp,
+    /// The training-time target scale (inherited from the foundation).
+    pub target_scale: f32,
+}
+
+impl MarchModel {
+    /// Representation of a configuration parameter vector.
+    pub fn rep(&self, params: &[f32]) -> Vec<f32> {
+        self.mlp.forward(params).0
+    }
+
+    /// Predicted total time (0.1 ns) for a program representation on a
+    /// configuration.
+    pub fn predict_total_tenths(&self, prog_rep: &[f32], config_params: &[f32]) -> f64 {
+        dot(prog_rep, &self.rep(config_params)) as f64 / self.target_scale as f64
+    }
+}
+
+/// Train the representation model: `cached` holds frozen instruction
+/// representations and their scaled targets on the `k` training
+/// configurations, whose parameter vectors are `march_params` (one per
+/// target column). Returns the model and the final epoch loss.
+pub fn train_march_model(
+    cached: &CachedReps,
+    march_params: &[Vec<f32>],
+    rep_dim: usize,
+    target_scale: f32,
+    cfg: &MarchModelConfig,
+) -> (MarchModel, f64) {
+    let k = march_params.len();
+    assert!(k > 0 && !cached.reps.is_empty());
+    assert_eq!(cached.targets[0].len(), k);
+    let in_dim = march_params[0].len();
+    let mut mlp = Mlp::new(&[in_dim, cfg.hidden, rep_dim], cfg.seed);
+    let mut opt = Adam::new(mlp.params().len());
+
+    let n = cached.reps.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xabc);
+    let mut last_loss = f64::INFINITY;
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch in order.chunks(cfg.batch_size) {
+            // Forward the MLP once per configuration for this batch.
+            let forwards: Vec<_> = march_params.iter().map(|p| mlp.forward(p)).collect();
+            // Accumulate dL/dM_j over the batch.
+            let mut d_reps = vec![vec![0.0f32; rep_dim]; k];
+            let mut loss = 0.0f64;
+            let inv = 2.0 / (k * batch.len()) as f32;
+            for &i in batch {
+                let r = &cached.reps[i];
+                let t = &cached.targets[i];
+                for j in 0..k {
+                    let err = dot(r, &forwards[j].0) - t[j];
+                    loss += (err * err) as f64;
+                    axpy(inv * err, r, &mut d_reps[j]);
+                }
+            }
+            // Backprop through the MLP for every configuration.
+            let mut grads = vec![0.0f32; mlp.params().len()];
+            for (j, p) in march_params.iter().enumerate() {
+                mlp.backward(p, &forwards[j].1, &d_reps[j], &mut grads);
+            }
+            let mut params = mlp.params().to_vec();
+            opt.step(&mut params, &grads, cfg.lr);
+            mlp.params_mut().copy_from_slice(&params);
+            epoch_loss += loss / (k * batch.len()) as f64;
+            batches += 1;
+        }
+        last_loss = epoch_loss / batches.max(1) as f64;
+    }
+    (MarchModel { mlp, target_scale }, last_loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvec_ml::init::seeded_rng;
+    use rand::Rng;
+
+    /// Synthetic task: representations are random, targets are generated
+    /// by a *smooth* function of a scalar configuration parameter. The
+    /// model must interpolate to configurations between training points.
+    fn synthetic(k: usize, n: usize, d: usize) -> (CachedReps, Vec<Vec<f32>>) {
+        let mut rng = seeded_rng(5);
+        let reps: Vec<Vec<f32>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0f32)).collect()).collect();
+        let march_params: Vec<Vec<f32>> =
+            (0..k).map(|j| vec![j as f32 / (k - 1) as f32]).collect();
+        // True latent rep: M(x) = [1 + x, 2 - x, x, ...]
+        let true_rep = |x: f32| -> Vec<f32> {
+            (0..d).map(|i| ((i as f32 + 1.0) * 0.3) * (1.0 - x) + (i as f32 * 0.2) * x).collect()
+        };
+        let targets: Vec<Vec<f32>> = reps
+            .iter()
+            .map(|r| {
+                march_params
+                    .iter()
+                    .map(|p| dot(r, &true_rep(p[0])))
+                    .collect()
+            })
+            .collect();
+        (CachedReps { reps, targets }, march_params)
+    }
+
+    #[test]
+    fn fits_and_interpolates_a_smooth_configuration_response() {
+        let (cached, params) = synthetic(6, 400, 8);
+        let cfg = MarchModelConfig { epochs: 120, lr: 5e-3, ..Default::default() };
+        let (model, loss) = train_march_model(&cached, &params, 8, 1.0, &cfg);
+        assert!(loss < 5e-3, "training loss {loss}");
+        // Interpolation: predict at x = 0.3 (between training points 0.2 and 0.4).
+        let r = &cached.reps[0];
+        let interp = model.predict_total_tenths(r, &[0.3]);
+        let lo = model.predict_total_tenths(r, &[0.2]);
+        let hi = model.predict_total_tenths(r, &[0.4]);
+        assert!(
+            interp >= lo.min(hi) - 0.3 && interp <= lo.max(hi) + 0.3,
+            "interpolated {interp} outside [{lo}, {hi}] band"
+        );
+    }
+
+    #[test]
+    fn rep_dimensionality_matches() {
+        let (cached, params) = synthetic(3, 50, 4);
+        let (model, _) =
+            train_march_model(&cached, &params, 4, 0.1, &MarchModelConfig::default());
+        assert_eq!(model.rep(&params[0]).len(), 4);
+    }
+}

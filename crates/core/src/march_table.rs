@@ -1,0 +1,99 @@
+//! The microarchitecture representation table.
+//!
+//! Microarchitecture *sampling* (Section IV-A) replaces a full
+//! configuration-to-representation model during foundation training:
+//! the representations `M_1..M_k` of the `k` sampled machines are
+//! trained directly as a `k x d` table. The table rows are exactly the
+//! vectors whose dot product with a program representation predicts
+//! execution time.
+
+use perfvec_ml::init::{seeded_rng, uniform};
+use perfvec_ml::tensor::dot;
+
+/// A `k x d` table of learnable microarchitecture representations.
+#[derive(Debug, Clone)]
+pub struct MarchTable {
+    /// Number of microarchitectures.
+    pub k: usize,
+    /// Representation dimensionality.
+    pub dim: usize,
+    /// Row-major `k x d` representations.
+    pub reps: Vec<f32>,
+}
+
+impl MarchTable {
+    /// Randomly initialized table.
+    pub fn new(k: usize, dim: usize, seed: u64) -> MarchTable {
+        let mut reps = vec![0.0f32; k * dim];
+        uniform(&mut reps, 0.2, &mut seeded_rng(seed));
+        MarchTable { k, dim, reps }
+    }
+
+    /// Table with given rows (`reps.len() == k * dim`).
+    pub fn from_rows(k: usize, dim: usize, reps: Vec<f32>) -> MarchTable {
+        assert_eq!(reps.len(), k * dim);
+        MarchTable { k, dim, reps }
+    }
+
+    /// Representation of microarchitecture `j`.
+    #[inline]
+    pub fn rep(&self, j: usize) -> &[f32] {
+        &self.reps[j * self.dim..(j + 1) * self.dim]
+    }
+
+    /// Mutable representation of microarchitecture `j`.
+    #[inline]
+    pub fn rep_mut(&mut self, j: usize) -> &mut [f32] {
+        &mut self.reps[j * self.dim..(j + 1) * self.dim]
+    }
+
+    /// Predicted (scaled) latencies of a representation on all `k`
+    /// machines: `out[j] = r . M_j`.
+    pub fn predict_all(&self, r: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.k);
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = dot(r, self.rep(j));
+        }
+    }
+
+    /// Number of trainable parameters — the quantity the paper contrasts
+    /// against a hypothetical microarchitecture representation *model*
+    /// (Section IV-A: `77 x 256 = 19.7k` vs ~1.3 M).
+    pub fn num_params(&self) -> usize {
+        self.reps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_independent() {
+        let mut t = MarchTable::new(3, 4, 1);
+        t.rep_mut(1).copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
+        assert_ne!(t.rep(0), t.rep(1));
+        assert_eq!(t.rep(1), &[9.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn predict_all_is_per_row_dot() {
+        let t = MarchTable::from_rows(2, 3, vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0]);
+        let mut out = vec![0.0f32; 2];
+        t.predict_all(&[5.0, 7.0, 9.0], &mut out);
+        assert_eq!(out, vec![5.0, 14.0]);
+    }
+
+    #[test]
+    fn paper_scale_parameter_count() {
+        // 77 microarchitectures x 256 dims = 19.7k parameters.
+        let t = MarchTable::new(77, 256, 0);
+        assert_eq!(t.num_params(), 19_712);
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        assert_eq!(MarchTable::new(4, 8, 7).reps, MarchTable::new(4, 8, 7).reps);
+        assert_ne!(MarchTable::new(4, 8, 7).reps, MarchTable::new(4, 8, 8).reps);
+    }
+}

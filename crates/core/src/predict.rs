@@ -1,0 +1,133 @@
+//! Performance prediction and evaluation metrics.
+//!
+//! Prediction is a single dot product: `T = R_p . M / target_scale`
+//! (0.1 ns). Evaluation reproduces the paper's protocol: per program,
+//! absolute relative error of the predicted total execution time against
+//! the simulator's, aggregated across microarchitectures as mean /
+//! standard deviation / min / max (the dots and caps of Figures 3-5).
+
+use crate::foundation::Foundation;
+use crate::march_table::MarchTable;
+use perfvec_ml::loss::{abs_rel_error, error_stats};
+use perfvec_ml::tensor::dot;
+
+/// Predicted total execution time in 0.1 ns from a program
+/// representation and a microarchitecture representation.
+pub fn predict_total_tenths(prog_rep: &[f32], march_rep: &[f32], target_scale: f32) -> f64 {
+    dot(prog_rep, march_rep) as f64 / target_scale as f64
+}
+
+/// Per-program evaluation row (one dot + caps of Figure 3).
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Program name.
+    pub program: String,
+    /// Whether the program was in the training set.
+    pub seen: bool,
+    /// Mean absolute relative error across microarchitectures.
+    pub mean: f64,
+    /// Standard deviation of errors.
+    pub std: f64,
+    /// Minimum error.
+    pub min: f64,
+    /// Maximum error.
+    pub max: f64,
+}
+
+impl EvalRow {
+    /// Render as a fixed-width report line.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<24} {:>6} mean {:>6.1}%  std {:>6.1}%  min {:>6.1}%  max {:>6.1}%",
+            self.program,
+            if self.seen { "seen" } else { "unseen" },
+            self.mean * 100.0,
+            self.std * 100.0,
+            self.min * 100.0,
+            self.max * 100.0
+        )
+    }
+}
+
+/// Evaluate one program: its representation against every
+/// microarchitecture in the table, compared to ground-truth totals
+/// (0.1 ns, one per table row).
+pub fn evaluate_program(
+    name: &str,
+    seen: bool,
+    prog_rep: &[f32],
+    foundation: &Foundation,
+    table: &MarchTable,
+    truth_tenths: &[f64],
+) -> EvalRow {
+    assert_eq!(truth_tenths.len(), table.k);
+    let errors: Vec<f64> = (0..table.k)
+        .map(|j| {
+            let pred = predict_total_tenths(prog_rep, table.rep(j), foundation.target_scale);
+            abs_rel_error(pred, truth_tenths[j])
+        })
+        .collect();
+    let (mean, std, min, max) = error_stats(&errors);
+    EvalRow { program: name.to_string(), seen, mean, std, min, max }
+}
+
+/// Mean error across a set of rows (the scalar the ablations report).
+pub fn mean_error(rows: &[EvalRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.mean).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foundation::ArchSpec;
+
+    #[test]
+    fn prediction_inverts_target_scale() {
+        // R.M = 5.0 under scale 0.1 means 50 tenths.
+        let t = predict_total_tenths(&[1.0, 2.0], &[1.0, 2.0], 0.1);
+        assert!((t - 50.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn evaluate_program_perfect_prediction_has_zero_error() {
+        let foundation = Foundation::new(ArchSpec::default_lstm(2), 0, 1.0, 0);
+        let table = MarchTable::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let rp = vec![10.0, 20.0];
+        let truth = vec![10.0, 20.0];
+        let row = evaluate_program("p", true, &rp, &foundation, &table, &truth);
+        assert!(row.mean < 1e-9);
+        assert!(row.max < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_program_reports_spread() {
+        let foundation = Foundation::new(ArchSpec::default_lstm(2), 0, 1.0, 0);
+        let table = MarchTable::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let rp = vec![11.0, 10.0];
+        let truth = vec![10.0, 20.0]; // errors: 10% and 50%
+        let row = evaluate_program("p", false, &rp, &foundation, &table, &truth);
+        assert!((row.mean - 0.3).abs() < 1e-9);
+        assert!((row.min - 0.1).abs() < 1e-9);
+        assert!((row.max - 0.5).abs() < 1e-9);
+        assert!(row.std > 0.0);
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let row = EvalRow {
+            program: "505.mcf-like".into(),
+            seen: false,
+            mean: 0.123,
+            std: 0.05,
+            min: 0.01,
+            max: 0.3,
+        };
+        let s = row.format();
+        assert!(s.contains("505.mcf-like"));
+        assert!(s.contains("unseen"));
+        assert!(s.contains("12.3%"));
+    }
+}

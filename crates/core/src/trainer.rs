@@ -1,0 +1,458 @@
+//! Joint training of the foundation model and the microarchitecture
+//! representation table (Section IV).
+//!
+//! Two training procedures are implemented:
+//!
+//! * **representation reuse** (the paper's optimization, Section IV-B):
+//!   each sampled instruction window runs one forward/backward pass of
+//!   the foundation model, and its representation is *reused* across all
+//!   `k` microarchitectures — per-window cost is near-constant in `k`;
+//! * **naive** (kept for the `train_opt` ablation): one forward/backward
+//!   per (window, microarchitecture) pair — cost linear in `k`. The two
+//!   procedures compute identical gradients (backward is linear in the
+//!   upstream gradient), which a unit test asserts.
+
+use crate::foundation::{ArchSpec, Foundation};
+use crate::march_table::MarchTable;
+use perfvec_ml::adam::Adam;
+use perfvec_ml::parallel::batch_gradients;
+use perfvec_ml::schedule::StepDecay;
+use perfvec_ml::tensor::{axpy, dot};
+use perfvec_trace::{fill_window, ProgramData, NUM_FEATURES};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Foundation architecture.
+    pub arch: ArchSpec,
+    /// Lookback context `c` (window = `c + 1`). Paper full scale: 255.
+    pub context: usize,
+    /// Training epochs (paper: 50).
+    pub epochs: u32,
+    /// Windows per gradient step.
+    pub batch_size: usize,
+    /// Instruction windows sampled per epoch.
+    pub windows_per_epoch: usize,
+    /// Windows used for validation (model selection).
+    pub val_windows: usize,
+    /// Learning-rate schedule (paper: 1e-3, x0.1 every 10 epochs).
+    pub schedule: StepDecay,
+    /// RNG seed (sampling + initialization).
+    pub seed: u64,
+    /// Representation reuse on (paper) or off (naive ablation mode).
+    pub reuse: bool,
+    /// Target scale: incremental latencies are multiplied by this during
+    /// training for conditioning (0.1 converts 0.1 ns units to ns).
+    pub target_scale: f32,
+    /// Global-norm gradient clipping (rare cache-miss latency spikes
+    /// produce outlier MSE gradients; clipping keeps LSTM training
+    /// stable). `None` disables.
+    pub clip_norm: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            arch: ArchSpec::default_lstm(32),
+            context: 12,
+            epochs: 12,
+            batch_size: 32,
+            windows_per_epoch: 4_000,
+            val_windows: 1_500,
+            // The paper uses 1e-3 with x0.1 decay every 10 epochs on an
+            // LSTM-2-256 trained for 50 epochs over 737M instructions;
+            // at this reproduction's scale (far fewer steps, far smaller
+            // models) a proportionally higher initial rate converges to
+            // the same place.
+            schedule: StepDecay { initial: 3e-3, gamma: 0.1, every: 10 },
+            seed: 0xbeef,
+            reuse: true,
+            target_scale: 1.0,
+            clip_norm: Some(5.0),
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f64>,
+    /// Validation loss per epoch.
+    pub val_loss: Vec<f64>,
+    /// Epoch whose parameters were kept (lowest validation loss).
+    pub best_epoch: u32,
+    /// Wall-clock seconds spent in training.
+    pub wall_seconds: f64,
+}
+
+/// A trained foundation model plus the learned microarchitecture table.
+pub struct TrainedFoundation {
+    /// The instruction-representation model.
+    pub foundation: Foundation,
+    /// Representations of the `k` training microarchitectures.
+    pub march_table: MarchTable,
+    /// Training history.
+    pub report: TrainReport,
+}
+
+/// A `(program, instruction)` window reference into the dataset pool.
+type Item = (usize, usize);
+
+fn build_pool(data: &[ProgramData]) -> Vec<Item> {
+    let mut pool = Vec::new();
+    for (p, d) in data.iter().enumerate() {
+        for i in 0..d.len() {
+            pool.push((p, i));
+        }
+    }
+    pool
+}
+
+/// The per-window loss and gradient computation shared by training and
+/// validation. Returns the mean squared error over the k machines on
+/// normalized targets (`t_ij * target_scale * inv_scale[j]`); when
+/// `grads` is `Some`, accumulates model gradients into
+/// `grads[..model_len]` and table gradients into the remainder.
+#[allow(clippy::too_many_arguments)]
+fn window_pass(
+    foundation: &Foundation,
+    table: &MarchTable,
+    data: &ProgramData,
+    i: usize,
+    inv_scale: &[f32],
+    buf: &mut [f32],
+    preds: &mut [f32],
+    grads: Option<&mut [f32]>,
+    model_len: usize,
+    reuse: bool,
+) -> f64 {
+    let w = foundation.window();
+    let k = table.k;
+    let dim = table.dim;
+    fill_window(&data.features, i, foundation.context, buf);
+    let scale = foundation.target_scale;
+    let targets = data.targets.row(i);
+
+    if reuse || grads.is_none() {
+        // One forward; representation shared by all k machines.
+        let (r, cache) = foundation.model.forward(buf, w);
+        table.predict_all(&r, preds);
+        let mut loss = 0.0f64;
+        let inv_k = 2.0 / k as f32;
+        if let Some(grads) = grads {
+            let mut dr = vec![0.0f32; dim];
+            let (g_model, g_table) = grads.split_at_mut(model_len);
+            for j in 0..k {
+                let err = preds[j] - targets[j] * scale * inv_scale[j];
+                loss += (err * err) as f64;
+                // dL/dM_j and the reused dL/dR contribution
+                axpy(inv_k * err, &r, &mut g_table[j * dim..(j + 1) * dim]);
+                axpy(inv_k * err, table.rep(j), &mut dr);
+            }
+            foundation.model.backward(buf, w, &cache, &dr, g_model);
+        } else {
+            for j in 0..k {
+                let err = preds[j] - targets[j] * scale * inv_scale[j];
+                loss += (err * err) as f64;
+            }
+        }
+        loss / k as f64
+    } else {
+        // Naive: a full forward/backward per microarchitecture.
+        let grads = grads.unwrap();
+        let mut loss = 0.0f64;
+        let inv_k = 2.0 / k as f32;
+        for j in 0..k {
+            let (r, cache) = foundation.model.forward(buf, w);
+            let pred = dot(&r, table.rep(j));
+            let err = pred - targets[j] * scale * inv_scale[j];
+            loss += (err * err) as f64;
+            let (g_model, g_table) = grads.split_at_mut(model_len);
+            axpy(inv_k * err, &r, &mut g_table[j * dim..(j + 1) * dim]);
+            let mut dr = vec![0.0f32; dim];
+            axpy(inv_k * err, table.rep(j), &mut dr);
+            foundation.model.backward(buf, w, &cache, &dr, g_model);
+        }
+        loss / k as f64
+    }
+}
+
+/// Train a foundation model + microarchitecture table on the given
+/// per-program datasets (all sharing the same `k` machines).
+pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFoundation {
+    assert!(!data.is_empty(), "training requires at least one program");
+    let k = data[0].num_marches();
+    assert!(data.iter().all(|d| d.num_marches() == k), "inconsistent microarchitecture count");
+
+    let start = std::time::Instant::now();
+    let mut foundation = Foundation::new(cfg.arch, cfg.context, cfg.target_scale, cfg.seed);
+    let mut table = MarchTable::new(k, cfg.arch.dim, cfg.seed ^ 0x7ab1e);
+    let model_len = foundation.model.num_params();
+    let total_len = model_len + table.num_params();
+
+    let mut params = foundation.model.get_params();
+    params.extend_from_slice(&table.reps);
+    let mut opt = Adam::new(total_len);
+
+    let pool = build_pool(data);
+    // Per-machine target normalization: machines differ wildly in mean
+    // incremental latency (frequency, IPC, memory technology), so each
+    // target column is normalized by its mean magnitude for training and
+    // the scale is baked back into the learned table rows afterwards —
+    // `R . (s_j M'_j) = s_j (R . M'_j)`, so compositionality and the
+    // prediction contract are untouched.
+    let col_scale = column_scales(data, cfg.target_scale);
+    let inv_scale: Vec<f32> = col_scale.iter().map(|s| 1.0 / s).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5a5a);
+    // Held-out validation windows (fixed for the whole run).
+    let mut shuffled = pool.clone();
+    shuffled.shuffle(&mut rng);
+    let val_n = cfg.val_windows.min(shuffled.len() / 10);
+    let val_items: Vec<Item> = shuffled[..val_n].to_vec();
+    let train_items: Vec<Item> = shuffled[val_n..].to_vec();
+
+    let mut report = TrainReport {
+        train_loss: Vec::new(),
+        val_loss: Vec::new(),
+        best_epoch: 0,
+        wall_seconds: 0.0,
+    };
+    let mut best_val = f64::INFINITY;
+    let mut best_params = params.clone();
+
+    let w = foundation.window();
+    for epoch in 0..cfg.epochs {
+        let lr = cfg.schedule.lr(epoch);
+        // Sample this epoch's windows.
+        let mut epoch_items: Vec<Item> = Vec::with_capacity(cfg.windows_per_epoch);
+        for _ in 0..cfg.windows_per_epoch {
+            epoch_items.push(train_items[rand::Rng::gen_range(&mut rng, 0..train_items.len())]);
+        }
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch in epoch_items.chunks(cfg.batch_size) {
+            let (loss, grads) = batch_gradients(batch.len(), total_len, |b, grads| {
+                let (p, i) = batch[b];
+                let mut buf = vec![0.0f32; w * NUM_FEATURES];
+                let mut preds = vec![0.0f32; k];
+                window_pass(
+                    &foundation,
+                    &table,
+                    &data[p],
+                    i,
+                    &inv_scale,
+                    &mut buf,
+                    &mut preds,
+                    Some(grads),
+                    model_len,
+                    cfg.reuse,
+                )
+            });
+            // Mean over the batch, then optional global-norm clipping.
+            let inv = 1.0 / batch.len() as f32;
+            let mut mean_grads: Vec<f32> = grads.iter().map(|g| g * inv).collect();
+            if let Some(max_norm) = cfg.clip_norm {
+                let norm = mean_grads.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt()
+                    as f32;
+                if norm > max_norm {
+                    let s = max_norm / norm;
+                    for g in &mut mean_grads {
+                        *g *= s;
+                    }
+                }
+            }
+            opt.step(&mut params, &mean_grads, lr);
+            foundation.model.set_params(&params[..model_len]);
+            table.reps.copy_from_slice(&params[model_len..]);
+            epoch_loss += loss / batch.len() as f64;
+            batches += 1;
+        }
+        report.train_loss.push(epoch_loss / batches.max(1) as f64);
+
+        // Validation.
+        let val_loss = validation_loss(&foundation, &table, data, &val_items, &inv_scale);
+        report.val_loss.push(val_loss);
+        if val_loss < best_val {
+            best_val = val_loss;
+            best_params = params.clone();
+            report.best_epoch = epoch;
+        }
+    }
+
+    foundation.model.set_params(&best_params[..model_len]);
+    table.reps.copy_from_slice(&best_params[model_len..]);
+    // Bake the normalization scales into the table rows so that
+    // `dot(R, M_j) = target_scale * t_tenths` downstream.
+    for j in 0..k {
+        let s = col_scale[j];
+        for v in table.rep_mut(j) {
+            *v *= s;
+        }
+    }
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    TrainedFoundation { foundation, march_table: table, report }
+}
+
+/// Mean magnitude of each target column over the dataset (after
+/// `target_scale`), floored away from zero.
+pub fn column_scales(data: &[ProgramData], target_scale: f32) -> Vec<f32> {
+    let k = data[0].num_marches();
+    let mut sums = vec![0.0f64; k];
+    let mut n = 0u64;
+    for d in data {
+        for i in 0..d.len() {
+            for (j, &t) in d.targets.row(i).iter().enumerate() {
+                sums[j] += (t * target_scale).abs() as f64;
+            }
+            n += 1;
+        }
+    }
+    sums.iter().map(|s| ((s / n.max(1) as f64) as f32).max(1e-3)).collect()
+}
+
+/// Mean per-window validation loss (on normalized targets).
+pub fn validation_loss(
+    foundation: &Foundation,
+    table: &MarchTable,
+    data: &[ProgramData],
+    items: &[Item],
+    inv_scale: &[f32],
+) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    let w = foundation.window();
+    let k = table.k;
+    let (loss, _) = batch_gradients(items.len(), 0, |b, _| {
+        let (p, i) = items[b];
+        let mut buf = vec![0.0f32; w * NUM_FEATURES];
+        let mut preds = vec![0.0f32; k];
+        window_pass(foundation, table, &data[p], i, inv_scale, &mut buf, &mut preds, None, 0, true)
+    });
+    loss / items.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::build_program_data;
+    use perfvec_sim::sample::predefined_configs;
+    use perfvec_trace::features::FeatureMask;
+    use perfvec_workloads::by_name;
+
+    fn tiny_dataset() -> Vec<ProgramData> {
+        let configs = predefined_configs();
+        ["specrand", "xz"]
+            .iter()
+            .map(|n| {
+                let t = by_name(n).unwrap().trace(1_500);
+                build_program_data(n, &t, &configs, FeatureMask::Full)
+            })
+            .collect()
+    }
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig {
+            arch: ArchSpec::default_lstm(8),
+            context: 4,
+            epochs: 3,
+            batch_size: 16,
+            windows_per_epoch: 300,
+            val_windows: 100,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_learns_program_totals() {
+        // Window-level MSE is dominated by rare latency spikes and
+        // improves slowly; what PerfVec needs is accurate program
+        // *totals*, where MSE's bias-correctness makes per-window errors
+        // cancel. Train briefly and check totals beat the untrained
+        // model by a wide margin.
+        use crate::compose::program_representation;
+        use crate::predict::predict_total_tenths;
+        let data = tiny_dataset();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 16;
+        cfg.windows_per_epoch = 1_000;
+        cfg.schedule = StepDecay { initial: 1e-2, gamma: 0.5, every: 6 };
+        let trained = train_foundation(&data, &cfg);
+
+        let mean_total_err = |f: &Foundation, table: &MarchTable| -> f64 {
+            let mut errs = Vec::new();
+            for d in &data {
+                let rp = program_representation(f, &d.features);
+                for j in 0..table.k {
+                    let truth = d.total_time(j);
+                    let pred = predict_total_tenths(&rp, table.rep(j), f.target_scale);
+                    errs.push((pred - truth).abs() / truth);
+                }
+            }
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let untrained = Foundation::new(cfg.arch, cfg.context, cfg.target_scale, cfg.seed);
+        let untrained_table = MarchTable::new(data[0].num_marches(), cfg.arch.dim, 1);
+        let base_err = mean_total_err(&untrained, &untrained_table);
+        let err = mean_total_err(&trained.foundation, &trained.march_table);
+        assert!(
+            err < 0.35 && err < 0.5 * base_err,
+            "trained total error {err:.3} should beat untrained {base_err:.3}"
+        );
+        // And the fixed validation loss must not diverge.
+        let v = &trained.report.val_loss;
+        assert!(v.last().unwrap().is_finite());
+        assert!(v.iter().cloned().fold(f64::INFINITY, f64::min) <= v[0]);
+    }
+
+    #[test]
+    fn reuse_and_naive_compute_identical_gradients() {
+        let data = tiny_dataset();
+        let foundation = Foundation::new(ArchSpec::default_lstm(8), 4, 0.1, 3);
+        let table = MarchTable::new(data[0].num_marches(), 8, 5);
+        let model_len = foundation.model.num_params();
+        let total = model_len + table.num_params();
+        let w = foundation.window();
+        let mut buf = vec![0.0f32; w * NUM_FEATURES];
+        let mut preds = vec![0.0f32; table.k];
+        let mut g_reuse = vec![0.0f32; total];
+        let mut g_naive = vec![0.0f32; total];
+        let inv_scale = vec![1.0f32; table.k];
+        let l1 = window_pass(
+            &foundation, &table, &data[0], 42, &inv_scale, &mut buf, &mut preds,
+            Some(&mut g_reuse), model_len, true,
+        );
+        let l2 = window_pass(
+            &foundation, &table, &data[0], 42, &inv_scale, &mut buf, &mut preds,
+            Some(&mut g_naive), model_len, false,
+        );
+        assert!((l1 - l2).abs() < 1e-9 * (1.0 + l1.abs()));
+        for (a, b) in g_reuse.iter().zip(&g_naive) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn validation_selects_best_epoch() {
+        let data = tiny_dataset();
+        let trained = train_foundation(&data, &tiny_cfg());
+        let best = trained.report.best_epoch as usize;
+        let v = &trained.report.val_loss;
+        assert_eq!(v.iter().cloned().fold(f64::INFINITY, f64::min), v[best]);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let data = tiny_dataset();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 2;
+        let a = train_foundation(&data, &cfg);
+        let b = train_foundation(&data, &cfg);
+        assert_eq!(a.report.train_loss, b.report.train_loss);
+        assert_eq!(a.march_table.reps, b.march_table.reps);
+    }
+}

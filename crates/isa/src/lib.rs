@@ -1,0 +1,67 @@
+//! # perfvec-isa
+//!
+//! A compact 64-bit RISC instruction set, an in-memory "assembler"
+//! ([`ProgramBuilder`]), and a functional emulator ([`Emulator`]) that
+//! executes programs and records a *dynamic instruction trace*
+//! ([`DynInst`] records).
+//!
+//! This crate is the substrate that stands in for "SPEC CPU2017 compiled
+//! to ARMv8" in the PerfVec reproduction: workloads are written against
+//! this ISA, the emulator produces their logical execution traces, and the
+//! timing simulator in `perfvec-sim` replays those traces under different
+//! microarchitectures. Crucially — and this is the property PerfVec's
+//! *instruction representation reuse* exploits — the logical trace of a
+//! program depends only on the program and its input, never on the
+//! microarchitecture.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use perfvec_isa::{ProgramBuilder, Reg, Emulator};
+//!
+//! // Sum the integers 0..10 into x1.
+//! let mut b = ProgramBuilder::new();
+//! let (x1, x2) = (Reg::x(1), Reg::x(2));
+//! b.li(x1, 0);
+//! b.li(x2, 0);
+//! let loop_top = b.label();
+//! b.add(x1, x1, x2);
+//! b.addi(x2, x2, 1);
+//! b.blt_imm(x2, 10, loop_top);
+//! b.halt();
+//! let prog = b.build();
+//!
+//! let mut emu = Emulator::new(&prog);
+//! let trace = emu.run(1_000_000).expect("program terminates");
+//! assert_eq!(emu.read_x(x1), 45);
+//! assert!(trace.len() > 10);
+//! ```
+
+pub mod dynrec;
+pub mod emu;
+pub mod inst;
+pub mod mem;
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use dynrec::{DynInst, Trace};
+pub use emu::{EmuError, Emulator};
+pub use inst::{Inst, MemRef, MAX_DST, MAX_SRC};
+pub use mem::Memory;
+pub use op::{Op, OpClass};
+pub use program::{DataSegment, Label, Program, ProgramBuilder};
+pub use reg::{Reg, RegClass};
+
+/// Byte size of one encoded instruction (fixed-width ISA); instruction
+/// fetch addresses advance by this much.
+pub const INST_BYTES: u64 = 4;
+
+/// Base virtual address of the code segment.
+pub const CODE_BASE: u64 = 0x0001_0000;
+
+/// Base virtual address of the statically allocated data region.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Base virtual address of the downward-growing stack.
+pub const STACK_BASE: u64 = 0x7fff_0000;

@@ -1,0 +1,96 @@
+//! Adam optimizer (Kingma & Ba), the paper's training optimizer
+//! (Section IV-D: initial learning rate 1e-3, decayed 10x every 10
+//! epochs — see [`crate::schedule`]).
+
+/// Adam state over a flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+}
+
+impl Adam {
+    /// Fresh optimizer state for `n` parameters.
+    pub fn new(n: usize) -> Adam {
+        Adam { m: vec![0.0; n], v: vec![0.0; n], t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// Apply one update with learning rate `lr` given gradients `grads`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        let b1c = 1.0 - self.beta1.powi(self.t as i32);
+        let b2c = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1c;
+            let vhat = self.v[i] / b2c;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Number of updates applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, df = 2(x - 3)
+        let mut x = vec![10.0f32];
+        let mut opt = Adam::new(1);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g, 0.05);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "converged to {}", x[0]);
+    }
+
+    #[test]
+    fn minimizes_a_rosenbrock_ish_coupled_pair() {
+        // f(a, b) = (1-a)^2 + 5 (b - a^2)^2
+        let mut p = vec![-1.0f32, 1.0];
+        let mut opt = Adam::new(2);
+        for _ in 0..8000 {
+            let (a, b) = (p[0], p[1]);
+            let g = vec![
+                -2.0 * (1.0 - a) - 20.0 * a * (b - a * a),
+                10.0 * (b - a * a),
+            ];
+            opt.step(&mut p, &g, 0.01);
+        }
+        assert!((p[0] - 1.0).abs() < 0.1 && (p[1] - 1.0).abs() < 0.15, "got {p:?}");
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // Bias correction makes the very first step ~= lr * sign(g).
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(1);
+        opt.step(&mut x, &[123.0], 0.001);
+        assert!((x[0] + 0.001).abs() < 1e-5, "step was {}", x[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point() {
+        let mut x = vec![5.0f32];
+        let mut opt = Adam::new(1);
+        opt.step(&mut x, &[0.0], 0.1);
+        assert_eq!(x[0], 5.0);
+    }
+}

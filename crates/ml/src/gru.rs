@@ -1,0 +1,327 @@
+//! Gated recurrent unit layers (one of the Figure 6 ablation
+//! architectures).
+
+use crate::init::seeded_rng;
+use crate::tensor::{gemv_acc, gemv_t_acc, outer_acc, sigmoid};
+
+/// Shape of one GRU layer.
+///
+/// Flat layout: `[W_ih (3h x in) | W_hh (3h x h) | b (3h)]` with gate
+/// order `r, z, n`; the candidate gate uses the standard
+/// `n = tanh(W_n x + r * (U_n h) + b_n)` coupling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GruLayerShape {
+    /// Input features per step.
+    pub in_dim: usize,
+    /// Hidden size.
+    pub hidden: usize,
+}
+
+/// Per-layer activations kept for backward.
+#[derive(Debug, Clone)]
+pub struct GruLayerCache {
+    /// `T x 3h`: post-activation `r, z, n`.
+    gates: Vec<f32>,
+    /// `T x h`: `U_n h_{t-1}` pre-products (needed for dr).
+    un_h: Vec<f32>,
+    /// `T x h`: hidden states.
+    hs: Vec<f32>,
+}
+
+impl GruLayerShape {
+    /// Number of parameters.
+    pub fn param_len(&self) -> usize {
+        3 * self.hidden * (self.in_dim + self.hidden) + 3 * self.hidden
+    }
+
+    fn split<'a>(&self, w: &'a [f32]) -> (&'a [f32], &'a [f32], &'a [f32]) {
+        let (h, i) = (self.hidden, self.in_dim);
+        let (w_ih, rest) = w.split_at(3 * h * i);
+        let (w_hh, b) = rest.split_at(3 * h * h);
+        (w_ih, w_hh, b)
+    }
+
+    /// Initialize parameters.
+    pub fn init(&self, w: &mut [f32], rng: &mut rand::rngs::StdRng) {
+        let (h, i) = (self.hidden, self.in_dim);
+        crate::init::xavier_uniform(&mut w[..3 * h * i], i, 3 * h, rng);
+        let end = 3 * h * i + 3 * h * h;
+        crate::init::xavier_uniform(&mut w[3 * h * i..end], h, 3 * h, rng);
+        w[end..].fill(0.0);
+    }
+
+    /// Full-sequence forward.
+    pub fn forward(&self, w: &[f32], xs: &[f32], t_steps: usize) -> GruLayerCache {
+        let h = self.hidden;
+        let (w_ih, w_hh, b) = self.split(w);
+        let (w_hr, rest) = w_hh.split_at(h * h);
+        let (w_hz, w_hn) = rest.split_at(h * h);
+        let mut cache = GruLayerCache {
+            gates: vec![0.0; t_steps * 3 * h],
+            un_h: vec![0.0; t_steps * h],
+            hs: vec![0.0; t_steps * h],
+        };
+        let mut h_prev = vec![0.0f32; h];
+        let mut zx = vec![0.0f32; 3 * h];
+        for t in 0..t_steps {
+            let x = &xs[t * self.in_dim..(t + 1) * self.in_dim];
+            zx.copy_from_slice(b);
+            gemv_acc(w_ih, x, &mut zx, 3 * h, self.in_dim);
+            // recurrent contributions (r and z direct; n kept separate)
+            gemv_acc(w_hr, &h_prev, &mut zx[..h], h, h);
+            gemv_acc(w_hz, &h_prev, &mut zx[h..2 * h], h, h);
+            let un_h = &mut cache.un_h[t * h..(t + 1) * h];
+            un_h.fill(0.0);
+            gemv_acc(w_hn, &h_prev, un_h, h, h);
+            let gates = &mut cache.gates[t * 3 * h..(t + 1) * 3 * h];
+            let hs = &mut cache.hs[t * h..(t + 1) * h];
+            for k in 0..h {
+                let r = sigmoid(zx[k]);
+                let z = sigmoid(zx[h + k]);
+                let n = (zx[2 * h + k] + r * un_h[k]).tanh();
+                gates[k] = r;
+                gates[h + k] = z;
+                gates[2 * h + k] = n;
+                hs[k] = (1.0 - z) * n + z * h_prev[k];
+            }
+            h_prev.copy_from_slice(hs);
+        }
+        cache
+    }
+
+    /// Full-sequence backward (mirrors [`crate::lstm::LstmLayerShape::backward`]).
+    pub fn backward(
+        &self,
+        w: &[f32],
+        xs: &[f32],
+        t_steps: usize,
+        cache: &GruLayerCache,
+        dh: &mut [f32],
+        grads: &mut [f32],
+        dxs: &mut [f32],
+    ) {
+        let h = self.hidden;
+        let i_dim = self.in_dim;
+        let (w_ih, w_hh, _) = self.split(w);
+        let (w_hr, rest) = w_hh.split_at(h * h);
+        let (w_hz, w_hn) = rest.split_at(h * h);
+        let wn_ih = 3 * h * i_dim;
+        let (g_ih, rest_g) = grads.split_at_mut(wn_ih);
+        let (g_hh, g_b) = rest_g.split_at_mut(3 * h * h);
+        let (g_hr, rest_g2) = g_hh.split_at_mut(h * h);
+        let (g_hz, g_hn) = rest_g2.split_at_mut(h * h);
+
+        let mut dh_rec = vec![0.0f32; h];
+        let mut dz_pre = vec![0.0f32; 3 * h]; // gradients w.r.t. pre-activations
+        let mut dn_un = vec![0.0f32; h]; // gradient w.r.t. (U_n h_prev)
+        for t in (0..t_steps).rev() {
+            let gates = &cache.gates[t * 3 * h..(t + 1) * 3 * h];
+            let un_h = &cache.un_h[t * h..(t + 1) * h];
+            let zero_h;
+            let h_prev: &[f32] = if t == 0 {
+                zero_h = vec![0.0f32; h];
+                &zero_h
+            } else {
+                &cache.hs[(t - 1) * h..t * h]
+            };
+            let dh_t = &mut dh[t * h..(t + 1) * h];
+            for (d, r) in dh_t.iter_mut().zip(&dh_rec) {
+                *d += r;
+            }
+            dh_rec.fill(0.0);
+            for k in 0..h {
+                let r = gates[k];
+                let z = gates[h + k];
+                let n = gates[2 * h + k];
+                let dht = dh_t[k];
+                // h = (1-z) n + z h_prev
+                let dn = dht * (1.0 - z);
+                let dz = dht * (h_prev[k] - n);
+                dh_rec[k] += dht * z;
+                let dn_pre = dn * (1.0 - n * n);
+                let dr = dn_pre * un_h[k];
+                dn_un[k] = dn_pre * r;
+                dz_pre[k] = dr * r * (1.0 - r);
+                dz_pre[h + k] = dz * z * (1.0 - z);
+                dz_pre[2 * h + k] = dn_pre;
+            }
+            let x = &xs[t * i_dim..(t + 1) * i_dim];
+            outer_acc(g_ih, &dz_pre, x);
+            for (g, &d) in g_b.iter_mut().zip(&dz_pre) {
+                *g += d;
+            }
+            gemv_t_acc(w_ih, &dz_pre, &mut dxs[t * i_dim..(t + 1) * i_dim], 3 * h, i_dim);
+            // recurrent weight grads + recurrent dh contributions
+            outer_acc(g_hr, &dz_pre[..h], h_prev);
+            outer_acc(g_hz, &dz_pre[h..2 * h], h_prev);
+            outer_acc(g_hn, &dn_un, h_prev);
+            gemv_t_acc(w_hr, &dz_pre[..h], &mut dh_rec, h, h);
+            gemv_t_acc(w_hz, &dz_pre[h..2 * h], &mut dh_rec, h, h);
+            gemv_t_acc(w_hn, &dn_un, &mut dh_rec, h, h);
+        }
+    }
+}
+
+/// Multi-layer GRU with contiguous parameters.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    layers: Vec<GruLayerShape>,
+    params: Vec<f32>,
+}
+
+/// Forward cache for [`Gru::forward`].
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    layer_caches: Vec<GruLayerCache>,
+    t_steps: usize,
+}
+
+impl Gru {
+    /// Build an `n_layers` GRU.
+    pub fn new(in_dim: usize, hidden: usize, n_layers: usize, seed: u64) -> Gru {
+        assert!(n_layers >= 1);
+        let mut layers = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            layers.push(GruLayerShape { in_dim: if l == 0 { in_dim } else { hidden }, hidden });
+        }
+        let total: usize = layers.iter().map(|l| l.param_len()).sum();
+        let mut params = vec![0.0f32; total];
+        let mut rng = seeded_rng(seed);
+        let mut off = 0;
+        for l in &layers {
+            l.init(&mut params[off..off + l.param_len()], &mut rng);
+            off += l.param_len();
+        }
+        Gru { layers, params }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().hidden
+    }
+
+    /// Flat parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Flat parameters, mutable.
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn layer_param(&self, l: usize) -> &[f32] {
+        let off: usize = self.layers[..l].iter().map(|s| s.param_len()).sum();
+        &self.params[off..off + self.layers[l].param_len()]
+    }
+
+    /// Full-sequence forward; returns the final hidden vector and cache.
+    pub fn forward(&self, xs: &[f32], t_steps: usize) -> (Vec<f32>, GruCache) {
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        let mut input: Vec<f32> = xs.to_vec();
+        for (l, shape) in self.layers.iter().enumerate() {
+            let cache = shape.forward(self.layer_param(l), &input, t_steps);
+            input = cache.hs.clone();
+            layer_caches.push(cache);
+        }
+        let h = self.out_dim();
+        let out = input[(t_steps - 1) * h..t_steps * h].to_vec();
+        (out, GruCache { layer_caches, t_steps })
+    }
+
+    /// Backward from `dout` (gradient w.r.t. the final hidden vector).
+    pub fn backward(&self, xs: &[f32], cache: &GruCache, dout: &[f32], grads: &mut [f32]) {
+        let t = cache.t_steps;
+        let top = self.layers.len() - 1;
+        let h_top = self.layers[top].hidden;
+        let mut dh = vec![0.0f32; t * h_top];
+        dh[(t - 1) * h_top..].copy_from_slice(dout);
+        let mut ends: Vec<usize> = Vec::with_capacity(self.layers.len());
+        let mut acc = 0;
+        for s in &self.layers {
+            acc += s.param_len();
+            ends.push(acc);
+        }
+        for l in (0..self.layers.len()).rev() {
+            let shape = self.layers[l];
+            let xs_l: &[f32] = if l == 0 { xs } else { &cache.layer_caches[l - 1].hs };
+            let mut dxs = vec![0.0f32; t * shape.in_dim];
+            let start = ends[l] - shape.param_len();
+            shape.backward(
+                self.layer_param(l),
+                xs_l,
+                t,
+                &cache.layer_caches[l],
+                &mut dh,
+                &mut grads[start..ends[l]],
+                &mut dxs,
+            );
+            dh = dxs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::dot;
+
+    #[test]
+    fn gradient_check_two_layers() {
+        let mut model = Gru::new(4, 5, 2, 11);
+        let t = 5;
+        let mut rng = seeded_rng(2);
+        use rand::Rng;
+        let xs: Vec<f32> = (0..t * 4).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let dout: Vec<f32> = (0..5).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let (_, cache) = model.forward(&xs, t);
+        let mut grads = vec![0.0f32; model.params().len()];
+        model.backward(&xs, &cache, &dout, &mut grads);
+
+        let loss = |m: &Gru| {
+            let (out, _) = m.forward(&xs, t);
+            dot(&out, &dout)
+        };
+        let n = model.params().len();
+        let mut idx = 1usize;
+        let mut checked = 0;
+        while idx < n && checked < 24 {
+            let eps = 3e-3;
+            let orig = model.params()[idx];
+            model.params_mut()[idx] = orig + eps;
+            let lp = loss(&model);
+            model.params_mut()[idx] = orig - eps;
+            let lm = loss(&model);
+            model.params_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs().max(ana.abs())),
+                "param {idx}: numeric {num} vs analytic {ana}"
+            );
+            checked += 1;
+            idx = idx * 2 + 3;
+        }
+    }
+
+    #[test]
+    fn gru_has_three_quarters_of_lstm_params() {
+        let gru = Gru::new(8, 16, 1, 0).params().len();
+        let lstm = crate::lstm::Lstm::new(8, 16, 1, 0).params().len();
+        assert_eq!(gru * 4, lstm * 3);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = Gru::new(3, 6, 2, 77);
+        let xs = vec![0.25f32; 4 * 3];
+        let (a, _) = m.forward(&xs, 4);
+        let (b, _) = m.forward(&xs, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! Parameter initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot uniform initialization for a `fan_out x fan_in` weight
+/// block: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(w: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut StdRng) {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    for v in w {
+        *v = rng.gen_range(-a..a);
+    }
+}
+
+/// Small-uniform initialization used for biases/representation tables.
+pub fn uniform(w: &mut [f32], scale: f32, rng: &mut StdRng) {
+    for v in w {
+        *v = rng.gen_range(-scale..scale);
+    }
+}
+
+/// A seeded RNG for parameter initialization.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound_and_is_seeded() {
+        let mut a = vec![0f32; 1000];
+        let mut b = vec![0f32; 1000];
+        xavier_uniform(&mut a, 64, 64, &mut seeded_rng(1));
+        xavier_uniform(&mut b, 64, 64, &mut seeded_rng(1));
+        assert_eq!(a, b);
+        let bound = (6.0f64 / 128.0).sqrt() as f32;
+        assert!(a.iter().all(|v| v.abs() <= bound));
+        // Not degenerate.
+        assert!(a.iter().any(|v| v.abs() > bound / 4.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![0f32; 100];
+        let mut b = vec![0f32; 100];
+        xavier_uniform(&mut a, 10, 10, &mut seeded_rng(1));
+        xavier_uniform(&mut b, 10, 10, &mut seeded_rng(2));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Small dense linear-algebra routines (f64): Cholesky factorization
+//! and positive-definite solves, used for closed-form least-squares
+//! refits of linear predictor heads.
+
+/// In-place Cholesky factorization of a symmetric positive-definite
+/// `n x n` matrix (row-major); on success the lower triangle holds `L`
+/// with `A = L L^T`. Returns `false` if the matrix is not positive
+/// definite.
+pub fn cholesky(a: &mut [f64], n: usize) -> bool {
+    debug_assert_eq!(a.len(), n * n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return false;
+                }
+                a[i * n + i] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+    }
+    true
+}
+
+/// Solve `A x = b` given the Cholesky factor `L` (lower triangle of
+/// `chol`); overwrites `b` with `x`.
+pub fn cholesky_solve(chol: &[f64], b: &mut [f64], n: usize) {
+    // forward: L y = b
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= chol[i * n + k] * b[k];
+        }
+        b[i] = sum / chol[i * n + i];
+    }
+    // backward: L^T x = y
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in i + 1..n {
+            sum -= chol[k * n + i] * b[k];
+        }
+        b[i] = sum / chol[i * n + i];
+    }
+}
+
+/// Ridge-regularized least squares: given accumulated normal equations
+/// `XtX` (`n x n`) and one right-hand side `Xty` (`n`), solve
+/// `(XtX + ridge I) w = Xty`. Returns `None` if the system is not
+/// positive definite even after regularization.
+pub fn ridge_solve(xtx: &[f64], xty: &[f64], n: usize, ridge: f64) -> Option<Vec<f64>> {
+    let mut a = xtx.to_vec();
+    for i in 0..n {
+        a[i * n + i] += ridge;
+    }
+    if !cholesky(&mut a, n) {
+        return None;
+    }
+    let mut x = xty.to_vec();
+    cholesky_solve(&a, &mut x, n);
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let mut a = vec![0.0; 9];
+        for i in 0..3 {
+            a[i * 3 + i] = 1.0;
+        }
+        assert!(cholesky(&mut a, 3));
+        for i in 0..3 {
+            assert!((a[i * 3 + i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solves_a_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        assert!(cholesky(&mut a, 2));
+        let mut b = vec![10.0, 9.0];
+        cholesky_solve(&a, &mut b, 2);
+        assert!((b[0] - 1.5).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrices() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(!cholesky(&mut a, 2));
+    }
+
+    #[test]
+    fn ridge_recovers_regression_weights() {
+        // y = 2 x0 - x1, overdetermined sample.
+        let xs = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 1.0], [1.0, 3.0]];
+        let w_true = [2.0, -1.0];
+        let mut xtx = vec![0.0; 4];
+        let mut xty = vec![0.0; 2];
+        for x in xs {
+            let y = w_true[0] * x[0] + w_true[1] * x[1];
+            for i in 0..2 {
+                for j in 0..2 {
+                    xtx[i * 2 + j] += x[i] * x[j];
+                }
+                xty[i] += x[i] * y;
+            }
+        }
+        let w = ridge_solve(&xtx, &xty, 2, 1e-9).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heavy_ridge_shrinks_weights() {
+        let xtx = vec![1.0, 0.0, 0.0, 1.0];
+        let xty = vec![1.0, 1.0];
+        let w0 = ridge_solve(&xtx, &xty, 2, 0.0).unwrap();
+        let w9 = ridge_solve(&xtx, &xty, 2, 9.0).unwrap();
+        assert!(w9[0] < w0[0]);
+        assert!((w9[0] - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Linear (fully connected) layer as a stateless *shape*: parameters
+//! live in a flat slice owned by the enclosing model, which keeps whole
+//! models contiguous for the optimizer and for data-parallel gradient
+//! reduction.
+
+use crate::tensor::{gemv_acc, gemv_t_acc, outer_acc};
+
+/// Shape of a linear layer `y = W x (+ b)`.
+///
+/// Flat parameter layout: `[W (out x in row-major) | b (out, if bias)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearShape {
+    /// Input features.
+    pub in_dim: usize,
+    /// Output features.
+    pub out_dim: usize,
+    /// Whether a bias vector is present. The PerfVec performance
+    /// predictor is a linear model **without** bias — that is what makes
+    /// program representations compositional (Section III-B).
+    pub bias: bool,
+}
+
+impl LinearShape {
+    /// New shape.
+    pub fn new(in_dim: usize, out_dim: usize, bias: bool) -> LinearShape {
+        LinearShape { in_dim, out_dim, bias }
+    }
+
+    /// Number of parameters.
+    pub fn param_len(&self) -> usize {
+        self.out_dim * self.in_dim + if self.bias { self.out_dim } else { 0 }
+    }
+
+    /// `y = W x (+ b)`, overwriting `y`.
+    pub fn forward(&self, w: &[f32], x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(w.len(), self.param_len());
+        y.fill(0.0);
+        if self.bias {
+            y.copy_from_slice(&w[self.out_dim * self.in_dim..]);
+        }
+        gemv_acc(&w[..self.out_dim * self.in_dim], x, y, self.out_dim, self.in_dim);
+    }
+
+    /// Backward: accumulates parameter gradients into `grads` and input
+    /// gradients into `dx` given upstream `dy` and the forward input `x`.
+    pub fn backward(&self, w: &[f32], x: &[f32], dy: &[f32], grads: &mut [f32], dx: &mut [f32]) {
+        debug_assert_eq!(grads.len(), self.param_len());
+        let wn = self.out_dim * self.in_dim;
+        outer_acc(&mut grads[..wn], dy, x);
+        if self.bias {
+            for (g, &d) in grads[wn..].iter_mut().zip(dy) {
+                *g += d;
+            }
+        }
+        gemv_t_acc(&w[..wn], dy, dx, self.out_dim, self.in_dim);
+    }
+
+    /// Initialize parameters in place (Xavier for weights, zero bias).
+    pub fn init(&self, w: &mut [f32], rng: &mut rand::rngs::StdRng) {
+        let wn = self.out_dim * self.in_dim;
+        crate::init::xavier_uniform(&mut w[..wn], self.in_dim, self.out_dim, rng);
+        if self.bias {
+            w[wn..].fill(0.0);
+        }
+    }
+}
+
+/// ReLU forward in place; returns nothing, the mask is recoverable from
+/// the output (`y > 0`).
+#[inline]
+pub fn relu_inplace(v: &mut [f32]) {
+    for x in v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// ReLU backward: zero gradient where the activation was clipped.
+#[inline]
+pub fn relu_backward_inplace(activated: &[f32], dv: &mut [f32]) {
+    for (d, &a) in dv.iter_mut().zip(activated) {
+        if a <= 0.0 {
+            *d = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let shape = LinearShape::new(2, 2, true);
+        // W = [[1,2],[3,4]], b = [10, 20]
+        let w = [1., 2., 3., 4., 10., 20.];
+        let mut y = [0f32; 2];
+        shape.forward(&w, &[1., 1.], &mut y);
+        assert_eq!(y, [13., 27.]);
+    }
+
+    #[test]
+    fn no_bias_layout_is_tight() {
+        let shape = LinearShape::new(3, 2, false);
+        assert_eq!(shape.param_len(), 6);
+        let shape_b = LinearShape::new(3, 2, true);
+        assert_eq!(shape_b.param_len(), 8);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let shape = LinearShape::new(4, 3, true);
+        let mut w = vec![0f32; shape.param_len()];
+        shape.init(&mut w, &mut seeded_rng(3));
+        let x = [0.5f32, -1.0, 0.25, 2.0];
+        let dy = [1.0f32, -0.5, 0.75];
+        // analytic
+        let mut grads = vec![0f32; shape.param_len()];
+        let mut dx = vec![0f32; 4];
+        shape.backward(&w, &x, &dy, &mut grads, &mut dx);
+        // numeric: L = dot(y, dy)
+        let loss = |w: &[f32]| {
+            let mut y = [0f32; 3];
+            shape.forward(w, &x, &mut y);
+            y.iter().zip(&dy).map(|(a, b)| a * b).sum::<f32>()
+        };
+        for i in 0..shape.param_len() {
+            let eps = 1e-2;
+            let mut wp = w.clone();
+            wp[i] += eps;
+            let mut wm = w.clone();
+            wm[i] -= eps;
+            let num = (loss(&wp) - loss(&wm)) / (2.0 * eps);
+            assert!(
+                (num - grads[i]).abs() < 1e-2 * (1.0 + num.abs()),
+                "param {i}: numeric {num} vs analytic {}",
+                grads[i]
+            );
+        }
+        // dx check
+        let loss_x = |x: &[f32; 4]| {
+            let mut y = [0f32; 3];
+            shape.forward(&w, x, &mut y);
+            y.iter().zip(&dy).map(|(a, b)| a * b).sum::<f32>()
+        };
+        for i in 0..4 {
+            let eps = 1e-2;
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let num = (loss_x(&xp) - loss_x(&xm)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn relu_and_its_backward() {
+        let mut v = [1.0f32, -2.0, 0.0, 3.0];
+        relu_inplace(&mut v);
+        assert_eq!(v, [1.0, 0.0, 0.0, 3.0]);
+        let mut dv = [5.0f32, 5.0, 5.0, 5.0];
+        relu_backward_inplace(&v, &mut dv);
+        assert_eq!(dv, [5.0, 0.0, 0.0, 5.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Losses and error metrics.
+
+/// Mean squared error between predictions and targets.
+pub fn mse(pred: &[f32], target: &[f32]) -> f32 {
+    debug_assert_eq!(pred.len(), target.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f32>() / pred.len() as f32
+}
+
+/// Gradient of [`mse`] with respect to the predictions.
+pub fn mse_grad(pred: &[f32], target: &[f32], grad: &mut [f32]) {
+    debug_assert_eq!(pred.len(), target.len());
+    let scale = 2.0 / pred.len() as f32;
+    for ((g, p), t) in grad.iter_mut().zip(pred).zip(target) {
+        *g = scale * (p - t);
+    }
+}
+
+/// Absolute relative error `|pred - truth| / truth` — the paper's
+/// prediction-error metric for program execution times.
+pub fn abs_rel_error(pred: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        pred.abs()
+    } else {
+        (pred - truth).abs() / truth.abs()
+    }
+}
+
+/// Summary statistics over a set of errors: (mean, std, min, max).
+pub fn error_stats(errors: &[f64]) -> (f64, f64, f64, f64) {
+    if errors.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let n = errors.len() as f64;
+    let mean = errors.iter().sum::<f64>() / n;
+    let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+    let min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = errors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (mean, var.sqrt(), min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_vectors_is_zero() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        // ((1)^2 + (3)^2) / 2 = 5
+        assert_eq!(mse(&[2.0, 0.0], &[1.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn mse_grad_is_finite_difference_of_mse() {
+        let pred = [1.0f32, -2.0, 0.5];
+        let target = [0.5f32, 1.0, 0.0];
+        let mut g = [0.0f32; 3];
+        mse_grad(&pred, &target, &mut g);
+        for i in 0..3 {
+            let eps = 1e-3;
+            let mut pp = pred;
+            pp[i] += eps;
+            let mut pm = pred;
+            pm[i] -= eps;
+            let num = (mse(&pp, &target) - mse(&pm, &target)) / (2.0 * eps);
+            assert!((num - g[i]).abs() < 1e-3, "dim {i}: {num} vs {}", g[i]);
+        }
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(abs_rel_error(110.0, 100.0), 0.1);
+        assert_eq!(abs_rel_error(90.0, 100.0), 0.1);
+        assert_eq!(abs_rel_error(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn stats_cover_spread() {
+        let (mean, std, min, max) = error_stats(&[0.1, 0.2, 0.3]);
+        assert!((mean - 0.2).abs() < 1e-12);
+        assert!(std > 0.0);
+        assert_eq!((min, max), (0.1, 0.3));
+    }
+}

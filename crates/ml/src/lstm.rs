@@ -1,0 +1,454 @@
+//! Long short-term memory layers — the paper's default foundation-model
+//! architecture (a 2-layer unidirectional LSTM, Section III-D).
+//!
+//! Provides full-sequence forward/backward (training) and a stateful
+//! streaming step (fast trace-wide representation generation).
+
+use crate::init::seeded_rng;
+use crate::tensor::{gemv_acc, gemv_t_acc, outer_acc, sigmoid};
+
+/// Shape of one LSTM layer with input size `in_dim` and hidden size `h`.
+///
+/// Flat parameter layout: `[W_ih (4h x in) | W_hh (4h x h) | b (4h)]`,
+/// with gate order `i, f, g, o`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmLayerShape {
+    /// Input features per step.
+    pub in_dim: usize,
+    /// Hidden size.
+    pub hidden: usize,
+}
+
+/// Per-layer forward activations retained for backward.
+#[derive(Debug, Clone)]
+pub struct LstmLayerCache {
+    /// Post-activation gates per step: `T x 4h` (`i, f, g, o`).
+    pub gates: Vec<f32>,
+    /// Cell states per step: `T x h`.
+    pub cells: Vec<f32>,
+    /// Hidden states per step: `T x h` (inputs to the next layer).
+    pub hs: Vec<f32>,
+}
+
+impl LstmLayerShape {
+    /// Number of parameters.
+    pub fn param_len(&self) -> usize {
+        4 * self.hidden * (self.in_dim + self.hidden) + 4 * self.hidden
+    }
+
+    fn split<'a>(&self, w: &'a [f32]) -> (&'a [f32], &'a [f32], &'a [f32]) {
+        let (h, i) = (self.hidden, self.in_dim);
+        let (w_ih, rest) = w.split_at(4 * h * i);
+        let (w_hh, b) = rest.split_at(4 * h * h);
+        (w_ih, w_hh, b)
+    }
+
+    fn split_mut<'a>(&self, w: &'a mut [f32]) -> (&'a mut [f32], &'a mut [f32], &'a mut [f32]) {
+        let (h, i) = (self.hidden, self.in_dim);
+        let (w_ih, rest) = w.split_at_mut(4 * h * i);
+        let (w_hh, b) = rest.split_at_mut(4 * h * h);
+        (w_ih, w_hh, b)
+    }
+
+    /// Initialize parameters (Xavier weights, zero bias except the
+    /// forget gate, which starts at 1.0 per standard practice).
+    pub fn init(&self, w: &mut [f32], rng: &mut rand::rngs::StdRng) {
+        let h = self.hidden;
+        let (w_ih, w_hh, b) = self.split_mut(w);
+        crate::init::xavier_uniform(w_ih, self.in_dim, 4 * h, rng);
+        crate::init::xavier_uniform(w_hh, h, 4 * h, rng);
+        b.fill(0.0);
+        b[h..2 * h].fill(1.0); // forget-gate bias
+    }
+
+    /// One streaming step: updates `(h_state, c_state)` from input `x`.
+    pub fn step(&self, w: &[f32], x: &[f32], h_state: &mut [f32], c_state: &mut [f32]) {
+        let h = self.hidden;
+        let (w_ih, w_hh, b) = self.split(w);
+        let mut z = b.to_vec();
+        gemv_acc(w_ih, x, &mut z, 4 * h, self.in_dim);
+        gemv_acc(w_hh, h_state, &mut z, 4 * h, h);
+        for k in 0..h {
+            let ig = sigmoid(z[k]);
+            let fg = sigmoid(z[h + k]);
+            let gg = z[2 * h + k].tanh();
+            let og = sigmoid(z[3 * h + k]);
+            let c = fg * c_state[k] + ig * gg;
+            c_state[k] = c;
+            h_state[k] = og * c.tanh();
+        }
+    }
+
+    /// Full-sequence forward: `xs` is `T x in_dim`; returns the cache
+    /// (which contains all hidden states).
+    pub fn forward(&self, w: &[f32], xs: &[f32], t_steps: usize) -> LstmLayerCache {
+        let h = self.hidden;
+        let (w_ih, w_hh, b) = self.split(w);
+        let mut cache = LstmLayerCache {
+            gates: vec![0.0; t_steps * 4 * h],
+            cells: vec![0.0; t_steps * h],
+            hs: vec![0.0; t_steps * h],
+        };
+        let mut h_prev = vec![0.0f32; h];
+        let mut c_prev = vec![0.0f32; h];
+        for t in 0..t_steps {
+            let x = &xs[t * self.in_dim..(t + 1) * self.in_dim];
+            let mut z = b.to_vec();
+            gemv_acc(w_ih, x, &mut z, 4 * h, self.in_dim);
+            gemv_acc(w_hh, &h_prev, &mut z, 4 * h, h);
+            let gates = &mut cache.gates[t * 4 * h..(t + 1) * 4 * h];
+            let cells = &mut cache.cells[t * h..(t + 1) * h];
+            let hs = &mut cache.hs[t * h..(t + 1) * h];
+            for k in 0..h {
+                let ig = sigmoid(z[k]);
+                let fg = sigmoid(z[h + k]);
+                let gg = z[2 * h + k].tanh();
+                let og = sigmoid(z[3 * h + k]);
+                let c = fg * c_prev[k] + ig * gg;
+                gates[k] = ig;
+                gates[h + k] = fg;
+                gates[2 * h + k] = gg;
+                gates[3 * h + k] = og;
+                cells[k] = c;
+                hs[k] = og * c.tanh();
+            }
+            h_prev.copy_from_slice(hs);
+            c_prev.copy_from_slice(cells);
+        }
+        cache
+    }
+
+    /// Full-sequence backward.
+    ///
+    /// `dh` is `T x h`: the gradient w.r.t. each step's hidden output
+    /// injected from above (consumed in place). Parameter gradients are
+    /// accumulated into `grads`; input gradients into `dxs` (`T x in`).
+    pub fn backward(
+        &self,
+        w: &[f32],
+        xs: &[f32],
+        t_steps: usize,
+        cache: &LstmLayerCache,
+        dh: &mut [f32],
+        grads: &mut [f32],
+        dxs: &mut [f32],
+    ) {
+        let h = self.hidden;
+        let i_dim = self.in_dim;
+        let (w_ih, w_hh, _) = self.split(w);
+        let wn_ih = 4 * h * i_dim;
+        let wn_hh = 4 * h * h;
+        let (g_ih, rest) = grads.split_at_mut(wn_ih);
+        let (g_hh, g_b) = rest.split_at_mut(wn_hh);
+
+        let mut dc_next = vec![0.0f32; h];
+        let mut dh_rec = vec![0.0f32; h];
+        let mut dz = vec![0.0f32; 4 * h];
+        for t in (0..t_steps).rev() {
+            let gates = &cache.gates[t * 4 * h..(t + 1) * 4 * h];
+            let cells = &cache.cells[t * h..(t + 1) * h];
+            let c_prev: &[f32] =
+                if t == 0 { &[] } else { &cache.cells[(t - 1) * h..t * h] };
+            let h_prev: &[f32] = if t == 0 { &[] } else { &cache.hs[(t - 1) * h..t * h] };
+            // total dh at step t = injected + recurrent
+            let dh_t = &mut dh[t * h..(t + 1) * h];
+            for (d, r) in dh_t.iter_mut().zip(&dh_rec) {
+                *d += r;
+            }
+            for k in 0..h {
+                let ig = gates[k];
+                let fg = gates[h + k];
+                let gg = gates[2 * h + k];
+                let og = gates[3 * h + k];
+                let tc = cells[k].tanh();
+                let dh_k = dh_t[k];
+                let mut dc = dc_next[k] + dh_k * og * (1.0 - tc * tc);
+                let d_o = dh_k * tc;
+                let d_i = dc * gg;
+                let d_g = dc * ig;
+                let cp = if t == 0 { 0.0 } else { c_prev[k] };
+                let d_f = dc * cp;
+                dc *= fg;
+                dc_next[k] = dc;
+                dz[k] = d_i * ig * (1.0 - ig);
+                dz[h + k] = d_f * fg * (1.0 - fg);
+                dz[2 * h + k] = d_g * (1.0 - gg * gg);
+                dz[3 * h + k] = d_o * og * (1.0 - og);
+            }
+            let x = &xs[t * i_dim..(t + 1) * i_dim];
+            outer_acc(g_ih, &dz, x);
+            for (g, &d) in g_b.iter_mut().zip(&dz) {
+                *g += d;
+            }
+            gemv_t_acc(w_ih, &dz, &mut dxs[t * i_dim..(t + 1) * i_dim], 4 * h, i_dim);
+            dh_rec.fill(0.0);
+            if t > 0 {
+                outer_acc(g_hh, &dz, h_prev);
+                gemv_t_acc(w_hh, &dz, &mut dh_rec, 4 * h, h);
+            }
+        }
+    }
+}
+
+/// Streaming hidden state for a multi-layer LSTM.
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    /// Per-layer hidden vectors.
+    pub h: Vec<Vec<f32>>,
+    /// Per-layer cell vectors.
+    pub c: Vec<Vec<f32>>,
+}
+
+impl LstmState {
+    /// Reset all state to zero.
+    pub fn reset(&mut self) {
+        for v in self.h.iter_mut().chain(self.c.iter_mut()) {
+            v.fill(0.0);
+        }
+    }
+}
+
+/// Multi-layer unidirectional LSTM with contiguous parameters.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    layers: Vec<LstmLayerShape>,
+    params: Vec<f32>,
+}
+
+/// Forward cache for [`Lstm::forward`].
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    layer_caches: Vec<LstmLayerCache>,
+    t_steps: usize,
+}
+
+impl Lstm {
+    /// Build an `n_layers`-deep LSTM mapping `in_dim` inputs to a
+    /// `hidden`-dimensional final state.
+    pub fn new(in_dim: usize, hidden: usize, n_layers: usize, seed: u64) -> Lstm {
+        assert!(n_layers >= 1);
+        let mut layers = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            layers.push(LstmLayerShape { in_dim: if l == 0 { in_dim } else { hidden }, hidden });
+        }
+        let total: usize = layers.iter().map(|l| l.param_len()).sum();
+        let mut params = vec![0.0f32; total];
+        let mut rng = seeded_rng(seed);
+        let mut off = 0;
+        for l in &layers {
+            l.init(&mut params[off..off + l.param_len()], &mut rng);
+            off += l.param_len();
+        }
+        Lstm { layers, params }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output (hidden) dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().hidden
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Flat parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Flat parameters, mutable (for the optimizer).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn layer_param(&self, l: usize) -> &[f32] {
+        let off: usize = self.layers[..l].iter().map(|s| s.param_len()).sum();
+        &self.params[off..off + self.layers[l].param_len()]
+    }
+
+    /// Fresh zeroed streaming state.
+    pub fn zero_state(&self) -> LstmState {
+        LstmState {
+            h: self.layers.iter().map(|l| vec![0.0; l.hidden]).collect(),
+            c: self.layers.iter().map(|l| vec![0.0; l.hidden]).collect(),
+        }
+    }
+
+    /// One streaming step: feed `x`, update `state`, and write the top
+    /// layer's hidden vector into `out`.
+    pub fn step(&self, state: &mut LstmState, x: &[f32], out: &mut [f32]) {
+        let mut input = x.to_vec();
+        for (l, shape) in self.layers.iter().enumerate() {
+            let w = self.layer_param(l);
+            let (hs, cs) = (&mut state.h[l], &mut state.c[l]);
+            shape.step(w, &input, hs, cs);
+            input.clear();
+            input.extend_from_slice(hs);
+        }
+        out.copy_from_slice(&input);
+    }
+
+    /// Full-sequence forward over `xs` (`T x in_dim`); returns the final
+    /// hidden vector and the cache for backward.
+    pub fn forward(&self, xs: &[f32], t_steps: usize) -> (Vec<f32>, LstmCache) {
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        let mut input: Vec<f32> = xs.to_vec();
+        for (l, shape) in self.layers.iter().enumerate() {
+            let cache = shape.forward(self.layer_param(l), &input, t_steps);
+            input = cache.hs.clone();
+            layer_caches.push(cache);
+        }
+        let h = self.out_dim();
+        let out = input[(t_steps - 1) * h..t_steps * h].to_vec();
+        (out, LstmCache { layer_caches, t_steps })
+    }
+
+    /// Backward from a gradient `dout` w.r.t. the final hidden vector;
+    /// accumulates into `grads` (same length as [`Lstm::params`]).
+    pub fn backward(&self, xs: &[f32], cache: &LstmCache, dout: &[f32], grads: &mut [f32]) {
+        let t = cache.t_steps;
+        let top = self.layers.len() - 1;
+        let h_top = self.layers[top].hidden;
+        // dh for the top layer: only the last step receives dout.
+        let mut dh = vec![0.0f32; t * h_top];
+        dh[(t - 1) * h_top..].copy_from_slice(dout);
+
+        let mut grad_off_ends: Vec<usize> = Vec::with_capacity(self.layers.len());
+        let mut acc = 0;
+        for s in &self.layers {
+            acc += s.param_len();
+            grad_off_ends.push(acc);
+        }
+
+        for l in (0..self.layers.len()).rev() {
+            let shape = self.layers[l];
+            let xs_l: &[f32] =
+                if l == 0 { xs } else { &cache.layer_caches[l - 1].hs };
+            let mut dxs = vec![0.0f32; t * shape.in_dim];
+            let g_start = grad_off_ends[l] - shape.param_len();
+            shape.backward(
+                self.layer_param(l),
+                xs_l,
+                t,
+                &cache.layer_caches[l],
+                &mut dh,
+                &mut grads[g_start..grad_off_ends[l]],
+                &mut dxs,
+            );
+            dh = dxs; // becomes the injected dh for the layer below
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::dot;
+
+    fn numeric_check(in_dim: usize, hidden: usize, layers: usize, t: usize) {
+        let mut model = Lstm::new(in_dim, hidden, layers, 42);
+        let mut rng = seeded_rng(7);
+        use rand::Rng;
+        let xs: Vec<f32> = (0..t * in_dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let dout: Vec<f32> = (0..hidden).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+
+        let (_, cache) = model.forward(&xs, t);
+        let mut grads = vec![0.0f32; model.params().len()];
+        model.backward(&xs, &cache, &dout, &mut grads);
+
+        // Spot-check a deterministic sample of parameters.
+        let n = model.params().len();
+        let loss = |m: &Lstm| {
+            let (out, _) = m.forward(&xs, t);
+            dot(&out, &dout)
+        };
+        let mut checked = 0;
+        let mut idx = 1usize;
+        while idx < n && checked < 24 {
+            let eps = 3e-3;
+            let orig = model.params()[idx];
+            model.params_mut()[idx] = orig + eps;
+            let lp = loss(&model);
+            model.params_mut()[idx] = orig - eps;
+            let lm = loss(&model);
+            model.params_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs().max(ana.abs())),
+                "param {idx}: numeric {num} vs analytic {ana}"
+            );
+            checked += 1;
+            idx = idx * 2 + 3; // pseudo-random walk over parameters
+        }
+    }
+
+    #[test]
+    fn gradient_check_single_layer() {
+        numeric_check(5, 6, 1, 4);
+    }
+
+    #[test]
+    fn gradient_check_two_layers() {
+        numeric_check(4, 5, 2, 5);
+    }
+
+    #[test]
+    fn streaming_matches_windowed_forward() {
+        let model = Lstm::new(3, 8, 2, 9);
+        let t = 6;
+        let mut rng = seeded_rng(3);
+        use rand::Rng;
+        let xs: Vec<f32> = (0..t * 3).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let (win_out, _) = model.forward(&xs, t);
+        let mut state = model.zero_state();
+        let mut out = vec![0.0f32; 8];
+        for step in 0..t {
+            model.step(&mut state, &xs[step * 3..(step + 1) * 3], &mut out);
+        }
+        for (a, b) in win_out.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-5, "windowed {a} vs streaming {b}");
+        }
+    }
+
+    #[test]
+    fn state_reset_restores_determinism() {
+        let model = Lstm::new(2, 4, 1, 1);
+        let x = [0.5f32, -0.25];
+        let mut out1 = vec![0.0f32; 4];
+        let mut out2 = vec![0.0f32; 4];
+        let mut state = model.zero_state();
+        model.step(&mut state, &x, &mut out1);
+        state.reset();
+        model.step(&mut state, &x, &mut out2);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn deeper_models_have_more_parameters() {
+        let p1 = Lstm::new(51, 32, 1, 0).params().len();
+        let p2 = Lstm::new(51, 32, 2, 0).params().len();
+        let p3 = Lstm::new(51, 32, 3, 0).params().len();
+        assert!(p2 > p1);
+        assert_eq!(p3 - p2, p2 - p1); // each extra layer adds hidden->hidden
+    }
+
+    #[test]
+    fn output_depends_on_whole_sequence() {
+        let model = Lstm::new(2, 4, 2, 5);
+        let t = 5;
+        let xs1 = vec![0.1f32; t * 2];
+        let mut xs2 = xs1.clone();
+        xs2[0] = 0.9; // perturb the FIRST step only
+        let (o1, _) = model.forward(&xs1, t);
+        let (o2, _) = model.forward(&xs2, t);
+        let diff: f32 = o1.iter().zip(&o2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "early inputs must influence the final state");
+    }
+}

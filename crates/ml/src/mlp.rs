@@ -1,0 +1,183 @@
+//! Multilayer perceptron over the *flattened* instruction window (the
+//! `MLP-2-d` ablation architecture of Figure 6), plus the small MLP used
+//! as the microarchitecture representation model in the DSE workflow
+//! (Section VI-A).
+
+use crate::init::seeded_rng;
+use crate::linear::{relu_backward_inplace, relu_inplace, LinearShape};
+
+/// An MLP: `in -> hidden (ReLU) x (L-1) -> out`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    shapes: Vec<LinearShape>,
+    params: Vec<f32>,
+}
+
+/// Cache of layer activations for backward.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Activation after each layer (post-ReLU for hidden layers).
+    acts: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `[in, hid, out]`
+    /// for a 2-layer network. All hidden layers use ReLU; the output
+    /// layer is linear.
+    pub fn new(sizes: &[usize], seed: u64) -> Mlp {
+        assert!(sizes.len() >= 2);
+        let shapes: Vec<LinearShape> = sizes
+            .windows(2)
+            .map(|w| LinearShape::new(w[0], w[1], true))
+            .collect();
+        let total: usize = shapes.iter().map(|s| s.param_len()).sum();
+        let mut params = vec![0.0f32; total];
+        let mut rng = seeded_rng(seed);
+        let mut off = 0;
+        for s in &shapes {
+            s.init(&mut params[off..off + s.param_len()], &mut rng);
+            off += s.param_len();
+        }
+        Mlp { shapes, params }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.shapes[0].in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.shapes.last().unwrap().out_dim
+    }
+
+    /// Number of layers (linear transforms).
+    pub fn num_layers(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Flat parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Flat parameters, mutable.
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn layer_param(&self, l: usize) -> &[f32] {
+        let off: usize = self.shapes[..l].iter().map(|s| s.param_len()).sum();
+        &self.params[off..off + self.shapes[l].param_len()]
+    }
+
+    /// Forward; returns output and cache.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, MlpCache) {
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.shapes.len());
+        let mut cur = x.to_vec();
+        for (l, s) in self.shapes.iter().enumerate() {
+            let mut y = vec![0.0f32; s.out_dim];
+            s.forward(self.layer_param(l), &cur, &mut y);
+            if l + 1 < self.shapes.len() {
+                relu_inplace(&mut y);
+            }
+            acts.push(y.clone());
+            cur = y;
+        }
+        (cur, MlpCache { acts })
+    }
+
+    /// Backward; accumulates into `grads` and returns the gradient
+    /// w.r.t. the input.
+    pub fn backward(&self, x: &[f32], cache: &MlpCache, dout: &[f32], grads: &mut [f32]) -> Vec<f32> {
+        let mut ends: Vec<usize> = Vec::with_capacity(self.shapes.len());
+        let mut acc = 0;
+        for s in &self.shapes {
+            acc += s.param_len();
+            ends.push(acc);
+        }
+        let mut dy = dout.to_vec();
+        for l in (0..self.shapes.len()).rev() {
+            let s = self.shapes[l];
+            if l + 1 < self.shapes.len() {
+                relu_backward_inplace(&cache.acts[l], &mut dy);
+            }
+            let input: &[f32] = if l == 0 { x } else { &cache.acts[l - 1] };
+            let mut dx = vec![0.0f32; s.in_dim];
+            let start = ends[l] - s.param_len();
+            s.backward(self.layer_param(l), input, &dy, &mut grads[start..ends[l]], &mut dx);
+            dy = dx;
+        }
+        dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::dot;
+    use rand::Rng;
+
+    #[test]
+    fn shapes_and_sizes() {
+        let m = Mlp::new(&[10, 20, 5], 0);
+        assert_eq!(m.in_dim(), 10);
+        assert_eq!(m.out_dim(), 5);
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.params().len(), 10 * 20 + 20 + 20 * 5 + 5);
+    }
+
+    #[test]
+    fn gradient_check_params_and_input() {
+        let mut m = Mlp::new(&[6, 8, 4], 13);
+        let mut rng = seeded_rng(5);
+        let x: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let dout: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let (_, cache) = m.forward(&x);
+        let mut grads = vec![0.0f32; m.params().len()];
+        let dx = m.backward(&x, &cache, &dout, &mut grads);
+
+        let loss = |m: &Mlp, x: &[f32]| {
+            let (o, _) = m.forward(x);
+            dot(&o, &dout)
+        };
+        // parameter gradients
+        let mut idx = 1;
+        let mut checked = 0;
+        while idx < m.params().len() && checked < 20 {
+            let eps = 5e-3;
+            let orig = m.params()[idx];
+            m.params_mut()[idx] = orig + eps;
+            let lp = loss(&m, &x);
+            m.params_mut()[idx] = orig - eps;
+            let lm = loss(&m, &x);
+            m.params_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grads[idx]).abs() < 2e-2 * (1.0 + num.abs()),
+                "param {idx}: {num} vs {}",
+                grads[idx]
+            );
+            checked += 1;
+            idx = idx * 2 + 1;
+        }
+        // input gradients
+        for i in 0..x.len() {
+            let eps = 5e-3;
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&m, &xp) - loss(&m, &xm)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 2e-2 * (1.0 + num.abs()), "input {i}");
+        }
+    }
+
+    #[test]
+    fn deep_mlp_forward_runs() {
+        let m = Mlp::new(&[4, 16, 16, 16, 2], 3);
+        let (o, _) = m.forward(&[0.1, -0.2, 0.3, -0.4]);
+        assert_eq!(o.len(), 2);
+        assert!(o.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,83 @@
+//! Data-parallel gradient accumulation.
+//!
+//! Training parallelism in this library lives at the batch level: each
+//! item's forward/backward is independent, so rayon folds per-thread
+//! gradient buffers and reduces them — the CPU analogue of the paper's
+//! observation that instruction representations can be learned in
+//! parallel on HPC systems. On a single-core machine this degrades
+//! gracefully to a sequential loop.
+
+use rayon::prelude::*;
+
+/// Evaluate `item_fn` for every item in `0..n_items`, each accumulating
+/// gradients into a thread-local buffer of `param_len` entries and
+/// returning its loss. Returns the summed loss and summed gradients.
+pub fn batch_gradients<F>(n_items: usize, param_len: usize, item_fn: F) -> (f64, Vec<f32>)
+where
+    F: Fn(usize, &mut [f32]) -> f64 + Sync,
+{
+    if n_items == 0 {
+        return (0.0, vec![0.0; param_len]);
+    }
+    (0..n_items)
+        .into_par_iter()
+        .fold(
+            || (0.0f64, vec![0.0f32; param_len]),
+            |(mut loss, mut grads), i| {
+                loss += item_fn(i, &mut grads);
+                (loss, grads)
+            },
+        )
+        .reduce(
+            || (0.0f64, vec![0.0f32; param_len]),
+            |(la, mut ga), (lb, gb)| {
+                for (a, b) in ga.iter_mut().zip(&gb) {
+                    *a += b;
+                }
+                (la + lb, ga)
+            },
+        )
+}
+
+/// Map each item of `0..n_items` to a vector and collect in order
+/// (parallel map preserving indices).
+pub fn parallel_map<T: Send, F>(n_items: usize, f: F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync + Send,
+{
+    (0..n_items).into_par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_accumulation() {
+        let item = |i: usize, g: &mut [f32]| {
+            g[i % 4] += i as f32;
+            i as f64 * 0.5
+        };
+        let (loss_p, grads_p) = batch_gradients(100, 4, item);
+        let mut grads_s = vec![0.0f32; 4];
+        let mut loss_s = 0.0f64;
+        for i in 0..100 {
+            loss_s += item(i, &mut grads_s);
+        }
+        assert_eq!(loss_p, loss_s);
+        assert_eq!(grads_p, grads_s);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let (loss, grads) = batch_gradients(0, 3, |_, _| 1.0);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grads, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = parallel_map(10, |i| i * i);
+        assert_eq!(v, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Learning-rate schedules.
+
+/// Step decay: `lr = initial * gamma^(epoch / every)` — the paper decays
+/// the Adam learning rate 10x every 10 epochs (Section IV-D).
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub initial: f32,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+    /// Epochs between decays.
+    pub every: u32,
+}
+
+impl StepDecay {
+    /// The paper's schedule: 1e-3, x0.1 every 10 epochs.
+    pub fn paper_default() -> StepDecay {
+        StepDecay { initial: 1e-3, gamma: 0.1, every: 10 }
+    }
+
+    /// Learning rate for a (0-based) epoch.
+    pub fn lr(&self, epoch: u32) -> f32 {
+        self.initial * self.gamma.powi((epoch / self.every) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_decays_every_ten_epochs() {
+        let s = StepDecay::paper_default();
+        assert_eq!(s.lr(0), 1e-3);
+        assert_eq!(s.lr(9), 1e-3);
+        assert!((s.lr(10) - 1e-4).abs() < 1e-10);
+        assert!((s.lr(25) - 1e-5).abs() < 1e-11);
+    }
+
+    #[test]
+    fn custom_schedule() {
+        let s = StepDecay { initial: 0.01, gamma: 0.5, every: 4 };
+        assert_eq!(s.lr(3), 0.01);
+        assert_eq!(s.lr(4), 0.005);
+        assert_eq!(s.lr(8), 0.0025);
+    }
+}

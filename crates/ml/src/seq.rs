@@ -1,0 +1,301 @@
+//! Unified sequence-model interface over every architecture the paper's
+//! Figure 6 ablation compares: linear regression, MLP, GRU, LSTM,
+//! biLSTM, and a Transformer encoder.
+//!
+//! All models map a `T x in_dim` instruction window to a `d`-dimensional
+//! representation, expose flat parameters for the optimizer, and provide
+//! manual backward passes.
+
+use crate::bilstm::{BiLstm, BiLstmCache};
+use crate::gru::{Gru, GruCache};
+use crate::linear::LinearShape;
+use crate::lstm::{Lstm, LstmCache};
+use crate::mlp::{Mlp, MlpCache};
+use crate::transformer::{TransformerCache, TransformerEncoder};
+
+/// A sequence model (one of the Figure 6 architectures).
+pub enum SeqModel {
+    /// `Linear-1-d`: flatten the window, single linear map.
+    Linear {
+        /// The linear shape (over the flattened window).
+        shape: LinearShape,
+        /// Flat parameters.
+        params: Vec<f32>,
+        /// Window length the model was built for.
+        window: usize,
+    },
+    /// `MLP-2-d`: flatten the window, two-layer perceptron.
+    Mlp {
+        /// Inner model.
+        model: Mlp,
+        /// Window length the model was built for.
+        window: usize,
+    },
+    /// `LSTM-l-d` (the paper's default foundation model is `LSTM-2-256`).
+    Lstm(Lstm),
+    /// `biLSTM-l-d`.
+    BiLstm(BiLstm),
+    /// `GRU-l-d`.
+    Gru(Gru),
+    /// `Transformer-l-d`.
+    Transformer(TransformerEncoder),
+}
+
+/// Opaque forward cache matching the architecture.
+pub enum SeqCache {
+    /// No intermediate state needed.
+    Linear,
+    /// MLP activations.
+    Mlp(MlpCache),
+    /// LSTM activations.
+    Lstm(LstmCache),
+    /// biLSTM activations.
+    BiLstm(BiLstmCache),
+    /// GRU activations.
+    Gru(GruCache),
+    /// Transformer activations.
+    Transformer(TransformerCache),
+}
+
+impl SeqModel {
+    /// `Linear-1-d` over a fixed window.
+    pub fn linear(in_dim: usize, out_dim: usize, window: usize, seed: u64) -> SeqModel {
+        let shape = LinearShape::new(in_dim * window, out_dim, true);
+        let mut params = vec![0.0f32; shape.param_len()];
+        shape.init(&mut params, &mut crate::init::seeded_rng(seed));
+        SeqModel::Linear { shape, params, window }
+    }
+
+    /// `MLP-2-d` over a fixed window (`hidden` = d).
+    pub fn mlp(in_dim: usize, out_dim: usize, window: usize, seed: u64) -> SeqModel {
+        SeqModel::Mlp { model: Mlp::new(&[in_dim * window, out_dim, out_dim], seed), window }
+    }
+
+    /// `LSTM-layers-d`.
+    pub fn lstm(in_dim: usize, out_dim: usize, layers: usize, seed: u64) -> SeqModel {
+        SeqModel::Lstm(Lstm::new(in_dim, out_dim, layers, seed))
+    }
+
+    /// `biLSTM-layers-d`.
+    pub fn bilstm(in_dim: usize, out_dim: usize, layers: usize, seed: u64) -> SeqModel {
+        SeqModel::BiLstm(BiLstm::new(in_dim, out_dim, layers, seed))
+    }
+
+    /// `GRU-layers-d`.
+    pub fn gru(in_dim: usize, out_dim: usize, layers: usize, seed: u64) -> SeqModel {
+        SeqModel::Gru(Gru::new(in_dim, out_dim, layers, seed))
+    }
+
+    /// `Transformer-layers-d` with 4 heads (2 when `d < 16`).
+    pub fn transformer(in_dim: usize, out_dim: usize, layers: usize, seed: u64) -> SeqModel {
+        let heads = if out_dim % 4 == 0 && out_dim >= 16 { 4 } else { 2 };
+        SeqModel::Transformer(TransformerEncoder::new(in_dim, out_dim, layers, heads, seed))
+    }
+
+    /// A short architecture name in the paper's `Arch-layers-dim` format.
+    pub fn describe(&self) -> String {
+        match self {
+            SeqModel::Linear { shape, .. } => format!("Linear-1-{}", shape.out_dim),
+            SeqModel::Mlp { model, .. } => format!("MLP-{}-{}", model.num_layers(), model.out_dim()),
+            SeqModel::Lstm(m) => format!("LSTM-{}-{}", m.num_layers(), m.out_dim()),
+            SeqModel::BiLstm(m) => format!("biLSTM-1-{}", m.out_dim()),
+            SeqModel::Gru(m) => format!("GRU-2-{}", m.out_dim()),
+            SeqModel::Transformer(m) => format!("Transformer-2-{}", m.out_dim()),
+        }
+    }
+
+    /// Representation dimensionality.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            SeqModel::Linear { shape, .. } => shape.out_dim,
+            SeqModel::Mlp { model, .. } => model.out_dim(),
+            SeqModel::Lstm(m) => m.out_dim(),
+            SeqModel::BiLstm(m) => m.out_dim(),
+            SeqModel::Gru(m) => m.out_dim(),
+            SeqModel::Transformer(m) => m.out_dim(),
+        }
+    }
+
+    /// Per-step input feature count.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            SeqModel::Linear { shape, window, .. } => shape.in_dim / window,
+            SeqModel::Mlp { model, window } => model.in_dim() / window,
+            SeqModel::Lstm(m) => m.in_dim(),
+            SeqModel::BiLstm(m) => m.in_dim(),
+            SeqModel::Gru(m) => m.in_dim(),
+            SeqModel::Transformer(m) => m.in_dim(),
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        match self {
+            SeqModel::Linear { params, .. } => params.len(),
+            SeqModel::Mlp { model, .. } => model.params().len(),
+            SeqModel::Lstm(m) => m.params().len(),
+            SeqModel::BiLstm(m) => m.num_params(),
+            SeqModel::Gru(m) => m.params().len(),
+            SeqModel::Transformer(m) => m.params().len(),
+        }
+    }
+
+    /// Copy the flat parameter vector out.
+    pub fn get_params(&self) -> Vec<f32> {
+        match self {
+            SeqModel::Linear { params, .. } => params.clone(),
+            SeqModel::Mlp { model, .. } => model.params().to_vec(),
+            SeqModel::Lstm(m) => m.params().to_vec(),
+            SeqModel::BiLstm(m) => m.params(),
+            SeqModel::Gru(m) => m.params().to_vec(),
+            SeqModel::Transformer(m) => m.params().to_vec(),
+        }
+    }
+
+    /// Overwrite parameters from a flat vector.
+    pub fn set_params(&mut self, p: &[f32]) {
+        match self {
+            SeqModel::Linear { params, .. } => params.copy_from_slice(p),
+            SeqModel::Mlp { model, .. } => model.params_mut().copy_from_slice(p),
+            SeqModel::Lstm(m) => m.params_mut().copy_from_slice(p),
+            SeqModel::BiLstm(m) => m.set_params(p),
+            SeqModel::Gru(m) => m.params_mut().copy_from_slice(p),
+            SeqModel::Transformer(m) => m.params_mut().copy_from_slice(p),
+        }
+    }
+
+    /// Forward over a `t x in_dim` window; returns the representation
+    /// and a cache for backward.
+    pub fn forward(&self, xs: &[f32], t: usize) -> (Vec<f32>, SeqCache) {
+        match self {
+            SeqModel::Linear { shape, params, window } => {
+                debug_assert_eq!(t, *window, "linear window model has a fixed window");
+                let mut y = vec![0.0f32; shape.out_dim];
+                shape.forward(params, xs, &mut y);
+                (y, SeqCache::Linear)
+            }
+            SeqModel::Mlp { model, window } => {
+                debug_assert_eq!(t, *window);
+                let (y, c) = model.forward(xs);
+                (y, SeqCache::Mlp(c))
+            }
+            SeqModel::Lstm(m) => {
+                let (y, c) = m.forward(xs, t);
+                (y, SeqCache::Lstm(c))
+            }
+            SeqModel::BiLstm(m) => {
+                let (y, c) = m.forward(xs, t);
+                (y, SeqCache::BiLstm(c))
+            }
+            SeqModel::Gru(m) => {
+                let (y, c) = m.forward(xs, t);
+                (y, SeqCache::Gru(c))
+            }
+            SeqModel::Transformer(m) => {
+                let (y, c) = m.forward(xs, t);
+                (y, SeqCache::Transformer(c))
+            }
+        }
+    }
+
+    /// Backward; accumulates into `grads` (length [`Self::num_params`]).
+    pub fn backward(&self, xs: &[f32], t: usize, cache: &SeqCache, dout: &[f32], grads: &mut [f32]) {
+        match (self, cache) {
+            (SeqModel::Linear { shape, params, .. }, SeqCache::Linear) => {
+                let mut dx = vec![0.0f32; shape.in_dim];
+                shape.backward(params, xs, dout, grads, &mut dx);
+            }
+            (SeqModel::Mlp { model, .. }, SeqCache::Mlp(c)) => {
+                model.backward(xs, c, dout, grads);
+            }
+            (SeqModel::Lstm(m), SeqCache::Lstm(c)) => m.backward(xs, c, dout, grads),
+            (SeqModel::BiLstm(m), SeqCache::BiLstm(c)) => m.backward(xs, c, dout, grads),
+            (SeqModel::Gru(m), SeqCache::Gru(c)) => m.backward(xs, c, dout, grads),
+            (SeqModel::Transformer(m), SeqCache::Transformer(c)) => m.backward(xs, c, dout, grads),
+            _ => panic!("cache does not match model architecture"),
+        }
+        let _ = t;
+    }
+
+    /// The streaming-capable inner LSTM, when this model is an LSTM
+    /// (used for fast trace-wide representation generation).
+    pub fn as_lstm(&self) -> Option<&Lstm> {
+        match self {
+            SeqModel::Lstm(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_models(in_dim: usize, d: usize, window: usize) -> Vec<SeqModel> {
+        vec![
+            SeqModel::linear(in_dim, d, window, 1),
+            SeqModel::mlp(in_dim, d, window, 2),
+            SeqModel::lstm(in_dim, d, 2, 3),
+            SeqModel::bilstm(in_dim, d, 1, 4),
+            SeqModel::gru(in_dim, d, 2, 5),
+            SeqModel::transformer(in_dim, d, 2, 6),
+        ]
+    }
+
+    #[test]
+    fn every_architecture_roundtrips_params() {
+        for mut m in all_models(6, 8, 4) {
+            let p = m.get_params();
+            assert_eq!(p.len(), m.num_params(), "{}", m.describe());
+            let mut p2 = p.clone();
+            for v in &mut p2 {
+                *v += 0.001;
+            }
+            m.set_params(&p2);
+            assert_eq!(m.get_params(), p2, "{}", m.describe());
+        }
+    }
+
+    #[test]
+    fn every_architecture_produces_d_dimensional_output() {
+        let (in_dim, d, w) = (6, 8, 4);
+        let xs = vec![0.1f32; w * in_dim];
+        for m in all_models(in_dim, d, w) {
+            let (y, _) = m.forward(&xs, w);
+            assert_eq!(y.len(), d, "{}", m.describe());
+            assert!(y.iter().all(|v| v.is_finite()), "{}", m.describe());
+        }
+    }
+
+    #[test]
+    fn every_architecture_accumulates_gradients() {
+        let (in_dim, d, w) = (5, 8, 3);
+        let xs = vec![0.2f32; w * in_dim];
+        let dout = vec![1.0f32; d];
+        for m in all_models(in_dim, d, w) {
+            let (_, cache) = m.forward(&xs, w);
+            let mut grads = vec![0.0f32; m.num_params()];
+            m.backward(&xs, w, &cache, &dout, &mut grads);
+            let nonzero = grads.iter().filter(|g| **g != 0.0).count();
+            assert!(
+                nonzero > grads.len() / 10,
+                "{}: only {nonzero}/{} gradient entries nonzero",
+                m.describe(),
+                grads.len()
+            );
+        }
+    }
+
+    #[test]
+    fn describe_uses_paper_naming() {
+        assert_eq!(SeqModel::lstm(51, 256, 2, 0).describe(), "LSTM-2-256");
+        assert_eq!(SeqModel::linear(51, 256, 16, 0).describe(), "Linear-1-256");
+        assert_eq!(SeqModel::transformer(51, 32, 2, 0).describe(), "Transformer-2-32");
+    }
+
+    #[test]
+    fn lstm_exposes_streaming() {
+        assert!(SeqModel::lstm(4, 8, 2, 0).as_lstm().is_some());
+        assert!(SeqModel::gru(4, 8, 2, 0).as_lstm().is_none());
+    }
+}

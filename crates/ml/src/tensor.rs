@@ -1,0 +1,196 @@
+//! Dense math kernels: the small set of BLAS-1/2 routines every layer's
+//! forward and backward pass is built from.
+//!
+//! All matrices are row-major `rows x cols` slices. These routines are
+//! deliberately scalar-simple — the parallelism in this library lives at
+//! the batch level (see [`crate::parallel`]), matching how the paper
+//! trains: many independent instruction windows at once.
+
+/// `y += W x` for row-major `W: rows x cols`, `x: cols`, `y: rows`.
+#[inline]
+pub fn gemv_acc(w: &[f32], x: &[f32], y: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(y.len(), rows);
+    for (r, yr) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (a, b) in row.iter().zip(x) {
+            acc += a * b;
+        }
+        *yr += acc;
+    }
+}
+
+/// `x_grad += W^T y` for row-major `W: rows x cols`.
+#[inline]
+pub fn gemv_t_acc(w: &[f32], y: &[f32], x_grad: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(y.len(), rows);
+    debug_assert_eq!(x_grad.len(), cols);
+    for (r, &yr) in y.iter().enumerate() {
+        if yr == 0.0 {
+            continue;
+        }
+        let row = &w[r * cols..(r + 1) * cols];
+        for (g, &wv) in x_grad.iter_mut().zip(row) {
+            *g += wv * yr;
+        }
+    }
+}
+
+/// Rank-1 update `W_grad += a b^T` (`a: rows`, `b: cols`).
+#[inline]
+pub fn outer_acc(w_grad: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(w_grad.len(), a.len() * b.len());
+    let cols = b.len();
+    for (r, &av) in a.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let row = &mut w_grad[r * cols..(r + 1) * cols];
+        for (g, &bv) in row.iter_mut().zip(b) {
+            *g += av * bv;
+        }
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Elementwise `v += u`.
+#[inline]
+pub fn add_assign(v: &mut [f32], u: &[f32]) {
+    axpy(1.0, u, v);
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// In-place softmax over a slice (numerically stabilized).
+#[inline]
+pub fn softmax_inplace(v: &mut [f32]) {
+    let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Backward through a softmax that produced `p`: given `dp`, overwrite
+/// `dp` with the gradient w.r.t. the logits.
+#[inline]
+pub fn softmax_backward_inplace(p: &[f32], dp: &mut [f32]) {
+    let inner = dot(p, dp);
+    for (d, &pv) in dp.iter_mut().zip(p) {
+        *d = pv * (*d - inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_matches_hand_computation() {
+        // W = [[1,2],[3,4],[5,6]], x = [10, 100]
+        let w = [1., 2., 3., 4., 5., 6.];
+        let x = [10., 100.];
+        let mut y = [1.0f32; 3];
+        gemv_acc(&w, &x, &mut y, 3, 2);
+        assert_eq!(y, [211., 431., 651.]);
+    }
+
+    #[test]
+    fn gemv_t_is_transpose_of_gemv() {
+        let w = [1., -2., 0.5, 3., 4., -1.];
+        let y = [2., -1.];
+        let mut xg = [0.0f32; 3];
+        gemv_t_acc(&w, &y, &mut xg, 2, 3);
+        // W^T y = [1*2+3*(-1), -2*2+4*(-1), 0.5*2 -1*(-1)]
+        assert_eq!(xg, [-1., -8., 2.]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let a = [1., 2.];
+        let b = [3., 4., 5.];
+        let mut g = [1.0f32; 6];
+        outer_acc(&mut g, &a, &b);
+        assert_eq!(g, [4., 5., 6., 7., 9., 11.]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = [1.0f32, 2.0, 3.0];
+        softmax_inplace(&mut v);
+        let s: f32 = v.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = [1.0f32, 2.0, 3.0];
+        let mut b = [101.0f32, 102.0, 103.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let logits = [0.3f32, -0.7, 1.1, 0.2];
+        let upstream = [0.5f32, -1.0, 0.25, 0.0];
+        // analytic
+        let mut p = logits;
+        softmax_inplace(&mut p);
+        let mut dp = upstream;
+        softmax_backward_inplace(&p, &mut dp);
+        // numeric
+        let f = |l: &[f32; 4]| {
+            let mut q = *l;
+            softmax_inplace(&mut q);
+            dot(&q, &upstream)
+        };
+        for i in 0..4 {
+            let eps = 1e-3;
+            let mut lp = logits;
+            lp[i] += eps;
+            let mut lm = logits;
+            lm[i] -= eps;
+            let num = (f(&lp) - f(&lm)) / (2.0 * eps);
+            assert!((num - dp[i]).abs() < 1e-3, "dim {i}: numeric {num} vs analytic {}", dp[i]);
+        }
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+    }
+}

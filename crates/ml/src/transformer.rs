@@ -1,0 +1,556 @@
+//! Transformer encoder (the `Transformer-2-d` ablation architecture of
+//! Figure 6).
+//!
+//! Post-LN encoder, as in the PyTorch `nn.TransformerEncoder` the paper
+//! evaluated: embed + sinusoidal positions, then per layer
+//! `h = LN(h + MHSA(h))`, `h = LN(h + FFN(h))`. The representation is
+//! the final hidden state at the last window position.
+
+use crate::init::seeded_rng;
+use crate::linear::{relu_backward_inplace, relu_inplace, LinearShape};
+use crate::tensor::{dot, softmax_backward_inplace, softmax_inplace};
+
+/// Layer normalization over the feature dimension.
+///
+/// Returns (output, xhat, inv_std-per-row); `x` is `rows x d`.
+fn layernorm_forward(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    rows: usize,
+    d: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut y = vec![0.0f32; rows * d];
+    let mut xhat = vec![0.0f32; rows * d];
+    let mut inv_std = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &x[r * d..(r + 1) * d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + 1e-5).sqrt();
+        inv_std[r] = istd;
+        for k in 0..d {
+            let xh = (row[k] - mean) * istd;
+            xhat[r * d + k] = xh;
+            y[r * d + k] = gamma[k] * xh + beta[k];
+        }
+    }
+    (y, xhat, inv_std)
+}
+
+/// Backward through layer norm; returns dx and accumulates dgamma/dbeta.
+fn layernorm_backward(
+    dy: &[f32],
+    xhat: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    rows: usize,
+    d: usize,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; rows * d];
+    for r in 0..rows {
+        let dy_r = &dy[r * d..(r + 1) * d];
+        let xh_r = &xhat[r * d..(r + 1) * d];
+        let mut mean_dyg = 0.0f32;
+        let mut mean_dyg_xh = 0.0f32;
+        for k in 0..d {
+            let dyg = dy_r[k] * gamma[k];
+            mean_dyg += dyg;
+            mean_dyg_xh += dyg * xh_r[k];
+            dgamma[k] += dy_r[k] * xh_r[k];
+            dbeta[k] += dy_r[k];
+        }
+        mean_dyg /= d as f32;
+        mean_dyg_xh /= d as f32;
+        for k in 0..d {
+            let dyg = dy_r[k] * gamma[k];
+            dx[r * d + k] = inv_std[r] * (dyg - mean_dyg - xh_r[k] * mean_dyg_xh);
+        }
+    }
+    dx
+}
+
+/// Apply a linear shape row-by-row over `rows` feature vectors.
+fn linear_rows(shape: &LinearShape, w: &[f32], x: &[f32], rows: usize) -> Vec<f32> {
+    let mut y = vec![0.0f32; rows * shape.out_dim];
+    for r in 0..rows {
+        shape.forward(
+            w,
+            &x[r * shape.in_dim..(r + 1) * shape.in_dim],
+            &mut y[r * shape.out_dim..(r + 1) * shape.out_dim],
+        );
+    }
+    y
+}
+
+fn linear_rows_backward(
+    shape: &LinearShape,
+    w: &[f32],
+    x: &[f32],
+    dy: &[f32],
+    grads: &mut [f32],
+    rows: usize,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; rows * shape.in_dim];
+    for r in 0..rows {
+        shape.backward(
+            w,
+            &x[r * shape.in_dim..(r + 1) * shape.in_dim],
+            &dy[r * shape.out_dim..(r + 1) * shape.out_dim],
+            grads,
+            &mut dx[r * shape.in_dim..(r + 1) * shape.in_dim],
+        );
+    }
+    dx
+}
+
+/// One encoder layer's retained activations.
+#[derive(Debug, Clone)]
+struct LayerCache {
+    input: Vec<f32>,      // T x d (layer input h)
+    q: Vec<f32>,          // T x d
+    k: Vec<f32>,          // T x d
+    v: Vec<f32>,          // T x d
+    probs: Vec<f32>,      // heads x T x T softmax rows
+    attn: Vec<f32>,       // T x d (concat heads, pre-Wo)
+    xhat1: Vec<f32>,
+    istd1: Vec<f32>,
+    h1: Vec<f32>,         // post-LN1
+    ffn_hidden: Vec<f32>, // T x ff (post-ReLU)
+    xhat2: Vec<f32>,
+    istd2: Vec<f32>,
+}
+
+/// Forward cache for [`TransformerEncoder::forward`].
+#[derive(Debug, Clone)]
+pub struct TransformerCache {
+    layers: Vec<LayerCache>,
+    t_steps: usize,
+}
+
+/// The Transformer encoder model.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoder {
+    in_dim: usize,
+    d: usize,
+    n_layers: usize,
+    n_heads: usize,
+    embed: LinearShape,
+    qkv: LinearShape,
+    ffn1: LinearShape,
+    ffn2: LinearShape,
+    params: Vec<f32>,
+}
+
+impl TransformerEncoder {
+    /// Build an encoder with model width `d` (must be divisible by
+    /// `n_heads`) and feed-forward width `2*d`.
+    pub fn new(in_dim: usize, d: usize, n_layers: usize, n_heads: usize, seed: u64) -> Self {
+        assert!(d % n_heads == 0, "model dim must divide evenly into heads");
+        let embed = LinearShape::new(in_dim, d, true);
+        let qkv = LinearShape::new(d, d, true);
+        let ffn1 = LinearShape::new(d, 2 * d, true);
+        let ffn2 = LinearShape::new(2 * d, d, true);
+        let per_layer = 4 * qkv.param_len() + 2 * d + ffn1.param_len() + ffn2.param_len() + 2 * d;
+        let total = embed.param_len() + n_layers * per_layer;
+        let mut params = vec![0.0f32; total];
+        let mut rng = seeded_rng(seed);
+        embed.init(&mut params[..embed.param_len()], &mut rng);
+        let mut off = embed.param_len();
+        for _ in 0..n_layers {
+            for _ in 0..4 {
+                qkv.init(&mut params[off..off + qkv.param_len()], &mut rng);
+                off += qkv.param_len();
+            }
+            params[off..off + d].fill(1.0); // gamma1
+            off += d;
+            params[off..off + d].fill(0.0); // beta1
+            off += d;
+            ffn1.init(&mut params[off..off + ffn1.param_len()], &mut rng);
+            off += ffn1.param_len();
+            ffn2.init(&mut params[off..off + ffn2.param_len()], &mut rng);
+            off += ffn2.param_len();
+            params[off..off + d].fill(1.0); // gamma2
+            off += d;
+            params[off..off + d].fill(0.0); // beta2
+            off += d;
+        }
+        debug_assert_eq!(off, total);
+        TransformerEncoder { in_dim, d, n_layers, n_heads, embed, qkv, ffn1, ffn2, params }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Representation dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.d
+    }
+
+    /// Flat parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Flat parameters, mutable.
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn per_layer_len(&self) -> usize {
+        4 * self.qkv.param_len() + 2 * self.d + self.ffn1.param_len() + self.ffn2.param_len()
+            + 2 * self.d
+    }
+
+    fn layer_off(&self, l: usize) -> usize {
+        self.embed.param_len() + l * self.per_layer_len()
+    }
+
+    fn positional(&self, t: usize, k: usize) -> f32 {
+        let pos = t as f32;
+        let i = (k / 2) as f32;
+        let angle = pos / (10_000.0f32).powf(2.0 * i / self.d as f32);
+        if k % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    }
+
+    /// Forward over a `T x in_dim` window; returns the last position's
+    /// hidden vector and the cache.
+    pub fn forward(&self, xs: &[f32], t_steps: usize) -> (Vec<f32>, TransformerCache) {
+        let d = self.d;
+        let dh = d / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        // embed + positions
+        let mut h = linear_rows(&self.embed, &self.params[..self.embed.param_len()], xs, t_steps);
+        for t in 0..t_steps {
+            for k in 0..d {
+                h[t * d + k] += self.positional(t, k);
+            }
+        }
+        let mut layers = Vec::with_capacity(self.n_layers);
+        for l in 0..self.n_layers {
+            let mut off = self.layer_off(l);
+            let qn = self.qkv.param_len();
+            let w_q = &self.params[off..off + qn];
+            off += qn;
+            let w_k = &self.params[off..off + qn];
+            off += qn;
+            let w_v = &self.params[off..off + qn];
+            off += qn;
+            let w_o = &self.params[off..off + qn];
+            off += qn;
+            let g1 = &self.params[off..off + d];
+            off += d;
+            let b1 = &self.params[off..off + d];
+            off += d;
+            let w_f1 = &self.params[off..off + self.ffn1.param_len()];
+            off += self.ffn1.param_len();
+            let w_f2 = &self.params[off..off + self.ffn2.param_len()];
+            off += self.ffn2.param_len();
+            let g2 = &self.params[off..off + d];
+            off += d;
+            let b2 = &self.params[off..off + d];
+
+            let input = h.clone();
+            let q = linear_rows(&self.qkv, w_q, &h, t_steps);
+            let k_m = linear_rows(&self.qkv, w_k, &h, t_steps);
+            let v = linear_rows(&self.qkv, w_v, &h, t_steps);
+            // attention per head
+            let mut probs = vec![0.0f32; self.n_heads * t_steps * t_steps];
+            let mut attn = vec![0.0f32; t_steps * d];
+            for hd in 0..self.n_heads {
+                let hoff = hd * dh;
+                for t in 0..t_steps {
+                    let row = &mut probs
+                        [(hd * t_steps + t) * t_steps..(hd * t_steps + t + 1) * t_steps];
+                    let qv = &q[t * d + hoff..t * d + hoff + dh];
+                    for (s, rv) in row.iter_mut().enumerate() {
+                        *rv = scale * dot(qv, &k_m[s * d + hoff..s * d + hoff + dh]);
+                    }
+                    softmax_inplace(row);
+                    let out = &mut attn[t * d + hoff..t * d + hoff + dh];
+                    for (s, &p) in row.iter().enumerate() {
+                        let vv = &v[s * d + hoff..s * d + hoff + dh];
+                        for (o, &x) in out.iter_mut().zip(vv) {
+                            *o += p * x;
+                        }
+                    }
+                }
+            }
+            let o = linear_rows(&self.qkv, w_o, &attn, t_steps);
+            let mut res1 = input.clone();
+            for (r, &ov) in res1.iter_mut().zip(&o) {
+                *r += ov;
+            }
+            let (h1, xhat1, istd1) = layernorm_forward(&res1, g1, b1, t_steps, d);
+            drop(res1);
+            let mut ffn_hidden = linear_rows(&self.ffn1, w_f1, &h1, t_steps);
+            relu_inplace(&mut ffn_hidden);
+            let f = linear_rows(&self.ffn2, w_f2, &ffn_hidden, t_steps);
+            let mut res2 = h1.clone();
+            for (r, &fv) in res2.iter_mut().zip(&f) {
+                *r += fv;
+            }
+            let (h2, xhat2, istd2) = layernorm_forward(&res2, g2, b2, t_steps, d);
+            drop(res2);
+
+            layers.push(LayerCache {
+                input,
+                q,
+                k: k_m,
+                v,
+                probs,
+                attn,
+                xhat1,
+                istd1,
+                h1,
+                ffn_hidden,
+                xhat2,
+                istd2,
+            });
+            h = h2;
+        }
+        let out = h[(t_steps - 1) * d..t_steps * d].to_vec();
+        (out, TransformerCache { layers, t_steps })
+    }
+
+    /// Backward from `dout` w.r.t. the last position's hidden vector;
+    /// accumulates into `grads` (same length as [`Self::params`]).
+    pub fn backward(
+        &self,
+        xs: &[f32],
+        cache: &TransformerCache,
+        dout: &[f32],
+        grads: &mut [f32],
+    ) {
+        let d = self.d;
+        let t_steps = cache.t_steps;
+        let dh_dim = d / self.n_heads;
+        let scale = 1.0 / (dh_dim as f32).sqrt();
+        let qn = self.qkv.param_len();
+
+        // dh over all positions: only the last position receives dout.
+        let mut dh = vec![0.0f32; t_steps * d];
+        dh[(t_steps - 1) * d..].copy_from_slice(dout);
+
+        for l in (0..self.n_layers).rev() {
+            let lc = &cache.layers[l];
+            let base = self.layer_off(l);
+            // parameter slices (immutable) and grad slices (mutable).
+            let mut off = base;
+            let w_q = self.params[off..off + qn].to_vec();
+            off += qn;
+            let w_k = self.params[off..off + qn].to_vec();
+            off += qn;
+            let w_v = self.params[off..off + qn].to_vec();
+            off += qn;
+            let w_o = self.params[off..off + qn].to_vec();
+            off += qn;
+            let g1 = self.params[off..off + d].to_vec();
+            off += 2 * d;
+            let w_f1 = self.params[off..off + self.ffn1.param_len()].to_vec();
+            off += self.ffn1.param_len();
+            let w_f2 = self.params[off..off + self.ffn2.param_len()].to_vec();
+            off += self.ffn2.param_len();
+            let g2 = self.params[off..off + d].to_vec();
+
+            // ---- LN2 ----
+            let ln2_start = base + 4 * qn + 2 * d + self.ffn1.param_len() + self.ffn2.param_len();
+            let dres2 = {
+                let s = &mut grads[ln2_start..ln2_start + 2 * d];
+                let (dg2, db2) = s.split_at_mut(d);
+                layernorm_backward(&dh, &lc.xhat2, &lc.istd2, &g2, dg2, db2, t_steps, d)
+            };
+
+            // ---- FFN ----
+            let ffn2_start = base + 4 * qn + 2 * d + self.ffn1.param_len();
+            let mut dffn_hidden = {
+                let g_f2 = &mut grads[ffn2_start..ffn2_start + self.ffn2.param_len()];
+                linear_rows_backward(&self.ffn2, &w_f2, &lc.ffn_hidden, &dres2, g_f2, t_steps)
+            };
+            relu_backward_inplace(&lc.ffn_hidden, &mut dffn_hidden);
+            let ffn1_start = base + 4 * qn + 2 * d;
+            let dh1_from_ffn = {
+                let g_f1 = &mut grads[ffn1_start..ffn1_start + self.ffn1.param_len()];
+                linear_rows_backward(&self.ffn1, &w_f1, &lc.h1, &dffn_hidden, g_f1, t_steps)
+            };
+            // residual: dh1 = dres2 + dh1_from_ffn
+            let mut dh1 = dres2;
+            for (a, &b) in dh1.iter_mut().zip(&dh1_from_ffn) {
+                *a += b;
+            }
+
+            // ---- LN1 ----
+            let ln1_start = base + 4 * qn;
+            let dres1 = {
+                let s = &mut grads[ln1_start..ln1_start + 2 * d];
+                let (dg1, db1) = s.split_at_mut(d);
+                layernorm_backward(&dh1, &lc.xhat1, &lc.istd1, &g1, dg1, db1, t_steps, d)
+            };
+
+            // ---- attention output projection ----
+            let o_start = base + 3 * qn;
+            let dattn = {
+                let g_o = &mut grads[o_start..o_start + qn];
+                linear_rows_backward(&self.qkv, &w_o, &lc.attn, &dres1, g_o, t_steps)
+            };
+
+            // ---- attention core ----
+            let mut dq = vec![0.0f32; t_steps * d];
+            let mut dk = vec![0.0f32; t_steps * d];
+            let mut dv = vec![0.0f32; t_steps * d];
+            for hd in 0..self.n_heads {
+                let hoff = hd * dh_dim;
+                for t in 0..t_steps {
+                    let p_row =
+                        &lc.probs[(hd * t_steps + t) * t_steps..(hd * t_steps + t + 1) * t_steps];
+                    let da = &dattn[t * d + hoff..t * d + hoff + dh_dim];
+                    // dp and dv
+                    let mut dp = vec![0.0f32; t_steps];
+                    for s in 0..t_steps {
+                        let vv = &lc.v[s * d + hoff..s * d + hoff + dh_dim];
+                        dp[s] = dot(da, vv);
+                        let dvs = &mut dv[s * d + hoff..s * d + hoff + dh_dim];
+                        for (dvk, &dak) in dvs.iter_mut().zip(da) {
+                            *dvk += p_row[s] * dak;
+                        }
+                    }
+                    softmax_backward_inplace(p_row, &mut dp);
+                    let qv = lc.q[t * d + hoff..t * d + hoff + dh_dim].to_vec();
+                    let dqv = &mut dq[t * d + hoff..t * d + hoff + dh_dim];
+                    for s in 0..t_steps {
+                        let ds = dp[s] * scale;
+                        if ds == 0.0 {
+                            continue;
+                        }
+                        let kv = &lc.k[s * d + hoff..s * d + hoff + dh_dim];
+                        for (dqk, &kk) in dqv.iter_mut().zip(kv) {
+                            *dqk += ds * kk;
+                        }
+                        let dks = &mut dk[s * d + hoff..s * d + hoff + dh_dim];
+                        for (dkk, &qk) in dks.iter_mut().zip(&qv) {
+                            *dkk += ds * qk;
+                        }
+                    }
+                }
+            }
+
+            // ---- q/k/v projections ----
+            let mut dinput = dres1; // residual path into the layer input
+            let dq_in = {
+                let g_q = &mut grads[base..base + qn];
+                linear_rows_backward(&self.qkv, &w_q, &lc.input, &dq, g_q, t_steps)
+            };
+            let dk_in = {
+                let g_k = &mut grads[base + qn..base + 2 * qn];
+                linear_rows_backward(&self.qkv, &w_k, &lc.input, &dk, g_k, t_steps)
+            };
+            let dv_in = {
+                let g_v = &mut grads[base + 2 * qn..base + 3 * qn];
+                linear_rows_backward(&self.qkv, &w_v, &lc.input, &dv, g_v, t_steps)
+            };
+            for i in 0..dinput.len() {
+                dinput[i] += dq_in[i] + dk_in[i] + dv_in[i];
+            }
+            dh = dinput;
+        }
+
+        // ---- embedding ----
+        let mut dxs = vec![0.0f32; t_steps * self.in_dim];
+        let g_e = &mut grads[..self.embed.param_len()];
+        let w_e = self.params[..self.embed.param_len()].to_vec();
+        for t in 0..t_steps {
+            self.embed.backward(
+                &w_e,
+                &xs[t * self.in_dim..(t + 1) * self.in_dim],
+                &dh[t * d..(t + 1) * d],
+                g_e,
+                &mut dxs[t * self.in_dim..(t + 1) * self.in_dim],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let m = TransformerEncoder::new(7, 16, 2, 4, 3);
+        let t = 6;
+        let xs = vec![0.1f32; t * 7];
+        let (a, _) = m.forward(&xs, t);
+        let (b, _) = m.forward(&xs, t);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn positions_distinguish_identical_tokens() {
+        // With identical inputs at every position, attention still mixes
+        // distinct positional encodings: moving the window must change
+        // nothing, but permuting *distinct* inputs must.
+        let m = TransformerEncoder::new(4, 8, 1, 2, 7);
+        let t = 5;
+        let mut rng = seeded_rng(9);
+        let xs: Vec<f32> = (0..t * 4).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let mut swapped = xs.clone();
+        swapped.swap(0, 4); // exchange part of steps 0 and 1
+        swapped.swap(1, 5);
+        swapped.swap(2, 6);
+        swapped.swap(3, 7);
+        let (o1, _) = m.forward(&xs, t);
+        let (o2, _) = m.forward(&swapped, t);
+        let diff: f32 = o1.iter().zip(&o2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-5, "order must matter to a transformer with positions");
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut m = TransformerEncoder::new(5, 8, 2, 2, 13);
+        let t = 4;
+        let mut rng = seeded_rng(17);
+        let xs: Vec<f32> = (0..t * 5).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let dout: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let (_, cache) = m.forward(&xs, t);
+        let mut grads = vec![0.0f32; m.params().len()];
+        m.backward(&xs, &cache, &dout, &mut grads);
+
+        let loss = |m: &TransformerEncoder| {
+            let (o, _) = m.forward(&xs, t);
+            dot(&o, &dout)
+        };
+        let n = m.params().len();
+        let mut idx = 1usize;
+        let mut checked = 0;
+        while idx < n && checked < 30 {
+            let eps = 3e-3;
+            let orig = m.params()[idx];
+            m.params_mut()[idx] = orig + eps;
+            let lp = loss(&m);
+            m.params_mut()[idx] = orig - eps;
+            let lm = loss(&m);
+            m.params_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads[idx];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + num.abs().max(ana.abs())),
+                "param {idx}: numeric {num} vs analytic {ana}"
+            );
+            checked += 1;
+            idx = idx * 2 + 3;
+        }
+    }
+
+    use crate::init::seeded_rng;
+}

@@ -1,0 +1,276 @@
+//! Branch direction predictors and the branch target buffer.
+
+use crate::config::{BranchConfig, PredictorKind};
+
+/// 2-bit saturating counter helpers.
+#[inline]
+fn counter_update(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+#[inline]
+fn counter_taken(c: u8) -> bool {
+    c >= 2
+}
+
+/// A direction predictor.
+#[derive(Debug, Clone)]
+pub enum Predictor {
+    /// Always not-taken.
+    StaticNotTaken,
+    /// Backward taken, forward not taken.
+    StaticBtfn,
+    /// Per-pc table of 2-bit counters.
+    Bimodal {
+        /// Counter table.
+        table: Vec<u8>,
+        /// Index mask.
+        mask: u64,
+    },
+    /// Global history xor pc.
+    GShare {
+        /// Counter table.
+        table: Vec<u8>,
+        /// Index mask.
+        mask: u64,
+        /// Global taken/not-taken shift register.
+        history: u64,
+        /// History mask.
+        hist_mask: u64,
+    },
+    /// Bimodal and gshare with a per-pc chooser.
+    Tournament {
+        /// Bimodal component table.
+        bimodal: Vec<u8>,
+        /// GShare component table.
+        gshare: Vec<u8>,
+        /// Chooser: >=2 favours gshare.
+        choice: Vec<u8>,
+        /// Index mask.
+        mask: u64,
+        /// Global history register.
+        history: u64,
+        /// History mask.
+        hist_mask: u64,
+    },
+}
+
+impl Predictor {
+    /// Build the predictor described by `cfg`.
+    pub fn new(cfg: &BranchConfig) -> Predictor {
+        let entries = 1usize << cfg.table_bits;
+        let mask = entries as u64 - 1;
+        let hist_mask = (1u64 << cfg.history_bits.min(63)) - 1;
+        match cfg.kind {
+            PredictorKind::StaticNotTaken => Predictor::StaticNotTaken,
+            PredictorKind::StaticBtfn => Predictor::StaticBtfn,
+            PredictorKind::Bimodal => Predictor::Bimodal { table: vec![1; entries], mask },
+            PredictorKind::GShare => {
+                Predictor::GShare { table: vec![1; entries], mask, history: 0, hist_mask }
+            }
+            PredictorKind::Tournament => Predictor::Tournament {
+                bimodal: vec![1; entries],
+                gshare: vec![1; entries],
+                choice: vec![2; entries],
+                mask,
+                history: 0,
+                hist_mask,
+            },
+        }
+    }
+
+    #[inline]
+    fn pc_index(pc: u64, mask: u64) -> usize {
+        ((pc >> 2) & mask) as usize
+    }
+
+    /// Predict the direction of the conditional branch at `pc` whose
+    /// target is `target_pc` (used by the BTFN heuristic).
+    pub fn predict(&self, pc: u64, target_pc: u64) -> bool {
+        match self {
+            Predictor::StaticNotTaken => false,
+            Predictor::StaticBtfn => target_pc < pc,
+            Predictor::Bimodal { table, mask } => counter_taken(table[Self::pc_index(pc, *mask)]),
+            Predictor::GShare { table, mask, history, hist_mask } => {
+                let idx = (((pc >> 2) ^ (history & hist_mask)) & mask) as usize;
+                counter_taken(table[idx])
+            }
+            Predictor::Tournament { bimodal, gshare, choice, mask, history, hist_mask } => {
+                let pci = Self::pc_index(pc, *mask);
+                let gi = (((pc >> 2) ^ (history & hist_mask)) & mask) as usize;
+                if counter_taken(choice[pci]) {
+                    counter_taken(gshare[gi])
+                } else {
+                    counter_taken(bimodal[pci])
+                }
+            }
+        }
+    }
+
+    /// Update predictor state with the resolved direction.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        match self {
+            Predictor::StaticNotTaken | Predictor::StaticBtfn => {}
+            Predictor::Bimodal { table, mask } => {
+                counter_update(&mut table[Self::pc_index(pc, *mask)], taken);
+            }
+            Predictor::GShare { table, mask, history, hist_mask } => {
+                let idx = (((pc >> 2) ^ (*history & *hist_mask)) & *mask) as usize;
+                counter_update(&mut table[idx], taken);
+                *history = (*history << 1) | taken as u64;
+            }
+            Predictor::Tournament { bimodal, gshare, choice, mask, history, hist_mask } => {
+                let pci = Self::pc_index(pc, *mask);
+                let gi = (((pc >> 2) ^ (*history & *hist_mask)) & *mask) as usize;
+                let b_correct = counter_taken(bimodal[pci]) == taken;
+                let g_correct = counter_taken(gshare[gi]) == taken;
+                if b_correct != g_correct {
+                    counter_update(&mut choice[pci], g_correct);
+                }
+                counter_update(&mut bimodal[pci], taken);
+                counter_update(&mut gshare[gi], taken);
+                *history = (*history << 1) | taken as u64;
+            }
+        }
+    }
+}
+
+/// Direct-mapped branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<(u64, u64)>, // (pc tag, target)
+    mask: u64,
+}
+
+impl Btb {
+    /// `entries` must be a power of two.
+    pub fn new(entries: u32) -> Btb {
+        let n = entries.next_power_of_two() as usize;
+        Btb { entries: vec![(u64::MAX, 0); n], mask: n as u64 - 1 }
+    }
+
+    /// Predicted target for the branch at `pc`, if the BTB knows it.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let e = &self.entries[((pc >> 2) & self.mask) as usize];
+        (e.0 == pc).then_some(e.1)
+    }
+
+    /// Record the resolved target of the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.entries[((pc >> 2) & self.mask) as usize] = (pc, target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kind: PredictorKind) -> BranchConfig {
+        BranchConfig { kind, table_bits: 10, history_bits: 8, btb_entries: 512 }
+    }
+
+    #[test]
+    fn static_not_taken_never_predicts_taken() {
+        let p = Predictor::new(&cfg(PredictorKind::StaticNotTaken));
+        assert!(!p.predict(0x1000, 0x0800));
+        assert!(!p.predict(0x1000, 0x2000));
+    }
+
+    #[test]
+    fn btfn_predicts_backward_taken() {
+        let p = Predictor::new(&cfg(PredictorKind::StaticBtfn));
+        assert!(p.predict(0x1000, 0x0800)); // backward
+        assert!(!p.predict(0x1000, 0x2000)); // forward
+    }
+
+    #[test]
+    fn bimodal_learns_a_biased_branch() {
+        let mut p = Predictor::new(&cfg(PredictorKind::Bimodal));
+        for _ in 0..4 {
+            p.update(0x40, true);
+        }
+        assert!(p.predict(0x40, 0));
+        for _ in 0..4 {
+            p.update(0x40, false);
+        }
+        assert!(!p.predict(0x40, 0));
+    }
+
+    #[test]
+    fn gshare_learns_an_alternating_pattern() {
+        let mut p = Predictor::new(&cfg(PredictorKind::GShare));
+        // Warm up on strict alternation: taken, not-taken, ...
+        let mut taken = true;
+        for _ in 0..256 {
+            p.update(0x80, taken);
+            taken = !taken;
+        }
+        // After warmup, predictions should track the alternation.
+        let mut correct = 0;
+        for _ in 0..64 {
+            if p.predict(0x80, 0) == taken {
+                correct += 1;
+            }
+            p.update(0x80, taken);
+            taken = !taken;
+        }
+        assert!(correct > 56, "gshare should master alternation, got {correct}/64");
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut p = Predictor::new(&cfg(PredictorKind::Bimodal));
+        let mut taken = true;
+        let mut correct = 0;
+        for i in 0..256 {
+            if i >= 128 && p.predict(0x80, 0) == taken {
+                correct += 1;
+            }
+            p.update(0x80, taken);
+            taken = !taken;
+        }
+        assert!(correct <= 80, "bimodal should struggle with alternation, got {correct}/128");
+    }
+
+    #[test]
+    fn tournament_beats_both_components_on_mixed_stream() {
+        let run = |kind| {
+            let mut p = Predictor::new(&cfg(kind));
+            let mut correct = 0u32;
+            // Branch A: strongly biased taken. Branch B: alternating.
+            let mut b = true;
+            for i in 0..2048 {
+                let (pc, taken) = if i % 2 == 0 {
+                    (0x100u64, true)
+                } else {
+                    b = !b;
+                    (0x204u64, b)
+                };
+                if i >= 1024 && p.predict(pc, 0) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        };
+        let t = run(PredictorKind::Tournament);
+        let bm = run(PredictorKind::Bimodal);
+        assert!(t >= bm, "tournament {t} should be at least bimodal {bm}");
+        assert!(t > 960, "tournament should be near-perfect, got {t}/1024");
+    }
+
+    #[test]
+    fn btb_remembers_targets() {
+        let mut btb = Btb::new(16);
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+        // A colliding pc evicts.
+        btb.update(0x1000 + 16 * 4, 0x3000);
+        assert_eq!(btb.lookup(0x1000), None);
+    }
+}

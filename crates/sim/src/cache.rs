@@ -1,0 +1,377 @@
+//! Set-associative LRU caches and the two-level hierarchy used by both
+//! core models.
+//!
+//! The hierarchy implements non-inclusive (default) or exclusive L2
+//! behaviour, write-allocate stores, and a bandwidth-limited main memory
+//! behind the L2 (see [`crate::memsys`]).
+
+use crate::config::CacheConfig;
+use crate::memsys::MainMemory;
+
+/// Which level serviced an access (feeds the SimNet baseline's
+/// microarchitecture-dependent features and the simulator statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum HitLevel {
+    /// Not a memory access.
+    None = 0,
+    /// Hit in the L1 (instruction or data).
+    L1 = 1,
+    /// Miss in L1, hit in L2.
+    L2 = 2,
+    /// Missed all caches; serviced by main memory.
+    Mem = 3,
+}
+
+/// One set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[set][way] = (tag, last_use)`; `u64::MAX` tag = invalid.
+    sets: Vec<(u64, u64)>,
+    assoc: usize,
+    num_sets: u64,
+    line_shift: u32,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let num_sets = cfg.num_sets();
+        let assoc = cfg.assoc as usize;
+        Cache {
+            cfg,
+            sets: vec![(u64::MAX, 0); (num_sets as usize) * assoc],
+            assoc,
+            num_sets,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Line-granular address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.num_sets) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Look up `addr`; on hit, refresh LRU state and return true.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = self.line_of(addr);
+        let tag = line / self.num_sets;
+        let range = self.set_range(line);
+        for w in &mut self.sets[range] {
+            if w.0 == tag {
+                w.1 = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Install the line containing `addr`, evicting the LRU way if the
+    /// set is full. Returns the evicted line address (line-granular), if
+    /// any.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let line = self.line_of(addr);
+        let tag = line / self.num_sets;
+        let set = (line % self.num_sets) as u64;
+        let range = self.set_range(line);
+        let tick = self.tick;
+        let ways = &mut self.sets[range];
+        // Already present (e.g. racing fill): refresh.
+        if let Some(w) = ways.iter_mut().find(|w| w.0 == tag) {
+            w.1 = tick;
+            return None;
+        }
+        // Free way?
+        if let Some(w) = ways.iter_mut().find(|w| w.0 == u64::MAX) {
+            *w = (tag, tick);
+            return None;
+        }
+        // Evict LRU.
+        let victim = ways.iter_mut().min_by_key(|w| w.1).expect("assoc >= 1");
+        let evicted_line = victim.0 * self.num_sets + set;
+        *victim = (tag, tick);
+        Some(evicted_line)
+    }
+
+    /// Remove the line containing `addr` if present (used for exclusive
+    /// L2 behaviour). Returns whether it was present.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let tag = line / self.num_sets;
+        let range = self.set_range(line);
+        for w in &mut self.sets[range] {
+            if w.0 == tag {
+                *w = (u64::MAX, 0);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Install a line given its line-granular address (for exclusive-L2
+    /// victim insertion).
+    pub fn fill_line(&mut self, line: u64) -> Option<u64> {
+        self.fill(line << self.line_shift)
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().filter(|w| w.0 != u64::MAX).count()
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Aggregate hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L2 misses (from either L1).
+    pub l2_misses: u64,
+    /// Total instruction fetch accesses.
+    pub ifetch_accesses: u64,
+    /// Total data accesses.
+    pub data_accesses: u64,
+}
+
+/// The full hierarchy: split L1s, unified L2, main memory.
+pub struct Hierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    exclusive: bool,
+    mem: MainMemory,
+    l1i_lat: u64,
+    l1d_lat: u64,
+    l2_lat: u64,
+    stats: CacheStats,
+}
+
+impl Hierarchy {
+    /// Build from per-level configs; `mem` must already be scaled to the
+    /// core clock.
+    pub fn new(
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        exclusive: bool,
+        mem: MainMemory,
+    ) -> Hierarchy {
+        Hierarchy {
+            l1i_lat: l1i.latency as u64,
+            l1d_lat: l1d.latency as u64,
+            l2_lat: l2.latency as u64,
+            l1i: Cache::new(l1i),
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            exclusive,
+            mem,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// L1D hit latency in cycles (the in-order core's best-case load-use
+    /// latency).
+    pub fn l1d_latency(&self) -> u64 {
+        self.l1d_lat
+    }
+
+    fn access_l2_then_mem(&mut self, addr: u64, now: u64, l1_victim: Option<u64>) -> (u64, HitLevel) {
+        // On the miss path, latency accumulates level by level.
+        let mut lat = 0;
+        let level;
+        if self.l2.access(addr) {
+            lat += self.l2_lat;
+            level = HitLevel::L2;
+            if self.exclusive {
+                // Line migrates up; it leaves the L2.
+                self.l2.invalidate(addr);
+            }
+        } else {
+            self.stats.l2_misses += 1;
+            lat += self.l2_lat + self.mem.access(now + lat);
+            level = HitLevel::Mem;
+            if !self.exclusive {
+                self.l2.fill(addr);
+            }
+        }
+        // Victim from the L1 goes down into an exclusive L2.
+        if self.exclusive {
+            if let Some(line) = l1_victim {
+                self.l2.fill_line(line);
+            }
+        }
+        (lat, level)
+    }
+
+    /// Instruction fetch of the line containing `pc` at cycle `now`.
+    /// Returns (total latency in cycles, servicing level).
+    pub fn access_ifetch(&mut self, pc: u64, now: u64) -> (u64, HitLevel) {
+        self.stats.ifetch_accesses += 1;
+        if self.l1i.access(pc) {
+            return (self.l1i_lat, HitLevel::L1);
+        }
+        self.stats.l1i_misses += 1;
+        let victim = self.l1i.fill(pc);
+        let (lat, level) = self.access_l2_then_mem(pc, now, victim);
+        (self.l1i_lat + lat, level)
+    }
+
+    /// Data access at cycle `now`. Stores are write-allocate and follow
+    /// the same path as loads.
+    pub fn access_data(&mut self, addr: u64, now: u64) -> (u64, HitLevel) {
+        self.stats.data_accesses += 1;
+        if self.l1d.access(addr) {
+            return (self.l1d_lat, HitLevel::L1);
+        }
+        self.stats.l1d_misses += 1;
+        let victim = self.l1d.fill(addr);
+        let (lat, level) = self.access_l2_then_mem(addr, now, victim);
+        (self.l1d_lat + lat, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MemConfig, MemKind};
+
+    fn small_cache(size: u64, assoc: u32) -> Cache {
+        Cache::new(CacheConfig { size_bytes: size, assoc, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small_cache(1024, 2);
+        assert!(!c.access(0x100));
+        c.fill(0x100);
+        assert!(c.access(0x100));
+        assert!(c.access(0x13f)); // same 64B line
+        assert!(!c.access(0x140)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2 sets * 2 ways; lines mapping to set 0: 0, 2, 4 (line index).
+        let mut c = small_cache(256, 2);
+        c.fill(0); // line 0 -> set 0
+        c.fill(128); // line 2 -> set 0
+        assert!(c.access(0)); // make line 0 the most recent
+        let evicted = c.fill(256); // line 4 -> set 0: must evict line 2
+        assert_eq!(evicted, Some(2));
+        assert!(c.access(0));
+        assert!(!c.access(128));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = small_cache(1024, 4); // 16 lines
+        for i in 0..100u64 {
+            c.fill(i * 64);
+        }
+        assert!(c.resident_lines() <= 16);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache(1024, 2);
+        c.fill(0x40);
+        assert!(c.invalidate(0x40));
+        assert!(!c.access(0x40));
+        assert!(!c.invalidate(0x40));
+    }
+
+    fn hierarchy(exclusive: bool) -> Hierarchy {
+        let l1 = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 2 };
+        let l2 = CacheConfig { size_bytes: 4096, assoc: 4, line_bytes: 64, latency: 10 };
+        let mem = MainMemory::new(MemConfig::typical(MemKind::Ddr4), 2.0);
+        Hierarchy::new(l1, l1, l2, exclusive, mem)
+    }
+
+    #[test]
+    fn miss_path_latency_accumulates() {
+        let mut h = hierarchy(false);
+        let (cold, level) = h.access_data(0x1000, 0);
+        assert_eq!(level, HitLevel::Mem);
+        let (l1_hit, level) = h.access_data(0x1000, 100);
+        assert_eq!(level, HitLevel::L1);
+        assert_eq!(l1_hit, 2);
+        assert!(cold > 12); // l1 + l2 + memory
+    }
+
+    #[test]
+    fn l2_serves_after_l1_eviction() {
+        let mut h = hierarchy(false);
+        // Fill far more lines than L1 holds (8 lines) but fewer than L2 (64).
+        for i in 0..32u64 {
+            h.access_data(i * 64, i);
+        }
+        // Line 0 was evicted from L1 but should still be in (non-exclusive) L2.
+        let (_, level) = h.access_data(0, 1000);
+        assert_eq!(level, HitLevel::L2);
+    }
+
+    #[test]
+    fn exclusive_l2_holds_victims_only() {
+        let mut h = hierarchy(true);
+        let (_, lvl) = h.access_data(0, 0);
+        assert_eq!(lvl, HitLevel::Mem);
+        // Still resident in L1 -> L1 hit; L2 does not hold it.
+        let (_, lvl) = h.access_data(0, 10);
+        assert_eq!(lvl, HitLevel::L1);
+        // Push 8+ new lines through the same structure to evict line 0 from L1.
+        for i in 1..16u64 {
+            h.access_data(i * 64, 20 + i);
+        }
+        // Victim should have migrated to L2.
+        let (_, lvl) = h.access_data(0, 1000);
+        assert_eq!(lvl, HitLevel::L2);
+    }
+
+    #[test]
+    fn stats_count_misses() {
+        let mut h = hierarchy(false);
+        h.access_data(0, 0);
+        h.access_data(0, 1);
+        h.access_ifetch(0x10_000, 2);
+        let s = h.stats();
+        assert_eq!(s.l1d_misses, 1);
+        assert_eq!(s.l1i_misses, 1);
+        assert_eq!(s.data_accesses, 2);
+        assert_eq!(s.ifetch_accesses, 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Microarchitecture configuration.
+//!
+//! A [`MicroArchConfig`] fully describes one simulated machine: core
+//! organization, functional units, branch prediction, cache hierarchy,
+//! and main memory. It can also export itself as a flat numeric
+//! [`MicroArchConfig::param_vector`] — the input the DSE
+//! microarchitecture-representation model and the predictive baselines
+//! consume.
+
+use perfvec_isa::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Core execution paradigm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// In-order scoreboarded pipeline.
+    InOrder,
+    /// Out-of-order core with a reorder buffer.
+    OutOfOrder,
+}
+
+/// Branch predictor family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Always predict not-taken.
+    StaticNotTaken,
+    /// Backward-taken / forward-not-taken heuristic.
+    StaticBtfn,
+    /// Per-pc 2-bit saturating counters.
+    Bimodal,
+    /// Global-history xor pc indexed 2-bit counters.
+    GShare,
+    /// Bimodal + gshare with a choice table.
+    Tournament,
+}
+
+/// Branch prediction configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchConfig {
+    /// Predictor family.
+    pub kind: PredictorKind,
+    /// log2 of the direction-table entry count.
+    pub table_bits: u8,
+    /// Global history length in bits (gshare/tournament).
+    pub history_bits: u8,
+    /// Number of branch-target-buffer entries (power of two).
+    pub btb_entries: u32,
+}
+
+/// One cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in core cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        (self.size_bytes / self.line_bytes as u64 / self.assoc as u64).max(1)
+    }
+}
+
+/// Main-memory technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemKind {
+    /// Commodity DDR4.
+    Ddr4,
+    /// Low-power LPDDR5.
+    Lpddr5,
+    /// Graphics GDDR5.
+    Gddr5,
+    /// High-bandwidth memory.
+    Hbm,
+}
+
+/// Main-memory timing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Technology (sets sensible defaults; kept for reporting).
+    pub kind: MemKind,
+    /// Idle access latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl MemConfig {
+    /// Typical timing for a memory technology.
+    pub fn typical(kind: MemKind) -> MemConfig {
+        let (latency_ns, bandwidth_gbps) = match kind {
+            MemKind::Ddr4 => (85.0, 25.6),
+            MemKind::Lpddr5 => (110.0, 51.2),
+            MemKind::Gddr5 => (95.0, 112.0),
+            MemKind::Hbm => (105.0, 256.0),
+        };
+        MemConfig { kind, latency_ns, bandwidth_gbps }
+    }
+}
+
+/// Functional-unit pool configuration: per executing [`OpClass`], how
+/// many units exist, their latency, and whether they are pipelined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuPool {
+    /// Number of units.
+    pub count: u8,
+    /// Execution latency in cycles.
+    pub latency: u8,
+    /// Pipelined units accept a new op every cycle; unpipelined units
+    /// are busy for their full latency.
+    pub pipelined: bool,
+}
+
+/// Functional units for every executing operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuConfig {
+    /// Simple integer ops.
+    pub int_alu: FuPool,
+    /// Integer multiply.
+    pub int_mul: FuPool,
+    /// Integer divide (normally unpipelined).
+    pub int_div: FuPool,
+    /// FP add/compare/convert.
+    pub fp_alu: FuPool,
+    /// FP multiply / FMA.
+    pub fp_mul: FuPool,
+    /// FP divide & sqrt (normally unpipelined).
+    pub fp_div: FuPool,
+    /// SIMD arithmetic.
+    pub simd: FuPool,
+    /// Load/store address + cache ports.
+    pub mem_port: FuPool,
+}
+
+impl FuConfig {
+    /// The pool an op class executes on. `Branch` and `Other` use the
+    /// integer ALU pool; loads and stores use memory ports.
+    pub fn pool_for(&self, class: OpClass) -> &FuPool {
+        match class {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Other => &self.int_alu,
+            OpClass::IntMul => &self.int_mul,
+            OpClass::IntDiv => &self.int_div,
+            OpClass::FpAlu => &self.fp_alu,
+            OpClass::FpMul => &self.fp_mul,
+            OpClass::FpDiv => &self.fp_div,
+            OpClass::Simd => &self.simd,
+            OpClass::Load | OpClass::Store => &self.mem_port,
+        }
+    }
+}
+
+/// A complete microarchitecture description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroArchConfig {
+    /// Display name.
+    pub name: String,
+    /// Core paradigm.
+    pub core: CoreKind,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u8,
+    /// Front-end depth in stages (fetch→dispatch latency; also the
+    /// in-order mispredict penalty).
+    pub front_depth: u8,
+    /// Issue width (instructions entering execution per cycle).
+    pub issue_width: u8,
+    /// Retire width (instructions leaving the ROB per cycle).
+    pub retire_width: u8,
+    /// Reorder-buffer entries (OoO only).
+    pub rob_size: u16,
+    /// Load-queue entries (OoO only).
+    pub lq_size: u16,
+    /// Store-queue entries (OoO only).
+    pub sq_size: u16,
+    /// Functional units.
+    pub fus: FuConfig,
+    /// Branch prediction.
+    pub branch: BranchConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Exclusive L2 (victim-cache style) instead of the default
+    /// non-inclusive behaviour.
+    pub l2_exclusive: bool,
+    /// Main memory.
+    pub mem: MemConfig,
+}
+
+impl MicroArchConfig {
+    /// Core cycle time in units of 0.1 ns — the paper's latency unit.
+    pub fn cycle_tenths_ns(&self) -> f64 {
+        10.0 / self.freq_ghz
+    }
+
+    /// Number of entries in [`MicroArchConfig::param_vector`].
+    pub const PARAM_DIM: usize = 41;
+
+    /// Flatten the configuration into a fixed-length numeric vector.
+    ///
+    /// Sizes are log2-scaled and everything is roughly unit-range so the
+    /// vector can feed an MLP directly (the microarchitecture
+    /// representation model of the DSE workflow, Section VI-A) or a
+    /// linear baseline.
+    pub fn param_vector(&self) -> Vec<f32> {
+        let lg = |v: f64| (v.max(1.0)).log2() as f32;
+        let mut p = Vec::with_capacity(Self::PARAM_DIM);
+        p.push(match self.core {
+            CoreKind::InOrder => 0.0,
+            CoreKind::OutOfOrder => 1.0,
+        });
+        p.push(self.freq_ghz as f32 / 4.0);
+        p.push(self.fetch_width as f32 / 8.0);
+        p.push(self.front_depth as f32 / 16.0);
+        p.push(self.issue_width as f32 / 8.0);
+        p.push(self.retire_width as f32 / 8.0);
+        p.push(lg(self.rob_size as f64) / 10.0);
+        p.push(lg(self.lq_size as f64) / 8.0);
+        p.push(lg(self.sq_size as f64) / 8.0);
+        for pool in [
+            &self.fus.int_alu,
+            &self.fus.int_mul,
+            &self.fus.int_div,
+            &self.fus.fp_alu,
+            &self.fus.fp_mul,
+            &self.fus.fp_div,
+            &self.fus.simd,
+            &self.fus.mem_port,
+        ] {
+            p.push(pool.count as f32 / 8.0);
+            p.push(pool.latency as f32 / 64.0);
+        }
+        p.push(match self.branch.kind {
+            PredictorKind::StaticNotTaken => 0.0,
+            PredictorKind::StaticBtfn => 0.25,
+            PredictorKind::Bimodal => 0.5,
+            PredictorKind::GShare => 0.75,
+            PredictorKind::Tournament => 1.0,
+        });
+        p.push(self.branch.table_bits as f32 / 16.0);
+        p.push(self.branch.history_bits as f32 / 16.0);
+        p.push(lg(self.branch.btb_entries as f64) / 14.0);
+        for c in [&self.l1i, &self.l1d, &self.l2] {
+            p.push(lg(c.size_bytes as f64) / 24.0);
+            p.push(lg(c.assoc as f64) / 5.0);
+            p.push(c.latency as f32 / 32.0);
+        }
+        p.push(self.l2_exclusive as u8 as f32);
+        p.push(lg(self.mem.latency_ns) / 8.0);
+        p.push(lg(self.mem.bandwidth_gbps) / 9.0);
+        debug_assert_eq!(p.len(), Self::PARAM_DIM);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::predefined_configs;
+
+    #[test]
+    fn param_vector_has_declared_dim() {
+        for c in predefined_configs() {
+            let v = c.param_vector();
+            assert_eq!(v.len(), MicroArchConfig::PARAM_DIM, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn param_vector_is_roughly_normalized() {
+        for c in predefined_configs() {
+            for (i, x) in c.param_vector().iter().enumerate() {
+                assert!(x.is_finite() && *x >= 0.0 && *x <= 1.5, "{} param {i} = {x}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_time_matches_frequency() {
+        let mut c = predefined_configs().remove(0);
+        c.freq_ghz = 2.0;
+        assert!((c.cycle_tenths_ns() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_set_count() {
+        let c = CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 };
+        assert_eq!(c.num_sets(), 128);
+    }
+
+    #[test]
+    fn typical_memories_are_ordered_by_bandwidth() {
+        let d = MemConfig::typical(MemKind::Ddr4);
+        let h = MemConfig::typical(MemKind::Hbm);
+        assert!(h.bandwidth_gbps > d.bandwidth_gbps);
+    }
+}

@@ -1,0 +1,192 @@
+//! Simulation results: retire scheduling, incremental latencies, and
+//! summary statistics.
+//!
+//! The paper's prediction target is the **incremental latency** of each
+//! instruction: "the time length that an instruction stays active in the
+//! processor after all of its predecessors exit" (Section III-B). With
+//! in-order retirement this is `retire[i] − retire[i−1]` (clamped at
+//! zero), and the sum of incremental latencies telescopes to the total
+//! execution time — the property that makes program representations
+//! compositional.
+
+use crate::cache::HitLevel;
+
+/// In-order retirement scheduler shared by both core models: enforces
+/// monotone retire times and the configured retire width per cycle.
+#[derive(Debug, Clone)]
+pub struct RetireTracker {
+    width: u8,
+    last_cycle: u64,
+    count_in_cycle: u8,
+}
+
+impl RetireTracker {
+    /// Tracker enforcing at most `width` retirements per cycle.
+    pub fn new(width: u8) -> RetireTracker {
+        RetireTracker { width: width.max(1), last_cycle: 0, count_in_cycle: 0 }
+    }
+
+    /// Schedule the retirement of an instruction that completes
+    /// execution at cycle `complete`; returns its retire cycle.
+    pub fn schedule(&mut self, complete: u64) -> u64 {
+        let mut r = (complete + 1).max(self.last_cycle);
+        if r == self.last_cycle && self.count_in_cycle >= self.width {
+            r += 1;
+        }
+        if r > self.last_cycle {
+            self.last_cycle = r;
+            self.count_in_cycle = 1;
+        } else {
+            self.count_in_cycle += 1;
+        }
+        r
+    }
+
+    /// The most recent retire cycle.
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+}
+
+/// Aggregate counters from one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles to retire the whole trace.
+    pub cycles: u64,
+    /// Executed instruction count.
+    pub instructions: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Conditional/indirect branch mispredictions.
+    pub mispredicts: u64,
+    /// Executed branch instructions.
+    pub branches: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Misprediction rate over executed branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// The output of one (trace, microarchitecture) simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-instruction incremental latency, in 0.1 ns units (the paper's
+    /// latency unit).
+    pub inc_latency_tenths: Vec<f32>,
+    /// Total execution time in 0.1 ns units.
+    pub total_tenths: f64,
+    /// Which level serviced each instruction's memory access
+    /// ([`HitLevel::None`] for non-memory ops). Microarchitecture-
+    /// *dependent*: consumed by the SimNet baseline, never by PerfVec.
+    pub mem_level: Vec<HitLevel>,
+    /// Whether each instruction was a mispredicted branch
+    /// (microarchitecture-dependent; for the SimNet baseline).
+    pub mispredicted: Vec<bool>,
+    /// Summary counters.
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    /// Assemble a result from per-instruction retire cycles.
+    ///
+    /// `retire_cycles` must be monotone non-decreasing (in-order
+    /// retirement); `cycle_tenths` converts cycles to 0.1 ns.
+    pub fn from_retire_cycles(
+        retire_cycles: &[u64],
+        cycle_tenths: f64,
+        mem_level: Vec<HitLevel>,
+        mispredicted: Vec<bool>,
+        mut stats: SimStats,
+    ) -> SimResult {
+        let mut inc = Vec::with_capacity(retire_cycles.len());
+        let mut prev = 0u64;
+        for &r in retire_cycles {
+            debug_assert!(r >= prev, "retirement must be in order");
+            inc.push(((r - prev) as f64 * cycle_tenths) as f32);
+            prev = r;
+        }
+        stats.cycles = prev;
+        stats.instructions = retire_cycles.len() as u64;
+        let total_tenths = prev as f64 * cycle_tenths;
+        SimResult { inc_latency_tenths: inc, total_tenths, mem_level, mispredicted, stats }
+    }
+
+    /// Number of simulated instructions.
+    pub fn len(&self) -> usize {
+        self.inc_latency_tenths.len()
+    }
+
+    /// True when the trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.inc_latency_tenths.is_empty()
+    }
+
+    /// Sum of incremental latencies — equal to
+    /// [`SimResult::total_tenths`] up to accumulation rounding, which
+    /// property tests assert.
+    pub fn sum_incremental(&self) -> f64 {
+        self.inc_latency_tenths.iter().map(|&x| x as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_is_monotone_and_width_limited() {
+        let mut t = RetireTracker::new(2);
+        // Four instructions all complete at cycle 5.
+        let r: Vec<u64> = (0..4).map(|_| t.schedule(5)).collect();
+        assert_eq!(r, vec![6, 6, 7, 7]);
+    }
+
+    #[test]
+    fn late_completion_pushes_retirement() {
+        let mut t = RetireTracker::new(4);
+        assert_eq!(t.schedule(10), 11);
+        // An older-but-slower instruction already retired at 11; a fast
+        // successor cannot retire before it.
+        assert_eq!(t.schedule(3), 11);
+        assert_eq!(t.schedule(20), 21);
+    }
+
+    #[test]
+    fn incremental_latencies_sum_to_total() {
+        let retire = vec![2u64, 2, 5, 9, 9, 10];
+        let r = SimResult::from_retire_cycles(&retire, 5.0, vec![], vec![], SimStats::default());
+        assert_eq!(r.total_tenths, 50.0);
+        assert!((r.sum_incremental() - r.total_tenths).abs() < 1e-9);
+        assert_eq!(r.inc_latency_tenths[0], 10.0); // first retires at cycle 2
+        assert_eq!(r.inc_latency_tenths[1], 0.0); // same-cycle retire => zero
+    }
+
+    #[test]
+    fn stats_derive_ipc() {
+        let retire = vec![1u64, 2, 3, 4];
+        let r = SimResult::from_retire_cycles(&retire, 10.0, vec![], vec![], SimStats::default());
+        assert_eq!(r.stats.cycles, 4);
+        assert_eq!(r.stats.instructions, 4);
+        assert!((r.stats.ipc() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,401 @@
+//! Out-of-order core timing model.
+//!
+//! Trace-driven approximation of a modern OoO pipeline with the
+//! structural features that matter for instruction-level timing:
+//!
+//! * in-order fetch with I-cache misses, fetch-width limits, taken-branch
+//!   redirect bubbles, BTB misses, and full mispredict restarts;
+//! * dispatch gated by ROB / load-queue / store-queue occupancy;
+//! * dataflow issue: an instruction starts when its sources are ready, a
+//!   functional unit of its class is free, and an issue port is free;
+//! * load latencies from the cache hierarchy, with store-to-load
+//!   forwarding; stores drain through a store queue;
+//! * fences serialize memory;
+//! * in-order, width-limited retirement (which defines incremental
+//!   latency).
+
+use crate::branch::{Btb, Predictor};
+use crate::cache::{Hierarchy, HitLevel};
+use crate::config::MicroArchConfig;
+use crate::fu::FuState;
+use crate::latency::{RetireTracker, SimResult, SimStats};
+use crate::memsys::MainMemory;
+use perfvec_isa::{Reg, Trace};
+use std::collections::HashMap;
+
+/// Extra front-end bubble (cycles) when a taken branch hits in the BTB.
+const TAKEN_REDIRECT_BUBBLE: u64 = 1;
+/// Front-end bubble when the target must be computed at decode (BTB miss
+/// on a direct taken branch).
+const BTB_MISS_BUBBLE: u64 = 3;
+
+/// Simulate `trace` on the out-of-order machine `cfg`.
+pub fn simulate_ooo(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
+    let n = trace.len();
+    let mut hier = Hierarchy::new(
+        cfg.l1i,
+        cfg.l1d,
+        cfg.l2,
+        cfg.l2_exclusive,
+        MainMemory::new(cfg.mem, cfg.freq_ghz),
+    );
+    let mut pred = Predictor::new(&cfg.branch);
+    let mut btb = Btb::new(cfg.branch.btb_entries);
+    let mut fus = FuState::new(&cfg.fus, cfg.issue_width);
+    let mut retire = RetireTracker::new(cfg.retire_width);
+
+    let mut reg_ready = [0u64; Reg::NUM_FLAT];
+    let mut retire_cycles = vec![0u64; n];
+    let mut mem_level = vec![HitLevel::None; n];
+    let mut mispredicted = vec![false; n];
+
+    // Fetch state.
+    let mut fetch_cycle = 0u64;
+    let mut fetched_in_cycle = 0u8;
+    let mut cur_line = u64::MAX;
+    let front = cfg.front_depth as u64;
+
+    // Occupancy rings: dispatch waits for the entry `size` instructions
+    // back to have retired.
+    let rob = cfg.rob_size.max(8) as usize;
+    let mut rob_ring = vec![0u64; rob];
+    let lq = cfg.lq_size.max(4) as usize;
+    let mut lq_ring = vec![0u64; lq];
+    let mut loads_seen = 0usize;
+    let sq = cfg.sq_size.max(4) as usize;
+    let mut sq_ring = vec![0u64; sq];
+    let mut stores_seen = 0usize;
+
+    // Store-to-load forwarding: 8-byte block -> data-ready cycle.
+    let mut store_fwd: HashMap<u64, u64> = HashMap::new();
+    // Fence serialization.
+    let mut mem_barrier = 0u64;
+    let mut max_mem_complete = 0u64;
+
+    let mut stats = SimStats::default();
+
+    for i in 0..n {
+        let rec = &trace.records[i];
+        let inst = &trace.program.insts[rec.sidx as usize];
+        let class = inst.op.class();
+        let pc = rec.pc();
+
+        // ---- fetch ------------------------------------------------------
+        let line = pc >> 6;
+        if line != cur_line {
+            let (lat, lvl) = hier.access_ifetch(pc, fetch_cycle);
+            if lvl != HitLevel::L1 {
+                // A front-end miss stalls fetch until the line arrives.
+                fetch_cycle += lat;
+                fetched_in_cycle = 0;
+            }
+            cur_line = line;
+        }
+        if fetched_in_cycle >= cfg.fetch_width {
+            fetch_cycle += 1;
+            fetched_in_cycle = 0;
+        }
+        let my_fetch = fetch_cycle;
+        fetched_in_cycle += 1;
+
+        // ---- dispatch: structural queue occupancy ------------------------
+        let mut disp = my_fetch + front;
+        let rob_slot = i % rob;
+        if i >= rob {
+            disp = disp.max(rob_ring[rob_slot] + 1);
+        }
+        if inst.op.is_load() {
+            let slot = loads_seen % lq;
+            if loads_seen >= lq {
+                disp = disp.max(lq_ring[slot] + 1);
+            }
+            loads_seen += 1;
+        } else if inst.op.is_store() {
+            let slot = stores_seen % sq;
+            if stores_seen >= sq {
+                disp = disp.max(sq_ring[slot] + 1);
+            }
+            stores_seen += 1;
+        }
+
+        // ---- source readiness --------------------------------------------
+        let mut ready = disp;
+        for s in inst.srcs() {
+            ready = ready.max(reg_ready[s.flat_id()]);
+        }
+        if inst.op.is_mem() {
+            ready = ready.max(mem_barrier);
+        }
+        if inst.op.is_barrier() {
+            ready = ready.max(max_mem_complete);
+        }
+
+        // ---- issue + execute -----------------------------------------------
+        let start = fus.issue(class, ready);
+        let mut complete = start + fus.latency(class);
+        if inst.op.is_load() {
+            let (lat, lvl) = hier.access_data(rec.addr, start);
+            mem_level[i] = lvl;
+            complete = start + lat;
+            // Store-to-load forwarding beats the cache when an in-flight
+            // store to the same block has (or will have) its data.
+            if let Some(&st_ready) = store_fwd.get(&(rec.addr >> 3)) {
+                if st_ready + 1 >= start + 1 && st_ready + 1 < complete {
+                    complete = st_ready + 1;
+                }
+            }
+        } else if inst.op.is_store() {
+            // Stores update cache state (write-allocate) and consume
+            // bandwidth, but retire without waiting for the fill.
+            let (_, lvl) = hier.access_data(rec.addr, start);
+            mem_level[i] = lvl;
+            complete = start + 1;
+            store_fwd.insert(rec.addr >> 3, complete);
+            if store_fwd.len() > 16_384 {
+                store_fwd.retain(|_, &mut t| t + 64 > start);
+            }
+        }
+        if inst.op.is_mem() {
+            max_mem_complete = max_mem_complete.max(complete);
+        }
+        if inst.op.is_barrier() {
+            mem_barrier = complete;
+        }
+        for d in inst.dsts() {
+            reg_ready[d.flat_id()] = complete;
+        }
+
+        // ---- control flow -----------------------------------------------
+        if inst.op.is_branch() {
+            stats.branches += 1;
+            let actual_target = rec.next_pc();
+            let mispred;
+            let mut bubble = 0u64;
+            if inst.op.is_cond_branch() {
+                let static_target =
+                    perfvec_isa::CODE_BASE + inst.target.unwrap_or(0) as u64 * perfvec_isa::INST_BYTES;
+                let pred_taken = pred.predict(pc, static_target);
+                mispred = pred_taken != rec.taken;
+                if !mispred && rec.taken {
+                    bubble = if btb.lookup(pc).is_some() { TAKEN_REDIRECT_BUBBLE } else { BTB_MISS_BUBBLE };
+                }
+                pred.update(pc, rec.taken);
+            } else if inst.op.is_indirect_branch() {
+                mispred = btb.lookup(pc) != Some(actual_target);
+            } else {
+                // Direct unconditional: direction known; BTB miss costs a
+                // decode-stage redirect.
+                mispred = false;
+                bubble = if btb.lookup(pc).is_some() { TAKEN_REDIRECT_BUBBLE } else { BTB_MISS_BUBBLE };
+            }
+            if rec.taken {
+                btb.update(pc, actual_target);
+            }
+            if mispred {
+                stats.mispredicts += 1;
+                mispredicted[i] = true;
+                // Fetch restarts after the branch resolves.
+                fetch_cycle = complete + 1;
+                fetched_in_cycle = 0;
+                cur_line = u64::MAX;
+            } else if rec.taken {
+                fetch_cycle = my_fetch + bubble;
+                fetched_in_cycle = 0;
+                cur_line = u64::MAX;
+            }
+        }
+
+        // ---- retire --------------------------------------------------------
+        let r = retire.schedule(complete);
+        retire_cycles[i] = r;
+        rob_ring[rob_slot] = r;
+        if inst.op.is_load() {
+            lq_ring[(loads_seen - 1) % lq] = r;
+        } else if inst.op.is_store() {
+            sq_ring[(stores_seen - 1) % sq] = r;
+        }
+    }
+
+    let cs = hier.stats();
+    stats.l1i_misses = cs.l1i_misses;
+    stats.l1d_misses = cs.l1d_misses;
+    stats.l2_misses = cs.l2_misses;
+
+    SimResult::from_retire_cycles(
+        &retire_cycles,
+        cfg.cycle_tenths_ns(),
+        mem_level,
+        mispredicted,
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::predefined_configs;
+    use perfvec_isa::{Emulator, ProgramBuilder, Reg};
+
+    fn cfg(name: &str) -> MicroArchConfig {
+        predefined_configs().into_iter().find(|c| c.name == name).unwrap()
+    }
+
+    fn alu_loop_trace(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (a, c, i) = (Reg::x(1), Reg::x(3), Reg::x(4));
+        b.li(a, 1);
+        b.li(c, 3);
+        b.li(i, 0);
+        let top = b.label();
+        // A chain of independent adds: plenty of ILP.
+        b.add(Reg::x(5), a, c);
+        b.add(Reg::x(6), a, c);
+        b.add(Reg::x(7), a, c);
+        b.add(Reg::x(8), a, c);
+        b.addi(i, i, 1);
+        b.blt_imm(i, iters, top);
+        b.halt();
+        let p = b.build();
+        Emulator::new(&p).run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn wide_core_beats_narrow_core_on_ilp() {
+        let t = alu_loop_trace(500);
+        let big = simulate_ooo(&t, &cfg("o3-big"));
+        let little = simulate_ooo(&t, &cfg("o3-little"));
+        assert!(big.stats.ipc() > 1.5 * little.stats.ipc(),
+            "big {} vs little {}", big.stats.ipc(), little.stats.ipc());
+    }
+
+    #[test]
+    fn dependency_chain_limits_ipc() {
+        let mut b = ProgramBuilder::new();
+        let a = Reg::x(1);
+        b.li(a, 0);
+        let top = b.label();
+        // Serial dependency chain: IPC must be ~1 even on a wide core.
+        b.addi(a, a, 1);
+        b.addi(a, a, 1);
+        b.addi(a, a, 1);
+        b.addi(a, a, 1);
+        b.blt_imm(a, 4000, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p).run(1_000_000).unwrap();
+        let r = simulate_ooo(&t, &cfg("o3-big"));
+        assert!(r.stats.ipc() < 2.0, "serial chain IPC should be low, got {}", r.stats.ipc());
+    }
+
+    #[test]
+    fn pointer_chase_pays_memory_latency() {
+        // Build a random cyclic permutation and chase it: every load misses
+        // a small cache and depends on the previous load.
+        let n = 4096usize; // 32 KiB of u64 — larger than o3-little's 16 KiB L1D
+        let mut next = vec![0u64; n];
+        // A simple LCG permutation walk (stride pattern defeating LRU).
+        for i in 0..n {
+            next[i] = ((i * 769 + 257) % n) as u64 * 8;
+        }
+        let mut b = ProgramBuilder::new();
+        let arr = b.alloc_u64_slice(&next);
+        let (base, p, i) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        b.li(base, arr as i64);
+        b.li(p, 0);
+        b.li(i, 0);
+        let top = b.label();
+        b.ld_idx(p, base, p, 1, 0, 8); // p = mem[base + p]
+        b.addi(i, i, 1);
+        b.blt_imm(i, 8000, top);
+        b.halt();
+        let prog = b.build();
+        let t = Emulator::new(&prog).run(100_000).unwrap();
+
+        let r = simulate_ooo(&t, &cfg("o3-little"));
+        let alu = simulate_ooo(&alu_loop_trace(2000), &cfg("o3-little"));
+        assert!(r.stats.l1d_misses > 1000, "expected many L1D misses, got {}", r.stats.l1d_misses);
+        assert!(
+            r.stats.ipc() < 0.5 * alu.stats.ipc(),
+            "pointer chase should be much slower: {} vs {}",
+            r.stats.ipc(),
+            alu.stats.ipc()
+        );
+    }
+
+    #[test]
+    fn random_branches_cause_mispredicts() {
+        // Branch direction depends on a pseudo-random bit: near-50% miss
+        // rate on every predictor.
+        let mut b = ProgramBuilder::new();
+        let (x, i, bit) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        b.li(x, 12345);
+        b.li(i, 0);
+        let top = b.label();
+        let skip = b.fwd_label();
+        b.muli(x, x, 1103515245);
+        b.addi(x, x, 12345);
+        b.shri(bit, x, 16);
+        b.andi(bit, bit, 1);
+        b.beq_imm(bit, 0, skip);
+        b.addi(Reg::x(5), Reg::x(5), 1);
+        b.bind(skip);
+        b.addi(i, i, 1);
+        b.blt_imm(i, 3000, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p).run(100_000).unwrap();
+        let r = simulate_ooo(&t, &cfg("o3-big"));
+        assert!(
+            r.stats.mispredict_rate() > 0.1,
+            "random branches should mispredict, rate {}",
+            r.stats.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn total_time_equals_sum_of_incremental_latencies() {
+        let t = alu_loop_trace(300);
+        for c in predefined_configs().iter().filter(|c| c.core == crate::config::CoreKind::OutOfOrder)
+        {
+            let r = simulate_ooo(&t, c);
+            assert!(
+                (r.sum_incremental() - r.total_tenths).abs() < 1e-6 * r.total_tenths.max(1.0),
+                "{}",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn higher_frequency_is_faster_in_wall_time() {
+        let t = alu_loop_trace(400);
+        let mut fast = cfg("o3-medium");
+        let mut slow = fast.clone();
+        fast.freq_ghz = 4.0;
+        slow.freq_ghz = 1.0;
+        let rf = simulate_ooo(&t, &fast);
+        let rs = simulate_ooo(&t, &slow);
+        assert!(rf.total_tenths < rs.total_tenths);
+    }
+
+    #[test]
+    fn store_load_forwarding_is_fast() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.alloc_zeroed(64);
+        let (base, v, i) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        b.li(base, buf as i64);
+        b.li(i, 0);
+        let top = b.label();
+        b.st(i, base, 0, 8);
+        b.ld(v, base, 0, 8); // immediately reload the same address
+        b.addi(i, i, 1);
+        b.blt_imm(i, 2000, top);
+        b.halt();
+        let p = b.build();
+        let t = Emulator::new(&p).run(100_000).unwrap();
+        let r = simulate_ooo(&t, &cfg("o3-medium"));
+        // Near-perfect locality plus forwarding: should be fast.
+        assert!(r.stats.ipc() > 1.0, "forwarding loop IPC {}", r.stats.ipc());
+        assert!(r.stats.l1d_misses <= 2);
+    }
+}

@@ -1,0 +1,376 @@
+//! Microarchitecture sampling.
+//!
+//! Reproduces the paper's dataset recipe (Section IV-C): a tool that
+//! randomly samples valid configurations across processor, cache, and
+//! memory knobs, plus seven predefined configurations (four out-of-order,
+//! three in-order). The default training population is 60 random
+//! out-of-order + 10 random in-order + the 7 predefined = 77 machines.
+
+use crate::config::{
+    BranchConfig, CacheConfig, CoreKind, FuConfig, FuPool, MemConfig, MemKind, MicroArchConfig,
+    PredictorKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's default training-population size.
+pub const DEFAULT_POPULATION: usize = 77;
+
+fn pool(count: u8, latency: u8, pipelined: bool) -> FuPool {
+    FuPool { count, latency, pipelined }
+}
+
+fn kib(k: u64) -> u64 {
+    k * 1024
+}
+
+fn cache(size_kb: u64, assoc: u32, latency: u32) -> CacheConfig {
+    CacheConfig { size_bytes: kib(size_kb), assoc, line_bytes: 64, latency }
+}
+
+/// The seven predefined configurations (4 out-of-order, 3 in-order),
+/// standing in for gem5's stock CPU configs. `cortex-a7-like` is the
+/// model used by the DSE and loop-tiling case studies (Section VI).
+pub fn predefined_configs() -> Vec<MicroArchConfig> {
+    let ooo_fus = FuConfig {
+        int_alu: pool(4, 1, true),
+        int_mul: pool(2, 3, true),
+        int_div: pool(1, 20, false),
+        fp_alu: pool(2, 3, true),
+        fp_mul: pool(2, 4, true),
+        fp_div: pool(1, 14, false),
+        simd: pool(2, 3, true),
+        mem_port: pool(2, 1, true),
+    };
+    let little_fus = FuConfig {
+        int_alu: pool(2, 1, true),
+        int_mul: pool(1, 4, true),
+        int_div: pool(1, 26, false),
+        fp_alu: pool(1, 4, true),
+        fp_mul: pool(1, 5, true),
+        fp_div: pool(1, 18, false),
+        simd: pool(1, 4, true),
+        mem_port: pool(1, 1, true),
+    };
+    let tournament = BranchConfig {
+        kind: PredictorKind::Tournament,
+        table_bits: 12,
+        history_bits: 12,
+        btb_entries: 4096,
+    };
+    let bimodal =
+        BranchConfig { kind: PredictorKind::Bimodal, table_bits: 10, history_bits: 0, btb_entries: 512 };
+
+    vec![
+        MicroArchConfig {
+            name: "o3-big".into(),
+            core: CoreKind::OutOfOrder,
+            freq_ghz: 3.0,
+            fetch_width: 8,
+            front_depth: 12,
+            issue_width: 8,
+            retire_width: 8,
+            rob_size: 192,
+            lq_size: 72,
+            sq_size: 56,
+            fus: ooo_fus,
+            branch: tournament,
+            l1i: cache(32, 4, 2),
+            l1d: cache(32, 8, 3),
+            l2: cache(1024, 16, 12),
+            l2_exclusive: false,
+            mem: MemConfig::typical(MemKind::Ddr4),
+        },
+        MicroArchConfig {
+            name: "o3-medium".into(),
+            core: CoreKind::OutOfOrder,
+            freq_ghz: 2.5,
+            fetch_width: 4,
+            front_depth: 10,
+            issue_width: 4,
+            retire_width: 4,
+            rob_size: 128,
+            lq_size: 48,
+            sq_size: 36,
+            fus: ooo_fus,
+            branch: tournament,
+            l1i: cache(32, 4, 2),
+            l1d: cache(32, 4, 2),
+            l2: cache(512, 8, 10),
+            l2_exclusive: false,
+            mem: MemConfig::typical(MemKind::Ddr4),
+        },
+        MicroArchConfig {
+            name: "o3-little".into(),
+            core: CoreKind::OutOfOrder,
+            freq_ghz: 2.0,
+            fetch_width: 2,
+            front_depth: 8,
+            issue_width: 2,
+            retire_width: 2,
+            rob_size: 64,
+            lq_size: 24,
+            sq_size: 20,
+            fus: little_fus,
+            branch: bimodal,
+            l1i: cache(16, 2, 1),
+            l1d: cache(16, 4, 2),
+            l2: cache(256, 8, 9),
+            l2_exclusive: false,
+            mem: MemConfig::typical(MemKind::Lpddr5),
+        },
+        MicroArchConfig {
+            name: "o3-wide".into(),
+            core: CoreKind::OutOfOrder,
+            freq_ghz: 3.5,
+            fetch_width: 6,
+            front_depth: 14,
+            issue_width: 6,
+            retire_width: 6,
+            rob_size: 256,
+            lq_size: 96,
+            sq_size: 72,
+            fus: ooo_fus,
+            branch: tournament,
+            l1i: cache(64, 8, 3),
+            l1d: cache(64, 8, 3),
+            l2: cache(2048, 16, 14),
+            l2_exclusive: false,
+            mem: MemConfig::typical(MemKind::Hbm),
+        },
+        MicroArchConfig {
+            name: "cortex-a7-like".into(),
+            core: CoreKind::InOrder,
+            freq_ghz: 1.6,
+            fetch_width: 2,
+            front_depth: 8,
+            issue_width: 2,
+            retire_width: 2,
+            rob_size: 0,
+            lq_size: 0,
+            sq_size: 0,
+            fus: little_fus,
+            branch: bimodal,
+            l1i: cache(32, 2, 1),
+            l1d: cache(32, 4, 1),
+            l2: cache(512, 8, 8),
+            l2_exclusive: false,
+            mem: MemConfig::typical(MemKind::Lpddr5),
+        },
+        MicroArchConfig {
+            name: "a53-like".into(),
+            core: CoreKind::InOrder,
+            freq_ghz: 2.0,
+            fetch_width: 2,
+            front_depth: 8,
+            issue_width: 2,
+            retire_width: 2,
+            rob_size: 0,
+            lq_size: 0,
+            sq_size: 0,
+            fus: little_fus,
+            branch: BranchConfig {
+                kind: PredictorKind::GShare,
+                table_bits: 11,
+                history_bits: 9,
+                btb_entries: 1024,
+            },
+            l1i: cache(32, 2, 1),
+            l1d: cache(32, 4, 1),
+            l2: cache(1024, 16, 10),
+            l2_exclusive: false,
+            mem: MemConfig::typical(MemKind::Lpddr5),
+        },
+        MicroArchConfig {
+            name: "scalar-simple".into(),
+            core: CoreKind::InOrder,
+            freq_ghz: 1.0,
+            fetch_width: 1,
+            front_depth: 5,
+            issue_width: 1,
+            retire_width: 1,
+            rob_size: 0,
+            lq_size: 0,
+            sq_size: 0,
+            fus: little_fus,
+            branch: BranchConfig {
+                kind: PredictorKind::StaticBtfn,
+                table_bits: 4,
+                history_bits: 0,
+                btb_entries: 64,
+            },
+            l1i: cache(8, 1, 1),
+            l1d: cache(8, 2, 1),
+            l2: cache(256, 4, 8),
+            l2_exclusive: false,
+            mem: MemConfig::typical(MemKind::Ddr4),
+        },
+    ]
+}
+
+/// Randomly sample one valid configuration of the requested kind.
+pub fn sample_config(rng: &mut StdRng, core: CoreKind, name: String) -> MicroArchConfig {
+    let ooo = core == CoreKind::OutOfOrder;
+    let freq_choices = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+    let freq_ghz = freq_choices[rng.gen_range(0..freq_choices.len())];
+    let width: u8 = if ooo { rng.gen_range(2..=8) } else { rng.gen_range(1..=2) };
+    let fus = FuConfig {
+        int_alu: pool(rng.gen_range(1..=width.max(2)), 1, true),
+        int_mul: pool(rng.gen_range(1..=2), rng.gen_range(2..=5), true),
+        int_div: pool(1, rng.gen_range(8..=40), false),
+        fp_alu: pool(rng.gen_range(1..=3), rng.gen_range(2..=6), true),
+        fp_mul: pool(rng.gen_range(1..=3), rng.gen_range(3..=6), true),
+        fp_div: pool(1, rng.gen_range(8..=30), false),
+        simd: pool(rng.gen_range(1..=3), rng.gen_range(2..=6), true),
+        mem_port: pool(rng.gen_range(1..=3).min(width), 1, true),
+    };
+    let kind = if ooo {
+        match rng.gen_range(0..4) {
+            0 => PredictorKind::Bimodal,
+            1 | 2 => PredictorKind::GShare,
+            _ => PredictorKind::Tournament,
+        }
+    } else {
+        match rng.gen_range(0..4) {
+            0 => PredictorKind::StaticBtfn,
+            1 | 2 => PredictorKind::Bimodal,
+            _ => PredictorKind::GShare,
+        }
+    };
+    let branch = BranchConfig {
+        kind,
+        table_bits: rng.gen_range(8..=14),
+        history_bits: rng.gen_range(4..=14),
+        btb_entries: 1 << rng.gen_range(8..=12),
+    };
+    let l1_sizes = [4u64, 8, 16, 32, 64, 128];
+    let l1i = cache(
+        l1_sizes[rng.gen_range(0..l1_sizes.len())],
+        1 << rng.gen_range(0..=3),
+        rng.gen_range(1..=3),
+    );
+    let l1d = cache(
+        l1_sizes[rng.gen_range(0..l1_sizes.len())],
+        1 << rng.gen_range(0..=3),
+        rng.gen_range(1..=4),
+    );
+    let l2_sizes = [256u64, 512, 1024, 2048, 4096, 8192];
+    let l2 = cache(
+        l2_sizes[rng.gen_range(0..l2_sizes.len())],
+        1 << rng.gen_range(2..=4),
+        rng.gen_range(6..=20),
+    );
+    let mem_kind = match rng.gen_range(0..4) {
+        0 => MemKind::Ddr4,
+        1 => MemKind::Lpddr5,
+        2 => MemKind::Gddr5,
+        _ => MemKind::Hbm,
+    };
+    let mut mem = MemConfig::typical(mem_kind);
+    mem.latency_ns *= rng.gen_range(0.7..1.4);
+    mem.bandwidth_gbps *= rng.gen_range(0.7..1.4);
+
+    MicroArchConfig {
+        name,
+        core,
+        freq_ghz,
+        fetch_width: width,
+        front_depth: rng.gen_range(5..=16),
+        issue_width: width,
+        retire_width: if ooo { rng.gen_range(width.max(2) - 1..=width) } else { width },
+        rob_size: if ooo { rng.gen_range(32..=320) } else { 0 },
+        lq_size: if ooo { rng.gen_range(16..=96) } else { 0 },
+        sq_size: if ooo { rng.gen_range(12..=72) } else { 0 },
+        fus,
+        branch,
+        l1i,
+        l1d,
+        l2,
+        l2_exclusive: rng.gen_bool(0.1),
+        mem,
+    }
+}
+
+/// Sample `n_ooo` out-of-order and `n_inorder` in-order configurations.
+pub fn sample_configs(seed: u64, n_ooo: usize, n_inorder: usize) -> Vec<MicroArchConfig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_ooo + n_inorder);
+    for i in 0..n_ooo {
+        out.push(sample_config(&mut rng, CoreKind::OutOfOrder, format!("rand-ooo-{i}")));
+    }
+    for i in 0..n_inorder {
+        out.push(sample_config(&mut rng, CoreKind::InOrder, format!("rand-io-{i}")));
+    }
+    out
+}
+
+/// The paper's 77-machine training population: 60 random out-of-order +
+/// 10 random in-order + 7 predefined.
+pub fn training_population(seed: u64) -> Vec<MicroArchConfig> {
+    let mut v = sample_configs(seed, 60, 10);
+    v.extend(predefined_configs());
+    debug_assert_eq!(v.len(), DEFAULT_POPULATION);
+    v
+}
+
+/// Ten *unseen* configurations for the generalization experiment
+/// (Figure 5); uses a disjoint seed stream from
+/// [`training_population`].
+pub fn unseen_population(seed: u64) -> Vec<MicroArchConfig> {
+    let mut v = sample_configs(seed ^ 0x5eed_0ff5_e7f0_0d5e, 8, 2);
+    for (i, c) in v.iter_mut().enumerate() {
+        c.name = format!("unseen-{i}");
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_has_paper_size_and_mix() {
+        let pop = training_population(7);
+        assert_eq!(pop.len(), 77);
+        let ooo = pop.iter().filter(|c| c.core == CoreKind::OutOfOrder).count();
+        let io = pop.iter().filter(|c| c.core == CoreKind::InOrder).count();
+        assert_eq!(ooo, 64); // 60 random + 4 predefined
+        assert_eq!(io, 13); // 10 random + 3 predefined
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(training_population(42), training_population(42));
+        assert_ne!(training_population(42), training_population(43));
+    }
+
+    #[test]
+    fn unseen_population_is_disjoint_from_training() {
+        let train = training_population(42);
+        let unseen = unseen_population(42);
+        assert_eq!(unseen.len(), 10);
+        for u in &unseen {
+            assert!(train.iter().all(|t| t.param_vector() != u.param_vector()));
+        }
+    }
+
+    #[test]
+    fn sampled_configs_are_valid() {
+        for c in training_population(1) {
+            assert!(c.freq_ghz >= 1.0 && c.freq_ghz <= 4.0);
+            assert!(c.issue_width >= 1);
+            assert!(c.l1d.num_sets() >= 1);
+            assert!(c.l2.size_bytes > c.l1d.size_bytes);
+            if c.core == CoreKind::OutOfOrder {
+                assert!(c.rob_size >= 32);
+            }
+            // Parameter vector stays well-formed for every sample.
+            assert_eq!(c.param_vector().len(), MicroArchConfig::PARAM_DIM);
+        }
+    }
+
+    #[test]
+    fn a7_config_exists_for_case_studies() {
+        assert!(predefined_configs().iter().any(|c| c.name == "cortex-a7-like"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Compact binary (de)serialisation for datasets.
+//!
+//! The paper's dataset is 2 TB of simulator output; ours is smaller but
+//! the same shape, and regenerating it still dominates experiment
+//! startup. This module stores [`Matrix`]/[`ProgramData`] in a simple
+//! little-endian format (magic, dims, raw `f32`s) so harness binaries
+//! can cache datasets between runs.
+
+use crate::dataset::ProgramData;
+use crate::features::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5046_5643; // "PFVC"
+const VERSION: u32 = 1;
+
+/// Serialization failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BinError {
+    /// Wrong magic number or version.
+    BadHeader,
+    /// Buffer ended early or dims disagree with payload.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::BadHeader => write!(f, "bad magic/version"),
+            BinError::Truncated => write!(f, "truncated payload"),
+            BinError::BadString => write!(f, "invalid utf-8 string"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u64_le(m.rows as u64);
+    buf.put_u64_le(m.cols as u64);
+    for &v in &m.data {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_matrix(buf: &mut Bytes) -> Result<Matrix, BinError> {
+    if buf.remaining() < 16 {
+        return Err(BinError::Truncated);
+    }
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let n = rows.checked_mul(cols).ok_or(BinError::Truncated)?;
+    if buf.remaining() < n * 4 {
+        return Err(BinError::Truncated);
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Matrix { rows, cols, data })
+}
+
+/// Encode one program's dataset.
+pub fn encode_program_data(d: &ProgramData) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        32 + d.name.len() + 4 * (d.features.data.len() + d.targets.data.len()),
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(d.name.len() as u32);
+    buf.put_slice(d.name.as_bytes());
+    put_matrix(&mut buf, &d.features);
+    put_matrix(&mut buf, &d.targets);
+    buf.freeze()
+}
+
+/// Decode one program's dataset.
+pub fn decode_program_data(mut buf: Bytes) -> Result<ProgramData, BinError> {
+    if buf.remaining() < 12 {
+        return Err(BinError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC || buf.get_u32_le() != VERSION {
+        return Err(BinError::BadHeader);
+    }
+    let name_len = buf.get_u32_le() as usize;
+    if buf.remaining() < name_len {
+        return Err(BinError::Truncated);
+    }
+    let name =
+        String::from_utf8(buf.split_to(name_len).to_vec()).map_err(|_| BinError::BadString)?;
+    let features = get_matrix(&mut buf)?;
+    let targets = get_matrix(&mut buf)?;
+    Ok(ProgramData { name, features, targets })
+}
+
+/// Write a dataset to a file.
+pub fn save_program_data(d: &ProgramData, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode_program_data(d))
+}
+
+/// Read a dataset from a file.
+pub fn load_program_data(path: &std::path::Path) -> std::io::Result<ProgramData> {
+    let bytes = Bytes::from(std::fs::read(path)?);
+    decode_program_data(bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::NUM_FEATURES;
+
+    fn sample() -> ProgramData {
+        let mut features = Matrix::zeros(7, NUM_FEATURES);
+        let mut targets = Matrix::zeros(7, 3);
+        for i in 0..7 {
+            features.row_mut(i)[i % NUM_FEATURES] = i as f32 * 0.5;
+            targets.row_mut(i)[i % 3] = -(i as f32);
+        }
+        ProgramData { name: "505.mcf-like".into(), features, targets }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample();
+        let decoded = decode_program_data(encode_program_data(&d)).unwrap();
+        assert_eq!(decoded.name, d.name);
+        assert_eq!(decoded.features, d.features);
+        assert_eq!(decoded.targets, d.targets);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut raw = encode_program_data(&sample()).to_vec();
+        raw[0] ^= 0xff;
+        assert!(matches!(decode_program_data(Bytes::from(raw)), Err(BinError::BadHeader)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let raw = encode_program_data(&sample());
+        let cut = raw.slice(..raw.len() - 5);
+        assert!(matches!(decode_program_data(cut), Err(BinError::Truncated)));
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let d = ProgramData {
+            name: String::new(),
+            features: Matrix::zeros(0, NUM_FEATURES),
+            targets: Matrix::zeros(0, 0),
+        };
+        let decoded = decode_program_data(encode_program_data(&d)).unwrap();
+        assert_eq!(decoded.len(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("perfvec_binio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.pvd");
+        let d = sample();
+        save_program_data(&d, &path).unwrap();
+        let back = load_program_data(&path).unwrap();
+        assert_eq!(back.targets, d.targets);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,164 @@
+//! Branch-entropy features.
+//!
+//! PerfVec's microarchitecture-independent proxy for branch
+//! predictability (after Yokota et al. and De Pestel et al.): encode the
+//! taken/not-taken history as a bit sequence and score its entropy.
+//! Branches with consistent behaviour (always taken, always not taken)
+//! have entropy 0 and are easy for any predictor; erratic branches
+//! approach entropy 1.
+//!
+//! Two variants feed the feature vector:
+//! * **local** entropy — over the recent history of the *same* branch pc;
+//! * **global** entropy — over the recent history of *all* branches.
+
+use std::collections::HashMap;
+
+/// Sliding-window history of the last (up to) 64 outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+struct History {
+    bits: u64,
+    len: u8,
+}
+
+impl History {
+    const WINDOW: u8 = 64;
+
+    #[inline]
+    fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u64;
+        if self.len < Self::WINDOW {
+            self.len += 1;
+        }
+    }
+
+    /// Shannon entropy (bits) of the taken-rate over the window; 0 for
+    /// an empty window.
+    #[inline]
+    fn entropy(&self) -> f32 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let mask = if self.len == 64 { u64::MAX } else { (1u64 << self.len) - 1 };
+        let ones = (self.bits & mask).count_ones() as f32;
+        let p = ones / self.len as f32;
+        shannon(p)
+    }
+}
+
+/// Binary Shannon entropy `H(p)` in bits.
+#[inline]
+pub fn shannon(p: f32) -> f32 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+    }
+}
+
+/// Online local + global branch-entropy tracker.
+#[derive(Debug, Default)]
+pub struct BranchEntropy {
+    per_pc: HashMap<u64, History>,
+    global: History,
+}
+
+impl BranchEntropy {
+    /// Fresh tracker.
+    pub fn new() -> BranchEntropy {
+        BranchEntropy::default()
+    }
+
+    /// Entropy features for the branch at `pc` *before* recording its
+    /// outcome (the model must not see the answer), then update both
+    /// histories. Returns `(global, local)` entropies in bits.
+    pub fn observe(&mut self, pc: u64, taken: bool) -> (f32, f32) {
+        let local = self.per_pc.entry(pc).or_default();
+        let feats = (self.global.entropy(), local.entropy());
+        local.push(taken);
+        self.global.push(taken);
+        feats
+    }
+
+    /// Number of distinct branch pcs seen.
+    pub fn distinct_branches(&self) -> usize {
+        self.per_pc.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shannon_edge_cases() {
+        assert_eq!(shannon(0.0), 0.0);
+        assert_eq!(shannon(1.0), 0.0);
+        assert!((shannon(0.5) - 1.0).abs() < 1e-6);
+        // Symmetric.
+        assert!((shannon(0.2) - shannon(0.8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn always_taken_branch_has_zero_local_entropy() {
+        let mut be = BranchEntropy::new();
+        let mut last = (0.0, 0.0);
+        for _ in 0..100 {
+            last = be.observe(0x40, true);
+        }
+        assert_eq!(last.1, 0.0);
+    }
+
+    #[test]
+    fn alternating_branch_has_high_local_entropy() {
+        let mut be = BranchEntropy::new();
+        let mut taken = false;
+        let mut last = (0.0, 0.0);
+        for _ in 0..100 {
+            taken = !taken;
+            last = be.observe(0x40, taken);
+        }
+        assert!(last.1 > 0.95, "alternation is 50/50 taken: entropy {}", last.1);
+    }
+
+    #[test]
+    fn features_exclude_current_outcome() {
+        let mut be = BranchEntropy::new();
+        // First observation must see an empty history.
+        let (g, l) = be.observe(0x10, true);
+        assert_eq!((g, l), (0.0, 0.0));
+    }
+
+    #[test]
+    fn global_mixes_all_branches() {
+        let mut be = BranchEntropy::new();
+        // Branch A always taken, branch B always not taken: each is locally
+        // perfectly predictable, but globally the stream is 50/50.
+        let mut g = 0.0;
+        for _ in 0..200 {
+            be.observe(0xa0, true);
+            g = be.observe(0xb0, false).0;
+        }
+        let (_, la) = be.observe(0xa0, true);
+        assert_eq!(la, 0.0);
+        assert!(g > 0.9, "global entropy should be high, got {g}");
+    }
+
+    #[test]
+    fn biased_branch_has_intermediate_entropy() {
+        let mut be = BranchEntropy::new();
+        let mut last = 0.0;
+        for i in 0..640 {
+            last = be.observe(0x40, i % 8 != 0).1; // taken 7/8 of the time
+        }
+        assert!(last > 0.3 && last < 0.8, "7/8 bias entropy ~0.54, got {last}");
+    }
+
+    #[test]
+    fn distinct_branch_count() {
+        let mut be = BranchEntropy::new();
+        be.observe(1, true);
+        be.observe(2, false);
+        be.observe(1, true);
+        assert_eq!(be.distinct_branches(), 2);
+    }
+}

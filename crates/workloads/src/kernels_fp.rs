@@ -1,0 +1,581 @@
+//! Floating-point SPEC CPU2017-like kernels.
+//!
+//! As with the integer kernels, each program mirrors the dominant
+//! inner-loop character of its namesake: stencils for the climate codes,
+//! rsqrt-heavy force loops for the MD codes, SIMD convolution for
+//! imagick, and a bandwidth-hungry lattice-Boltzmann sweep for lbm.
+
+use perfvec_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_f64(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+fn random_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `527.cam4`-like: 2D five-point Jacobi stencil on a 128x128 f64 grid.
+///
+/// Streaming loads with strong spatial locality and a moderate FP
+/// add/mul mix — the climate-dynamics archetype.
+pub fn cam4_like() -> Program {
+    let n = 128usize;
+    let mut b = ProgramBuilder::new().with_name("527.cam4-like");
+    let src = b.alloc_f64_slice(&random_f64(0xca4, n * n, 0.0, 1.0));
+    let dst = b.alloc_zeroed((n * n * 8) as u64);
+
+    let (sbase, dbase, i, j, idx, t0) =
+        (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4), Reg::x(5), Reg::x(6));
+    let (c0, c1) = (Reg::f(0), Reg::f(1));
+    let (u, up, un, ul, ur, acc) =
+        (Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5), Reg::f(6), Reg::f(7));
+    let sweep = Reg::x(7);
+
+    b.li(sbase, src as i64);
+    b.li(dbase, dst as i64);
+    b.fli(c0, 0.5);
+    b.fli(c1, 0.125);
+    b.li(sweep, 0);
+    let sweep_loop = b.label();
+    {
+        b.li(i, 1);
+        let row_loop = b.label();
+        {
+            b.li(j, 1);
+            let col_loop = b.label();
+            {
+                // idx = (i*n + j) * 8
+                b.muli(idx, i, n as i64);
+                b.add(idx, idx, j);
+                b.shli(idx, idx, 3);
+                b.fld_idx(u, sbase, idx, 1, 0);
+                b.fld_idx(up, sbase, idx, 1, -(8 * n as i64));
+                b.fld_idx(un, sbase, idx, 1, 8 * n as i64);
+                b.fld_idx(ul, sbase, idx, 1, -8);
+                b.fld_idx(ur, sbase, idx, 1, 8);
+                b.fadd(acc, up, un);
+                b.fadd(acc, acc, ul);
+                b.fadd(acc, acc, ur);
+                b.fmul(acc, acc, c1);
+                b.fmadd(acc, u, c0, acc);
+                b.fst_idx(acc, dbase, idx, 1, 0);
+                b.addi(j, j, 1);
+                b.blt_imm(j, n as i64 - 1, col_loop);
+            }
+            b.addi(i, i, 1);
+            b.blt_imm(i, n as i64 - 1, row_loop);
+        }
+        // swap grids
+        b.mov(t0, sbase);
+        b.mov(sbase, dbase);
+        b.mov(dbase, t0);
+        b.addi(sweep, sweep, 1);
+        b.blt_imm(sweep, 12, sweep_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `538.imagick`-like: SIMD 3x3 convolution over a 128x128 f32 image.
+///
+/// The vector-heavy kernel of the suite: `vld`/`vfma`/`vst` inner loop
+/// plus a scalar clamp pass with `fmin`/`fmax`.
+pub fn imagick_like() -> Program {
+    let n = 128usize;
+    let mut b = ProgramBuilder::new().with_name("538.imagick-like");
+    let img = b.alloc_f32_slice(&random_f32(0x16c, n * n, 0.0, 255.0));
+    let out = b.alloc_zeroed((n * n * 4) as u64);
+    let coeffs = b.alloc_f64_slice(&[0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625]);
+
+    let (ibase, obase, cbase) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    let (i, j, row, t0) = (Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7));
+    let acc = Reg::v(0);
+    let pix = Reg::v(1);
+    // nine broadcast coefficients
+    let cvs: Vec<Reg> = (2..11).map(Reg::v).collect();
+    let (fc, zero) = (Reg::f(0), Reg::f(1));
+
+    b.li(ibase, img as i64);
+    b.li(obase, out as i64);
+    b.li(cbase, coeffs as i64);
+    b.fli(zero, 0.0);
+    for (k, cv) in cvs.iter().enumerate() {
+        b.fld(fc, cbase, (k * 8) as i64);
+        b.vsplat(*cv, fc);
+    }
+    b.vsplat(acc, zero);
+
+    b.li(i, 1);
+    let row_loop = b.label();
+    {
+        // row = base + i*n*4
+        b.muli(row, i, (n * 4) as i64);
+        b.add(row, row, ibase);
+        b.li(j, 4);
+        let col_loop = b.label();
+        {
+            b.vsplat(acc, zero);
+            let mut k = 0;
+            for di in -1i64..=1 {
+                for dj in -1i64..=1 {
+                    let off = di * (n as i64) * 4 + dj * 4;
+                    b.vld_idx(pix, row, j, 4, off);
+                    b.vfma(acc, pix, cvs[k], acc);
+                    k += 1;
+                }
+            }
+            // out[i*n + j .. +4] = acc
+            b.muli(t0, i, (n * 4) as i64);
+            b.add(t0, t0, obase);
+            b.shli(Reg::x(8), j, 2);
+            b.add(t0, t0, Reg::x(8));
+            b.vst(acc, t0, 0);
+            b.addi(j, j, 4);
+            b.blt_imm(j, n as i64 - 8, col_loop);
+        }
+        b.addi(i, i, 1);
+        b.blt_imm(i, n as i64 - 1, row_loop);
+    }
+    // scalar clamp pass over a sample of pixels
+    let (lo, hi, px) = (Reg::f(2), Reg::f(3), Reg::f(4));
+    b.fli(lo, 0.0);
+    b.fli(hi, 255.0);
+    b.li(i, 0);
+    let clamp_loop = b.label();
+    {
+        b.shli(t0, i, 2);
+        b.flw_idx(px, obase, t0, 1, 0);
+        b.fmax(px, px, lo);
+        b.fmin(px, px, hi);
+        b.fsw_idx(px, obase, t0, 1, 0);
+        b.addi(i, i, 7);
+        b.blt_imm(i, (n * n) as i64 - 8, clamp_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `544.nab`-like: pairwise nonbonded forces with rsqrt.
+///
+/// Gather loads of particle coordinates for pseudo-random pairs, a
+/// distance computation, and the `fsqrt`/`fdiv` chain that dominates
+/// molecular-dynamics kernels.
+pub fn nab_like() -> Program {
+    let np = 256usize;
+    let mut b = ProgramBuilder::new().with_name("544.nab-like");
+    let xs = b.alloc_f64_slice(&random_f64(0xab1, np, -10.0, 10.0));
+    let ys = b.alloc_f64_slice(&random_f64(0xab2, np, -10.0, 10.0));
+    let zs = b.alloc_f64_slice(&random_f64(0xab3, np, -10.0, 10.0));
+    let fx = b.alloc_zeroed((np * 8) as u64);
+
+    let (xb, yb, zb, fb) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
+    let (rng_s, pi, pj, t0, iter) = (Reg::x(5), Reg::x(6), Reg::x(7), Reg::x(8), Reg::x(9));
+    let (xi, yi, zi, xj, yj, zj) =
+        (Reg::f(0), Reg::f(1), Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5));
+    let (dx, dy, dz, r2, r, inv) =
+        (Reg::f(6), Reg::f(7), Reg::f(8), Reg::f(9), Reg::f(10), Reg::f(11));
+    let (one, eps, f, facc) = (Reg::f(12), Reg::f(13), Reg::f(14), Reg::f(15));
+
+    b.li(xb, xs as i64);
+    b.li(yb, ys as i64);
+    b.li(zb, zs as i64);
+    b.li(fb, fx as i64);
+    b.li(rng_s, 0x9d2c_5680);
+    b.fli(one, 1.0);
+    b.fli(eps, 1e-6);
+    b.li(iter, 0);
+    let pair_loop = b.label();
+    {
+        // pseudo-random pair (pi, pj)
+        b.muli(rng_s, rng_s, 6364136223846793005);
+        b.addi(rng_s, rng_s, 1442695040888963407);
+        b.shri(pi, rng_s, 33);
+        b.andi(pi, pi, np as i64 - 1);
+        b.shri(pj, rng_s, 17);
+        b.andi(pj, pj, np as i64 - 1);
+        b.shli(pi, pi, 3);
+        b.shli(pj, pj, 3);
+        b.fld_idx(xi, xb, pi, 1, 0);
+        b.fld_idx(yi, yb, pi, 1, 0);
+        b.fld_idx(zi, zb, pi, 1, 0);
+        b.fld_idx(xj, xb, pj, 1, 0);
+        b.fld_idx(yj, yb, pj, 1, 0);
+        b.fld_idx(zj, zb, pj, 1, 0);
+        b.fsub(dx, xi, xj);
+        b.fsub(dy, yi, yj);
+        b.fsub(dz, zi, zj);
+        b.fmul(r2, dx, dx);
+        b.fmadd(r2, dy, dy, r2);
+        b.fmadd(r2, dz, dz, r2);
+        b.fadd(r2, r2, eps);
+        b.fsqrt(r, r2);
+        b.fdiv(inv, one, r);
+        b.fmul(f, inv, inv);
+        b.fmul(f, f, inv);
+        // scatter-accumulate force on particle i
+        b.fld_idx(facc, fb, pi, 1, 0);
+        b.fmadd(facc, f, dx, facc);
+        b.fst_idx(facc, fb, pi, 1, 0);
+        b.addi(iter, iter, 1);
+        b.blt_imm(iter, 12_000, pair_loop);
+    }
+    b.mov(t0, iter);
+    b.halt();
+    b.build()
+}
+
+/// `549.fotonik3d`-like: 3D FDTD field update.
+///
+/// A flattened 24^3 electromagnetic update with three neighbour strides
+/// (1, n, n^2): the strided-streaming archetype.
+pub fn fotonik3d_like() -> Program {
+    let n = 24usize;
+    let total = n * n * n;
+    let (s1, s2) = ((n * 8) as i64, (n * n * 8) as i64);
+    let mut b = ProgramBuilder::new().with_name("549.fotonik3d-like");
+    let e_field = b.alloc_f64_slice(&random_f64(0xf07, total, -1.0, 1.0));
+    let h_field = b.alloc_f64_slice(&random_f64(0xf08, total, -1.0, 1.0));
+
+    let (eb, hb, idx, end, step) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4), Reg::x(5));
+    let (c1, c2, c3) = (Reg::f(0), Reg::f(1), Reg::f(2));
+    let (e, hp, hm, d, acc) = (Reg::f(3), Reg::f(4), Reg::f(5), Reg::f(6), Reg::f(7));
+
+    b.li(eb, e_field as i64);
+    b.li(hb, h_field as i64);
+    b.fli(c1, 0.4);
+    b.fli(c2, 0.25);
+    b.fli(c3, 0.15);
+    b.li(step, 0);
+    let time_loop = b.label();
+    {
+        b.li(idx, s2 + s1 + 8);
+        b.li(end, (total * 8) as i64 - s2 - s1 - 8);
+        let cell_loop = b.label();
+        {
+            b.fld_idx(e, eb, idx, 1, 0);
+            b.fld_idx(hp, hb, idx, 1, 8);
+            b.fld_idx(hm, hb, idx, 1, -8);
+            b.fsub(d, hp, hm);
+            b.fmul(acc, d, c1);
+            b.fld_idx(hp, hb, idx, 1, s1);
+            b.fld_idx(hm, hb, idx, 1, -s1);
+            b.fsub(d, hp, hm);
+            b.fmadd(acc, d, c2, acc);
+            b.fld_idx(hp, hb, idx, 1, s2);
+            b.fld_idx(hm, hb, idx, 1, -s2);
+            b.fsub(d, hp, hm);
+            b.fmadd(acc, d, c3, acc);
+            b.fadd(e, e, acc);
+            b.fst_idx(e, eb, idx, 1, 0);
+            b.addi(idx, idx, 8);
+            b.blt(idx, end, cell_loop);
+        }
+        b.addi(step, step, 1);
+        b.blt_imm(step, 10, time_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `507.cactuBSSN`-like: high-arithmetic-intensity relativity update.
+///
+/// Per grid point: six input loads feeding a ~30-operation chained FP
+/// expression and three output stores — compute-bound with deep
+/// dependency chains, unlike the streaming stencils.
+pub fn cactubssn_like() -> Program {
+    let npts = 4096usize;
+    let mut b = ProgramBuilder::new().with_name("507.cactuBSSN-like");
+    let gxx = b.alloc_f64_slice(&random_f64(0xbb1, npts, 0.5, 2.0));
+    let gxy = b.alloc_f64_slice(&random_f64(0xbb2, npts, -0.5, 0.5));
+    let gyy = b.alloc_f64_slice(&random_f64(0xbb3, npts, 0.5, 2.0));
+    let kxx = b.alloc_f64_slice(&random_f64(0xbb4, npts, -0.1, 0.1));
+    let kxy = b.alloc_f64_slice(&random_f64(0xbb5, npts, -0.1, 0.1));
+    let kyy = b.alloc_f64_slice(&random_f64(0xbb6, npts, -0.1, 0.1));
+    let out1 = b.alloc_zeroed((npts * 8) as u64);
+    let out2 = b.alloc_zeroed((npts * 8) as u64);
+
+    let bases: Vec<Reg> = (1..=8).map(Reg::x).collect();
+    let (idx, rounds) = (Reg::x(9), Reg::x(10));
+    let (a, c, d, e, f, g) =
+        (Reg::f(0), Reg::f(1), Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5));
+    let (t1, t2, t3, det, tr, r1, r2) = (
+        Reg::f(6),
+        Reg::f(7),
+        Reg::f(8),
+        Reg::f(9),
+        Reg::f(10),
+        Reg::f(11),
+        Reg::f(12),
+    );
+    let half = Reg::f(13);
+
+    for (r, addr) in bases.iter().zip([gxx, gxy, gyy, kxx, kxy, kyy, out1, out2]) {
+        b.li(*r, addr as i64);
+    }
+    b.fli(half, 0.5);
+    b.li(rounds, 0);
+    let round_loop = b.label();
+    {
+        b.li(idx, 0);
+        let pt_loop = b.label();
+        {
+            b.fld_idx(a, bases[0], idx, 1, 0);
+            b.fld_idx(c, bases[1], idx, 1, 0);
+            b.fld_idx(d, bases[2], idx, 1, 0);
+            b.fld_idx(e, bases[3], idx, 1, 0);
+            b.fld_idx(f, bases[4], idx, 1, 0);
+            b.fld_idx(g, bases[5], idx, 1, 0);
+            // det = a*d - c*c ; tr = a + d
+            b.fmul(det, a, d);
+            b.fneg(t1, c);
+            b.fmadd(det, t1, c, det);
+            b.fadd(tr, a, d);
+            // r1 = e*a*a + 2*f*a*c + g*c*c   (curvature contraction flavour)
+            b.fmul(t1, a, a);
+            b.fmul(r1, e, t1);
+            b.fmul(t2, a, c);
+            b.fadd(t2, t2, t2);
+            b.fmadd(r1, f, t2, r1);
+            b.fmul(t3, c, c);
+            b.fmadd(r1, g, t3, r1);
+            // r2 = (tr * det - r1) * 0.5 + chained corrections
+            b.fmul(r2, tr, det);
+            b.fsub(r2, r2, r1);
+            b.fmul(r2, r2, half);
+            b.fmadd(r2, r1, half, r2);
+            b.fmul(t1, r1, r1);
+            b.fmadd(r2, t1, half, r2);
+            b.fmul(t2, det, det);
+            b.fmadd(r1, t2, half, r1);
+            b.fst_idx(r1, bases[6], idx, 1, 0);
+            b.fst_idx(r2, bases[7], idx, 1, 0);
+            b.addi(idx, idx, 8);
+            b.blt_imm(idx, (npts * 8) as i64, pt_loop);
+        }
+        b.addi(rounds, rounds, 1);
+        b.blt_imm(rounds, 6, round_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `508.namd`-like: cutoff-limited n-body force loop.
+///
+/// For each particle, a neighbour window with a *data-dependent* cutoff
+/// branch (`fclt`), and an rsqrt force path for pairs inside the cutoff.
+pub fn namd_like() -> Program {
+    let np = 512usize;
+    let mut b = ProgramBuilder::new().with_name("508.namd-like");
+    let xs = b.alloc_f64_slice(&random_f64(0xad1, np, -8.0, 8.0));
+    let ys = b.alloc_f64_slice(&random_f64(0xad2, np, -8.0, 8.0));
+    let forces = b.alloc_zeroed((np * 8) as u64);
+
+    let (xb, yb, fb) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    let (i, j, jend, t0, cmp) = (Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7), Reg::x(8));
+    let (xi, yi, xj, yj, dx, dy) =
+        (Reg::f(0), Reg::f(1), Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5));
+    let (r2, r, inv, one, cutoff, facc) =
+        (Reg::f(6), Reg::f(7), Reg::f(8), Reg::f(9), Reg::f(10), Reg::f(11));
+
+    b.li(xb, xs as i64);
+    b.li(yb, ys as i64);
+    b.li(fb, forces as i64);
+    b.fli(one, 1.0);
+    b.fli(cutoff, 36.0); // squared cutoff
+    b.li(i, 0);
+    let i_loop = b.label();
+    {
+        b.shli(t0, i, 3);
+        b.fld_idx(xi, xb, t0, 1, 0);
+        b.fld_idx(yi, yb, t0, 1, 0);
+        b.fld_idx(facc, fb, t0, 1, 0);
+        // neighbour window: the next 48 particles (wrapping)
+        b.addi(j, i, 1);
+        b.addi(jend, i, 49);
+        let j_loop = b.label();
+        {
+            b.andi(t0, j, np as i64 - 1);
+            b.shli(t0, t0, 3);
+            b.fld_idx(xj, xb, t0, 1, 0);
+            b.fld_idx(yj, yb, t0, 1, 0);
+            b.fsub(dx, xi, xj);
+            b.fsub(dy, yi, yj);
+            b.fmul(r2, dx, dx);
+            b.fmadd(r2, dy, dy, r2);
+            // cutoff test: skip far pairs
+            let skip = b.fwd_label();
+            b.fclt(cmp, r2, cutoff);
+            b.beq_imm(cmp, 0, skip);
+            b.fsqrt(r, r2);
+            b.fdiv(inv, one, r);
+            b.fmul(inv, inv, inv);
+            b.fmadd(facc, inv, dx, facc);
+            b.bind(skip);
+            b.addi(j, j, 1);
+            b.blt(j, jend, j_loop);
+        }
+        b.shli(t0, i, 3);
+        b.fst_idx(facc, fb, t0, 1, 0);
+        b.addi(i, i, 1);
+        b.blt_imm(i, np as i64, i_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `519.lbm`-like: lattice-Boltzmann collision + streaming sweep.
+///
+/// Nine distribution planes over a 128x128 grid (~1.2 MiB): every cell
+/// loads 9 values, computes density/velocity moments (with an `fdiv`),
+/// relaxes each distribution, and stores all 9 back. Bandwidth-bound
+/// with heavy store traffic — deliberately unlike any training kernel,
+/// which is why the paper sees it as the generalization outlier.
+pub fn lbm_like() -> Program {
+    let n = 128usize;
+    let cells = n * n;
+    let mut b = ProgramBuilder::new().with_name("519.lbm-like");
+    // 9 contiguous planes of f64
+    let planes: Vec<u64> =
+        (0..9).map(|k| b.alloc_f64_slice(&random_f64(0x1b0 + k, cells, 0.05, 0.15))).collect();
+
+    let pbase: Vec<Reg> = (1..=9).map(Reg::x).collect();
+    let (idx, sweep) = (Reg::x(10), Reg::x(11));
+    let fr: Vec<Reg> = (0..9).map(|k| Reg::f(k as u8)).collect();
+    let (rho, ux, inv, one, omega, feq, t0) = (
+        Reg::f(9),
+        Reg::f(10),
+        Reg::f(11),
+        Reg::f(12),
+        Reg::f(13),
+        Reg::f(14),
+        Reg::f(15),
+    );
+
+    for (r, addr) in pbase.iter().zip(&planes) {
+        b.li(*r, *addr as i64);
+    }
+    b.fli(one, 1.0);
+    b.fli(omega, 0.6);
+    b.li(sweep, 0);
+    let sweep_loop = b.label();
+    {
+        b.li(idx, 0);
+        let cell_loop = b.label();
+        {
+            // load all 9 distributions
+            for k in 0..9 {
+                b.fld_idx(fr[k], pbase[k], idx, 1, 0);
+            }
+            // rho = sum f_k
+            b.fadd(rho, fr[0], fr[1]);
+            for k in 2..9 {
+                b.fadd(rho, rho, fr[k]);
+            }
+            // ux = (f1 - f3 + f5 - f7) / rho
+            b.fsub(ux, fr[1], fr[3]);
+            b.fadd(ux, ux, fr[5]);
+            b.fsub(ux, ux, fr[7]);
+            b.fdiv(inv, one, rho);
+            b.fmul(ux, ux, inv);
+            // relax: f_k += omega * (feq_k - f_k), feq_k = w_k * rho * (1 + 3 c_k ux)
+            for k in 0..9 {
+                let w = [4.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 36.0,
+                    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0][k];
+                let cx = [0.0, 1.0, 0.0, -1.0, 0.0, 1.0, -1.0, -1.0, 1.0][k];
+                b.fli(feq, 3.0 * cx);
+                b.fmul(feq, feq, ux);
+                b.fadd(feq, feq, one);
+                b.fmul(feq, feq, rho);
+                b.fli(t0, w);
+                b.fmul(feq, feq, t0);
+                b.fsub(feq, feq, fr[k]);
+                b.fmadd(fr[k], feq, omega, fr[k]);
+                b.fst_idx(fr[k], pbase[k], idx, 1, 0);
+            }
+            b.addi(idx, idx, 8);
+            b.blt_imm(idx, (cells * 8) as i64, cell_loop);
+        }
+        b.addi(sweep, sweep, 1);
+        b.blt_imm(sweep, 4, sweep_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `521.wrf`-like: branchy microphysics update.
+///
+/// Per cell: a data-dependent saturation test splits flow between a
+/// condensation path (`fdiv`) and a decay path (`fmul`) — FP work with
+/// weather-model-style conditionals.
+pub fn wrf_like() -> Program {
+    let n = 96usize;
+    let cells = n * n;
+    let mut b = ProgramBuilder::new().with_name("521.wrf-like");
+    let temp = b.alloc_f64_slice(&random_f64(0x3f1, cells, 250.0, 310.0));
+    let qv = b.alloc_f64_slice(&random_f64(0x3f2, cells, 0.0, 0.02));
+    let qc = b.alloc_zeroed((cells * 8) as u64);
+
+    let (tb, qb, cb, idx, cmp, step) =
+        (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4), Reg::x(5), Reg::x(6));
+    let (t, q, c, qs, d, k1, k2, decay) = (
+        Reg::f(0),
+        Reg::f(1),
+        Reg::f(2),
+        Reg::f(3),
+        Reg::f(4),
+        Reg::f(5),
+        Reg::f(6),
+        Reg::f(7),
+    );
+    let t300 = Reg::f(8);
+
+    b.li(tb, temp as i64);
+    b.li(qb, qv as i64);
+    b.li(cb, qc as i64);
+    b.fli(k1, 0.01);
+    b.fli(k2, 0.0004);
+    b.fli(decay, 0.98);
+    b.fli(t300, 300.0);
+    b.li(step, 0);
+    let time_loop = b.label();
+    {
+        b.li(idx, 0);
+        let cell_loop = b.label();
+        {
+            b.fld_idx(t, tb, idx, 1, 0);
+            b.fld_idx(q, qb, idx, 1, 0);
+            b.fld_idx(c, cb, idx, 1, 0);
+            // qs = k1 + k2 * (t - 300) : crude saturation curve
+            b.fsub(qs, t, t300);
+            b.fmul(qs, qs, k2);
+            b.fadd(qs, qs, k1);
+            let dry = b.fwd_label();
+            let store = b.fwd_label();
+            b.fclt(cmp, qs, q);
+            b.beq_imm(cmp, 0, dry);
+            // supersaturated: condense excess (fdiv-normalised)
+            b.fsub(d, q, qs);
+            b.fdiv(d, d, t); // temperature-scaled
+            b.fadd(c, c, d);
+            b.fsub(q, q, d);
+            b.j(store);
+            b.bind(dry);
+            // subsaturated: cloud decays
+            b.fmul(c, c, decay);
+            b.bind(store);
+            b.fst_idx(q, qb, idx, 1, 0);
+            b.fst_idx(c, cb, idx, 1, 0);
+            b.addi(idx, idx, 8);
+            b.blt_imm(idx, (cells * 8) as i64, cell_loop);
+        }
+        b.addi(step, step, 1);
+        b.blt_imm(step, 10, time_loop);
+    }
+    b.halt();
+    b.build()
+}

@@ -1,0 +1,541 @@
+//! Integer-dominated SPEC CPU2017-like kernels.
+//!
+//! Each kernel is a hand-written program in the `perfvec-isa` ISA,
+//! modelled on the dominant inner-loop behaviour of the SPEC code it
+//! stands in for (instruction mix, locality profile, branch behaviour,
+//! working-set size). Names follow Table II of the paper.
+
+use perfvec_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random byte buffer for kernel inputs.
+fn random_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Deterministic random permutation of `0..n` (as byte offsets of
+/// `stride`), used for pointer-chasing workloads.
+fn random_permutation(seed: u64, n: usize, stride: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (1..n).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    // Single-cycle permutation: 0 -> order[0] -> ... -> 0.
+    let mut next = vec![0u64; n];
+    let mut cur = 0usize;
+    for &o in &order {
+        next[cur] = o as u64 * stride;
+        cur = o;
+    }
+    next[cur] = 0;
+    next
+}
+
+/// `525.x264`-like: motion-estimation SAD search.
+///
+/// Sum-of-absolute-differences between a 16x16 reference block and many
+/// candidate blocks of a frame buffer: byte loads with high spatial
+/// locality, arithmetic abs (branch-free), and a fairly predictable
+/// best-candidate comparison branch.
+pub fn x264_like() -> Program {
+    let mut b = ProgramBuilder::new().with_name("525.x264-like");
+    let frame = b.alloc_data(random_bytes(0x5264, 256 * 256));
+    let refblk = b.alloc_data(random_bytes(0x5265, 16 * 16));
+
+    let (fbase, rbase) = (Reg::x(1), Reg::x(2));
+    let (cand, row, col) = (Reg::x(3), Reg::x(4), Reg::x(5));
+    let (pa, pb, va, vb) = (Reg::x(6), Reg::x(7), Reg::x(8), Reg::x(9));
+    let (diff, sign, sad, best) = (Reg::x(10), Reg::x(11), Reg::x(12), Reg::x(13));
+    let (bestc, t0) = (Reg::x(14), Reg::x(15));
+
+    b.li(fbase, frame as i64);
+    b.li(rbase, refblk as i64);
+    b.li(best, i64::MAX);
+    b.li(bestc, 0);
+    b.li(cand, 0);
+    let cand_loop = b.label();
+    {
+        b.li(sad, 0);
+        // pa = frame + cand*67 (pseudo search pattern), pb = ref
+        b.muli(t0, cand, 67);
+        b.add(pa, fbase, t0);
+        b.mov(pb, rbase);
+        b.li(row, 0);
+        let row_loop = b.label();
+        {
+            b.li(col, 0);
+            let col_loop = b.label();
+            {
+                b.ld_idx(va, pa, col, 1, 0, 1);
+                b.ld_idx(vb, pb, col, 1, 0, 1);
+                b.sub(diff, va, vb);
+                // branch-free abs
+                b.srai(sign, diff, 63);
+                b.xor(diff, diff, sign);
+                b.sub(diff, diff, sign);
+                b.add(sad, sad, diff);
+                b.addi(col, col, 1);
+                b.blt_imm(col, 16, col_loop);
+            }
+            b.addi(pa, pa, 256);
+            b.addi(pb, pb, 16);
+            b.addi(row, row, 1);
+            b.blt_imm(row, 16, row_loop);
+        }
+        let not_better = b.fwd_label();
+        b.bge(sad, best, not_better);
+        b.mov(best, sad);
+        b.mov(bestc, cand);
+        b.bind(not_better);
+        b.addi(cand, cand, 1);
+        b.blt_imm(cand, 600, cand_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `531.deepsjeng`-like: game-tree descent.
+///
+/// Iterative alpha-beta-style walks down an array-encoded tree with
+/// data-dependent (hard to predict) left/right decisions and
+/// min/max-style accumulation.
+pub fn deepsjeng_like() -> Program {
+    let depth = 14usize;
+    let nodes = 1usize << depth; // 16k nodes * 8 B = 128 KiB
+    let mut rng = StdRng::seed_from_u64(0x1e55);
+    let vals: Vec<u64> = (0..nodes).map(|_| rng.gen::<u32>() as u64).collect();
+
+    let mut b = ProgramBuilder::new().with_name("531.deepsjeng-like");
+    let tree = b.alloc_u64_slice(&vals);
+
+    let (base, node, lvl, h, v) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4), Reg::x(5));
+    let (score, iter, t0, t1) = (Reg::x(6), Reg::x(7), Reg::x(8), Reg::x(9));
+
+    b.li(base, tree as i64);
+    b.li(h, 0x9e3779b9);
+    b.li(score, 0);
+    b.li(iter, 0);
+    let game_loop = b.label();
+    {
+        b.li(node, 1);
+        b.li(lvl, 0);
+        let descend = b.label();
+        {
+            b.ld_idx(v, base, node, 8, 0, 8);
+            // mix the node value into a running hash
+            b.xor(h, h, v);
+            b.muli(h, h, 0x85eb_ca6b);
+            b.shri(t0, h, 13);
+            b.xor(h, h, t0);
+            // child = 2*node + (h & 1): data-dependent direction
+            b.andi(t1, h, 1);
+            b.shli(node, node, 1);
+            b.add(node, node, t1);
+            // min/max flavour: alternate add/sub of the node value
+            let odd = b.fwd_label();
+            let join = b.fwd_label();
+            b.andi(t0, lvl, 1);
+            b.bne_imm(t0, 0, odd);
+            b.add(score, score, v);
+            b.j(join);
+            b.bind(odd);
+            b.sub(score, score, v);
+            b.bind(join);
+            b.addi(lvl, lvl, 1);
+            b.blt_imm(lvl, depth as i64 - 1, descend);
+        }
+        b.addi(iter, iter, 1);
+        b.blt_imm(iter, 900, game_loop);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `548.exchange2`-like: recursive permutation enumeration.
+///
+/// Call/return heavy: a recursive generator over a 6-slot board with a
+/// parity-counting "constraint check" in the leaves. Exercises deep
+/// recursion, the stack, and return-address (indirect) branches.
+pub fn exchange2_like() -> Program {
+    let mut b = ProgramBuilder::new().with_name("548.exchange2-like");
+    let board = b.alloc_u64_slice(&[0, 1, 2, 3, 4, 5]);
+
+    let sp = Reg::SP;
+    let (base, count, rounds) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    let (k, i, t0, t1, t2) = (Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7), Reg::x(8));
+
+    let permute = b.fwd_label();
+    b.li(base, board as i64);
+    b.li(count, 0);
+    b.li(rounds, 0);
+    let round_loop = b.label();
+    b.li(k, 0);
+    b.call(permute);
+    b.addi(rounds, rounds, 1);
+    b.blt_imm(rounds, 35, round_loop);
+    b.halt();
+
+    // fn permute(k): enumerate permutations of board[k..6]
+    b.bind(permute);
+    {
+        let recurse = b.fwd_label();
+        let done = b.fwd_label();
+        b.blt_imm(k, 5, recurse);
+        // leaf: count permutations whose alternating sum is even
+        b.ld(t0, base, 0, 8);
+        b.ld(t1, base, 8, 8);
+        b.add(t0, t0, t1);
+        b.ld(t1, base, 16, 8);
+        b.xor(t0, t0, t1);
+        b.andi(t0, t0, 1);
+        b.add(count, count, t0);
+        b.j(done);
+
+        b.bind(recurse);
+        // stack frame: save link, k, i
+        b.subi(sp, sp, 24);
+        b.st(Reg::LINK, sp, 0, 8);
+        b.st(k, sp, 8, 8);
+        b.mov(i, k);
+        let swap_loop = b.label();
+        {
+            b.st(i, sp, 16, 8);
+            // swap board[k], board[i]
+            b.ld_idx(t0, base, k, 8, 0, 8);
+            b.ld_idx(t1, base, i, 8, 0, 8);
+            b.st_idx(t1, base, k, 8, 0, 8);
+            b.st_idx(t0, base, i, 8, 0, 8);
+            // permute(k + 1)
+            b.addi(k, k, 1);
+            b.call(permute);
+            // restore k, i
+            b.ld(k, sp, 8, 8);
+            b.ld(i, sp, 16, 8);
+            // swap back
+            b.ld_idx(t0, base, k, 8, 0, 8);
+            b.ld_idx(t2, base, i, 8, 0, 8);
+            b.st_idx(t2, base, k, 8, 0, 8);
+            b.st_idx(t0, base, i, 8, 0, 8);
+            b.addi(i, i, 1);
+            b.blt_imm(i, 6, swap_loop);
+        }
+        b.ld(Reg::LINK, sp, 0, 8);
+        b.addi(sp, sp, 24);
+        b.bind(done);
+        b.ret();
+    }
+    b.build()
+}
+
+/// `557.xz`-like: LZ-style hash-chain match finding.
+///
+/// Rolling 4-byte hash over a text buffer, hash-table probe, and a
+/// data-dependent byte-comparison loop for match extension.
+pub fn xz_like() -> Program {
+    let text_len = 96 * 1024;
+    let mut text = random_bytes(0x575a, text_len);
+    // Inject repetition so matches actually occur.
+    for i in (4096..text_len).step_by(7) {
+        text[i] = text[i - 4096];
+    }
+    let mut b = ProgramBuilder::new().with_name("557.xz-like");
+    let text_a = b.alloc_data(text);
+    let table = b.alloc_zeroed(4096 * 8);
+
+    let (tbase, hbase, pos) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    let (w, h, cand, len) = (Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7));
+    let (ca, cb, t0, total) = (Reg::x(8), Reg::x(9), Reg::x(10), Reg::x(11));
+
+    b.li(tbase, text_a as i64);
+    b.li(hbase, table as i64);
+    b.li(total, 0);
+    b.li(pos, 0);
+    let scan = b.label();
+    {
+        // h = (load32(text+pos) * prime) >> 52  (12-bit bucket)
+        b.ld_idx(w, tbase, pos, 1, 0, 4);
+        b.muli(h, w, 0x9E37_79B1);
+        b.shri(h, h, 52);
+        // cand = table[h]; table[h] = pos
+        b.ld_idx(cand, hbase, h, 8, 0, 8);
+        b.st_idx(pos, hbase, h, 8, 0, 8);
+        // match extension: compare up to 16 bytes
+        b.li(len, 0);
+        let extend = b.label();
+        let stop = b.fwd_label();
+        {
+            b.add(t0, cand, len);
+            b.ld_idx(ca, tbase, t0, 1, 0, 1);
+            b.add(t0, pos, len);
+            b.ld_idx(cb, tbase, t0, 1, 0, 1);
+            b.bne(ca, cb, stop);
+            b.addi(len, len, 1);
+            b.blt_imm(len, 16, extend);
+        }
+        b.bind(stop);
+        b.add(total, total, len);
+        b.addi(pos, pos, 3);
+        b.blt_imm(pos, (text_len - 64) as i64, scan);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `999.specrand`-like: linear congruential RNG with a small histogram.
+pub fn specrand_like() -> Program {
+    let mut b = ProgramBuilder::new().with_name("999.specrand-like");
+    let hist = b.alloc_zeroed(256 * 8);
+
+    let (hbase, x, bucket, t0, i) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4), Reg::x(5));
+    b.li(hbase, hist as i64);
+    b.li(x, 0x2545F491_4F6CDD1D);
+    b.li(i, 0);
+    let top = b.label();
+    {
+        b.muli(x, x, 6364136223846793005);
+        b.addi(x, x, 1442695040888963407);
+        b.shri(bucket, x, 33);
+        b.andi(bucket, bucket, 255);
+        b.ld_idx(t0, hbase, bucket, 8, 0, 8);
+        b.addi(t0, t0, 1);
+        b.st_idx(t0, hbase, bucket, 8, 0, 8);
+        b.addi(i, i, 1);
+        b.blt_imm(i, 16_000, top);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `500.perlbench`-like: string hashing into a chained hash table.
+///
+/// Byte-granular string hashing (djb2 flavour) plus hash-table probes
+/// with equality re-checks: branchy, load-heavy, modest working set.
+pub fn perlbench_like() -> Program {
+    let text_len = 64 * 1024;
+    let mut b = ProgramBuilder::new().with_name("500.perlbench-like");
+    let text = b.alloc_data(random_bytes(0x9e81, text_len));
+    let table = b.alloc_zeroed(2048 * 8);
+
+    let (tbase, hbase, pos) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    let (h, j, c, slot) = (Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7));
+    let (old, hits, t0) = (Reg::x(8), Reg::x(9), Reg::x(10));
+
+    b.li(tbase, text as i64);
+    b.li(hbase, table as i64);
+    b.li(hits, 0);
+    b.li(pos, 0);
+    let outer = b.label();
+    {
+        // hash 24-byte "string" at pos
+        b.li(h, 5381);
+        b.li(j, 0);
+        let hash_loop = b.label();
+        {
+            b.add(t0, pos, j);
+            b.ld_idx(c, tbase, t0, 1, 0, 1);
+            b.shli(t0, h, 5);
+            b.add(h, h, t0);
+            b.add(h, h, c);
+            b.addi(j, j, 1);
+            b.blt_imm(j, 24, hash_loop);
+        }
+        b.andi(slot, h, 2047);
+        b.ld_idx(old, hbase, slot, 8, 0, 8);
+        let miss = b.fwd_label();
+        let done = b.fwd_label();
+        b.bne(old, h, miss);
+        b.addi(hits, hits, 1);
+        b.j(done);
+        b.bind(miss);
+        b.st_idx(h, hbase, slot, 8, 0, 8);
+        b.bind(done);
+        b.addi(pos, pos, 11);
+        b.blt_imm(pos, (text_len - 32) as i64, outer);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `502.gcc`-like: bytecode interpreter with an indirect jump table.
+///
+/// Classic compiler/interpreter behaviour: load an opcode, dispatch
+/// through a computed `jr` (stressing the BTB with many targets), run a
+/// short handler over a virtual register file.
+pub fn gcc_like() -> Program {
+    let n_ops = 8192usize;
+    let mut rng = StdRng::seed_from_u64(0x6cc);
+    let ops: Vec<u64> = (0..n_ops).map(|_| rng.gen_range(0..8u64)).collect();
+
+    let mut b = ProgramBuilder::new().with_name("502.gcc-like");
+    let code = b.alloc_u64_slice(&ops);
+    let vregs = b.alloc_zeroed(16 * 8);
+
+    let (cbase, vbase, ip) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    let (opv, target, acc) = (Reg::x(4), Reg::x(5), Reg::x(6));
+    let (t0, t1, rounds) = (Reg::x(7), Reg::x(8), Reg::x(9));
+
+    let tramp = b.fwd_label();
+    let next = b.fwd_label();
+    b.li(cbase, code as i64);
+    b.li(vbase, vregs as i64);
+    b.li(acc, 7);
+    b.li(rounds, 0);
+    b.li(ip, 0);
+    let fetch = b.label();
+    {
+        b.ld_idx(opv, cbase, ip, 8, 0, 8);
+        // target = trampoline + op * 8 (each trampoline slot is j + nop)
+        b.li_label(target, tramp);
+        b.shli(t0, opv, 3);
+        b.add(target, target, t0);
+        b.jr(target);
+    }
+    // trampoline: 8 slots of (j handler; nop)
+    b.bind(tramp);
+    let handlers: Vec<_> = (0..8).map(|_| b.fwd_label()).collect();
+    for h in &handlers {
+        b.j(*h);
+        b.nop();
+    }
+    // handlers: small virtual-register ops
+    for (k, h) in handlers.iter().enumerate() {
+        b.bind(*h);
+        match k {
+            0 => {
+                b.addi(acc, acc, 3);
+            }
+            1 => {
+                b.muli(acc, acc, 5);
+            }
+            2 => {
+                b.xori(acc, acc, 0x55);
+            }
+            3 => {
+                b.andi(t1, acc, 15);
+                b.ld_idx(t0, vbase, t1, 8, 0, 8);
+                b.add(acc, acc, t0);
+            }
+            4 => {
+                b.andi(t1, acc, 15);
+                b.st_idx(acc, vbase, t1, 8, 0, 8);
+            }
+            5 => {
+                b.shri(acc, acc, 1);
+            }
+            6 => {
+                b.subi(acc, acc, 9);
+            }
+            _ => {
+                b.shli(t0, acc, 3);
+                b.xor(acc, acc, t0);
+            }
+        }
+        b.j(next);
+    }
+    b.bind(next);
+    b.addi(ip, ip, 1);
+    let keep_going = b.fwd_label();
+    let finish = b.fwd_label();
+    b.blt_imm(ip, n_ops as i64, keep_going);
+    b.li(ip, 0);
+    b.addi(rounds, rounds, 1);
+    b.bge_imm(rounds, 3, finish);
+    b.bind(keep_going);
+    b.j(fetch);
+    b.bind(finish);
+    b.halt();
+    b.build()
+}
+
+/// `505.mcf`-like: large-footprint pointer chasing.
+///
+/// A 2 MiB random cyclic permutation chased with dependent loads plus a
+/// cost-update store phase: memory-latency bound on every machine, the
+/// way 505.mcf is.
+pub fn mcf_like() -> Program {
+    let n = 256 * 1024; // 2 MiB of u64
+    let next = random_permutation(0x3cf, n, 8);
+    let mut b = ProgramBuilder::new().with_name("505.mcf-like");
+    let arr = b.alloc_u64_slice(&next);
+    let costs = b.alloc_zeroed(64 * 1024);
+
+    let (base, cbase, p, i) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
+    let (t0, t1, acc) = (Reg::x(5), Reg::x(6), Reg::x(7));
+
+    b.li(base, arr as i64);
+    b.li(cbase, costs as i64);
+    b.li(p, 0);
+    b.li(acc, 0);
+    b.li(i, 0);
+    let chase = b.label();
+    {
+        b.ld_idx(p, base, p, 1, 0, 8); // p = next[p]
+        b.add(acc, acc, p);
+        // sparse cost update
+        b.andi(t0, p, 0xFFF8);
+        b.ld_idx(t1, cbase, t0, 1, 0, 8);
+        b.add(t1, t1, acc);
+        b.st_idx(t1, cbase, t0, 1, 0, 8);
+        b.addi(i, i, 1);
+        b.blt_imm(i, 30_000, chase);
+    }
+    b.halt();
+    b.build()
+}
+
+/// `523.xalancbmk`-like: binary-search-tree walking.
+///
+/// Repeated lookups in a 64K-node array-encoded BST: data-dependent
+/// compare branches and dependent index loads over a ~1.5 MiB working
+/// set (tree-shaped, unlike mcf's uniform chase).
+pub fn xalancbmk_like() -> Program {
+    let n_nodes = 65_536usize;
+    let mut rng = StdRng::seed_from_u64(0xa1a);
+    // Node i holds a random key; children are 2i/2i+1 (implicit heap layout).
+    let keys: Vec<u64> = (0..n_nodes).map(|_| rng.gen::<u32>() as u64).collect();
+
+    let mut b = ProgramBuilder::new().with_name("523.xalancbmk-like");
+    let tree = b.alloc_u64_slice(&keys);
+
+    let (base, node, key, v) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
+    let (x, found, q, t0) = (Reg::x(5), Reg::x(6), Reg::x(7), Reg::x(8));
+
+    b.li(base, tree as i64);
+    b.li(x, 0x1234_5678_9abc_def1u64 as i64);
+    b.li(found, 0);
+    b.li(q, 0);
+    let query = b.label();
+    {
+        // pseudo-random probe key
+        b.muli(x, x, 6364136223846793005);
+        b.addi(x, x, 1442695040888963407);
+        b.shri(key, x, 32);
+        b.li(node, 1);
+        let walk = b.label();
+        let leaf = b.fwd_label();
+        {
+            b.ld_idx(v, base, node, 8, 0, 8);
+            b.shli(node, node, 1);
+            let right = b.fwd_label();
+            let cont = b.fwd_label();
+            b.blt(key, v, right);
+            b.addi(node, node, 1); // go right
+            b.bind(right);
+            b.bind(cont);
+            b.add(found, found, v);
+            b.bge_imm(node, n_nodes as i64, leaf);
+            b.j(walk);
+        }
+        b.bind(leaf);
+        b.addi(q, q, 1);
+        b.blt_imm(q, 2_500, query);
+    }
+    // mix t0 so it is not dead
+    b.mov(t0, found);
+    b.halt();
+    b.build()
+}

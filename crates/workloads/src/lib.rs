@@ -1,0 +1,36 @@
+//! # perfvec-workloads
+//!
+//! The SPEC CPU2017 stand-in: seventeen synthetic kernels written in the
+//! `perfvec-isa` ISA, named after and modelled on the SPEC codes of the
+//! paper's Table II, plus the tiled matrix multiply used by the
+//! loop-tiling analysis (Figure 8).
+//!
+//! Each kernel reproduces the dominant inner-loop *behaviour* of its
+//! namesake — instruction mix, working-set size, locality profile, and
+//! branch character — so the suite spans the axes PerfVec's
+//! generalization claims depend on: pointer-chasing (`505.mcf-like`),
+//! streaming stencils (`527.cam4-like`, `549.fotonik3d-like`),
+//! bandwidth-bound lattice updates (`519.lbm-like`), SIMD image work
+//! (`538.imagick-like`), rsqrt-heavy MD (`544.nab-like`,
+//! `508.namd-like`), interpreter dispatch (`502.gcc-like`), deep
+//! recursion (`548.exchange2-like`), and branchy search
+//! (`531.deepsjeng-like`, `523.xalancbmk-like`).
+//!
+//! ```
+//! use perfvec_workloads::suite::{training_suite, testing_suite};
+//!
+//! // Table II split: 9 training programs, 8 testing programs.
+//! assert_eq!(training_suite().len(), 9);
+//! assert_eq!(testing_suite().len(), 8);
+//!
+//! let trace = training_suite()[0].trace(5_000);
+//! assert!(trace.len() > 1_000);
+//! ```
+
+pub mod kernels_fp;
+pub mod kernels_int;
+pub mod matmul;
+pub mod suite;
+
+pub use matmul::{matmul_tiled, DEFAULT_N};
+pub use suite::{by_name, suite, testing_suite, training_suite, SuiteRole, Workload, WorkloadKind};

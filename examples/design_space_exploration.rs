@@ -1,0 +1,99 @@
+//! Design-space exploration with a pre-trained foundation model
+//! (the Section VI-A workflow on a small budget).
+//!
+//! Picks L1/L2 cache sizes for a Cortex-A7-like core by (1) simulating a
+//! few sampled cache points to tune a configuration-to-representation
+//! MLP, then (2) sweeping the whole grid with dot products.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use perfvec::compose::program_representation;
+use perfvec::data::build_program_data;
+use perfvec::dse::{cache_param_vector, objective, with_cache_sizes, CacheGrid};
+use perfvec::finetune::cache_representations;
+use perfvec::foundation::ArchSpec;
+use perfvec::march_model::{train_march_model, MarchModelConfig};
+use perfvec::trainer::{train_foundation, TrainConfig};
+use perfvec_ml::schedule::StepDecay;
+use perfvec_sim::sample::predefined_configs;
+use perfvec_sim::simulate;
+use perfvec_trace::features::{extract_features, FeatureMask};
+use perfvec_workloads::{by_name, training_suite};
+
+fn main() {
+    // A pre-trained foundation model (small budget for the example).
+    let base_cfgs = predefined_configs();
+    let data: Vec<_> = training_suite()
+        .iter()
+        .take(3)
+        .map(|w| build_program_data(w.name, &w.trace(5_000), &base_cfgs, FeatureMask::Full))
+        .collect();
+    let trained = train_foundation(
+        &data,
+        &TrainConfig {
+            arch: ArchSpec::default_lstm(16),
+            context: 8,
+            epochs: 8,
+            windows_per_epoch: 1_500,
+            schedule: StepDecay { initial: 5e-3, gamma: 0.5, every: 4 },
+            ..TrainConfig::default()
+        },
+    );
+    println!("foundation ready: {}", trained.foundation.describe());
+
+    // DSE over a 4x4 cache grid for one target program.
+    let a7 = base_cfgs.iter().find(|c| c.name == "cortex-a7-like").unwrap();
+    let grid = CacheGrid { l1_kb: vec![8, 16, 32, 64], l2_kb: vec![256, 512, 1024, 2048] };
+    let points = grid.points();
+
+    // Tuning data: 6 sampled points x 2 programs.
+    let sampled: Vec<(u64, u64)> = points.iter().step_by(3).cloned().collect();
+    let tune_cfgs: Vec<_> = sampled.iter().map(|&(a, b)| with_cache_sizes(a7, a, b)).collect();
+    let tune_params: Vec<Vec<f32>> =
+        sampled.iter().map(|&(a, b)| cache_param_vector(a, b)).collect();
+    let tuning: Vec<_> = training_suite()
+        .iter()
+        .take(2)
+        .map(|w| build_program_data(w.name, &w.trace(5_000), &tune_cfgs, FeatureMask::Full))
+        .collect();
+    let cached = cache_representations(&trained.foundation, &tuning, 2_000, 7);
+    let (march_model, loss) = train_march_model(
+        &cached,
+        &tune_params,
+        trained.foundation.dim(),
+        trained.foundation.target_scale,
+        &MarchModelConfig::default(),
+    );
+    println!("cache-size representation model trained (loss {loss:.4})");
+
+    // Sweep the grid for the target program.
+    let target = by_name("508.namd-like").unwrap();
+    let trace = target.trace(5_000);
+    let feats = extract_features(&trace, FeatureMask::Full);
+    let rp = program_representation(&trained.foundation, &feats);
+    println!("\n{}: objective (lower is better)", target.name);
+    println!("{:>10} {:>12} {:>12} {:>12}", "L1/L2", "predicted", "simulated", "pred. rank");
+    let mut scored: Vec<(usize, f64, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(l1, l2))| {
+            let pred_t = march_model.predict_total_tenths(&rp, &cache_param_vector(l1, l2));
+            let sim_t = simulate(&trace, &with_cache_sizes(a7, l1, l2)).total_tenths;
+            (i, objective(l1, l2, pred_t.max(0.0)), objective(l1, l2, sim_t))
+        })
+        .collect();
+    let by_pred = {
+        let mut v = scored.clone();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v
+    };
+    scored.sort_by(|a, b| a.2.total_cmp(&b.2));
+    for (i, pred_o, sim_o) in scored.iter().take(8) {
+        let (l1, l2) = points[*i];
+        let rank = by_pred.iter().position(|(j, _, _)| j == i).unwrap();
+        println!("{:>6}/{:<5} {:>12.2} {:>12.2} {:>12}", l1, l2, pred_o, sim_o, rank + 1);
+    }
+    let best_pred = points[by_pred[0].0];
+    let best_true = points[scored[0].0];
+    println!("\nPerfVec selects L1={}kB L2={}kB; the true optimum is L1={}kB L2={}kB", best_pred.0, best_pred.1, best_true.0, best_true.1);
+}

@@ -1,0 +1,65 @@
+//! Loop-tiling analysis with a pre-trained foundation model (the
+//! Section VI-B application on a small budget): rank matmul tile sizes
+//! without per-variant training.
+//!
+//! Run with: `cargo run --release --example loop_tiling`
+
+use perfvec::analysis::{best_variants, sweep_variants};
+use perfvec::data::build_program_data;
+use perfvec::foundation::ArchSpec;
+use perfvec::trainer::{train_foundation, TrainConfig};
+use perfvec_isa::Emulator;
+use perfvec_ml::schedule::StepDecay;
+use perfvec_sim::sample::predefined_configs;
+use perfvec_trace::features::FeatureMask;
+use perfvec_workloads::matmul::matmul_tiled;
+use perfvec_workloads::training_suite;
+
+fn main() {
+    let configs = predefined_configs();
+    let data: Vec<_> = training_suite()
+        .iter()
+        .take(3)
+        .map(|w| build_program_data(w.name, &w.trace(5_000), &configs, FeatureMask::Full))
+        .collect();
+    let trained = train_foundation(
+        &data,
+        &TrainConfig {
+            arch: ArchSpec::default_lstm(16),
+            context: 8,
+            epochs: 8,
+            windows_per_epoch: 1_500,
+            schedule: StepDecay { initial: 5e-3, gamma: 0.5, every: 4 },
+            ..TrainConfig::default()
+        },
+    );
+    let a7_idx = configs.iter().position(|c| c.name == "cortex-a7-like").unwrap();
+    let a7_rep = trained.march_table.rep(a7_idx).to_vec();
+
+    // Tile-size variants of a 32x32 matmul.
+    let n = 32;
+    let variants: Vec<(String, perfvec_isa::Trace)> = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&t| {
+            let prog = matmul_tiled(n, t);
+            let trace = Emulator::new(&prog).run(5_000_000).expect("matmul runs");
+            (format!("tile {t}"), trace)
+        })
+        .collect();
+
+    let points = sweep_variants(&trained.foundation, &a7_rep, &variants, &configs[a7_idx]);
+    println!("{n}x{n} matmul on cortex-a7-like:");
+    for p in &points {
+        println!(
+            "  {:<8} simulated {:>8.1} us   perfvec {:>8.1} us",
+            p.label,
+            p.simulated_tenths * 1e-4,
+            p.predicted_tenths * 1e-4
+        );
+    }
+    let (sim_best, pred_best) = best_variants(&points);
+    println!(
+        "\nbest tile by simulation: {}; best tile by PerfVec: {}",
+        points[sim_best].label, points[pred_best].label
+    );
+}

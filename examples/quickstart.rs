@@ -1,0 +1,66 @@
+//! Quickstart: the PerfVec pipeline end to end on a small budget.
+//!
+//! 1. Build workloads in the bundled ISA and collect their traces.
+//! 2. Simulate them on a population of machines for incremental-latency
+//!    targets (the gem5 substitute).
+//! 3. Train the foundation model jointly with the microarchitecture
+//!    representation table.
+//! 4. Predict an *unseen* program's execution time on every machine with
+//!    one representation and `k` dot products.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use perfvec::compose::program_representation;
+use perfvec::data::build_program_data;
+use perfvec::foundation::ArchSpec;
+use perfvec::predict::predict_total_tenths;
+use perfvec::trainer::{train_foundation, TrainConfig};
+use perfvec_ml::schedule::StepDecay;
+use perfvec_sim::sample::predefined_configs;
+use perfvec_trace::features::{extract_features, FeatureMask};
+use perfvec_workloads::{by_name, training_suite};
+
+fn main() {
+    // --- 1 + 2: datasets for three training programs on 7 machines ---
+    let configs = predefined_configs();
+    println!("simulating training programs on {} machines...", configs.len());
+    let data: Vec<_> = training_suite()
+        .iter()
+        .take(3)
+        .map(|w| build_program_data(w.name, &w.trace(6_000), &configs, FeatureMask::Full))
+        .collect();
+
+    // --- 3: train a small foundation model ---
+    let cfg = TrainConfig {
+        arch: ArchSpec::default_lstm(16),
+        context: 8,
+        epochs: 10,
+        windows_per_epoch: 2_000,
+        schedule: StepDecay { initial: 5e-3, gamma: 0.5, every: 4 },
+        ..TrainConfig::default()
+    };
+    println!("training {}...", cfg.arch.build(cfg.context + 1, 0).describe());
+    let trained = train_foundation(&data, &cfg);
+    println!(
+        "trained in {:.1}s (best epoch {})",
+        trained.report.wall_seconds, trained.report.best_epoch
+    );
+
+    // --- 4: one representation for an unseen program, then k dots ---
+    let unseen = by_name("505.mcf-like").expect("workload exists");
+    let trace = unseen.trace(6_000);
+    let feats = extract_features(&trace, FeatureMask::Full);
+    let rp = program_representation(&trained.foundation, &feats);
+    println!("\n{} on every machine (predicted vs simulated):", unseen.name);
+    for (j, cfg) in configs.iter().enumerate() {
+        let pred = predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let truth = perfvec_sim::simulate(&trace, cfg).total_tenths;
+        println!(
+            "  {:<16} predicted {:>9.2} us   simulated {:>9.2} us   error {:>5.1}%",
+            cfg.name,
+            pred * 1e-4,
+            truth * 1e-4,
+            (pred - truth).abs() / truth * 100.0
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Reproduction-harness root crate: re-exports the workspace so the
+//! examples and the cross-crate integration tests in `tests/` have one
+//! import surface.
+
+pub use perfvec;
+pub use perfvec_baselines;
+pub use perfvec_isa;
+pub use perfvec_ml;
+pub use perfvec_sim;
+pub use perfvec_trace;
+pub use perfvec_workloads;

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: the full PerfVec pipeline from ISA
+//! emulation through training to prediction.
+
+use perfvec::compose::program_representation;
+use perfvec::data::build_program_data;
+use perfvec::foundation::ArchSpec;
+use perfvec::predict::predict_total_tenths;
+use perfvec::refit::refit_march_table;
+use perfvec::trainer::{train_foundation, TrainConfig};
+use perfvec_ml::schedule::StepDecay;
+use perfvec_sim::sample::predefined_configs;
+use perfvec_sim::simulate;
+use perfvec_trace::features::{extract_features, FeatureMask};
+use perfvec_trace::ProgramData;
+use perfvec_workloads::{by_name, training_suite};
+
+fn small_dataset(n_programs: usize, trace_len: u64) -> Vec<ProgramData> {
+    let configs = predefined_configs();
+    training_suite()
+        .iter()
+        .take(n_programs)
+        .map(|w| build_program_data(w.name, &w.trace(trace_len), &configs, FeatureMask::Full))
+        .collect()
+}
+
+fn small_cfg() -> TrainConfig {
+    TrainConfig {
+        arch: ArchSpec::default_lstm(16),
+        context: 8,
+        epochs: 12,
+        windows_per_epoch: 2_000,
+        schedule: StepDecay { initial: 8e-3, gamma: 0.5, every: 5 },
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn trained_model_predicts_seen_programs_on_seen_machines() {
+    let data = small_dataset(3, 4_000);
+    let mut trained = train_foundation(&data, &small_cfg());
+    trained.march_table = refit_march_table(&trained.foundation, &data, 3e-3);
+    let mut errs = Vec::new();
+    for d in &data {
+        let rp = program_representation(&trained.foundation, &d.features);
+        for j in 0..d.num_marches() {
+            let pred =
+                predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+            let truth = d.total_time(j);
+            errs.push((pred - truth).abs() / truth);
+        }
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 0.25, "seen-program mean error {mean:.3}");
+}
+
+#[test]
+fn program_representation_transfers_to_an_unseen_program() {
+    let data = small_dataset(4, 4_000);
+    let mut trained = train_foundation(&data, &small_cfg());
+    trained.march_table = refit_march_table(&trained.foundation, &data, 3e-3);
+
+    // A program never seen in training.
+    let unseen = by_name("523.xalancbmk-like").unwrap();
+    let trace = unseen.trace(4_000);
+    let feats = extract_features(&trace, FeatureMask::Full);
+    let rp = program_representation(&trained.foundation, &feats);
+    let configs = predefined_configs();
+    let mut errs = Vec::new();
+    for (j, c) in configs.iter().enumerate() {
+        let pred =
+            predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let truth = simulate(&trace, c).total_tenths;
+        errs.push((pred - truth).abs() / truth);
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 0.6, "unseen-program mean error {mean:.3} (small-budget bound)");
+}
+
+#[test]
+fn compositionality_prediction_is_sum_of_per_instruction_predictions() {
+    // The paper's central theorem, verified end to end: predicting the
+    // whole program with R_p . M equals summing per-instruction
+    // predictions R_i . M.
+    let data = small_dataset(1, 1_500);
+    let trained = train_foundation(&data, &{
+        let mut c = small_cfg();
+        c.epochs = 2;
+        c.windows_per_epoch = 300;
+        c
+    });
+    let d = &data[0];
+    let rp = program_representation(&trained.foundation, &d.features);
+    for j in [0usize, 3, 6] {
+        let whole =
+            predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let mut summed = 0.0f64;
+        for i in 0..d.len() {
+            let ri = trained.foundation.repr_at(&d.features, i);
+            summed += predict_total_tenths(
+                &ri,
+                trained.march_table.rep(j),
+                trained.foundation.target_scale,
+            );
+        }
+        let denom = whole.abs().max(1.0);
+        assert!(
+            (whole - summed).abs() / denom < 1e-3,
+            "march {j}: whole {whole} vs summed {summed}"
+        );
+    }
+}
+
+#[test]
+fn march_representations_are_program_independent() {
+    // The same machine representation must serve different programs: the
+    // error on a second seen program should be comparable, not require a
+    // new table.
+    let data = small_dataset(2, 3_000);
+    let mut trained = train_foundation(&data, &small_cfg());
+    trained.march_table = refit_march_table(&trained.foundation, &data, 3e-3);
+    for d in &data {
+        let rp = program_representation(&trained.foundation, &d.features);
+        let j = 0;
+        let pred =
+            predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let truth = d.total_time(j);
+        assert!(
+            (pred - truth).abs() / truth < 0.5,
+            "{}: error {:.3}",
+            d.name,
+            (pred - truth).abs() / truth
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property-based tests (proptest) on the reproduction's
+//! core invariants.
+
+use perfvec_isa::{Emulator, ProgramBuilder, Reg};
+use perfvec_sim::sample::{predefined_configs, sample_configs};
+use perfvec_sim::simulate;
+use perfvec_trace::features::{extract_features, FeatureMask, NUM_FEATURES};
+use perfvec_trace::stack_distance::{naive_stack_distances, StackDistance};
+use proptest::prelude::*;
+
+/// Build a random-but-valid program from a compact genome: a list of
+/// operation choices executed inside a bounded loop.
+fn genome_program(ops: &[u8], iters: i64) -> perfvec_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(4096);
+    let (base, i, t0, t1) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
+    let f0 = Reg::f(0);
+    b.li(base, buf as i64);
+    b.li(i, 0);
+    b.fli(f0, 1.5);
+    let top = b.label();
+    for &op in ops {
+        match op % 8 {
+            0 => {
+                b.addi(t0, t0, 3);
+            }
+            1 => {
+                b.muli(t0, t0, 7);
+            }
+            2 => {
+                b.andi(t1, i, 511);
+                b.ld_idx(t0, base, t1, 8, 0, 8);
+            }
+            3 => {
+                b.andi(t1, i, 511);
+                b.st_idx(t0, base, t1, 8, 0, 8);
+            }
+            4 => {
+                b.fadd(f0, f0, f0);
+            }
+            5 => {
+                b.fmul(f0, f0, f0);
+            }
+            6 => {
+                let skip = b.fwd_label();
+                b.andi(t1, t0, 1);
+                b.beq_imm(t1, 0, skip);
+                b.xori(t0, t0, 0x5a);
+                b.bind(skip);
+            }
+            _ => {
+                b.nop();
+            }
+        }
+    }
+    b.addi(i, i, 1);
+    b.blt_imm(i, iters, top);
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Incremental latencies must sum to total time on every machine,
+    /// for arbitrary programs — the integrability property PerfVec's
+    /// compositionality proof rests on.
+    #[test]
+    fn incremental_latencies_always_telescope(
+        ops in prop::collection::vec(0u8..8, 1..12),
+        iters in 5i64..40,
+        cfg_idx in 0usize..7,
+    ) {
+        let p = genome_program(&ops, iters);
+        let trace = Emulator::new(&p).run(100_000).unwrap();
+        let cfg = &predefined_configs()[cfg_idx];
+        let r = simulate(&trace, cfg);
+        let sum = r.sum_incremental();
+        prop_assert!((sum - r.total_tenths).abs() <= 1e-5 * r.total_tenths.max(1.0),
+            "sum {sum} vs total {}", r.total_tenths);
+        prop_assert!(r.inc_latency_tenths.iter().all(|&t| t >= 0.0));
+    }
+
+    /// The dynamic trace is microarchitecture-independent: features are
+    /// identical regardless of which machine later simulates it.
+    #[test]
+    fn features_are_march_independent(
+        ops in prop::collection::vec(0u8..8, 1..10),
+        iters in 5i64..30,
+    ) {
+        let p = genome_program(&ops, iters);
+        let t1 = Emulator::new(&p).run(50_000).unwrap();
+        let t2 = Emulator::new(&p).run(50_000).unwrap();
+        let f1 = extract_features(&t1, FeatureMask::Full);
+        let f2 = extract_features(&t2, FeatureMask::Full);
+        prop_assert_eq!(f1.data, f2.data);
+        prop_assert_eq!(f1.cols, NUM_FEATURES);
+    }
+
+    /// Fenwick-tree stack distances equal the quadratic reference on
+    /// arbitrary address streams.
+    #[test]
+    fn stack_distance_matches_reference(
+        addrs in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut sd = StackDistance::new();
+        let fast: Vec<u64> = addrs.iter().map(|&a| sd.access(a)).collect();
+        prop_assert_eq!(fast, naive_stack_distances(&addrs));
+    }
+
+    /// Faster clocks never make a program slower in wall time (same
+    /// machine otherwise) — a sanity invariant of the timing model.
+    #[test]
+    fn frequency_scaling_is_monotone(
+        ops in prop::collection::vec(0u8..8, 1..10),
+        iters in 5i64..30,
+    ) {
+        let p = genome_program(&ops, iters);
+        let trace = Emulator::new(&p).run(50_000).unwrap();
+        let mut slow = predefined_configs().remove(1);
+        slow.freq_ghz = 1.0;
+        let mut fast = slow.clone();
+        fast.freq_ghz = 4.0;
+        let ts = simulate(&trace, &slow).total_tenths;
+        let tf = simulate(&trace, &fast).total_tenths;
+        prop_assert!(tf <= ts * 1.001, "fast {tf} vs slow {ts}");
+    }
+
+    /// Randomly sampled machines always produce valid simulations.
+    #[test]
+    fn sampled_machines_simulate_any_program(
+        ops in prop::collection::vec(0u8..8, 1..8),
+        seed in 0u64..50,
+    ) {
+        let p = genome_program(&ops, 20);
+        let trace = Emulator::new(&p).run(20_000).unwrap();
+        for cfg in sample_configs(seed, 2, 1) {
+            let r = simulate(&trace, &cfg);
+            prop_assert!(r.total_tenths > 0.0);
+            prop_assert_eq!(r.len(), trace.len());
+        }
+    }
+}
