@@ -71,7 +71,7 @@ pub struct IthemalConfig {
 
 impl Default for IthemalConfig {
     fn default() -> IthemalConfig {
-        IthemalConfig { hidden: 24, max_len: 16, epochs: 14, batch: 32, lr: 5e-3, seed: 0x17e }
+        IthemalConfig { hidden: 24, max_len: 16, epochs: 40, batch: 32, lr: 1e-2, seed: 0x17e }
     }
 }
 

@@ -34,7 +34,7 @@ fn bench_dse_loop(c: &mut Criterion) {
     });
     // PerfVec path: predict the whole 36-point grid with dot products.
     g.bench_function("predict_full_grid_dots", |b| {
-        let rp = vec![0.3f32; 32];
+        let rp = [0.3f32; 32];
         let m = vec![0.2f32; 32];
         b.iter(|| {
             grid.points()

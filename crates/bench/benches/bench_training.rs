@@ -14,7 +14,7 @@ use perfvec_workloads::by_name;
 
 fn bench_reuse_vs_naive(c: &mut Criterion) {
     let configs = training_population(7);
-    let data = vec![build_program_data(
+    let data = [build_program_data(
         "xz",
         &by_name("xz").unwrap().trace(3_000),
         &configs,

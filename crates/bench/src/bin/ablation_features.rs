@@ -23,9 +23,7 @@ fn masked(d: &ProgramData) -> ProgramData {
     let mut out = d.clone();
     for i in 0..out.features.rows {
         let row = out.features.row_mut(i);
-        for j in MEM_FEATURES.start..BRANCH_FEATURES.end {
-            row[j] = 0.0;
-        }
+        row[MEM_FEATURES.start..BRANCH_FEATURES.end].fill(0.0);
     }
     out
 }

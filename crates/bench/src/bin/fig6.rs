@@ -57,8 +57,8 @@ fn main() {
     for spec in candidates {
         let mut cfg = scale.train_config();
         cfg.arch = spec;
-        cfg.epochs = cfg.epochs / 2;
-        cfg.windows_per_epoch = cfg.windows_per_epoch / 2;
+        cfg.epochs /= 2;
+        cfg.windows_per_epoch /= 2;
         let trained = train_foundation(&train, &cfg);
         // Evaluate on unseen programs only (what Figure 6 reports).
         let mut errs = Vec::new();

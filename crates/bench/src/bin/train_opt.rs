@@ -44,7 +44,9 @@ fn main() {
                 context: 8,
                 epochs: 1,
                 batch_size: 32,
-                windows_per_epoch: if reuse { 300 } else { 300 },
+                // Same window budget in both modes: the comparison
+                // isolates the per-window cost, not the schedule.
+                windows_per_epoch: 300,
                 val_windows: 0,
                 schedule: StepDecay::paper_default(),
                 reuse,

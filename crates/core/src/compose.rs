@@ -162,7 +162,12 @@ mod tests {
 
     #[test]
     fn streaming_approaches_windowed_with_enough_warmup() {
-        let f = lstm_foundation();
+        // The window must cover the LSTM's effective memory for the two
+        // modes to agree: with the standard forget-gate-bias init the
+        // per-step retention is ~sigmoid(1) ≈ 0.73, so a context of 12
+        // leaves < 3% of long-range state outside the window, while the
+        // module-default context of 3 would leave ~40%.
+        let f = Foundation::new(ArchSpec::default_lstm(8), 12, 0.1, 11);
         let feats = toy_features(400);
         let windowed = program_representation(&f, &feats);
         let streamed = program_representation_streaming(&f, &feats, 64, 32).unwrap();

@@ -30,8 +30,8 @@ pub fn build_program_data(
     let mut targets = Matrix::zeros(n, k);
     for (j, col) in columns.iter().enumerate() {
         debug_assert_eq!(col.len(), n);
-        for i in 0..n {
-            targets.row_mut(i)[j] = col[i];
+        for (i, &v) in col.iter().enumerate() {
+            targets.row_mut(i)[j] = v;
         }
     }
     ProgramData { name: name.to_string(), features, targets }

@@ -10,6 +10,7 @@
 
 use crate::foundation::Foundation;
 use crate::march_table::MarchTable;
+use crate::refit::{try_solve_table, NormalEq};
 use perfvec_ml::adam::Adam;
 use perfvec_ml::parallel::{batch_gradients, parallel_map};
 use perfvec_ml::tensor::{axpy, dot};
@@ -77,6 +78,27 @@ pub fn cache_representations(
     CachedReps { reps, targets }
 }
 
+/// Closed-form ridge solution of the fine-tuning least squares over the
+/// cached windows, against the *normalized* targets (`t_j / s_j`).
+/// Returns `None` if the factorization fails (degenerate Gram matrix).
+fn warm_start_table(
+    reps: &[Vec<f32>],
+    targets: &[Vec<f32>],
+    col_scale: &[f32],
+    k: usize,
+    d: usize,
+) -> Option<MarchTable> {
+    let mut eq = NormalEq::zeros(d, k);
+    let mut scaled = vec![0.0f32; k];
+    for (r, t) in reps.iter().zip(targets) {
+        for (s, (&tv, &cs)) in scaled.iter_mut().zip(t.iter().zip(col_scale)) {
+            *s = tv / cs;
+        }
+        eq.accumulate(r, &scaled, 1.0);
+    }
+    try_solve_table(&eq, 1e-6)
+}
+
 /// Learn a fresh microarchitecture table (one row per tuning-target
 /// machine) against the frozen foundation model. Returns the table and
 /// the final training loss.
@@ -104,7 +126,15 @@ pub fn learn_march_reps(
     let col_scale: Vec<f32> =
         col_scale.iter().map(|s| ((s / n as f64) as f32).max(1e-3)).collect();
 
-    let mut table = MarchTable::new(k, d, cfg.seed ^ 0xf00d);
+    // Warm start: with the foundation frozen the problem is linear least
+    // squares, so the closed-form ridge solution over the cached windows
+    // is (nearly) the answer; the SGD epochs below only polish it. This
+    // is what makes fine-tuning "orders of magnitude cheaper" in
+    // practice — without it, the correlated representations of the
+    // tuning windows condition the problem badly enough that Adam needs
+    // thousands of epochs from a random start.
+    let mut table = warm_start_table(&cached.reps, &cached.targets, &col_scale, k, d)
+        .unwrap_or_else(|| MarchTable::new(k, d, cfg.seed ^ 0xf00d));
     let mut opt = Adam::new(table.num_params());
     let mut last_loss = f64::INFINITY;
     let mut order: Vec<usize> = (0..n).collect();
@@ -135,8 +165,7 @@ pub fn learn_march_reps(
         }
         last_loss = epoch_loss / batches.max(1) as f64;
     }
-    for j in 0..k {
-        let s = col_scale[j];
+    for (j, &s) in col_scale.iter().enumerate() {
         for v in table.rep_mut(j) {
             *v *= s;
         }

@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn fits_and_interpolates_a_smooth_configuration_response() {
         let (cached, params) = synthetic(6, 400, 8);
-        let cfg = MarchModelConfig { epochs: 120, lr: 5e-3, ..Default::default() };
+        let cfg = MarchModelConfig { epochs: 300, lr: 5e-3, ..Default::default() };
         let (model, loss) = train_march_model(&cached, &params, 8, 1.0, &cfg);
         assert!(loss < 5e-3, "training loss {loss}");
         // Interpolation: predict at x = 0.3 (between training points 0.2 and 0.4).

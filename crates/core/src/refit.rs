@@ -30,7 +30,8 @@ pub struct NormalEq {
 }
 
 impl NormalEq {
-    fn zeros(d: usize, k: usize) -> NormalEq {
+    /// Empty accumulator for a `d`-wide head with `k` right-hand sides.
+    pub fn zeros(d: usize, k: usize) -> NormalEq {
         NormalEq { xtx: vec![0.0; d * d], xty: vec![0.0; d * k], d, k, count: 0 }
     }
 
@@ -45,15 +46,17 @@ impl NormalEq {
         self
     }
 
-    fn accumulate(&mut self, r: &[f32], targets: &[f32], scale: f32) {
+    /// Add one `(representation, targets)` row; each target is
+    /// multiplied by `scale` before accumulation.
+    pub fn accumulate(&mut self, r: &[f32], targets: &[f32], scale: f32) {
         let d = self.d;
         for i in 0..d {
             let ri = r[i] as f64;
             if ri == 0.0 {
                 continue;
             }
-            for j in 0..d {
-                self.xtx[i * d + j] += ri * r[j] as f64;
+            for (j, &rj) in r.iter().enumerate() {
+                self.xtx[i * d + j] += ri * rj as f64;
             }
             for (j, &t) in targets.iter().enumerate() {
                 self.xty[i * self.k + j] += ri * (t * scale) as f64;
@@ -99,9 +102,10 @@ pub fn accumulate_normal_equations(
     partials.into_iter().fold(NormalEq::zeros(d, k), NormalEq::merge)
 }
 
-/// Solve the accumulated system into a fresh table. `ridge` regularizes
-/// against rank-deficient representation spans.
-pub fn solve_table(eq: &NormalEq, ridge: f64) -> MarchTable {
+/// Solve the accumulated system into a fresh table, or `None` if the
+/// (ridge-regularized) Gram matrix is not positive definite. `ridge`
+/// regularizes against rank-deficient representation spans.
+pub fn try_solve_table(eq: &NormalEq, ridge: f64) -> Option<MarchTable> {
     let (d, k) = (eq.d, eq.k);
     // Effective per-row ridge scales with the sample count so the prior
     // stays weak relative to the data.
@@ -109,13 +113,18 @@ pub fn solve_table(eq: &NormalEq, ridge: f64) -> MarchTable {
     let mut reps = vec![0.0f32; k * d];
     for j in 0..k {
         let xty_j: Vec<f64> = (0..d).map(|i| eq.xty[i * k + j]).collect();
-        let m = ridge_solve(&eq.xtx, &xty_j, d, lambda)
-            .expect("gram matrix must be positive definite after ridge");
+        let m = ridge_solve(&eq.xtx, &xty_j, d, lambda)?;
         for i in 0..d {
             reps[j * d + i] = m[i] as f32;
         }
     }
-    MarchTable::from_rows(k, d, reps)
+    Some(MarchTable::from_rows(k, d, reps))
+}
+
+/// Solve the accumulated system into a fresh table. `ridge` regularizes
+/// against rank-deficient representation spans.
+pub fn solve_table(eq: &NormalEq, ridge: f64) -> MarchTable {
+    try_solve_table(eq, ridge).expect("gram matrix must be positive definite after ridge")
 }
 
 /// Refit the table against the frozen foundation over all training data.
@@ -162,8 +171,8 @@ mod tests {
         // Predictions on every instruction must match near-exactly.
         for i in 0..data[0].len() {
             let r = foundation.repr_at(&data[0].features, i);
-            for j in 0..4 {
-                let truth = dot(&r, &true_reps[j]);
+            for (j, tr) in true_reps.iter().enumerate() {
+                let truth = dot(&r, tr);
                 let pred = dot(&r, table.rep(j));
                 assert!(
                     (pred - truth).abs() < 1e-3 * (1.0 + truth.abs()),

@@ -137,47 +137,50 @@ fn window_pass(
     let scale = foundation.target_scale;
     let targets = data.targets.row(i);
 
-    if reuse || grads.is_none() {
-        // One forward; representation shared by all k machines.
-        let (r, cache) = foundation.model.forward(buf, w);
-        table.predict_all(&r, preds);
-        let mut loss = 0.0f64;
-        let inv_k = 2.0 / k as f32;
-        if let Some(grads) = grads {
-            let mut dr = vec![0.0f32; dim];
-            let (g_model, g_table) = grads.split_at_mut(model_len);
-            for j in 0..k {
-                let err = preds[j] - targets[j] * scale * inv_scale[j];
-                loss += (err * err) as f64;
-                // dL/dM_j and the reused dL/dR contribution
-                axpy(inv_k * err, &r, &mut g_table[j * dim..(j + 1) * dim]);
-                axpy(inv_k * err, table.rep(j), &mut dr);
-            }
-            foundation.model.backward(buf, w, &cache, &dr, g_model);
-        } else {
-            for j in 0..k {
-                let err = preds[j] - targets[j] * scale * inv_scale[j];
-                loss += (err * err) as f64;
-            }
-        }
-        loss / k as f64
-    } else {
+    match grads {
         // Naive: a full forward/backward per microarchitecture.
-        let grads = grads.unwrap();
-        let mut loss = 0.0f64;
-        let inv_k = 2.0 / k as f32;
-        for j in 0..k {
-            let (r, cache) = foundation.model.forward(buf, w);
-            let pred = dot(&r, table.rep(j));
-            let err = pred - targets[j] * scale * inv_scale[j];
-            loss += (err * err) as f64;
-            let (g_model, g_table) = grads.split_at_mut(model_len);
-            axpy(inv_k * err, &r, &mut g_table[j * dim..(j + 1) * dim]);
-            let mut dr = vec![0.0f32; dim];
-            axpy(inv_k * err, table.rep(j), &mut dr);
-            foundation.model.backward(buf, w, &cache, &dr, g_model);
+        Some(grads) if !reuse => {
+            let mut loss = 0.0f64;
+            let inv_k = 2.0 / k as f32;
+            for j in 0..k {
+                let (r, cache) = foundation.model.forward(buf, w);
+                let pred = dot(&r, table.rep(j));
+                let err = pred - targets[j] * scale * inv_scale[j];
+                loss += (err * err) as f64;
+                let (g_model, g_table) = grads.split_at_mut(model_len);
+                axpy(inv_k * err, &r, &mut g_table[j * dim..(j + 1) * dim]);
+                let mut dr = vec![0.0f32; dim];
+                axpy(inv_k * err, table.rep(j), &mut dr);
+                foundation.model.backward(buf, w, &cache, &dr, g_model);
+            }
+            loss / k as f64
         }
-        loss / k as f64
+        // Representation reuse (or pure evaluation): one forward,
+        // shared by all k machines.
+        grads => {
+            let (r, cache) = foundation.model.forward(buf, w);
+            table.predict_all(&r, preds);
+            let mut loss = 0.0f64;
+            let inv_k = 2.0 / k as f32;
+            if let Some(grads) = grads {
+                let mut dr = vec![0.0f32; dim];
+                let (g_model, g_table) = grads.split_at_mut(model_len);
+                for j in 0..k {
+                    let err = preds[j] - targets[j] * scale * inv_scale[j];
+                    loss += (err * err) as f64;
+                    // dL/dM_j and the reused dL/dR contribution
+                    axpy(inv_k * err, &r, &mut g_table[j * dim..(j + 1) * dim]);
+                    axpy(inv_k * err, table.rep(j), &mut dr);
+                }
+                foundation.model.backward(buf, w, &cache, &dr, g_model);
+            } else {
+                for j in 0..k {
+                    let err = preds[j] - targets[j] * scale * inv_scale[j];
+                    loss += (err * err) as f64;
+                }
+            }
+            loss / k as f64
+        }
     }
 }
 
@@ -287,8 +290,7 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
     table.reps.copy_from_slice(&best_params[model_len..]);
     // Bake the normalization scales into the table rows so that
     // `dot(R, M_j) = target_scale * t_tenths` downstream.
-    for j in 0..k {
-        let s = col_scale[j];
+    for (j, &s) in col_scale.iter().enumerate() {
         for v in table.rep_mut(j) {
             *v *= s;
         }

@@ -432,7 +432,7 @@ impl<'p> Emulator<'p> {
                 taken = true;
                 let target = self.read_x(inst.srcs()[0]) as u64;
                 if target < CODE_BASE
-                    || (target - CODE_BASE) % INST_BYTES != 0
+                    || !(target - CODE_BASE).is_multiple_of(INST_BYTES)
                     || ((target - CODE_BASE) / INST_BYTES) as usize >= self.program.insts.len()
                 {
                     return Err(EmuError::BadJumpTarget { addr: target });

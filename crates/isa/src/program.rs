@@ -44,7 +44,7 @@ impl Program {
     /// segment and aligned).
     #[inline]
     pub fn idx_of(&self, pc: u64) -> u32 {
-        debug_assert!(pc >= CODE_BASE && (pc - CODE_BASE) % INST_BYTES == 0);
+        debug_assert!(pc >= CODE_BASE && (pc - CODE_BASE).is_multiple_of(INST_BYTES));
         ((pc - CODE_BASE) / INST_BYTES) as u32
     }
 

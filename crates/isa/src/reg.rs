@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn flat_ids_are_dense_and_unique() {
-        let mut seen = vec![false; Reg::NUM_FLAT];
+        let mut seen = [false; Reg::NUM_FLAT];
         for i in 0..32 {
             for r in [Reg::x(i), Reg::f(i)] {
                 assert!(!seen[r.flat_id()], "duplicate flat id for {r}");

@@ -35,7 +35,7 @@ impl BiLstm {
     /// Build a bidirectional LSTM whose concatenated output has `out_dim`
     /// dimensions (`out_dim` must be even).
     pub fn new(in_dim: usize, out_dim: usize, n_layers: usize, seed: u64) -> BiLstm {
-        assert!(out_dim % 2 == 0, "biLSTM output dim must be even");
+        assert!(out_dim.is_multiple_of(2), "biLSTM output dim must be even");
         let half = out_dim / 2;
         BiLstm {
             fwd: Lstm::new(in_dim, half, n_layers, seed),

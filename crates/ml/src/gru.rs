@@ -90,6 +90,7 @@ impl GruLayerShape {
     }
 
     /// Full-sequence backward (mirrors [`crate::lstm::LstmLayerShape::backward`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn backward(
         &self,
         w: &[f32],

@@ -123,6 +123,7 @@ impl LstmLayerShape {
     /// `dh` is `T x h`: the gradient w.r.t. each step's hidden output
     /// injected from above (consumed in place). Parameter gradients are
     /// accumulated into `grads`; input gradients into `dxs` (`T x in`).
+    #[allow(clippy::too_many_arguments)]
     pub fn backward(
         &self,
         w: &[f32],

@@ -88,7 +88,7 @@ impl SeqModel {
 
     /// `Transformer-layers-d` with 4 heads (2 when `d < 16`).
     pub fn transformer(in_dim: usize, out_dim: usize, layers: usize, seed: u64) -> SeqModel {
-        let heads = if out_dim % 4 == 0 && out_dim >= 16 { 4 } else { 2 };
+        let heads = if out_dim.is_multiple_of(4) && out_dim >= 16 { 4 } else { 2 };
         SeqModel::Transformer(TransformerEncoder::new(in_dim, out_dim, layers, heads, seed))
     }
 
@@ -271,7 +271,12 @@ mod tests {
     fn every_architecture_accumulates_gradients() {
         let (in_dim, d, w) = (5, 8, 3);
         let xs = vec![0.2f32; w * in_dim];
-        let dout = vec![1.0f32; d];
+        // The probe gradient must vary across features: a uniform dout
+        // is in the null space of post-LN architectures (the sum of a
+        // LayerNorm's outputs is the constant sum(beta) when gamma is
+        // uniform), which would make the transformer's upstream
+        // gradients *exactly* zero rather than reveal a bug.
+        let dout: Vec<f32> = (0..d).map(|k| if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
         for m in all_models(in_dim, d, w) {
             let (_, cache) = m.forward(&xs, w);
             let mut grads = vec![0.0f32; m.num_params()];

@@ -39,6 +39,7 @@ fn layernorm_forward(
 }
 
 /// Backward through layer norm; returns dx and accumulates dgamma/dbeta.
+#[allow(clippy::too_many_arguments)]
 fn layernorm_backward(
     dy: &[f32],
     xhat: &[f32],
@@ -148,7 +149,7 @@ impl TransformerEncoder {
     /// Build an encoder with model width `d` (must be divisible by
     /// `n_heads`) and feed-forward width `2*d`.
     pub fn new(in_dim: usize, d: usize, n_layers: usize, n_heads: usize, seed: u64) -> Self {
-        assert!(d % n_heads == 0, "model dim must divide evenly into heads");
+        assert!(d.is_multiple_of(n_heads), "model dim must divide evenly into heads");
         let embed = LinearShape::new(in_dim, d, true);
         let qkv = LinearShape::new(d, d, true);
         let ffn1 = LinearShape::new(d, 2 * d, true);
@@ -214,7 +215,7 @@ impl TransformerEncoder {
         let pos = t as f32;
         let i = (k / 2) as f32;
         let angle = pos / (10_000.0f32).powf(2.0 * i / self.d as f32);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             angle.sin()
         } else {
             angle.cos()

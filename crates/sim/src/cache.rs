@@ -95,7 +95,7 @@ impl Cache {
         self.tick += 1;
         let line = self.line_of(addr);
         let tag = line / self.num_sets;
-        let set = (line % self.num_sets) as u64;
+        let set = line % self.num_sets;
         let range = self.set_range(line);
         let tick = self.tick;
         let ways = &mut self.sets[range];

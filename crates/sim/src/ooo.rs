@@ -140,7 +140,7 @@ pub fn simulate_ooo(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
             // Store-to-load forwarding beats the cache when an in-flight
             // store to the same block has (or will have) its data.
             if let Some(&st_ready) = store_fwd.get(&(rec.addr >> 3)) {
-                if st_ready + 1 >= start + 1 && st_ready + 1 < complete {
+                if st_ready + 1 > start && st_ready + 1 < complete {
                     complete = st_ready + 1;
                 }
             }
@@ -294,8 +294,8 @@ mod tests {
         let n = 4096usize; // 32 KiB of u64 — larger than o3-little's 16 KiB L1D
         let mut next = vec![0u64; n];
         // A simple LCG permutation walk (stride pattern defeating LRU).
-        for i in 0..n {
-            next[i] = ((i * 769 + 257) % n) as u64 * 8;
+        for (i, nx) in next.iter_mut().enumerate() {
+            *nx = ((i * 769 + 257) % n) as u64 * 8;
         }
         let mut b = ProgramBuilder::new();
         let arr = b.alloc_u64_slice(&next);

@@ -8,7 +8,6 @@
 
 use crate::dataset::ProgramData;
 use crate::features::Matrix;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u32 = 0x5046_5643; // "PFVC"
 const VERSION: u32 = 1;
@@ -36,61 +35,82 @@ impl std::fmt::Display for BinError {
 
 impl std::error::Error for BinError {}
 
-fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
-    buf.put_u64_le(m.rows as u64);
-    buf.put_u64_le(m.cols as u64);
-    for &v in &m.data {
-        buf.put_f32_le(v);
+// Little-endian cursor helpers over plain byte slices; this format is
+// simple enough that a serialization framework would be pure overhead.
+struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        let s = self.buf.get(self.off..self.off + n).ok_or(BinError::Truncated)?;
+        self.off += n;
+        Ok(s)
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, BinError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, BinError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
     }
 }
 
-fn get_matrix(buf: &mut Bytes) -> Result<Matrix, BinError> {
-    if buf.remaining() < 16 {
-        return Err(BinError::Truncated);
+fn put_matrix(buf: &mut Vec<u8>, m: &Matrix) {
+    buf.extend_from_slice(&(m.rows as u64).to_le_bytes());
+    buf.extend_from_slice(&(m.cols as u64).to_le_bytes());
+    for &v in &m.data {
+        buf.extend_from_slice(&v.to_le_bytes());
     }
-    let rows = buf.get_u64_le() as usize;
-    let cols = buf.get_u64_le() as usize;
+}
+
+fn get_matrix(r: &mut Reader<'_>) -> Result<Matrix, BinError> {
+    let rows = r.get_u64_le()? as usize;
+    let cols = r.get_u64_le()? as usize;
     let n = rows.checked_mul(cols).ok_or(BinError::Truncated)?;
-    if buf.remaining() < n * 4 {
-        return Err(BinError::Truncated);
-    }
-    let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        data.push(buf.get_f32_le());
-    }
+    // Validate against the remaining payload *before* allocating: the
+    // dims come from an untrusted header, and a corrupt file claiming
+    // terabyte-scale dims must fail with `Truncated`, not abort in the
+    // allocator.
+    let raw = r.take(n.checked_mul(4).ok_or(BinError::Truncated)?)?;
+    let data = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
     Ok(Matrix { rows, cols, data })
 }
 
 /// Encode one program's dataset.
-pub fn encode_program_data(d: &ProgramData) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
+pub fn encode_program_data(d: &ProgramData) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
         32 + d.name.len() + 4 * (d.features.data.len() + d.targets.data.len()),
     );
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(d.name.len() as u32);
-    buf.put_slice(d.name.as_bytes());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
+    buf.extend_from_slice(d.name.as_bytes());
     put_matrix(&mut buf, &d.features);
     put_matrix(&mut buf, &d.targets);
-    buf.freeze()
+    buf
 }
 
 /// Decode one program's dataset.
-pub fn decode_program_data(mut buf: Bytes) -> Result<ProgramData, BinError> {
-    if buf.remaining() < 12 {
-        return Err(BinError::Truncated);
-    }
-    if buf.get_u32_le() != MAGIC || buf.get_u32_le() != VERSION {
+pub fn decode_program_data(buf: &[u8]) -> Result<ProgramData, BinError> {
+    let mut r = Reader::new(buf);
+    if r.get_u32_le()? != MAGIC || r.get_u32_le()? != VERSION {
         return Err(BinError::BadHeader);
     }
-    let name_len = buf.get_u32_le() as usize;
-    if buf.remaining() < name_len {
-        return Err(BinError::Truncated);
-    }
+    let name_len = r.get_u32_le()? as usize;
     let name =
-        String::from_utf8(buf.split_to(name_len).to_vec()).map_err(|_| BinError::BadString)?;
-    let features = get_matrix(&mut buf)?;
-    let targets = get_matrix(&mut buf)?;
+        String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| BinError::BadString)?;
+    let features = get_matrix(&mut r)?;
+    let targets = get_matrix(&mut r)?;
     Ok(ProgramData { name, features, targets })
 }
 
@@ -101,8 +121,8 @@ pub fn save_program_data(d: &ProgramData, path: &std::path::Path) -> std::io::Re
 
 /// Read a dataset from a file.
 pub fn load_program_data(path: &std::path::Path) -> std::io::Result<ProgramData> {
-    let bytes = Bytes::from(std::fs::read(path)?);
-    decode_program_data(bytes)
+    let bytes = std::fs::read(path)?;
+    decode_program_data(&bytes)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -124,7 +144,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let d = sample();
-        let decoded = decode_program_data(encode_program_data(&d)).unwrap();
+        let decoded = decode_program_data(&encode_program_data(&d)).unwrap();
         assert_eq!(decoded.name, d.name);
         assert_eq!(decoded.features, d.features);
         assert_eq!(decoded.targets, d.targets);
@@ -132,16 +152,30 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let mut raw = encode_program_data(&sample()).to_vec();
+        let mut raw = encode_program_data(&sample());
         raw[0] ^= 0xff;
-        assert!(matches!(decode_program_data(Bytes::from(raw)), Err(BinError::BadHeader)));
+        assert!(matches!(decode_program_data(&raw), Err(BinError::BadHeader)));
     }
 
     #[test]
     fn truncated_payload_is_rejected() {
         let raw = encode_program_data(&sample());
-        let cut = raw.slice(..raw.len() - 5);
+        let cut = &raw[..raw.len() - 5];
         assert!(matches!(decode_program_data(cut), Err(BinError::Truncated)));
+    }
+
+    #[test]
+    fn absurd_header_dims_are_rejected_without_allocating() {
+        // A corrupt header claiming ~10^15 elements must fail cleanly
+        // (the claimed payload exceeds the buffer), not abort inside the
+        // allocator.
+        let mut raw = encode_program_data(&sample());
+        // Matrix dims start right after magic(4) + version(4) + name
+        // len(4) + name bytes.
+        let dims_off = 12 + "505.mcf-like".len();
+        raw[dims_off..dims_off + 8].copy_from_slice(&(1u64 << 30).to_le_bytes());
+        raw[dims_off + 8..dims_off + 16].copy_from_slice(&(1u64 << 20).to_le_bytes());
+        assert!(matches!(decode_program_data(&raw), Err(BinError::Truncated)));
     }
 
     #[test]
@@ -151,7 +185,7 @@ mod tests {
             features: Matrix::zeros(0, NUM_FEATURES),
             targets: Matrix::zeros(0, 0),
         };
-        let decoded = decode_program_data(encode_program_data(&d)).unwrap();
+        let decoded = decode_program_data(&encode_program_data(&d)).unwrap();
         assert_eq!(decoded.len(), 0);
     }
 

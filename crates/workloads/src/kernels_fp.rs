@@ -473,8 +473,8 @@ pub fn lbm_like() -> Program {
             }
             // rho = sum f_k
             b.fadd(rho, fr[0], fr[1]);
-            for k in 2..9 {
-                b.fadd(rho, rho, fr[k]);
+            for &f in &fr[2..9] {
+                b.fadd(rho, rho, f);
             }
             // ux = (f1 - f3 + f5 - f7) / rho
             b.fsub(ux, fr[1], fr[3]);

@@ -21,7 +21,7 @@ pub const DEFAULT_N: usize = 64;
 /// powers of two from 1 to 128.
 pub fn matmul_tiled(n: usize, tile: usize) -> Program {
     let tile = tile.min(n).max(1);
-    assert!(n % tile == 0, "tile must divide the matrix dimension");
+    assert!(n.is_multiple_of(tile), "tile must divide the matrix dimension");
     let mut rng = StdRng::seed_from_u64(0x3a7 + tile as u64);
     let a_data: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let b_data: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -126,6 +126,23 @@ pub fn matmul_tiled(n: usize, tile: usize) -> Program {
     b.build()
 }
 
+/// Reference matmul in plain Rust (for validating the ISA program).
+pub fn matmul_reference(n: usize, tile: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(0x3a7 + tile as u64);
+    let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut c = vec![0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,21 +198,4 @@ mod tests {
     fn uneven_tile_is_rejected() {
         let _ = matmul_tiled(24, 7);
     }
-}
-
-/// Reference matmul in plain Rust (for validating the ISA program).
-pub fn matmul_reference(n: usize, tile: usize) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(0x3a7 + tile as u64);
-    let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let mut c = vec![0f32; n * n];
-    for i in 0..n {
-        for k in 0..n {
-            let aik = a[i * n + k];
-            for j in 0..n {
-                c[i * n + j] += aik * b[k * n + j];
-            }
-        }
-    }
-    c
 }

@@ -1,11 +1,20 @@
 //! Cross-crate property-based tests (proptest) on the reproduction's
 //! core invariants.
 
+use perfvec::checkpoint;
+use perfvec::compose::{instruction_representations, program_representation};
+use perfvec::foundation::{ArchKind, ArchSpec, Foundation};
+use perfvec::march_table::MarchTable;
+use perfvec::predict::predict_total_tenths;
 use perfvec_isa::{Emulator, ProgramBuilder, Reg};
 use perfvec_sim::sample::{predefined_configs, sample_configs};
 use perfvec_sim::simulate;
-use perfvec_trace::features::{extract_features, FeatureMask, NUM_FEATURES};
+use perfvec_trace::binio;
+use perfvec_trace::features::{
+    extract_features, FeatureMask, Matrix, BRANCH_FEATURES, MEM_FEATURES, NUM_FEATURES,
+};
 use perfvec_trace::stack_distance::{naive_stack_distances, StackDistance};
+use perfvec_trace::ProgramData;
 use proptest::prelude::*;
 
 /// Build a random-but-valid program from a compact genome: a list of
@@ -139,5 +148,132 @@ proptest! {
             prop_assert!(r.total_tenths > 0.0);
             prop_assert_eq!(r.len(), trace.len());
         }
+    }
+
+    /// Linearity of the bias-free predictor — the paper's central
+    /// theorem as an algebraic identity: predicting from the summed
+    /// program representation equals summing per-instruction
+    /// predictions, `(sum_i R_i) . M == sum_i (R_i . M)`.
+    #[test]
+    fn predictor_is_linear_in_instruction_representations(
+        vals in prop::collection::vec(0.0f32..1.0, 1..40),
+        mseed in 0u64..1000,
+        scale_q in 1u32..20,
+    ) {
+        let n = vals.len();
+        let mut feats = Matrix::zeros(n, NUM_FEATURES);
+        for (i, &v) in vals.iter().enumerate() {
+            feats.row_mut(i)[i % 11] = 1.0;
+            feats.row_mut(i)[45] = v;
+        }
+        let target_scale = scale_q as f32 * 0.1;
+        let f = Foundation::new(ArchSpec::default_lstm(8), 2, target_scale, 7);
+        let table = MarchTable::new(1, 8, mseed);
+        let m = table.rep(0);
+
+        let rp = program_representation(&f, &feats);
+        let whole = predict_total_tenths(&rp, m, f.target_scale);
+        let per = instruction_representations(&f, &feats, 0..n);
+        let mut summed = 0.0f64;
+        for i in 0..n {
+            summed += predict_total_tenths(per.row(i), m, f.target_scale);
+        }
+        let denom = whole.abs().max(1.0);
+        prop_assert!(
+            (whole - summed).abs() / denom < 1e-3,
+            "whole {whole} vs summed {summed}"
+        );
+    }
+
+    /// Checkpoint round-trip: any foundation (every architecture family,
+    /// any small shape), with or without a table, restores to a model
+    /// with identical parameters and identical representations.
+    #[test]
+    fn checkpoint_roundtrip_is_exact(
+        kind_idx in 0usize..6,
+        layers in 1usize..3,
+        context in 0usize..5,
+        with_table in 0u8..2,
+        seed in 0u64..500,
+    ) {
+        let kind = [
+            ArchKind::Linear,
+            ArchKind::Mlp,
+            ArchKind::Lstm,
+            ArchKind::BiLstm,
+            ArchKind::Gru,
+            ArchKind::Transformer,
+        ][kind_idx];
+        let spec = ArchSpec { kind, layers, dim: 8 };
+        let f = Foundation::new(spec, context, 0.5, seed);
+        let table = MarchTable::new(3, 8, seed ^ 0xbeef);
+        let table_opt = if with_table == 1 { Some(&table) } else { None };
+
+        let bytes = checkpoint::encode(&f, spec, table_opt);
+        let (f2, spec2, table2) = checkpoint::decode(&bytes).unwrap();
+        prop_assert_eq!(spec2, spec);
+        prop_assert_eq!(f2.context, f.context);
+        prop_assert_eq!(f2.model.get_params(), f.model.get_params());
+        prop_assert_eq!(table2.is_some(), with_table == 1);
+        if let Some(t2) = table2 {
+            prop_assert_eq!(t2.reps, table.reps);
+        }
+        let mut feats = Matrix::zeros(8, NUM_FEATURES);
+        for i in 0..8 {
+            feats.row_mut(i)[(seed as usize + i) % NUM_FEATURES] = 0.6;
+        }
+        prop_assert_eq!(f.repr_at(&feats, 7), f2.repr_at(&feats, 7));
+    }
+
+    /// Feature masking is shape-preserving and surgical: `NoMemBranch`
+    /// zeroes exactly the memory/branch blocks and leaves every other
+    /// column bit-identical to the full extraction.
+    #[test]
+    fn feature_mask_preserves_shape_and_zeroes_only_masked_columns(
+        ops in prop::collection::vec(0u8..8, 1..10),
+        iters in 5i64..30,
+    ) {
+        let p = genome_program(&ops, iters);
+        let trace = Emulator::new(&p).run(50_000).unwrap();
+        let full = extract_features(&trace, FeatureMask::Full);
+        let masked = extract_features(&trace, FeatureMask::NoMemBranch);
+        prop_assert_eq!(masked.rows, full.rows);
+        prop_assert_eq!(masked.cols, full.cols);
+        prop_assert_eq!(masked.cols, NUM_FEATURES);
+        for i in 0..full.rows {
+            let (fr, mr) = (full.row(i), masked.row(i));
+            for c in 0..NUM_FEATURES {
+                if MEM_FEATURES.contains(&c) || BRANCH_FEATURES.contains(&c) {
+                    prop_assert!(mr[c] == 0.0, "row {i} col {c}: masked value {}", mr[c]);
+                } else {
+                    prop_assert!(fr[c] == mr[c], "row {i} col {c}: {} vs {}", fr[c], mr[c]);
+                }
+            }
+        }
+    }
+
+    /// Dataset binary round-trip is lossless for arbitrary shapes and
+    /// payloads, including empty matrices and non-ASCII names.
+    #[test]
+    fn binio_roundtrip_is_lossless(
+        rows in 0usize..20,
+        k in 0usize..6,
+        fill in 0.0f32..10.0,
+        name_len in 0usize..12,
+    ) {
+        let mut features = Matrix::zeros(rows, NUM_FEATURES);
+        let mut targets = Matrix::zeros(rows, k);
+        for i in 0..rows {
+            features.row_mut(i)[i % NUM_FEATURES] = fill + i as f32;
+            if k > 0 {
+                targets.row_mut(i)[i % k] = -fill * i as f32;
+            }
+        }
+        let name: String = "π505.mcf".chars().cycle().take(name_len).collect();
+        let d = ProgramData { name, features, targets };
+        let decoded = binio::decode_program_data(&binio::encode_program_data(&d)).unwrap();
+        prop_assert_eq!(decoded.name, d.name);
+        prop_assert_eq!(decoded.features, d.features);
+        prop_assert_eq!(decoded.targets, d.targets);
     }
 }

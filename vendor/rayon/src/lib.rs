@@ -1,0 +1,189 @@
+//! Offline stand-in for the crates-io `rayon` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the exact parallel-iterator surface the workspace uses:
+//! `(0..n).into_par_iter()` followed by either `fold(..).reduce(..)` or
+//! `map(..).collect::<Vec<_>>()`. Work is split into one contiguous
+//! chunk per available core and executed on scoped `std::thread`s;
+//! chunking is deterministic within a process, so repeated runs of a
+//! seeded computation agree.
+//!
+//! Unlike real rayon the adaptors here are *eager*: `fold`/`map` run
+//! their closures immediately and the returned objects simply hold
+//! results. The call sites in this workspace only chain
+//! `fold -> reduce` and `map -> collect`, for which eager evaluation is
+//! observationally identical.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Number of worker threads used for a job of `n` items.
+fn threads_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Split `range` into `parts` contiguous chunks covering it exactly.
+fn chunks(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let n = range.end - range.start;
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = range.start;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Parallel iterator over a `Range<usize>` (the only source this
+/// workspace parallelises over).
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+/// Eager result of [`RangeParIter::fold`]: one accumulator per worker.
+pub struct Folded<Acc> {
+    accs: Vec<Acc>,
+}
+
+/// Eager result of [`RangeParIter::map`]: all items, in index order.
+pub struct Mapped<T> {
+    items: Vec<T>,
+}
+
+impl RangeParIter {
+    /// Per-worker fold: each worker starts from `identity()` and folds
+    /// its contiguous chunk of indices with `fold_op`.
+    pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> Folded<Acc>
+    where
+        Acc: Send,
+        Id: Fn() -> Acc + Sync,
+        F: Fn(Acc, usize) -> Acc + Sync,
+    {
+        let n = self.range.end - self.range.start;
+        if n == 0 {
+            return Folded { accs: Vec::new() };
+        }
+        let parts = threads_for(n);
+        if parts == 1 {
+            return Folded { accs: vec![self.range.fold(identity(), &fold_op)] };
+        }
+        let pieces = chunks(self.range, parts);
+        let (identity, fold_op) = (&identity, &fold_op);
+        let accs = std::thread::scope(|s| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.fold(identity(), fold_op)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon stand-in worker panicked")).collect()
+        });
+        Folded { accs }
+    }
+
+    /// Ordered parallel map.
+    pub fn map<T, F>(self, f: F) -> Mapped<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = self.range.end - self.range.start;
+        if n == 0 {
+            return Mapped { items: Vec::new() };
+        }
+        let parts = threads_for(n);
+        if parts == 1 {
+            return Mapped { items: self.range.map(&f).collect() };
+        }
+        let pieces = chunks(self.range, parts);
+        let f = &f;
+        let items = std::thread::scope(|s| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.map(f).collect::<Vec<T>>()))
+                .collect();
+            let mut items = Vec::with_capacity(n);
+            for h in handles {
+                items.extend(h.join().expect("rayon stand-in worker panicked"));
+            }
+            items
+        });
+        Mapped { items }
+    }
+}
+
+impl<Acc> Folded<Acc> {
+    /// Combine the per-worker accumulators left-to-right, starting from
+    /// `identity()` — matching rayon's `fold(..).reduce(..)` contract.
+    pub fn reduce<Id, F>(self, identity: Id, op: F) -> Acc
+    where
+        Id: Fn() -> Acc,
+        F: Fn(Acc, Acc) -> Acc,
+    {
+        self.accs.into_iter().fold(identity(), op)
+    }
+}
+
+impl<T> Mapped<T> {
+    /// Collect the mapped items (already in index order).
+    #[allow(clippy::should_implement_trait)]
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// The customary glob-import surface.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_sums_exactly() {
+        let total = (0..1_000usize)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, i| acc + i as u64)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..97usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_works() {
+        let total = (0..0usize)
+            .into_par_iter()
+            .fold(|| 1u32, |a, _| a)
+            .reduce(|| 7u32, |a, b| a + b);
+        assert_eq!(total, 7);
+        let v: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the crates-io `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its plain-old-data
+//! types but (so far) performs all persistence through its own explicit
+//! little-endian binary codecs (`perfvec::checkpoint`,
+//! `perfvec_trace::binio`). Until a real serialization backend is
+//! needed, these traits are markers and the derives generate empty
+//! impls — keeping every `#[derive(Serialize, Deserialize)]` in the
+//! tree compiling without registry access.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose values can be serialized.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialized.
+pub trait Deserialize<'de>: Sized {}

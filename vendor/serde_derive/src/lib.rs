@@ -1,0 +1,136 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Each derive parses just enough of the item — attributes, visibility,
+//! `struct`/`enum` keyword, type name, and any generic parameter list —
+//! to emit an empty marker impl. No `syn`/`quote` dependency, since the
+//! build environment has no registry access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The pieces of the deriving item an impl header needs.
+struct ItemHead {
+    name: String,
+    /// Generic parameter list as written, without the angle brackets
+    /// (e.g. `'a, T: Clone`), empty when the type is not generic.
+    generics: String,
+    /// Just the parameter names for the type path (e.g. `'a, T`).
+    generic_args: String,
+}
+
+fn parse_head(input: TokenStream) -> ItemHead {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw))
+            if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") => {}
+        other => panic!("serde stand-in derive: expected struct/enum, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, found {other:?}"),
+    };
+    // Optional generic parameter list.
+    let mut generics = String::new();
+    let mut generic_args = String::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut tokens: Vec<TokenTree> = Vec::new();
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            tokens.push(tt);
+        }
+        generics = tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+        // Parameter names: idents/lifetimes at depth 0, before any `:` or `=`.
+        let mut names: Vec<String> = Vec::new();
+        let mut d = 0usize;
+        let mut take_next = true;
+        let mut prev_lifetime = false;
+        for t in &tokens {
+            match t {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' | '(' | '[' => d += 1,
+                    '>' | ')' | ']' => d = d.saturating_sub(1),
+                    ',' if d == 0 => take_next = true,
+                    ':' | '=' if d == 0 => take_next = false,
+                    '\'' if d == 0 && take_next => prev_lifetime = true,
+                    _ => {}
+                },
+                TokenTree::Ident(id) if d == 0 && take_next => {
+                    let id = id.to_string();
+                    if id == "const" {
+                        continue;
+                    }
+                    if prev_lifetime {
+                        names.push(format!("'{id}"));
+                        prev_lifetime = false;
+                    } else {
+                        names.push(id);
+                    }
+                    take_next = false;
+                }
+                _ => {}
+            }
+        }
+        generic_args = names.join(", ");
+    }
+    ItemHead { name, generics, generic_args }
+}
+
+fn impl_for(head: &ItemHead, trait_params: &str, trait_path: &str) -> TokenStream {
+    let ItemHead { name, generics, generic_args } = head;
+    let mut params: Vec<&str> = Vec::new();
+    if !trait_params.is_empty() {
+        params.push(trait_params);
+    }
+    if !generics.is_empty() {
+        params.push(generics);
+    }
+    let impl_generics =
+        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    let ty_args =
+        if generic_args.is_empty() { String::new() } else { format!("<{generic_args}>") };
+    format!("impl{impl_generics} {trait_path} for {name}{ty_args} {{}}")
+        .parse()
+        .expect("serde stand-in derive: generated impl failed to parse")
+}
+
+/// Derive the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for(&parse_head(input), "", "::serde::Serialize")
+}
+
+/// Derive the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for(&parse_head(input), "'de", "::serde::Deserialize<'de>")
+}
