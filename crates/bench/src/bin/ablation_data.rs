@@ -6,17 +6,17 @@
 //! should hurt *unseen-microarchitecture* error more than unseen-program
 //! error.
 
-use perfvec::data::build_program_data;
 use perfvec::finetune::{learn_march_reps, FinetuneConfig};
 use perfvec::compose::program_representation;
 use perfvec::predict::evaluate_program;
 use perfvec::trainer::train_foundation;
-use perfvec_bench::pipeline::{subset_mean, SuiteData};
+use perfvec_bench::cache::{workload_datasets, DatasetCache};
+use perfvec_bench::pipeline::{subset_mean, suite_datasets_at};
 use perfvec_bench::{chart::bar_chart, Scale};
 use perfvec_sim::sample::{training_population, unseen_population};
 use perfvec_trace::features::FeatureMask;
 use perfvec_trace::ProgramData;
-use perfvec_workloads::{suite, SuiteRole};
+use perfvec_workloads::{suite, SuiteRole, Workload};
 
 fn eval_unseen_programs(
     trained: &perfvec::trainer::TrainedFoundation,
@@ -39,16 +39,13 @@ fn main() {
     let trace_len = scale.trace_len() / 2;
     eprintln!("[ablation_data] generating datasets ({trace_len} instrs/program)...");
     let configs = training_population(scale.march_seed());
-    let mut train = Vec::new();
-    let mut test = Vec::new();
-    for w in suite() {
-        let d = build_program_data(w.name, &w.trace(trace_len), &configs, FeatureMask::Full);
-        match w.role {
-            SuiteRole::Training => train.push(d),
-            SuiteRole::Testing => test.push(d),
-        }
-    }
-    let data = SuiteData { train, test };
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_at(&configs, trace_len, FeatureMask::Full);
+    eprintln!(
+        "[ablation_data] datasets ready in {:.1}s ({})",
+        t_data.elapsed().as_secs_f64(),
+        cstats.summary()
+    );
     let mut cfg = scale.train_config();
     cfg.epochs /= 2;
     cfg.windows_per_epoch /= 2;
@@ -70,18 +67,26 @@ fn main() {
 
     // --- (b) microarchitecture-count sweep: 20 vs 77 machines ---
     eprintln!("[ablation_data] microarchitecture-count sweep (20 vs 77)...");
+    let t_sweep = std::time::Instant::now();
+    let cache = DatasetCache::from_env_and_args();
     let unseen_m = unseen_population(scale.march_seed());
-    let tuning_full: Vec<ProgramData> = suite()
-        .iter()
-        .filter(|w| w.role == SuiteRole::Training)
-        .take(3)
-        .map(|w| build_program_data(w.name, &w.trace(trace_len), &unseen_m, FeatureMask::Full))
-        .collect();
-    let test_unseen_m: Vec<ProgramData> = suite()
-        .iter()
-        .filter(|w| w.role == SuiteRole::Testing)
-        .map(|w| build_program_data(w.name, &w.trace(trace_len), &unseen_m, FeatureMask::Full))
-        .collect();
+    let tuning_workloads: Vec<Workload> =
+        suite().into_iter().filter(|w| w.role == SuiteRole::Training).take(3).collect();
+    let (tuning_full, ustats) =
+        workload_datasets(&cache, &tuning_workloads, trace_len, &unseen_m, FeatureMask::Full);
+    let testing_workloads: Vec<Workload> =
+        suite().into_iter().filter(|w| w.role == SuiteRole::Testing).collect();
+    let (test_unseen_m, vstats) =
+        workload_datasets(&cache, &testing_workloads, trace_len, &unseen_m, FeatureMask::Full);
+    {
+        let mut s = ustats;
+        s.absorb(vstats);
+        eprintln!(
+            "[ablation_data] unseen-machine datasets ready in {:.1}s ({})",
+            t_sweep.elapsed().as_secs_f64(),
+            s.summary()
+        );
+    }
 
     let mut table = Vec::new();
     for k in [20usize, 77] {

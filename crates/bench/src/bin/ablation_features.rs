@@ -9,13 +9,11 @@ use perfvec::compose::program_representation;
 use perfvec::predict::evaluate_program;
 use perfvec::trainer::train_foundation;
 use perfvec_bench::chart::bar_chart;
-use perfvec_bench::pipeline::{subset_mean, SuiteData};
+use perfvec_bench::pipeline::{subset_mean, suite_datasets_at};
 use perfvec_bench::Scale;
-use perfvec::data::build_program_data;
 use perfvec_sim::sample::training_population;
 use perfvec_trace::features::{FeatureMask, BRANCH_FEATURES, MEM_FEATURES};
 use perfvec_trace::ProgramData;
-use perfvec_workloads::{suite, SuiteRole};
 
 /// Zero the memory/branch feature block of an existing dataset (the
 /// targets are identical, so there is no need to re-simulate).
@@ -34,16 +32,10 @@ fn main() {
     let trace_len = scale.trace_len() / 2;
     eprintln!("[ablation_features] generating datasets...");
     let configs = training_population(scale.march_seed());
-    let mut train = Vec::new();
-    let mut test = Vec::new();
-    for w in suite() {
-        let d = build_program_data(w.name, &w.trace(trace_len), &configs, FeatureMask::Full);
-        match w.role {
-            SuiteRole::Training => train.push(d),
-            SuiteRole::Testing => test.push(d),
-        }
-    }
-    let data = SuiteData { train, test };
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_at(&configs, trace_len, FeatureMask::Full);
+    let data_secs = t_data.elapsed().as_secs_f64();
+    eprintln!("[ablation_features] datasets ready in {data_secs:.1}s ({})", cstats.summary());
     let mut cfg = scale.train_config();
     cfg.epochs /= 2;
     cfg.windows_per_epoch /= 2;
@@ -68,10 +60,13 @@ fn main() {
     };
 
     eprintln!("[ablation_features] training with all 51 features...");
+    let t_full = std::time::Instant::now();
     let full = train_foundation(&data.train, &cfg);
     let full_err = eval(&full, &data.test);
-
-    eprintln!("[ablation_features] training without memory/branch features...");
+    eprintln!(
+        "[ablation_features] full-feature model in {:.1}s; training without memory/branch features...",
+        t_full.elapsed().as_secs_f64()
+    );
     let masked_train: Vec<ProgramData> = data.train.iter().map(masked).collect();
     let masked_test: Vec<ProgramData> = data.test.iter().map(masked).collect();
     let ablated = train_foundation(&masked_train, &cfg);

@@ -9,7 +9,7 @@
 //! the generalization outlier (fixed by Figure 4).
 
 use perfvec_bench::chart::error_chart;
-use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets, train_and_refit};
+use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets_stats, train_and_refit};
 use perfvec_bench::Scale;
 use perfvec_sim::sample::training_population;
 use perfvec_trace::features::FeatureMask;
@@ -19,11 +19,20 @@ fn main() {
     let t0 = std::time::Instant::now();
     eprintln!("[fig3] generating datasets (17 programs x 77 microarchitectures)...");
     let configs = training_population(scale.march_seed());
-    let data = suite_datasets(&configs, scale, FeatureMask::Full);
-    eprintln!("[fig3] datasets ready in {:.1}s; training foundation model...", t0.elapsed().as_secs_f64());
+    // Each phase gets its own instant: `t0` measures the whole run, so
+    // reusing it per phase would misattribute earlier phases' time.
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
+    let data_secs = t_data.elapsed().as_secs_f64();
+    eprintln!(
+        "[fig3] datasets ready in {data_secs:.1}s ({}); training foundation model...",
+        cstats.summary()
+    );
 
     let cfg = scale.train_config();
+    let t_train = std::time::Instant::now();
     let trained = train_and_refit(&data, &cfg);
+    let train_secs = t_train.elapsed().as_secs_f64();
     eprintln!(
         "[fig3] trained {} in {:.1}s (best epoch {}, val loss {:.4})",
         trained.foundation.describe(),
@@ -32,7 +41,9 @@ fn main() {
         trained.report.val_loss[trained.report.best_epoch as usize],
     );
 
+    let t_eval = std::time::Instant::now();
     let rows = eval_seen_unseen(&trained, &data);
+    let eval_secs = t_eval.elapsed().as_secs_f64();
     println!(
         "{}",
         error_chart("Figure 3: prediction error, seen + unseen programs, seen microarchitectures", &rows)
@@ -45,5 +56,8 @@ fn main() {
         "unseen-program mean error {:>5.1}%",
         subset_mean(&rows, false) * 100.0
     );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "total wall time {:.1}s (datasets {data_secs:.1}s, training+refit {train_secs:.1}s, eval {eval_secs:.1}s)",
+        t0.elapsed().as_secs_f64(),
+    );
 }

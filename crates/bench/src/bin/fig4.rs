@@ -8,7 +8,7 @@
 //! split, then the updated split — and prints both, with deltas.
 
 use perfvec_bench::chart::error_chart;
-use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets, train_and_refit, SuiteData};
+use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets_stats, train_and_refit, SuiteData};
 use perfvec_bench::Scale;
 use perfvec_sim::sample::training_population;
 use perfvec_trace::features::FeatureMask;
@@ -18,11 +18,16 @@ fn main() {
     let t0 = std::time::Instant::now();
     eprintln!("[fig4] generating datasets...");
     let configs = training_population(scale.march_seed());
-    let data = suite_datasets(&configs, scale, FeatureMask::Full);
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
+    let data_secs = t_data.elapsed().as_secs_f64();
+    eprintln!("[fig4] datasets ready in {data_secs:.1}s ({})", cstats.summary());
     let cfg = scale.train_config();
 
     eprintln!("[fig4] training on the Table II split (lbm unseen)...");
+    let t_train = std::time::Instant::now();
     let base = train_and_refit(&data, &cfg);
+    let base_secs = t_train.elapsed().as_secs_f64();
     let base_rows = eval_seen_unseen(&base, &data);
 
     // Move lbm into the training set.
@@ -36,8 +41,10 @@ fn main() {
         }
     }
     let moved = SuiteData { train, test };
-    eprintln!("[fig4] retraining with 519.lbm-like in the training set...");
+    eprintln!("[fig4] base model in {base_secs:.1}s; retraining with 519.lbm-like in the training set...");
+    let t_retrain = std::time::Instant::now();
     let updated = train_and_refit(&moved, &cfg);
+    let retrain_secs = t_retrain.elapsed().as_secs_f64();
     let rows = eval_seen_unseen(&updated, &moved);
 
     let lbm_before = base_rows
@@ -63,5 +70,8 @@ fn main() {
         subset_mean(&base_rows, true) * 100.0,
         subset_mean(&rows, true) * 100.0
     );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "total wall time {:.1}s (datasets {data_secs:.1}s, base training {base_secs:.1}s, retraining {retrain_secs:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -7,42 +7,52 @@
 //! unseen machines.
 
 use perfvec::compose::program_representation;
-use perfvec::data::build_program_data;
 use perfvec::finetune::{learn_march_reps, FinetuneConfig};
 use perfvec::predict::evaluate_program;
+use perfvec_bench::cache::{workload_datasets, DatasetCache};
 use perfvec_bench::chart::error_chart;
-use perfvec_bench::pipeline::{subset_mean, suite_datasets, train_and_refit};
+use perfvec_bench::pipeline::{subset_mean, suite_datasets_stats, train_and_refit};
 use perfvec_bench::Scale;
 use perfvec_sim::sample::{training_population, unseen_population};
 use perfvec_trace::features::FeatureMask;
-use perfvec_workloads::{suite, SuiteRole};
+use perfvec_workloads::{suite, SuiteRole, Workload};
 
 fn main() {
     let scale = Scale::from_args();
     let t0 = std::time::Instant::now();
     eprintln!("[fig5] generating datasets + training foundation...");
     let configs = training_population(scale.march_seed());
-    let data = suite_datasets(&configs, scale, FeatureMask::Full);
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
+    let data_secs = t_data.elapsed().as_secs_f64();
+    eprintln!("[fig5] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    let t_train = std::time::Instant::now();
     let trained = train_and_refit(&data, &scale.train_config());
+    let train_secs = t_train.elapsed().as_secs_f64();
 
     // 10 fresh machines; tuning data = 3 seen programs simulated on them.
+    let cache = DatasetCache::from_env_and_args();
     let unseen = unseen_population(scale.march_seed());
     eprintln!("[fig5] fine-tuning representations of {} unseen machines...", unseen.len());
-    let tuning: Vec<_> = suite()
-        .iter()
-        .filter(|w| w.role == SuiteRole::Training)
-        .take(3)
-        .map(|w| build_program_data(w.name, &w.trace(scale.trace_len()), &unseen, FeatureMask::Full))
-        .collect();
+    let t_ft = std::time::Instant::now();
+    let tuning_workloads: Vec<Workload> =
+        suite().into_iter().filter(|w| w.role == SuiteRole::Training).take(3).collect();
+    let (tuning, tstats) =
+        workload_datasets(&cache, &tuning_workloads, scale.trace_len(), &unseen, FeatureMask::Full);
     let ft = FinetuneConfig { windows: 5_000, epochs: 40, ..Default::default() };
     let (march_table, ft_loss) = learn_march_reps(&trained.foundation, &tuning, &ft);
-    eprintln!("[fig5] fine-tuned (final loss {ft_loss:.4}); evaluating all programs...");
+    let ft_secs = t_ft.elapsed().as_secs_f64();
+    eprintln!(
+        "[fig5] fine-tuned in {ft_secs:.1}s (final loss {ft_loss:.4}, tuning {}); evaluating all programs...",
+        tstats.summary()
+    );
 
     // Evaluate every program on the unseen machines.
+    let t_eval = std::time::Instant::now();
+    let (eval_data, estats) =
+        workload_datasets(&cache, &suite(), scale.trace_len(), &unseen, FeatureMask::Full);
     let mut rows = Vec::new();
-    for w in suite() {
-        let trace = w.trace(scale.trace_len());
-        let d = build_program_data(w.name, &trace, &unseen, FeatureMask::Full);
+    for (w, d) in suite().iter().zip(&eval_data) {
         let rp = program_representation(&trained.foundation, &d.features);
         let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
         rows.push(evaluate_program(
@@ -54,11 +64,16 @@ fn main() {
             &truths,
         ));
     }
+    let eval_secs = t_eval.elapsed().as_secs_f64();
+    eprintln!("[fig5] evaluated in {eval_secs:.1}s ({})", estats.summary());
     println!(
         "{}",
         error_chart("Figure 5: prediction error on 10 unseen microarchitectures", &rows)
     );
     println!("seen-program mean error   {:>5.1}%", subset_mean(&rows, true) * 100.0);
     println!("unseen-program mean error {:>5.1}%", subset_mean(&rows, false) * 100.0);
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "total wall time {:.1}s (datasets {data_secs:.1}s, training {train_secs:.1}s, fine-tune {ft_secs:.1}s, eval {eval_secs:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
 }

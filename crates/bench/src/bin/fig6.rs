@@ -8,15 +8,14 @@
 //! saturating beyond that.
 
 use perfvec::compose::program_representation;
-use perfvec::data::build_program_data;
 use perfvec::foundation::{ArchKind, ArchSpec};
 use perfvec::predict::evaluate_program;
 use perfvec::trainer::train_foundation;
 use perfvec_bench::chart::bar_chart;
+use perfvec_bench::pipeline::suite_datasets_at;
 use perfvec_bench::Scale;
 use perfvec_sim::sample::training_population;
 use perfvec_trace::features::FeatureMask;
-use perfvec_workloads::{suite, SuiteRole};
 
 fn main() {
     let scale = Scale::from_args();
@@ -27,15 +26,11 @@ fn main() {
     let trace_len = scale.trace_len() / 2;
     eprintln!("[fig6] generating ablation datasets ({trace_len} instrs/program)...");
     let configs = training_population(scale.march_seed());
-    let mut train = Vec::new();
-    let mut test = Vec::new();
-    for w in suite() {
-        let d = build_program_data(w.name, &w.trace(trace_len), &configs, FeatureMask::Full);
-        match w.role {
-            SuiteRole::Training => train.push(d),
-            SuiteRole::Testing => test.push(d),
-        }
-    }
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_at(&configs, trace_len, FeatureMask::Full);
+    let data_secs = t_data.elapsed().as_secs_f64();
+    eprintln!("[fig6] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    let (train, test) = (data.train, data.test);
 
     let d = 32usize;
     let candidates: Vec<ArchSpec> = vec![
@@ -88,5 +83,9 @@ fn main() {
             &series
         )
     );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "total wall time {:.1}s (datasets {data_secs:.1}s, candidate sweep {:.1}s)",
+        t0.elapsed().as_secs_f64(),
+        t0.elapsed().as_secs_f64() - data_secs
+    );
 }

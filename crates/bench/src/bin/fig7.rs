@@ -10,12 +10,12 @@
 //! statistics over all 17 programs.
 
 use perfvec::compose::program_representation;
-use perfvec::data::build_program_data;
 use perfvec::dse::{cache_param_vector, objective, with_cache_sizes, CacheGrid, DseOutcome};
 use perfvec::finetune::cache_representations;
 use perfvec::march_model::{train_march_model, MarchModelConfig};
+use perfvec_bench::cache::{workload_datasets, DatasetCache};
 use perfvec_bench::chart::surface;
-use perfvec_bench::pipeline::{suite_datasets, train_and_refit};
+use perfvec_bench::pipeline::{suite_datasets_stats, train_and_refit};
 use perfvec_bench::Scale;
 use perfvec_sim::sample::{predefined_configs, training_population};
 use perfvec_sim::simulate;
@@ -29,8 +29,13 @@ fn main() {
     let t0 = std::time::Instant::now();
     eprintln!("[fig7] training foundation model...");
     let configs = training_population(scale.march_seed());
-    let data = suite_datasets(&configs, scale, FeatureMask::Full);
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
+    let data_secs = t_data.elapsed().as_secs_f64();
+    eprintln!("[fig7] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    let t_train = std::time::Instant::now();
     let trained = train_and_refit(&data, &scale.train_config());
+    let train_secs = t_train.elapsed().as_secs_f64();
     let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
     let grid = CacheGrid::default();
     let points = grid.points();
@@ -45,13 +50,21 @@ fn main() {
     let tune_params: Vec<Vec<f32>> =
         sampled.iter().map(|&(l1, l2)| cache_param_vector(l1, l2)).collect();
     eprintln!("[fig7] collecting DSE tuning data (18 configs x 3 programs)...");
-    let tuning: Vec<_> = suite()
-        .iter()
-        .take(3)
-        .map(|w| {
-            build_program_data(w.name, &w.trace(scale.trace_len()), &tune_configs, FeatureMask::Full)
-        })
-        .collect();
+    let t_tune = std::time::Instant::now();
+    let cache = DatasetCache::from_env_and_args();
+    let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
+    let (tuning, tstats) = workload_datasets(
+        &cache,
+        &tuning_workloads,
+        scale.trace_len(),
+        &tune_configs,
+        FeatureMask::Full,
+    );
+    eprintln!(
+        "[fig7] tuning data ready in {:.1}s ({})",
+        t_tune.elapsed().as_secs_f64(),
+        tstats.summary()
+    );
 
     // --- step 2: train the microarchitecture representation model.
     eprintln!("[fig7] training the cache-size representation model...");
@@ -66,6 +79,7 @@ fn main() {
     eprintln!("[fig7] representation model trained (loss {loss:.4}); sweeping the grid...");
 
     // --- step 3: sweep all programs over the full grid.
+    let t_sweep = std::time::Instant::now();
     let mut outcomes: Vec<DseOutcome> = Vec::new();
     let mut namd_surfaces: Option<(Vec<f64>, Vec<f64>)> = None;
     for w in suite() {
@@ -129,5 +143,9 @@ fn main() {
         "mean quality (fraction of designs beating the selection): {:.1}%",
         mean_quality * 100.0
     );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "total wall time {:.1}s (datasets {data_secs:.1}s, training {train_secs:.1}s, grid sweep {:.1}s)",
+        t0.elapsed().as_secs_f64(),
+        t_sweep.elapsed().as_secs_f64()
+    );
 }

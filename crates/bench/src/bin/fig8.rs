@@ -10,7 +10,7 @@
 use perfvec::compose::program_representation_streaming;
 use perfvec::predict::predict_total_tenths;
 use perfvec_bench::chart::dual_series;
-use perfvec_bench::pipeline::{suite_datasets, train_and_refit};
+use perfvec_bench::pipeline::{suite_datasets_stats, train_and_refit};
 use perfvec_bench::Scale;
 use perfvec_isa::Emulator;
 use perfvec_sim::sample::training_population;
@@ -23,8 +23,14 @@ fn main() {
     let t0 = std::time::Instant::now();
     eprintln!("[fig8] training foundation model...");
     let configs = training_population(scale.march_seed());
-    let data = suite_datasets(&configs, scale, FeatureMask::Full);
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
+    let data_secs = t_data.elapsed().as_secs_f64();
+    eprintln!("[fig8] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    let t_train = std::time::Instant::now();
     let trained = train_and_refit(&data, &scale.train_config());
+    let train_secs = t_train.elapsed().as_secs_f64();
+    let t_tiles = std::time::Instant::now();
     // cortex-a7-like is one of the 7 predefined training machines: its
     // representation comes straight from the learned table.
     let a7_idx = configs.iter().position(|c| c.name == "cortex-a7-like").unwrap();
@@ -84,5 +90,9 @@ fn main() {
         .0]
         .clone();
     println!("optimal tile: {best_sim} (simulation), {best_pred} (PerfVec)");
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "total wall time {:.1}s (datasets {data_secs:.1}s, training {train_secs:.1}s, tile sweep {:.1}s)",
+        t0.elapsed().as_secs_f64(),
+        t_tiles.elapsed().as_secs_f64()
+    );
 }

@@ -8,9 +8,9 @@ use perfvec::compose::{program_representation, program_representation_streaming}
 use perfvec::predict::predict_total_tenths;
 use perfvec::trainer::{train_foundation, TrainConfig};
 use perfvec::foundation::ArchSpec;
-use perfvec::data::build_program_data;
 use perfvec_baselines::ithemal::{Ithemal, IthemalConfig};
 use perfvec_baselines::simnet::{simnet_features, SimNet, SimNetConfig};
+use perfvec_bench::cache::{workload_datasets, DatasetCache};
 use perfvec_bench::Scale;
 use perfvec_ml::schedule::StepDecay;
 use perfvec_sim::sample::predefined_configs;
@@ -23,7 +23,8 @@ fn main() {
     let scale = Scale::from_args();
     let t0 = Instant::now();
     eprintln!("[table3] preparing a common workload and small models...");
-    let trace = by_name("xz").unwrap().trace(scale.trace_len());
+    let workloads = [by_name("xz").unwrap()];
+    let trace = workloads[0].trace(scale.trace_len());
     let n = trace.len() as f64;
     let configs = predefined_configs();
     let march = &configs[1];
@@ -58,7 +59,16 @@ fn main() {
 
     // --- PerfVec: representation generation (one-time, parallel) then
     //     instant dot-product predictions ---
-    let data = build_program_data("xz", &trace, &configs, FeatureMask::Full);
+    let t_data = Instant::now();
+    let cache = DatasetCache::from_env_and_args();
+    let (mut datasets, dstats) =
+        workload_datasets(&cache, &workloads, scale.trace_len(), &configs, FeatureMask::Full);
+    let data = datasets.remove(0);
+    eprintln!(
+        "[table3] PerfVec dataset ready in {:.1}s ({})",
+        t_data.elapsed().as_secs_f64(),
+        dstats.summary()
+    );
     let cfg = TrainConfig {
         arch: ArchSpec::default_lstm(32),
         context: 12,

@@ -10,11 +10,11 @@
 //! then dot products). Exhaustive simulation gives ground truth.
 
 use perfvec::compose::program_representation;
-use perfvec::data::build_program_data;
 use perfvec::dse::{cache_param_vector, objective, with_cache_sizes, CacheGrid};
 use perfvec::finetune::cache_representations;
 use perfvec::march_model::{train_march_model, MarchModelConfig};
-use perfvec_bench::pipeline::{suite_datasets, train_and_refit};
+use perfvec_bench::cache::{workload_datasets, DatasetCache};
+use perfvec_bench::pipeline::{suite_datasets_stats, train_and_refit};
 use perfvec_bench::Scale;
 use perfvec_baselines::actboost::{select_active, ActBoost, ActBoostConfig};
 use perfvec_baselines::cross_program::{signature, CrossProgramModel};
@@ -166,8 +166,14 @@ fn main() {
     // ---- PerfVec ----
     eprintln!("[table4] PerfVec (foundation pre-training excluded, as in the paper)...");
     let configs = training_population(scale.march_seed());
+    let t_data = Instant::now();
+    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
+    eprintln!(
+        "[table4] foundation datasets ready in {:.1}s ({})",
+        t_data.elapsed().as_secs_f64(),
+        cstats.summary()
+    );
     let t_found = Instant::now();
-    let data = suite_datasets(&configs, scale, FeatureMask::Full);
     let trained = train_and_refit(&data, &scale.train_config());
     let foundation_secs = t_found.elapsed().as_secs_f64();
 
@@ -180,13 +186,16 @@ fn main() {
         sampled.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
     let tune_params: Vec<Vec<f32>> =
         sampled.iter().map(|&(l1, l2)| cache_param_vector(l1, l2)).collect();
-    let tuning: Vec<_> = suite()
-        .iter()
-        .take(3)
-        .map(|w| {
-            build_program_data(w.name, &w.trace(scale.trace_len()), &tune_configs, FeatureMask::Full)
-        })
-        .collect();
+    let cache = DatasetCache::from_env_and_args();
+    let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
+    let (tuning, tstats) = workload_datasets(
+        &cache,
+        &tuning_workloads,
+        scale.trace_len(),
+        &tune_configs,
+        FeatureMask::Full,
+    );
+    eprintln!("[table4] PerfVec tuning data ready ({})", tstats.summary());
     let cached = cache_representations(&trained.foundation, &tuning, 5_000, 0x715e);
     let (march_model, _) = train_march_model(
         &cached,

@@ -10,9 +10,9 @@
 //! configuration-to-representation network — a parameter-count
 //! comparison (the paper: 19.7k vs ~1.3M, ~60x).
 
-use perfvec::data::build_program_data;
 use perfvec::foundation::ArchSpec;
 use perfvec::trainer::{train_foundation, TrainConfig};
+use perfvec_bench::cache::{workload_datasets, DatasetCache};
 use perfvec_bench::Scale;
 use perfvec_ml::mlp::Mlp;
 use perfvec_ml::schedule::StepDecay;
@@ -26,11 +26,15 @@ fn main() {
     let t0 = std::time::Instant::now();
     eprintln!("[train_opt] generating datasets...");
     let configs = training_population(scale.march_seed());
-    let data: Vec<_> = training_suite()
-        .iter()
-        .take(3)
-        .map(|w| build_program_data(w.name, &w.trace(8_000), &configs, FeatureMask::Full))
-        .collect();
+    let t_data = std::time::Instant::now();
+    let cache = DatasetCache::from_env_and_args();
+    let workloads: Vec<_> = training_suite().into_iter().take(3).collect();
+    let (data, cstats) = workload_datasets(&cache, &workloads, 8_000, &configs, FeatureMask::Full);
+    eprintln!(
+        "[train_opt] datasets ready in {:.1}s ({})",
+        t_data.elapsed().as_secs_f64(),
+        cstats.summary()
+    );
 
     println!("== Representation reuse: one-epoch wall time vs sampled machines ==");
     println!("{:>6} {:>14} {:>14} {:>9}", "k", "naive (s)", "reuse (s)", "speedup");

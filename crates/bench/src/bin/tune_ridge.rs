@@ -3,7 +3,7 @@ use perfvec::compose::program_representation;
 use perfvec::predict::evaluate_program;
 use perfvec::refit::{accumulate_normal_equations, solve_table};
 use perfvec::trainer::train_foundation;
-use perfvec_bench::pipeline::{subset_mean, suite_datasets};
+use perfvec_bench::pipeline::subset_mean;
 use perfvec_bench::Scale;
 use perfvec_sim::sample::training_population;
 use perfvec_trace::features::FeatureMask;
@@ -12,20 +12,17 @@ fn main() {
     let scale = Scale::Quick;
     let configs = training_population(scale.march_seed());
     let tlen: u64 = std::env::var("PV_TRACE").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
-    let data = if tlen > 0 {
-        use perfvec::data::build_program_data;
-        use perfvec_workloads::{suite, SuiteRole};
-        let mut train = Vec::new();
-        let mut test = Vec::new();
-        for w in suite() {
-            let trace = w.trace(tlen);
-            let d = build_program_data(w.name, &trace, &configs, FeatureMask::Full);
-            match w.role { SuiteRole::Training => train.push(d), SuiteRole::Testing => test.push(d) }
-        }
-        perfvec_bench::pipeline::SuiteData { train, test }
+    let t_data = std::time::Instant::now();
+    let (data, cstats) = if tlen > 0 {
+        perfvec_bench::pipeline::suite_datasets_at(&configs, tlen, FeatureMask::Full)
     } else {
-        suite_datasets(&configs, scale, FeatureMask::Full)
+        perfvec_bench::pipeline::suite_datasets_stats(&configs, scale, FeatureMask::Full)
     };
+    eprintln!(
+        "[tune_ridge] datasets ready in {:.1}s ({})",
+        t_data.elapsed().as_secs_f64(),
+        cstats.summary()
+    );
     let mut cfg = scale.train_config();
     // override arch from env for sweeps
     if let Ok(d) = std::env::var("PV_DIM") { cfg.arch.dim = d.parse().unwrap(); }

@@ -4,12 +4,15 @@
 //! binaries (`fig3` … `fig8`, `table3`, `table4`, `ablation_*`,
 //! `train_opt`) and the Criterion micro-benchmarks.
 //!
-//! Every binary accepts `--scale quick|full` (default `quick`); scales
-//! only change trace lengths and training budgets, never the protocol.
+//! Every binary accepts `--scale quick|full` (default `quick`; scales
+//! only change trace lengths and training budgets, never the protocol)
+//! and `--no-cache` (bypass the on-disk dataset cache, see [`cache`]).
 
+pub mod cache;
 pub mod chart;
 pub mod pipeline;
 pub mod scale;
 
+pub use cache::{workload_datasets, CacheStats, DatasetCache};
 pub use pipeline::{eval_seen_unseen, suite_datasets, SuiteData};
 pub use scale::Scale;

@@ -1,38 +1,44 @@
 //! Shared experiment pipeline: dataset generation over the Table II
 //! suite, foundation evaluation, and report assembly.
 
+use crate::cache::{workload_datasets, CacheStats, DatasetCache};
 use crate::scale::Scale;
 use perfvec::compose::program_representation;
-use perfvec::data::build_program_data;
 use perfvec::predict::{evaluate_program, EvalRow};
 use perfvec::refit::refit_march_table;
 use perfvec::trainer::{train_foundation, TrainConfig, TrainedFoundation};
 use perfvec_sim::MicroArchConfig;
 use perfvec_trace::features::FeatureMask;
-use perfvec_trace::ProgramData;
-use perfvec_workloads::{suite, SuiteRole};
+use perfvec_workloads::suite;
 
-/// Datasets for the whole Table II suite against one machine population.
-pub struct SuiteData {
-    /// Training programs (9) with their datasets.
-    pub train: Vec<ProgramData>,
-    /// Testing programs (8) with their datasets.
-    pub test: Vec<ProgramData>,
+pub use perfvec::data::SuiteData;
+
+/// Generate datasets for all 17 workloads on `configs`, serving each
+/// program from the content-addressed dataset cache when possible (see
+/// [`crate::cache`]; `--no-cache` bypasses it).
+pub fn suite_datasets(configs: &[MicroArchConfig], scale: Scale, mask: FeatureMask) -> SuiteData {
+    suite_datasets_stats(configs, scale, mask).0
 }
 
-/// Generate datasets for all 17 workloads on `configs`.
-pub fn suite_datasets(configs: &[MicroArchConfig], scale: Scale, mask: FeatureMask) -> SuiteData {
-    let mut train = Vec::new();
-    let mut test = Vec::new();
-    for w in suite() {
-        let trace = w.trace(scale.trace_len());
-        let data = build_program_data(w.name, &trace, configs, mask);
-        match w.role {
-            SuiteRole::Training => train.push(data),
-            SuiteRole::Testing => test.push(data),
-        }
-    }
-    SuiteData { train, test }
+/// [`suite_datasets`] plus the cache hit/miss stats for progress lines.
+pub fn suite_datasets_stats(
+    configs: &[MicroArchConfig],
+    scale: Scale,
+    mask: FeatureMask,
+) -> (SuiteData, CacheStats) {
+    suite_datasets_at(configs, scale.trace_len(), mask)
+}
+
+/// Suite datasets at an explicit trace length (the ablation binaries
+/// run at `trace_len() / 2`), cached like [`suite_datasets`].
+pub fn suite_datasets_at(
+    configs: &[MicroArchConfig],
+    trace_len: u64,
+    mask: FeatureMask,
+) -> (SuiteData, CacheStats) {
+    let cache = DatasetCache::from_env_and_args();
+    let (parts, stats) = workload_datasets(&cache, &suite(), trace_len, configs, mask);
+    (SuiteData::assemble(parts), stats)
 }
 
 /// Train the foundation on the training programs and refit its

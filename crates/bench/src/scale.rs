@@ -9,6 +9,15 @@ use perfvec::foundation::ArchSpec;
 use perfvec::trainer::TrainConfig;
 use perfvec_ml::schedule::StepDecay;
 
+/// True when `name` appears verbatim among the process arguments.
+///
+/// Shared parser for the harness-wide boolean flags every figure/table
+/// binary accepts (`--no-cache`; `--scale` takes a value and is parsed
+/// by [`Scale::from_args`]).
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// Experiment scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

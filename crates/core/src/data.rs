@@ -9,6 +9,46 @@ use perfvec_ml::parallel::parallel_map;
 use perfvec_sim::{simulate, MicroArchConfig};
 use perfvec_trace::features::{extract_features, FeatureMask, Matrix};
 use perfvec_trace::ProgramData;
+use perfvec_workloads::{suite, SuiteRole};
+
+/// Datasets for the whole Table II suite against one machine
+/// population, split into the paper's 9 training / 8 testing programs.
+pub struct SuiteData {
+    /// Training programs (9) with their datasets.
+    pub train: Vec<ProgramData>,
+    /// Testing programs (8) with their datasets.
+    pub test: Vec<ProgramData>,
+}
+
+impl SuiteData {
+    /// Assemble per-program datasets, given in [`suite()`] order, into
+    /// the Table II train/test split. Each dataset is routed by its
+    /// suite role; order within each split follows the suite registry.
+    ///
+    /// Panics if `parts` does not line up with the suite (a logic
+    /// error, not a data error: callers produce `parts` by iterating
+    /// the suite).
+    pub fn assemble(parts: Vec<ProgramData>) -> SuiteData {
+        let workloads = suite();
+        assert_eq!(
+            parts.len(),
+            workloads.len(),
+            "SuiteData::assemble: {} datasets for a {}-workload suite",
+            parts.len(),
+            workloads.len()
+        );
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (w, d) in workloads.iter().zip(parts) {
+            debug_assert_eq!(w.name, d.name, "dataset out of suite order");
+            match w.role {
+                SuiteRole::Training => train.push(d),
+                SuiteRole::Testing => test.push(d),
+            }
+        }
+        SuiteData { train, test }
+    }
+}
 
 /// Build one program's dataset: `n x 51` features plus `n x k`
 /// incremental latencies (0.1 ns) for the `k` given microarchitectures.
@@ -73,6 +113,26 @@ mod tests {
                 "march {j}: column sum {sum} vs simulated total {t}"
             );
         }
+    }
+
+    #[test]
+    fn assemble_splits_by_table_ii_role() {
+        let parts: Vec<ProgramData> = perfvec_workloads::suite()
+            .iter()
+            .map(|w| ProgramData {
+                name: w.name.to_string(),
+                features: Matrix::zeros(0, 51),
+                targets: Matrix::zeros(0, 0),
+            })
+            .collect();
+        let s = SuiteData::assemble(parts);
+        assert_eq!(s.train.len(), 9);
+        assert_eq!(s.test.len(), 8);
+        assert!(s.train.iter().all(|d| {
+            perfvec_workloads::suite()
+                .iter()
+                .any(|w| w.name == d.name && w.role == perfvec_workloads::SuiteRole::Training)
+        }));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! consume.
 
 use perfvec_isa::OpClass;
+use perfvec_trace::fingerprint::Fingerprint;
 use serde::{Deserialize, Serialize};
 
 /// Core execution paradigm.
@@ -260,6 +261,80 @@ impl MicroArchConfig {
         debug_assert_eq!(p.len(), Self::PARAM_DIM);
         p
     }
+
+    /// Stable 64-bit content fingerprint over canonical little-endian
+    /// field bytes — the microarchitecture half of a dataset cache key.
+    ///
+    /// Two configurations fingerprint equal iff they simulate
+    /// identically: every timing-relevant field is absorbed (floats by
+    /// IEEE-754 bit pattern, enums by fixed tags), while the display
+    /// `name` is deliberately excluded, so renaming a machine does not
+    /// invalidate cached datasets. Never derived from `{:?}` or decimal
+    /// formatting; the value is identical across runs and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fingerprint::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    /// Absorb this configuration's canonical bytes into `h`.
+    pub fn hash_into(&self, h: &mut Fingerprint) {
+        // A leading tag + layout version: bump if fields are ever
+        // added/reordered so old fingerprints cannot collide with new.
+        h.push_str("march-config");
+        h.push_u32(1);
+        h.push_u8(match self.core {
+            CoreKind::InOrder => 0,
+            CoreKind::OutOfOrder => 1,
+        });
+        h.push_f64(self.freq_ghz);
+        h.push_u8(self.fetch_width);
+        h.push_u8(self.front_depth);
+        h.push_u8(self.issue_width);
+        h.push_u8(self.retire_width);
+        h.push_u16(self.rob_size);
+        h.push_u16(self.lq_size);
+        h.push_u16(self.sq_size);
+        for pool in [
+            &self.fus.int_alu,
+            &self.fus.int_mul,
+            &self.fus.int_div,
+            &self.fus.fp_alu,
+            &self.fus.fp_mul,
+            &self.fus.fp_div,
+            &self.fus.simd,
+            &self.fus.mem_port,
+        ] {
+            h.push_u8(pool.count);
+            h.push_u8(pool.latency);
+            h.push_bool(pool.pipelined);
+        }
+        h.push_u8(match self.branch.kind {
+            PredictorKind::StaticNotTaken => 0,
+            PredictorKind::StaticBtfn => 1,
+            PredictorKind::Bimodal => 2,
+            PredictorKind::GShare => 3,
+            PredictorKind::Tournament => 4,
+        });
+        h.push_u8(self.branch.table_bits);
+        h.push_u8(self.branch.history_bits);
+        h.push_u32(self.branch.btb_entries);
+        for c in [&self.l1i, &self.l1d, &self.l2] {
+            h.push_u64(c.size_bytes);
+            h.push_u32(c.assoc);
+            h.push_u32(c.line_bytes);
+            h.push_u32(c.latency);
+        }
+        h.push_bool(self.l2_exclusive);
+        h.push_u8(match self.mem.kind {
+            MemKind::Ddr4 => 0,
+            MemKind::Lpddr5 => 1,
+            MemKind::Gddr5 => 2,
+            MemKind::Hbm => 3,
+        });
+        h.push_f64(self.mem.latency_ns);
+        h.push_f64(self.mem.bandwidth_gbps);
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +370,48 @@ mod tests {
     fn cache_set_count() {
         let c = CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 };
         assert_eq!(c.num_sets(), 128);
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_but_sees_every_timing_field() {
+        let base = predefined_configs().remove(0);
+        let mut renamed = base.clone();
+        renamed.name = "anything-else".into();
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
+
+        let mut f = base.clone();
+        f.freq_ghz += 1e-9; // sub-formatting-precision change must register
+        assert_ne!(base.fingerprint(), f.fingerprint());
+
+        let mut c = base.clone();
+        c.l1d.size_bytes *= 2;
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let mut p = base.clone();
+        p.fus.int_div.pipelined = !p.fus.int_div.pipelined;
+        assert_ne!(base.fingerprint(), p.fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_are_pinned_across_runs_and_platforms() {
+        // Regression pins: these exact values must never drift between
+        // runs, platforms, or compiler versions. If an intentional
+        // change to the config layout or hashing scheme alters them,
+        // bump the layout version in `hash_into` and re-pin.
+        let fps: Vec<u64> = predefined_configs().iter().map(|c| c.fingerprint()).collect();
+        let pinned: [u64; 7] = [
+            0x6d02a64d861ba0ec, // o3-big
+            0xbd099246dff1fdfd, // o3-medium
+            0x93c5b3eac49f2e61, // o3-little
+            0xd36459af05de7638, // o3-wide
+            0x4db1df962b9aa489, // cortex-a7-like
+            0x0974626e5e13d3d7, // a53-like
+            0xa5c92e6cf8305e66, // scalar-simple
+        ];
+        assert_eq!(fps.len(), pinned.len());
+        for (i, (&got, &want)) in fps.iter().zip(&pinned).enumerate() {
+            assert_eq!(got, want, "config {i} ({})", predefined_configs()[i].name);
+        }
     }
 
     #[test]

@@ -10,9 +10,17 @@ use crate::dataset::ProgramData;
 use crate::features::Matrix;
 
 const MAGIC: u32 = 0x5046_5643; // "PFVC"
-const VERSION: u32 = 1;
 
-/// Serialization failures.
+/// On-disk codec version. Bump whenever the byte layout changes; the
+/// dataset cache folds it into every cache key, so a bump silently
+/// invalidates all previously published entries instead of tripping
+/// [`BinError::BadHeader`] at load time.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Serialization failures. Every decode failure is recoverable: the
+/// decoder never panics and never returns a partially-filled
+/// [`ProgramData`], so callers (the dataset cache in particular) can
+/// treat any `BinError` as "regenerate this entry".
 #[derive(Debug, PartialEq, Eq)]
 pub enum BinError {
     /// Wrong magic number or version.
@@ -21,6 +29,9 @@ pub enum BinError {
     Truncated,
     /// A string field was not valid UTF-8.
     BadString,
+    /// Structurally well-formed but self-contradictory: trailing bytes
+    /// after the payload, or feature/target row counts that disagree.
+    Inconsistent,
 }
 
 impl std::fmt::Display for BinError {
@@ -29,6 +40,7 @@ impl std::fmt::Display for BinError {
             BinError::BadHeader => write!(f, "bad magic/version"),
             BinError::Truncated => write!(f, "truncated payload"),
             BinError::BadString => write!(f, "invalid utf-8 string"),
+            BinError::Inconsistent => write!(f, "inconsistent payload"),
         }
     }
 }
@@ -92,7 +104,7 @@ pub fn encode_program_data(d: &ProgramData) -> Vec<u8> {
         32 + d.name.len() + 4 * (d.features.data.len() + d.targets.data.len()),
     );
     buf.extend_from_slice(&MAGIC.to_le_bytes());
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&CODEC_VERSION.to_le_bytes());
     buf.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
     buf.extend_from_slice(d.name.as_bytes());
     put_matrix(&mut buf, &d.features);
@@ -101,9 +113,15 @@ pub fn encode_program_data(d: &ProgramData) -> Vec<u8> {
 }
 
 /// Decode one program's dataset.
+///
+/// Rejects (rather than silently accepting) buffers that decode but are
+/// self-contradictory: trailing garbage after the payload, or feature
+/// and target matrices with different row counts — both symptoms of a
+/// corrupt or spliced file that must not surface as a usable
+/// [`ProgramData`].
 pub fn decode_program_data(buf: &[u8]) -> Result<ProgramData, BinError> {
     let mut r = Reader::new(buf);
-    if r.get_u32_le()? != MAGIC || r.get_u32_le()? != VERSION {
+    if r.get_u32_le()? != MAGIC || r.get_u32_le()? != CODEC_VERSION {
         return Err(BinError::BadHeader);
     }
     let name_len = r.get_u32_le()? as usize;
@@ -111,6 +129,9 @@ pub fn decode_program_data(buf: &[u8]) -> Result<ProgramData, BinError> {
         String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| BinError::BadString)?;
     let features = get_matrix(&mut r)?;
     let targets = get_matrix(&mut r)?;
+    if r.off != buf.len() || features.rows != targets.rows {
+        return Err(BinError::Inconsistent);
+    }
     Ok(ProgramData { name, features, targets })
 }
 
@@ -176,6 +197,45 @@ mod tests {
         raw[dims_off..dims_off + 8].copy_from_slice(&(1u64 << 30).to_le_bytes());
         raw[dims_off + 8..dims_off + 16].copy_from_slice(&(1u64 << 20).to_le_bytes());
         assert!(matches!(decode_program_data(&raw), Err(BinError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut raw = encode_program_data(&sample());
+        raw.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        assert!(matches!(decode_program_data(&raw), Err(BinError::Inconsistent)));
+    }
+
+    #[test]
+    fn mismatched_row_counts_are_rejected() {
+        // Hand-splice an encoding whose features claim 2 rows but whose
+        // targets claim 1: structurally valid, semantically corrupt.
+        let d = ProgramData {
+            name: "x".into(),
+            features: Matrix::zeros(2, 3),
+            targets: Matrix::zeros(2, 1),
+        };
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC.to_le_bytes());
+        raw.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        raw.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
+        raw.extend_from_slice(d.name.as_bytes());
+        put_matrix(&mut raw, &d.features);
+        put_matrix(&mut raw, &Matrix::zeros(1, 1));
+        assert!(matches!(decode_program_data(&raw), Err(BinError::Inconsistent)));
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_encoding_fails_cleanly() {
+        // No prefix may panic or decode to a partial ProgramData: the
+        // cache layer's crash-mid-write story depends on this.
+        let raw = encode_program_data(&sample());
+        for cut in 0..raw.len() {
+            assert!(
+                decode_program_data(&raw[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
     }
 
     #[test]

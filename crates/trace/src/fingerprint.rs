@@ -1,0 +1,155 @@
+//! Stable content fingerprints for cache keys.
+//!
+//! The dataset cache addresses entries by a hash of everything that
+//! determines a dataset's bytes: program identity, trace length,
+//! microarchitecture configuration, feature mask, and codec version.
+//! `std::hash` is unsuitable for that — `DefaultHasher`'s algorithm is
+//! explicitly unspecified across releases, and hashing `Debug` output
+//! ties keys to float formatting. This module implements 64-bit FNV-1a
+//! over canonical little-endian byte encodings, so a fingerprint is a
+//! pure function of the logical content, identical across runs,
+//! platforms, and compiler versions.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over canonical little-endian bytes.
+///
+/// Variable-length fields must go through [`Fingerprint::push_str`] /
+/// [`Fingerprint::push_len_bytes`], which length-prefix their payload so
+/// adjacent fields cannot alias (`"ab" + "c"` vs `"a" + "bc"`).
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes (no length prefix — fixed-width fields only).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a length-prefixed byte string (variable-width fields).
+    pub fn push_len_bytes(&mut self, bytes: &[u8]) {
+        self.push_u64(bytes.len() as u64);
+        self.push_bytes(bytes);
+    }
+
+    /// Absorb a string, length-prefixed.
+    pub fn push_str(&mut self, s: &str) {
+        self.push_len_bytes(s.as_bytes());
+    }
+
+    /// Absorb one byte.
+    pub fn push_u8(&mut self, v: u8) {
+        self.push_bytes(&[v]);
+    }
+
+    /// Absorb a bool as one canonical byte.
+    pub fn push_bool(&mut self, v: bool) {
+        self.push_u8(v as u8);
+    }
+
+    /// Absorb a `u16` as little-endian bytes.
+    pub fn push_u16(&mut self, v: u16) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u32` as little-endian bytes.
+    pub fn push_u32(&mut self, v: u32) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u64` as little-endian bytes.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb an `f64` via its IEEE-754 bit pattern (little-endian), so
+    /// the fingerprint never depends on decimal formatting.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Absorb an `f32` via its IEEE-754 bit pattern (little-endian).
+    pub fn push_f32(&mut self, v: f32) {
+        self.push_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Final 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fnv(bytes: &[u8]) -> u64 {
+        let mut h = Fingerprint::new();
+        h.push_bytes(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values from the FNV specification (draft-eastlake).
+        assert_eq!(fnv(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_aliasing() {
+        let mut a = Fingerprint::new();
+        a.push_str("ab");
+        a.push_str("c");
+        let mut b = Fingerprint::new();
+        b.push_str("a");
+        b.push_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn floats_hash_bit_patterns_not_formatting() {
+        let mut a = Fingerprint::new();
+        a.push_f64(0.1 + 0.2);
+        let mut b = Fingerprint::new();
+        b.push_f64(0.3);
+        // 0.1 + 0.2 != 0.3 in IEEE-754; formatting to few decimals would
+        // have collapsed them.
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fingerprint::new();
+        c.push_f64(0.1 + 0.2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.push_u32(1);
+        a.push_u32(2);
+        let mut b = Fingerprint::new();
+        b.push_u32(2);
+        b.push_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -32,6 +32,7 @@ pub mod binio;
 pub mod branch_entropy;
 pub mod dataset;
 pub mod features;
+pub mod fingerprint;
 pub mod stack_distance;
 
 pub use dataset::{fill_window, ProgramData, Split};

@@ -16,10 +16,32 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
 use std::ops::Range;
+
+thread_local! {
+    /// Set while the current thread is a spawned worker of an enclosing
+    /// parallel region. Nested `into_par_iter` calls then run
+    /// sequentially instead of spawning cores² threads — the stand-in's
+    /// answer to real rayon's work-stealing pool, good enough for the
+    /// two-level (per-program, per-machine) parallelism the dataset
+    /// cache uses.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+fn enter_worker() {
+    IN_WORKER.with(|c| c.set(true));
+}
 
 /// Number of worker threads used for a job of `n` items.
 fn threads_for(n: usize) -> usize {
+    if in_worker() {
+        return 1;
+    }
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     cores.min(n).max(1)
 }
@@ -77,7 +99,12 @@ impl RangeParIter {
         let accs = std::thread::scope(|s| {
             let handles: Vec<_> = pieces
                 .into_iter()
-                .map(|chunk| s.spawn(move || chunk.fold(identity(), fold_op)))
+                .map(|chunk| {
+                    s.spawn(move || {
+                        enter_worker();
+                        chunk.fold(identity(), fold_op)
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("rayon stand-in worker panicked")).collect()
         });
@@ -103,7 +130,12 @@ impl RangeParIter {
         let items = std::thread::scope(|s| {
             let handles: Vec<_> = pieces
                 .into_iter()
-                .map(|chunk| s.spawn(move || chunk.map(f).collect::<Vec<T>>()))
+                .map(|chunk| {
+                    s.spawn(move || {
+                        enter_worker();
+                        chunk.map(f).collect::<Vec<T>>()
+                    })
+                })
                 .collect();
             let mut items = Vec::with_capacity(n);
             for h in handles {
@@ -174,6 +206,26 @@ mod tests {
     fn map_collect_preserves_order() {
         let v: Vec<usize> = (0..97usize).into_par_iter().map(|i| i * 3).collect();
         assert_eq!(v, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_sequential_and_stays_correct() {
+        // Outer parallel map over "programs", inner parallel fold over
+        // "machines": the inner call must run sequentially on worker
+        // threads (no thread explosion) and still produce exact sums.
+        let per_program: Vec<u64> = (0..13usize)
+            .into_par_iter()
+            .map(|p| {
+                (0..100usize)
+                    .into_par_iter()
+                    .fold(|| 0u64, |acc, m| acc + (p * 100 + m) as u64)
+                    .reduce(|| 0u64, |a, b| a + b)
+            })
+            .collect();
+        for (p, &got) in per_program.iter().enumerate() {
+            let want: u64 = (0..100).map(|m| (p * 100 + m) as u64).sum();
+            assert_eq!(got, want, "program {p}");
+        }
     }
 
     #[test]
