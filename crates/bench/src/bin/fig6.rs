@@ -6,8 +6,13 @@
 //! error across unseen programs. Expected shape: Linear worst,
 //! Transformer near the back, LSTM-2-d sufficient with depth/width
 //! saturating beyond that.
+//!
+//! Stream-capable architectures (the stateful recurrences: LSTM and
+//! GRU) are additionally evaluated through the single-pass streaming
+//! fast path, so the ablation also reports how far the O(n) generator
+//! sits from the exact windowed sum for each of them.
 
-use perfvec::compose::program_representation;
+use perfvec::compose::{program_representation, program_representation_streaming};
 use perfvec::foundation::{ArchKind, ArchSpec};
 use perfvec::predict::evaluate_program;
 use perfvec::trainer::train_foundation;
@@ -55,24 +60,50 @@ fn main() {
         cfg.epochs /= 2;
         cfg.windows_per_epoch /= 2;
         let trained = train_foundation(&train, &cfg);
-        // Evaluate on unseen programs only (what Figure 6 reports).
+        // Evaluate on unseen programs only (what Figure 6 reports);
+        // stream-capable architectures get a second pass through the
+        // single-pass streaming generator for comparison.
+        let streams = trained.foundation.model.supports_streaming();
+        let warmup = 4 * cfg.context;
         let mut errs = Vec::new();
+        let mut stream_errs = Vec::new();
         for d in &test {
-            let rp = program_representation(&trained.foundation, &d.features);
             let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
+            let rp = program_representation(&trained.foundation, &d.features);
             let row = evaluate_program(
                 &d.name, false, &rp, &trained.foundation, &trained.march_table, &truths,
             );
             errs.push(row.mean);
+            if streams {
+                let srp = program_representation_streaming(
+                    &trained.foundation, &d.features, 512, warmup,
+                )
+                .expect("streaming support checked above");
+                let srow = evaluate_program(
+                    &d.name, false, &srp, &trained.foundation, &trained.march_table, &truths,
+                );
+                stream_errs.push(srow.mean);
+            }
         }
         let unseen_err = errs.iter().sum::<f64>() / errs.len() as f64;
         let name = trained.foundation.model.describe();
-        eprintln!(
-            "[fig6] {:<18} unseen error {:5.1}%  ({:.0}s train)",
-            name,
-            unseen_err * 100.0,
-            trained.report.wall_seconds
-        );
+        if streams {
+            let stream_err = stream_errs.iter().sum::<f64>() / stream_errs.len() as f64;
+            eprintln!(
+                "[fig6] {:<18} unseen error {:5.1}%  (streaming fast path {:5.1}%)  ({:.0}s train)",
+                name,
+                unseen_err * 100.0,
+                stream_err * 100.0,
+                trained.report.wall_seconds
+            );
+        } else {
+            eprintln!(
+                "[fig6] {:<18} unseen error {:5.1}%  ({:.0}s train)",
+                name,
+                unseen_err * 100.0,
+                trained.report.wall_seconds
+            );
+        }
         series.push((name, unseen_err * 100.0));
     }
     println!(

@@ -79,9 +79,10 @@ impl Scale {
     }
 
     /// Seed for microarchitecture sampling (kept constant so quick and
-    /// full runs see the same 77 machines).
+    /// full runs see the same 77 machines, and so served checkpoints
+    /// line up with the serve stack's default population).
     pub fn march_seed(&self) -> u64 {
-        0x7711_2024
+        perfvec_sim::sample::DEFAULT_MARCH_SEED
     }
 }
 

@@ -15,10 +15,15 @@ const MAGIC: u32 = 0x5046_4d31; // "PFM1"
 /// Errors while reading a checkpoint.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CheckpointError {
-    /// Wrong magic/version or unknown architecture tag.
+    /// Wrong magic/version, unknown architecture tag, or a shape field
+    /// outside the sane range (a corrupt header must never be allowed
+    /// to drive allocations).
     BadHeader,
     /// Payload ended early or sizes disagree.
     Truncated,
+    /// Bytes remain after a complete checkpoint — the file is not a
+    /// checkpoint (or was corrupted by concatenation/append).
+    Trailing,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -26,6 +31,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::BadHeader => write!(f, "bad checkpoint header"),
             CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+            CheckpointError::Trailing => write!(f, "trailing bytes after checkpoint"),
         }
     }
 }
@@ -51,6 +57,12 @@ mod bytesless {
     }
     pub fn get_f32s(buf: &[u8], off: &mut usize) -> Option<Vec<f32>> {
         let n = get_u32(buf, off)? as usize;
+        // A truncated or corrupt length prefix must fail cleanly, not
+        // drive a multi-gigabyte allocation: the payload cannot be
+        // longer than the bytes actually present.
+        if n.checked_mul(4)? > buf.len().saturating_sub(*off) {
+            return None;
+        }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let v = f32::from_le_bytes(buf.get(*off..*off + 4)?.try_into().ok()?);
@@ -58,6 +70,37 @@ mod bytesless {
             out.push(v);
         }
         Some(out)
+    }
+}
+
+/// Shape sanity bounds: a header whose layer count, dimensionality, or
+/// context exceeds these is corrupt (the caps sit far above anything
+/// the paper or this reproduction instantiates), and rejecting it early
+/// keeps attacker-controlled headers from sizing model allocations.
+const MAX_LAYERS: usize = 64;
+/// See [`MAX_LAYERS`].
+const MAX_DIM: usize = 1 << 16;
+/// See [`MAX_LAYERS`].
+const MAX_CONTEXT: usize = 1 << 24;
+
+/// Conservative lower bound on a spec's parameter count, computed
+/// without building the model. Decoding compares it against the
+/// payload's actual length *before* instantiating anything, so a
+/// small corrupt file can never amplify into a model-sized allocation:
+/// any spec that passes has a parameter count of the same order as the
+/// file itself, and the exact count is still verified after the build.
+fn param_count_lower_bound(spec: &ArchSpec, window: usize) -> usize {
+    use perfvec_trace::NUM_FEATURES;
+    let d = spec.dim;
+    match spec.kind {
+        // First layer alone holds at least window * features * d weights.
+        ArchKind::Linear | ArchKind::Mlp => window.saturating_mul(NUM_FEATURES).saturating_mul(d),
+        // Each recurrent/attention layer holds at least d x d weights.
+        ArchKind::Lstm => spec.layers.saturating_mul(4 * d).saturating_mul(d),
+        ArchKind::Gru => spec.layers.saturating_mul(3 * d).saturating_mul(d),
+        // Two stacks of hidden size d/2: each W_hh alone is 4(d/2)^2.
+        ArchKind::BiLstm => (2 * d).saturating_mul(d),
+        ArchKind::Transformer => spec.layers.saturating_mul(4 * d).saturating_mul(d),
     }
 }
 
@@ -105,6 +148,11 @@ pub fn encode(f: &Foundation, spec: ArchSpec, table: Option<&MarchTable>) -> Vec
 }
 
 /// Restore a foundation model (and table, if present) from bytes.
+///
+/// Hardened the way `perfvec_trace::binio` is: every truncated prefix
+/// of a valid checkpoint fails with a clean [`CheckpointError`] (never
+/// a panic or an unbounded allocation), and bytes left over after a
+/// complete checkpoint are rejected as [`CheckpointError::Trailing`].
 pub fn decode(buf: &[u8]) -> Result<(Foundation, ArchSpec, Option<MarchTable>), CheckpointError> {
     let mut off = 0usize;
     let magic = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?;
@@ -116,11 +164,22 @@ pub fn decode(buf: &[u8]) -> Result<(Foundation, ArchSpec, Option<MarchTable>), 
     let layers = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
     let dim = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
     let context = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
+    if layers == 0 || layers > MAX_LAYERS || dim == 0 || dim > MAX_DIM || context > MAX_CONTEXT {
+        return Err(CheckpointError::BadHeader);
+    }
     let target_scale = f32::from_bits(
         bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?,
     );
+    // Training always produces a positive finite scale; anything else
+    // is corruption and would turn every prediction into NaN/Inf.
+    if !target_scale.is_finite() || target_scale <= 0.0 {
+        return Err(CheckpointError::BadHeader);
+    }
     let params = get_f32s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
     let spec = ArchSpec { kind, layers, dim };
+    if param_count_lower_bound(&spec, context + 1) > params.len() {
+        return Err(CheckpointError::Truncated);
+    }
     let mut foundation = Foundation::new(spec, context, target_scale, 0);
     if params.len() != foundation.model.num_params() {
         return Err(CheckpointError::Truncated);
@@ -136,6 +195,9 @@ pub fn decode(buf: &[u8]) -> Result<(Foundation, ArchSpec, Option<MarchTable>), 
     } else {
         None
     };
+    if off != buf.len() {
+        return Err(CheckpointError::Trailing);
+    }
     Ok((foundation, spec, table))
 }
 
@@ -214,6 +276,82 @@ mod tests {
         let (f, spec) = sample_foundation(ArchKind::Gru);
         let bytes = encode(&f, spec, None);
         assert!(matches!(decode(&bytes[..bytes.len() - 3]), Err(CheckpointError::Truncated)));
+    }
+
+    #[test]
+    fn every_truncated_prefix_fails_cleanly() {
+        // The binio hardening contract, applied to checkpoints: no
+        // prefix of a valid encoding may decode, panic, or allocate its
+        // way to an abort — each must return a clean error.
+        let table = MarchTable::new(3, 8, 9);
+        for (kind, with_table) in
+            [(ArchKind::Lstm, true), (ArchKind::Gru, false), (ArchKind::Transformer, true)]
+        {
+            let (f, spec) = sample_foundation(kind);
+            let bytes = encode(&f, spec, with_table.then_some(&table));
+            assert!(decode(&bytes).is_ok());
+            for cut in 0..bytes.len() {
+                let err = decode(&bytes[..cut]).err();
+                assert!(
+                    matches!(
+                        err,
+                        Some(CheckpointError::Truncated | CheckpointError::BadHeader)
+                    ),
+                    "{kind:?} prefix of {cut}/{} bytes gave {err:?}",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let table = MarchTable::new(3, 8, 9);
+        for table_opt in [None, Some(&table)] {
+            let (f, spec) = sample_foundation(ArchKind::Lstm);
+            let mut bytes = encode(&f, spec, table_opt);
+            bytes.push(0);
+            assert!(matches!(decode(&bytes), Err(CheckpointError::Trailing)));
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_drive_huge_allocations() {
+        // Overwrite the parameter-count prefix with u32::MAX: decode
+        // must fail with Truncated without attempting a 16 GiB Vec.
+        let (f, spec) = sample_foundation(ArchKind::Lstm);
+        let mut bytes = encode(&f, spec, None);
+        bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CheckpointError::Truncated)));
+    }
+
+    #[test]
+    fn corrupt_target_scale_is_rejected() {
+        let (f, spec) = sample_foundation(ArchKind::Lstm);
+        let valid = encode(&f, spec, None);
+        // target_scale sits at bytes 20..24.
+        for bits in [f32::NAN.to_bits(), f32::INFINITY.to_bits(), 0u32, (-1.0f32).to_bits()] {
+            let mut bytes = valid.clone();
+            bytes[20..24].copy_from_slice(&bits.to_le_bytes());
+            assert!(matches!(decode(&bytes), Err(CheckpointError::BadHeader)), "bits {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn absurd_shape_headers_are_rejected_before_model_construction() {
+        let (f, spec) = sample_foundation(ArchKind::Lstm);
+        let valid = encode(&f, spec, None);
+        // layers field (offset 8) and dim field (offset 12)
+        for (off, v) in [(8usize, u32::MAX), (8, 0), (12, u32::MAX), (12, 0)] {
+            let mut bytes = valid.clone();
+            bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            assert!(matches!(decode(&bytes), Err(CheckpointError::BadHeader)), "offset {off}");
+        }
+        // A plausible-looking dim with far too few parameter bytes must
+        // be caught by the lower-bound check, not by building the model.
+        let mut bytes = valid;
+        bytes[12..16].copy_from_slice(&1024u32.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CheckpointError::Truncated)));
     }
 
     #[test]

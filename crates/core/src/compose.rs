@@ -35,6 +35,13 @@ pub fn instruction_representations(
     m
 }
 
+/// Instructions summed per accumulator before folding into the total.
+///
+/// Shared by the windowed, blocked, and batched generators: identical
+/// chunking (and therefore identical floating-point summation order) is
+/// what makes their results bit-identical to one another.
+pub const SUM_CHUNK: usize = 2_048;
+
 /// The program representation `R_p = sum_i R_i` over the whole trace,
 /// computed with the exact windowed semantics. Chunk-parallel: each
 /// rayon task sums a contiguous block of instruction representations.
@@ -44,7 +51,7 @@ pub fn program_representation(foundation: &Foundation, features: &Matrix) -> Vec
     if n == 0 {
         return vec![0.0; d];
     }
-    let chunk = 2_048usize;
+    let chunk = SUM_CHUNK;
     let n_chunks = n.div_ceil(chunk);
     let partials = parallel_map(n_chunks, |c| {
         let lo = c * chunk;
@@ -70,21 +77,122 @@ pub fn program_representation(foundation: &Foundation, features: &Matrix) -> Vec
     total
 }
 
-/// Fast single-pass streaming representation (LSTM foundation models
-/// only): one stateful step per instruction instead of a full window.
+/// Coalesced batched representations for several programs at once: the
+/// windows of all `programs` form one stream (program-major,
+/// instructions ascending), processed `block` windows at a time through
+/// [`perfvec_ml::seq::SeqModel::forward_batch`] — one batched pass can
+/// carry windows from several programs, which is the inference server's
+/// micro-batching coalescing itself.
+///
+/// Single-threaded by design (the server's worker pool provides the
+/// parallelism). Because each batched window is bit-identical to a
+/// `forward` call, per-program windows are visited in ascending order,
+/// and the summation replays [`program_representation`]'s exact
+/// [`SUM_CHUNK`] structure, every returned representation is
+/// **bit-identical** to `program_representation` on that program alone
+/// — for any `block` size and any grouping of programs.
+pub fn program_representations_coalesced(
+    foundation: &Foundation,
+    programs: &[&Matrix],
+    block: usize,
+) -> Vec<Vec<f32>> {
+    let d = foundation.dim();
+    let w = foundation.window();
+    let block = block.max(1);
+    let mut totals: Vec<Vec<f32>> = programs.iter().map(|_| vec![0.0f32; d]).collect();
+    let mut accs: Vec<Vec<f32>> = programs.iter().map(|_| vec![0.0f32; d]).collect();
+    let mut seqbuf = vec![0.0f32; block * w * NUM_FEATURES];
+    // (program, instruction) pending in the current window block.
+    let mut pending: Vec<(usize, usize)> = Vec::with_capacity(block);
+    for (req, feats) in programs.iter().enumerate() {
+        for i in 0..feats.rows {
+            let s = pending.len();
+            fill_window(
+                feats,
+                i,
+                foundation.context,
+                &mut seqbuf[s * w * NUM_FEATURES..(s + 1) * w * NUM_FEATURES],
+            );
+            pending.push((req, i));
+            if pending.len() == block {
+                run_window_block(foundation, &mut pending, &seqbuf, programs, &mut accs, &mut totals);
+            }
+        }
+    }
+    run_window_block(foundation, &mut pending, &seqbuf, programs, &mut accs, &mut totals);
+    totals
+}
+
+fn run_window_block(
+    foundation: &Foundation,
+    pending: &mut Vec<(usize, usize)>,
+    seqbuf: &[f32],
+    programs: &[&Matrix],
+    accs: &mut [Vec<f32>],
+    totals: &mut [Vec<f32>],
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let d = foundation.dim();
+    let w = foundation.window();
+    let b = pending.len();
+    let outs = if b == 1 {
+        // Single window: the reference scalar forward path (what
+        // unbatched block-1 serving measures against).
+        foundation.model.forward(&seqbuf[..w * NUM_FEATURES], w).0
+    } else {
+        foundation.model.forward_batch(&seqbuf[..b * w * NUM_FEATURES], w, b)
+    };
+    for (s, &(req, i)) in pending.iter().enumerate() {
+        for (a, &v) in accs[req].iter_mut().zip(&outs[s * d..(s + 1) * d]) {
+            *a += v;
+        }
+        // Fold the chunk accumulator into the total at chunk
+        // boundaries and at the end of the program's trace.
+        let n = programs[req].rows;
+        if (i + 1) % SUM_CHUNK == 0 || i + 1 == n {
+            for (t, a) in totals[req].iter_mut().zip(accs[req].iter_mut()) {
+                *t += *a;
+                *a = 0.0;
+            }
+        }
+    }
+    pending.clear();
+}
+
+/// [`program_representation`] computed single-threaded through the
+/// batched forward pass — the single-program case of
+/// [`program_representations_coalesced`], with the same bit-identity
+/// guarantee.
+pub fn program_representation_blocked(
+    foundation: &Foundation,
+    features: &Matrix,
+    block: usize,
+) -> Vec<f32> {
+    program_representations_coalesced(foundation, &[features], block)
+        .pop()
+        .expect("one program in, one representation out")
+}
+
+/// Fast single-pass streaming representation (stateful recurrent
+/// foundation models — LSTM and GRU): one stateful step per instruction
+/// instead of a full window.
 ///
 /// The trace is split into chunks processed in parallel; each chunk
 /// replays `warmup` preceding instructions to rebuild recurrent state
 /// before contributing, so the result approaches the windowed sum as
 /// `warmup` grows past the training context. Returns `None` for
-/// non-streaming architectures.
+/// window-only architectures (see
+/// [`perfvec_ml::seq::SeqModel::supports_streaming`]).
 pub fn program_representation_streaming(
     foundation: &Foundation,
     features: &Matrix,
     chunk: usize,
     warmup: usize,
 ) -> Option<Vec<f32>> {
-    let lstm = foundation.model.as_lstm()?;
+    let model = &foundation.model;
+    model.supports_streaming().then_some(())?;
     let d = foundation.dim();
     let n = features.rows;
     if n == 0 {
@@ -96,11 +204,11 @@ pub fn program_representation_streaming(
         let lo = c * chunk;
         let hi = (lo + chunk).min(n);
         let start = lo.saturating_sub(warmup);
-        let mut state = lstm.zero_state();
+        let mut state = model.stream_state().expect("streaming support checked above");
         let mut out = vec![0.0f32; d];
         let mut acc = vec![0.0f32; d];
         for i in start..hi {
-            lstm.step(&mut state, features.row(i), &mut out);
+            model.stream_step(&mut state, features.row(i), &mut out);
             if i >= lo {
                 for (a, &v) in acc.iter_mut().zip(&out) {
                     *a += v;
@@ -192,14 +300,101 @@ mod tests {
     }
 
     #[test]
-    fn non_lstm_models_do_not_stream() {
-        let f = Foundation::new(
-            ArchSpec { kind: ArchKind::Gru, layers: 1, dim: 8 },
-            3,
-            0.1,
-            1,
+    fn window_only_models_do_not_stream_but_recurrent_ones_do() {
+        for (kind, streams) in [
+            (ArchKind::Mlp, false),
+            (ArchKind::Transformer, false),
+            (ArchKind::BiLstm, false),
+            (ArchKind::Lstm, true),
+            (ArchKind::Gru, true),
+        ] {
+            let f = Foundation::new(ArchSpec { kind, layers: 1, dim: 8 }, 3, 0.1, 1);
+            assert_eq!(
+                program_representation_streaming(&f, &toy_features(10), 4, 2).is_some(),
+                streams,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gru_streaming_chunking_is_consistent() {
+        // The GRU fast path must show the same chunk-invariance as the
+        // LSTM one: with warmup >= the full prefix, chunked == one pass.
+        let f = Foundation::new(ArchSpec { kind: ArchKind::Gru, layers: 2, dim: 8 }, 3, 0.1, 11);
+        let feats = toy_features(120);
+        let one = program_representation_streaming(&f, &feats, 400, 0).unwrap();
+        let many = program_representation_streaming(&f, &feats, 30, 120).unwrap();
+        for (a, b) in one.iter().zip(&many) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gru_streaming_approaches_windowed_with_enough_warmup() {
+        let f = Foundation::new(ArchSpec { kind: ArchKind::Gru, layers: 2, dim: 8 }, 12, 0.1, 11);
+        let feats = toy_features(400);
+        let windowed = program_representation(&f, &feats);
+        let streamed = program_representation_streaming(&f, &feats, 64, 48).unwrap();
+        let dot: f32 = windowed.iter().zip(&streamed).map(|(a, b)| a * b).sum();
+        let na: f32 = windowed.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let nb: f32 = streamed.iter().map(|b| b * b).sum::<f32>().sqrt();
+        assert!(dot / (na * nb) > 0.9, "cosine similarity too low: {}", dot / (na * nb));
+    }
+
+    #[test]
+    fn blocked_representation_is_bit_identical_for_every_block_size() {
+        // The inference server relies on this exact equality for its
+        // served-equals-offline parity guarantee, across architectures
+        // (specialized batched paths and the generic fallback alike).
+        for kind in [ArchKind::Lstm, ArchKind::Gru, ArchKind::Transformer] {
+            let f = Foundation::new(ArchSpec { kind, layers: 2, dim: 8 }, 3, 0.1, 7);
+            let feats = toy_features(100);
+            let reference = program_representation(&f, &feats);
+            for block in [1usize, 7, 32, 256] {
+                let blocked = program_representation_blocked(&f, &feats, block);
+                assert_eq!(reference, blocked, "{kind:?} block {block}");
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_representations_are_bit_identical_per_program() {
+        // Windows of several programs share forward_batch blocks; each
+        // program's representation must still equal the windowed
+        // reference exactly — the serving engine's parity foundation.
+        for kind in [ArchKind::Lstm, ArchKind::Gru] {
+            let f = Foundation::new(ArchSpec { kind, layers: 2, dim: 8 }, 3, 0.1, 7);
+            let feats: Vec<Matrix> =
+                (0..5).map(|s| toy_features(40 + 13 * s)).collect();
+            let refs: Vec<&Matrix> = feats.iter().collect();
+            for block in [1usize, 3, 8, 64] {
+                let reps = program_representations_coalesced(&f, &refs, block);
+                for (m, rep) in feats.iter().zip(&reps) {
+                    assert_eq!(rep, &program_representation(&f, m), "{kind:?} block {block}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_representation_spans_chunk_boundaries_exactly() {
+        // More instructions than SUM_CHUNK forces the chunk-partial fold
+        // to run; a block size that does not divide the chunk exercises
+        // ragged block tails.
+        let f = lstm_foundation();
+        let feats = toy_features(SUM_CHUNK + 513);
+        assert_eq!(
+            program_representation(&f, &feats),
+            program_representation_blocked(&f, &feats, 30)
         );
-        assert!(program_representation_streaming(&f, &toy_features(10), 4, 2).is_none());
+    }
+
+    #[test]
+    fn blocked_representation_of_empty_trace_is_zero() {
+        let f = lstm_foundation();
+        let feats = Matrix::zeros(0, NUM_FEATURES);
+        assert_eq!(program_representation_blocked(&f, &feats, 8), vec![0.0; 8]);
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub mod predict;
 pub mod refit;
 pub mod trainer;
 
-pub use compose::{program_representation, program_representation_streaming};
+pub use compose::{
+    program_representation, program_representation_blocked, program_representation_streaming,
+    program_representations_coalesced,
+};
 pub use foundation::{ArchKind, ArchSpec, Foundation};
 pub use march_table::MarchTable;
 pub use refit::refit_march_table;

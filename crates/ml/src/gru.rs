@@ -2,7 +2,11 @@
 //! architectures).
 
 use crate::init::seeded_rng;
-use crate::tensor::{gemv_acc, gemv_t_acc, outer_acc, sigmoid};
+// Fast activations by design: scalar and batched paths share the same
+// straight-line-arithmetic functions so batched inference stays
+// bit-identical to scalar inference while its inner loops vectorize
+// (see `tensor::tanh_apx`).
+use crate::tensor::{gemm_bm_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx};
 
 /// Shape of one GRU layer.
 ///
@@ -50,6 +54,30 @@ impl GruLayerShape {
         w[end..].fill(0.0);
     }
 
+    /// One streaming step: updates `h_state` in place from input `x`.
+    ///
+    /// Arithmetic mirrors one timestep of [`GruLayerShape::forward`]
+    /// exactly (same gate order, same accumulation order), so a step
+    /// sequence reproduces the full-sequence forward bit-for-bit.
+    pub fn step(&self, w: &[f32], x: &[f32], h_state: &mut [f32]) {
+        let h = self.hidden;
+        let (w_ih, w_hh, b) = self.split(w);
+        let (w_hr, rest) = w_hh.split_at(h * h);
+        let (w_hz, w_hn) = rest.split_at(h * h);
+        let mut zx = b.to_vec();
+        gemv_acc(w_ih, x, &mut zx, 3 * h, self.in_dim);
+        gemv_acc(w_hr, h_state, &mut zx[..h], h, h);
+        gemv_acc(w_hz, h_state, &mut zx[h..2 * h], h, h);
+        let mut un_h = vec![0.0f32; h];
+        gemv_acc(w_hn, h_state, &mut un_h, h, h);
+        for k in 0..h {
+            let r = sigmoid_apx(zx[k]);
+            let z = sigmoid_apx(zx[h + k]);
+            let n = tanh_apx(zx[2 * h + k] + r * un_h[k]);
+            h_state[k] = (1.0 - z) * n + z * h_state[k];
+        }
+    }
+
     /// Full-sequence forward.
     pub fn forward(&self, w: &[f32], xs: &[f32], t_steps: usize) -> GruLayerCache {
         let h = self.hidden;
@@ -76,9 +104,9 @@ impl GruLayerShape {
             let gates = &mut cache.gates[t * 3 * h..(t + 1) * 3 * h];
             let hs = &mut cache.hs[t * h..(t + 1) * h];
             for k in 0..h {
-                let r = sigmoid(zx[k]);
-                let z = sigmoid(zx[h + k]);
-                let n = (zx[2 * h + k] + r * un_h[k]).tanh();
+                let r = sigmoid_apx(zx[k]);
+                let z = sigmoid_apx(zx[h + k]);
+                let n = tanh_apx(zx[2 * h + k] + r * un_h[k]);
                 gates[k] = r;
                 gates[h + k] = z;
                 gates[2 * h + k] = n;
@@ -163,6 +191,43 @@ impl GruLayerShape {
     }
 }
 
+/// One GRU gate-activation chunk of compile-time width `L` (all slices
+/// have length `L`); element math identical to the scalar path:
+/// `r,z` sigmoids, `n = tanh(z_n + r·(U_n h))`, `h = (1-z)n + z·h`.
+#[inline]
+fn gru_gates_chunk<const L: usize>(
+    zr: &[f32],
+    zz: &[f32],
+    zn: &[f32],
+    un_row: &[f32],
+    h_row: &mut [f32],
+) {
+    for s in 0..L {
+        let r = sigmoid_apx(zr[s]);
+        let z = sigmoid_apx(zz[s]);
+        let n = tanh_apx(zn[s] + r * un_row[s]);
+        h_row[s] = (1.0 - z) * n + z * h_row[s];
+    }
+}
+
+/// Streaming hidden state for a multi-layer GRU (the GRU is stateful by
+/// construction, so it supports the same single-pass fast path as the
+/// LSTM; see [`crate::lstm::LstmState`]).
+#[derive(Debug, Clone)]
+pub struct GruState {
+    /// Per-layer hidden vectors.
+    pub h: Vec<Vec<f32>>,
+}
+
+impl GruState {
+    /// Reset all state to zero.
+    pub fn reset(&mut self) {
+        for v in self.h.iter_mut() {
+            v.fill(0.0);
+        }
+    }
+}
+
 /// Multi-layer GRU with contiguous parameters.
 #[derive(Debug, Clone)]
 pub struct Gru {
@@ -206,6 +271,11 @@ impl Gru {
         self.layers.last().unwrap().hidden
     }
 
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
     /// Flat parameters.
     pub fn params(&self) -> &[f32] {
         &self.params
@@ -233,6 +303,106 @@ impl Gru {
         let h = self.out_dim();
         let out = input[(t_steps - 1) * h..t_steps * h].to_vec();
         (out, GruCache { layer_caches, t_steps })
+    }
+
+    /// Fresh zeroed streaming state.
+    pub fn zero_state(&self) -> GruState {
+        GruState { h: self.layers.iter().map(|l| vec![0.0; l.hidden]).collect() }
+    }
+
+    /// One streaming step: feed `x`, update `state`, and write the top
+    /// layer's hidden vector into `out`.
+    pub fn step(&self, state: &mut GruState, x: &[f32], out: &mut [f32]) {
+        let mut input = x.to_vec();
+        for (l, shape) in self.layers.iter().enumerate() {
+            let w = self.layer_param(l);
+            shape.step(w, &input, &mut state.h[l]);
+            input.clear();
+            input.extend_from_slice(&state.h[l]);
+        }
+        out.copy_from_slice(&input);
+    }
+
+    /// Batched full-sequence forward over `batch` independent sequences
+    /// in lockstep (see [`crate::lstm::Lstm::forward_batch`]; same
+    /// layouts, same bit-identical-per-sequence guarantee).
+    pub fn forward_batch(&self, xs: &[f32], t_steps: usize, batch: usize) -> Vec<f32> {
+        let in_dim = self.in_dim();
+        debug_assert_eq!(xs.len(), batch * t_steps * in_dim);
+        assert!(batch >= 1);
+        let mut h_st: Vec<Vec<f32>> =
+            self.layers.iter().map(|l| vec![0.0f32; l.hidden * batch]).collect();
+        let h_max = self.layers.iter().map(|l| l.hidden).max().unwrap();
+        let mut x0 = vec![0.0f32; in_dim * batch];
+        let mut zx = vec![0.0f32; 3 * h_max * batch];
+        let mut un = vec![0.0f32; h_max * batch];
+        let mut acc = vec![0.0f32; batch];
+        for t in 0..t_steps {
+            for k in 0..in_dim {
+                for (s, x) in x0[k * batch..(k + 1) * batch].iter_mut().enumerate() {
+                    *x = xs[s * t_steps * in_dim + t * in_dim + k];
+                }
+            }
+            for (l, shape) in self.layers.iter().enumerate() {
+                let h = shape.hidden;
+                let (w_ih, w_hh, b) = shape.split(self.layer_param(l));
+                let (w_hr, rest) = w_hh.split_at(h * h);
+                let (w_hz, w_hn) = rest.split_at(h * h);
+                let zx = &mut zx[..3 * h * batch];
+                for (r, &bv) in b.iter().enumerate() {
+                    zx[r * batch..(r + 1) * batch].fill(bv);
+                }
+                let (below, cur) = h_st.split_at_mut(l);
+                let x_bm: &[f32] = if l == 0 { &x0 } else { &below[l - 1] };
+                gemm_bm_acc(w_ih, x_bm, zx, 3 * h, shape.in_dim, batch, &mut acc);
+                let h_cur = &mut cur[0];
+                gemm_bm_acc(w_hr, h_cur, &mut zx[..h * batch], h, h, batch, &mut acc);
+                gemm_bm_acc(w_hz, h_cur, &mut zx[h * batch..2 * h * batch], h, h, batch, &mut acc);
+                let un = &mut un[..h * batch];
+                un.fill(0.0);
+                gemm_bm_acc(w_hn, h_cur, un, h, h, batch, &mut acc);
+                // Per-k row slices, processed in fixed-width chunks so
+                // the gate math reliably compiles to SIMD (see the
+                // LSTM's `gates_chunk`); identical math at any width.
+                for k in 0..h {
+                    let zr = &zx[k * batch..(k + 1) * batch];
+                    let zz = &zx[(h + k) * batch..(h + k + 1) * batch];
+                    let zn = &zx[(2 * h + k) * batch..(2 * h + k + 1) * batch];
+                    let un_row = &un[k * batch..(k + 1) * batch];
+                    let h_row = &mut h_cur[k * batch..(k + 1) * batch];
+                    let mut s = 0;
+                    while s + 8 <= batch {
+                        gru_gates_chunk::<8>(
+                            &zr[s..s + 8],
+                            &zz[s..s + 8],
+                            &zn[s..s + 8],
+                            &un_row[s..s + 8],
+                            &mut h_row[s..s + 8],
+                        );
+                        s += 8;
+                    }
+                    while s < batch {
+                        gru_gates_chunk::<1>(
+                            &zr[s..s + 1],
+                            &zz[s..s + 1],
+                            &zn[s..s + 1],
+                            &un_row[s..s + 1],
+                            &mut h_row[s..s + 1],
+                        );
+                        s += 1;
+                    }
+                }
+            }
+        }
+        let d = self.out_dim();
+        let top = &h_st[self.layers.len() - 1];
+        let mut out = vec![0.0f32; batch * d];
+        for s in 0..batch {
+            for k in 0..d {
+                out[s * d + k] = top[k * batch + s];
+            }
+        }
+        out
     }
 
     /// Backward from `dout` (gradient w.r.t. the final hidden vector).
@@ -324,5 +494,34 @@ mod tests {
         let (a, _) = m.forward(&xs, 4);
         let (b, _) = m.forward(&xs, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_matches_windowed_forward_bit_exactly() {
+        let model = Gru::new(3, 8, 2, 9);
+        let t = 6;
+        let mut rng = seeded_rng(3);
+        use rand::Rng;
+        let xs: Vec<f32> = (0..t * 3).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let (win_out, _) = model.forward(&xs, t);
+        let mut state = model.zero_state();
+        let mut out = vec![0.0f32; 8];
+        for step in 0..t {
+            model.step(&mut state, &xs[step * 3..(step + 1) * 3], &mut out);
+        }
+        assert_eq!(win_out, out);
+    }
+
+    #[test]
+    fn state_reset_restores_determinism() {
+        let model = Gru::new(2, 4, 1, 1);
+        let x = [0.5f32, -0.25];
+        let mut out1 = vec![0.0f32; 4];
+        let mut out2 = vec![0.0f32; 4];
+        let mut state = model.zero_state();
+        model.step(&mut state, &x, &mut out1);
+        state.reset();
+        model.step(&mut state, &x, &mut out2);
+        assert_eq!(out1, out2);
     }
 }

@@ -5,7 +5,12 @@
 //! streaming step (fast trace-wide representation generation).
 
 use crate::init::seeded_rng;
-use crate::tensor::{gemv_acc, gemv_t_acc, outer_acc, sigmoid};
+// The fast activations are deliberate: every path (scalar step,
+// full-sequence forward, batched forward, backward's cell-tanh
+// recomputation) must call the *same* straight-line-arithmetic
+// functions so batched inference stays bit-identical to scalar
+// inference while its inner loops vectorize (see `tensor::tanh_apx`).
+use crate::tensor::{gemm_bm_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx};
 
 /// Shape of one LSTM layer with input size `in_dim` and hidden size `h`.
 ///
@@ -69,13 +74,13 @@ impl LstmLayerShape {
         gemv_acc(w_ih, x, &mut z, 4 * h, self.in_dim);
         gemv_acc(w_hh, h_state, &mut z, 4 * h, h);
         for k in 0..h {
-            let ig = sigmoid(z[k]);
-            let fg = sigmoid(z[h + k]);
-            let gg = z[2 * h + k].tanh();
-            let og = sigmoid(z[3 * h + k]);
+            let ig = sigmoid_apx(z[k]);
+            let fg = sigmoid_apx(z[h + k]);
+            let gg = tanh_apx(z[2 * h + k]);
+            let og = sigmoid_apx(z[3 * h + k]);
             let c = fg * c_state[k] + ig * gg;
             c_state[k] = c;
-            h_state[k] = og * c.tanh();
+            h_state[k] = og * tanh_apx(c);
         }
     }
 
@@ -100,17 +105,17 @@ impl LstmLayerShape {
             let cells = &mut cache.cells[t * h..(t + 1) * h];
             let hs = &mut cache.hs[t * h..(t + 1) * h];
             for k in 0..h {
-                let ig = sigmoid(z[k]);
-                let fg = sigmoid(z[h + k]);
-                let gg = z[2 * h + k].tanh();
-                let og = sigmoid(z[3 * h + k]);
+                let ig = sigmoid_apx(z[k]);
+                let fg = sigmoid_apx(z[h + k]);
+                let gg = tanh_apx(z[2 * h + k]);
+                let og = sigmoid_apx(z[3 * h + k]);
                 let c = fg * c_prev[k] + ig * gg;
                 gates[k] = ig;
                 gates[h + k] = fg;
                 gates[2 * h + k] = gg;
                 gates[3 * h + k] = og;
                 cells[k] = c;
-                hs[k] = og * c.tanh();
+                hs[k] = og * tanh_apx(c);
             }
             h_prev.copy_from_slice(hs);
             c_prev.copy_from_slice(cells);
@@ -161,7 +166,7 @@ impl LstmLayerShape {
                 let fg = gates[h + k];
                 let gg = gates[2 * h + k];
                 let og = gates[3 * h + k];
-                let tc = cells[k].tanh();
+                let tc = tanh_apx(cells[k]);
                 let dh_k = dh_t[k];
                 let mut dc = dc_next[k] + dh_k * og * (1.0 - tc * tc);
                 let d_o = dh_k * tc;
@@ -188,6 +193,30 @@ impl LstmLayerShape {
                 gemv_t_acc(w_hh, &dz, &mut dh_rec, 4 * h, h);
             }
         }
+    }
+}
+
+/// One LSTM gate-activation chunk of compile-time width `L` (all
+/// slices have length `L`). The element math is exactly the scalar
+/// path's: `i,f,g,o` gates through the shared fast activations, then
+/// `c = f·c + i·g`, `h = o·tanh(c)`.
+#[inline]
+fn gates_chunk<const L: usize>(
+    zi: &[f32],
+    zf: &[f32],
+    zg: &[f32],
+    zo: &[f32],
+    c_row: &mut [f32],
+    h_row: &mut [f32],
+) {
+    for s in 0..L {
+        let ig = sigmoid_apx(zi[s]);
+        let fg = sigmoid_apx(zf[s]);
+        let gg = tanh_apx(zg[s]);
+        let og = sigmoid_apx(zo[s]);
+        let c = fg * c_row[s] + ig * gg;
+        c_row[s] = c;
+        h_row[s] = og * tanh_apx(c);
     }
 }
 
@@ -308,6 +337,99 @@ impl Lstm {
         let h = self.out_dim();
         let out = input[(t_steps - 1) * h..t_steps * h].to_vec();
         (out, LstmCache { layer_caches, t_steps })
+    }
+
+    /// Batched full-sequence forward over `batch` independent sequences
+    /// in lockstep.
+    ///
+    /// `xs` is sequence-major (`batch` consecutive `t_steps x in_dim`
+    /// blocks); the result is sequence-major (`batch x hidden`). All
+    /// sequences advance one timestep at a time, so each weight matrix
+    /// is traversed once per timestep for the whole batch (see
+    /// [`gemm_bm_acc`]) instead of once per sequence — the inference
+    /// server's micro-batching win. Every sequence's arithmetic is
+    /// performed in exactly the order of [`Lstm::forward`], so each
+    /// output is bit-identical to an independent `forward` call.
+    pub fn forward_batch(&self, xs: &[f32], t_steps: usize, batch: usize) -> Vec<f32> {
+        let in_dim = self.in_dim();
+        debug_assert_eq!(xs.len(), batch * t_steps * in_dim);
+        assert!(batch >= 1);
+        // Batch-major per-layer states: entry `k * batch + s`.
+        let mut h_st: Vec<Vec<f32>> =
+            self.layers.iter().map(|l| vec![0.0f32; l.hidden * batch]).collect();
+        let mut c_st = h_st.clone();
+        let h_max = self.layers.iter().map(|l| l.hidden).max().unwrap();
+        let mut x0 = vec![0.0f32; in_dim * batch];
+        let mut z = vec![0.0f32; 4 * h_max * batch];
+        let mut acc = vec![0.0f32; batch];
+        for t in 0..t_steps {
+            // Gather this timestep's inputs for layer 0 into batch-major
+            // form; higher layers consume the layer below's fresh state.
+            for k in 0..in_dim {
+                for (s, x) in x0[k * batch..(k + 1) * batch].iter_mut().enumerate() {
+                    *x = xs[s * t_steps * in_dim + t * in_dim + k];
+                }
+            }
+            for (l, shape) in self.layers.iter().enumerate() {
+                let h = shape.hidden;
+                let (w_ih, w_hh, b) = shape.split(self.layer_param(l));
+                let z = &mut z[..4 * h * batch];
+                for (r, &bv) in b.iter().enumerate() {
+                    z[r * batch..(r + 1) * batch].fill(bv);
+                }
+                let (below, cur_h) = h_st.split_at_mut(l);
+                let x_bm: &[f32] = if l == 0 { &x0 } else { &below[l - 1] };
+                gemm_bm_acc(w_ih, x_bm, z, 4 * h, shape.in_dim, batch, &mut acc);
+                gemm_bm_acc(w_hh, &cur_h[0], z, 4 * h, h, batch, &mut acc);
+                let (h_cur, c_cur) = (&mut cur_h[0], &mut c_st[l]);
+                // Per-k row slices, processed in fixed-width chunks:
+                // the const-width inner body reliably compiles to SIMD
+                // (a runtime-trip-count loop over this much straight-
+                // line math does not survive every pass pipeline). The
+                // math per element is identical at every width, so
+                // results never depend on the chunking.
+                for k in 0..h {
+                    let zi = &z[k * batch..(k + 1) * batch];
+                    let zf = &z[(h + k) * batch..(h + k + 1) * batch];
+                    let zg = &z[(2 * h + k) * batch..(2 * h + k + 1) * batch];
+                    let zo = &z[(3 * h + k) * batch..(3 * h + k + 1) * batch];
+                    let c_row = &mut c_cur[k * batch..(k + 1) * batch];
+                    let h_row = &mut h_cur[k * batch..(k + 1) * batch];
+                    let mut s = 0;
+                    while s + 8 <= batch {
+                        gates_chunk::<8>(
+                            &zi[s..s + 8],
+                            &zf[s..s + 8],
+                            &zg[s..s + 8],
+                            &zo[s..s + 8],
+                            &mut c_row[s..s + 8],
+                            &mut h_row[s..s + 8],
+                        );
+                        s += 8;
+                    }
+                    while s < batch {
+                        gates_chunk::<1>(
+                            &zi[s..s + 1],
+                            &zf[s..s + 1],
+                            &zg[s..s + 1],
+                            &zo[s..s + 1],
+                            &mut c_row[s..s + 1],
+                            &mut h_row[s..s + 1],
+                        );
+                        s += 1;
+                    }
+                }
+            }
+        }
+        let d = self.out_dim();
+        let top = &h_st[self.layers.len() - 1];
+        let mut out = vec![0.0f32; batch * d];
+        for s in 0..batch {
+            for k in 0..d {
+                out[s * d + k] = top[k * batch + s];
+            }
+        }
+        out
     }
 
     /// Backward from a gradient `dout` w.r.t. the final hidden vector;

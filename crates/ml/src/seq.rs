@@ -7,9 +7,9 @@
 //! manual backward passes.
 
 use crate::bilstm::{BiLstm, BiLstmCache};
-use crate::gru::{Gru, GruCache};
+use crate::gru::{Gru, GruCache, GruState};
 use crate::linear::LinearShape;
-use crate::lstm::{Lstm, LstmCache};
+use crate::lstm::{Lstm, LstmCache, LstmState};
 use crate::mlp::{Mlp, MlpCache};
 use crate::transformer::{TransformerCache, TransformerEncoder};
 
@@ -39,6 +39,19 @@ pub enum SeqModel {
     Gru(Gru),
     /// `Transformer-l-d`.
     Transformer(TransformerEncoder),
+}
+
+/// Recurrent state for the architectures that support one-step
+/// streaming (stateful-by-construction models: LSTM and GRU).
+///
+/// Obtained from [`SeqModel::stream_state`] and advanced with
+/// [`SeqModel::stream_step`]; window-only architectures (Linear, MLP,
+/// biLSTM, Transformer) have no streaming state.
+pub enum StreamState {
+    /// LSTM hidden + cell state.
+    Lstm(LstmState),
+    /// GRU hidden state.
+    Gru(GruState),
 }
 
 /// Opaque forward cache matching the architecture.
@@ -99,7 +112,7 @@ impl SeqModel {
             SeqModel::Mlp { model, .. } => format!("MLP-{}-{}", model.num_layers(), model.out_dim()),
             SeqModel::Lstm(m) => format!("LSTM-{}-{}", m.num_layers(), m.out_dim()),
             SeqModel::BiLstm(m) => format!("biLSTM-1-{}", m.out_dim()),
-            SeqModel::Gru(m) => format!("GRU-2-{}", m.out_dim()),
+            SeqModel::Gru(m) => format!("GRU-{}-{}", m.num_layers(), m.out_dim()),
             SeqModel::Transformer(m) => format!("Transformer-2-{}", m.out_dim()),
         }
     }
@@ -217,6 +230,63 @@ impl SeqModel {
         let _ = t;
     }
 
+    /// Batched forward over `batch` independent `t x in_dim` sequences.
+    ///
+    /// `xs` is sequence-major (`batch` consecutive `t x in_dim` blocks);
+    /// the result is sequence-major (`batch x out_dim`). The recurrent
+    /// architectures (LSTM, GRU) run all sequences in lockstep so each
+    /// weight matrix is traversed once per timestep for the whole batch,
+    /// with vectorizable batch-major inner loops; the remaining
+    /// architectures fall back to per-sequence [`SeqModel::forward`].
+    /// Either way each sequence's output is bit-identical to an
+    /// independent `forward` call — batching is invisible to results.
+    pub fn forward_batch(&self, xs: &[f32], t: usize, batch: usize) -> Vec<f32> {
+        match self {
+            SeqModel::Lstm(m) => m.forward_batch(xs, t, batch),
+            SeqModel::Gru(m) => m.forward_batch(xs, t, batch),
+            _ => {
+                let in_dim = self.in_dim();
+                let d = self.out_dim();
+                debug_assert_eq!(xs.len(), batch * t * in_dim);
+                let mut out = vec![0.0f32; batch * d];
+                for s in 0..batch {
+                    let (y, _) = self.forward(&xs[s * t * in_dim..(s + 1) * t * in_dim], t);
+                    out[s * d..(s + 1) * d].copy_from_slice(&y);
+                }
+                out
+            }
+        }
+    }
+
+    /// Whether this architecture supports one-step streaming (a
+    /// stateful recurrence: LSTM and GRU).
+    pub fn supports_streaming(&self) -> bool {
+        matches!(self, SeqModel::Lstm(_) | SeqModel::Gru(_))
+    }
+
+    /// Fresh zeroed streaming state, or `None` for window-only
+    /// architectures.
+    pub fn stream_state(&self) -> Option<StreamState> {
+        match self {
+            SeqModel::Lstm(m) => Some(StreamState::Lstm(m.zero_state())),
+            SeqModel::Gru(m) => Some(StreamState::Gru(m.zero_state())),
+            _ => None,
+        }
+    }
+
+    /// One streaming step: feed `x` (length [`SeqModel::in_dim`]),
+    /// update `state`, and write the representation into `out` (length
+    /// [`SeqModel::out_dim`]).
+    ///
+    /// Panics if `state` does not match the architecture.
+    pub fn stream_step(&self, state: &mut StreamState, x: &[f32], out: &mut [f32]) {
+        match (self, state) {
+            (SeqModel::Lstm(m), StreamState::Lstm(s)) => m.step(s, x, out),
+            (SeqModel::Gru(m), StreamState::Gru(s)) => m.step(s, x, out),
+            _ => panic!("stream state does not match model architecture"),
+        }
+    }
+
     /// The streaming-capable inner LSTM, when this model is an LSTM
     /// (used for fast trace-wide representation generation).
     pub fn as_lstm(&self) -> Option<&Lstm> {
@@ -302,5 +372,30 @@ mod tests {
     fn lstm_exposes_streaming() {
         assert!(SeqModel::lstm(4, 8, 2, 0).as_lstm().is_some());
         assert!(SeqModel::gru(4, 8, 2, 0).as_lstm().is_none());
+    }
+
+    #[test]
+    fn exactly_the_recurrent_architectures_stream() {
+        for m in all_models(4, 8, 3) {
+            let expect = matches!(m, SeqModel::Lstm(_) | SeqModel::Gru(_));
+            assert_eq!(m.supports_streaming(), expect, "{}", m.describe());
+            assert_eq!(m.stream_state().is_some(), expect, "{}", m.describe());
+        }
+    }
+
+    #[test]
+    fn stream_steps_match_windowed_forward_for_recurrent_models() {
+        let (in_dim, d, t) = (5, 8, 6);
+        let xs: Vec<f32> =
+            (0..t * in_dim).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.07).collect();
+        for m in [SeqModel::lstm(in_dim, d, 2, 3), SeqModel::gru(in_dim, d, 2, 5)] {
+            let (win, _) = m.forward(&xs, t);
+            let mut state = m.stream_state().unwrap();
+            let mut out = vec![0.0f32; d];
+            for step in 0..t {
+                m.stream_step(&mut state, &xs[step * in_dim..(step + 1) * in_dim], &mut out);
+            }
+            assert_eq!(win, out, "{}", m.describe());
+        }
     }
 }

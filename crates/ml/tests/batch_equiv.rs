@@ -1,0 +1,77 @@
+//! Batched-forward equivalence: `forward_batch` must be invisible to
+//! results — every sequence in a batch produces *bit-identical* output
+//! to an independent `forward` call, for every architecture and any
+//! batch size. This is the correctness contract the inference server's
+//! micro-batching engine is built on (`gradcheck`-style: the batched
+//! path is verified against the reference path, not against itself).
+
+use perfvec_ml::seq::SeqModel;
+
+fn all_models(in_dim: usize, d: usize, window: usize) -> Vec<SeqModel> {
+    vec![
+        SeqModel::linear(in_dim, d, window, 1),
+        SeqModel::mlp(in_dim, d, window, 2),
+        SeqModel::lstm(in_dim, d, 2, 3),
+        SeqModel::bilstm(in_dim, d, 1, 4),
+        SeqModel::gru(in_dim, d, 2, 5),
+        SeqModel::transformer(in_dim, d, 2, 6),
+    ]
+}
+
+/// Deterministic, feature-varying pseudo-random inputs (no RNG needed:
+/// the values just have to differ across sequences and steps).
+fn batch_inputs(batch: usize, t: usize, in_dim: usize) -> Vec<f32> {
+    (0..batch * t * in_dim)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((x >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn batch_of_one_is_bit_identical_to_forward() {
+    let (in_dim, d, t) = (6, 8, 5);
+    let xs = batch_inputs(1, t, in_dim);
+    for m in all_models(in_dim, d, t) {
+        let (single, _) = m.forward(&xs, t);
+        let batched = m.forward_batch(&xs, t, 1);
+        assert_eq!(single, batched, "{}", m.describe());
+    }
+}
+
+#[test]
+fn every_sequence_of_a_batch_is_bit_identical_to_forward() {
+    let (in_dim, d, t) = (6, 8, 5);
+    for batch in [2usize, 3, 8, 17] {
+        let xs = batch_inputs(batch, t, in_dim);
+        for m in all_models(in_dim, d, t) {
+            let batched = m.forward_batch(&xs, t, batch);
+            assert_eq!(batched.len(), batch * d, "{}", m.describe());
+            for s in 0..batch {
+                let (single, _) = m.forward(&xs[s * t * in_dim..(s + 1) * t * in_dim], t);
+                assert_eq!(
+                    &batched[s * d..(s + 1) * d],
+                    single.as_slice(),
+                    "{} sequence {s} of batch {batch}",
+                    m.describe()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deeper_recurrent_stacks_stay_bit_identical() {
+    // Lockstep layer interleaving must not change results for stacks
+    // deeper than the default two layers.
+    let (in_dim, d, t, batch) = (4, 6, 7, 5);
+    let xs = batch_inputs(batch, t, in_dim);
+    for m in [SeqModel::lstm(in_dim, d, 3, 11), SeqModel::gru(in_dim, d, 3, 13)] {
+        let batched = m.forward_batch(&xs, t, batch);
+        for s in 0..batch {
+            let (single, _) = m.forward(&xs[s * t * in_dim..(s + 1) * t * in_dim], t);
+            assert_eq!(&batched[s * d..(s + 1) * d], single.as_slice(), "{}", m.describe());
+        }
+    }
+}

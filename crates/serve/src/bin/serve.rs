@@ -1,0 +1,204 @@
+//! `serve` — the PerfVec inference server binary.
+//!
+//! ```text
+//! serve --model default=path/to/foundation.pfm [--model alt=other.pfm]
+//!       [--host 127.0.0.1] [--port 7411] [--batch 16]
+//!       [--queue-depth 256] [--workers N] [--cache-entries 1024]
+//!       [--march-seed 0x77112024]
+//! serve --demo-checkpoint /tmp/tiny.pfm     # write a servable demo
+//!                                           # checkpoint and exit
+//! ```
+//!
+//! The listener defaults to loopback; pass `--host 0.0.0.0` to serve
+//! other machines. Every flag also reads a `PERFVEC_SERVE_*`
+//! environment variable (flag wins): `HOST`, `PORT`, `BATCH`,
+//! `QUEUE_DEPTH`, `WORKERS`, `CACHE_ENTRIES`, `MARCH_SEED`.
+
+use perfvec::checkpoint;
+use perfvec::foundation::{ArchSpec, Foundation};
+use perfvec::MarchTable;
+use perfvec_serve::{start, EngineConfig, ModelRegistry, ServerConfig};
+use perfvec_sim::sample::{training_population, DEFAULT_MARCH_SEED};
+use std::net::{IpAddr, Ipv4Addr};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(format!("PERFVEC_SERVE_{name}")) {
+        Err(_) => default,
+        // A set-but-unparseable variable is a misconfiguration the
+        // operator must hear about, not a silent fallback.
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: PERFVEC_SERVE_{name}={v:?} is not a valid value");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn parse_u64_flexible(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+struct Args {
+    host: IpAddr,
+    port: u16,
+    models: Vec<(String, PathBuf)>,
+    batch: usize,
+    queue_depth: usize,
+    workers: usize,
+    cache_entries: usize,
+    march_seed: u64,
+    demo_checkpoint: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve --model NAME=PATH [--model NAME=PATH ...]\n\
+         \x20      [--host A] [--port P] [--batch B] [--queue-depth N]\n\
+         \x20      [--workers W] [--cache-entries N] [--march-seed S]\n\
+         \x20  or: serve --demo-checkpoint PATH\n\
+         (--host defaults to 127.0.0.1; use 0.0.0.0 to serve other hosts)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let default_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let mut args = Args {
+        host: env_or("HOST", IpAddr::V4(Ipv4Addr::LOCALHOST)),
+        port: env_or("PORT", 7411),
+        models: Vec::new(),
+        batch: env_or("BATCH", 16),
+        queue_depth: env_or("QUEUE_DEPTH", 256),
+        workers: env_or("WORKERS", default_workers.min(8)),
+        cache_entries: env_or("CACHE_ENTRIES", 1024),
+        march_seed: std::env::var("PERFVEC_SERVE_MARCH_SEED")
+            .ok()
+            .and_then(|v| parse_u64_flexible(&v))
+            .unwrap_or(DEFAULT_MARCH_SEED),
+        demo_checkpoint: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--host" => args.host = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--port" => args.port = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => {
+                args.queue_depth = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cache-entries" => {
+                args.cache_entries = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--march-seed" => {
+                args.march_seed =
+                    parse_u64_flexible(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--model" => {
+                let spec = value(&mut i);
+                let (name, path) = match spec.split_once('=') {
+                    Some((n, p)) => (n.to_string(), PathBuf::from(p)),
+                    None => ("default".to_string(), PathBuf::from(spec)),
+                };
+                args.models.push((name, path));
+            }
+            "--demo-checkpoint" => args.demo_checkpoint = Some(PathBuf::from(value(&mut i))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Write a small untrained-but-servable checkpoint (LSTM-2-16, context
+/// 8, a march table sized to the default training population) — enough
+/// for smoke tests, demos, and parity checks without a training run.
+fn write_demo_checkpoint(path: &std::path::Path, march_seed: u64) -> std::io::Result<()> {
+    let spec = ArchSpec::default_lstm(16);
+    let foundation = Foundation::new(spec, 8, 0.1, 42);
+    let k = training_population(march_seed).len();
+    let table = MarchTable::new(k, 16, 7);
+    checkpoint::save(&foundation, spec, Some(&table), path)?;
+    println!(
+        "wrote demo checkpoint {} ({}, {} marches)",
+        path.display(),
+        foundation.describe(),
+        k
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(path) = &args.demo_checkpoint {
+        return match write_demo_checkpoint(path, args.march_seed) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.models.is_empty() {
+        eprintln!("error: at least one --model NAME=PATH is required");
+        usage();
+    }
+    let registry = match ModelRegistry::load(&args.models, args.march_seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error loading models: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for m in registry.models() {
+        println!(
+            "model {:<12} {} — {} marches, {} params, config addressing {}",
+            m.name,
+            m.foundation.describe(),
+            m.table.k,
+            m.foundation.model.num_params(),
+            if m.march_rows.is_empty() { "off" } else { "on" }
+        );
+    }
+    let cfg = ServerConfig {
+        host: args.host,
+        port: args.port,
+        engine: EngineConfig {
+            batch: args.batch.max(1),
+            queue_depth: args.queue_depth.max(1),
+            workers: args.workers.max(1),
+            cache_entries: args.cache_entries,
+        },
+    };
+    let handle = match start(registry, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error binding port {}: {e}", args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving on http://{} (batch {}, queue {}, workers {}, cache {})",
+        handle.addr, cfg.engine.batch, cfg.engine.queue_depth, cfg.engine.workers,
+        cfg.engine.cache_entries
+    );
+    println!("try: curl -s http://{}/healthz", handle.addr);
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,141 @@
+//! The prediction cache: program representations keyed by stable
+//! content fingerprints (`perfvec_trace::fingerprint`).
+//!
+//! A program representation is the expensive part of a prediction
+//! (`O(n · window · model)`); once cached, any (march, model) query
+//! against the same program costs one `d`-length dot product — the
+//! "repeated queries are O(1)" serving property. Bounded with FIFO
+//! eviction (insertion order), which is O(1) and good enough for a
+//! working set of programs; entries are shared out as `Arc` so eviction
+//! never invalidates an in-flight prediction.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Cache counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+struct Inner<T> {
+    map: HashMap<u64, Arc<T>>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Bounded fingerprint → value cache, safe for concurrent use. The
+/// serving path instantiates it twice: [`RepCache`] for program
+/// representations and a feature-matrix cache for named workloads (so
+/// repeated named queries skip re-tracing too).
+pub struct BoundedCache<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+}
+
+/// Program-representation cache (see module docs).
+pub type RepCache = BoundedCache<Vec<f32>>;
+
+impl<T> BoundedCache<T> {
+    /// A cache holding at most `capacity` values (0 disables caching
+    /// entirely: every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> BoundedCache<T> {
+        BoundedCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Look up a value by fingerprint.
+    pub fn get(&self, key: u64) -> Option<Arc<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(&key).cloned() {
+            Some(rep) => {
+                inner.hits += 1;
+                Some(rep)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a value, evicting the oldest entry if full.
+    pub fn insert(&self, key: u64, rep: Arc<T>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, rep).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() as u64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = RepCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, Arc::new(vec![1.0, 2.0]));
+        assert_eq!(*c.get(1).unwrap(), vec![1.0, 2.0]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let c = RepCache::new(2);
+        for k in 0..3u64 {
+            c.insert(k, Arc::new(vec![k as f32]));
+        }
+        assert!(c.get(0).is_none(), "oldest entry evicted");
+        assert!(c.get(1).is_some() && c.get(2).is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = RepCache::new(0);
+        c.insert(1, Arc::new(vec![1.0]));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_grow_order_queue() {
+        let c = RepCache::new(2);
+        for _ in 0..10 {
+            c.insert(7, Arc::new(vec![0.0]));
+        }
+        c.insert(8, Arc::new(vec![1.0]));
+        assert!(c.get(7).is_some() && c.get(8).is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! A minimal blocking HTTP client for the serve wire format — the
+//! single implementation behind the e2e tests, the CI probe, and the
+//! `serve_bench` load generator, so protocol details (keep-alive
+//! framing, the Nagle workaround) live in exactly one place.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One keep-alive request/response round trip; returns the status code
+/// and the parsed JSON body.
+pub fn roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, Json)> {
+    // One write per request: fragmented small writes would hit Nagle +
+    // delayed-ACK stalls (ruinous for latency measurements).
+    let _ = stream.set_nodelay(true);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: perfvec\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("eof inside response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length =
+                v.trim().parse().map_err(|_| bad("bad response content-length"))?;
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf)?;
+    let text = std::str::from_utf8(&buf).map_err(|_| bad("non-utf8 response body"))?;
+    let json = Json::parse(text).map_err(|e| bad(&format!("unparseable body: {e}")))?;
+    Ok((status, json))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}

@@ -1,0 +1,167 @@
+//! The model registry: named, immutable, fully-loaded checkpoints.
+//!
+//! A served model is a trained foundation plus its microarchitecture
+//! table. Requests address marches either by table row index or by a
+//! full `MicroArchConfig`; the latter is resolved through a
+//! fingerprint → row map built from the march sampling population the
+//! checkpoint was trained against (the table row order *is* the
+//! population order, so re-deriving the population from its seed
+//! reconstructs the mapping without storing configs in the checkpoint).
+
+use perfvec::checkpoint;
+use perfvec::foundation::{ArchSpec, Foundation};
+use perfvec::MarchTable;
+use perfvec_sim::sample::training_population;
+use perfvec_sim::MicroArchConfig;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// One servable model.
+pub struct LoadedModel {
+    /// Registry name (request `"model"` field).
+    pub name: String,
+    /// The foundation model.
+    pub foundation: Foundation,
+    /// Its architecture spec.
+    pub spec: ArchSpec,
+    /// Trained microarchitecture representations.
+    pub table: MarchTable,
+    /// `MicroArchConfig::fingerprint()` → table row, for requests that
+    /// carry a full configuration. Empty when the march population does
+    /// not line up with the table (index addressing still works).
+    pub march_rows: HashMap<u64, usize>,
+}
+
+impl LoadedModel {
+    /// Wrap an in-memory foundation + table (tests and benches; the
+    /// march map is derived from `march_seed`'s population when its
+    /// size matches the table).
+    pub fn from_parts(
+        name: &str,
+        foundation: Foundation,
+        spec: ArchSpec,
+        table: MarchTable,
+        march_seed: u64,
+    ) -> LoadedModel {
+        let march_rows = march_map(&training_population(march_seed), table.k);
+        LoadedModel { name: name.to_string(), foundation, spec, table, march_rows }
+    }
+
+    /// Load a checkpoint file. Fails if the checkpoint carries no march
+    /// table — a foundation alone cannot produce predictions.
+    pub fn load(name: &str, path: &Path, march_seed: u64) -> io::Result<LoadedModel> {
+        let (foundation, spec, table) = checkpoint::load(path)?;
+        let table = table.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint {} has no march table; cannot serve it", path.display()),
+            )
+        })?;
+        Ok(LoadedModel::from_parts(name, foundation, spec, table, march_seed))
+    }
+
+    /// Resolve a full configuration to a table row, if known.
+    pub fn row_for_config(&self, config: &MicroArchConfig) -> Option<usize> {
+        self.march_rows.get(&config.fingerprint()).copied()
+    }
+}
+
+fn march_map(population: &[MicroArchConfig], table_k: usize) -> HashMap<u64, usize> {
+    if population.len() != table_k {
+        return HashMap::new();
+    }
+    population.iter().enumerate().map(|(j, c)| (c.fingerprint(), j)).collect()
+}
+
+/// All models this server instance answers for.
+pub struct ModelRegistry {
+    models: Vec<LoadedModel>,
+}
+
+impl ModelRegistry {
+    /// Registry over already-loaded models (at least one required).
+    pub fn new(models: Vec<LoadedModel>) -> io::Result<ModelRegistry> {
+        if models.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no models to serve"));
+        }
+        for i in 1..models.len() {
+            if models[..i].iter().any(|m| m.name == models[i].name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate model name {:?}", models[i].name),
+                ));
+            }
+        }
+        Ok(ModelRegistry { models })
+    }
+
+    /// Load `name=path` pairs from disk.
+    pub fn load(specs: &[(String, std::path::PathBuf)], march_seed: u64) -> io::Result<Self> {
+        let models = specs
+            .iter()
+            .map(|(name, path)| LoadedModel::load(name, path, march_seed))
+            .collect::<io::Result<Vec<_>>>()?;
+        ModelRegistry::new(models)
+    }
+
+    /// Look up a model; `None` for the name falls back to the sole
+    /// model when exactly one is registered.
+    pub fn get(&self, name: Option<&str>) -> Option<&LoadedModel> {
+        match name {
+            Some(n) => self.models.iter().find(|m| m.name == n),
+            None if self.models.len() == 1 => self.models.first(),
+            None => self.models.iter().find(|m| m.name == "default"),
+        }
+    }
+
+    /// All registered models.
+    pub fn models(&self) -> &[LoadedModel] {
+        &self.models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvec::foundation::ArchKind;
+
+    fn tiny_model(name: &str, k: usize) -> LoadedModel {
+        let spec = ArchSpec { kind: ArchKind::Lstm, layers: 1, dim: 8 };
+        LoadedModel::from_parts(
+            name,
+            Foundation::new(spec, 2, 0.1, 1),
+            spec,
+            MarchTable::new(k, 8, 5),
+            perfvec_sim::sample::DEFAULT_MARCH_SEED,
+        )
+    }
+
+    #[test]
+    fn config_addressing_resolves_population_rows() {
+        let m = tiny_model("default", training_population(perfvec_sim::sample::DEFAULT_MARCH_SEED).len());
+        let pop = training_population(perfvec_sim::sample::DEFAULT_MARCH_SEED);
+        assert_eq!(m.row_for_config(&pop[0]), Some(0));
+        assert_eq!(m.row_for_config(&pop[pop.len() - 1]), Some(pop.len() - 1));
+        let other = &perfvec_sim::sample::unseen_population(1)[0];
+        assert_eq!(m.row_for_config(other), None);
+    }
+
+    #[test]
+    fn mismatched_table_size_disables_config_addressing() {
+        let m = tiny_model("default", 3);
+        assert!(m.march_rows.is_empty());
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_resolves_defaults() {
+        assert!(ModelRegistry::new(vec![]).is_err());
+        assert!(ModelRegistry::new(vec![tiny_model("a", 3), tiny_model("a", 3)]).is_err());
+        let reg = ModelRegistry::new(vec![tiny_model("only", 3)]).unwrap();
+        assert!(reg.get(None).is_some(), "single model is the implicit default");
+        assert!(reg.get(Some("only")).is_some());
+        assert!(reg.get(Some("missing")).is_none());
+        let reg2 = ModelRegistry::new(vec![tiny_model("a", 3), tiny_model("default", 3)]).unwrap();
+        assert_eq!(reg2.get(None).unwrap().name, "default");
+    }
+}

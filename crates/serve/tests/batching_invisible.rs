@@ -1,0 +1,140 @@
+//! Property: micro-batching is invisible to correctness. Whatever
+//! interleaving of request arrivals the batcher sees — any batch size,
+//! worker count, queue pressure, or thread scheduling — every request's
+//! prediction is bit-identical to sequential single-request serving
+//! (batch 1, one worker), which itself is bit-identical to the offline
+//! `perfvec::predict` path.
+
+use perfvec::foundation::{ArchKind, ArchSpec, Foundation};
+use perfvec::{program_representation, predict_total_tenths, MarchTable};
+use perfvec_serve::engine::{EngineConfig, PredictEngine};
+use perfvec_serve::registry::{LoadedModel, ModelRegistry};
+use perfvec_trace::features::Matrix;
+use perfvec_trace::NUM_FEATURES;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const MARCHES: usize = 5;
+
+fn toy_engine(kind: ArchKind, batch: usize, workers: usize) -> PredictEngine {
+    let spec = ArchSpec { kind, layers: 2, dim: 8 };
+    let model = LoadedModel::from_parts(
+        "default",
+        Foundation::new(spec, 3, 0.1, 42),
+        spec,
+        MarchTable::new(MARCHES, 8, 7),
+        0,
+    );
+    PredictEngine::new(
+        Arc::new(ModelRegistry::new(vec![model]).unwrap()),
+        EngineConfig { batch, queue_depth: 4096, workers, cache_entries: 0 },
+    )
+}
+
+/// A deterministic feature matrix from a compact genome value.
+fn genome_features(rows: usize, genome: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, NUM_FEATURES);
+    let mut x = genome | 1;
+    for i in 0..rows {
+        for j in 0..NUM_FEATURES {
+            x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(j as u64);
+            if x.is_multiple_of(7) {
+                m.row_mut(i)[j] = ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Concurrent submission under every batching regime produces the
+    /// same per-request bits as the offline reference.
+    #[test]
+    fn any_arrival_interleaving_matches_sequential_serving(
+        genomes in prop::collection::vec(0u64..u64::MAX, 3..14),
+        sizes in prop::collection::vec(5usize..60, 3..14),
+        batch in 1usize..12,
+        workers in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        let n = genomes.len().min(sizes.len());
+        let requests: Vec<(Arc<Matrix>, usize)> = (0..n)
+            .map(|i| (Arc::new(genome_features(sizes[i], genomes[i])), i % MARCHES))
+            .collect();
+
+        // Offline reference (also what sequential batch-1/worker-1
+        // serving returns, per the engine's parity tests).
+        let reference = toy_engine(ArchKind::Lstm, 1, 1);
+        let model = reference.registry().get(None).unwrap();
+        let expected: Vec<u64> = requests
+            .iter()
+            .map(|(feats, row)| {
+                let rep = program_representation(&model.foundation, feats);
+                predict_total_tenths(&rep, model.table.rep(*row), model.foundation.target_scale)
+                    .to_bits()
+            })
+            .collect();
+
+        // Serve the same requests through a batching engine from
+        // several submitter threads (arrival order decided by the OS
+        // scheduler; the property must hold for all of them).
+        let engine = Arc::new(toy_engine(ArchKind::Lstm, batch, workers));
+        let requests = Arc::new(requests);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let requests = Arc::clone(&requests);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for (idx, (feats, row)) in requests.iter().enumerate() {
+                        if idx % threads == t {
+                            let outcome = engine
+                                .predict(None, Arc::clone(feats), *row, false)
+                                .expect("prediction failed");
+                            got.push((idx, outcome.prediction_tenths.to_bits()));
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, bits) in h.join().unwrap() {
+                prop_assert_eq!(bits, expected[idx]);
+            }
+        }
+    }
+
+    /// The same property for the GRU batched path (the second
+    /// specialized `forward_batch` implementation).
+    #[test]
+    fn gru_batched_serving_matches_offline(
+        genomes in prop::collection::vec(0u64..u64::MAX, 2..8),
+        batch in 2usize..10,
+    ) {
+        let engine = Arc::new(toy_engine(ArchKind::Gru, batch, 2));
+        let model_ref = toy_engine(ArchKind::Gru, 1, 1);
+        let model = model_ref.registry().get(None).unwrap();
+        let handles: Vec<_> = genomes
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let feats = Arc::new(genome_features(20 + i * 7, g));
+                    let out = engine.predict(None, Arc::clone(&feats), i % MARCHES, false).unwrap();
+                    (feats, i % MARCHES, out.prediction_tenths.to_bits())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (feats, row, bits) = h.join().unwrap();
+            let rep = program_representation(&model.foundation, &feats);
+            let want =
+                predict_total_tenths(&rep, model.table.rep(row), model.foundation.target_scale);
+            prop_assert_eq!(bits, want.to_bits());
+        }
+    }
+}

@@ -16,6 +16,12 @@ use rand::{Rng, SeedableRng};
 /// The paper's default training-population size.
 pub const DEFAULT_POPULATION: usize = 77;
 
+/// The workspace-wide default seed for [`training_population`]: the
+/// harness trains against this population, and the serving stack
+/// re-derives it to map `MicroArchConfig`s onto checkpoint table rows —
+/// so every consumer must agree on one value, defined here.
+pub const DEFAULT_MARCH_SEED: u64 = 0x7711_2024;
+
 fn pool(count: u8, latency: u8, pipelined: bool) -> FuPool {
     FuPool { count, latency, pipelined }
 }

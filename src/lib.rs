@@ -6,6 +6,7 @@ pub use perfvec;
 pub use perfvec_baselines;
 pub use perfvec_isa;
 pub use perfvec_ml;
+pub use perfvec_serve;
 pub use perfvec_sim;
 pub use perfvec_trace;
 pub use perfvec_workloads;
