@@ -14,7 +14,7 @@
 
 use perfvec_ml::adam::Adam;
 use perfvec_ml::mlp::Mlp;
-use perfvec_ml::parallel::batch_gradients;
+use perfvec_ml::parallel::BatchStep;
 use perfvec_sim::SimResult;
 use perfvec_trace::features::Matrix;
 use perfvec_trace::NUM_FEATURES;
@@ -80,10 +80,15 @@ impl SimNet {
         let mut opt = Adam::new(mlp.params().len());
         let mut order: Vec<usize> = (0..features.rows).collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // The shared deterministic lane-chunked step (the MLP has no
+        // batch-major kernels, so every lane runs the scalar pass; the
+        // chunk tree still makes runs bit-reproducible on any core
+        // count).
+        let step = BatchStep::new();
         for _ in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch) {
-                let (_, grads) = batch_gradients(chunk.len(), mlp.params().len(), |b, grads| {
+                let (_, grads) = step.accumulate_items(chunk.len(), mlp.params().len(), |b, grads| {
                     let i = chunk[b];
                     let (y, cache) = mlp.forward(features.row(i));
                     let err = y[0] - latencies[i] / scale;

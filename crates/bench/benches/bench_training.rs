@@ -1,7 +1,14 @@
-//! Criterion: the Section IV-B claim in microbenchmark form — a
-//! training step with instruction-representation **reuse** has
-//! near-constant cost in the number of sampled microarchitectures, while
-//! the naive procedure is linear in it.
+//! Criterion: the training-cost claims in microbenchmark form.
+//!
+//! (a) Section IV-B: a training step with instruction-representation
+//! **reuse** has near-constant cost in the number of sampled
+//! microarchitectures, while the naive procedure is linear in it (both
+//! measured on the scalar step, which is the only form the naive
+//! procedure has).
+//!
+//! (b) The batch-major refactor: at fixed `k`, the batched gradient
+//! step (`forward_batch`/`backward_batch` per lane chunk) beats the
+//! scalar per-window step at the same seed and batch size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perfvec::data::build_program_data;
@@ -11,6 +18,21 @@ use perfvec_ml::schedule::StepDecay;
 use perfvec_sim::sample::training_population;
 use perfvec_trace::features::FeatureMask;
 use perfvec_workloads::by_name;
+
+fn bench_cfg(reuse: bool, batched: bool) -> TrainConfig {
+    TrainConfig {
+        arch: ArchSpec::default_lstm(16),
+        context: 8,
+        epochs: 1,
+        batch_size: 32,
+        windows_per_epoch: 64,
+        val_windows: 0,
+        schedule: StepDecay::paper_default(),
+        reuse,
+        batched,
+        ..TrainConfig::default()
+    }
+}
 
 fn bench_reuse_vs_naive(c: &mut Criterion) {
     let configs = training_population(7);
@@ -26,17 +48,9 @@ fn bench_reuse_vs_naive(c: &mut Criterion) {
         let keep: Vec<usize> = (0..k).collect();
         let subset = vec![data[0].with_march_subset(&keep)];
         for reuse in [true, false] {
-            let cfg = TrainConfig {
-                arch: ArchSpec::default_lstm(16),
-                context: 8,
-                epochs: 1,
-                batch_size: 32,
-                windows_per_epoch: 64,
-                val_windows: 0,
-                schedule: StepDecay::paper_default(),
-                reuse,
-                ..TrainConfig::default()
-            };
+            // Scalar step in both arms: the naive procedure has no
+            // batched form, and the comparison isolates reuse.
+            let cfg = bench_cfg(reuse, false);
             let label = format!("k={k}/{}", if reuse { "reuse" } else { "naive" });
             g.bench_with_input(BenchmarkId::from_parameter(label), &subset, |b, subset| {
                 b.iter(|| train_foundation(subset, &cfg))
@@ -46,5 +60,25 @@ fn bench_reuse_vs_naive(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_reuse_vs_naive);
+fn bench_batched_vs_scalar_step(c: &mut Criterion) {
+    let configs = training_population(7);
+    let data = vec![build_program_data(
+        "xz",
+        &by_name("xz").unwrap().trace(3_000),
+        &configs,
+        FeatureMask::Full,
+    )];
+    let mut g = c.benchmark_group("train_step");
+    g.sample_size(10);
+    for batched in [false, true] {
+        let cfg = bench_cfg(true, batched);
+        let label = if batched { "batched" } else { "scalar" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            b.iter(|| train_foundation(data, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reuse_vs_naive, bench_batched_vs_scalar_step);
 criterion_main!(benches);

@@ -24,6 +24,7 @@
 
 use perfvec::foundation::{ArchSpec, Foundation};
 use perfvec::{predict_total_tenths, program_representation, MarchTable};
+use perfvec_bench::scale::{arg_parse, arg_value};
 use perfvec_bench::Scale;
 use perfvec_serve::json::{obj, Json};
 use perfvec_serve::protocol::f64_from_bits_hex;
@@ -37,15 +38,6 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-}
-
-fn arg_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 /// One HTTP round trip (panics on transport errors — bench style).
 fn http(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, Json) {

@@ -5,12 +5,19 @@
 //! training cost. This module serializes a trained foundation (and
 //! optionally its microarchitecture table) to a compact binary file and
 //! restores it exactly.
+//!
+//! It also carries the **training snapshot** format
+//! ([`TrainSnapshot`]): a mid-run epoch checkpoint — model + table (as
+//! an embedded foundation checkpoint) plus Adam moments, RNG state, and
+//! best-so-far tracking — from which `trainer::train_foundation`
+//! resumes a long run bit-identically.
 
 use crate::foundation::{ArchKind, ArchSpec, Foundation};
 use crate::march_table::MarchTable;
 use bytesless::{get_f32s, put_f32s};
 
 const MAGIC: u32 = 0x5046_4d31; // "PFM1"
+const SNAP_MAGIC: u32 = 0x5046_5331; // "PFS1"
 
 /// Errors while reading a checkpoint.
 #[derive(Debug, PartialEq, Eq)]
@@ -44,7 +51,16 @@ mod bytesless {
     pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
         buf.extend_from_slice(&v.to_le_bytes());
     }
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
     pub fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+        put_u32(buf, vs.len() as u32);
+        for v in vs {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    pub fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
         put_u32(buf, vs.len() as u32);
         for v in vs {
             buf.extend_from_slice(&v.to_le_bytes());
@@ -53,6 +69,11 @@ mod bytesless {
     pub fn get_u32(buf: &[u8], off: &mut usize) -> Option<u32> {
         let v = u32::from_le_bytes(buf.get(*off..*off + 4)?.try_into().ok()?);
         *off += 4;
+        Some(v)
+    }
+    pub fn get_u64(buf: &[u8], off: &mut usize) -> Option<u64> {
+        let v = u64::from_le_bytes(buf.get(*off..*off + 8)?.try_into().ok()?);
+        *off += 8;
         Some(v)
     }
     pub fn get_f32s(buf: &[u8], off: &mut usize) -> Option<Vec<f32>> {
@@ -67,6 +88,19 @@ mod bytesless {
         for _ in 0..n {
             let v = f32::from_le_bytes(buf.get(*off..*off + 4)?.try_into().ok()?);
             *off += 4;
+            out.push(v);
+        }
+        Some(out)
+    }
+    pub fn get_f64s(buf: &[u8], off: &mut usize) -> Option<Vec<f64>> {
+        let n = get_u32(buf, off)? as usize;
+        if n.checked_mul(8)? > buf.len().saturating_sub(*off) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = f64::from_le_bytes(buf.get(*off..*off + 8)?.try_into().ok()?);
+            *off += 8;
             out.push(v);
         }
         Some(out)
@@ -217,6 +251,136 @@ pub fn load(path: &std::path::Path) -> std::io::Result<(Foundation, ArchSpec, Op
     decode(&buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// A resumable mid-training state: everything `train_foundation` needs
+/// to continue a run bit-identically from the end of an epoch.
+///
+/// The model + table travel as an embedded foundation checkpoint (the
+/// same bytes [`encode`] produces, with the table rows still in their
+/// *training-time* normalization — scale baking happens only at the end
+/// of a run), alongside the optimizer moments, the sampling RNG state,
+/// and the best-validation tracking that drives model selection.
+pub struct TrainSnapshot {
+    /// Restored foundation (current, not best, parameters).
+    pub foundation: Foundation,
+    /// Architecture of the embedded checkpoint.
+    pub spec: ArchSpec,
+    /// Current (unbaked) microarchitecture table.
+    pub table: MarchTable,
+    /// First epoch the resumed run should execute.
+    pub next_epoch: u32,
+    /// Adam first moments over `[model params | table rows]`.
+    pub adam_m: Vec<f32>,
+    /// Adam second moments.
+    pub adam_v: Vec<f32>,
+    /// Adam step counter.
+    pub adam_t: u64,
+    /// Sampling RNG state at the snapshot point.
+    pub rng_state: [u64; 4],
+    /// Best validation loss seen so far.
+    pub best_val: f64,
+    /// Parameters of the best epoch so far (`[model | table]`).
+    pub best_params: Vec<f32>,
+    /// Epoch index of `best_params`.
+    pub best_epoch: u32,
+    /// Per-epoch training losses so far.
+    pub train_loss: Vec<f64>,
+    /// Per-epoch validation losses so far.
+    pub val_loss: Vec<f64>,
+}
+
+/// Serialize a training snapshot.
+pub fn encode_snapshot(s: &TrainSnapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    bytesless::put_u32(&mut buf, SNAP_MAGIC);
+    let inner = encode(&s.foundation, s.spec, Some(&s.table));
+    bytesless::put_u32(&mut buf, inner.len() as u32);
+    buf.extend_from_slice(&inner);
+    bytesless::put_u32(&mut buf, s.next_epoch);
+    bytesless::put_u32(&mut buf, s.best_epoch);
+    bytesless::put_u64(&mut buf, s.adam_t);
+    for w in s.rng_state {
+        bytesless::put_u64(&mut buf, w);
+    }
+    bytesless::put_u64(&mut buf, s.best_val.to_bits());
+    bytesless::put_f32s(&mut buf, &s.adam_m);
+    bytesless::put_f32s(&mut buf, &s.adam_v);
+    bytesless::put_f32s(&mut buf, &s.best_params);
+    bytesless::put_f64s(&mut buf, &s.train_loss);
+    bytesless::put_f64s(&mut buf, &s.val_loss);
+    buf
+}
+
+/// Restore a training snapshot, with the same hardening contract as
+/// [`decode`]: every truncated prefix fails cleanly, trailing bytes are
+/// rejected, and corrupt length prefixes cannot drive allocations past
+/// the file's own size.
+pub fn decode_snapshot(buf: &[u8]) -> Result<TrainSnapshot, CheckpointError> {
+    let mut off = 0usize;
+    let magic = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    if magic != SNAP_MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let inner_len = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)? as usize;
+    if inner_len > buf.len().saturating_sub(off) {
+        return Err(CheckpointError::Truncated);
+    }
+    let (foundation, spec, table) = decode(&buf[off..off + inner_len])?;
+    let table = table.ok_or(CheckpointError::Truncated)?;
+    off += inner_len;
+    let next_epoch = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let best_epoch = bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let adam_t = bytesless::get_u64(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let mut rng_state = [0u64; 4];
+    for w in &mut rng_state {
+        *w = bytesless::get_u64(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    }
+    let best_val =
+        f64::from_bits(bytesless::get_u64(buf, &mut off).ok_or(CheckpointError::Truncated)?);
+    let adam_m = get_f32s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let adam_v = get_f32s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let best_params = get_f32s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let train_loss = bytesless::get_f64s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    let val_loss = bytesless::get_f64s(buf, &mut off).ok_or(CheckpointError::Truncated)?;
+    if off != buf.len() {
+        return Err(CheckpointError::Trailing);
+    }
+    let total = foundation.model.num_params() + table.num_params();
+    if adam_m.len() != total || adam_v.len() != total || best_params.len() != total {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(TrainSnapshot {
+        foundation,
+        spec,
+        table,
+        next_epoch,
+        adam_m,
+        adam_v,
+        adam_t,
+        rng_state,
+        best_val,
+        best_params,
+        best_epoch,
+        train_loss,
+        val_loss,
+    })
+}
+
+/// Save a snapshot atomically (write to a sibling temp file, then
+/// rename): a crash mid-write can never leave a torn snapshot at the
+/// published path.
+pub fn save_snapshot(s: &TrainSnapshot, path: &std::path::Path) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, encode_snapshot(s))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a snapshot from a file.
+pub fn load_snapshot(path: &std::path::Path) -> std::io::Result<TrainSnapshot> {
+    let buf = std::fs::read(path)?;
+    decode_snapshot(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +516,103 @@ mod tests {
         let mut bytes = valid;
         bytes[12..16].copy_from_slice(&1024u32.to_le_bytes());
         assert!(matches!(decode(&bytes), Err(CheckpointError::Truncated)));
+    }
+
+    fn sample_snapshot() -> TrainSnapshot {
+        let (foundation, spec) = sample_foundation(ArchKind::Lstm);
+        let table = MarchTable::new(3, 8, 9);
+        let total = foundation.model.num_params() + table.num_params();
+        TrainSnapshot {
+            foundation,
+            spec,
+            table,
+            next_epoch: 7,
+            adam_m: (0..total).map(|i| i as f32 * 1e-4).collect(),
+            adam_v: (0..total).map(|i| i as f32 * 1e-6).collect(),
+            adam_t: 1234,
+            rng_state: [1, u64::MAX, 0x9e37_79b9, 42],
+            best_val: 0.0625,
+            best_params: (0..total).map(|i| (i as f32).sin()).collect(),
+            best_epoch: 5,
+            train_loss: vec![1.5, 0.9, -0.0, 0.3],
+            val_loss: vec![2.0, 1.1, 0.8, 0.85],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        let s = sample_snapshot();
+        let bytes = encode_snapshot(&s);
+        let s2 = decode_snapshot(&bytes).unwrap();
+        assert_eq!(s2.spec, s.spec);
+        assert_eq!(s2.foundation.model.get_params(), s.foundation.model.get_params());
+        assert_eq!(s2.table.reps, s.table.reps);
+        assert_eq!(s2.next_epoch, s.next_epoch);
+        assert_eq!(s2.best_epoch, s.best_epoch);
+        assert_eq!(s2.adam_m, s.adam_m);
+        assert_eq!(s2.adam_v, s.adam_v);
+        assert_eq!(s2.adam_t, s.adam_t);
+        assert_eq!(s2.rng_state, s.rng_state);
+        assert_eq!(s2.best_val.to_bits(), s.best_val.to_bits());
+        assert_eq!(s2.best_params, s.best_params);
+        assert_eq!(
+            s2.train_loss.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            s.train_loss.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(s2.val_loss, s.val_loss);
+    }
+
+    #[test]
+    fn every_truncated_snapshot_prefix_fails_cleanly() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        assert!(decode_snapshot(&bytes).is_ok());
+        for cut in 0..bytes.len() {
+            let err = decode_snapshot(&bytes[..cut]).err();
+            assert!(
+                matches!(err, Some(CheckpointError::Truncated | CheckpointError::BadHeader)),
+                "prefix of {cut}/{} bytes gave {err:?}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_trailing_bytes_are_rejected() {
+        let mut bytes = encode_snapshot(&sample_snapshot());
+        bytes.push(0);
+        assert!(matches!(decode_snapshot(&bytes), Err(CheckpointError::Trailing)));
+    }
+
+    #[test]
+    fn snapshot_magic_is_distinct_from_checkpoint_magic() {
+        // A plain checkpoint must not decode as a snapshot (and vice
+        // versa): the formats fail closed against each other.
+        let (f, spec) = sample_foundation(ArchKind::Lstm);
+        let ckpt = encode(&f, spec, None);
+        assert!(matches!(decode_snapshot(&ckpt), Err(CheckpointError::BadHeader)));
+        let snap = encode_snapshot(&sample_snapshot());
+        assert!(matches!(decode(&snap), Err(CheckpointError::BadHeader)));
+    }
+
+    #[test]
+    fn snapshot_with_mismatched_moment_lengths_is_rejected() {
+        let mut s = sample_snapshot();
+        s.adam_m.pop();
+        let bytes = encode_snapshot(&s);
+        assert!(matches!(decode_snapshot(&bytes), Err(CheckpointError::Truncated)));
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip_is_atomic_under_rename() {
+        let dir = std::env::temp_dir().join("perfvec_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch.pfs");
+        let s = sample_snapshot();
+        save_snapshot(&s, &path).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "temp file must be renamed away");
+        let s2 = load_snapshot(&path).unwrap();
+        assert_eq!(s2.best_params, s.best_params);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

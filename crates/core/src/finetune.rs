@@ -12,7 +12,7 @@ use crate::foundation::Foundation;
 use crate::march_table::MarchTable;
 use crate::refit::{try_solve_table, NormalEq};
 use perfvec_ml::adam::Adam;
-use perfvec_ml::parallel::{batch_gradients, parallel_map};
+use perfvec_ml::parallel::{parallel_map, BatchStep};
 use perfvec_ml::tensor::{axpy, dot};
 use perfvec_trace::ProgramData;
 use rand::rngs::StdRng;
@@ -139,12 +139,15 @@ pub fn learn_march_reps(
     let mut last_loss = f64::INFINITY;
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0dd);
+    // The same deterministic lane-chunked gradient step the trainer
+    // uses: fine-tuning results are bit-reproducible on any core count.
+    let step = BatchStep::new();
     for _epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for batch in order.chunks(cfg.batch_size) {
-            let (loss, grads) = batch_gradients(batch.len(), table.num_params(), |b, grads| {
+            let (loss, grads) = step.accumulate_items(batch.len(), table.num_params(), |b, grads| {
                 let i = batch[b];
                 let r = &cached.reps[i];
                 let t = &cached.targets[i];

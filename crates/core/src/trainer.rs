@@ -1,7 +1,21 @@
 //! Joint training of the foundation model and the microarchitecture
 //! representation table (Section IV).
 //!
-//! Two training procedures are implemented:
+//! The gradient step is **batch-major by default**: each lane chunk of
+//! the minibatch runs one `forward_batch`/`backward_batch` pair, so the
+//! foundation's weight matrices are traversed once per timestep for the
+//! whole chunk on vectorizable batch-major kernels, while the chunk's
+//! representations are still *reused* across all `k` microarchitectures
+//! (Section IV-B). The reuse × batch product is the training-cost win:
+//! per-step cost stays near-constant in `k` *and* is amortized across
+//! lanes. A scalar per-window step (`TrainConfig::batched = false`)
+//! remains for ablation — by construction it produces **byte-identical
+//! checkpoints** to the batched step at equal seeds, because both
+//! accumulate gradients through the same deterministic lane-chunk tree
+//! ([`BatchStep`]) and the batched kernels are bit-identical per
+//! sequence to the scalar passes.
+//!
+//! Orthogonally, two training *procedures* are implemented:
 //!
 //! * **representation reuse** (the paper's optimization, Section IV-B):
 //!   each sampled instruction window runs one forward/backward pass of
@@ -10,12 +24,18 @@
 //! * **naive** (kept for the `train_opt` ablation): one forward/backward
 //!   per (window, microarchitecture) pair — cost linear in `k`. The two
 //!   procedures compute identical gradients (backward is linear in the
-//!   upstream gradient), which a unit test asserts.
+//!   upstream gradient), which a unit test asserts. The naive ablation
+//!   always runs the scalar step.
+//!
+//! Long runs snapshot-and-resume: `TrainConfig::snapshot_every` writes a
+//! [`crate::checkpoint::TrainSnapshot`] (model + table + Adam moments +
+//! RNG state) at an epoch cadence, and `TrainConfig::resume_from`
+//! restarts from one bit-identically.
 
 use crate::foundation::{ArchSpec, Foundation};
 use crate::march_table::MarchTable;
 use perfvec_ml::adam::Adam;
-use perfvec_ml::parallel::batch_gradients;
+use perfvec_ml::parallel::BatchStep;
 use perfvec_ml::schedule::StepDecay;
 use perfvec_ml::tensor::{axpy, dot};
 use perfvec_trace::{fill_window, ProgramData, NUM_FEATURES};
@@ -51,6 +71,21 @@ pub struct TrainConfig {
     /// produce outlier MSE gradients; clipping keeps LSTM training
     /// stable). `None` disables.
     pub clip_norm: Option<f32>,
+    /// Batch-major gradient step (default) vs the scalar per-window
+    /// step. Both produce byte-identical checkpoints at equal seeds;
+    /// batched is faster. The naive (`reuse = false`) ablation always
+    /// uses the scalar step.
+    pub batched: bool,
+    /// Write a resumable epoch snapshot to [`TrainConfig::snapshot_path`]
+    /// every N epochs (`None` disables).
+    pub snapshot_every: Option<u32>,
+    /// Destination for epoch snapshots (required when
+    /// [`TrainConfig::snapshot_every`] is set).
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Resume a run from a snapshot written by a previous invocation
+    /// with the same data, architecture, and hyperparameters; the
+    /// resumed run continues bit-identically.
+    pub resume_from: Option<std::path::PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -72,6 +107,10 @@ impl Default for TrainConfig {
             reuse: true,
             target_scale: 1.0,
             clip_norm: Some(5.0),
+            batched: true,
+            snapshot_every: None,
+            snapshot_path: None,
+            resume_from: None,
         }
     }
 }
@@ -184,12 +223,75 @@ fn window_pass(
     }
 }
 
+/// The batch-major twin of [`window_pass`] (reuse mode): one lane chunk
+/// of windows through a single `forward_batch`/`backward_batch` pair,
+/// with each lane's representation reused across all `k` machines.
+///
+/// Accumulates exactly the gradients of per-item `window_pass` calls in
+/// item order — bit-identically: the batched forward/backward are
+/// bit-identical per sequence to the scalar passes, the table gradients
+/// and upstream `dR` are computed lane-by-lane in the scalar order, and
+/// the disjoint model/table gradient regions make the interleaving
+/// difference invisible.
+fn batched_chunk_pass(
+    foundation: &Foundation,
+    table: &MarchTable,
+    data: &[ProgramData],
+    items: &[Item],
+    inv_scale: &[f32],
+    grads: &mut [f32],
+    model_len: usize,
+) -> f64 {
+    let w = foundation.window();
+    let k = table.k;
+    let dim = table.dim;
+    let b = items.len();
+    let scale = foundation.target_scale;
+    let mut xs = vec![0.0f32; b * w * NUM_FEATURES];
+    for (li, &(p, i)) in items.iter().enumerate() {
+        fill_window(
+            &data[p].features,
+            i,
+            foundation.context,
+            &mut xs[li * w * NUM_FEATURES..(li + 1) * w * NUM_FEATURES],
+        );
+    }
+    let (reps, cache) = foundation.model.forward_batch_cached(&xs, w, b);
+    let mut douts = vec![0.0f32; b * dim];
+    let mut preds = vec![0.0f32; k];
+    let mut loss = 0.0f64;
+    let inv_k = 2.0 / k as f32;
+    let (g_model, g_table) = grads.split_at_mut(model_len);
+    for (li, &(p, i)) in items.iter().enumerate() {
+        let r = &reps[li * dim..(li + 1) * dim];
+        table.predict_all(r, &mut preds);
+        let targets = data[p].targets.row(i);
+        let dr = &mut douts[li * dim..(li + 1) * dim];
+        let mut item_loss = 0.0f64;
+        for j in 0..k {
+            let err = preds[j] - targets[j] * scale * inv_scale[j];
+            item_loss += (err * err) as f64;
+            axpy(inv_k * err, r, &mut g_table[j * dim..(j + 1) * dim]);
+            axpy(inv_k * err, table.rep(j), dr);
+        }
+        loss += item_loss / k as f64;
+    }
+    foundation.model.backward_batch(&xs, w, b, &cache, &douts, g_model);
+    loss
+}
+
 /// Train a foundation model + microarchitecture table on the given
 /// per-program datasets (all sharing the same `k` machines).
 pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFoundation {
     assert!(!data.is_empty(), "training requires at least one program");
     let k = data[0].num_marches();
     assert!(data.iter().all(|d| d.num_marches() == k), "inconsistent microarchitecture count");
+    // Fail a misconfigured snapshot setup before any epoch runs, not at
+    // the first snapshot boundary hours into a long run.
+    assert!(
+        cfg.snapshot_every.is_none() || cfg.snapshot_path.is_some(),
+        "snapshot_every requires snapshot_path"
+    );
 
     let start = std::time::Instant::now();
     let mut foundation = Foundation::new(cfg.arch, cfg.context, cfg.target_scale, cfg.seed);
@@ -226,9 +328,48 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
     };
     let mut best_val = f64::INFINITY;
     let mut best_params = params.clone();
+    let mut start_epoch = 0u32;
+
+    // Resume: overwrite the freshly-initialized state with the
+    // snapshot's. The pool/validation split above was already rebuilt
+    // deterministically from the seed; the RNG state restore then
+    // places the sampling stream exactly where the snapshot run left
+    // it, so the continued run is bit-identical to an uninterrupted
+    // one.
+    if let Some(path) = &cfg.resume_from {
+        let snap = crate::checkpoint::load_snapshot(path)
+            .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+        assert_eq!(snap.spec, cfg.arch, "snapshot architecture differs from TrainConfig::arch");
+        assert_eq!(
+            snap.foundation.context, cfg.context,
+            "snapshot context differs from TrainConfig::context"
+        );
+        assert_eq!(
+            snap.foundation.model.num_params() + snap.table.num_params(),
+            total_len,
+            "snapshot parameter count mismatch"
+        );
+        assert!(snap.next_epoch <= cfg.epochs, "snapshot is beyond this run's epoch budget");
+        params[..model_len].copy_from_slice(&snap.foundation.model.get_params());
+        params[model_len..].copy_from_slice(&snap.table.reps);
+        foundation.model.set_params(&params[..model_len]);
+        table.reps.copy_from_slice(&params[model_len..]);
+        opt = Adam::from_state(snap.adam_m, snap.adam_v, snap.adam_t);
+        rng = StdRng::from_state(snap.rng_state);
+        start_epoch = snap.next_epoch;
+        best_val = snap.best_val;
+        best_params = snap.best_params;
+        report.best_epoch = snap.best_epoch;
+        report.train_loss = snap.train_loss;
+        report.val_loss = snap.val_loss;
+    }
 
     let w = foundation.window();
-    for epoch in 0..cfg.epochs {
+    let step = BatchStep::new();
+    // The naive (no-reuse) ablation has no batched form: it exists to
+    // measure the per-(window, machine) cost the paper optimizes away.
+    let use_batched = cfg.batched && cfg.reuse;
+    for epoch in start_epoch..cfg.epochs {
         let lr = cfg.schedule.lr(epoch);
         // Sample this epoch's windows.
         let mut epoch_items: Vec<Item> = Vec::with_capacity(cfg.windows_per_epoch);
@@ -238,23 +379,37 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for batch in epoch_items.chunks(cfg.batch_size) {
-            let (loss, grads) = batch_gradients(batch.len(), total_len, |b, grads| {
-                let (p, i) = batch[b];
-                let mut buf = vec![0.0f32; w * NUM_FEATURES];
-                let mut preds = vec![0.0f32; k];
-                window_pass(
-                    &foundation,
-                    &table,
-                    &data[p],
-                    i,
-                    &inv_scale,
-                    &mut buf,
-                    &mut preds,
-                    Some(grads),
-                    model_len,
-                    cfg.reuse,
-                )
-            });
+            let (loss, grads) = if use_batched {
+                step.accumulate(batch.len(), total_len, |range, grads| {
+                    batched_chunk_pass(
+                        &foundation,
+                        &table,
+                        data,
+                        &batch[range],
+                        &inv_scale,
+                        grads,
+                        model_len,
+                    )
+                })
+            } else {
+                step.accumulate_items(batch.len(), total_len, |b, grads| {
+                    let (p, i) = batch[b];
+                    let mut buf = vec![0.0f32; w * NUM_FEATURES];
+                    let mut preds = vec![0.0f32; k];
+                    window_pass(
+                        &foundation,
+                        &table,
+                        &data[p],
+                        i,
+                        &inv_scale,
+                        &mut buf,
+                        &mut preds,
+                        Some(grads),
+                        model_len,
+                        cfg.reuse,
+                    )
+                })
+            };
             // Mean over the batch, then optional global-norm clipping.
             let inv = 1.0 / batch.len() as f32;
             let mut mean_grads: Vec<f32> = grads.iter().map(|g| g * inv).collect();
@@ -283,6 +438,38 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
             best_val = val_loss;
             best_params = params.clone();
             report.best_epoch = epoch;
+        }
+
+        // Epoch snapshot (end-of-epoch state: next run continues at
+        // `epoch + 1` with the RNG exactly where it stands now).
+        if let Some(every) = cfg.snapshot_every {
+            if every > 0 && (epoch + 1) % every == 0 {
+                let path = cfg
+                    .snapshot_path
+                    .as_ref()
+                    .expect("snapshot_every requires snapshot_path");
+                let (m, v, t) = opt.state();
+                let mut snap_foundation =
+                    Foundation::new(cfg.arch, cfg.context, cfg.target_scale, 0);
+                snap_foundation.model.set_params(&params[..model_len]);
+                let snap = crate::checkpoint::TrainSnapshot {
+                    foundation: snap_foundation,
+                    spec: cfg.arch,
+                    table: MarchTable::from_rows(k, cfg.arch.dim, params[model_len..].to_vec()),
+                    next_epoch: epoch + 1,
+                    adam_m: m.to_vec(),
+                    adam_v: v.to_vec(),
+                    adam_t: t,
+                    rng_state: rng.state(),
+                    best_val,
+                    best_params: best_params.clone(),
+                    best_epoch: report.best_epoch,
+                    train_loss: report.train_loss.clone(),
+                    val_loss: report.val_loss.clone(),
+                };
+                crate::checkpoint::save_snapshot(&snap, path)
+                    .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", path.display()));
+            }
         }
     }
 
@@ -329,7 +516,7 @@ pub fn validation_loss(
     }
     let w = foundation.window();
     let k = table.k;
-    let (loss, _) = batch_gradients(items.len(), 0, |b, _| {
+    let (loss, _) = BatchStep::new().accumulate_items(items.len(), 0, |b, _| {
         let (p, i) = items[b];
         let mut buf = vec![0.0f32; w * NUM_FEATURES];
         let mut preds = vec![0.0f32; k];
@@ -456,5 +643,95 @@ mod tests {
         let b = train_foundation(&data, &cfg);
         assert_eq!(a.report.train_loss, b.report.train_loss);
         assert_eq!(a.march_table.reps, b.march_table.reps);
+    }
+
+    /// Full train() runs through the batched and the scalar step must
+    /// produce byte-identical checkpoints at the same seed — the
+    /// refactor's core acceptance criterion.
+    #[test]
+    fn batched_and_scalar_steps_produce_byte_identical_checkpoints() {
+        use crate::checkpoint::encode;
+        let data = tiny_dataset();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 2;
+        cfg.windows_per_epoch = 200;
+        // A batch size above the lane width and not a multiple of it,
+        // so full chunks, a partial chunk, and the cross-chunk
+        // reduction are all exercised.
+        cfg.batch_size = 40;
+        cfg.batched = true;
+        let batched = train_foundation(&data, &cfg);
+        cfg.batched = false;
+        let scalar = train_foundation(&data, &cfg);
+        assert_eq!(
+            batched.report.train_loss, scalar.report.train_loss,
+            "training losses diverged between steps"
+        );
+        assert_eq!(batched.report.val_loss, scalar.report.val_loss);
+        assert_eq!(batched.report.best_epoch, scalar.report.best_epoch);
+        let b_bytes = encode(&batched.foundation, cfg.arch, Some(&batched.march_table));
+        let s_bytes = encode(&scalar.foundation, cfg.arch, Some(&scalar.march_table));
+        assert_eq!(b_bytes, s_bytes, "checkpoints must match byte-for-byte");
+    }
+
+    /// The batched/scalar byte-identity must hold for a fallback
+    /// (window-only) architecture riding the per-sequence batch path
+    /// too, not just the recurrent kernels.
+    #[test]
+    fn batched_scalar_identity_holds_for_fallback_architectures() {
+        use crate::checkpoint::encode;
+        use crate::foundation::ArchKind;
+        let data = tiny_dataset();
+        let mut cfg = tiny_cfg();
+        cfg.arch = ArchSpec { kind: ArchKind::Mlp, layers: 2, dim: 8 };
+        cfg.epochs = 1;
+        cfg.windows_per_epoch = 120;
+        cfg.batched = true;
+        let batched = train_foundation(&data, &cfg);
+        cfg.batched = false;
+        let scalar = train_foundation(&data, &cfg);
+        assert_eq!(
+            encode(&batched.foundation, cfg.arch, Some(&batched.march_table)),
+            encode(&scalar.foundation, cfg.arch, Some(&scalar.march_table))
+        );
+    }
+
+    /// Snapshot at epoch 2 of 4, resume, and compare against an
+    /// uninterrupted 4-epoch run: the final checkpoint and the full
+    /// report history must be bit-identical.
+    #[test]
+    fn snapshot_resume_restarts_bit_identically() {
+        use crate::checkpoint::encode;
+        let data = tiny_dataset();
+        let dir = std::env::temp_dir().join("perfvec_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("epoch.pfs");
+
+        let mut straight_cfg = tiny_cfg();
+        straight_cfg.epochs = 4;
+        straight_cfg.windows_per_epoch = 200;
+        let straight = train_foundation(&data, &straight_cfg);
+
+        // Phase 1: stop after 2 epochs, snapshotting every 2.
+        let mut phase1 = straight_cfg.clone();
+        phase1.epochs = 2;
+        phase1.snapshot_every = Some(2);
+        phase1.snapshot_path = Some(snap_path.clone());
+        train_foundation(&data, &phase1);
+
+        // Phase 2: resume to the full 4 epochs.
+        let mut phase2 = straight_cfg.clone();
+        phase2.resume_from = Some(snap_path.clone());
+        let resumed = train_foundation(&data, &phase2);
+
+        assert_eq!(resumed.report.train_loss, straight.report.train_loss);
+        assert_eq!(resumed.report.val_loss, straight.report.val_loss);
+        assert_eq!(resumed.report.best_epoch, straight.report.best_epoch);
+        assert_eq!(
+            encode(&resumed.foundation, straight_cfg.arch, Some(&resumed.march_table)),
+            encode(&straight.foundation, straight_cfg.arch, Some(&straight.march_table)),
+            "resumed checkpoint must be byte-identical to the uninterrupted run"
+        );
+        std::fs::remove_file(&snap_path).ok();
     }
 }

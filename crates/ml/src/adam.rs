@@ -43,6 +43,19 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Snapshot the optimizer state: first moments, second moments, and
+    /// the step counter (for training checkpoint-resume).
+    pub fn state(&self) -> (&[f32], &[f32], u64) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Rebuild an optimizer from a state captured by [`Adam::state`];
+    /// stepping it continues the original run bit-identically.
+    pub fn from_state(m: Vec<f32>, v: Vec<f32>, t: u64) -> Adam {
+        assert_eq!(m.len(), v.len(), "moment vectors must have equal length");
+        Adam { m, v, t, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +97,28 @@ mod tests {
         let mut opt = Adam::new(1);
         opt.step(&mut x, &[123.0], 0.001);
         assert!((x[0] + 0.001).abs() < 1e-5, "step was {}", x[0]);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically() {
+        let mut x = vec![4.0f32, -2.0];
+        let mut opt = Adam::new(2);
+        let g = |x: &[f32]| vec![2.0 * (x[0] - 1.0), 2.0 * (x[1] + 1.0)];
+        for _ in 0..10 {
+            let grads = g(&x);
+            opt.step(&mut x, &grads, 0.01);
+        }
+        let (m, v, t) = opt.state();
+        let (m, v) = (m.to_vec(), v.to_vec());
+        let mut x2 = x.clone();
+        let mut opt2 = Adam::from_state(m, v, t);
+        for _ in 0..10 {
+            let (ga, gb) = (g(&x), g(&x2));
+            opt.step(&mut x, &ga, 0.01);
+            opt2.step(&mut x2, &gb, 0.01);
+        }
+        assert_eq!(x, x2);
+        assert_eq!(opt.steps(), opt2.steps());
     }
 
     #[test]

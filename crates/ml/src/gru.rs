@@ -6,7 +6,10 @@ use crate::init::seeded_rng;
 // straight-line-arithmetic functions so batched inference stays
 // bit-identical to scalar inference while its inner loops vectorize
 // (see `tensor::tanh_apx`).
-use crate::tensor::{gemm_bm_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx};
+use crate::lstm::{for_lane_chunks, BatchInput};
+use crate::tensor::{
+    gemm_bm_acc, gemm_bm_t_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx,
+};
 
 /// Shape of one GRU layer.
 ///
@@ -210,6 +213,236 @@ fn gru_gates_chunk<const L: usize>(
     }
 }
 
+/// The training variant of [`gru_gates_chunk`]: identical element math,
+/// with `h_prev` read separately from the written `h_new` (the cache
+/// keeps every timestep) and the post-activation gates stored for
+/// backward.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gru_gates_chunk_cached<const L: usize>(
+    zr: &[f32],
+    zz: &[f32],
+    zn: &[f32],
+    un_row: &[f32],
+    h_prev: &[f32],
+    h_new: &mut [f32],
+    gr: &mut [f32],
+    gz: &mut [f32],
+    gn: &mut [f32],
+) {
+    for s in 0..L {
+        let r = sigmoid_apx(zr[s]);
+        let z = sigmoid_apx(zz[s]);
+        let n = tanh_apx(zn[s] + r * un_row[s]);
+        gr[s] = r;
+        gz[s] = z;
+        gn[s] = n;
+        h_new[s] = (1.0 - z) * n + z * h_prev[s];
+    }
+}
+
+/// One batch-major GRU backward chunk of compile-time width `L`: the
+/// per-element math is exactly [`GruLayerShape::backward`]'s gate loop,
+/// applied lane-wise (each lane follows the scalar operation sequence,
+/// so batched deltas are bit-identical per sequence).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gru_bwd_chunk<const L: usize>(
+    gr: &[f32],
+    gz: &[f32],
+    gn: &[f32],
+    un_row: &[f32],
+    h_prev: &[f32],
+    dht: &[f32],
+    dh_rec: &mut [f32],
+    dn_un: &mut [f32],
+    dzr: &mut [f32],
+    dzz: &mut [f32],
+    dzn: &mut [f32],
+) {
+    for s in 0..L {
+        let r = gr[s];
+        let z = gz[s];
+        let n = gn[s];
+        let dhtv = dht[s];
+        // h = (1-z) n + z h_prev
+        let dn = dhtv * (1.0 - z);
+        let dz = dhtv * (h_prev[s] - n);
+        dh_rec[s] += dhtv * z;
+        let dn_pre = dn * (1.0 - n * n);
+        let dr = dn_pre * un_row[s];
+        dn_un[s] = dn_pre * r;
+        dzr[s] = dr * r * (1.0 - r);
+        dzz[s] = dz * z * (1.0 - z);
+        dzn[s] = dn_pre;
+    }
+}
+
+/// Batch-major forward activations of one GRU layer (layout as in
+/// [`crate::lstm::LstmLayerBatchCache`]: row `r` of step `t` at
+/// `t * rows * batch + r * batch + s`).
+#[derive(Debug, Clone)]
+pub struct GruLayerBatchCache {
+    /// `T x 3h x batch`: post-activation `r, z, n`.
+    pub gates: Vec<f32>,
+    /// `T x h x batch`: `U_n h_{t-1}` pre-products.
+    pub un_h: Vec<f32>,
+    /// `T x h x batch`: hidden states.
+    pub hs: Vec<f32>,
+}
+
+/// Forward cache for [`Gru::forward_batch_cached`].
+#[derive(Debug, Clone)]
+pub struct GruBatchCache {
+    layer_caches: Vec<GruLayerBatchCache>,
+    t_steps: usize,
+    batch: usize,
+}
+
+impl GruBatchCache {
+    /// Number of timesteps the cache covers.
+    pub fn t_steps(&self) -> usize {
+        self.t_steps
+    }
+
+    /// Number of sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+impl GruLayerShape {
+    /// Batch-major full-sequence backward over a [`GruLayerBatchCache`]
+    /// (the lockstep mirror of [`GruLayerShape::backward`]; same
+    /// bit-identity contract as
+    /// [`crate::lstm::LstmLayerShape::backward_batch`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        w: &[f32],
+        x: &BatchInput<'_>,
+        t_steps: usize,
+        batch: usize,
+        cache: &GruLayerBatchCache,
+        dh: &mut [f32],
+        grads: &mut [f32],
+        dxs: &mut [f32],
+    ) {
+        let h = self.hidden;
+        let i_dim = self.in_dim;
+        let (w_ih, w_hh, _) = self.split(w);
+        let (w_hr, rest) = w_hh.split_at(h * h);
+        let (w_hz, w_hn) = rest.split_at(h * h);
+        let (g_ih, rest_g) = grads.split_at_mut(3 * h * i_dim);
+        let (g_hh, g_b) = rest_g.split_at_mut(3 * h * h);
+        let (g_hr, rest_g2) = g_hh.split_at_mut(h * h);
+        let (g_hz, g_hn) = rest_g2.split_at_mut(h * h);
+
+        let mut dh_rec = vec![0.0f32; h * batch];
+        // All timesteps' pre-activation deltas and candidate-gate
+        // recurrent deltas, batch-major, for the canonical parameter
+        // accumulation below.
+        let mut dzs = vec![0.0f32; t_steps * 3 * h * batch];
+        let mut dn_uns = vec![0.0f32; t_steps * h * batch];
+        let zero_row = vec![0.0f32; batch];
+        for t in (0..t_steps).rev() {
+            let gates = &cache.gates[t * 3 * h * batch..(t + 1) * 3 * h * batch];
+            let un_h = &cache.un_h[t * h * batch..(t + 1) * h * batch];
+            let dh_t = &mut dh[t * h * batch..(t + 1) * h * batch];
+            for (d, r) in dh_t.iter_mut().zip(&dh_rec) {
+                *d += r;
+            }
+            dh_rec.fill(0.0);
+            let dz = &mut dzs[t * 3 * h * batch..(t + 1) * 3 * h * batch];
+            let (dz_r, dz_rest) = dz.split_at_mut(h * batch);
+            let (dz_z, dz_n) = dz_rest.split_at_mut(h * batch);
+            let dn_un = &mut dn_uns[t * h * batch..(t + 1) * h * batch];
+            for k in 0..h {
+                let row = |r: usize| &gates[r * batch..(r + 1) * batch];
+                let (gr, gz, gn) = (row(k), row(h + k), row(2 * h + k));
+                let un_row = &un_h[k * batch..(k + 1) * batch];
+                let hp: &[f32] = if t == 0 {
+                    &zero_row
+                } else {
+                    &cache.hs[(t - 1) * h * batch + k * batch..(t - 1) * h * batch + (k + 1) * batch]
+                };
+                let dht = &dh_t[k * batch..(k + 1) * batch];
+                let dhr = &mut dh_rec[k * batch..(k + 1) * batch];
+                let dnu = &mut dn_un[k * batch..(k + 1) * batch];
+                let dzr = &mut dz_r[k * batch..(k + 1) * batch];
+                let dzz = &mut dz_z[k * batch..(k + 1) * batch];
+                let dzn = &mut dz_n[k * batch..(k + 1) * batch];
+                for_lane_chunks!(batch, s, LW => gru_bwd_chunk::<LW>(
+                    &gr[s..s + LW],
+                    &gz[s..s + LW],
+                    &gn[s..s + LW],
+                    &un_row[s..s + LW],
+                    &hp[s..s + LW],
+                    &dht[s..s + LW],
+                    &mut dhr[s..s + LW],
+                    &mut dnu[s..s + LW],
+                    &mut dzr[s..s + LW],
+                    &mut dzz[s..s + LW],
+                    &mut dzn[s..s + LW],
+                ));
+            }
+            let dz = &dzs[t * 3 * h * batch..(t + 1) * 3 * h * batch];
+            gemm_bm_t_acc(
+                w_ih,
+                dz,
+                &mut dxs[t * i_dim * batch..(t + 1) * i_dim * batch],
+                3 * h,
+                i_dim,
+                batch,
+            );
+            // dh_rec feeds step t-1, so the recurrent products are dead
+            // work at t == 0 (the scalar backward computes them anyway,
+            // but never reads them — skipping is parity-safe).
+            if t > 0 {
+                gemm_bm_t_acc(w_hr, &dz[..h * batch], &mut dh_rec, h, h, batch);
+                gemm_bm_t_acc(w_hz, &dz[h * batch..2 * h * batch], &mut dh_rec, h, h, batch);
+                gemm_bm_t_acc(w_hn, dn_un, &mut dh_rec, h, h, batch);
+            }
+        }
+        // Canonical parameter accumulation: per sequence (ascending),
+        // per timestep (descending), exactly the scalar path's rank-1
+        // updates and bias adds (h_prev is the zero vector at t = 0,
+        // matching the scalar backward).
+        let mut dz_s = vec![0.0f32; 3 * h];
+        let mut dn_s = vec![0.0f32; h];
+        let mut x_s = vec![0.0f32; i_dim];
+        let mut hp_s = vec![0.0f32; h];
+        for s in 0..batch {
+            for t in (0..t_steps).rev() {
+                let dz = &dzs[t * 3 * h * batch..(t + 1) * 3 * h * batch];
+                for (r, d) in dz_s.iter_mut().enumerate() {
+                    *d = dz[r * batch + s];
+                }
+                let dn = &dn_uns[t * h * batch..(t + 1) * h * batch];
+                for (k, d) in dn_s.iter_mut().enumerate() {
+                    *d = dn[k * batch + s];
+                }
+                if t == 0 {
+                    hp_s.fill(0.0);
+                } else {
+                    let hs = &cache.hs[(t - 1) * h * batch..t * h * batch];
+                    for (k, hp) in hp_s.iter_mut().enumerate() {
+                        *hp = hs[k * batch + s];
+                    }
+                }
+                x.gather(t, s, t_steps, batch, &mut x_s);
+                outer_acc(g_ih, &dz_s, &x_s);
+                for (g, &d) in g_b.iter_mut().zip(&dz_s) {
+                    *g += d;
+                }
+                outer_acc(g_hr, &dz_s[..h], &hp_s);
+                outer_acc(g_hz, &dz_s[h..2 * h], &hp_s);
+                outer_acc(g_hn, &dn_s, &hp_s);
+            }
+        }
+    }
+}
+
 /// Streaming hidden state for a multi-layer GRU (the GRU is stateful by
 /// construction, so it supports the same single-pass fast path as the
 /// LSTM; see [`crate::lstm::LstmState`]).
@@ -370,27 +603,13 @@ impl Gru {
                     let zn = &zx[(2 * h + k) * batch..(2 * h + k + 1) * batch];
                     let un_row = &un[k * batch..(k + 1) * batch];
                     let h_row = &mut h_cur[k * batch..(k + 1) * batch];
-                    let mut s = 0;
-                    while s + 8 <= batch {
-                        gru_gates_chunk::<8>(
-                            &zr[s..s + 8],
-                            &zz[s..s + 8],
-                            &zn[s..s + 8],
-                            &un_row[s..s + 8],
-                            &mut h_row[s..s + 8],
-                        );
-                        s += 8;
-                    }
-                    while s < batch {
-                        gru_gates_chunk::<1>(
-                            &zr[s..s + 1],
-                            &zz[s..s + 1],
-                            &zn[s..s + 1],
-                            &un_row[s..s + 1],
-                            &mut h_row[s..s + 1],
-                        );
-                        s += 1;
-                    }
+                    for_lane_chunks!(batch, s, LW => gru_gates_chunk::<LW>(
+                        &zr[s..s + LW],
+                        &zz[s..s + LW],
+                        &zn[s..s + LW],
+                        &un_row[s..s + LW],
+                        &mut h_row[s..s + LW],
+                    ));
                 }
             }
         }
@@ -403,6 +622,167 @@ impl Gru {
             }
         }
         out
+    }
+
+    /// Batched full-sequence forward that also retains every layer's
+    /// batch-major activations for [`Gru::backward_batch`] (same
+    /// bit-identity contract as
+    /// [`crate::lstm::Lstm::forward_batch_cached`]).
+    pub fn forward_batch_cached(
+        &self,
+        xs: &[f32],
+        t_steps: usize,
+        batch: usize,
+    ) -> (Vec<f32>, GruBatchCache) {
+        let in_dim = self.in_dim();
+        debug_assert_eq!(xs.len(), batch * t_steps * in_dim);
+        assert!(batch >= 1);
+        let mut layer_caches: Vec<GruLayerBatchCache> = self
+            .layers
+            .iter()
+            .map(|l| GruLayerBatchCache {
+                gates: vec![0.0; t_steps * 3 * l.hidden * batch],
+                un_h: vec![0.0; t_steps * l.hidden * batch],
+                hs: vec![0.0; t_steps * l.hidden * batch],
+            })
+            .collect();
+        let h_max = self.layers.iter().map(|l| l.hidden).max().unwrap();
+        let mut x0 = vec![0.0f32; in_dim * batch];
+        let mut zx = vec![0.0f32; 3 * h_max * batch];
+        let mut acc = vec![0.0f32; batch];
+        let zeros = vec![0.0f32; h_max * batch];
+        for t in 0..t_steps {
+            for k in 0..in_dim {
+                for (s, x) in x0[k * batch..(k + 1) * batch].iter_mut().enumerate() {
+                    *x = xs[s * t_steps * in_dim + t * in_dim + k];
+                }
+            }
+            for (l, shape) in self.layers.iter().enumerate() {
+                let h = shape.hidden;
+                let (w_ih, w_hh, b) = shape.split(self.layer_param(l));
+                let (w_hr, rest) = w_hh.split_at(h * h);
+                let (w_hz, w_hn) = rest.split_at(h * h);
+                let zx = &mut zx[..3 * h * batch];
+                for (r, &bv) in b.iter().enumerate() {
+                    zx[r * batch..(r + 1) * batch].fill(bv);
+                }
+                let (below, cur) = layer_caches.split_at_mut(l);
+                let x_bm: &[f32] = if l == 0 {
+                    &x0
+                } else {
+                    &below[l - 1].hs[t * shape.in_dim * batch..(t + 1) * shape.in_dim * batch]
+                };
+                let cache = &mut cur[0];
+                let h_prev: &[f32] = if t == 0 {
+                    &zeros[..h * batch]
+                } else {
+                    &cache.hs[(t - 1) * h * batch..t * h * batch]
+                };
+                gemm_bm_acc(w_ih, x_bm, zx, 3 * h, shape.in_dim, batch, &mut acc);
+                gemm_bm_acc(w_hr, h_prev, &mut zx[..h * batch], h, h, batch, &mut acc);
+                gemm_bm_acc(w_hz, h_prev, &mut zx[h * batch..2 * h * batch], h, h, batch, &mut acc);
+                let un = &mut cache.un_h[t * h * batch..(t + 1) * h * batch];
+                gemm_bm_acc(w_hn, h_prev, un, h, h, batch, &mut acc);
+                let un = &cache.un_h[t * h * batch..(t + 1) * h * batch];
+                let h_new_off = t * h * batch;
+                let gates_off = t * 3 * h * batch;
+                for k in 0..h {
+                    let zr = &zx[k * batch..(k + 1) * batch];
+                    let zz = &zx[(h + k) * batch..(h + k + 1) * batch];
+                    let zn = &zx[(2 * h + k) * batch..(2 * h + k + 1) * batch];
+                    let un_row = &un[k * batch..(k + 1) * batch];
+                    // Split hs so h_prev (shared) and h_new (mutable)
+                    // can coexist: everything before step t is frozen.
+                    let (hs_prev, hs_new) = cache.hs.split_at_mut(h_new_off);
+                    let hp: &[f32] = if t == 0 {
+                        &zeros[k * batch..(k + 1) * batch]
+                    } else {
+                        &hs_prev
+                            [(t - 1) * h * batch + k * batch..(t - 1) * h * batch + (k + 1) * batch]
+                    };
+                    let hn = &mut hs_new[k * batch..(k + 1) * batch];
+                    let (g_r, g_rest) =
+                        cache.gates[gates_off..gates_off + 3 * h * batch].split_at_mut(h * batch);
+                    let (g_z, g_n) = g_rest.split_at_mut(h * batch);
+                    let gr = &mut g_r[k * batch..(k + 1) * batch];
+                    let gz = &mut g_z[k * batch..(k + 1) * batch];
+                    let gn = &mut g_n[k * batch..(k + 1) * batch];
+                    for_lane_chunks!(batch, s, LW => gru_gates_chunk_cached::<LW>(
+                        &zr[s..s + LW],
+                        &zz[s..s + LW],
+                        &zn[s..s + LW],
+                        &un_row[s..s + LW],
+                        &hp[s..s + LW],
+                        &mut hn[s..s + LW],
+                        &mut gr[s..s + LW],
+                        &mut gz[s..s + LW],
+                        &mut gn[s..s + LW],
+                    ));
+                }
+            }
+        }
+        let d = self.out_dim();
+        let top = &layer_caches[self.layers.len() - 1];
+        let top_hs = &top.hs[(t_steps - 1) * d * batch..t_steps * d * batch];
+        let mut out = vec![0.0f32; batch * d];
+        for s in 0..batch {
+            for k in 0..d {
+                out[s * d + k] = top_hs[k * batch + s];
+            }
+        }
+        (out, GruBatchCache { layer_caches, t_steps, batch })
+    }
+
+    /// Batch-major BPTT from per-sequence gradients `douts`
+    /// (sequence-major `batch x hidden`); accumulates into `grads`,
+    /// bit-identically to running the scalar [`Gru::backward`] once per
+    /// sequence in batch order.
+    pub fn backward_batch(
+        &self,
+        xs: &[f32],
+        cache: &GruBatchCache,
+        douts: &[f32],
+        grads: &mut [f32],
+    ) {
+        let t = cache.t_steps;
+        let batch = cache.batch;
+        let top = self.layers.len() - 1;
+        let h_top = self.layers[top].hidden;
+        debug_assert_eq!(douts.len(), batch * h_top);
+        let mut dh = vec![0.0f32; t * h_top * batch];
+        let last = &mut dh[(t - 1) * h_top * batch..];
+        for s in 0..batch {
+            for k in 0..h_top {
+                last[k * batch + s] = douts[s * h_top + k];
+            }
+        }
+        let mut ends: Vec<usize> = Vec::with_capacity(self.layers.len());
+        let mut acc = 0;
+        for s in &self.layers {
+            acc += s.param_len();
+            ends.push(acc);
+        }
+        for l in (0..self.layers.len()).rev() {
+            let shape = self.layers[l];
+            let x = if l == 0 {
+                BatchInput::Seq(xs)
+            } else {
+                BatchInput::Bm(&cache.layer_caches[l - 1].hs)
+            };
+            let mut dxs = vec![0.0f32; t * shape.in_dim * batch];
+            let start = ends[l] - shape.param_len();
+            shape.backward_batch(
+                self.layer_param(l),
+                &x,
+                t,
+                batch,
+                &cache.layer_caches[l],
+                &mut dh,
+                &mut grads[start..ends[l]],
+                &mut dxs,
+            );
+            dh = dxs;
+        }
     }
 
     /// Backward from `dout` (gradient w.r.t. the final hidden vector).

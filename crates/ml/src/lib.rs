@@ -6,9 +6,11 @@
 //! Everything the paper's modelling needs and nothing more: flat-parameter
 //! layers with hand-written backward passes (verified by finite-difference
 //! tests), the six sequence architectures of the Figure 6 ablation
-//! ([`seq::SeqModel`]), Adam with the paper's step-decay schedule, MSE
-//! loss, and rayon batch-gradient data parallelism
-//! ([`parallel::batch_gradients`]).
+//! ([`seq::SeqModel`]) with batch-major batched forward *and* backward
+//! (`forward_batch`/[`seq::SeqModel::backward_batch`], bit-identical per
+//! sequence to the scalar passes), Adam with the paper's step-decay
+//! schedule, MSE loss, and deterministic lane-chunked gradient
+//! parallelism ([`parallel::BatchStep`]).
 //!
 //! ```
 //! use perfvec_ml::seq::SeqModel;

@@ -10,7 +10,9 @@ use crate::init::seeded_rng;
 // recomputation) must call the *same* straight-line-arithmetic
 // functions so batched inference stays bit-identical to scalar
 // inference while its inner loops vectorize (see `tensor::tanh_apx`).
-use crate::tensor::{gemm_bm_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx};
+use crate::tensor::{
+    gemm_bm_acc, gemm_bm_t_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx,
+};
 
 /// Shape of one LSTM layer with input size `in_dim` and hidden size `h`.
 ///
@@ -220,6 +222,285 @@ fn gates_chunk<const L: usize>(
     }
 }
 
+/// One LSTM gate-activation chunk that also records the post-activation
+/// gates (the training variant of [`gates_chunk`]): element math is
+/// identical, `c_prev` is read separately from the written `c_new`
+/// (the cache keeps every timestep), and the four gate rows are stored
+/// for backward.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gates_chunk_cached<const L: usize>(
+    zi: &[f32],
+    zf: &[f32],
+    zg: &[f32],
+    zo: &[f32],
+    c_prev: &[f32],
+    c_new: &mut [f32],
+    h_new: &mut [f32],
+    gi: &mut [f32],
+    gf: &mut [f32],
+    gg_row: &mut [f32],
+    go: &mut [f32],
+) {
+    for s in 0..L {
+        let ig = sigmoid_apx(zi[s]);
+        let fg = sigmoid_apx(zf[s]);
+        let gg = tanh_apx(zg[s]);
+        let og = sigmoid_apx(zo[s]);
+        let c = fg * c_prev[s] + ig * gg;
+        gi[s] = ig;
+        gf[s] = fg;
+        gg_row[s] = gg;
+        go[s] = og;
+        c_new[s] = c;
+        h_new[s] = og * tanh_apx(c);
+    }
+}
+
+/// One batch-major LSTM backward chunk of compile-time width `L`: the
+/// per-element math is exactly [`LstmLayerShape::backward`]'s gate
+/// loop, applied lane-wise (each lane follows the scalar operation
+/// sequence, so batched deltas are bit-identical per sequence).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn lstm_bwd_chunk<const L: usize>(
+    gi: &[f32],
+    gf: &[f32],
+    gg: &[f32],
+    go: &[f32],
+    cl: &[f32],
+    cp: &[f32],
+    dht: &[f32],
+    dcn: &mut [f32],
+    dzi: &mut [f32],
+    dzf: &mut [f32],
+    dzg: &mut [f32],
+    dzo: &mut [f32],
+) {
+    for s in 0..L {
+        let ig = gi[s];
+        let fg = gf[s];
+        let ggv = gg[s];
+        let og = go[s];
+        let tc = tanh_apx(cl[s]);
+        let dh_k = dht[s];
+        let mut dc = dcn[s] + dh_k * og * (1.0 - tc * tc);
+        let d_o = dh_k * tc;
+        let d_i = dc * ggv;
+        let d_g = dc * ig;
+        let d_f = dc * cp[s];
+        dc *= fg;
+        dcn[s] = dc;
+        dzi[s] = d_i * ig * (1.0 - ig);
+        dzf[s] = d_f * fg * (1.0 - fg);
+        dzg[s] = d_g * (1.0 - ggv * ggv);
+        dzo[s] = d_o * og * (1.0 - og);
+    }
+}
+
+/// Run a `<const L>` chunk helper over the whole batch: fixed-width
+/// blocks of 8 lanes, then a width-1 tail (identical math at any
+/// width, so the blocking never changes results).
+macro_rules! for_lane_chunks {
+    ($batch:expr, $s:ident, $w:ident => $body:expr) => {{
+        let mut $s = 0usize;
+        while $s + 8 <= $batch {
+            const $w: usize = 8;
+            $body;
+            $s += 8;
+        }
+        while $s < $batch {
+            const $w: usize = 1;
+            $body;
+            $s += 1;
+        }
+    }};
+}
+pub(crate) use for_lane_chunks;
+
+/// Batch-major input view for the batched backward pass: layer 0 reads
+/// the caller's sequence-major window block, higher layers read the
+/// batch-major hidden states of the layer below.
+pub enum BatchInput<'a> {
+    /// Sequence-major `batch x T x in_dim` (the `forward_batch` input).
+    Seq(&'a [f32]),
+    /// Batch-major `T x in_dim x batch` (a layer cache's `hs`).
+    Bm(&'a [f32]),
+}
+
+impl BatchInput<'_> {
+    /// Copy sequence `s`'s step-`t` input vector into `out`
+    /// (`out.len() == in_dim`). Pure data movement — no arithmetic —
+    /// so the gathered values are exactly the scalar path's inputs.
+    pub fn gather(&self, t: usize, s: usize, t_steps: usize, batch: usize, out: &mut [f32]) {
+        let in_dim = out.len();
+        match self {
+            BatchInput::Seq(xs) => {
+                let base = s * t_steps * in_dim + t * in_dim;
+                out.copy_from_slice(&xs[base..base + in_dim]);
+            }
+            BatchInput::Bm(x_bm) => {
+                let base = t * in_dim * batch;
+                for (k, o) in out.iter_mut().enumerate() {
+                    *o = x_bm[base + k * batch + s];
+                }
+            }
+        }
+    }
+}
+
+/// Batch-major forward activations of one LSTM layer, retained for the
+/// batched backward pass. Row `r` of step `t` lives at
+/// `t * rows * batch + r * batch + s` for sequence `s` (the same
+/// lane-blocked layout the batched kernels compute in).
+#[derive(Debug, Clone)]
+pub struct LstmLayerBatchCache {
+    /// `T x 4h x batch`: post-activation gates (`i, f, g, o`).
+    pub gates: Vec<f32>,
+    /// `T x h x batch`: cell states.
+    pub cells: Vec<f32>,
+    /// `T x h x batch`: hidden states (inputs to the next layer).
+    pub hs: Vec<f32>,
+}
+
+/// Forward cache for [`Lstm::forward_batch_cached`].
+#[derive(Debug, Clone)]
+pub struct LstmBatchCache {
+    layer_caches: Vec<LstmLayerBatchCache>,
+    t_steps: usize,
+    batch: usize,
+}
+
+impl LstmBatchCache {
+    /// Number of timesteps the cache covers.
+    pub fn t_steps(&self) -> usize {
+        self.t_steps
+    }
+
+    /// Number of sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+impl LstmLayerShape {
+    /// Batch-major full-sequence backward over a [`LstmLayerBatchCache`]
+    /// (the lockstep mirror of [`LstmLayerShape::backward`]).
+    ///
+    /// `dh` is `T x h x batch` (consumed in place); input gradients go
+    /// to `dxs` (`T x in x batch`). Lane deltas follow the scalar
+    /// operation sequence exactly, and parameter gradients are
+    /// accumulated *after* the timestep recursion in the scalar path's
+    /// order — sequence-ascending, timestep-descending, through the
+    /// same [`outer_acc`] — so the accumulated `grads` are bit-identical
+    /// to running the scalar backward per sequence in batch order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        w: &[f32],
+        x: &BatchInput<'_>,
+        t_steps: usize,
+        batch: usize,
+        cache: &LstmLayerBatchCache,
+        dh: &mut [f32],
+        grads: &mut [f32],
+        dxs: &mut [f32],
+    ) {
+        let h = self.hidden;
+        let i_dim = self.in_dim;
+        let (w_ih, w_hh, _) = self.split(w);
+        let (g_ih, rest) = grads.split_at_mut(4 * h * i_dim);
+        let (g_hh, g_b) = rest.split_at_mut(4 * h * h);
+
+        let mut dc_next = vec![0.0f32; h * batch];
+        let mut dh_rec = vec![0.0f32; h * batch];
+        // All timesteps' pre-activation deltas, batch-major, kept so the
+        // parameter accumulation below can run in canonical order.
+        let mut dzs = vec![0.0f32; t_steps * 4 * h * batch];
+        let zero_row = vec![0.0f32; batch];
+        for t in (0..t_steps).rev() {
+            let gates = &cache.gates[t * 4 * h * batch..(t + 1) * 4 * h * batch];
+            let cells = &cache.cells[t * h * batch..(t + 1) * h * batch];
+            let dh_t = &mut dh[t * h * batch..(t + 1) * h * batch];
+            for (d, r) in dh_t.iter_mut().zip(&dh_rec) {
+                *d += r;
+            }
+            let dz = &mut dzs[t * 4 * h * batch..(t + 1) * 4 * h * batch];
+            let (dz_i, dz_rest) = dz.split_at_mut(h * batch);
+            let (dz_f, dz_rest) = dz_rest.split_at_mut(h * batch);
+            let (dz_g, dz_o) = dz_rest.split_at_mut(h * batch);
+            for k in 0..h {
+                let row = |r: usize| &gates[r * batch..(r + 1) * batch];
+                let (gi, gf, gg, go) = (row(k), row(h + k), row(2 * h + k), row(3 * h + k));
+                let cl = &cells[k * batch..(k + 1) * batch];
+                let cp: &[f32] = if t == 0 {
+                    &zero_row
+                } else {
+                    &cache.cells[(t - 1) * h * batch + k * batch..(t - 1) * h * batch + (k + 1) * batch]
+                };
+                let dht = &dh_t[k * batch..(k + 1) * batch];
+                let dcn = &mut dc_next[k * batch..(k + 1) * batch];
+                let dzi = &mut dz_i[k * batch..(k + 1) * batch];
+                let dzf = &mut dz_f[k * batch..(k + 1) * batch];
+                let dzg = &mut dz_g[k * batch..(k + 1) * batch];
+                let dzo = &mut dz_o[k * batch..(k + 1) * batch];
+                for_lane_chunks!(batch, s, LW => lstm_bwd_chunk::<LW>(
+                    &gi[s..s + LW],
+                    &gf[s..s + LW],
+                    &gg[s..s + LW],
+                    &go[s..s + LW],
+                    &cl[s..s + LW],
+                    &cp[s..s + LW],
+                    &dht[s..s + LW],
+                    &mut dcn[s..s + LW],
+                    &mut dzi[s..s + LW],
+                    &mut dzf[s..s + LW],
+                    &mut dzg[s..s + LW],
+                    &mut dzo[s..s + LW],
+                ));
+            }
+            gemm_bm_t_acc(
+                w_ih,
+                dz,
+                &mut dxs[t * i_dim * batch..(t + 1) * i_dim * batch],
+                4 * h,
+                i_dim,
+                batch,
+            );
+            dh_rec.fill(0.0);
+            if t > 0 {
+                gemm_bm_t_acc(w_hh, dz, &mut dh_rec, 4 * h, h, batch);
+            }
+        }
+        // Canonical parameter accumulation: per sequence (ascending),
+        // per timestep (descending), exactly the scalar path's rank-1
+        // updates and bias adds.
+        let mut dz_s = vec![0.0f32; 4 * h];
+        let mut x_s = vec![0.0f32; i_dim];
+        let mut hp_s = vec![0.0f32; h];
+        for s in 0..batch {
+            for t in (0..t_steps).rev() {
+                let dz = &dzs[t * 4 * h * batch..(t + 1) * 4 * h * batch];
+                for (r, d) in dz_s.iter_mut().enumerate() {
+                    *d = dz[r * batch + s];
+                }
+                x.gather(t, s, t_steps, batch, &mut x_s);
+                outer_acc(g_ih, &dz_s, &x_s);
+                for (g, &d) in g_b.iter_mut().zip(&dz_s) {
+                    *g += d;
+                }
+                if t > 0 {
+                    let hs = &cache.hs[(t - 1) * h * batch..t * h * batch];
+                    for (k, hp) in hp_s.iter_mut().enumerate() {
+                        *hp = hs[k * batch + s];
+                    }
+                    outer_acc(g_hh, &dz_s, &hp_s);
+                }
+            }
+        }
+    }
+}
+
 /// Streaming hidden state for a multi-layer LSTM.
 #[derive(Debug, Clone)]
 pub struct LstmState {
@@ -395,29 +676,14 @@ impl Lstm {
                     let zo = &z[(3 * h + k) * batch..(3 * h + k + 1) * batch];
                     let c_row = &mut c_cur[k * batch..(k + 1) * batch];
                     let h_row = &mut h_cur[k * batch..(k + 1) * batch];
-                    let mut s = 0;
-                    while s + 8 <= batch {
-                        gates_chunk::<8>(
-                            &zi[s..s + 8],
-                            &zf[s..s + 8],
-                            &zg[s..s + 8],
-                            &zo[s..s + 8],
-                            &mut c_row[s..s + 8],
-                            &mut h_row[s..s + 8],
-                        );
-                        s += 8;
-                    }
-                    while s < batch {
-                        gates_chunk::<1>(
-                            &zi[s..s + 1],
-                            &zf[s..s + 1],
-                            &zg[s..s + 1],
-                            &zo[s..s + 1],
-                            &mut c_row[s..s + 1],
-                            &mut h_row[s..s + 1],
-                        );
-                        s += 1;
-                    }
+                    for_lane_chunks!(batch, s, LW => gates_chunk::<LW>(
+                        &zi[s..s + LW],
+                        &zf[s..s + LW],
+                        &zg[s..s + LW],
+                        &zo[s..s + LW],
+                        &mut c_row[s..s + LW],
+                        &mut h_row[s..s + LW],
+                    ));
                 }
             }
         }
@@ -430,6 +696,171 @@ impl Lstm {
             }
         }
         out
+    }
+
+    /// Batched full-sequence forward that also retains every layer's
+    /// batch-major activations for [`Lstm::backward_batch`].
+    ///
+    /// Same layouts and — per sequence — the same arithmetic order as
+    /// [`Lstm::forward_batch`], so each output (and every cached
+    /// activation) is bit-identical to an independent [`Lstm::forward`]
+    /// call on that sequence.
+    pub fn forward_batch_cached(
+        &self,
+        xs: &[f32],
+        t_steps: usize,
+        batch: usize,
+    ) -> (Vec<f32>, LstmBatchCache) {
+        let in_dim = self.in_dim();
+        debug_assert_eq!(xs.len(), batch * t_steps * in_dim);
+        assert!(batch >= 1);
+        let mut layer_caches: Vec<LstmLayerBatchCache> = self
+            .layers
+            .iter()
+            .map(|l| LstmLayerBatchCache {
+                gates: vec![0.0; t_steps * 4 * l.hidden * batch],
+                cells: vec![0.0; t_steps * l.hidden * batch],
+                hs: vec![0.0; t_steps * l.hidden * batch],
+            })
+            .collect();
+        let h_max = self.layers.iter().map(|l| l.hidden).max().unwrap();
+        let mut x0 = vec![0.0f32; in_dim * batch];
+        let mut z = vec![0.0f32; 4 * h_max * batch];
+        let mut acc = vec![0.0f32; batch];
+        let zeros = vec![0.0f32; h_max * batch];
+        for t in 0..t_steps {
+            for k in 0..in_dim {
+                for (s, x) in x0[k * batch..(k + 1) * batch].iter_mut().enumerate() {
+                    *x = xs[s * t_steps * in_dim + t * in_dim + k];
+                }
+            }
+            for (l, shape) in self.layers.iter().enumerate() {
+                let h = shape.hidden;
+                let (w_ih, w_hh, b) = shape.split(self.layer_param(l));
+                let z = &mut z[..4 * h * batch];
+                for (r, &bv) in b.iter().enumerate() {
+                    z[r * batch..(r + 1) * batch].fill(bv);
+                }
+                let (below, cur) = layer_caches.split_at_mut(l);
+                let x_bm: &[f32] = if l == 0 {
+                    &x0
+                } else {
+                    &below[l - 1].hs[t * shape.in_dim * batch..(t + 1) * shape.in_dim * batch]
+                };
+                let cache = &mut cur[0];
+                let h_prev: &[f32] = if t == 0 {
+                    &zeros[..h * batch]
+                } else {
+                    &cache.hs[(t - 1) * h * batch..t * h * batch]
+                };
+                gemm_bm_acc(w_ih, x_bm, z, 4 * h, shape.in_dim, batch, &mut acc);
+                gemm_bm_acc(w_hh, h_prev, z, 4 * h, h, batch, &mut acc);
+                let (c_prev_all, c_new_all) =
+                    cache.cells.split_at_mut(t * h * batch);
+                let c_prev_all: &[f32] =
+                    if t == 0 { &zeros[..h * batch] } else { &c_prev_all[(t - 1) * h * batch..] };
+                let c_new = &mut c_new_all[..h * batch];
+                let h_new_off = t * h * batch;
+                let gates_off = t * 4 * h * batch;
+                for k in 0..h {
+                    let zi = &z[k * batch..(k + 1) * batch];
+                    let zf = &z[(h + k) * batch..(h + k + 1) * batch];
+                    let zg = &z[(2 * h + k) * batch..(2 * h + k + 1) * batch];
+                    let zo = &z[(3 * h + k) * batch..(3 * h + k + 1) * batch];
+                    let cp = &c_prev_all[k * batch..(k + 1) * batch];
+                    let cn = &mut c_new[k * batch..(k + 1) * batch];
+                    let hn = &mut cache.hs[h_new_off + k * batch..h_new_off + (k + 1) * batch];
+                    let (g_i, g_rest) =
+                        cache.gates[gates_off..gates_off + 4 * h * batch].split_at_mut(h * batch);
+                    let (g_f, g_rest) = g_rest.split_at_mut(h * batch);
+                    let (g_g, g_o) = g_rest.split_at_mut(h * batch);
+                    let gi = &mut g_i[k * batch..(k + 1) * batch];
+                    let gf = &mut g_f[k * batch..(k + 1) * batch];
+                    let gg = &mut g_g[k * batch..(k + 1) * batch];
+                    let go = &mut g_o[k * batch..(k + 1) * batch];
+                    for_lane_chunks!(batch, s, LW => gates_chunk_cached::<LW>(
+                        &zi[s..s + LW],
+                        &zf[s..s + LW],
+                        &zg[s..s + LW],
+                        &zo[s..s + LW],
+                        &cp[s..s + LW],
+                        &mut cn[s..s + LW],
+                        &mut hn[s..s + LW],
+                        &mut gi[s..s + LW],
+                        &mut gf[s..s + LW],
+                        &mut gg[s..s + LW],
+                        &mut go[s..s + LW],
+                    ));
+                }
+            }
+        }
+        let d = self.out_dim();
+        let top = &layer_caches[self.layers.len() - 1];
+        let top_hs = &top.hs[(t_steps - 1) * d * batch..t_steps * d * batch];
+        let mut out = vec![0.0f32; batch * d];
+        for s in 0..batch {
+            for k in 0..d {
+                out[s * d + k] = top_hs[k * batch + s];
+            }
+        }
+        (out, LstmBatchCache { layer_caches, t_steps, batch })
+    }
+
+    /// Batch-major BPTT from per-sequence gradients `douts`
+    /// (sequence-major `batch x hidden`, the gradient w.r.t. each
+    /// sequence's final hidden vector); accumulates into `grads`.
+    ///
+    /// The accumulated gradients are bit-identical to running the
+    /// scalar [`Lstm::backward`] once per sequence, in batch order,
+    /// into the same buffer (see [`LstmLayerShape::backward_batch`]).
+    pub fn backward_batch(
+        &self,
+        xs: &[f32],
+        cache: &LstmBatchCache,
+        douts: &[f32],
+        grads: &mut [f32],
+    ) {
+        let t = cache.t_steps;
+        let batch = cache.batch;
+        let top = self.layers.len() - 1;
+        let h_top = self.layers[top].hidden;
+        debug_assert_eq!(douts.len(), batch * h_top);
+        // dh for the top layer, batch-major: only the last step receives
+        // the injected gradient.
+        let mut dh = vec![0.0f32; t * h_top * batch];
+        let last = &mut dh[(t - 1) * h_top * batch..];
+        for s in 0..batch {
+            for k in 0..h_top {
+                last[k * batch + s] = douts[s * h_top + k];
+            }
+        }
+        let mut grad_off_ends: Vec<usize> = Vec::with_capacity(self.layers.len());
+        let mut acc = 0;
+        for s in &self.layers {
+            acc += s.param_len();
+            grad_off_ends.push(acc);
+        }
+        for l in (0..self.layers.len()).rev() {
+            let shape = self.layers[l];
+            let x = if l == 0 {
+                BatchInput::Seq(xs)
+            } else {
+                BatchInput::Bm(&cache.layer_caches[l - 1].hs)
+            };
+            let mut dxs = vec![0.0f32; t * shape.in_dim * batch];
+            let g_start = grad_off_ends[l] - shape.param_len();
+            shape.backward_batch(
+                self.layer_param(l),
+                &x,
+                t,
+                batch,
+                &cache.layer_caches[l],
+                &mut dh,
+                &mut grads[g_start..grad_off_ends[l]],
+                &mut dxs,
+            );
+            dh = dxs;
+        }
     }
 
     /// Backward from a gradient `dout` w.r.t. the final hidden vector;

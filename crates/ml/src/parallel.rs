@@ -1,42 +1,121 @@
-//! Data-parallel gradient accumulation.
+//! Deterministic data-parallel gradient accumulation.
 //!
-//! Training parallelism in this library lives at the batch level: each
-//! item's forward/backward is independent, so rayon folds per-thread
-//! gradient buffers and reduces them — the CPU analogue of the paper's
-//! observation that instruction representations can be learned in
-//! parallel on HPC systems. On a single-core machine this degrades
-//! gracefully to a sequential loop.
+//! Training parallelism in this library lives at the batch level: a
+//! gradient step's items are split into fixed-width **lane chunks**
+//! ([`LANE_WIDTH`]), the chunks run in parallel (rayon's ordered
+//! `chunk_ranges`), and the per-chunk partial gradients are reduced
+//! left-to-right in chunk order. Because the chunk boundaries depend
+//! only on the lane width — never on the core count — the float
+//! accumulation tree is identical on every machine, so a seeded
+//! training run is bit-reproducible anywhere, and the scalar and
+//! batch-major step implementations (which share the chunking) produce
+//! byte-identical checkpoints.
+//!
+//! [`BatchStep`] supersedes the old per-item-closure `batch_gradients`:
+//! consumers either hand it a per-item closure
+//! ([`BatchStep::accumulate_items`], the scalar path) or a per-chunk
+//! closure ([`BatchStep::accumulate`]) that drives one batch-major
+//! `forward_batch`/`backward_batch` pair per lane chunk.
 
 use rayon::prelude::*;
 
-/// Evaluate `item_fn` for every item in `0..n_items`, each accumulating
-/// gradients into a thread-local buffer of `param_len` entries and
-/// returning its loss. Returns the summed loss and summed gradients.
-pub fn batch_gradients<F>(n_items: usize, param_len: usize, item_fn: F) -> (f64, Vec<f32>)
-where
-    F: Fn(usize, &mut [f32]) -> f64 + Sync,
-{
-    if n_items == 0 {
-        return (0.0, vec![0.0; param_len]);
+/// Canonical lane-chunk width for gradient steps.
+///
+/// Thirty-two lanes is the batch-major kernels' widest SIMD block
+/// (`tensor::lane_block::<32>`), so a default 32-window batch runs as
+/// **one** `forward_batch`/`backward_batch` pair at full vector width
+/// (measured ~25% faster per step than 8-lane chunking on one core).
+/// Batches larger than the lane width split into 32-lane chunks that
+/// fan out across cores — thread scaling comes from raising the batch
+/// size, never from changing the chunk tree, which depends only on
+/// this constant.
+pub const LANE_WIDTH: usize = 32;
+
+/// One deterministic gradient step over a batch of items.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchStep {
+    lane: usize,
+}
+
+impl Default for BatchStep {
+    fn default() -> BatchStep {
+        BatchStep::new()
     }
-    (0..n_items)
-        .into_par_iter()
-        .fold(
-            || (0.0f64, vec![0.0f32; param_len]),
-            |(mut loss, mut grads), i| {
-                loss += item_fn(i, &mut grads);
+}
+
+impl BatchStep {
+    /// A step with the canonical [`LANE_WIDTH`].
+    pub fn new() -> BatchStep {
+        BatchStep { lane: LANE_WIDTH }
+    }
+
+    /// A step with an explicit lane width (changing it changes the
+    /// accumulation tree, so compare runs only at equal widths).
+    pub fn with_lane(lane: usize) -> BatchStep {
+        assert!(lane >= 1, "lane width must be at least 1");
+        BatchStep { lane }
+    }
+
+    /// The lane-chunk width.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Run one gradient step over `0..n_items`: `chunk_fn` computes one
+    /// lane chunk's summed loss, accumulating its gradients into a
+    /// zeroed buffer of `param_len` entries **in ascending item order**.
+    /// Chunks run in parallel; their partial losses and gradients are
+    /// reduced left-to-right in chunk order, so the result is
+    /// bit-deterministic for a given lane width regardless of core
+    /// count.
+    pub fn accumulate<F>(&self, n_items: usize, param_len: usize, chunk_fn: F) -> (f64, Vec<f32>)
+    where
+        F: Fn(std::ops::Range<usize>, &mut [f32]) -> f64 + Sync,
+    {
+        if n_items == 0 {
+            return (0.0, vec![0.0; param_len]);
+        }
+        let partials: Vec<(f64, Vec<f32>)> = (0..n_items)
+            .into_par_iter()
+            .chunk_ranges(self.lane)
+            .map(|range| {
+                let mut grads = vec![0.0f32; param_len];
+                let loss = chunk_fn(range, &mut grads);
                 (loss, grads)
-            },
-        )
-        .reduce(
-            || (0.0f64, vec![0.0f32; param_len]),
-            |(la, mut ga), (lb, gb)| {
-                for (a, b) in ga.iter_mut().zip(&gb) {
-                    *a += b;
-                }
-                (la + lb, ga)
-            },
-        )
+            })
+            .collect();
+        let mut it = partials.into_iter();
+        let (mut loss, mut grads) = it.next().expect("at least one chunk");
+        for (l, g) in it {
+            loss += l;
+            for (a, b) in grads.iter_mut().zip(&g) {
+                *a += b;
+            }
+        }
+        (loss, grads)
+    }
+
+    /// Per-item convenience over [`BatchStep::accumulate`]: the scalar
+    /// step. `item_fn(i, grads)` accumulates item `i`'s gradients and
+    /// returns its loss; items run in ascending order within each lane
+    /// chunk.
+    pub fn accumulate_items<F>(
+        &self,
+        n_items: usize,
+        param_len: usize,
+        item_fn: F,
+    ) -> (f64, Vec<f32>)
+    where
+        F: Fn(usize, &mut [f32]) -> f64 + Sync,
+    {
+        self.accumulate(n_items, param_len, |range, grads| {
+            let mut loss = 0.0f64;
+            for i in range {
+                loss += item_fn(i, grads);
+            }
+            loss
+        })
+    }
 }
 
 /// Map each item of `0..n_items` to a vector and collect in order
@@ -58,7 +137,7 @@ mod tests {
             g[i % 4] += i as f32;
             i as f64 * 0.5
         };
-        let (loss_p, grads_p) = batch_gradients(100, 4, item);
+        let (loss_p, grads_p) = BatchStep::new().accumulate_items(100, 4, item);
         let mut grads_s = vec![0.0f32; 4];
         let mut loss_s = 0.0f64;
         for i in 0..100 {
@@ -70,9 +149,66 @@ mod tests {
 
     #[test]
     fn empty_batch_is_zero() {
-        let (loss, grads) = batch_gradients(0, 3, |_, _| 1.0);
+        let (loss, grads) = BatchStep::new().accumulate_items(0, 3, |_, _| 1.0);
         assert_eq!(loss, 0.0);
         assert_eq!(grads, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn chunk_closure_sees_canonical_lane_ranges() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        BatchStep::with_lane(8).accumulate(19, 0, |range, _| {
+            seen.lock().unwrap().push(range);
+            0.0
+        });
+        let mut got = seen.into_inner().unwrap();
+        got.sort_by_key(|r| r.start);
+        assert_eq!(got, vec![0..8, 8..16, 16..19]);
+
+        let seen = std::sync::Mutex::new(Vec::new());
+        BatchStep::new().accumulate(70, 0, |range, _| {
+            seen.lock().unwrap().push(range);
+            0.0
+        });
+        let mut got = seen.into_inner().unwrap();
+        got.sort_by_key(|r| r.start);
+        assert_eq!(got, vec![0..32, 32..64, 64..70]);
+    }
+
+    #[test]
+    fn item_and_chunk_forms_agree_bitwise() {
+        // The scalar/batched parity contract in miniature: a per-item
+        // closure and a per-chunk closure doing the same in-order work
+        // must reduce to bit-identical float sums.
+        let contribution = |i: usize| ((i * 37 % 19) as f32 - 9.0) * 1e-3;
+        let (_, a) = BatchStep::new().accumulate_items(45, 2, |i, g| {
+            g[0] += contribution(i);
+            g[1] += contribution(i) * 0.5;
+            0.0
+        });
+        let (_, b) = BatchStep::new().accumulate(45, 2, |range, g| {
+            for i in range {
+                g[0] += contribution(i);
+                g[1] += contribution(i) * 0.5;
+            }
+            0.0
+        });
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+        assert_eq!(a[1].to_bits(), b[1].to_bits());
+    }
+
+    #[test]
+    fn custom_lane_width_changes_chunking_only() {
+        let item = |i: usize, g: &mut [f32]| {
+            g[0] += i as f32;
+            1.0
+        };
+        let (l8, g8) = BatchStep::new().accumulate_items(30, 1, item);
+        let (l3, g3) = BatchStep::with_lane(3).accumulate_items(30, 1, item);
+        assert_eq!(l8, 30.0);
+        assert_eq!(l3, 30.0);
+        // Integer-valued sums are exact at any tree shape.
+        assert_eq!(g8, g3);
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! manual backward passes.
 
 use crate::bilstm::{BiLstm, BiLstmCache};
-use crate::gru::{Gru, GruCache, GruState};
+use crate::gru::{Gru, GruBatchCache, GruCache, GruState};
 use crate::linear::LinearShape;
-use crate::lstm::{Lstm, LstmCache, LstmState};
+use crate::lstm::{Lstm, LstmBatchCache, LstmCache, LstmState};
 use crate::mlp::{Mlp, MlpCache};
 use crate::transformer::{TransformerCache, TransformerEncoder};
 
@@ -52,6 +52,21 @@ pub enum StreamState {
     Lstm(LstmState),
     /// GRU hidden state.
     Gru(GruState),
+}
+
+/// Opaque batched forward cache from [`SeqModel::forward_batch_cached`],
+/// consumed by [`SeqModel::backward_batch`].
+///
+/// The recurrent architectures retain lane-blocked batch-major
+/// activations; the window-only architectures fall back to one scalar
+/// cache per sequence.
+pub enum BatchCache {
+    /// Batch-major LSTM activations.
+    Lstm(LstmBatchCache),
+    /// Batch-major GRU activations.
+    Gru(GruBatchCache),
+    /// Per-sequence scalar caches (fallback architectures).
+    PerSeq(Vec<SeqCache>),
 }
 
 /// Opaque forward cache matching the architecture.
@@ -255,6 +270,89 @@ impl SeqModel {
                 }
                 out
             }
+        }
+    }
+
+    /// Batched forward that also retains the activations needed for
+    /// [`SeqModel::backward_batch`] — the training twin of
+    /// [`SeqModel::forward_batch`].
+    ///
+    /// Layouts match `forward_batch` (`xs` sequence-major, result
+    /// sequence-major `batch x out_dim`), and every sequence's output
+    /// is bit-identical to an independent [`SeqModel::forward`] call.
+    /// LSTM and GRU keep lane-blocked batch-major caches; the remaining
+    /// architectures fall back to per-sequence scalar caches.
+    pub fn forward_batch_cached(&self, xs: &[f32], t: usize, batch: usize) -> (Vec<f32>, BatchCache) {
+        match self {
+            SeqModel::Lstm(m) => {
+                let (out, c) = m.forward_batch_cached(xs, t, batch);
+                (out, BatchCache::Lstm(c))
+            }
+            SeqModel::Gru(m) => {
+                let (out, c) = m.forward_batch_cached(xs, t, batch);
+                (out, BatchCache::Gru(c))
+            }
+            _ => {
+                let in_dim = self.in_dim();
+                let d = self.out_dim();
+                debug_assert_eq!(xs.len(), batch * t * in_dim);
+                let mut out = vec![0.0f32; batch * d];
+                let mut caches = Vec::with_capacity(batch);
+                for s in 0..batch {
+                    let (y, c) = self.forward(&xs[s * t * in_dim..(s + 1) * t * in_dim], t);
+                    out[s * d..(s + 1) * d].copy_from_slice(&y);
+                    caches.push(c);
+                }
+                (out, BatchCache::PerSeq(caches))
+            }
+        }
+    }
+
+    /// Batched backward: BPTT over all `batch` sequences from
+    /// per-sequence upstream gradients `douts` (sequence-major
+    /// `batch x out_dim`), accumulating into `grads`.
+    ///
+    /// The accumulated gradients are bit-identical to calling the
+    /// scalar [`SeqModel::backward`] once per sequence, in batch order,
+    /// into the same buffer — so a batched training step computes
+    /// exactly the scalar step's gradient sum, only on batch-major
+    /// (vectorizable, weight-reusing) kernels.
+    ///
+    /// Panics if `cache` does not match the architecture.
+    pub fn backward_batch(
+        &self,
+        xs: &[f32],
+        t: usize,
+        batch: usize,
+        cache: &BatchCache,
+        douts: &[f32],
+        grads: &mut [f32],
+    ) {
+        debug_assert_eq!(douts.len(), batch * self.out_dim());
+        match (self, cache) {
+            (SeqModel::Lstm(m), BatchCache::Lstm(c)) => {
+                debug_assert_eq!((c.t_steps(), c.batch()), (t, batch));
+                m.backward_batch(xs, c, douts, grads);
+            }
+            (SeqModel::Gru(m), BatchCache::Gru(c)) => {
+                debug_assert_eq!((c.t_steps(), c.batch()), (t, batch));
+                m.backward_batch(xs, c, douts, grads);
+            }
+            (_, BatchCache::PerSeq(caches)) => {
+                assert_eq!(caches.len(), batch, "cache batch size mismatch");
+                let in_dim = self.in_dim();
+                let d = self.out_dim();
+                for (s, c) in caches.iter().enumerate() {
+                    self.backward(
+                        &xs[s * t * in_dim..(s + 1) * t * in_dim],
+                        t,
+                        c,
+                        &douts[s * d..(s + 1) * d],
+                        grads,
+                    );
+                }
+            }
+            _ => panic!("batch cache does not match model architecture"),
         }
     }
 

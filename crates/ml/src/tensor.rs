@@ -113,18 +113,57 @@ fn lane_block<const L: usize>(
 }
 
 /// `x_grad += W^T y` for row-major `W: rows x cols`.
+///
+/// Deliberately dense (no skip of `y[r] == 0.0` rows): the batch-major
+/// [`gemm_bm_t_acc`] must be bit-identical to this routine per
+/// sequence, and zero entries in `y` *do* occur structurally (saturated
+/// gates make backward deltas exactly zero), so a zero-skip here would
+/// make the two paths diverge on `-0.0` accumulator states. Adding the
+/// `w * 0.0` terms keeps both paths on the same addition sequence.
 #[inline]
 pub fn gemv_t_acc(w: &[f32], y: &[f32], x_grad: &mut [f32], rows: usize, cols: usize) {
     debug_assert_eq!(w.len(), rows * cols);
     debug_assert_eq!(y.len(), rows);
     debug_assert_eq!(x_grad.len(), cols);
     for (r, &yr) in y.iter().enumerate() {
-        if yr == 0.0 {
-            continue;
-        }
         let row = &w[r * cols..(r + 1) * cols];
         for (g, &wv) in x_grad.iter_mut().zip(row) {
             *g += wv * yr;
+        }
+    }
+}
+
+/// Batch-major `X_grad += W^T Y` for row-major `W: rows x cols`,
+/// batch-major `Y: rows x batch` and `X_grad: cols x batch` (entry
+/// `[k][s]` at `k * batch + s`, as in [`gemm_bm_acc`]).
+///
+/// This is [`gemv_t_acc`] amortized over a batch: `W` is traversed once
+/// for all `batch` sequences, and the inner loop runs over the
+/// contiguous batch dimension with a loop-invariant weight, so it
+/// vectorizes. Each lane receives exactly the addition sequence of
+/// `gemv_t_acc` (rows ascending, accumulating directly into `X_grad`),
+/// so results are bit-identical to `batch` independent `gemv_t_acc`
+/// calls — the contract the batched backward pass is built on.
+#[inline]
+pub fn gemm_bm_t_acc(
+    w: &[f32],
+    y_bm: &[f32],
+    x_grad_bm: &mut [f32],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(y_bm.len(), rows * batch);
+    debug_assert_eq!(x_grad_bm.len(), cols * batch);
+    for r in 0..rows {
+        let yrow = &y_bm[r * batch..(r + 1) * batch];
+        let wrow = &w[r * cols..(r + 1) * cols];
+        for (c, &wv) in wrow.iter().enumerate() {
+            let xg = &mut x_grad_bm[c * batch..(c + 1) * batch];
+            for (g, &yv) in xg.iter_mut().zip(yrow) {
+                *g += wv * yv;
+            }
         }
     }
 }
@@ -279,6 +318,40 @@ mod tests {
         gemv_t_acc(&w, &y, &mut xg, 2, 3);
         // W^T y = [1*2+3*(-1), -2*2+4*(-1), 0.5*2 -1*(-1)]
         assert_eq!(xg, [-1., -8., 2.]);
+    }
+
+    #[test]
+    fn gemm_bm_t_is_bit_identical_to_per_sequence_gemv_t() {
+        // 3x4 weights, batch of 5; include exact zeros in Y (the
+        // saturated-gate case) to pin the dense-accumulation contract.
+        let w: Vec<f32> = (0..12).map(|i| (i as f32 - 5.5) * 0.27).collect();
+        let (rows, cols, batch) = (3usize, 4usize, 5usize);
+        let ys: Vec<Vec<f32>> = vec![
+            vec![0.3, -1.1, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-0.5, 2.0, 1.5],
+            vec![1e-4, -1e-4, 0.0],
+            vec![0.9, 0.9, -0.9],
+        ];
+        let mut y_bm = vec![0.0f32; rows * batch];
+        for (s, y) in ys.iter().enumerate() {
+            for (r, &v) in y.iter().enumerate() {
+                y_bm[r * batch + s] = v;
+            }
+        }
+        let mut xg_bm = vec![0.0f32; cols * batch];
+        gemm_bm_t_acc(&w, &y_bm, &mut xg_bm, rows, cols, batch);
+        for (s, y) in ys.iter().enumerate() {
+            let mut xg = vec![0.0f32; cols];
+            gemv_t_acc(&w, y, &mut xg, rows, cols);
+            for c in 0..cols {
+                assert_eq!(
+                    xg_bm[c * batch + s].to_bits(),
+                    xg[c].to_bits(),
+                    "col {c} seq {s}"
+                );
+            }
+        }
     }
 
     #[test]

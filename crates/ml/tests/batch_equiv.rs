@@ -1,9 +1,16 @@
-//! Batched-forward equivalence: `forward_batch` must be invisible to
-//! results — every sequence in a batch produces *bit-identical* output
-//! to an independent `forward` call, for every architecture and any
-//! batch size. This is the correctness contract the inference server's
-//! micro-batching engine is built on (`gradcheck`-style: the batched
-//! path is verified against the reference path, not against itself).
+//! Batched equivalence: batching must be invisible to results.
+//!
+//! Forward: every sequence of a `forward_batch` (and of its caching
+//! twin `forward_batch_cached`) produces *bit-identical* output to an
+//! independent `forward` call, for every architecture and any batch
+//! size — the contract the inference server's micro-batching engine is
+//! built on.
+//!
+//! Backward: `backward_batch` accumulates gradients *bit-identical* to
+//! running the scalar `backward` once per sequence in batch order into
+//! the same buffer — the contract the batched training step is built
+//! on (it is what makes a batched trainer checkpoint byte-identical to
+//! a scalar one).
 
 use perfvec_ml::seq::SeqModel;
 
@@ -58,6 +65,85 @@ fn every_sequence_of_a_batch_is_bit_identical_to_forward() {
                 );
             }
         }
+    }
+}
+
+/// Deterministic upstream gradients, distinct per sequence and feature
+/// (alternating signs so post-LN architectures see non-null probes).
+fn batch_douts(batch: usize, d: usize) -> Vec<f32> {
+    (0..batch * d)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0xd134_2543_de82_ef95).wrapping_add(0x9e37);
+            ((x >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn cached_batched_forward_is_bit_identical_to_forward_batch() {
+    let (in_dim, d, t) = (6, 8, 5);
+    for batch in [1usize, 3, 8, 17] {
+        let xs = batch_inputs(batch, t, in_dim);
+        for m in all_models(in_dim, d, t) {
+            let plain = m.forward_batch(&xs, t, batch);
+            let (cached, _) = m.forward_batch_cached(&xs, t, batch);
+            assert_eq!(plain, cached, "{} batch {batch}", m.describe());
+        }
+    }
+}
+
+#[test]
+fn backward_batch_is_bit_identical_to_per_sequence_backward() {
+    let (in_dim, d, t) = (6, 8, 5);
+    for batch in [1usize, 2, 3, 8, 17] {
+        let xs = batch_inputs(batch, t, in_dim);
+        let douts = batch_douts(batch, d);
+        for m in all_models(in_dim, d, t) {
+            // Reference: scalar backward per sequence, in batch order,
+            // accumulating into one shared buffer.
+            let mut g_ref = vec![0.0f32; m.num_params()];
+            for s in 0..batch {
+                let seq = &xs[s * t * in_dim..(s + 1) * t * in_dim];
+                let (_, cache) = m.forward(seq, t);
+                m.backward(seq, t, &cache, &douts[s * d..(s + 1) * d], &mut g_ref);
+            }
+            // Batched: one cached forward + one batch-major backward.
+            let (_, bcache) = m.forward_batch_cached(&xs, t, batch);
+            let mut g_bat = vec![0.0f32; m.num_params()];
+            m.backward_batch(&xs, t, batch, &bcache, &douts, &mut g_bat);
+            for (p, (a, b)) in g_ref.iter().zip(&g_bat).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} batch {batch} param {p}: scalar {a} vs batched {b}",
+                    m.describe()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn backward_batch_of_deeper_recurrent_stacks_stays_bit_identical() {
+    let (in_dim, d, t, batch) = (4, 6, 7, 5);
+    let xs = batch_inputs(batch, t, in_dim);
+    let douts = batch_douts(batch, d);
+    for m in [SeqModel::lstm(in_dim, d, 3, 11), SeqModel::gru(in_dim, d, 3, 13)] {
+        let mut g_ref = vec![0.0f32; m.num_params()];
+        for s in 0..batch {
+            let seq = &xs[s * t * in_dim..(s + 1) * t * in_dim];
+            let (_, cache) = m.forward(seq, t);
+            m.backward(seq, t, &cache, &douts[s * d..(s + 1) * d], &mut g_ref);
+        }
+        let (_, bcache) = m.forward_batch_cached(&xs, t, batch);
+        let mut g_bat = vec![0.0f32; m.num_params()];
+        m.backward_batch(&xs, t, batch, &bcache, &douts, &mut g_bat);
+        assert_eq!(
+            g_ref.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+            g_bat.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+            "{}",
+            m.describe()
+        );
     }
 }
 

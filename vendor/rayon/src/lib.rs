@@ -147,6 +147,85 @@ impl RangeParIter {
     }
 }
 
+/// Ordered parallel iteration over fixed-size contiguous sub-ranges of
+/// a `Range<usize>` (see [`RangeParIter::chunk_ranges`]).
+pub struct ChunkRangesParIter {
+    range: Range<usize>,
+    size: usize,
+}
+
+impl ChunkRangesParIter {
+    /// Map each chunk range to a value; chunks are distributed over up
+    /// to one worker thread per chunk (capped at the core count) and
+    /// the results are collected in chunk-index order, so the output —
+    /// and any order-sensitive reduction the caller performs over it —
+    /// is independent of how many threads actually ran.
+    ///
+    /// At top level the chunks genuinely run on spawned workers; only
+    /// when the caller is *itself* a worker of an enclosing parallel
+    /// region does this degrade to a sequential loop on the calling
+    /// thread (the nested-parallelism guard, preventing a cores² thread
+    /// explosion).
+    pub fn map<T, F>(self, f: F) -> Mapped<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let n = self.range.end - self.range.start;
+        if n == 0 {
+            return Mapped { items: Vec::new() };
+        }
+        let mut chunk_list: Vec<Range<usize>> = Vec::new();
+        let mut start = self.range.start;
+        while start < self.range.end {
+            let end = (start + self.size).min(self.range.end);
+            chunk_list.push(start..end);
+            start = end;
+        }
+        let parts = threads_for(chunk_list.len());
+        if parts == 1 {
+            return Mapped { items: chunk_list.into_iter().map(&f).collect() };
+        }
+        // Contiguous groups of chunk indices per worker; joining in
+        // worker order keeps the overall output in chunk order.
+        let groups = chunks(0..chunk_list.len(), parts);
+        let (f, chunk_list) = (&f, &chunk_list);
+        let items = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    s.spawn(move || {
+                        enter_worker();
+                        group.map(|c| f(chunk_list[c].clone())).collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            let mut items = Vec::with_capacity(chunk_list.len());
+            for h in handles {
+                items.extend(h.join().expect("rayon stand-in worker panicked"));
+            }
+            items
+        });
+        Mapped { items }
+    }
+}
+
+impl RangeParIter {
+    /// Split the range into fixed-`size` contiguous chunk ranges
+    /// (the last may be shorter) processed in parallel, one result per
+    /// chunk, collected in chunk order.
+    ///
+    /// This is the lane-chunk primitive batch-major training steps are
+    /// built on: because the chunk boundaries depend only on `size` —
+    /// never on the core count — a caller that reduces the per-chunk
+    /// results left-to-right gets a bit-deterministic total on any
+    /// machine.
+    pub fn chunk_ranges(self, size: usize) -> ChunkRangesParIter {
+        assert!(size >= 1, "chunk size must be at least 1");
+        ChunkRangesParIter { range: self.range, size }
+    }
+}
+
 impl<Acc> Folded<Acc> {
     /// Combine the per-worker accumulators left-to-right, starting from
     /// `identity()` — matching rayon's `fold(..).reduce(..)` contract.
@@ -226,6 +305,87 @@ mod tests {
             let want: u64 = (0..100).map(|m| (p * 100 + m) as u64).sum();
             assert_eq!(got, want, "program {p}");
         }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_the_range_in_order() {
+        let got: Vec<std::ops::Range<usize>> =
+            (3..30usize).into_par_iter().chunk_ranges(8).map(|r| r).collect();
+        assert_eq!(got, vec![3..11, 11..19, 19..27, 27..30]);
+        let empty: Vec<std::ops::Range<usize>> =
+            (5..5usize).into_par_iter().chunk_ranges(4).map(|r| r).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_actually_parallelise_at_top_level() {
+        // The no-silent-sequential-fallback contract: at top level, a
+        // multi-chunk iteration must run on spawned workers whenever
+        // the machine has more than one core (on a single-core machine
+        // one worker is the correct degree, so only the non-fallback
+        // path itself is asserted there).
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let ids: Vec<std::thread::ThreadId> =
+            (0..64usize).into_par_iter().chunk_ranges(4).map(|_| std::thread::current().id()).collect();
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        if cores > 1 {
+            assert!(distinct.len() > 1, "expected parallel workers, saw one thread");
+            assert!(!ids.contains(&std::thread::current().id()), "chunks ran inline");
+        } else {
+            assert_eq!(distinct.len(), 1);
+        }
+    }
+
+    #[test]
+    fn nested_chunk_ranges_degrade_to_sequential_on_worker_threads() {
+        // Guard-honesty regression: a chunked iteration launched from
+        // inside an enclosing parallel region must run inline on the
+        // worker (no cores² explosion) and still produce exact,
+        // chunk-ordered results.
+        let per_outer: Vec<(bool, u64)> = (0..4usize)
+            .into_par_iter()
+            .map(|p| {
+                let outer_id = std::thread::current().id();
+                let partials: Vec<(std::thread::ThreadId, u64)> = (0..40usize)
+                    .into_par_iter()
+                    .chunk_ranges(8)
+                    .map(|r| {
+                        (std::thread::current().id(), r.map(|i| (p * 40 + i) as u64).sum())
+                    })
+                    .collect();
+                let inline = partials.iter().all(|(id, _)| *id == outer_id);
+                (inline, partials.iter().map(|(_, s)| s).sum())
+            })
+            .collect();
+        for (p, &(inline, got)) in per_outer.iter().enumerate() {
+            let want: u64 = (0..40).map(|i| (p * 40 + i) as u64).sum();
+            assert_eq!(got, want, "outer {p}");
+            let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+            if cores > 1 {
+                assert!(inline, "outer {p}: nested chunks escaped the worker guard");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_results_are_identical_at_any_worker_count() {
+        // Chunk boundaries depend only on the chunk size, so an
+        // in-order float reduction over the chunk results is the same
+        // bit pattern no matter how many workers ran: compare a nested
+        // (sequential, guard-degraded) run against a top-level run.
+        let sum_chunked = || -> f32 {
+            (0..100usize)
+                .into_par_iter()
+                .chunk_ranges(8)
+                .map(|r| r.map(|i| (i as f32).sqrt() * 0.1).sum::<f32>())
+                .collect::<Vec<f32>>()
+                .iter()
+                .fold(0.0f32, |a, &b| a + b)
+        };
+        let top_level = sum_chunked();
+        let nested: Vec<f32> =
+            (0..1usize).into_par_iter().map(|_| sum_chunked()).collect();
+        assert_eq!(top_level.to_bits(), nested[0].to_bits());
     }
 
     #[test]
