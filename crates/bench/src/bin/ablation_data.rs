@@ -1,136 +1,12 @@
-//! **Section V-B, training-data volume ablation.**
+//! `ablation_data` — thin shim over the spec-driven runner (Section V-B training-data volume ablation).
 //!
-//! Two sweeps, as in the paper: (a) fraction of training instructions
-//! (10% / 50% / 100%) — errors should fall monotonically; (b) number of
-//! sampled training microarchitectures (20 vs 77) — fewer machines
-//! should hurt *unseen-microarchitecture* error more than unseen-program
-//! error.
+//! Equivalent to `perfvec run ablation_data` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::finetune::{learn_march_reps, FinetuneConfig};
-use perfvec::compose::program_representation;
-use perfvec::predict::evaluate_program;
-use perfvec::trainer::train_foundation;
-use perfvec_bench::cache::{workload_datasets, DatasetCache};
-use perfvec_bench::pipeline::{subset_mean, suite_datasets_at};
-use perfvec_bench::{chart::bar_chart, Scale};
-use perfvec_sim::sample::{training_population, unseen_population};
-use perfvec_trace::features::FeatureMask;
-use perfvec_trace::ProgramData;
-use perfvec_workloads::{suite, SuiteRole, Workload};
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn eval_unseen_programs(
-    trained: &perfvec::trainer::TrainedFoundation,
-    test: &[ProgramData],
-) -> f64 {
-    let rows: Vec<_> = test
-        .iter()
-        .map(|d| {
-            let rp = program_representation(&trained.foundation, &d.features);
-            let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-            evaluate_program(&d.name, false, &rp, &trained.foundation, &trained.march_table, &truths)
-        })
-        .collect();
-    subset_mean(&rows, false)
-}
-
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    let trace_len = scale.trace_len() / 2;
-    eprintln!("[ablation_data] generating datasets ({trace_len} instrs/program)...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_at(&configs, trace_len, FeatureMask::Full);
-    eprintln!(
-        "[ablation_data] datasets ready in {:.1}s ({})",
-        t_data.elapsed().as_secs_f64(),
-        cstats.summary()
-    );
-    let mut cfg = scale.train_config();
-    cfg.epochs /= 2;
-    cfg.windows_per_epoch /= 2;
-
-    // --- (a) instruction-volume sweep ---
-    let mut series = Vec::new();
-    for pct in [10usize, 50, 100] {
-        let subset: Vec<ProgramData> =
-            data.train.iter().map(|d| d.truncated(d.len() * pct / 100)).collect();
-        let trained = train_foundation(&subset, &cfg);
-        let err = eval_unseen_programs(&trained, &data.test);
-        eprintln!("[ablation_data] {pct:>3}% of instructions -> unseen error {:.1}%", err * 100.0);
-        series.push((format!("{pct}% instrs"), err * 100.0));
-    }
-    println!(
-        "{}",
-        bar_chart("Training-data volume: unseen-program error vs instruction count", "%", &series)
-    );
-
-    // --- (b) microarchitecture-count sweep: 20 vs 77 machines ---
-    eprintln!("[ablation_data] microarchitecture-count sweep (20 vs 77)...");
-    let t_sweep = std::time::Instant::now();
-    let cache = DatasetCache::from_env_and_args();
-    let unseen_m = unseen_population(scale.march_seed());
-    let tuning_workloads: Vec<Workload> =
-        suite().into_iter().filter(|w| w.role == SuiteRole::Training).take(3).collect();
-    let (tuning_full, ustats) =
-        workload_datasets(&cache, &tuning_workloads, trace_len, &unseen_m, FeatureMask::Full);
-    let testing_workloads: Vec<Workload> =
-        suite().into_iter().filter(|w| w.role == SuiteRole::Testing).collect();
-    let (test_unseen_m, vstats) =
-        workload_datasets(&cache, &testing_workloads, trace_len, &unseen_m, FeatureMask::Full);
-    {
-        let mut s = ustats;
-        s.absorb(vstats);
-        eprintln!(
-            "[ablation_data] unseen-machine datasets ready in {:.1}s ({})",
-            t_sweep.elapsed().as_secs_f64(),
-            s.summary()
-        );
-    }
-
-    let mut table = Vec::new();
-    for k in [20usize, 77] {
-        let keep: Vec<usize> = (0..k).collect();
-        let subset: Vec<ProgramData> =
-            data.train.iter().map(|d| d.with_march_subset(&keep)).collect();
-        let trained = train_foundation(&subset, &cfg);
-        // unseen programs, seen machines
-        let prog_err = eval_unseen_programs(&trained, &{
-            data.test.iter().map(|d| d.with_march_subset(&keep)).collect::<Vec<_>>()
-        });
-        // unseen machines: fine-tune reps, evaluate unseen programs
-        let (ft_table, _) =
-            learn_march_reps(&trained.foundation, &tuning_full, &FinetuneConfig::default());
-        let march_err = {
-            let rows: Vec<_> = test_unseen_m
-                .iter()
-                .map(|d| {
-                    let rp = program_representation(&trained.foundation, &d.features);
-                    let truths: Vec<f64> =
-                        (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-                    evaluate_program(&d.name, false, &rp, &trained.foundation, &ft_table, &truths)
-                })
-                .collect();
-            subset_mean(&rows, false)
-        };
-        eprintln!(
-            "[ablation_data] {k} machines -> unseen-program {:.1}%, unseen-march {:.1}%",
-            prog_err * 100.0,
-            march_err * 100.0
-        );
-        table.push((k, prog_err, march_err));
-    }
-    println!("== Microarchitecture-count ablation ==");
-    println!("{:>10} {:>22} {:>22}", "machines", "unseen-program error", "unseen-march error");
-    for (k, p, m) in &table {
-        println!("{:>10} {:>21.1}% {:>21.1}%", k, p * 100.0, m * 100.0);
-    }
-    let d_prog = table[0].1 - table[1].1;
-    let d_march = table[0].2 - table[1].2;
-    println!(
-        "dropping 77 -> 20 machines costs {:+.1}pp on unseen programs, {:+.1}pp on unseen machines",
-        d_prog * 100.0,
-        d_march * 100.0
-    );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::AblationData)
 }

@@ -1,93 +1,12 @@
-//! **Section V-B, microarchitecture-independent feature ablation.**
+//! `ablation_features` — thin shim over the spec-driven runner (Section V-B memory/branch feature ablation).
 //!
-//! Trains the default foundation model with and without the memory
-//! (stack-distance) and branch-predictability (entropy) features. The
-//! paper reports unseen-program error soaring from 5.5% to 17.0% (~3x)
-//! without them; the reproduction should show the same multiple.
+//! Equivalent to `perfvec run ablation_features` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::compose::program_representation;
-use perfvec::predict::evaluate_program;
-use perfvec::trainer::train_foundation;
-use perfvec_bench::chart::bar_chart;
-use perfvec_bench::pipeline::{subset_mean, suite_datasets_at};
-use perfvec_bench::Scale;
-use perfvec_sim::sample::training_population;
-use perfvec_trace::features::{FeatureMask, BRANCH_FEATURES, MEM_FEATURES};
-use perfvec_trace::ProgramData;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-/// Zero the memory/branch feature block of an existing dataset (the
-/// targets are identical, so there is no need to re-simulate).
-fn masked(d: &ProgramData) -> ProgramData {
-    let mut out = d.clone();
-    for i in 0..out.features.rows {
-        let row = out.features.row_mut(i);
-        row[MEM_FEATURES.start..BRANCH_FEATURES.end].fill(0.0);
-    }
-    out
-}
-
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    let trace_len = scale.trace_len() / 2;
-    eprintln!("[ablation_features] generating datasets...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_at(&configs, trace_len, FeatureMask::Full);
-    let data_secs = t_data.elapsed().as_secs_f64();
-    eprintln!("[ablation_features] datasets ready in {data_secs:.1}s ({})", cstats.summary());
-    let mut cfg = scale.train_config();
-    cfg.epochs /= 2;
-    cfg.windows_per_epoch /= 2;
-
-    let eval = |trained: &perfvec::trainer::TrainedFoundation, test: &[ProgramData]| -> f64 {
-        let rows: Vec<_> = test
-            .iter()
-            .map(|d| {
-                let rp = program_representation(&trained.foundation, &d.features);
-                let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-                evaluate_program(
-                    &d.name,
-                    false,
-                    &rp,
-                    &trained.foundation,
-                    &trained.march_table,
-                    &truths,
-                )
-            })
-            .collect();
-        subset_mean(&rows, false)
-    };
-
-    eprintln!("[ablation_features] training with all 51 features...");
-    let t_full = std::time::Instant::now();
-    let full = train_foundation(&data.train, &cfg);
-    let full_err = eval(&full, &data.test);
-    eprintln!(
-        "[ablation_features] full-feature model in {:.1}s; training without memory/branch features...",
-        t_full.elapsed().as_secs_f64()
-    );
-    let masked_train: Vec<ProgramData> = data.train.iter().map(masked).collect();
-    let masked_test: Vec<ProgramData> = data.test.iter().map(masked).collect();
-    let ablated = train_foundation(&masked_train, &cfg);
-    let ablated_err = eval(&ablated, &masked_test);
-
-    println!(
-        "{}",
-        bar_chart(
-            "Feature ablation: mean unseen-program error",
-            "%",
-            &[
-                ("all 51 features".to_string(), full_err * 100.0),
-                ("no memory/branch feats".to_string(), ablated_err * 100.0),
-            ]
-        )
-    );
-    println!(
-        "removing stack-distance + branch-entropy features: {:.1}% -> {:.1}% ({:.1}x)",
-        full_err * 100.0,
-        ablated_err * 100.0,
-        ablated_err / full_err.max(1e-9)
-    );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::AblationFeatures)
 }

@@ -1,63 +1,12 @@
-//! **Figure 3**: performance-prediction accuracy for seen and unseen
-//! programs on the 77 seen microarchitectures.
+//! `fig3` — thin shim over the spec-driven runner (Figure 3: prediction error, seen + unseen programs, seen machines).
 //!
-//! Protocol (paper Section V-A): train the default foundation model on
-//! the 9 training programs x 77 sampled machines; evaluate predicted
-//! total execution time per (program, machine) pair against the
-//! simulator for all 17 programs. Expected shape: seen-program errors
-//! low, unseen errors higher but mostly moderate, with `519.lbm-like` as
-//! the generalization outlier (fixed by Figure 4).
+//! Equivalent to `perfvec run fig3` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec_bench::chart::error_chart;
-use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets_stats, train_and_refit};
-use perfvec_bench::Scale;
-use perfvec_sim::sample::training_population;
-use perfvec_trace::features::FeatureMask;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    eprintln!("[fig3] generating datasets (17 programs x 77 microarchitectures)...");
-    let configs = training_population(scale.march_seed());
-    // Each phase gets its own instant: `t0` measures the whole run, so
-    // reusing it per phase would misattribute earlier phases' time.
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
-    let data_secs = t_data.elapsed().as_secs_f64();
-    eprintln!(
-        "[fig3] datasets ready in {data_secs:.1}s ({}); training foundation model...",
-        cstats.summary()
-    );
-
-    let cfg = scale.train_config();
-    let t_train = std::time::Instant::now();
-    let trained = train_and_refit(&data, &cfg);
-    let train_secs = t_train.elapsed().as_secs_f64();
-    eprintln!(
-        "[fig3] trained {} in {:.1}s (best epoch {}, val loss {:.4})",
-        trained.foundation.describe(),
-        trained.report.wall_seconds,
-        trained.report.best_epoch,
-        trained.report.val_loss[trained.report.best_epoch as usize],
-    );
-
-    let t_eval = std::time::Instant::now();
-    let rows = eval_seen_unseen(&trained, &data);
-    let eval_secs = t_eval.elapsed().as_secs_f64();
-    println!(
-        "{}",
-        error_chart("Figure 3: prediction error, seen + unseen programs, seen microarchitectures", &rows)
-    );
-    println!(
-        "seen-program mean error   {:>5.1}%",
-        subset_mean(&rows, true) * 100.0
-    );
-    println!(
-        "unseen-program mean error {:>5.1}%",
-        subset_mean(&rows, false) * 100.0
-    );
-    println!(
-        "total wall time {:.1}s (datasets {data_secs:.1}s, training+refit {train_secs:.1}s, eval {eval_secs:.1}s)",
-        t0.elapsed().as_secs_f64(),
-    );
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Fig3)
 }

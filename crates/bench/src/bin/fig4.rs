@@ -1,77 +1,12 @@
-//! **Figure 4**: prediction accuracy after moving `519.lbm-like` into
-//! the training set.
+//! `fig4` — thin shim over the spec-driven runner (Figure 4: accuracy after moving 519.lbm-like into training).
 //!
-//! The paper's hypothesis test: lbm's high unseen error comes from the
-//! training data lacking coverage of its instruction-combination
-//! scenarios, so retraining with lbm included should collapse its error
-//! (and help other programs). This binary trains twice — the Table II
-//! split, then the updated split — and prints both, with deltas.
+//! Equivalent to `perfvec run fig4` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec_bench::chart::error_chart;
-use perfvec_bench::pipeline::{eval_seen_unseen, subset_mean, suite_datasets_stats, train_and_refit, SuiteData};
-use perfvec_bench::Scale;
-use perfvec_sim::sample::training_population;
-use perfvec_trace::features::FeatureMask;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    eprintln!("[fig4] generating datasets...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
-    let data_secs = t_data.elapsed().as_secs_f64();
-    eprintln!("[fig4] datasets ready in {data_secs:.1}s ({})", cstats.summary());
-    let cfg = scale.train_config();
-
-    eprintln!("[fig4] training on the Table II split (lbm unseen)...");
-    let t_train = std::time::Instant::now();
-    let base = train_and_refit(&data, &cfg);
-    let base_secs = t_train.elapsed().as_secs_f64();
-    let base_rows = eval_seen_unseen(&base, &data);
-
-    // Move lbm into the training set.
-    let mut train = data.train.clone();
-    let mut test = Vec::new();
-    for d in &data.test {
-        if d.name.contains("lbm") {
-            train.push(d.clone());
-        } else {
-            test.push(d.clone());
-        }
-    }
-    let moved = SuiteData { train, test };
-    eprintln!("[fig4] base model in {base_secs:.1}s; retraining with 519.lbm-like in the training set...");
-    let t_retrain = std::time::Instant::now();
-    let updated = train_and_refit(&moved, &cfg);
-    let retrain_secs = t_retrain.elapsed().as_secs_f64();
-    let rows = eval_seen_unseen(&updated, &moved);
-
-    let lbm_before = base_rows
-        .iter()
-        .find(|r| r.program.contains("lbm"))
-        .map(|r| r.mean)
-        .unwrap_or(f64::NAN);
-    let lbm_after =
-        rows.iter().find(|r| r.program.contains("lbm")).map(|r| r.mean).unwrap_or(f64::NAN);
-
-    println!(
-        "{}",
-        error_chart("Figure 4: accuracy after moving 519.lbm-like into training", &rows)
-    );
-    println!("519.lbm-like mean error: {:.1}% (unseen) -> {:.1}% (seen)", lbm_before * 100.0, lbm_after * 100.0);
-    println!(
-        "unseen mean error: {:.1}% (before) -> {:.1}% (after, excl. lbm)",
-        subset_mean(&base_rows, false) * 100.0,
-        subset_mean(&rows, false) * 100.0
-    );
-    println!(
-        "seen mean error: {:.1}% (before) -> {:.1}% (after)",
-        subset_mean(&base_rows, true) * 100.0,
-        subset_mean(&rows, true) * 100.0
-    );
-    println!(
-        "total wall time {:.1}s (datasets {data_secs:.1}s, base training {base_secs:.1}s, retraining {retrain_secs:.1}s)",
-        t0.elapsed().as_secs_f64()
-    );
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Fig4)
 }

@@ -1,79 +1,12 @@
-//! **Figure 5**: prediction accuracy on *unseen microarchitectures*.
+//! `fig5` — thin shim over the spec-driven runner (Figure 5: prediction error on unseen microarchitectures).
 //!
-//! Protocol (paper Section V-A): sample 10 fresh machines never used in
-//! training; obtain a small tuning dataset by simulating a few *seen*
-//! programs on them; learn their representations with the foundation
-//! model frozen (fine-tuning); then predict every program's time on the
-//! unseen machines.
+//! Equivalent to `perfvec run fig5` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::compose::program_representation;
-use perfvec::finetune::{learn_march_reps, FinetuneConfig};
-use perfvec::predict::evaluate_program;
-use perfvec_bench::cache::{workload_datasets, DatasetCache};
-use perfvec_bench::chart::error_chart;
-use perfvec_bench::pipeline::{subset_mean, suite_datasets_stats, train_and_refit};
-use perfvec_bench::Scale;
-use perfvec_sim::sample::{training_population, unseen_population};
-use perfvec_trace::features::FeatureMask;
-use perfvec_workloads::{suite, SuiteRole, Workload};
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    eprintln!("[fig5] generating datasets + training foundation...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
-    let data_secs = t_data.elapsed().as_secs_f64();
-    eprintln!("[fig5] datasets ready in {data_secs:.1}s ({})", cstats.summary());
-    let t_train = std::time::Instant::now();
-    let trained = train_and_refit(&data, &scale.train_config());
-    let train_secs = t_train.elapsed().as_secs_f64();
-
-    // 10 fresh machines; tuning data = 3 seen programs simulated on them.
-    let cache = DatasetCache::from_env_and_args();
-    let unseen = unseen_population(scale.march_seed());
-    eprintln!("[fig5] fine-tuning representations of {} unseen machines...", unseen.len());
-    let t_ft = std::time::Instant::now();
-    let tuning_workloads: Vec<Workload> =
-        suite().into_iter().filter(|w| w.role == SuiteRole::Training).take(3).collect();
-    let (tuning, tstats) =
-        workload_datasets(&cache, &tuning_workloads, scale.trace_len(), &unseen, FeatureMask::Full);
-    let ft = FinetuneConfig { windows: 5_000, epochs: 40, ..Default::default() };
-    let (march_table, ft_loss) = learn_march_reps(&trained.foundation, &tuning, &ft);
-    let ft_secs = t_ft.elapsed().as_secs_f64();
-    eprintln!(
-        "[fig5] fine-tuned in {ft_secs:.1}s (final loss {ft_loss:.4}, tuning {}); evaluating all programs...",
-        tstats.summary()
-    );
-
-    // Evaluate every program on the unseen machines.
-    let t_eval = std::time::Instant::now();
-    let (eval_data, estats) =
-        workload_datasets(&cache, &suite(), scale.trace_len(), &unseen, FeatureMask::Full);
-    let mut rows = Vec::new();
-    for (w, d) in suite().iter().zip(&eval_data) {
-        let rp = program_representation(&trained.foundation, &d.features);
-        let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-        rows.push(evaluate_program(
-            w.name,
-            w.role == SuiteRole::Training,
-            &rp,
-            &trained.foundation,
-            &march_table,
-            &truths,
-        ));
-    }
-    let eval_secs = t_eval.elapsed().as_secs_f64();
-    eprintln!("[fig5] evaluated in {eval_secs:.1}s ({})", estats.summary());
-    println!(
-        "{}",
-        error_chart("Figure 5: prediction error on 10 unseen microarchitectures", &rows)
-    );
-    println!("seen-program mean error   {:>5.1}%", subset_mean(&rows, true) * 100.0);
-    println!("unseen-program mean error {:>5.1}%", subset_mean(&rows, false) * 100.0);
-    println!(
-        "total wall time {:.1}s (datasets {data_secs:.1}s, training {train_secs:.1}s, fine-tune {ft_secs:.1}s, eval {eval_secs:.1}s)",
-        t0.elapsed().as_secs_f64()
-    );
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Fig5)
 }

@@ -1,122 +1,12 @@
-//! **Figure 6**: foundation-model architecture ablation.
+//! `fig6` — thin shim over the spec-driven runner (Figure 6: foundation-architecture ablation).
 //!
-//! Trains every architecture family of the paper's comparison — linear
-//! regression, MLP, GRU, biLSTM, Transformer, and LSTMs of varying depth
-//! and width — under one reduced budget and reports the mean prediction
-//! error across unseen programs. Expected shape: Linear worst,
-//! Transformer near the back, LSTM-2-d sufficient with depth/width
-//! saturating beyond that.
-//!
-//! Stream-capable architectures (the stateful recurrences: LSTM and
-//! GRU) are additionally evaluated through the single-pass streaming
-//! fast path, so the ablation also reports how far the O(n) generator
-//! sits from the exact windowed sum for each of them.
+//! Equivalent to `perfvec run fig6` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::compose::{program_representation, program_representation_streaming};
-use perfvec::foundation::{ArchKind, ArchSpec};
-use perfvec::predict::evaluate_program;
-use perfvec::trainer::train_foundation;
-use perfvec_bench::chart::bar_chart;
-use perfvec_bench::pipeline::suite_datasets_at;
-use perfvec_bench::Scale;
-use perfvec_sim::sample::training_population;
-use perfvec_trace::features::FeatureMask;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    // Reduced budget: the ablation compares architectures *relative* to
-    // one another, so every candidate gets the same smaller dataset and
-    // schedule.
-    let trace_len = scale.trace_len() / 2;
-    eprintln!("[fig6] generating ablation datasets ({trace_len} instrs/program)...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_at(&configs, trace_len, FeatureMask::Full);
-    let data_secs = t_data.elapsed().as_secs_f64();
-    eprintln!("[fig6] datasets ready in {data_secs:.1}s ({})", cstats.summary());
-    let (train, test) = (data.train, data.test);
-
-    let d = 32usize;
-    let candidates: Vec<ArchSpec> = vec![
-        ArchSpec { kind: ArchKind::Linear, layers: 1, dim: d },
-        ArchSpec { kind: ArchKind::Mlp, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::Gru, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::BiLstm, layers: 1, dim: d },
-        ArchSpec { kind: ArchKind::Transformer, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 1, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 3, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 4, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 8 },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 16 },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 64 },
-    ];
-
-    let mut series = Vec::new();
-    for spec in candidates {
-        let mut cfg = scale.train_config();
-        cfg.arch = spec;
-        cfg.epochs /= 2;
-        cfg.windows_per_epoch /= 2;
-        let trained = train_foundation(&train, &cfg);
-        // Evaluate on unseen programs only (what Figure 6 reports);
-        // stream-capable architectures get a second pass through the
-        // single-pass streaming generator for comparison.
-        let streams = trained.foundation.model.supports_streaming();
-        let warmup = 4 * cfg.context;
-        let mut errs = Vec::new();
-        let mut stream_errs = Vec::new();
-        for d in &test {
-            let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-            let rp = program_representation(&trained.foundation, &d.features);
-            let row = evaluate_program(
-                &d.name, false, &rp, &trained.foundation, &trained.march_table, &truths,
-            );
-            errs.push(row.mean);
-            if streams {
-                let srp = program_representation_streaming(
-                    &trained.foundation, &d.features, 512, warmup,
-                )
-                .expect("streaming support checked above");
-                let srow = evaluate_program(
-                    &d.name, false, &srp, &trained.foundation, &trained.march_table, &truths,
-                );
-                stream_errs.push(srow.mean);
-            }
-        }
-        let unseen_err = errs.iter().sum::<f64>() / errs.len() as f64;
-        let name = trained.foundation.model.describe();
-        if streams {
-            let stream_err = stream_errs.iter().sum::<f64>() / stream_errs.len() as f64;
-            eprintln!(
-                "[fig6] {:<18} unseen error {:5.1}%  (streaming fast path {:5.1}%)  ({:.0}s train)",
-                name,
-                unseen_err * 100.0,
-                stream_err * 100.0,
-                trained.report.wall_seconds
-            );
-        } else {
-            eprintln!(
-                "[fig6] {:<18} unseen error {:5.1}%  ({:.0}s train)",
-                name,
-                unseen_err * 100.0,
-                trained.report.wall_seconds
-            );
-        }
-        series.push((name, unseen_err * 100.0));
-    }
-    println!(
-        "{}",
-        bar_chart(
-            "Figure 6: mean unseen-program error by foundation architecture",
-            "%",
-            &series
-        )
-    );
-    println!(
-        "total wall time {:.1}s (datasets {data_secs:.1}s, candidate sweep {:.1}s)",
-        t0.elapsed().as_secs_f64(),
-        t0.elapsed().as_secs_f64() - data_secs
-    );
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Fig6)
 }

@@ -1,151 +1,12 @@
-//! **Figure 7** (+ the Section VI-A DSE workflow): L1/L2 cache-size
-//! design-space exploration.
+//! `fig7` — thin shim over the spec-driven runner (Figure 7: L1/L2 cache design-space exploration).
 //!
-//! Workflow as in the paper: (1) sample a few cache configurations and
-//! simulate three programs on them for a tuning dataset; (2) train a
-//! small MLP microarchitecture-representation model (foundation frozen)
-//! whose inputs are the cache sizes; (3) sweep the full 6x6 grid with
-//! dot products. Exhaustive simulation provides the comparison surface.
-//! Printed for `508.namd-like` (the paper's example) plus summary
-//! statistics over all 17 programs.
+//! Equivalent to `perfvec run fig7` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::compose::program_representation;
-use perfvec::dse::{cache_param_vector, objective, with_cache_sizes, CacheGrid, DseOutcome};
-use perfvec::finetune::cache_representations;
-use perfvec::march_model::{train_march_model, MarchModelConfig};
-use perfvec_bench::cache::{workload_datasets, DatasetCache};
-use perfvec_bench::chart::surface;
-use perfvec_bench::pipeline::{suite_datasets_stats, train_and_refit};
-use perfvec_bench::Scale;
-use perfvec_sim::sample::{predefined_configs, training_population};
-use perfvec_sim::simulate;
-use perfvec_trace::features::{extract_features, FeatureMask};
-use perfvec_workloads::suite;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    eprintln!("[fig7] training foundation model...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
-    let data_secs = t_data.elapsed().as_secs_f64();
-    eprintln!("[fig7] datasets ready in {data_secs:.1}s ({})", cstats.summary());
-    let t_train = std::time::Instant::now();
-    let trained = train_and_refit(&data, &scale.train_config());
-    let train_secs = t_train.elapsed().as_secs_f64();
-    let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
-    let grid = CacheGrid::default();
-    let points = grid.points();
-
-    // --- step 1: tuning dataset: 18 sampled cache configs x 3 programs.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xd5e7);
-    let mut sampled = points.clone();
-    sampled.shuffle(&mut rng);
-    sampled.truncate(18);
-    let tune_configs: Vec<_> =
-        sampled.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
-    let tune_params: Vec<Vec<f32>> =
-        sampled.iter().map(|&(l1, l2)| cache_param_vector(l1, l2)).collect();
-    eprintln!("[fig7] collecting DSE tuning data (18 configs x 3 programs)...");
-    let t_tune = std::time::Instant::now();
-    let cache = DatasetCache::from_env_and_args();
-    let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
-    let (tuning, tstats) = workload_datasets(
-        &cache,
-        &tuning_workloads,
-        scale.trace_len(),
-        &tune_configs,
-        FeatureMask::Full,
-    );
-    eprintln!(
-        "[fig7] tuning data ready in {:.1}s ({})",
-        t_tune.elapsed().as_secs_f64(),
-        tstats.summary()
-    );
-
-    // --- step 2: train the microarchitecture representation model.
-    eprintln!("[fig7] training the cache-size representation model...");
-    let cached = cache_representations(&trained.foundation, &tuning, 5_000, 0x715e);
-    let (march_model, loss) = train_march_model(
-        &cached,
-        &tune_params,
-        trained.foundation.dim(),
-        trained.foundation.target_scale,
-        &MarchModelConfig { epochs: 80, ..Default::default() },
-    );
-    eprintln!("[fig7] representation model trained (loss {loss:.4}); sweeping the grid...");
-
-    // --- step 3: sweep all programs over the full grid.
-    let t_sweep = std::time::Instant::now();
-    let mut outcomes: Vec<DseOutcome> = Vec::new();
-    let mut namd_surfaces: Option<(Vec<f64>, Vec<f64>)> = None;
-    for w in suite() {
-        let trace = w.trace(scale.trace_len());
-        let feats = extract_features(&trace, FeatureMask::Full);
-        let rp = program_representation(&trained.foundation, &feats);
-        let mut true_obj = Vec::with_capacity(points.len());
-        let mut pred_obj = Vec::with_capacity(points.len());
-        for &(l1, l2) in &points {
-            let cfg = with_cache_sizes(&base, l1, l2);
-            let sim_t = simulate(&trace, &cfg).total_tenths;
-            let pred_t = march_model.predict_total_tenths(&rp, &cache_param_vector(l1, l2));
-            true_obj.push(objective(l1, l2, sim_t));
-            pred_obj.push(objective(l1, l2, pred_t.max(0.0)));
-        }
-        let arg_min = |v: &[f64]| {
-            v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
-        };
-        let outcome = DseOutcome {
-            program: w.name.to_string(),
-            true_best: arg_min(&true_obj),
-            pred_best: arg_min(&pred_obj),
-            true_objective: true_obj.clone(),
-            pred_objective: pred_obj.clone(),
-        };
-        if w.name.contains("namd") {
-            namd_surfaces = Some((true_obj, pred_obj));
-        }
-        outcomes.push(outcome);
-    }
-
-    // --- report.
-    let row_labels: Vec<String> = grid.l2_kb.iter().map(|l2| format!("L2 {l2}kB")).collect();
-    let col_labels: Vec<String> = grid.l1_kb.iter().map(|l1| format!("L1 {l1}k")).collect();
-    if let Some((sim_s, pred_s)) = namd_surfaces {
-        println!(
-            "{}",
-            surface("Figure 7a: 508.namd-like objective surface (simulation)", &row_labels, &col_labels, &sim_s)
-        );
-        println!(
-            "{}",
-            surface("Figure 7b: 508.namd-like objective surface (PerfVec)", &row_labels, &col_labels, &pred_s)
-        );
-    }
-    let mut optimal = 0;
-    let mut top2 = 0;
-    let mut top3 = 0;
-    let mut top5 = 0;
-    for o in &outcomes {
-        let rank = o.selected_rank();
-        optimal += (rank == 0) as u32;
-        top2 += (rank < 2) as u32;
-        top3 += (rank < 3) as u32;
-        top5 += (rank < 5) as u32;
-    }
-    let mean_quality: f64 =
-        outcomes.iter().map(|o| o.quality()).sum::<f64>() / outcomes.len() as f64;
-    println!("selected design is optimal for {optimal}/17 programs");
-    println!("within top-2 for {top2}/17, top-3 for {top3}/17, top-5 for {top5}/17");
-    println!(
-        "mean quality (fraction of designs beating the selection): {:.1}%",
-        mean_quality * 100.0
-    );
-    println!(
-        "total wall time {:.1}s (datasets {data_secs:.1}s, training {train_secs:.1}s, grid sweep {:.1}s)",
-        t0.elapsed().as_secs_f64(),
-        t_sweep.elapsed().as_secs_f64()
-    );
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Fig7)
 }

@@ -1,98 +1,12 @@
-//! **Figure 8** (Section VI-B): loop-tiling analysis of matrix multiply.
+//! `fig8` — thin shim over the spec-driven runner (Figure 8: matmul loop-tiling analysis).
 //!
-//! The pre-trained foundation model turns each tile-size variant's trace
-//! into a program representation (no per-variant training); a dot
-//! product against the Cortex-A7-like representation predicts its
-//! execution time. Expected shape: sharp improvement up to tile 4-8 as
-//! SIMD kicks in and loop overhead amortizes, a broad optimum, then
-//! degradation once a tile's working set spills the L1.
+//! Equivalent to `perfvec run fig8` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::compose::program_representation_streaming;
-use perfvec::predict::predict_total_tenths;
-use perfvec_bench::chart::dual_series;
-use perfvec_bench::pipeline::{suite_datasets_stats, train_and_refit};
-use perfvec_bench::Scale;
-use perfvec_isa::Emulator;
-use perfvec_sim::sample::training_population;
-use perfvec_sim::simulate;
-use perfvec_trace::features::{extract_features, FeatureMask};
-use perfvec_workloads::matmul::matmul_tiled;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    eprintln!("[fig8] training foundation model...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
-    let data_secs = t_data.elapsed().as_secs_f64();
-    eprintln!("[fig8] datasets ready in {data_secs:.1}s ({})", cstats.summary());
-    let t_train = std::time::Instant::now();
-    let trained = train_and_refit(&data, &scale.train_config());
-    let train_secs = t_train.elapsed().as_secs_f64();
-    let t_tiles = std::time::Instant::now();
-    // cortex-a7-like is one of the 7 predefined training machines: its
-    // representation comes straight from the learned table.
-    let a7_idx = configs.iter().position(|c| c.name == "cortex-a7-like").unwrap();
-    let a7_rep = trained.march_table.rep(a7_idx).to_vec();
-    let a7 = &configs[a7_idx];
-
-    let n = 64usize;
-    let tiles: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
-    let mut labels = Vec::new();
-    let mut sim_ms = Vec::new();
-    let mut pred_ms = Vec::new();
-    for &tile in &tiles {
-        let prog = matmul_tiled(n, tile);
-        let trace = Emulator::new(&prog).run(20_000_000).expect("matmul executes");
-        assert!(trace.halted, "matmul must run to completion");
-        let sim = simulate(&trace, a7);
-        let feats = extract_features(&trace, FeatureMask::Full);
-        // Streaming representations (LSTM fast path): one recurrent step
-        // per instruction instead of a full window, chunk-parallel.
-        let rp = program_representation_streaming(&trained.foundation, &feats, 8_192, 64)
-            .expect("LSTM foundation streams");
-        let pred = predict_total_tenths(&rp, &a7_rep, trained.foundation.target_scale);
-        eprintln!(
-            "[fig8] tile {tile:>3}: {} instrs, sim {:.3} ms, perfvec {:.3} ms",
-            trace.len(),
-            sim.total_tenths * 1e-7,
-            pred * 1e-7
-        );
-        labels.push(tile.to_string());
-        sim_ms.push(sim.total_tenths * 1e-7);
-        pred_ms.push(pred.max(0.0) * 1e-7);
-    }
-
-    println!(
-        "{}",
-        dual_series(
-            &format!("Figure 8: {n}x{n} matmul execution time (ms) vs tile size on cortex-a7-like"),
-            &labels,
-            "gem5-sub",
-            &sim_ms,
-            "perfvec",
-            &pred_ms
-        )
-    );
-    let best_sim = labels[sim_ms
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .unwrap()
-        .0]
-        .clone();
-    let best_pred = labels[pred_ms
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .unwrap()
-        .0]
-        .clone();
-    println!("optimal tile: {best_sim} (simulation), {best_pred} (PerfVec)");
-    println!(
-        "total wall time {:.1}s (datasets {data_secs:.1}s, training {train_secs:.1}s, tile sweep {:.1}s)",
-        t0.elapsed().as_secs_f64(),
-        t_tiles.elapsed().as_secs_f64()
-    );
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Fig8)
 }

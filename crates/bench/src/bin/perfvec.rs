@@ -1,0 +1,315 @@
+//! `perfvec` — the unified, declarative experiment CLI.
+//!
+//! One binary replaces the 14 ad-hoc harness binaries: every
+//! figure/table/ablation/bench experiment is a [`ExperimentSpec`] that
+//! can be described by flags or loaded from a JSON config file, and
+//! every run emits a schema-versioned JSON report next to its
+//! human-readable output.
+//!
+//! ```text
+//! perfvec run <experiment> [--scale quick|full] [--seed N]
+//!             [--features full|no_mem_branch] [--march-subset 0,3,9..20]
+//!             [--trace-len N] [--no-cache] [--report PATH]
+//!             [--set key=value]...
+//! perfvec run --config FILE        # one spec object, or an array (a sweep)
+//! perfvec list                     # available experiments
+//! perfvec report PATH              # validate + summarize an emitted report
+//! ```
+//!
+//! Unknown subcommands, unknown flags, and malformed values are hard
+//! errors (exit 2): a typo must never silently run a default
+//! experiment.
+
+use perfvec_bench::report::validate;
+use perfvec_bench::runner;
+use perfvec_bench::spec::{
+    parse_mask, parse_param_value, parse_scale, CachePolicy, ExperimentKind, ExperimentSpec,
+};
+use perfvec_json::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+perfvec — declarative PerfVec experiment harness
+
+USAGE:
+    perfvec run <experiment> [flags]   run one experiment
+    perfvec run --config FILE          run spec(s) from a JSON config file
+    perfvec list                       list available experiments
+    perfvec report PATH                validate + summarize a JSON report
+    perfvec help                       show this message
+
+RUN FLAGS:
+    --scale quick|full            experiment scale            [default: quick]
+    --seed N                      march sampling seed         [default: shared population seed]
+    --features full|no_mem_branch feature mask                [default: full]
+    --march-subset LIST           population indices, e.g. 0,3,9..20
+    --trace-len N                 override the dataset trace length
+    --no-cache                    bypass the on-disk dataset cache
+    --report PATH                 report destination          [default: reports/<experiment>.json]
+    --set key=value               kind-specific param (repeatable)
+
+CONFIG FILE:
+    A spec object — {\"experiment\": \"fig3\", \"scale\": \"quick\", ...} — or an
+    array of spec objects, run in order (a sweep). Fields: experiment,
+    scale, seed, features, march_subset, cache, trace_len, report, params.
+";
+
+/// Loud exit: the message, a usage pointer, and exit code 2 (matching
+/// the harness flag-parsing convention in `perfvec_bench::scale`).
+fn die(msg: &str) -> ! {
+    eprintln!("perfvec: {msg}");
+    eprintln!("run `perfvec help` for usage");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("report") => cmd_report(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => die(&format!(
+            "unknown subcommand {other:?} (expected run | list | report | help)"
+        )),
+        None => die("missing subcommand (expected run | list | report | help)"),
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<18} DESCRIPTION", "EXPERIMENT");
+    for kind in ExperimentKind::ALL {
+        println!("{:<18} {}", kind.name(), kind.describe());
+    }
+    println!();
+    println!("run one with: perfvec run <experiment> [flags]");
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        die("report takes exactly one argument: the report path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perfvec: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perfvec: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&parsed) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perfvec: {path} is not a valid report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Expand `0,3,9..20` into indices (`..` is half-open). Bounded well
+/// above any real population so a typo'd range exits 2 instead of
+/// materializing gigabytes of indices before `validate()` can reject
+/// it.
+fn parse_subset(raw: &str) -> Result<Vec<usize>, String> {
+    const MAX_INDEX: usize = 10_000;
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once("..") {
+            let lo: usize =
+                lo.parse().map_err(|_| format!("bad range start {lo:?} in {part:?}"))?;
+            let hi: usize =
+                hi.parse().map_err(|_| format!("bad range end {hi:?} in {part:?}"))?;
+            if hi <= lo {
+                return Err(format!("empty range {part:?}"));
+            }
+            if hi > MAX_INDEX {
+                return Err(format!(
+                    "range end {hi} in {part:?} beyond any population (max {MAX_INDEX})"
+                ));
+            }
+            out.extend(lo..hi);
+        } else {
+            out.push(part.parse().map_err(|_| format!("bad index {part:?}"))?);
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut experiment: Option<ExperimentKind> = None;
+    let mut config: Option<String> = None;
+    let mut scale = None;
+    let mut seed = None;
+    let mut features = None;
+    let mut subset = None;
+    let mut trace_len = None;
+    let mut no_cache = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut params: Vec<(String, Json)> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => die(&format!("missing value for {flag}")),
+            }
+        };
+        match arg.as_str() {
+            "--config" => config = Some(value("--config")),
+            "--scale" => {
+                scale = Some(parse_scale(&value("--scale")).unwrap_or_else(|e| die(&e)))
+            }
+            "--seed" => {
+                let raw = value("--seed");
+                seed = Some(raw.parse::<u64>().unwrap_or_else(|_| {
+                    die(&format!("bad value {raw:?} for --seed"))
+                }));
+            }
+            "--features" => {
+                features =
+                    Some(parse_mask(&value("--features")).unwrap_or_else(|e| die(&e)))
+            }
+            "--march-subset" => {
+                subset =
+                    Some(parse_subset(&value("--march-subset")).unwrap_or_else(|e| die(&e)))
+            }
+            "--trace-len" => {
+                let raw = value("--trace-len");
+                trace_len = Some(raw.parse::<u64>().unwrap_or_else(|_| {
+                    die(&format!("bad value {raw:?} for --trace-len"))
+                }));
+            }
+            "--no-cache" => no_cache = true,
+            "--report" => report_path = Some(PathBuf::from(value("--report"))),
+            "--set" => {
+                let raw = value("--set");
+                let Some((k, v)) = raw.split_once('=') else {
+                    die(&format!("--set takes key=value, got {raw:?}"));
+                };
+                params.push((k.to_string(), parse_param_value(v)));
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other:?}")),
+            name => {
+                if experiment.is_some() {
+                    die(&format!("unexpected extra argument {name:?}"));
+                }
+                experiment = Some(ExperimentKind::parse(name).unwrap_or_else(|| {
+                    die(&format!("unknown experiment {name:?} (see `perfvec list`)"))
+                }));
+            }
+        }
+    }
+
+    // Environment veto, same convention as the legacy binaries.
+    let env_no_cache = CachePolicy::env_no_cache();
+
+    let specs: Vec<ExperimentSpec> = match (config, experiment) {
+        (Some(_), Some(_)) => {
+            die("--config replaces the experiment name and per-run flags; pass one or the other")
+        }
+        (Some(path), None) => {
+            if scale.is_some()
+                || seed.is_some()
+                || features.is_some()
+                || subset.is_some()
+                || trace_len.is_some()
+                || no_cache
+                || report_path.is_some()
+                || !params.is_empty()
+            {
+                die("--config replaces the per-run flags; put the fields in the config file");
+            }
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(&format!("cannot read config {path}: {e}")));
+            let parsed = Json::parse(&text)
+                .unwrap_or_else(|e| die(&format!("config {path} is not valid JSON: {e}")));
+            let entries: Vec<&Json> = match &parsed {
+                Json::Arr(items) => items.iter().collect(),
+                single => vec![single],
+            };
+            if entries.is_empty() {
+                die(&format!("config {path} is an empty sweep"));
+            }
+            let many = entries.len() > 1;
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| {
+                    let mut spec = ExperimentSpec::from_json(entry).unwrap_or_else(|e| {
+                        die(&format!("config {path} entry {i}: {e}"))
+                    });
+                    if env_no_cache {
+                        spec.cache = CachePolicy::Bypass;
+                    }
+                    if spec.report_path.is_none() {
+                        spec.report_path = Some(default_report_path(&spec, many.then_some(i)));
+                    }
+                    spec
+                })
+                .collect()
+        }
+        (None, Some(kind)) => {
+            let mut spec = ExperimentSpec::new(kind);
+            if let Some(s) = scale {
+                spec.scale = s;
+            }
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            if let Some(m) = features {
+                spec.feature_mask = m;
+            }
+            spec.march_subset = subset;
+            spec.trace_len = trace_len;
+            if no_cache || env_no_cache {
+                spec.cache = CachePolicy::Bypass;
+            }
+            spec.params = params;
+            spec.report_path =
+                Some(report_path.unwrap_or_else(|| default_report_path(&spec, None)));
+            spec.validate().unwrap_or_else(|e| die(&e));
+            vec![spec]
+        }
+        (None, None) => die("run needs an experiment name or --config FILE"),
+    };
+
+    let total = specs.len();
+    for (i, spec) in specs.iter().enumerate() {
+        if total > 1 {
+            eprintln!("[perfvec] run {}/{total}: {}", i + 1, spec.kind.name());
+        }
+        if !runner::execute(spec) {
+            if total > 1 {
+                eprintln!("[perfvec] sweep aborted at run {}/{total}", i + 1);
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    if total > 1 {
+        eprintln!("[perfvec] sweep complete: {total}/{total} runs ok");
+    }
+    ExitCode::SUCCESS
+}
+
+fn default_report_path(spec: &ExperimentSpec, sweep_index: Option<usize>) -> PathBuf {
+    match sweep_index {
+        Some(i) => PathBuf::from(format!("reports/{}-{i}.json", spec.kind.name())),
+        None => PathBuf::from(format!("reports/{}.json", spec.kind.name())),
+    }
+}

@@ -1,175 +1,34 @@
-//! `serve_bench` — load generator and latency/throughput harness for
-//! the `perfvec-serve` inference server.
-//!
-//! Default mode spins up two in-process servers over the same tiny
-//! model and the same worker count — one with micro-batching disabled
-//! (`--batch 1`, the scalar per-window forward) and one with it enabled
-//! — drives N concurrent keep-alive connections of unique, uncached
-//! requests against each, and reports request throughput plus
-//! p50/p95/p99 latency. A parity gate runs first: one served prediction
-//! is compared bit-for-bit against the offline `perfvec::predict`
-//! path, and any mismatch aborts with a nonzero exit. Results land in
-//! `BENCH_serve.json` for the perf trajectory.
+//! `serve_bench` — thin shim over the spec-driven runner (serving
+//! throughput/latency harness; writes `BENCH_serve.json`), plus the
+//! `--probe` client mode CI uses against an already-running `serve`
+//! process.
 //!
 //! ```text
 //! serve_bench [--scale quick|full] [--batch 32] [--workers W]
-//!             [--conns C] [--requests N]
+//!             [--conns C] [--requests N] [--assert-speedup X]
 //! serve_bench --probe HOST:PORT --ckpt PATH [--model NAME]
 //! ```
 //!
-//! `--probe` is the CI smoke client: it connects to an already-running
-//! `serve` process (retrying while it starts), issues a health check
-//! and one prediction, and asserts bit-identity against the offline
-//! path computed from the same checkpoint file.
+//! The default mode is equivalent to `perfvec run serve_bench`. The
+//! probe connects to a live server (retrying while it starts), issues
+//! a health check and one prediction, and asserts bit-identity against
+//! the offline path computed from the same checkpoint file — a client
+//! utility, not an experiment, so it stays outside the runner.
 
-use perfvec::foundation::{ArchSpec, Foundation};
-use perfvec::{predict_total_tenths, program_representation, MarchTable};
-use perfvec_bench::scale::{arg_parse, arg_value};
-use perfvec_bench::Scale;
-use perfvec_serve::json::{obj, Json};
+use perfvec::{predict_total_tenths, program_representation};
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::scale::arg_value;
+use perfvec_bench::spec::ExperimentKind;
+use perfvec_serve::json::Json;
 use perfvec_serve::protocol::f64_from_bits_hex;
-use perfvec_serve::registry::{LoadedModel, ModelRegistry};
 use perfvec_serve::server::named_workload_features;
-use perfvec_serve::{start, EngineConfig, ServerConfig};
-use perfvec_sim::sample::{training_population, DEFAULT_MARCH_SEED};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
-
 
 /// One HTTP round trip (panics on transport errors — bench style).
 fn http(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, Json) {
     perfvec_serve::client::roundtrip(stream, method, path, body).expect("http round trip")
-}
-
-/// The bench model: untrained but structurally real (training cost is
-/// irrelevant to serving throughput — the forward pass is identical).
-fn bench_model(dim: usize, context: usize) -> (ModelRegistry, Foundation, MarchTable) {
-    let spec = ArchSpec::default_lstm(dim);
-    let k = training_population(DEFAULT_MARCH_SEED).len();
-    let offline_foundation = Foundation::new(spec, context, 0.1, 42);
-    let offline_table = MarchTable::new(k, dim, 7);
-    let registry = ModelRegistry::new(vec![LoadedModel::from_parts(
-        "default",
-        Foundation::new(spec, context, 0.1, 42),
-        spec,
-        MarchTable::new(k, dim, 7),
-        DEFAULT_MARCH_SEED,
-    )])
-    .unwrap();
-    (registry, offline_foundation, offline_table)
-}
-
-/// The request mix: workloads × trace-length jitter × march rows. Every
-/// combination is a distinct program (different features), so with
-/// `no_cache` the server does full representation work per request.
-struct RequestMix {
-    programs: Vec<&'static str>,
-    base_len: u64,
-    marches: usize,
-}
-
-impl RequestMix {
-    fn body(&self, i: usize, no_cache: bool) -> String {
-        let program = self.programs[i % self.programs.len()];
-        let trace_len = self.base_len + 64 * ((i / self.programs.len()) % 4) as u64;
-        let march = i % self.marches;
-        format!(
-            r#"{{"program":"{program}","trace_len":{trace_len},"march_index":{march},"no_cache":{no_cache}}}"#
-        )
-    }
-}
-
-struct PhaseResult {
-    throughput_rps: f64,
-    p50_ms: f64,
-    p95_ms: f64,
-    p99_ms: f64,
-    mean_batch: f64,
-    max_batch: u64,
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
-/// Drive `requests` unique no-cache requests over `conns` keep-alive
-/// connections against a fresh in-process server.
-fn run_phase(
-    label: &'static str,
-    registry: ModelRegistry,
-    engine: EngineConfig,
-    conns: usize,
-    requests: usize,
-    mix: &Arc<RequestMix>,
-) -> PhaseResult {
-    let handle = start(registry, ServerConfig { port: 0, engine, ..ServerConfig::default() }).expect("server start");
-    let addr = handle.addr;
-    let next = Arc::new(AtomicUsize::new(0));
-    let t0 = Instant::now();
-    let threads: Vec<_> = (0..conns)
-        .map(|_| {
-            let next = Arc::clone(&next);
-            let mix = Arc::clone(mix);
-            std::thread::spawn(move || {
-                let mut conn = TcpStream::connect(addr).expect("connect");
-                let mut latencies = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= requests {
-                        return latencies;
-                    }
-                    // `no_cache:false` + a server with `cache_entries:0`:
-                    // the representation is recomputed for every request
-                    // (the rep cache is disabled server-side) while the
-                    // feature cache still amortizes tracing, so the
-                    // measurement isolates the forward-pass serving cost.
-                    let body = mix.body(i, false);
-                    let t = Instant::now();
-                    let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
-                    latencies.push(t.elapsed().as_secs_f64() * 1e3);
-                    assert_eq!(status, 200, "{label}: {resp}");
-                }
-            })
-        })
-        .collect();
-    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
-    for t in threads {
-        latencies.extend(t.join().expect("client thread"));
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    let stats = handle.engine().stats();
-    handle.shutdown();
-    latencies.sort_by(f64::total_cmp);
-    PhaseResult {
-        throughput_rps: requests as f64 / wall,
-        p50_ms: percentile(&latencies, 0.50),
-        p95_ms: percentile(&latencies, 0.95),
-        p99_ms: percentile(&latencies, 0.99),
-        mean_batch: if stats.batcher.batches > 0 {
-            stats.batcher.jobs as f64 / stats.batcher.batches as f64
-        } else {
-            0.0
-        },
-        max_batch: stats.batcher.max_batch,
-    }
-}
-
-fn phase_json(r: &PhaseResult) -> Json {
-    obj(vec![
-        ("throughput_rps", Json::Num(r.throughput_rps)),
-        ("p50_ms", Json::Num(r.p50_ms)),
-        ("p95_ms", Json::Num(r.p95_ms)),
-        ("p99_ms", Json::Num(r.p99_ms)),
-        ("mean_batch", Json::Num(r.mean_batch)),
-        ("max_batch", Json::Num(r.max_batch as f64)),
-    ])
 }
 
 fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
@@ -254,150 +113,5 @@ fn main() -> ExitCode {
         });
         return probe(&addr, &ckpt, arg_value("--model"));
     }
-
-    let scale = Scale::from_args();
-    let t0 = Instant::now();
-    let (dim, context) = match scale {
-        Scale::Quick => (16usize, 8usize),
-        Scale::Full => (32, 12),
-    };
-    let batch: usize = arg_parse("--batch", 32);
-    let default_workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
-    let workers: usize = arg_parse("--workers", default_workers);
-    let conns: usize = arg_parse("--conns", 16);
-    let requests: usize = arg_parse(
-        "--requests",
-        match scale {
-            Scale::Quick => 160,
-            Scale::Full => 480,
-        },
-    );
-    assert!(batch >= 8, "--batch below 8 defeats the point of the comparison");
-
-    // ---- parity gate -------------------------------------------------
-    let (registry, offline_foundation, offline_table) = bench_model(dim, context);
-    let handle = start(
-        registry,
-        ServerConfig {
-            port: 0,
-            engine: EngineConfig { batch, queue_depth: 1024, workers, cache_entries: 64 },
-            ..ServerConfig::default()
-        },
-    )
-    .expect("server start");
-    let mut conn = TcpStream::connect(handle.addr).unwrap();
-    let (program, trace_len, march) = ("999.specrand-like", 800u64, 5usize);
-    let body =
-        format!(r#"{{"program":"{program}","trace_len":{trace_len},"march_index":{march}}}"#);
-    let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
-    assert_eq!(status, 200, "parity request failed: {resp}");
-    let served = resp
-        .get("predicted_bits")
-        .and_then(Json::as_str)
-        .and_then(f64_from_bits_hex)
-        .unwrap();
-    let feats = named_workload_features(program, trace_len).unwrap();
-    let rep = program_representation(&offline_foundation, &feats);
-    let offline =
-        predict_total_tenths(&rep, offline_table.rep(march), offline_foundation.target_scale);
-    if served.to_bits() != offline.to_bits() {
-        eprintln!("[serve_bench] PARITY FAILURE: served {served} vs offline {offline}");
-        return ExitCode::FAILURE;
-    }
-    eprintln!("[serve_bench] parity ok: served == offline bit-for-bit ({offline} x 0.1ns)");
-    // Cache-hit fast path: repeat the identical request (cache on).
-    let cache_reqs = 200usize;
-    let t_cache = Instant::now();
-    for _ in 0..cache_reqs {
-        let (_, r) = http(&mut conn, "POST", "/v1/predict", &body);
-        assert_eq!(r.get("cache_hit").and_then(Json::as_bool), Some(true));
-    }
-    let cache_rps = cache_reqs as f64 / t_cache.elapsed().as_secs_f64();
-    eprintln!("[serve_bench] cache-hit serving: {cache_rps:.0} req/s (O(1) repeated queries)");
-    handle.shutdown();
-
-    // ---- batched vs unbatched, same worker count ---------------------
-    eprintln!(
-        "[serve_bench] measuring: {requests} unique uncached requests, {conns} connections, \
-         {workers} workers, LSTM-2-{dim} c={context}"
-    );
-    let mix = Arc::new(RequestMix {
-        programs: vec!["525.x264-like", "557.xz-like", "999.specrand-like", "508.namd-like"],
-        base_len: match scale {
-            Scale::Quick => 1_500,
-            Scale::Full => 4_000,
-        },
-        marches: offline_table.k,
-    });
-    let unbatched = run_phase(
-        "unbatched",
-        bench_model(dim, context).0,
-        EngineConfig { batch: 1, queue_depth: 1024, workers, cache_entries: 0 },
-        conns,
-        requests,
-        &mix,
-    );
-    eprintln!(
-        "[serve_bench] --batch 1 : {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms",
-        unbatched.throughput_rps, unbatched.p50_ms, unbatched.p95_ms, unbatched.p99_ms
-    );
-    let batched = run_phase(
-        "batched",
-        bench_model(dim, context).0,
-        EngineConfig { batch, queue_depth: 1024, workers, cache_entries: 0 },
-        conns,
-        requests,
-        &mix,
-    );
-    eprintln!(
-        "[serve_bench] --batch {batch:<2}: {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms  \
-         (mean coalesce {:.1}, max {})",
-        batched.throughput_rps,
-        batched.p50_ms,
-        batched.p95_ms,
-        batched.p99_ms,
-        batched.mean_batch,
-        batched.max_batch
-    );
-    let speedup = batched.throughput_rps / unbatched.throughput_rps;
-    println!(
-        "serve_bench: micro-batching speedup {speedup:.2}x ({:.1} -> {:.1} req/s, batch {batch}, \
-         {workers} workers)",
-        unbatched.throughput_rps, batched.throughput_rps
-    );
-
-    // ---- BENCH_serve.json --------------------------------------------
-    let report = obj(vec![
-        ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
-        ("model", Json::Str(format!("LSTM-2-{dim} (c={context})"))),
-        ("workers", Json::Num(workers as f64)),
-        ("connections", Json::Num(conns as f64)),
-        ("requests", Json::Num(requests as f64)),
-        ("batch", Json::Num(batch as f64)),
-        ("parity", Json::Str("bit-identical".into())),
-        ("unbatched", phase_json(&unbatched)),
-        ("batched", phase_json(&batched)),
-        ("speedup", Json::Num(speedup)),
-        ("cache_hit_rps", Json::Num(cache_rps)),
-        ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
-    ]);
-    std::fs::write("BENCH_serve.json", format!("{report}\n")).expect("write BENCH_serve.json");
-    eprintln!("[serve_bench] wrote BENCH_serve.json (total {:.1}s)", t0.elapsed().as_secs_f64());
-    if speedup < 3.0 {
-        eprintln!(
-            "[serve_bench] WARNING: speedup {speedup:.2}x below the 3x target on this machine"
-        );
-    }
-    // `--assert-speedup X` turns a throughput regression into a hard
-    // failure (CI uses a conservative floor so a serialized
-    // forward-batch path cannot land silently).
-    let min_speedup: f64 = arg_parse("--assert-speedup", 0.0);
-    if speedup < min_speedup {
-        eprintln!(
-            "[serve_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
-        );
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    legacy_main(ExperimentKind::ServeBench)
 }

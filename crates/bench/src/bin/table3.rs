@@ -1,161 +1,12 @@
-//! **Table III**: comparison of ML-based modeling and simulation
-//! approaches — generality flags plus *measured* prediction speeds on
-//! this machine (the paper's IPS numbers come from heterogeneous
-//! hardware; what must reproduce is the ordering and the
-//! instant-vs-per-instruction split).
+//! `table3` — thin shim over the spec-driven runner (Table III: modeling approaches, generality + measured speeds).
+//!
+//! Equivalent to `perfvec run table3` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::compose::{program_representation, program_representation_streaming};
-use perfvec::predict::predict_total_tenths;
-use perfvec::trainer::{train_foundation, TrainConfig};
-use perfvec::foundation::ArchSpec;
-use perfvec_baselines::ithemal::{Ithemal, IthemalConfig};
-use perfvec_baselines::simnet::{simnet_features, SimNet, SimNetConfig};
-use perfvec_bench::cache::{workload_datasets, DatasetCache};
-use perfvec_bench::Scale;
-use perfvec_ml::schedule::StepDecay;
-use perfvec_sim::sample::predefined_configs;
-use perfvec_sim::simulate;
-use perfvec_trace::features::{extract_features, FeatureMask};
-use perfvec_workloads::by_name;
-use std::time::Instant;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = Instant::now();
-    eprintln!("[table3] preparing a common workload and small models...");
-    let workloads = [by_name("xz").unwrap()];
-    let trace = workloads[0].trace(scale.trace_len());
-    let n = trace.len() as f64;
-    let configs = predefined_configs();
-    let march = &configs[1];
-    let sim = simulate(&trace, march);
-    let base = extract_features(&trace, FeatureMask::Full);
-
-    // --- the simulator itself (the reference point) ---
-    let t = Instant::now();
-    let _ = simulate(&trace, march);
-    let sim_ips = n / t.elapsed().as_secs_f64();
-
-    // --- SimNet-like: per-instruction model evaluation ---
-    let sn_feats = simnet_features(&base, &sim);
-    let simnet = SimNet::train(
-        &sn_feats,
-        &sim.inc_latency_tenths,
-        &SimNetConfig { epochs: 4, ..Default::default() },
-    );
-    let t = Instant::now();
-    let _ = simnet.predict_total_tenths(&sn_feats);
-    let simnet_ips = n / t.elapsed().as_secs_f64();
-
-    // --- Ithemal-like: per-block model evaluation ---
-    let ithemal = Ithemal::train(
-        &base,
-        &sim.inc_latency_tenths,
-        &IthemalConfig { epochs: 4, ..Default::default() },
-    );
-    let t = Instant::now();
-    let _ = ithemal.predict_total_tenths(&base);
-    let ithemal_ips = n / t.elapsed().as_secs_f64();
-
-    // --- PerfVec: representation generation (one-time, parallel) then
-    //     instant dot-product predictions ---
-    let t_data = Instant::now();
-    let cache = DatasetCache::from_env_and_args();
-    let (mut datasets, dstats) =
-        workload_datasets(&cache, &workloads, scale.trace_len(), &configs, FeatureMask::Full);
-    let data = datasets.remove(0);
-    eprintln!(
-        "[table3] PerfVec dataset ready in {:.1}s ({})",
-        t_data.elapsed().as_secs_f64(),
-        dstats.summary()
-    );
-    let cfg = TrainConfig {
-        arch: ArchSpec::default_lstm(32),
-        context: 12,
-        epochs: 4,
-        windows_per_epoch: 1_500,
-        schedule: StepDecay { initial: 5e-3, gamma: 0.3, every: 4 },
-        ..TrainConfig::default()
-    };
-    let trained = train_foundation(&[data], &cfg);
-    let t = Instant::now();
-    let rp = program_representation(&trained.foundation, &base);
-    let repgen_ips = n / t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let rp_stream =
-        program_representation_streaming(&trained.foundation, &base, 8_192, 64).unwrap();
-    let stream_ips = n / t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let mut black_hole = 0.0;
-    for j in 0..trained.march_table.k {
-        black_hole += predict_total_tenths(&rp, trained.march_table.rep(j), 1.0);
-    }
-    let per_pred_ns = t.elapsed().as_nanos() as f64 / trained.march_table.k as f64;
-    std::hint::black_box(black_hole);
-    let _ = rp_stream;
-
-    println!("== Table III: modeling approaches (measured on this machine) ==");
-    println!(
-        "{:<28} {:<26} {:<12} {:<22} {:>8} {:>8}",
-        "approach", "input", "target", "prediction speed", "prog-gen", "march-gen"
-    );
-    let row = |name: &str, input: &str, target: &str, speed: String, pg: &str, mg: &str| {
-        println!("{name:<28} {input:<26} {target:<12} {speed:<22} {pg:>8} {mg:>8}");
-    };
-    row(
-        "discrete-event simulator",
-        "full microarch state",
-        "program",
-        format!("{:.2} M instr/s", sim_ips / 1e6),
-        "yes",
-        "yes",
-    );
-    row(
-        "Ithemal-like [39]",
-        "textual instruction trace",
-        "basic block",
-        format!("{:.2} M instr/s", ithemal_ips / 1e6),
-        "yes",
-        "no",
-    );
-    row(
-        "SimNet-like [37]",
-        "march-DEPENDENT trace",
-        "program",
-        format!("{:.2} M instr/s", simnet_ips / 1e6),
-        "yes",
-        "no",
-    );
-    row(
-        "program-specific MLP [28]",
-        "march parameters",
-        "program",
-        "instant (<1 us)".to_string(),
-        "no",
-        "no",
-    );
-    row(
-        "cross-program linear [21]",
-        "march params + signature",
-        "program",
-        "instant (<1 us)".to_string(),
-        "partial",
-        "no",
-    );
-    row(
-        "PerfVec (this work)",
-        "march-INDEPENDENT trace",
-        "program",
-        format!("{per_pred_ns:.0} ns/dot after rep"),
-        "yes",
-        "yes",
-    );
-    println!();
-    println!(
-        "PerfVec one-time representation generation: {:.2} M instr/s windowed, {:.2} M instr/s streaming",
-        repgen_ips / 1e6,
-        stream_ips / 1e6
-    );
-    println!("(representations are reusable across every microarchitecture afterwards)");
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Table3)
 }

@@ -1,243 +1,12 @@
-//! **Table IV**: DSE method comparison — overhead (measured wall time,
-//! including every simulation a method requires) and quality (how close
-//! the selected design is to the optimum) on the L1/L2 cache design
-//! space, for all 17 programs.
+//! `table4` — thin shim over the spec-driven runner (Table IV: DSE methods, overhead and selection quality).
 //!
-//! Methods: program-specific MLP predictor [28] (simulates 25% of the
-//! space per program), cross-program linear predictor [21] (corpus +
-//! 14% calibration per program), ActBoost [36] (28% per program via
-//! active sampling), and PerfVec (18 shared tuning configs x 3 programs,
-//! then dot products). Exhaustive simulation gives ground truth.
+//! Equivalent to `perfvec run table4` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::compose::program_representation;
-use perfvec::dse::{cache_param_vector, objective, with_cache_sizes, CacheGrid};
-use perfvec::finetune::cache_representations;
-use perfvec::march_model::{train_march_model, MarchModelConfig};
-use perfvec_bench::cache::{workload_datasets, DatasetCache};
-use perfvec_bench::pipeline::{suite_datasets_stats, train_and_refit};
-use perfvec_bench::Scale;
-use perfvec_baselines::actboost::{select_active, ActBoost, ActBoostConfig};
-use perfvec_baselines::cross_program::{signature, CrossProgramModel};
-use perfvec_baselines::prog_specific::{ProgSpecificConfig, ProgSpecificModel};
-use perfvec_sim::sample::{predefined_configs, training_population};
-use perfvec_sim::{simulate, MicroArchConfig};
-use perfvec_trace::features::{extract_features, FeatureMask};
-use perfvec_workloads::suite;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::time::Instant;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-/// Mean fraction-of-better-designs over programs, given per-program
-/// selections under the true objective.
-fn quality(true_obj: &[Vec<f64>], picks: &[usize]) -> f64 {
-    let mut q = 0.0;
-    for (obj, &pick) in true_obj.iter().zip(picks) {
-        let chosen = obj[pick];
-        q += obj.iter().filter(|&&o| o < chosen).count() as f64 / obj.len() as f64;
-    }
-    q / picks.len() as f64
-}
-
-fn arg_min(v: &[f64]) -> usize {
-    v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
-}
-
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = Instant::now();
-    let grid = CacheGrid::default();
-    let points = grid.points();
-    let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
-    let grid_configs: Vec<MicroArchConfig> =
-        points.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
-
-    eprintln!("[table4] exhaustive ground truth (17 programs x 36 configs)...");
-    let t_exhaustive = Instant::now();
-    let traces: Vec<_> = suite().iter().map(|w| (w.name, w.trace(scale.trace_len()))).collect();
-    let times: Vec<Vec<f64>> = traces
-        .iter()
-        .map(|(_, tr)| grid_configs.iter().map(|c| simulate(tr, c).total_tenths).collect())
-        .collect();
-    let exhaustive_secs = t_exhaustive.elapsed().as_secs_f64();
-    let true_obj: Vec<Vec<f64>> = times
-        .iter()
-        .map(|ts| {
-            points.iter().zip(ts).map(|(&(l1, l2), &t)| objective(l1, l2, t)).collect()
-        })
-        .collect();
-
-    // Per-config sim cost, used to attribute overheads fairly.
-    let sim_cost = exhaustive_secs / (17.0 * 36.0);
-
-    // ---- program-specific MLP predictor [28]: 9 sims per program ----
-    eprintln!("[table4] program-specific MLP predictor...");
-    let t_m = Instant::now();
-    let mut mlp_picks = Vec::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x28);
-    for (p, _) in traces.iter().enumerate() {
-        let mut idx: Vec<usize> = (0..points.len()).collect();
-        idx.shuffle(&mut rng);
-        let train_idx = &idx[..9];
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            train_idx.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
-        let model = ProgSpecificModel::train(&samples, &ProgSpecificConfig::default());
-        let pred_obj: Vec<f64> = points
-            .iter()
-            .enumerate()
-            .map(|(i, &(l1, l2))| objective(l1, l2, model.predict(&grid_configs[i]).max(0.0)))
-            .collect();
-        mlp_picks.push(arg_min(&pred_obj));
-    }
-    // model time + attributed simulation time for 17 x 9 runs
-    let mlp_secs = t_m.elapsed().as_secs_f64() + 17.0 * 9.0 * sim_cost;
-
-    // ---- cross-program linear predictor [21]: corpus + 5 sims each ----
-    eprintln!("[table4] cross-program linear predictor...");
-    let t_c = Instant::now();
-    // Corpus: the 9 training programs on 12 corpus configs.
-    let corpus_cfg_idx: Vec<usize> = (0..points.len()).step_by(3).collect();
-    let mut corpus = Vec::new();
-    for (p, (name, tr)) in traces.iter().enumerate() {
-        if !suite().iter().any(|w| {
-            w.name == *name && w.role == perfvec_workloads::SuiteRole::Training
-        }) {
-            continue;
-        }
-        let sig = signature(tr);
-        for &i in &corpus_cfg_idx {
-            corpus.push((sig.clone(), &grid_configs[i], times[p][i]));
-        }
-    }
-    let xmodel = CrossProgramModel::train(&corpus);
-    let mut xp_picks = Vec::new();
-    for (p, (_, tr)) in traces.iter().enumerate() {
-        let sig = signature(tr);
-        let obs: Vec<(&MicroArchConfig, f64)> =
-            (0..5).map(|k| (&grid_configs[k * 7], times[p][k * 7])).collect();
-        let cal = xmodel.calibration(&sig, &obs);
-        let pred_obj: Vec<f64> = points
-            .iter()
-            .enumerate()
-            .map(|(i, &(l1, l2))| {
-                objective(l1, l2, (xmodel.predict(&sig, &grid_configs[i]) * cal).max(0.0))
-            })
-            .collect();
-        xp_picks.push(arg_min(&pred_obj));
-    }
-    let xp_secs =
-        t_c.elapsed().as_secs_f64() + (corpus.len() as f64 + 17.0 * 5.0) * sim_cost;
-
-    // ---- ActBoost [36]: 5 + 5 active sims per program ----
-    eprintln!("[table4] ActBoost...");
-    let t_a = Instant::now();
-    let mut ab_picks = Vec::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x36);
-    for (p, _) in traces.iter().enumerate() {
-        let mut idx: Vec<usize> = (0..points.len()).collect();
-        idx.shuffle(&mut rng);
-        let mut have: Vec<usize> = idx[..5].to_vec();
-        let cfg = ActBoostConfig { rounds: 4, ..Default::default() };
-        // round 1
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            have.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
-        let model = ActBoost::train(&samples, &cfg);
-        // active selection of 5 more
-        let pool: Vec<&MicroArchConfig> = idx[5..]
-            .iter()
-            .map(|&i| &grid_configs[i])
-            .collect();
-        let picked = select_active(&model, &pool, 5);
-        for c in picked {
-            let i = grid_configs.iter().position(|g| g.name == c.name).unwrap();
-            have.push(i);
-        }
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            have.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
-        let model = ActBoost::train(&samples, &cfg);
-        let pred_obj: Vec<f64> = points
-            .iter()
-            .enumerate()
-            .map(|(i, &(l1, l2))| objective(l1, l2, model.predict(&grid_configs[i]).max(0.0)))
-            .collect();
-        ab_picks.push(arg_min(&pred_obj));
-    }
-    let ab_secs = t_a.elapsed().as_secs_f64() + 17.0 * 10.0 * sim_cost;
-
-    // ---- PerfVec ----
-    eprintln!("[table4] PerfVec (foundation pre-training excluded, as in the paper)...");
-    let configs = training_population(scale.march_seed());
-    let t_data = Instant::now();
-    let (data, cstats) = suite_datasets_stats(&configs, scale, FeatureMask::Full);
-    eprintln!(
-        "[table4] foundation datasets ready in {:.1}s ({})",
-        t_data.elapsed().as_secs_f64(),
-        cstats.summary()
-    );
-    let t_found = Instant::now();
-    let trained = train_and_refit(&data, &scale.train_config());
-    let foundation_secs = t_found.elapsed().as_secs_f64();
-
-    let t_p = Instant::now();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xd5e7);
-    let mut sampled = points.clone();
-    sampled.shuffle(&mut rng);
-    sampled.truncate(18);
-    let tune_configs: Vec<_> =
-        sampled.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
-    let tune_params: Vec<Vec<f32>> =
-        sampled.iter().map(|&(l1, l2)| cache_param_vector(l1, l2)).collect();
-    let cache = DatasetCache::from_env_and_args();
-    let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
-    let (tuning, tstats) = workload_datasets(
-        &cache,
-        &tuning_workloads,
-        scale.trace_len(),
-        &tune_configs,
-        FeatureMask::Full,
-    );
-    eprintln!("[table4] PerfVec tuning data ready ({})", tstats.summary());
-    let cached = cache_representations(&trained.foundation, &tuning, 5_000, 0x715e);
-    let (march_model, _) = train_march_model(
-        &cached,
-        &tune_params,
-        trained.foundation.dim(),
-        trained.foundation.target_scale,
-        &MarchModelConfig { epochs: 80, ..Default::default() },
-    );
-    let mut pv_picks = Vec::new();
-    for (_, tr) in &traces {
-        let feats = extract_features(tr, FeatureMask::Full);
-        let rp = program_representation(&trained.foundation, &feats);
-        let pred_obj: Vec<f64> = points
-            .iter()
-            .map(|&(l1, l2)| {
-                objective(l1, l2, march_model.predict_total_tenths(&rp, &cache_param_vector(l1, l2)).max(0.0))
-            })
-            .collect();
-        pv_picks.push(arg_min(&pred_obj));
-    }
-    let pv_secs = t_p.elapsed().as_secs_f64();
-
-    // ---- report ----
-    println!("== Table IV: DSE methods on the 6x6 cache space, 17 programs ==");
-    println!(
-        "{:<28} {:>14} {:>12} {:>16}",
-        "method", "overhead (s)", "quality", "sims required"
-    );
-    let rows = [
-        ("exhaustive simulation", exhaustive_secs, 0.0, 17 * 36),
-        ("MLP predictor [28]", mlp_secs, quality(&true_obj, &mlp_picks), 17 * 9),
-        ("cross-program [21]", xp_secs, quality(&true_obj, &xp_picks), corpus.len() + 17 * 5),
-        ("ActBoost [36]", ab_secs, quality(&true_obj, &ab_picks), 17 * 10),
-        ("PerfVec", pv_secs, quality(&true_obj, &pv_picks), 18 * 3),
-    ];
-    for (name, secs, q, sims) in rows {
-        println!("{:<28} {:>14.1} {:>11.1}% {:>16}", name, secs, q * 100.0, sims);
-    }
-    println!();
-    println!(
-        "(PerfVec additionally amortizes a one-time foundation training of {foundation_secs:.0}s \
-         across every future DSE; baselines repeat their full cost per study)"
-    );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::Table4)
 }

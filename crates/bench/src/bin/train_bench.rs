@@ -1,216 +1,12 @@
-//! `train_bench` — throughput harness for the batch-major training
-//! step, mirroring `serve_bench`'s role on the serving side.
+//! `train_bench` — thin shim over the spec-driven runner (batch-major training throughput + parity gates; writes BENCH_train.json).
 //!
-//! Default mode runs the same training workload twice at the same seed
-//! — once through the scalar per-window step
-//! (`TrainConfig::batched = false`), once through the batch-major
-//! `forward_batch`/`backward_batch` step — and reports gradient steps
-//! per second for each. Two gates run first:
-//!
-//! * **parity**: a short full `train()` in both modes must produce
-//!   byte-identical checkpoints (the refactor's core contract);
-//! * **resume** (`--resume-smoke`): snapshot at the halfway epoch,
-//!   resume, and require the final checkpoint to match an
-//!   uninterrupted run byte-for-byte.
-//!
-//! Results land in `BENCH_train.json` for the perf trajectory.
-//!
-//! ```text
-//! train_bench [--scale quick|full] [--batch 32] [--steps N]
-//!             [--assert-speedup X] [--no-cache]
-//! train_bench --resume-smoke
-//! ```
+//! Equivalent to `perfvec run train_bench` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::checkpoint::encode;
-use perfvec::foundation::ArchSpec;
-use perfvec::trainer::{train_foundation, TrainConfig, TrainedFoundation};
-use perfvec_bench::cache::{workload_datasets, DatasetCache};
-use perfvec_bench::scale::{arg_parse, flag};
-use perfvec_bench::Scale;
-use perfvec_ml::schedule::StepDecay;
-use perfvec_serve::json::{obj, Json};
-use perfvec_sim::sample::training_population;
-use perfvec_trace::features::FeatureMask;
-use perfvec_trace::ProgramData;
-use perfvec_workloads::training_suite;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
 use std::process::ExitCode;
-use std::time::Instant;
-
-fn bench_datasets(scale: Scale) -> Vec<ProgramData> {
-    let configs = training_population(scale.march_seed());
-    let cache = DatasetCache::from_env_and_args();
-    let workloads: Vec<_> = training_suite().into_iter().take(3).collect();
-    let trace_len = match scale {
-        Scale::Quick => 6_000,
-        Scale::Full => 20_000,
-    };
-    let (data, stats) = workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
-    eprintln!("[train_bench] datasets ready ({})", stats.summary());
-    data
-}
-
-fn bench_config(scale: Scale, batch: usize) -> TrainConfig {
-    let (dim, context) = match scale {
-        Scale::Quick => (16usize, 8usize),
-        Scale::Full => (32, 12),
-    };
-    TrainConfig {
-        arch: ArchSpec::default_lstm(dim),
-        context,
-        batch_size: batch,
-        val_windows: 0,
-        schedule: StepDecay { initial: 3e-3, gamma: 0.3, every: 10 },
-        ..TrainConfig::default()
-    }
-}
-
-fn checkpoint_bytes(trained: &TrainedFoundation, arch: ArchSpec) -> Vec<u8> {
-    encode(&trained.foundation, arch, Some(&trained.march_table))
-}
-
-/// Snapshot → resume → byte-compare against an uninterrupted run.
-fn resume_smoke() -> ExitCode {
-    let data = bench_datasets(Scale::Quick);
-    let dir = std::env::temp_dir().join("perfvec_train_bench");
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    let snap = dir.join("resume_smoke.pfs");
-
-    let mut cfg = bench_config(Scale::Quick, 32);
-    cfg.epochs = 4;
-    cfg.windows_per_epoch = 320;
-    cfg.val_windows = 200;
-    let straight = train_foundation(&data, &cfg);
-
-    let mut phase1 = cfg.clone();
-    phase1.epochs = 2;
-    phase1.snapshot_every = Some(2);
-    phase1.snapshot_path = Some(snap.clone());
-    train_foundation(&data, &phase1);
-
-    let mut phase2 = cfg.clone();
-    phase2.resume_from = Some(snap.clone());
-    let resumed = train_foundation(&data, &phase2);
-    std::fs::remove_file(&snap).ok();
-
-    let a = checkpoint_bytes(&straight, cfg.arch);
-    let b = checkpoint_bytes(&resumed, cfg.arch);
-    if a != b {
-        eprintln!("[train_bench] RESUME FAILURE: resumed checkpoint differs from straight run");
-        return ExitCode::FAILURE;
-    }
-    if resumed.report.train_loss != straight.report.train_loss
-        || resumed.report.val_loss != straight.report.val_loss
-    {
-        eprintln!("[train_bench] RESUME FAILURE: loss history differs");
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "train_bench: resume ok — snapshot at epoch 2/4 resumes to a byte-identical checkpoint \
-         ({} bytes)",
-        a.len()
-    );
-    ExitCode::SUCCESS
-}
 
 fn main() -> ExitCode {
-    if flag("--resume-smoke") {
-        return resume_smoke();
-    }
-
-    let scale = Scale::from_args();
-    let t0 = Instant::now();
-    let batch: usize = arg_parse("--batch", 32);
-    let steps: usize = arg_parse(
-        "--steps",
-        match scale {
-            Scale::Quick => 60,
-            Scale::Full => 120,
-        },
-    );
-    assert!(batch >= 8, "--batch below 8 defeats the point of the comparison");
-    let data = bench_datasets(scale);
-
-    // ---- parity gate -------------------------------------------------
-    let mut parity_cfg = bench_config(scale, 20);
-    parity_cfg.epochs = 2;
-    parity_cfg.windows_per_epoch = 200;
-    parity_cfg.val_windows = 120;
-    parity_cfg.batched = true;
-    let pb = train_foundation(&data, &parity_cfg);
-    parity_cfg.batched = false;
-    let ps = train_foundation(&data, &parity_cfg);
-    let (b_bytes, s_bytes) =
-        (checkpoint_bytes(&pb, parity_cfg.arch), checkpoint_bytes(&ps, parity_cfg.arch));
-    if b_bytes != s_bytes {
-        eprintln!("[train_bench] PARITY FAILURE: batched and scalar checkpoints differ");
-        return ExitCode::FAILURE;
-    }
-    eprintln!(
-        "[train_bench] parity ok: batched == scalar checkpoint byte-for-byte ({} bytes)",
-        b_bytes.len()
-    );
-
-    // ---- batched vs scalar steps/sec at equal seeds ------------------
-    let windows = steps * batch;
-    let mut cfg = bench_config(scale, batch);
-    cfg.epochs = 1;
-    cfg.windows_per_epoch = windows;
-    eprintln!(
-        "[train_bench] measuring: {steps} gradient steps x batch {batch} windows, {} (c={}), \
-         k={} machines",
-        cfg.arch.dim, cfg.context, data[0].num_marches()
-    );
-    let mut sps = [0.0f64; 2];
-    for (slot, batched) in [(0usize, false), (1, true)] {
-        cfg.batched = batched;
-        let trained = train_foundation(&data, &cfg);
-        sps[slot] = steps as f64 / trained.report.wall_seconds;
-        eprintln!(
-            "[train_bench] {}: {:7.2} steps/s ({:.2}s wall, final loss {:.4})",
-            if batched { "batched" } else { "scalar " },
-            sps[slot],
-            trained.report.wall_seconds,
-            trained.report.train_loss.last().unwrap()
-        );
-    }
-    let speedup = sps[1] / sps[0];
-    println!(
-        "train_bench: batch-major training speedup {speedup:.2}x ({:.1} -> {:.1} steps/s, \
-         batch {batch})",
-        sps[0], sps[1]
-    );
-
-    // ---- BENCH_train.json --------------------------------------------
-    let report = obj(vec![
-        ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
-        ("model", Json::Str(format!("LSTM-2-{} (c={})", cfg.arch.dim, cfg.context))),
-        ("marches", Json::Num(data[0].num_marches() as f64)),
-        ("batch", Json::Num(batch as f64)),
-        ("steps", Json::Num(steps as f64)),
-        ("windows", Json::Num(windows as f64)),
-        ("parity", Json::Str("byte-identical".into())),
-        ("scalar_steps_per_sec", Json::Num(sps[0])),
-        ("batched_steps_per_sec", Json::Num(sps[1])),
-        ("speedup", Json::Num(speedup)),
-        ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
-    ]);
-    std::fs::write("BENCH_train.json", format!("{report}\n")).expect("write BENCH_train.json");
-    eprintln!("[train_bench] wrote BENCH_train.json (total {:.1}s)", t0.elapsed().as_secs_f64());
-
-    if speedup < 1.5 {
-        eprintln!(
-            "[train_bench] WARNING: speedup {speedup:.2}x below the 1.5x target on this machine"
-        );
-    }
-    // `--assert-speedup X` turns a training-throughput regression into
-    // a hard failure (CI floors this at 1.5x so a de-batched step
-    // cannot land silently).
-    let min_speedup: f64 = arg_parse("--assert-speedup", 0.0);
-    if speedup < min_speedup {
-        eprintln!(
-            "[train_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
-        );
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    legacy_main(ExperimentKind::TrainBench)
 }

@@ -1,89 +1,12 @@
-//! **Section IV training-cost claims**: microarchitecture sampling and
-//! instruction-representation reuse.
+//! `train_opt` — thin shim over the spec-driven runner (Section IV training-cost claims).
 //!
-//! (a) Representation reuse cuts per-epoch training cost from linear in
-//! the number of sampled machines `k` to near-constant (the paper: 26
-//! days -> 8 hours at k = 77). Measured here by timing one epoch in both
-//! modes at several `k`.
-//!
-//! (b) Microarchitecture sampling trains a `k x d` table instead of a
-//! configuration-to-representation network — a parameter-count
-//! comparison (the paper: 19.7k vs ~1.3M, ~60x).
+//! Equivalent to `perfvec run train_opt` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-use perfvec::foundation::ArchSpec;
-use perfvec::trainer::{train_foundation, TrainConfig};
-use perfvec_bench::cache::{workload_datasets, DatasetCache};
-use perfvec_bench::Scale;
-use perfvec_ml::mlp::Mlp;
-use perfvec_ml::schedule::StepDecay;
-use perfvec_sim::sample::training_population;
-use perfvec_sim::MicroArchConfig;
-use perfvec_trace::features::FeatureMask;
-use perfvec_workloads::training_suite;
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    eprintln!("[train_opt] generating datasets...");
-    let configs = training_population(scale.march_seed());
-    let t_data = std::time::Instant::now();
-    let cache = DatasetCache::from_env_and_args();
-    let workloads: Vec<_> = training_suite().into_iter().take(3).collect();
-    let (data, cstats) = workload_datasets(&cache, &workloads, 8_000, &configs, FeatureMask::Full);
-    eprintln!(
-        "[train_opt] datasets ready in {:.1}s ({})",
-        t_data.elapsed().as_secs_f64(),
-        cstats.summary()
-    );
-
-    println!("== Representation reuse: one-epoch wall time vs sampled machines ==");
-    println!("{:>6} {:>14} {:>14} {:>9}", "k", "naive (s)", "reuse (s)", "speedup");
-    for k in [1usize, 5, 20, 77] {
-        let keep: Vec<usize> = (0..k).collect();
-        let subset: Vec<_> = data.iter().map(|d| d.with_march_subset(&keep)).collect();
-        let mut times = [0.0f64; 2];
-        for (slot, reuse) in [(0usize, false), (1, true)] {
-            let cfg = TrainConfig {
-                arch: ArchSpec::default_lstm(16),
-                context: 8,
-                epochs: 1,
-                batch_size: 32,
-                // Same window budget in both modes: the comparison
-                // isolates the per-window cost, not the schedule.
-                windows_per_epoch: 300,
-                val_windows: 0,
-                schedule: StepDecay::paper_default(),
-                reuse,
-                ..TrainConfig::default()
-            };
-            let trained = train_foundation(&subset, &cfg);
-            times[slot] = trained.report.wall_seconds;
-        }
-        println!(
-            "{:>6} {:>14.2} {:>14.2} {:>8.1}x",
-            k,
-            times[0],
-            times[1],
-            times[0] / times[1].max(1e-9)
-        );
-    }
-
-    println!();
-    println!("== Microarchitecture sampling: trainable parameter comparison ==");
-    let k = 77;
-    let d = 256;
-    let table_params = k * d;
-    // The paper's hypothetical configuration->representation model:
-    // 1000 inputs, 1000 hidden, d outputs.
-    let hypothetical = Mlp::new(&[1000, 1000, d], 0).params().len();
-    // And a realistic small one over this simulator's parameter vector.
-    let realistic = Mlp::new(&[MicroArchConfig::PARAM_DIM, 256, d], 0).params().len();
-    println!("representation table (77 x 256):              {:>10} parameters", table_params);
-    println!("hypothetical config->rep model (1000-1000-d):  {:>10} parameters", hypothetical);
-    println!("small config->rep model over {} params:        {:>10} parameters", MicroArchConfig::PARAM_DIM, realistic);
-    println!(
-        "sampling trains {:.0}x fewer microarchitecture-side parameters than the hypothetical model",
-        hypothetical as f64 / table_params as f64
-    );
-    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::TrainOpt)
 }

@@ -1,76 +1,12 @@
-//! Scratch utility: sweep the refit ridge strength on one trained model.
-use perfvec::compose::program_representation;
-use perfvec::predict::evaluate_program;
-use perfvec::refit::{accumulate_normal_equations, solve_table};
-use perfvec::trainer::train_foundation;
-use perfvec_bench::pipeline::subset_mean;
-use perfvec_bench::Scale;
-use perfvec_sim::sample::training_population;
-use perfvec_trace::features::FeatureMask;
+//! `tune_ridge` — thin shim over the spec-driven runner (refit ridge-strength sweep; scale fixed to quick, PV_* env overrides apply).
+//!
+//! Equivalent to `perfvec run tune_ridge` with the legacy argument
+//! conventions; pass `--report PATH` to also emit the JSON report.
 
-fn main() {
-    let scale = Scale::Quick;
-    let configs = training_population(scale.march_seed());
-    let tlen: u64 = std::env::var("PV_TRACE").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
-    let t_data = std::time::Instant::now();
-    let (data, cstats) = if tlen > 0 {
-        perfvec_bench::pipeline::suite_datasets_at(&configs, tlen, FeatureMask::Full)
-    } else {
-        perfvec_bench::pipeline::suite_datasets_stats(&configs, scale, FeatureMask::Full)
-    };
-    eprintln!(
-        "[tune_ridge] datasets ready in {:.1}s ({})",
-        t_data.elapsed().as_secs_f64(),
-        cstats.summary()
-    );
-    let mut cfg = scale.train_config();
-    // override arch from env for sweeps
-    if let Ok(d) = std::env::var("PV_DIM") { cfg.arch.dim = d.parse().unwrap(); }
-    if let Ok(c) = std::env::var("PV_CTX") { cfg.context = c.parse().unwrap(); }
-    if let Ok(e) = std::env::var("PV_EPOCHS") { cfg.epochs = e.parse().unwrap(); }
-    if let Ok(w) = std::env::var("PV_WINDOWS") { cfg.windows_per_epoch = w.parse().unwrap(); }
-    let trained = train_foundation(&data.train, &cfg);
-    eprintln!("trained; accumulating normal equations + reps...");
-    let eq = accumulate_normal_equations(&trained.foundation, &data.train);
-    let reps: Vec<(String, bool, Vec<f32>, Vec<f64>)> = data
-        .train
-        .iter()
-        .map(|d| (d.name.clone(), true, d, ()))
-        .map(|(n, s, d, _)| {
-            let rp = program_representation(&trained.foundation, &d.features);
-            let tr: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-            (n, s, rp, tr)
-        })
-        .chain(data.test.iter().map(|d| {
-            let rp = program_representation(&trained.foundation, &d.features);
-            let tr: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-            (d.name.clone(), false, rp, tr)
-        }))
-        .collect();
-    for ridge in [1e-8, 1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1] {
-        let table = solve_table(&eq, ridge);
-        let rows: Vec<_> = reps
-            .iter()
-            .map(|(n, s, rp, tr)| {
-                evaluate_program(n, *s, rp, &trained.foundation, &table, tr)
-            })
-            .collect();
-        println!(
-            "ridge {ridge:>8.0e}: seen {:5.1}%  unseen {:5.1}%",
-            subset_mean(&rows, true) * 100.0,
-            subset_mean(&rows, false) * 100.0
-        );
-    }
-    // Also the SGD table without refit:
-    let rows: Vec<_> = reps
-        .iter()
-        .map(|(n, s, rp, tr)| {
-            evaluate_program(n, *s, rp, &trained.foundation, &trained.march_table, tr)
-        })
-        .collect();
-    println!(
-        "sgd table     : seen {:5.1}%  unseen {:5.1}%",
-        subset_mean(&rows, true) * 100.0,
-        subset_mean(&rows, false) * 100.0
-    );
+use perfvec_bench::runner::legacy_main;
+use perfvec_bench::spec::ExperimentKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    legacy_main(ExperimentKind::TuneRidge)
 }

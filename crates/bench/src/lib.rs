@@ -1,18 +1,40 @@
 //! # perfvec-bench
 //!
-//! The experiment harness: shared plumbing for the per-figure/table
-//! binaries (`fig3` … `fig8`, `table3`, `table4`, `ablation_*`,
-//! `train_opt`) and the Criterion micro-benchmarks.
+//! The experiment harness. One declarative API runs everything:
 //!
-//! Every binary accepts `--scale quick|full` (default `quick`; scales
-//! only change trace lengths and training budgets, never the protocol)
-//! and `--no-cache` (bypass the on-disk dataset cache, see [`cache`]).
+//! * [`spec::ExperimentSpec`] — a typed description of one run
+//!   (experiment kind, scale, seed, feature mask, march subset, cache
+//!   policy, trace length, output path, kind-specific params), built
+//!   from CLI flags or loaded from a JSON config file;
+//! * [`runner`] — executes a spec; every figure/table/ablation/bench
+//!   experiment of the paper lives here as a function;
+//! * [`report`] — each run emits a schema-versioned JSON report
+//!   (metrics, per-phase timings, cache stats, version pins) alongside
+//!   its human-readable output.
+//!
+//! The `perfvec` multi-call binary (`run` / `list` / `report`) is the
+//! front door; the historical per-figure binaries (`fig3` … `fig8`,
+//! `table3`, `table4`, `ablation_*`, `train_opt`, `tune_ridge`,
+//! `serve_bench`, `train_bench`) remain as thin shims over the same
+//! runner — at equal seeds their metric values are byte-identical to
+//! the pre-refactor binaries.
+//!
+//! Every entry point accepts `--scale quick|full` (default `quick`;
+//! scales only change trace lengths and training budgets, never the
+//! protocol) and `--no-cache` (bypass the on-disk dataset cache, see
+//! [`cache`]).
 
 pub mod cache;
 pub mod chart;
 pub mod pipeline;
+pub mod report;
+pub mod runner;
 pub mod scale;
+pub mod spec;
 
 pub use cache::{workload_datasets, CacheStats, DatasetCache};
 pub use pipeline::{eval_seen_unseen, suite_datasets, SuiteData};
+pub use report::Report;
+pub use runner::RunError;
 pub use scale::Scale;
+pub use spec::{CachePolicy, ExperimentKind, ExperimentSpec};

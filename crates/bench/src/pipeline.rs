@@ -36,8 +36,19 @@ pub fn suite_datasets_at(
     trace_len: u64,
     mask: FeatureMask,
 ) -> (SuiteData, CacheStats) {
-    let cache = DatasetCache::from_env_and_args();
-    let (parts, stats) = workload_datasets(&cache, &suite(), trace_len, configs, mask);
+    suite_datasets_with(&DatasetCache::from_env_and_args(), configs, trace_len, mask)
+}
+
+/// Suite datasets through an explicit [`DatasetCache`] — what the
+/// spec-driven runner uses (cache policy comes from the
+/// [`crate::spec::ExperimentSpec`], not from process args).
+pub fn suite_datasets_with(
+    cache: &DatasetCache,
+    configs: &[MicroArchConfig],
+    trace_len: u64,
+    mask: FeatureMask,
+) -> (SuiteData, CacheStats) {
+    let (parts, stats) = workload_datasets(cache, &suite(), trace_len, configs, mask);
     (SuiteData::assemble(parts), stats)
 }
 

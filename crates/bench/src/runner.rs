@@ -1,0 +1,123 @@
+//! Spec-driven experiment execution: one entry point behind both the
+//! `perfvec` CLI and every legacy figure/table binary.
+//!
+//! Each experiment's logic lives in a submodule function with the
+//! signature `fn(&ExperimentSpec, &mut Report) -> Result<(), RunError>`
+//! — the exact code the old binaries ran, now recording metrics and
+//! phase timings into the [`Report`] as it prints its human-readable
+//! lines. The legacy binaries are thin shims over [`legacy_main`]; at
+//! equal seeds their stdout metric values are byte-identical to the
+//! pre-refactor binaries because the computation is the same code on
+//! the same inputs.
+
+use crate::report::Report;
+use crate::spec::{ExperimentKind, ExperimentSpec};
+use perfvec::predict::EvalRow;
+use perfvec_json::{obj, Json};
+use std::fmt;
+use std::process::ExitCode;
+
+mod ablations;
+mod benches;
+mod figures;
+mod tables;
+
+/// An experiment failure. The message is what the process prints on
+/// stderr before exiting nonzero (legacy binaries printed the same
+/// lines from their `main`).
+#[derive(Debug)]
+pub struct RunError(pub String);
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<String> for RunError {
+    fn from(msg: String) -> RunError {
+        RunError(msg)
+    }
+}
+
+/// Run one spec to completion, returning the filled report (not yet
+/// written to disk — see [`finish`]).
+pub fn run(spec: &ExperimentSpec) -> Result<Report, RunError> {
+    spec.validate().map_err(RunError)?;
+    let mut report = Report::new();
+    match spec.kind {
+        ExperimentKind::Fig3 | ExperimentKind::Custom => figures::fig3_like(spec, &mut report),
+        ExperimentKind::Fig4 => figures::fig4(spec, &mut report),
+        ExperimentKind::Fig5 => figures::fig5(spec, &mut report),
+        ExperimentKind::Fig6 => figures::fig6(spec, &mut report),
+        ExperimentKind::Fig7 => figures::fig7(spec, &mut report),
+        ExperimentKind::Fig8 => figures::fig8(spec, &mut report),
+        ExperimentKind::Table3 => tables::table3(spec, &mut report),
+        ExperimentKind::Table4 => tables::table4(spec, &mut report),
+        ExperimentKind::AblationData => ablations::ablation_data(spec, &mut report),
+        ExperimentKind::AblationFeatures => ablations::ablation_features(spec, &mut report),
+        ExperimentKind::TrainOpt => ablations::train_opt(spec, &mut report),
+        ExperimentKind::TuneRidge => ablations::tune_ridge(spec, &mut report),
+        ExperimentKind::ServeBench => benches::serve_bench(spec, &mut report),
+        ExperimentKind::TrainBench => benches::train_bench(spec, &mut report),
+    }?;
+    Ok(report)
+}
+
+/// Run one spec end to end — execute, print any failure, write the
+/// report when the spec asks for one. Returns whether everything
+/// succeeded. Shared by the CLI (which also drives sweeps through it)
+/// and the shims.
+pub fn execute(spec: &ExperimentSpec) -> bool {
+    match run(spec) {
+        Ok(report) => {
+            if let Some(path) = &spec.report_path {
+                if let Err(e) = report.write(path, spec) {
+                    eprintln!("[perfvec] cannot write report {}: {e}", path.display());
+                    return false;
+                }
+                eprintln!("[perfvec] report written to {}", path.display());
+            }
+            true
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            if !msg.is_empty() {
+                eprintln!("{msg}");
+            }
+            false
+        }
+    }
+}
+
+/// The whole `main` of a legacy figure/table binary: parse the legacy
+/// argument conventions into a spec, run it, write a report only if
+/// `--report PATH` was given.
+pub fn legacy_main(kind: ExperimentKind) -> ExitCode {
+    let spec = ExperimentSpec::from_legacy_args(kind);
+    if execute(&spec) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Per-program evaluation rows as report JSON.
+pub(crate) fn rows_json(rows: &[EvalRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                obj(vec![
+                    ("program", Json::Str(r.program.clone())),
+                    ("seen", Json::Bool(r.seen)),
+                    ("mean", Json::Num(r.mean)),
+                    ("std", Json::Num(r.std)),
+                    ("min", Json::Num(r.min)),
+                    ("max", Json::Num(r.max)),
+                ])
+            })
+            .collect(),
+    )
+}

@@ -1,0 +1,523 @@
+//! The throughput harnesses (`serve_bench`, `train_bench`), ported
+//! from the legacy binaries with report recording added. Both keep
+//! writing their `BENCH_*.json` perf-trajectory files; the spec report
+//! mirrors the same numbers. Parity/regression failures return
+//! [`RunError`] with the exact line the legacy binaries printed before
+//! exiting nonzero.
+
+use super::RunError;
+use crate::cache::workload_datasets;
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::spec::ExperimentSpec;
+use perfvec::checkpoint::encode;
+use perfvec::foundation::{ArchSpec, Foundation};
+use perfvec::trainer::{train_foundation, TrainConfig, TrainedFoundation};
+use perfvec::{predict_total_tenths, program_representation, MarchTable};
+use perfvec_json::{obj, Json};
+use perfvec_ml::schedule::StepDecay;
+use perfvec_serve::registry::{LoadedModel, ModelRegistry};
+use perfvec_serve::server::named_workload_features;
+use perfvec_serve::{start, EngineConfig, ServerConfig};
+use perfvec_sim::sample::{training_population, DEFAULT_MARCH_SEED};
+use perfvec_trace::features::FeatureMask;
+use perfvec_trace::ProgramData;
+use perfvec_workloads::training_suite;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One HTTP round trip (panics on transport errors — bench style).
+fn http(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, Json) {
+    perfvec_serve::client::roundtrip(stream, method, path, body).expect("http round trip")
+}
+
+/// The bench model: untrained but structurally real (training cost is
+/// irrelevant to serving throughput — the forward pass is identical).
+fn bench_model(dim: usize, context: usize) -> (ModelRegistry, Foundation, MarchTable) {
+    let spec = ArchSpec::default_lstm(dim);
+    let k = training_population(DEFAULT_MARCH_SEED).len();
+    let offline_foundation = Foundation::new(spec, context, 0.1, 42);
+    let offline_table = MarchTable::new(k, dim, 7);
+    let registry = ModelRegistry::new(vec![LoadedModel::from_parts(
+        "default",
+        Foundation::new(spec, context, 0.1, 42),
+        spec,
+        MarchTable::new(k, dim, 7),
+        DEFAULT_MARCH_SEED,
+    )])
+    .unwrap();
+    (registry, offline_foundation, offline_table)
+}
+
+/// The request mix: workloads × trace-length jitter × march rows. Every
+/// combination is a distinct program (different features), so with
+/// `no_cache` the server does full representation work per request.
+struct RequestMix {
+    programs: Vec<&'static str>,
+    base_len: u64,
+    marches: usize,
+}
+
+impl RequestMix {
+    fn body(&self, i: usize, no_cache: bool) -> String {
+        let program = self.programs[i % self.programs.len()];
+        let trace_len = self.base_len + 64 * ((i / self.programs.len()) % 4) as u64;
+        let march = i % self.marches;
+        format!(
+            r#"{{"program":"{program}","trace_len":{trace_len},"march_index":{march},"no_cache":{no_cache}}}"#
+        )
+    }
+}
+
+struct PhaseResult {
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+    max_batch: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Drive `requests` unique no-cache requests over `conns` keep-alive
+/// connections against a fresh in-process server.
+fn run_phase(
+    label: &'static str,
+    registry: ModelRegistry,
+    engine: EngineConfig,
+    conns: usize,
+    requests: usize,
+    mix: &Arc<RequestMix>,
+) -> PhaseResult {
+    let handle = start(registry, ServerConfig { port: 0, engine, ..ServerConfig::default() }).expect("server start");
+    let addr = handle.addr;
+    let next = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..conns)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let mix = Arc::clone(mix);
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                let mut latencies = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests {
+                        return latencies;
+                    }
+                    // `no_cache:false` + a server with `cache_entries:0`:
+                    // the representation is recomputed for every request
+                    // (the rep cache is disabled server-side) while the
+                    // feature cache still amortizes tracing, so the
+                    // measurement isolates the forward-pass serving cost.
+                    let body = mix.body(i, false);
+                    let t = Instant::now();
+                    let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
+                    latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                    assert_eq!(status, 200, "{label}: {resp}");
+                }
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+    for t in threads {
+        latencies.extend(t.join().expect("client thread"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = handle.engine().stats();
+    handle.shutdown();
+    latencies.sort_by(f64::total_cmp);
+    PhaseResult {
+        throughput_rps: requests as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        mean_batch: if stats.batcher.batches > 0 {
+            stats.batcher.jobs as f64 / stats.batcher.batches as f64
+        } else {
+            0.0
+        },
+        max_batch: stats.batcher.max_batch,
+    }
+}
+
+fn phase_json(r: &PhaseResult) -> Json {
+    obj(vec![
+        ("throughput_rps", Json::Num(r.throughput_rps)),
+        ("p50_ms", Json::Num(r.p50_ms)),
+        ("p95_ms", Json::Num(r.p95_ms)),
+        ("p99_ms", Json::Num(r.p99_ms)),
+        ("mean_batch", Json::Num(r.mean_batch)),
+        ("max_batch", Json::Num(r.max_batch as f64)),
+    ])
+}
+
+/// `serve_bench`: micro-batched vs unbatched serving throughput and
+/// tail latency, with a bit-parity gate against the offline predictor.
+pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
+    let scale = spec.scale;
+    let t0 = Instant::now();
+    let (dim, context) = match scale {
+        Scale::Quick => (16usize, 8usize),
+        Scale::Full => (32, 12),
+    };
+    let batch = spec.param_usize("batch", 32)?;
+    let default_workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+    let workers = spec.param_usize("workers", default_workers)?;
+    let conns = spec.param_usize("conns", 16)?;
+    let requests = spec.param_usize(
+        "requests",
+        match scale {
+            Scale::Quick => 160,
+            Scale::Full => 480,
+        },
+    )?;
+    if batch < 8 {
+        return Err(RunError(format!(
+            "[serve_bench] batch {batch} below 8 defeats the point of the comparison"
+        )));
+    }
+
+    // ---- parity gate -------------------------------------------------
+    let (registry, offline_foundation, offline_table) = bench_model(dim, context);
+    let handle = start(
+        registry,
+        ServerConfig {
+            port: 0,
+            engine: EngineConfig { batch, queue_depth: 1024, workers, cache_entries: 64 },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut conn = TcpStream::connect(handle.addr).unwrap();
+    let (program, trace_len, march) = ("999.specrand-like", 800u64, 5usize);
+    let body =
+        format!(r#"{{"program":"{program}","trace_len":{trace_len},"march_index":{march}}}"#);
+    let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
+    assert_eq!(status, 200, "parity request failed: {resp}");
+    let served = resp
+        .get("predicted_bits")
+        .and_then(Json::as_str)
+        .and_then(perfvec_serve::protocol::f64_from_bits_hex)
+        .unwrap();
+    let feats = named_workload_features(program, trace_len).unwrap();
+    let rep = program_representation(&offline_foundation, &feats);
+    let offline =
+        predict_total_tenths(&rep, offline_table.rep(march), offline_foundation.target_scale);
+    if served.to_bits() != offline.to_bits() {
+        return Err(RunError(format!(
+            "[serve_bench] PARITY FAILURE: served {served} vs offline {offline}"
+        )));
+    }
+    eprintln!("[serve_bench] parity ok: served == offline bit-for-bit ({offline} x 0.1ns)");
+    // Cache-hit fast path: repeat the identical request (cache on).
+    let cache_reqs = 200usize;
+    let t_cache = Instant::now();
+    for _ in 0..cache_reqs {
+        let (_, r) = http(&mut conn, "POST", "/v1/predict", &body);
+        assert_eq!(r.get("cache_hit").and_then(Json::as_bool), Some(true));
+    }
+    let cache_rps = cache_reqs as f64 / t_cache.elapsed().as_secs_f64();
+    eprintln!("[serve_bench] cache-hit serving: {cache_rps:.0} req/s (O(1) repeated queries)");
+    handle.shutdown();
+    report.phase("parity_gate", t0.elapsed().as_secs_f64());
+
+    // ---- batched vs unbatched, same worker count ---------------------
+    eprintln!(
+        "[serve_bench] measuring: {requests} unique uncached requests, {conns} connections, \
+         {workers} workers, LSTM-2-{dim} c={context}"
+    );
+    let mix = Arc::new(RequestMix {
+        programs: vec!["525.x264-like", "557.xz-like", "999.specrand-like", "508.namd-like"],
+        base_len: match scale {
+            Scale::Quick => 1_500,
+            Scale::Full => 4_000,
+        },
+        marches: offline_table.k,
+    });
+    let t_measure = Instant::now();
+    let unbatched = run_phase(
+        "unbatched",
+        bench_model(dim, context).0,
+        EngineConfig { batch: 1, queue_depth: 1024, workers, cache_entries: 0 },
+        conns,
+        requests,
+        &mix,
+    );
+    eprintln!(
+        "[serve_bench] --batch 1 : {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms",
+        unbatched.throughput_rps, unbatched.p50_ms, unbatched.p95_ms, unbatched.p99_ms
+    );
+    let batched = run_phase(
+        "batched",
+        bench_model(dim, context).0,
+        EngineConfig { batch, queue_depth: 1024, workers, cache_entries: 0 },
+        conns,
+        requests,
+        &mix,
+    );
+    eprintln!(
+        "[serve_bench] --batch {batch:<2}: {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms  \
+         (mean coalesce {:.1}, max {})",
+        batched.throughput_rps,
+        batched.p50_ms,
+        batched.p95_ms,
+        batched.p99_ms,
+        batched.mean_batch,
+        batched.max_batch
+    );
+    report.phase("load_phases", t_measure.elapsed().as_secs_f64());
+    let speedup = batched.throughput_rps / unbatched.throughput_rps;
+    println!(
+        "serve_bench: micro-batching speedup {speedup:.2}x ({:.1} -> {:.1} req/s, batch {batch}, \
+         {workers} workers)",
+        unbatched.throughput_rps, batched.throughput_rps
+    );
+
+    // ---- BENCH_serve.json --------------------------------------------
+    let bench = obj(vec![
+        ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
+        ("model", Json::Str(format!("LSTM-2-{dim} (c={context})"))),
+        ("workers", Json::Num(workers as f64)),
+        ("connections", Json::Num(conns as f64)),
+        ("requests", Json::Num(requests as f64)),
+        ("batch", Json::Num(batch as f64)),
+        ("parity", Json::Str("bit-identical".into())),
+        ("unbatched", phase_json(&unbatched)),
+        ("batched", phase_json(&batched)),
+        ("speedup", Json::Num(speedup)),
+        ("cache_hit_rps", Json::Num(cache_rps)),
+        ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
+    ]);
+    std::fs::write("BENCH_serve.json", format!("{bench}\n")).expect("write BENCH_serve.json");
+    eprintln!("[serve_bench] wrote BENCH_serve.json (total {:.1}s)", t0.elapsed().as_secs_f64());
+    report.metric_f64("speedup", speedup);
+    report.metric_f64("cache_hit_rps", cache_rps);
+    report.metric("parity", Json::Str("bit-identical".into()));
+    report.metric("unbatched", phase_json(&unbatched));
+    report.metric("batched", phase_json(&batched));
+    if speedup < 3.0 {
+        eprintln!(
+            "[serve_bench] WARNING: speedup {speedup:.2}x below the 3x target on this machine"
+        );
+    }
+    // `assert_speedup` turns a throughput regression into a hard
+    // failure (CI uses a conservative floor so a serialized
+    // forward-batch path cannot land silently).
+    let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
+    if speedup < min_speedup {
+        return Err(RunError(format!(
+            "[serve_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
+        )));
+    }
+    Ok(())
+}
+
+fn bench_datasets(spec: &ExperimentSpec, report: &mut Report) -> Vec<ProgramData> {
+    let configs = training_population(spec.seed);
+    let cache = spec.dataset_cache();
+    let workloads: Vec<_> = training_suite().into_iter().take(3).collect();
+    let trace_len = spec.trace_len_or(match spec.scale {
+        Scale::Quick => 6_000,
+        Scale::Full => 20_000,
+    });
+    let (data, stats) =
+        workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
+    eprintln!("[train_bench] datasets ready ({})", stats.summary());
+    report.absorb_cache(stats);
+    data
+}
+
+fn bench_config(scale: Scale, batch: usize) -> TrainConfig {
+    let (dim, context) = match scale {
+        Scale::Quick => (16usize, 8usize),
+        Scale::Full => (32, 12),
+    };
+    TrainConfig {
+        arch: ArchSpec::default_lstm(dim),
+        context,
+        batch_size: batch,
+        val_windows: 0,
+        schedule: StepDecay { initial: 3e-3, gamma: 0.3, every: 10 },
+        ..TrainConfig::default()
+    }
+}
+
+fn checkpoint_bytes(trained: &TrainedFoundation, arch: ArchSpec) -> Vec<u8> {
+    encode(&trained.foundation, arch, Some(&trained.march_table))
+}
+
+/// Snapshot → resume → byte-compare against an uninterrupted run.
+fn resume_smoke(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
+    let mut quick = spec.clone();
+    quick.scale = Scale::Quick;
+    let data = bench_datasets(&quick, report);
+    let dir = std::env::temp_dir().join("perfvec_train_bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("resume_smoke.pfs");
+
+    let mut cfg = bench_config(Scale::Quick, 32);
+    cfg.epochs = 4;
+    cfg.windows_per_epoch = 320;
+    cfg.val_windows = 200;
+    let straight = train_foundation(&data, &cfg);
+
+    let mut phase1 = cfg.clone();
+    phase1.epochs = 2;
+    phase1.snapshot_every = Some(2);
+    phase1.snapshot_path = Some(snap.clone());
+    train_foundation(&data, &phase1);
+
+    let mut phase2 = cfg.clone();
+    phase2.resume_from = Some(snap.clone());
+    let resumed = train_foundation(&data, &phase2);
+    std::fs::remove_file(&snap).ok();
+
+    let a = checkpoint_bytes(&straight, cfg.arch);
+    let b = checkpoint_bytes(&resumed, cfg.arch);
+    if a != b {
+        return Err(RunError(
+            "[train_bench] RESUME FAILURE: resumed checkpoint differs from straight run".into(),
+        ));
+    }
+    if resumed.report.train_loss != straight.report.train_loss
+        || resumed.report.val_loss != straight.report.val_loss
+    {
+        return Err(RunError("[train_bench] RESUME FAILURE: loss history differs".into()));
+    }
+    println!(
+        "train_bench: resume ok — snapshot at epoch 2/4 resumes to a byte-identical checkpoint \
+         ({} bytes)",
+        a.len()
+    );
+    report.metric("resume", Json::Str("byte-identical".into()));
+    report.metric_f64("checkpoint_bytes", a.len() as f64);
+    Ok(())
+}
+
+/// `train_bench`: batch-major vs scalar training throughput with a
+/// byte-parity gate (or the `resume_smoke` mode's snapshot check).
+pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
+    if spec.param_bool("resume_smoke", false)? {
+        return resume_smoke(spec, report);
+    }
+
+    let scale = spec.scale;
+    let t0 = Instant::now();
+    let batch = spec.param_usize("batch", 32)?;
+    let steps = spec.param_usize(
+        "steps",
+        match scale {
+            Scale::Quick => 60,
+            Scale::Full => 120,
+        },
+    )?;
+    if batch < 8 {
+        return Err(RunError(format!(
+            "[train_bench] batch {batch} below 8 defeats the point of the comparison"
+        )));
+    }
+    let data = bench_datasets(spec, report);
+
+    // ---- parity gate -------------------------------------------------
+    let t_parity = Instant::now();
+    let mut parity_cfg = bench_config(scale, 20);
+    parity_cfg.epochs = 2;
+    parity_cfg.windows_per_epoch = 200;
+    parity_cfg.val_windows = 120;
+    parity_cfg.batched = true;
+    let pb = train_foundation(&data, &parity_cfg);
+    parity_cfg.batched = false;
+    let ps = train_foundation(&data, &parity_cfg);
+    let (b_bytes, s_bytes) =
+        (checkpoint_bytes(&pb, parity_cfg.arch), checkpoint_bytes(&ps, parity_cfg.arch));
+    if b_bytes != s_bytes {
+        return Err(RunError(
+            "[train_bench] PARITY FAILURE: batched and scalar checkpoints differ".into(),
+        ));
+    }
+    eprintln!(
+        "[train_bench] parity ok: batched == scalar checkpoint byte-for-byte ({} bytes)",
+        b_bytes.len()
+    );
+    report.phase("parity_gate", t_parity.elapsed().as_secs_f64());
+
+    // ---- batched vs scalar steps/sec at equal seeds ------------------
+    let windows = steps * batch;
+    let mut cfg = bench_config(scale, batch);
+    cfg.epochs = 1;
+    cfg.windows_per_epoch = windows;
+    eprintln!(
+        "[train_bench] measuring: {steps} gradient steps x batch {batch} windows, {} (c={}), \
+         k={} machines",
+        cfg.arch.dim, cfg.context, data[0].num_marches()
+    );
+    let t_measure = Instant::now();
+    let mut sps = [0.0f64; 2];
+    for (slot, batched) in [(0usize, false), (1, true)] {
+        cfg.batched = batched;
+        let trained = train_foundation(&data, &cfg);
+        sps[slot] = steps as f64 / trained.report.wall_seconds;
+        eprintln!(
+            "[train_bench] {}: {:7.2} steps/s ({:.2}s wall, final loss {:.4})",
+            if batched { "batched" } else { "scalar " },
+            sps[slot],
+            trained.report.wall_seconds,
+            trained.report.train_loss.last().unwrap()
+        );
+    }
+    report.phase("throughput", t_measure.elapsed().as_secs_f64());
+    let speedup = sps[1] / sps[0];
+    println!(
+        "train_bench: batch-major training speedup {speedup:.2}x ({:.1} -> {:.1} steps/s, \
+         batch {batch})",
+        sps[0], sps[1]
+    );
+
+    // ---- BENCH_train.json --------------------------------------------
+    let bench = obj(vec![
+        ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
+        ("model", Json::Str(format!("LSTM-2-{} (c={})", cfg.arch.dim, cfg.context))),
+        ("marches", Json::Num(data[0].num_marches() as f64)),
+        ("batch", Json::Num(batch as f64)),
+        ("steps", Json::Num(steps as f64)),
+        ("windows", Json::Num(windows as f64)),
+        ("parity", Json::Str("byte-identical".into())),
+        ("scalar_steps_per_sec", Json::Num(sps[0])),
+        ("batched_steps_per_sec", Json::Num(sps[1])),
+        ("speedup", Json::Num(speedup)),
+        ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
+    ]);
+    std::fs::write("BENCH_train.json", format!("{bench}\n")).expect("write BENCH_train.json");
+    eprintln!("[train_bench] wrote BENCH_train.json (total {:.1}s)", t0.elapsed().as_secs_f64());
+    report.metric_f64("scalar_steps_per_sec", sps[0]);
+    report.metric_f64("batched_steps_per_sec", sps[1]);
+    report.metric_f64("speedup", speedup);
+    report.metric("parity", Json::Str("byte-identical".into()));
+
+    if speedup < 1.5 {
+        eprintln!(
+            "[train_bench] WARNING: speedup {speedup:.2}x below the 1.5x target on this machine"
+        );
+    }
+    // `assert_speedup` turns a training-throughput regression into a
+    // hard failure (CI floors this at 1.5x so a de-batched step cannot
+    // land silently).
+    let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
+    if speedup < min_speedup {
+        return Err(RunError(format!(
+            "[train_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
+        )));
+    }
+    Ok(())
+}

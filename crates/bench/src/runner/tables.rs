@@ -1,0 +1,451 @@
+//! The table experiments (Table III and Table IV), ported from the
+//! legacy binaries with report recording added.
+//!
+//! Table IV's exhaustive ground truth now flows through
+//! [`crate::cache`] like every other dataset batch: the 17-program x
+//! 36-config grid is content-addressed on disk, so a warm run pays
+//! ~nothing for ground truth it already simulated (the ROADMAP item
+//! this closes). Per-simulation cost — needed to attribute each DSE
+//! method's simulation budget fairly even when the grid was served
+//! from cache — is probed by timing a few live simulations instead of
+//! the whole grid.
+
+use super::RunError;
+use crate::cache::workload_datasets;
+use crate::pipeline::{suite_datasets_with, train_and_refit};
+use crate::report::Report;
+use crate::spec::ExperimentSpec;
+use perfvec::compose::{program_representation, program_representation_streaming};
+use perfvec::dse::{cache_param_vector, objective, with_cache_sizes, CacheGrid};
+use perfvec::finetune::cache_representations;
+use perfvec::foundation::ArchSpec;
+use perfvec::march_model::{train_march_model, MarchModelConfig};
+use perfvec::predict::predict_total_tenths;
+use perfvec::trainer::{train_foundation, TrainConfig};
+use perfvec_baselines::actboost::{select_active, ActBoost, ActBoostConfig};
+use perfvec_baselines::cross_program::{signature, CrossProgramModel};
+use perfvec_baselines::ithemal::{Ithemal, IthemalConfig};
+use perfvec_baselines::prog_specific::{ProgSpecificConfig, ProgSpecificModel};
+use perfvec_baselines::simnet::{simnet_features, SimNet, SimNetConfig};
+use perfvec_json::{obj, Json};
+use perfvec_ml::schedule::StepDecay;
+use perfvec_sim::sample::predefined_configs;
+use perfvec_sim::{simulate, MicroArchConfig};
+use perfvec_trace::features::extract_features;
+use perfvec_workloads::{by_name, suite};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// **Table III**: ML-based modeling and simulation approaches —
+/// generality flags plus measured prediction speeds on this machine.
+pub fn table3(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
+    let scale = spec.scale;
+    let t0 = Instant::now();
+    eprintln!("[table3] preparing a common workload and small models...");
+    let trace_len = spec.trace_len_or(scale.trace_len());
+    let workloads = [by_name("xz").unwrap()];
+    let trace = workloads[0].trace(trace_len);
+    let n = trace.len() as f64;
+    let configs = predefined_configs();
+    let march = &configs[1];
+    let sim = simulate(&trace, march);
+    let base = extract_features(&trace, spec.feature_mask);
+
+    // --- the simulator itself (the reference point) ---
+    let t = Instant::now();
+    let _ = simulate(&trace, march);
+    let sim_ips = n / t.elapsed().as_secs_f64();
+
+    // --- SimNet-like: per-instruction model evaluation ---
+    let sn_feats = simnet_features(&base, &sim);
+    let simnet = SimNet::train(
+        &sn_feats,
+        &sim.inc_latency_tenths,
+        &SimNetConfig { epochs: 4, ..Default::default() },
+    );
+    let t = Instant::now();
+    let _ = simnet.predict_total_tenths(&sn_feats);
+    let simnet_ips = n / t.elapsed().as_secs_f64();
+
+    // --- Ithemal-like: per-block model evaluation ---
+    let ithemal = Ithemal::train(
+        &base,
+        &sim.inc_latency_tenths,
+        &IthemalConfig { epochs: 4, ..Default::default() },
+    );
+    let t = Instant::now();
+    let _ = ithemal.predict_total_tenths(&base);
+    let ithemal_ips = n / t.elapsed().as_secs_f64();
+
+    // --- PerfVec: representation generation (one-time, parallel) then
+    //     instant dot-product predictions ---
+    let t_data = Instant::now();
+    let cache = spec.dataset_cache();
+    let (mut datasets, dstats) =
+        workload_datasets(&cache, &workloads, trace_len, &configs, spec.feature_mask);
+    let data = datasets.remove(0);
+    report.absorb_cache(dstats);
+    report.phase("datasets", t_data.elapsed().as_secs_f64());
+    eprintln!(
+        "[table3] PerfVec dataset ready in {:.1}s ({})",
+        t_data.elapsed().as_secs_f64(),
+        dstats.summary()
+    );
+    let cfg = TrainConfig {
+        arch: ArchSpec::default_lstm(32),
+        context: 12,
+        epochs: 4,
+        windows_per_epoch: 1_500,
+        schedule: StepDecay { initial: 5e-3, gamma: 0.3, every: 4 },
+        ..TrainConfig::default()
+    };
+    let trained = train_foundation(&[data], &cfg);
+    let t = Instant::now();
+    let rp = program_representation(&trained.foundation, &base);
+    let repgen_ips = n / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let rp_stream =
+        program_representation_streaming(&trained.foundation, &base, 8_192, 64).unwrap();
+    let stream_ips = n / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut black_hole = 0.0;
+    for j in 0..trained.march_table.k {
+        black_hole += predict_total_tenths(&rp, trained.march_table.rep(j), 1.0);
+    }
+    let per_pred_ns = t.elapsed().as_nanos() as f64 / trained.march_table.k as f64;
+    std::hint::black_box(black_hole);
+    let _ = rp_stream;
+
+    println!("== Table III: modeling approaches (measured on this machine) ==");
+    println!(
+        "{:<28} {:<26} {:<12} {:<22} {:>8} {:>8}",
+        "approach", "input", "target", "prediction speed", "prog-gen", "march-gen"
+    );
+    let row = |name: &str, input: &str, target: &str, speed: String, pg: &str, mg: &str| {
+        println!("{name:<28} {input:<26} {target:<12} {speed:<22} {pg:>8} {mg:>8}");
+    };
+    row(
+        "discrete-event simulator",
+        "full microarch state",
+        "program",
+        format!("{:.2} M instr/s", sim_ips / 1e6),
+        "yes",
+        "yes",
+    );
+    row(
+        "Ithemal-like [39]",
+        "textual instruction trace",
+        "basic block",
+        format!("{:.2} M instr/s", ithemal_ips / 1e6),
+        "yes",
+        "no",
+    );
+    row(
+        "SimNet-like [37]",
+        "march-DEPENDENT trace",
+        "program",
+        format!("{:.2} M instr/s", simnet_ips / 1e6),
+        "yes",
+        "no",
+    );
+    row(
+        "program-specific MLP [28]",
+        "march parameters",
+        "program",
+        "instant (<1 us)".to_string(),
+        "no",
+        "no",
+    );
+    row(
+        "cross-program linear [21]",
+        "march params + signature",
+        "program",
+        "instant (<1 us)".to_string(),
+        "partial",
+        "no",
+    );
+    row(
+        "PerfVec (this work)",
+        "march-INDEPENDENT trace",
+        "program",
+        format!("{per_pred_ns:.0} ns/dot after rep"),
+        "yes",
+        "yes",
+    );
+    println!();
+    println!(
+        "PerfVec one-time representation generation: {:.2} M instr/s windowed, {:.2} M instr/s streaming",
+        repgen_ips / 1e6,
+        stream_ips / 1e6
+    );
+    println!("(representations are reusable across every microarchitecture afterwards)");
+    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    report.metric_f64("simulator_ips", sim_ips);
+    report.metric_f64("ithemal_ips", ithemal_ips);
+    report.metric_f64("simnet_ips", simnet_ips);
+    report.metric_f64("perfvec_repgen_ips", repgen_ips);
+    report.metric_f64("perfvec_streaming_ips", stream_ips);
+    report.metric_f64("perfvec_pred_ns", per_pred_ns);
+    Ok(())
+}
+
+/// Mean fraction-of-better-designs over programs, given per-program
+/// selections under the true objective.
+fn quality(true_obj: &[Vec<f64>], picks: &[usize]) -> f64 {
+    let mut q = 0.0;
+    for (obj, &pick) in true_obj.iter().zip(picks) {
+        let chosen = obj[pick];
+        q += obj.iter().filter(|&&o| o < chosen).count() as f64 / obj.len() as f64;
+    }
+    q / picks.len() as f64
+}
+
+fn arg_min(v: &[f64]) -> usize {
+    v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+}
+
+/// **Table IV**: DSE method comparison — overhead and selection
+/// quality on the L1/L2 cache design space.
+pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
+    let scale = spec.scale;
+    let t0 = Instant::now();
+    let grid = CacheGrid::default();
+    let points = grid.points();
+    let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
+    let grid_configs: Vec<MicroArchConfig> =
+        points.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
+    let trace_len = spec.trace_len_or(scale.trace_len());
+    let cache = spec.dataset_cache();
+
+    eprintln!("[table4] exhaustive ground truth (17 programs x 36 configs)...");
+    let t_exhaustive = Instant::now();
+    let traces: Vec<_> = suite().iter().map(|w| (w.name, w.trace(trace_len))).collect();
+    // The grid datasets come from the content-addressed cache like any
+    // other batch; ground-truth totals are the target column sums —
+    // the harness-wide ground-truth convention (`eval_seen_unseen`),
+    // within f32 rounding of the simulator's exact cycle totals (the
+    // stored increments are f32; ~1e-4 relative, far below the
+    // percent-scale spreads the table ranks on).
+    let (gt_data, gstats) =
+        workload_datasets(&cache, &suite(), trace_len, &grid_configs, spec.feature_mask);
+    let times: Vec<Vec<f64>> = gt_data
+        .iter()
+        .map(|d| (0..d.num_marches()).map(|j| d.total_time(j)).collect())
+        .collect();
+    report.absorb_cache(gstats);
+    let gt_secs = t_exhaustive.elapsed().as_secs_f64();
+    report.phase("ground_truth", gt_secs);
+    eprintln!("[table4] ground truth ready in {gt_secs:.1}s ({})", gstats.summary());
+    let true_obj: Vec<Vec<f64>> = times
+        .iter()
+        .map(|ts| {
+            points.iter().zip(ts).map(|(&(l1, l2), &t)| objective(l1, l2, t)).collect()
+        })
+        .collect();
+
+    // Per-config sim cost, used to attribute overheads fairly. A warm
+    // cache makes the grid fetch nearly free, so the cost of one
+    // simulation is probed live (3 spread configs on the first
+    // program) rather than inferred from the fetch time.
+    let t_probe = Instant::now();
+    for &i in &[0usize, points.len() / 2, points.len() - 1] {
+        std::hint::black_box(simulate(&traces[0].1, &grid_configs[i]).total_tenths);
+    }
+    let sim_cost = t_probe.elapsed().as_secs_f64() / 3.0;
+    let exhaustive_secs = 17.0 * 36.0 * sim_cost;
+
+    // ---- program-specific MLP predictor [28]: 9 sims per program ----
+    eprintln!("[table4] program-specific MLP predictor...");
+    let t_m = Instant::now();
+    let mut mlp_picks = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x28);
+    for (p, _) in traces.iter().enumerate() {
+        let mut idx: Vec<usize> = (0..points.len()).collect();
+        idx.shuffle(&mut rng);
+        let train_idx = &idx[..9];
+        let samples: Vec<(&MicroArchConfig, f64)> =
+            train_idx.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
+        let model = ProgSpecificModel::train(&samples, &ProgSpecificConfig::default());
+        let pred_obj: Vec<f64> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(l1, l2))| objective(l1, l2, model.predict(&grid_configs[i]).max(0.0)))
+            .collect();
+        mlp_picks.push(arg_min(&pred_obj));
+    }
+    // model time + attributed simulation time for 17 x 9 runs
+    let mlp_secs = t_m.elapsed().as_secs_f64() + 17.0 * 9.0 * sim_cost;
+
+    // ---- cross-program linear predictor [21]: corpus + 5 sims each ----
+    eprintln!("[table4] cross-program linear predictor...");
+    let t_c = Instant::now();
+    // Corpus: the 9 training programs on 12 corpus configs.
+    let corpus_cfg_idx: Vec<usize> = (0..points.len()).step_by(3).collect();
+    let mut corpus = Vec::new();
+    for (p, (name, tr)) in traces.iter().enumerate() {
+        if !suite().iter().any(|w| {
+            w.name == *name && w.role == perfvec_workloads::SuiteRole::Training
+        }) {
+            continue;
+        }
+        let sig = signature(tr);
+        for &i in &corpus_cfg_idx {
+            corpus.push((sig.clone(), &grid_configs[i], times[p][i]));
+        }
+    }
+    let xmodel = CrossProgramModel::train(&corpus);
+    let mut xp_picks = Vec::new();
+    for (p, (_, tr)) in traces.iter().enumerate() {
+        let sig = signature(tr);
+        let obs: Vec<(&MicroArchConfig, f64)> =
+            (0..5).map(|k| (&grid_configs[k * 7], times[p][k * 7])).collect();
+        let cal = xmodel.calibration(&sig, &obs);
+        let pred_obj: Vec<f64> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(l1, l2))| {
+                objective(l1, l2, (xmodel.predict(&sig, &grid_configs[i]) * cal).max(0.0))
+            })
+            .collect();
+        xp_picks.push(arg_min(&pred_obj));
+    }
+    let xp_secs =
+        t_c.elapsed().as_secs_f64() + (corpus.len() as f64 + 17.0 * 5.0) * sim_cost;
+
+    // ---- ActBoost [36]: 5 + 5 active sims per program ----
+    eprintln!("[table4] ActBoost...");
+    let t_a = Instant::now();
+    let mut ab_picks = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x36);
+    for (p, _) in traces.iter().enumerate() {
+        let mut idx: Vec<usize> = (0..points.len()).collect();
+        idx.shuffle(&mut rng);
+        let mut have: Vec<usize> = idx[..5].to_vec();
+        let cfg = ActBoostConfig { rounds: 4, ..Default::default() };
+        // round 1
+        let samples: Vec<(&MicroArchConfig, f64)> =
+            have.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
+        let model = ActBoost::train(&samples, &cfg);
+        // active selection of 5 more
+        let pool: Vec<&MicroArchConfig> = idx[5..]
+            .iter()
+            .map(|&i| &grid_configs[i])
+            .collect();
+        let picked = select_active(&model, &pool, 5);
+        for c in picked {
+            let i = grid_configs.iter().position(|g| g.name == c.name).unwrap();
+            have.push(i);
+        }
+        let samples: Vec<(&MicroArchConfig, f64)> =
+            have.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
+        let model = ActBoost::train(&samples, &cfg);
+        let pred_obj: Vec<f64> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(l1, l2))| objective(l1, l2, model.predict(&grid_configs[i]).max(0.0)))
+            .collect();
+        ab_picks.push(arg_min(&pred_obj));
+    }
+    let ab_secs = t_a.elapsed().as_secs_f64() + 17.0 * 10.0 * sim_cost;
+    report.phase("baselines", t_m.elapsed().as_secs_f64());
+
+    // ---- PerfVec ----
+    eprintln!("[table4] PerfVec (foundation pre-training excluded, as in the paper)...");
+    let configs = spec.march_configs();
+    let t_data = Instant::now();
+    let (data, cstats) = suite_datasets_with(&cache, &configs, trace_len, spec.feature_mask);
+    report.absorb_cache(cstats);
+    report.phase("datasets", t_data.elapsed().as_secs_f64());
+    eprintln!(
+        "[table4] foundation datasets ready in {:.1}s ({})",
+        t_data.elapsed().as_secs_f64(),
+        cstats.summary()
+    );
+    let t_found = Instant::now();
+    let trained = train_and_refit(&data, &scale.train_config());
+    let foundation_secs = t_found.elapsed().as_secs_f64();
+    report.phase("train", foundation_secs);
+
+    let t_p = Instant::now();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xd5e7);
+    let mut sampled = points.clone();
+    sampled.shuffle(&mut rng);
+    sampled.truncate(18);
+    let tune_configs: Vec<_> =
+        sampled.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
+    let tune_params: Vec<Vec<f32>> =
+        sampled.iter().map(|&(l1, l2)| cache_param_vector(l1, l2)).collect();
+    let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
+    let (tuning, tstats) = workload_datasets(
+        &cache,
+        &tuning_workloads,
+        trace_len,
+        &tune_configs,
+        spec.feature_mask,
+    );
+    report.absorb_cache(tstats);
+    eprintln!("[table4] PerfVec tuning data ready ({})", tstats.summary());
+    let cached = cache_representations(&trained.foundation, &tuning, 5_000, 0x715e);
+    let (march_model, _) = train_march_model(
+        &cached,
+        &tune_params,
+        trained.foundation.dim(),
+        trained.foundation.target_scale,
+        &MarchModelConfig { epochs: 80, ..Default::default() },
+    );
+    let mut pv_picks = Vec::new();
+    for (_, tr) in &traces {
+        let feats = extract_features(tr, spec.feature_mask);
+        let rp = program_representation(&trained.foundation, &feats);
+        let pred_obj: Vec<f64> = points
+            .iter()
+            .map(|&(l1, l2)| {
+                objective(l1, l2, march_model.predict_total_tenths(&rp, &cache_param_vector(l1, l2)).max(0.0))
+            })
+            .collect();
+        pv_picks.push(arg_min(&pred_obj));
+    }
+    let pv_secs = t_p.elapsed().as_secs_f64();
+    report.phase("perfvec_dse", pv_secs);
+
+    // ---- report ----
+    println!("== Table IV: DSE methods on the 6x6 cache space, 17 programs ==");
+    println!(
+        "{:<28} {:>14} {:>12} {:>16}",
+        "method", "overhead (s)", "quality", "sims required"
+    );
+    let rows = [
+        ("exhaustive simulation", exhaustive_secs, 0.0, 17 * 36),
+        ("MLP predictor [28]", mlp_secs, quality(&true_obj, &mlp_picks), 17 * 9),
+        ("cross-program [21]", xp_secs, quality(&true_obj, &xp_picks), corpus.len() + 17 * 5),
+        ("ActBoost [36]", ab_secs, quality(&true_obj, &ab_picks), 17 * 10),
+        ("PerfVec", pv_secs, quality(&true_obj, &pv_picks), 18 * 3),
+    ];
+    for (name, secs, q, sims) in rows {
+        println!("{:<28} {:>14.1} {:>11.1}% {:>16}", name, secs, q * 100.0, sims);
+    }
+    report.metric(
+        "methods",
+        Json::Arr(
+            rows.iter()
+                .map(|(name, secs, q, sims)| {
+                    obj(vec![
+                        ("method", Json::Str(name.to_string())),
+                        ("overhead_seconds", Json::Num(*secs)),
+                        ("quality", Json::Num(*q)),
+                        ("sims_required", Json::Num(*sims as f64)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    report.metric_f64("foundation_train_seconds", foundation_secs);
+    println!();
+    println!(
+        "(PerfVec additionally amortizes a one-time foundation training of {foundation_secs:.0}s \
+         across every future DSE; baselines repeat their full cost per study)"
+    );
+    println!("total wall time {:.1}s", t0.elapsed().as_secs_f64());
+    Ok(())
+}

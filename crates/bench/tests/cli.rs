@@ -1,0 +1,213 @@
+//! Integration tests for the `perfvec` multi-call CLI: loud rejection
+//! of unknown subcommands/flags/experiments (exit 2, matching the
+//! harness flag-parsing convention), `list`/`report` behavior, and an
+//! end-to-end config-file sweep over scenarios no legacy binary can
+//! express (custom march subset × feature mask).
+
+use perfvec_json::Json;
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn perfvec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perfvec"))
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unknown_subcommand_is_loud_and_exits_2() {
+    let out = perfvec().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("frobnicate"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("run | list | report"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_subcommand_is_loud_and_exits_2() {
+    let out = perfvec().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("missing subcommand"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_flag_is_loud_and_exits_2() {
+    let out = perfvec().args(["run", "fig3", "--scael", "quick"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--scael"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_experiment_is_loud_and_exits_2() {
+    let out = perfvec().args(["run", "fig9"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("fig9"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_flag_value_and_bad_values_exit_2() {
+    let out = perfvec().args(["run", "fig3", "--scale"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("missing value"), "{}", stderr(&out));
+
+    let out = perfvec().args(["run", "fig3", "--seed", "pony"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("pony"), "{}", stderr(&out));
+
+    let out = perfvec().args(["run", "fig3", "--march-subset", "5..3"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("empty range"), "{}", stderr(&out));
+}
+
+#[test]
+fn params_are_validated_per_experiment() {
+    // fig3 takes no params: a typo'd --set must not silently run.
+    let out = perfvec().args(["run", "fig3", "--set", "batch=16"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("batch"), "{}", stderr(&out));
+}
+
+#[test]
+fn fields_an_experiment_ignores_are_rejected() {
+    // serve_bench doesn't honor march_subset: running it anyway would
+    // emit a report whose spec echo lies about what executed.
+    let out =
+        perfvec().args(["run", "serve_bench", "--march-subset", "0,1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("march_subset"), "{}", stderr(&out));
+}
+
+#[test]
+fn config_conflicts_with_per_run_flags() {
+    let out =
+        perfvec().args(["run", "fig3", "--config", "x.json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--config"), "{}", stderr(&out));
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let out = perfvec().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4",
+        "ablation_data", "ablation_features", "train_opt", "tune_ridge",
+        "serve_bench", "train_bench", "custom",
+    ] {
+        assert!(text.lines().any(|l| l.starts_with(name)), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn report_subcommand_rejects_invalid_documents() {
+    let dir = std::env::temp_dir().join(format!("perfvec_cli_report_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema_version\": 99}").unwrap();
+    let out = perfvec().args(["report", bad.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("schema_version"), "{}", stderr(&out));
+
+    let missing = dir.join("nope.json");
+    let out = perfvec().args(["report", missing.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance scenario: a config-file sweep over custom march
+/// subsets × feature masks — a scenario surface no legacy binary
+/// exposes — runs end to end, and each run's report parses, validates,
+/// and echoes its spec.
+#[test]
+fn config_file_sweep_runs_scenarios_no_legacy_bin_can_express() {
+    let dir = std::env::temp_dir().join(format!("perfvec_cli_sweep_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two cells of a (march subset × feature mask) sweep, shrunk to
+    // seconds via the custom kind's training params.
+    let config = r#"[
+      {
+        "experiment": "custom",
+        "scale": "quick",
+        "march_subset": [0, 1, 2, 3],
+        "features": "full",
+        "trace_len": 600,
+        "params": {"dim": 8, "context": 4, "epochs": 1,
+                   "windows_per_epoch": 40, "val_windows": 16}
+      },
+      {
+        "experiment": "custom",
+        "scale": "quick",
+        "march_subset": [0, 2, 4, 6],
+        "features": "no_mem_branch",
+        "trace_len": 600,
+        "params": {"dim": 8, "context": 4, "epochs": 1,
+                   "windows_per_epoch": 40, "val_windows": 16}
+      }
+    ]"#;
+    let config_path = dir.join("sweep.json");
+    std::fs::write(&config_path, config).unwrap();
+
+    let out = perfvec()
+        .args(["run", "--config", config_path.to_str().unwrap()])
+        .current_dir(&dir)
+        .env("PERFVEC_CACHE_DIR", dir.join("cache"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "sweep failed\nstdout:\n{}\nstderr:\n{}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("sweep complete: 2/2"), "{}", stderr(&out));
+
+    for (i, mask, subset) in
+        [(0usize, "full", vec![0u64, 1, 2, 3]), (1, "no_mem_branch", vec![0, 2, 4, 6])]
+    {
+        let path = dir.join(format!("reports/custom-{i}.json"));
+        let report = read_report(&path);
+        assert_eq!(
+            report.get("experiment").and_then(Json::as_str),
+            Some("custom"),
+            "{path:?}"
+        );
+        let spec = report.get("spec").expect("spec echo");
+        assert_eq!(spec.get("features").and_then(Json::as_str), Some(mask));
+        let echoed: Vec<u64> = spec
+            .get("march_subset")
+            .and_then(Json::as_arr)
+            .expect("march_subset echoed")
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(echoed, subset);
+        let metrics = report.get("metrics").expect("metrics");
+        assert_eq!(metrics.get("marches").and_then(Json::as_f64), Some(4.0));
+        for key in ["seen_mean_error", "unseen_mean_error", "rows"] {
+            assert!(metrics.get(key).is_some(), "missing metric {key} in {path:?}");
+        }
+
+        // `perfvec report` accepts its own output.
+        let out = perfvec().args(["report", path.to_str().unwrap()]).output().unwrap();
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert!(stdout(&out).contains("valid report"), "{}", stdout(&out));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Read + parse + schema-validate one report file.
+fn read_report(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("{path:?} does not parse: {e}"));
+    perfvec_bench::report::validate(&v)
+        .unwrap_or_else(|e| panic!("{path:?} does not validate: {e}"));
+    v
+}

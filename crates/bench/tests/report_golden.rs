@@ -1,0 +1,92 @@
+//! Golden-file pin of the JSON report schema.
+//!
+//! Report consumers (CI assertions, dashboards, diffing tools) key on
+//! the exact byte format: recursively sorted keys, 2-space pretty
+//! printing, the `schema_version` field, and the top-level key set.
+//! This test renders a fully-deterministic report and byte-compares it
+//! against `tests/golden/report_schema_v1.json` — any change to the
+//! schema must update the golden file *and* bump
+//! [`perfvec_bench::report::SCHEMA_VERSION`].
+
+use perfvec_bench::cache::CacheStats;
+use perfvec_bench::report::{validate, Report, REQUIRED_KEYS, SCHEMA_VERSION};
+use perfvec_bench::spec::{ExperimentKind, ExperimentSpec};
+use perfvec_json::Json;
+use std::path::PathBuf;
+
+const GOLDEN: &str = include_str!("golden/report_schema_v1.json");
+
+/// A report with every field pinned (no clocks, no git lookup).
+fn golden_report() -> (Report, ExperimentSpec) {
+    let mut spec = ExperimentSpec::new(ExperimentKind::Fig3);
+    spec.report_path = Some(PathBuf::from("reports/fig3.json"));
+    let mut r = Report::new();
+    r.git = Some("0123456789abcdef0123456789abcdef01234567".to_string());
+    r.wall_seconds = Some(12.5);
+    r.phase("datasets", 1.25);
+    r.phase("train", 10.0);
+    r.phase("eval", 0.5);
+    r.metric_f64("seen_mean_error", 0.043);
+    r.metric_f64("unseen_mean_error", 0.101);
+    r.metric("model", Json::Str("LSTM-2-32 (c=12)".to_string()));
+    r.absorb_cache(CacheStats { hits: 17, misses: 0, recovered: 0, enabled: true });
+    (r, spec)
+}
+
+#[test]
+fn report_bytes_match_the_golden_file() {
+    let (r, spec) = golden_report();
+    let rendered = r.render(&spec);
+    assert_eq!(
+        rendered, GOLDEN,
+        "report byte format changed — if intentional, update \
+         tests/golden/report_schema_v1.json and bump report::SCHEMA_VERSION.\n\
+         rendered:\n{rendered}"
+    );
+}
+
+/// Every object in the golden document has sorted keys (the property
+/// consumers rely on for stable diffs).
+fn assert_sorted(v: &Json, path: &str) {
+    match v {
+        Json::Obj(fields) => {
+            for w in fields.windows(2) {
+                assert!(
+                    w[0].0 < w[1].0,
+                    "keys {:?} and {:?} out of order at {path}",
+                    w[0].0,
+                    w[1].0
+                );
+            }
+            for (k, child) in fields {
+                assert_sorted(child, &format!("{path}.{k}"));
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                assert_sorted(child, &format!("{path}[{i}]"));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn golden_file_is_sorted_versioned_and_valid() {
+    let v = Json::parse(GOLDEN).expect("golden parses");
+    assert_sorted(&v, "$");
+    assert_eq!(v.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+    for key in REQUIRED_KEYS {
+        assert!(v.get(key).is_some(), "golden is missing {key:?}");
+    }
+    let summary = validate(&v).expect("golden validates");
+    assert!(summary.contains("experiment fig3"), "{summary}");
+}
+
+#[test]
+fn golden_spec_echo_round_trips_into_an_equal_spec() {
+    let v = Json::parse(GOLDEN).unwrap();
+    let echoed = ExperimentSpec::from_json(v.get("spec").expect("spec echo")).unwrap();
+    let (_, original) = golden_report();
+    assert_eq!(echoed, original);
+}

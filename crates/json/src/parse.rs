@@ -1,49 +1,9 @@
-//! A minimal JSON value type, parser, and writer.
-//!
-//! The vendored `serde` is marker-traits-only (no real serialization),
-//! so the wire format is handled by this hand-rolled module: a strict
-//! recursive-descent parser with a depth limit, and a writer whose
-//! `f64` formatting uses Rust's shortest-roundtrip `Display`, so finite
-//! numbers survive a serialize/parse round trip bit-exactly.
+//! The strict recursive-descent parser.
 
-use std::fmt;
+use crate::value::{Json, JsonError};
 
 /// Maximum nesting depth the parser accepts (stack-overflow guard).
 const MAX_DEPTH: usize = 64;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved.
-    Obj(Vec<(String, Json)>),
-}
-
-/// Parse failure: a message and the byte offset it occurred at.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// What went wrong.
-    pub msg: String,
-    /// Byte offset into the input.
-    pub at: usize,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at byte {}", self.msg, self.at)
-    }
-}
-
-impl std::error::Error for JsonError {}
 
 impl Json {
     /// Parse a complete JSON document (trailing non-whitespace rejected).
@@ -57,123 +17,6 @@ impl Json {
         }
         Ok(v)
     }
-
-    /// Object field lookup (`None` for non-objects or missing keys).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The number, if this is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The number as a non-negative integer, if it is one exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        let v = self.as_f64()?;
-        (v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64).then_some(v as u64)
-    }
-
-    /// The string, if this is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The boolean, if this is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The array elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Serialize into `out` (compact, no whitespace).
-    pub fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(true) => out.push_str("true"),
-            Json::Bool(false) => out.push_str("false"),
-            Json::Num(v) => {
-                if v.is_finite() {
-                    // Rust's shortest-roundtrip Display: parses back to
-                    // the identical f64, and prints integral values
-                    // without a decimal point (valid JSON either way).
-                    out.push_str(&format!("{v}"));
-                } else {
-                    out.push_str("null"); // JSON has no Inf/NaN
-                }
-            }
-            Json::Str(s) => write_escaped(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(k, out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut s = String::new();
-        self.write(&mut s);
-        f.write_str(&s)
-    }
-}
-
-/// Convenience constructor for an object literal.
-pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 struct Parser<'a> {
@@ -396,6 +239,7 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::obj;
 
     #[test]
     fn parses_scalars_and_containers() {
@@ -406,6 +250,7 @@ mod tests {
         let v = Json::parse(r#"{"a": [1, 2], "b": {"c": false}}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(false));
+        let _ = obj(vec![]);
     }
 
     #[test]
@@ -423,25 +268,9 @@ mod tests {
     }
 
     #[test]
-    fn f64_round_trips_bit_exactly() {
-        for v in [0.1 + 0.2, 1.0 / 3.0, 123456.789e-5, f64::MIN_POSITIVE, -0.0, 9.87e300] {
-            let mut s = String::new();
-            Json::Num(v).write(&mut s);
-            let back = Json::parse(&s).unwrap().as_f64().unwrap();
-            assert_eq!(v.to_bits(), back.to_bits(), "{v} via {s}");
-        }
-    }
-
-    #[test]
     fn unicode_escapes_and_surrogates() {
         assert_eq!(Json::parse(r#""\u0041""#).unwrap(), Json::Str("A".into()));
         assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
         assert!(Json::parse(r#""\ud83d""#).is_err());
-    }
-
-    #[test]
-    fn writer_escapes_and_orders_fields() {
-        let v = obj(vec![("k\"ey", Json::Str("v\\1".into())), ("n", Json::Num(3.0))]);
-        assert_eq!(v.to_string(), r#"{"k\"ey":"v\\1","n":3}"#);
     }
 }

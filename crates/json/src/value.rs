@@ -1,0 +1,270 @@
+//! The JSON value model and its printers.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure: a message and the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        (v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64).then_some(v as u64)
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// A copy with every object's fields sorted by key, recursively —
+    /// the canonical form the experiment reports are written in, so
+    /// report bytes don't depend on field-insertion order.
+    pub fn sorted(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::sorted).collect()),
+            Json::Obj(fields) => {
+                let mut out: Vec<(String, Json)> =
+                    fields.iter().map(|(k, v)| (k.clone(), v.sorted())).collect();
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(out)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Serialize into `out` (compact, no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => write_num(*v, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Human-readable serialization: 2-space indentation, one
+    /// field/element per line, empty containers inline. Parses back to
+    /// the identical value (modulo non-finite numbers, which JSON
+    /// cannot carry and both printers write as `null`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&" ".repeat(indent + STEP));
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+            scalar_or_empty => scalar_or_empty.write(out),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Convenience constructor for an object literal.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn write_num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display: parses back to the
+        // identical f64, and prints integral values without a decimal
+        // point (valid JSON either way).
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null"); // JSON has no Inf/NaN
+    }
+}
+
+pub(crate) fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for v in [0.1 + 0.2, 1.0 / 3.0, 123456.789e-5, f64::MIN_POSITIVE, -0.0, 9.87e300] {
+            let mut s = String::new();
+            Json::Num(v).write(&mut s);
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} via {s}");
+        }
+    }
+
+    #[test]
+    fn writer_escapes_and_orders_fields() {
+        let v = obj(vec![("k\"ey", Json::Str("v\\1".into())), ("n", Json::Num(3.0))]);
+        assert_eq!(v.to_string(), r#"{"k\"ey":"v\\1","n":3}"#);
+    }
+
+    #[test]
+    fn sorted_orders_keys_recursively_and_keeps_arrays() {
+        let v = obj(vec![
+            ("b", obj(vec![("z", Json::Num(1.0)), ("a", Json::Num(2.0))])),
+            ("a", Json::Arr(vec![Json::Num(2.0), Json::Num(1.0)])),
+        ]);
+        assert_eq!(v.sorted().to_string(), r#"{"a":[2,1],"b":{"a":2,"z":1}}"#);
+    }
+
+    #[test]
+    fn pretty_round_trips_and_indents() {
+        let v = obj(vec![
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("nested", obj(vec![("xs", Json::Arr(vec![Json::Num(1.0), Json::Null]))])),
+        ]);
+        let p = v.pretty();
+        assert_eq!(Json::parse(&p).unwrap(), v);
+        assert!(p.contains("\"empty_arr\": []"));
+        assert!(p.contains("  \"nested\": {\n    \"xs\": [\n      1,\n      null\n    ]\n  }"));
+    }
+}

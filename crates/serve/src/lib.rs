@@ -44,7 +44,13 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod http;
-pub mod json;
+/// The JSON layer, re-exported from the shared [`perfvec_json`] crate
+/// (it moved there so the bench harness's experiment specs and reports
+/// share one value model with the wire protocol). Existing
+/// `perfvec_serve::json::*` paths keep working.
+pub mod json {
+    pub use perfvec_json::*;
+}
 pub mod protocol;
 pub mod registry;
 pub mod server;
