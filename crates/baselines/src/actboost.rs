@@ -41,7 +41,13 @@ pub struct ActBoostConfig {
 
 impl Default for ActBoostConfig {
     fn default() -> ActBoostConfig {
-        ActBoostConfig { rounds: 6, hidden: 8, epochs: 300, lr: 1e-2, seed: 0xacb }
+        ActBoostConfig {
+            rounds: 6,
+            hidden: 8,
+            epochs: 300,
+            lr: 1e-2,
+            seed: 0xacb,
+        }
     }
 }
 
@@ -85,13 +91,15 @@ impl ActBoost {
         for round in 0..cfg.rounds {
             let mlp = train_weak(&xs, &ys, &weights, cfg, cfg.seed ^ (round as u64 * 7919));
             // AdaBoost.R2 loss update.
-            let errs: Vec<f64> =
-                xs.iter().zip(&ys).map(|(x, &y)| (mlp.forward(x).0[0] - y).abs() as f64).collect();
+            let errs: Vec<f64> = xs
+                .iter()
+                .zip(&ys)
+                .map(|(x, &y)| (mlp.forward(x).0[0] - y).abs() as f64)
+                .collect();
             let emax = errs.iter().cloned().fold(1e-12, f64::max);
             let losses: Vec<f64> = errs.iter().map(|e| e / emax).collect();
-            let eps: f64 =
-                weights.iter().zip(&losses).map(|(w, l)| w * l).sum::<f64>()
-                    / weights.iter().sum::<f64>();
+            let eps: f64 = weights.iter().zip(&losses).map(|(w, l)| w * l).sum::<f64>()
+                / weights.iter().sum::<f64>();
             let eps = eps.clamp(1e-6, 0.499);
             let beta = eps / (1.0 - eps);
             for (w, l) in weights.iter_mut().zip(&losses) {
@@ -102,7 +110,10 @@ impl ActBoost {
             for w in &mut weights {
                 *w = (*w / sum).max(1e-9);
             }
-            weaks.push(Weak { mlp, beta_log: (1.0 / beta).ln() });
+            weaks.push(Weak {
+                mlp,
+                beta_log: (1.0 / beta).ln(),
+            });
             // Mild stochastic perturbation mirrors the statistical
             // sampling component.
             let _ = rng.gen::<u64>();
@@ -134,8 +145,11 @@ impl ActBoost {
     /// acquisition score): the spread of weak-learner predictions.
     pub fn disagreement(&self, config: &MicroArchConfig) -> f64 {
         let x = config.param_vector();
-        let preds: Vec<f64> =
-            self.weaks.iter().map(|w| (w.mlp.forward(&x).0[0] * self.scale) as f64).collect();
+        let preds: Vec<f64> = self
+            .weaks
+            .iter()
+            .map(|w| (w.mlp.forward(&x).0[0] * self.scale) as f64)
+            .collect();
         let lo = preds.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         hi - lo
@@ -167,8 +181,10 @@ mod tests {
     fn boosting_fits_its_training_set() {
         let trace = by_name("specrand").unwrap().trace(2_500);
         let configs = sample_configs(21, 10, 2);
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            configs.iter().map(|c| (c, simulate(&trace, c).total_tenths)).collect();
+        let samples: Vec<(&MicroArchConfig, f64)> = configs
+            .iter()
+            .map(|c| (c, simulate(&trace, c).total_tenths))
+            .collect();
         let model = ActBoost::train(&samples, &ActBoostConfig::default());
         let err: f64 = samples
             .iter()
@@ -187,7 +203,13 @@ mod tests {
             .take(4)
             .map(|c| (c, simulate(&trace, c).total_tenths))
             .collect();
-        let model = ActBoost::train(&samples, &ActBoostConfig { rounds: 3, ..Default::default() });
+        let model = ActBoost::train(
+            &samples,
+            &ActBoostConfig {
+                rounds: 3,
+                ..Default::default()
+            },
+        );
         let pool: Vec<&MicroArchConfig> = configs[4..].iter().collect();
         let picked = select_active(&model, &pool, 2);
         assert_eq!(picked.len(), 2);
@@ -199,8 +221,10 @@ mod tests {
         // weighted median; sanity-check predictions stay finite/positive.
         let trace = by_name("xz").unwrap().trace(1_500);
         let configs = sample_configs(23, 6, 1);
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            configs.iter().map(|c| (c, simulate(&trace, c).total_tenths)).collect();
+        let samples: Vec<(&MicroArchConfig, f64)> = configs
+            .iter()
+            .map(|c| (c, simulate(&trace, c).total_tenths))
+            .collect();
         let model = ActBoost::train(&samples, &ActBoostConfig::default());
         for (c, _) in &samples {
             let p = model.predict(c);

@@ -123,9 +123,16 @@ mod tests {
         // New program: calibrate on 3 configs, evaluate on the rest.
         let target = by_name("perlbench").unwrap().trace(2_500);
         let sig = signature(&target);
-        let times: Vec<f64> = configs.iter().map(|c| simulate(&target, c).total_tenths).collect();
-        let obs: Vec<(&MicroArchConfig, f64)> =
-            configs.iter().take(3).zip(times.iter().take(3)).map(|(c, &t)| (c, t)).collect();
+        let times: Vec<f64> = configs
+            .iter()
+            .map(|c| simulate(&target, c).total_tenths)
+            .collect();
+        let obs: Vec<(&MicroArchConfig, f64)> = configs
+            .iter()
+            .take(3)
+            .zip(times.iter().take(3))
+            .map(|(c, &t)| (c, t))
+            .collect();
         let k = model.calibration(&sig, &obs);
         let err: f64 = configs[3..]
             .iter()

@@ -40,7 +40,10 @@ pub fn split_blocks(features: &Matrix, max_len: usize) -> Vec<Block> {
         }
     }
     if start < features.rows {
-        blocks.push(Block { start, end: features.rows });
+        blocks.push(Block {
+            start,
+            end: features.rows,
+        });
     }
     blocks
 }
@@ -119,7 +122,12 @@ fn batched_block_pass(
     let mut group: Vec<usize> = Vec::new();
     for &t in &lengths {
         group.clear();
-        group.extend(items.iter().copied().filter(|&b| blocks[b].end - blocks[b].start == t));
+        group.extend(
+            items
+                .iter()
+                .copied()
+                .filter(|&b| blocks[b].end - blocks[b].start == t),
+        );
         let bn = group.len();
         xs.clear();
         for &b in &group {
@@ -178,7 +186,15 @@ impl Ithemal {
             for chunk in order.chunks(cfg.batch) {
                 let (_, grads) = if cfg.batched {
                     step.accumulate(chunk.len(), lstm.num_params(), |range, grads| {
-                        batched_block_pass(&lstm, features, &blocks, &targets, scale, &chunk[range], grads)
+                        batched_block_pass(
+                            &lstm,
+                            features,
+                            &blocks,
+                            &targets,
+                            scale,
+                            &chunk[range],
+                            grads,
+                        )
                     })
                 } else {
                     step.accumulate_items(chunk.len(), lstm.num_params(), |i, grads| {
@@ -192,7 +208,11 @@ impl Ithemal {
                 lstm.set_params(&p);
             }
         }
-        Ithemal { lstm, scale, max_len: cfg.max_len }
+        Ithemal {
+            lstm,
+            scale,
+            max_len: cfg.max_len,
+        }
     }
 
     /// Predict one block's latency (0.1 ns).
@@ -225,7 +245,10 @@ mod tests {
         let trace = by_name("deepsjeng").unwrap().trace(3_000);
         let f = extract_features(&trace, FeatureMask::Full);
         let blocks = split_blocks(&f, 16);
-        assert_eq!(blocks.iter().map(|b| b.end - b.start).sum::<usize>(), f.rows);
+        assert_eq!(
+            blocks.iter().map(|b| b.end - b.start).sum::<usize>(),
+            f.rows
+        );
         assert!(blocks.windows(2).all(|w| w[0].end == w[1].start));
         assert!(blocks.iter().all(|b| b.end - b.start <= 16));
         // A branchy kernel has many short blocks.
@@ -253,12 +276,18 @@ mod tests {
         let cfg = &predefined_configs()[1];
         let sim = simulate(&trace, cfg);
         let f = extract_features(&trace, FeatureMask::Full);
-        let base = IthemalConfig { epochs: 20, ..IthemalConfig::default() };
+        let base = IthemalConfig {
+            epochs: 20,
+            ..IthemalConfig::default()
+        };
         for batched in [true, false] {
             let model = Ithemal::train(
                 &f,
                 &sim.inc_latency_tenths,
-                &IthemalConfig { batched, ..base.clone() },
+                &IthemalConfig {
+                    batched,
+                    ..base.clone()
+                },
             );
             let pred = model.predict_total_tenths(&f);
             let err = (pred - sim.total_tenths).abs() / sim.total_tenths;

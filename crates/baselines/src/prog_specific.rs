@@ -31,7 +31,12 @@ pub struct ProgSpecificConfig {
 
 impl Default for ProgSpecificConfig {
     fn default() -> ProgSpecificConfig {
-        ProgSpecificConfig { hidden: 16, epochs: 600, lr: 5e-3, seed: 0x9513 }
+        ProgSpecificConfig {
+            hidden: 16,
+            epochs: 600,
+            lr: 5e-3,
+            seed: 0x9513,
+        }
     }
 }
 
@@ -80,10 +85,17 @@ mod tests {
     fn interpolates_between_training_configs() {
         let trace = by_name("specrand").unwrap().trace(3_000);
         let configs = sample_configs(11, 14, 2);
-        let times: Vec<f64> = configs.iter().map(|c| simulate(&trace, c).total_tenths).collect();
+        let times: Vec<f64> = configs
+            .iter()
+            .map(|c| simulate(&trace, c).total_tenths)
+            .collect();
         // Train on 12, hold out 4.
-        let train: Vec<(&MicroArchConfig, f64)> =
-            configs.iter().take(12).zip(times.iter().take(12)).map(|(c, &t)| (c, t)).collect();
+        let train: Vec<(&MicroArchConfig, f64)> = configs
+            .iter()
+            .take(12)
+            .zip(times.iter().take(12))
+            .map(|(c, &t)| (c, t))
+            .collect();
         let model = ProgSpecificModel::train(&train, &ProgSpecificConfig::default());
         // Training configs must fit well.
         let train_err: f64 = train

@@ -64,7 +64,13 @@ pub struct SimNetConfig {
 
 impl Default for SimNetConfig {
     fn default() -> SimNetConfig {
-        SimNetConfig { hidden: 32, epochs: 12, batch: 64, lr: 3e-3, seed: 0x51e7 }
+        SimNetConfig {
+            hidden: 32,
+            epochs: 12,
+            batch: 64,
+            lr: 3e-3,
+            seed: 0x51e7,
+        }
     }
 }
 
@@ -88,13 +94,14 @@ impl SimNet {
         for _ in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch) {
-                let (_, grads) = step.accumulate_items(chunk.len(), mlp.params().len(), |b, grads| {
-                    let i = chunk[b];
-                    let (y, cache) = mlp.forward(features.row(i));
-                    let err = y[0] - latencies[i] / scale;
-                    mlp.backward(features.row(i), &cache, &[2.0 * err], grads);
-                    (err * err) as f64
-                });
+                let (_, grads) =
+                    step.accumulate_items(chunk.len(), mlp.params().len(), |b, grads| {
+                        let i = chunk[b];
+                        let (y, cache) = mlp.forward(features.row(i));
+                        let err = y[0] - latencies[i] / scale;
+                        mlp.backward(features.row(i), &cache, &[2.0 * err], grads);
+                        (err * err) as f64
+                    });
                 let inv = 1.0 / chunk.len() as f32;
                 let g: Vec<f32> = grads.iter().map(|v| v * inv).collect();
                 let mut p = mlp.params().to_vec();
@@ -113,7 +120,9 @@ impl SimNet {
     /// "Simulate" the program: predict every instruction in order and
     /// sum — the per-instruction cost the paper contrasts with PerfVec.
     pub fn predict_total_tenths(&self, features: &Matrix) -> f64 {
-        (0..features.rows).map(|i| self.predict_one(features.row(i))).sum()
+        (0..features.rows)
+            .map(|i| self.predict_one(features.row(i)))
+            .sum()
     }
 }
 

@@ -22,7 +22,10 @@ fn bench_dataset_generation(c: &mut Criterion) {
 }
 
 fn bench_dse_loop(c: &mut Criterion) {
-    let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
+    let base = predefined_configs()
+        .into_iter()
+        .find(|c| c.name == "cortex-a7-like")
+        .unwrap();
     let grid = CacheGrid::default();
     let trace = by_name("specrand").unwrap().trace(5_000);
     let mut g = c.benchmark_group("dse");

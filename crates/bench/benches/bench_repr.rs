@@ -16,7 +16,9 @@ fn bench_representation(c: &mut Criterion) {
     let mut g = c.benchmark_group("representation");
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.sample_size(10);
-    g.bench_function("windowed (c=12)", |b| b.iter(|| program_representation(&f, &feats)));
+    g.bench_function("windowed (c=12)", |b| {
+        b.iter(|| program_representation(&f, &feats))
+    });
     g.bench_function("streaming", |b| {
         b.iter(|| program_representation_streaming(&f, &feats, 4_096, 64).unwrap())
     });

@@ -13,7 +13,10 @@ fn bench_simulator(c: &mut Criterion) {
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.sample_size(10);
     for name in ["o3-big", "o3-little", "cortex-a7-like", "scalar-simple"] {
-        let cfg = predefined_configs().into_iter().find(|c| c.name == name).unwrap();
+        let cfg = predefined_configs()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| simulate(&trace, cfg))
         });

@@ -7,7 +7,7 @@
 //! human-readable output.
 //!
 //! ```text
-//! perfvec run <experiment> [--scale quick|full] [--seed N]
+//! perfvec run <experiment> [--scale quick|full|auto] [--seed N]
 //!             [--features full|no_mem_branch] [--march-subset 0,3,9..20]
 //!             [--trace-len N] [--no-cache] [--report PATH]
 //!             [--set key=value]...
@@ -40,7 +40,7 @@ USAGE:
     perfvec help                       show this message
 
 RUN FLAGS:
-    --scale quick|full            experiment scale            [default: quick]
+    --scale quick|full|auto       experiment scale            [default: quick]
     --seed N                      march sampling seed         [default: shared population seed]
     --features full|no_mem_branch feature mask                [default: full]
     --march-subset LIST           population indices, e.g. 0,3,9..20
@@ -130,10 +130,12 @@ fn parse_subset(raw: &str) -> Result<Vec<usize>, String> {
     for part in raw.split(',') {
         let part = part.trim();
         if let Some((lo, hi)) = part.split_once("..") {
-            let lo: usize =
-                lo.parse().map_err(|_| format!("bad range start {lo:?} in {part:?}"))?;
-            let hi: usize =
-                hi.parse().map_err(|_| format!("bad range end {hi:?} in {part:?}"))?;
+            let lo: usize = lo
+                .parse()
+                .map_err(|_| format!("bad range start {lo:?} in {part:?}"))?;
+            let hi: usize = hi
+                .parse()
+                .map_err(|_| format!("bad range end {hi:?} in {part:?}"))?;
             if hi <= lo {
                 return Err(format!("empty range {part:?}"));
             }
@@ -172,28 +174,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
         };
         match arg.as_str() {
             "--config" => config = Some(value("--config")),
-            "--scale" => {
-                scale = Some(parse_scale(&value("--scale")).unwrap_or_else(|e| die(&e)))
-            }
+            "--scale" => scale = Some(parse_scale(&value("--scale")).unwrap_or_else(|e| die(&e))),
             "--seed" => {
                 let raw = value("--seed");
-                seed = Some(raw.parse::<u64>().unwrap_or_else(|_| {
-                    die(&format!("bad value {raw:?} for --seed"))
-                }));
+                seed = Some(
+                    raw.parse::<u64>()
+                        .unwrap_or_else(|_| die(&format!("bad value {raw:?} for --seed"))),
+                );
             }
             "--features" => {
-                features =
-                    Some(parse_mask(&value("--features")).unwrap_or_else(|e| die(&e)))
+                features = Some(parse_mask(&value("--features")).unwrap_or_else(|e| die(&e)))
             }
             "--march-subset" => {
-                subset =
-                    Some(parse_subset(&value("--march-subset")).unwrap_or_else(|e| die(&e)))
+                subset = Some(parse_subset(&value("--march-subset")).unwrap_or_else(|e| die(&e)))
             }
             "--trace-len" => {
                 let raw = value("--trace-len");
-                trace_len = Some(raw.parse::<u64>().unwrap_or_else(|_| {
-                    die(&format!("bad value {raw:?} for --trace-len"))
-                }));
+                trace_len = Some(
+                    raw.parse::<u64>()
+                        .unwrap_or_else(|_| die(&format!("bad value {raw:?} for --trace-len"))),
+                );
             }
             "--no-cache" => no_cache = true,
             "--report" => report_path = Some(PathBuf::from(value("--report"))),
@@ -251,9 +251,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 .iter()
                 .enumerate()
                 .map(|(i, entry)| {
-                    let mut spec = ExperimentSpec::from_json(entry).unwrap_or_else(|e| {
-                        die(&format!("config {path} entry {i}: {e}"))
-                    });
+                    let mut spec = ExperimentSpec::from_json(entry)
+                        .unwrap_or_else(|e| die(&format!("config {path} entry {i}: {e}")));
                     if env_no_cache {
                         spec.cache = CachePolicy::Bypass;
                     }

@@ -4,7 +4,7 @@
 //! process.
 //!
 //! ```text
-//! serve_bench [--scale quick|full] [--batch 32] [--workers W]
+//! serve_bench [--scale quick|full|auto] [--batch 32] [--workers W]
 //!             [--conns C] [--requests N] [--assert-speedup X]
 //! serve_bench --probe HOST:PORT --ckpt PATH [--model NAME]
 //! ```
@@ -64,7 +64,9 @@ fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
     // One prediction, compared bit-for-bit against the offline path
     // recomputed from the same checkpoint.
     let (program, trace_len, march) = ("999.specrand-like", 800u64, 3usize);
-    let model_field = model.map(|m| format!(r#""model":"{m}","#)).unwrap_or_default();
+    let model_field = model
+        .map(|m| format!(r#""model":"{m}","#))
+        .unwrap_or_default();
     let body = format!(
         r#"{{{model_field}"program":"{program}","trace_len":{trace_len},"march_index":{march}}}"#
     );

@@ -52,7 +52,12 @@ pub fn bar_chart(title: &str, unit: &str, series: &[(String, f64)]) -> String {
 
 /// Render a 2-D surface (Figure 7 style) as a grid of numbers with row
 /// and column labels.
-pub fn surface(title: &str, row_labels: &[String], col_labels: &[String], values: &[f64]) -> String {
+pub fn surface(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[f64],
+) -> String {
     assert_eq!(values.len(), row_labels.len() * col_labels.len());
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
@@ -111,8 +116,22 @@ mod tests {
     #[test]
     fn error_chart_contains_all_programs() {
         let rows = vec![
-            EvalRow { program: "a".into(), seen: true, mean: 0.05, std: 0.01, min: 0.0, max: 0.2 },
-            EvalRow { program: "b".into(), seen: false, mean: 0.12, std: 0.02, min: 0.01, max: 0.4 },
+            EvalRow {
+                program: "a".into(),
+                seen: true,
+                mean: 0.05,
+                std: 0.01,
+                min: 0.0,
+                max: 0.2,
+            },
+            EvalRow {
+                program: "b".into(),
+                seen: false,
+                mean: 0.12,
+                std: 0.02,
+                min: 0.01,
+                max: 0.4,
+            },
         ];
         let s = error_chart("t", &rows);
         assert!(s.contains("a") && s.contains("b"));

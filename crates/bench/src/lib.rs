@@ -19,10 +19,11 @@
 //! runner — at equal seeds their metric values are byte-identical to
 //! the pre-refactor binaries.
 //!
-//! Every entry point accepts `--scale quick|full` (default `quick`;
-//! scales only change trace lengths and training budgets, never the
-//! protocol) and `--no-cache` (bypass the on-disk dataset cache, see
-//! [`cache`]).
+//! Every entry point accepts `--scale quick|full|auto` (default
+//! `quick`; scales only change trace lengths, training budgets, and —
+//! for `auto` — how cold dataset generation is sharded across memory
+//! and cores, never the protocol) and `--no-cache` (bypass the on-disk
+//! dataset cache, see [`cache`]).
 
 pub mod cache;
 pub mod chart;
@@ -30,6 +31,7 @@ pub mod pipeline;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod shard;
 pub mod spec;
 
 pub use cache::{workload_datasets, CacheStats, DatasetCache};
@@ -37,4 +39,5 @@ pub use pipeline::{eval_seen_unseen, suite_datasets, SuiteData};
 pub use report::Report;
 pub use runner::RunError;
 pub use scale::Scale;
+pub use shard::ShardPlan;
 pub use spec::{CachePolicy, ExperimentKind, ExperimentSpec};

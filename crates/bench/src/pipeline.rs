@@ -3,6 +3,7 @@
 
 use crate::cache::{workload_datasets, CacheStats, DatasetCache};
 use crate::scale::Scale;
+use crate::shard::ShardPlan;
 use perfvec::compose::program_representation;
 use perfvec::predict::{evaluate_program, EvalRow};
 use perfvec::refit::refit_march_table;
@@ -21,34 +22,51 @@ pub fn suite_datasets(configs: &[MicroArchConfig], scale: Scale, mask: FeatureMa
 }
 
 /// [`suite_datasets`] plus the cache hit/miss stats for progress lines.
+/// The scale picks the generation [`ShardPlan`] (`auto` adapts to the
+/// machine; `quick`/`full` keep the historical policy).
 pub fn suite_datasets_stats(
     configs: &[MicroArchConfig],
     scale: Scale,
     mask: FeatureMask,
 ) -> (SuiteData, CacheStats) {
-    suite_datasets_at(configs, scale.trace_len(), mask)
+    suite_datasets_with(
+        &DatasetCache::from_env_and_args(),
+        configs,
+        scale.trace_len(),
+        mask,
+        ShardPlan::for_scale(scale, configs.len()),
+    )
 }
 
 /// Suite datasets at an explicit trace length (the ablation binaries
-/// run at `trace_len() / 2`), cached like [`suite_datasets`].
+/// run at `trace_len() / 2`), cached like [`suite_datasets`], with the
+/// historical generation schedule.
 pub fn suite_datasets_at(
     configs: &[MicroArchConfig],
     trace_len: u64,
     mask: FeatureMask,
 ) -> (SuiteData, CacheStats) {
-    suite_datasets_with(&DatasetCache::from_env_and_args(), configs, trace_len, mask)
+    suite_datasets_with(
+        &DatasetCache::from_env_and_args(),
+        configs,
+        trace_len,
+        mask,
+        ShardPlan::legacy(),
+    )
 }
 
-/// Suite datasets through an explicit [`DatasetCache`] — what the
-/// spec-driven runner uses (cache policy comes from the
-/// [`crate::spec::ExperimentSpec`], not from process args).
+/// Suite datasets through an explicit [`DatasetCache`] and generation
+/// [`ShardPlan`] — what the spec-driven runner uses (cache policy and
+/// plan come from the [`crate::spec::ExperimentSpec`], not from process
+/// args).
 pub fn suite_datasets_with(
     cache: &DatasetCache,
     configs: &[MicroArchConfig],
     trace_len: u64,
     mask: FeatureMask,
+    plan: ShardPlan,
 ) -> (SuiteData, CacheStats) {
-    let (parts, stats) = workload_datasets(cache, &suite(), trace_len, configs, mask);
+    let (parts, stats) = workload_datasets(cache, &suite(), trace_len, configs, mask, plan);
     (SuiteData::assemble(parts), stats)
 }
 
@@ -85,7 +103,11 @@ pub fn eval_seen_unseen(trained: &TrainedFoundation, data: &SuiteData) -> Vec<Ev
 
 /// Mean error over the seen or unseen subset of rows.
 pub fn subset_mean(rows: &[EvalRow], seen: bool) -> f64 {
-    let sel: Vec<f64> = rows.iter().filter(|r| r.seen == seen).map(|r| r.mean).collect();
+    let sel: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.seen == seen)
+        .map(|r| r.mean)
+        .collect();
     if sel.is_empty() {
         0.0
     } else {
@@ -98,12 +120,23 @@ mod tests {
     use super::*;
 
     fn row(name: &str, seen: bool, mean: f64) -> EvalRow {
-        EvalRow { program: name.into(), seen, mean, std: 0.0, min: 0.0, max: mean }
+        EvalRow {
+            program: name.into(),
+            seen,
+            mean,
+            std: 0.0,
+            min: 0.0,
+            max: mean,
+        }
     }
 
     #[test]
     fn subset_mean_separates_seen_and_unseen() {
-        let rows = vec![row("a", true, 0.1), row("b", true, 0.3), row("c", false, 0.5)];
+        let rows = vec![
+            row("a", true, 0.1),
+            row("b", true, 0.3),
+            row("c", false, 0.5),
+        ];
         assert!((subset_mean(&rows, true) - 0.2).abs() < 1e-12);
         assert!((subset_mean(&rows, false) - 0.5).abs() < 1e-12);
     }

@@ -49,7 +49,12 @@ impl Report {
             started: Instant::now(),
             phases: Vec::new(),
             metrics: Vec::new(),
-            cache: CacheStats { hits: 0, misses: 0, recovered: 0, enabled: true },
+            cache: CacheStats {
+                hits: 0,
+                misses: 0,
+                recovered: 0,
+                enabled: true,
+            },
             git: git_revision(),
             wall_seconds: None,
         }
@@ -98,7 +103,10 @@ impl Report {
             (
                 "phases",
                 Json::Obj(
-                    self.phases.iter().map(|(n, s)| (n.clone(), Json::Num(*s))).collect(),
+                    self.phases
+                        .iter()
+                        .map(|(n, s)| (n.clone(), Json::Num(*s)))
+                        .collect(),
                 ),
             ),
             (
@@ -170,14 +178,18 @@ pub fn validate(v: &Json) -> Result<String, String> {
             return Err(format!("missing required key {key:?}"));
         }
     }
-    let experiment =
-        v.get("experiment").and_then(Json::as_str).ok_or("experiment is not a string")?;
+    let experiment = v
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("experiment is not a string")?;
     let metrics = v
         .get("metrics")
         .and_then(Json::as_obj)
         .ok_or("metrics is not an object")?;
-    let phases =
-        v.get("phases").and_then(Json::as_obj).ok_or("phases is not an object")?;
+    let phases = v
+        .get("phases")
+        .and_then(Json::as_obj)
+        .ok_or("phases is not an object")?;
     let wall = v
         .get("wall_seconds")
         .and_then(Json::as_f64)
@@ -201,12 +213,14 @@ pub fn git_revision() -> Option<String> {
             let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
             let head = head.trim();
             let rev = if let Some(refname) = head.strip_prefix("ref: ") {
-                std::fs::read_to_string(git.join(refname)).ok()?.trim().to_string()
+                std::fs::read_to_string(git.join(refname))
+                    .ok()?
+                    .trim()
+                    .to_string()
             } else {
                 head.to_string()
             };
-            return (rev.len() >= 7 && rev.bytes().all(|b| b.is_ascii_hexdigit()))
-                .then_some(rev);
+            return (rev.len() >= 7 && rev.bytes().all(|b| b.is_ascii_hexdigit())).then_some(rev);
         }
         if !dir.pop() {
             return None;
@@ -237,9 +251,16 @@ mod tests {
     fn phases_accumulate_and_metrics_overwrite() {
         let (r, spec) = sample();
         let v = r.to_json(&spec);
-        assert_eq!(v.get("phases").unwrap().get("datasets").unwrap().as_f64(), Some(2.0));
         assert_eq!(
-            v.get("metrics").unwrap().get("seen_mean_error").unwrap().as_f64(),
+            v.get("phases").unwrap().get("datasets").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("metrics")
+                .unwrap()
+                .get("seen_mean_error")
+                .unwrap()
+                .as_f64(),
             Some(0.06)
         );
     }

@@ -62,6 +62,7 @@ pub fn run(spec: &ExperimentSpec) -> Result<Report, RunError> {
         ExperimentKind::TuneRidge => ablations::tune_ridge(spec, &mut report),
         ExperimentKind::ServeBench => benches::serve_bench(spec, &mut report),
         ExperimentKind::TrainBench => benches::train_bench(spec, &mut report),
+        ExperimentKind::SimBench => benches::sim_bench(spec, &mut report),
     }?;
     Ok(report)
 }

@@ -32,7 +32,14 @@ fn eval_unseen_programs(
         .map(|d| {
             let rp = program_representation(&trained.foundation, &d.features);
             let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
-            evaluate_program(&d.name, false, &rp, &trained.foundation, &trained.march_table, &truths)
+            evaluate_program(
+                &d.name,
+                false,
+                &rp,
+                &trained.foundation,
+                &trained.march_table,
+                &truths,
+            )
         })
         .collect();
     subset_mean(&rows, false)
@@ -48,7 +55,13 @@ pub fn ablation_data(spec: &ExperimentSpec, report: &mut Report) -> Result<(), R
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_with(&cache, &configs, trace_len, spec.feature_mask);
+    let (data, cstats) = suite_datasets_with(
+        &cache,
+        &configs,
+        trace_len,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     report.phase("datasets", t_data.elapsed().as_secs_f64());
     report.absorb_cache(cstats);
     eprintln!(
@@ -64,11 +77,17 @@ pub fn ablation_data(spec: &ExperimentSpec, report: &mut Report) -> Result<(), R
     let mut series = Vec::new();
     let mut volume_rows = Vec::new();
     for pct in [10usize, 50, 100] {
-        let subset: Vec<ProgramData> =
-            data.train.iter().map(|d| d.truncated(d.len() * pct / 100)).collect();
+        let subset: Vec<ProgramData> = data
+            .train
+            .iter()
+            .map(|d| d.truncated(d.len() * pct / 100))
+            .collect();
         let trained = train_foundation(&subset, &cfg);
         let err = eval_unseen_programs(&trained, &data.test);
-        eprintln!("[ablation_data] {pct:>3}% of instructions -> unseen error {:.1}%", err * 100.0);
+        eprintln!(
+            "[ablation_data] {pct:>3}% of instructions -> unseen error {:.1}%",
+            err * 100.0
+        );
         series.push((format!("{pct}% instrs"), err * 100.0));
         volume_rows.push(obj(vec![
             ("instr_pct", Json::Num(pct as f64)),
@@ -77,7 +96,11 @@ pub fn ablation_data(spec: &ExperimentSpec, report: &mut Report) -> Result<(), R
     }
     println!(
         "{}",
-        bar_chart("Training-data volume: unseen-program error vs instruction count", "%", &series)
+        bar_chart(
+            "Training-data volume: unseen-program error vs instruction count",
+            "%",
+            &series
+        )
     );
     report.metric("volume_sweep", Json::Arr(volume_rows));
 
@@ -85,14 +108,31 @@ pub fn ablation_data(spec: &ExperimentSpec, report: &mut Report) -> Result<(), R
     eprintln!("[ablation_data] microarchitecture-count sweep (20 vs 77)...");
     let t_sweep = std::time::Instant::now();
     let unseen_m = unseen_population(spec.seed);
-    let tuning_workloads: Vec<Workload> =
-        suite().into_iter().filter(|w| w.role == SuiteRole::Training).take(3).collect();
-    let (tuning_full, ustats) =
-        workload_datasets(&cache, &tuning_workloads, trace_len, &unseen_m, spec.feature_mask);
-    let testing_workloads: Vec<Workload> =
-        suite().into_iter().filter(|w| w.role == SuiteRole::Testing).collect();
-    let (test_unseen_m, vstats) =
-        workload_datasets(&cache, &testing_workloads, trace_len, &unseen_m, spec.feature_mask);
+    let tuning_workloads: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|w| w.role == SuiteRole::Training)
+        .take(3)
+        .collect();
+    let (tuning_full, ustats) = workload_datasets(
+        &cache,
+        &tuning_workloads,
+        trace_len,
+        &unseen_m,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
+    let testing_workloads: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|w| w.role == SuiteRole::Testing)
+        .collect();
+    let (test_unseen_m, vstats) = workload_datasets(
+        &cache,
+        &testing_workloads,
+        trace_len,
+        &unseen_m,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     {
         let mut s = ustats;
         s.absorb(vstats);
@@ -107,23 +147,31 @@ pub fn ablation_data(spec: &ExperimentSpec, report: &mut Report) -> Result<(), R
     let mut table = Vec::new();
     for k in [20usize, 77] {
         let keep: Vec<usize> = (0..k).collect();
-        let subset: Vec<ProgramData> =
-            data.train.iter().map(|d| d.with_march_subset(&keep)).collect();
+        let subset: Vec<ProgramData> = data
+            .train
+            .iter()
+            .map(|d| d.with_march_subset(&keep))
+            .collect();
         let trained = train_foundation(&subset, &cfg);
         // unseen programs, seen machines
         let prog_err = eval_unseen_programs(&trained, &{
-            data.test.iter().map(|d| d.with_march_subset(&keep)).collect::<Vec<_>>()
+            data.test
+                .iter()
+                .map(|d| d.with_march_subset(&keep))
+                .collect::<Vec<_>>()
         });
         // unseen machines: fine-tune reps, evaluate unseen programs
-        let (ft_table, _) =
-            learn_march_reps(&trained.foundation, &tuning_full, &FinetuneConfig::default());
+        let (ft_table, _) = learn_march_reps(
+            &trained.foundation,
+            &tuning_full,
+            &FinetuneConfig::default(),
+        );
         let march_err = {
             let rows: Vec<_> = test_unseen_m
                 .iter()
                 .map(|d| {
                     let rp = program_representation(&trained.foundation, &d.features);
-                    let truths: Vec<f64> =
-                        (0..d.num_marches()).map(|j| d.total_time(j)).collect();
+                    let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
                     evaluate_program(&d.name, false, &rp, &trained.foundation, &ft_table, &truths)
                 })
                 .collect();
@@ -138,7 +186,10 @@ pub fn ablation_data(spec: &ExperimentSpec, report: &mut Report) -> Result<(), R
     }
     report.phase("march_count_sweep", t_sweep.elapsed().as_secs_f64());
     println!("== Microarchitecture-count ablation ==");
-    println!("{:>10} {:>22} {:>22}", "machines", "unseen-program error", "unseen-march error");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "machines", "unseen-program error", "unseen-march error"
+    );
     for (k, p, m) in &table {
         println!("{:>10} {:>21.1}% {:>21.1}%", k, p * 100.0, m * 100.0);
     }
@@ -189,11 +240,20 @@ pub fn ablation_features(spec: &ExperimentSpec, report: &mut Report) -> Result<(
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_with(&cache, &configs, trace_len, FeatureMask::Full);
+    let (data, cstats) = suite_datasets_with(
+        &cache,
+        &configs,
+        trace_len,
+        FeatureMask::Full,
+        spec.shard_plan(),
+    );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!("[ablation_features] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    eprintln!(
+        "[ablation_features] datasets ready in {data_secs:.1}s ({})",
+        cstats.summary()
+    );
     let mut cfg = scale.train_config();
     cfg.epochs /= 2;
     cfg.windows_per_epoch /= 2;
@@ -267,15 +327,27 @@ pub fn train_opt(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let cache = spec.dataset_cache();
     let workloads: Vec<_> = training_suite().into_iter().take(3).collect();
     let trace_len = spec.trace_len_or(8_000);
-    let (data, cstats) =
-        workload_datasets(&cache, &workloads, trace_len, &configs, spec.feature_mask);
+    let (data, cstats) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!("[train_opt] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    eprintln!(
+        "[train_opt] datasets ready in {data_secs:.1}s ({})",
+        cstats.summary()
+    );
 
     println!("== Representation reuse: one-epoch wall time vs sampled machines ==");
-    println!("{:>6} {:>14} {:>14} {:>9}", "k", "naive (s)", "reuse (s)", "speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "k", "naive (s)", "reuse (s)", "speedup"
+    );
     let mut reuse_rows = Vec::new();
     for k in [1usize, 5, 20, 77] {
         let keep: Vec<usize> = (0..k).collect();
@@ -324,10 +396,22 @@ pub fn train_opt(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     // 1000 inputs, 1000 hidden, d outputs.
     let hypothetical = Mlp::new(&[1000, 1000, d], 0).params().len();
     // And a realistic small one over this simulator's parameter vector.
-    let realistic = Mlp::new(&[MicroArchConfig::PARAM_DIM, 256, d], 0).params().len();
-    println!("representation table (77 x 256):              {:>10} parameters", table_params);
-    println!("hypothetical config->rep model (1000-1000-d):  {:>10} parameters", hypothetical);
-    println!("small config->rep model over {} params:        {:>10} parameters", MicroArchConfig::PARAM_DIM, realistic);
+    let realistic = Mlp::new(&[MicroArchConfig::PARAM_DIM, 256, d], 0)
+        .params()
+        .len();
+    println!(
+        "representation table (77 x 256):              {:>10} parameters",
+        table_params
+    );
+    println!(
+        "hypothetical config->rep model (1000-1000-d):  {:>10} parameters",
+        hypothetical
+    );
+    println!(
+        "small config->rep model over {} params:        {:>10} parameters",
+        MicroArchConfig::PARAM_DIM,
+        realistic
+    );
     println!(
         "sampling trains {:.0}x fewer microarchitecture-side parameters than the hypothetical model",
         hypothetical as f64 / table_params as f64
@@ -345,14 +429,22 @@ pub fn tune_ridge(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunE
     let scale = spec.scale;
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
-    let env_tlen: u64 =
-        std::env::var("PV_TRACE").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let env_tlen: u64 = std::env::var("PV_TRACE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let tlen = spec.trace_len.unwrap_or(env_tlen);
     let t_data = std::time::Instant::now();
     let (data, cstats) = if tlen > 0 {
-        suite_datasets_with(&cache, &configs, tlen, spec.feature_mask)
+        suite_datasets_with(&cache, &configs, tlen, spec.feature_mask, spec.shard_plan())
     } else {
-        suite_datasets_with(&cache, &configs, scale.trace_len(), spec.feature_mask)
+        suite_datasets_with(
+            &cache,
+            &configs,
+            scale.trace_len(),
+            spec.feature_mask,
+            spec.shard_plan(),
+        )
     };
     report.phase("datasets", t_data.elapsed().as_secs_f64());
     report.absorb_cache(cstats);
@@ -363,10 +455,18 @@ pub fn tune_ridge(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunE
     );
     let mut cfg = scale.train_config();
     // override arch from env for sweeps
-    if let Ok(d) = std::env::var("PV_DIM") { cfg.arch.dim = d.parse().unwrap(); }
-    if let Ok(c) = std::env::var("PV_CTX") { cfg.context = c.parse().unwrap(); }
-    if let Ok(e) = std::env::var("PV_EPOCHS") { cfg.epochs = e.parse().unwrap(); }
-    if let Ok(w) = std::env::var("PV_WINDOWS") { cfg.windows_per_epoch = w.parse().unwrap(); }
+    if let Ok(d) = std::env::var("PV_DIM") {
+        cfg.arch.dim = d.parse().unwrap();
+    }
+    if let Ok(c) = std::env::var("PV_CTX") {
+        cfg.context = c.parse().unwrap();
+    }
+    if let Ok(e) = std::env::var("PV_EPOCHS") {
+        cfg.epochs = e.parse().unwrap();
+    }
+    if let Ok(w) = std::env::var("PV_WINDOWS") {
+        cfg.windows_per_epoch = w.parse().unwrap();
+    }
     let trained = train_foundation(&data.train, &cfg);
     eprintln!("trained; accumulating normal equations + reps...");
     let eq = accumulate_normal_equations(&trained.foundation, &data.train);
@@ -390,9 +490,7 @@ pub fn tune_ridge(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunE
         let table = solve_table(&eq, ridge);
         let rows: Vec<_> = reps
             .iter()
-            .map(|(n, s, rp, tr)| {
-                evaluate_program(n, *s, rp, &trained.foundation, &table, tr)
-            })
+            .map(|(n, s, rp, tr)| evaluate_program(n, *s, rp, &trained.foundation, &table, tr))
             .collect();
         println!(
             "ridge {ridge:>8.0e}: seen {:5.1}%  unseen {:5.1}%",

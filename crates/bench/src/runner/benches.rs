@@ -1,9 +1,9 @@
-//! The throughput harnesses (`serve_bench`, `train_bench`), ported
-//! from the legacy binaries with report recording added. Both keep
-//! writing their `BENCH_*.json` perf-trajectory files; the spec report
-//! mirrors the same numbers. Parity/regression failures return
-//! [`RunError`] with the exact line the legacy binaries printed before
-//! exiting nonzero.
+//! The throughput harnesses (`serve_bench`, `train_bench`, `sim_bench`),
+//! the first two ported from the legacy binaries with report recording
+//! added. All keep writing their `BENCH_*.json` perf-trajectory files;
+//! the spec report mirrors the same numbers. Parity/regression failures
+//! return [`RunError`] with the exact line the legacy binaries printed
+//! before exiting nonzero.
 
 use super::RunError;
 use crate::cache::workload_datasets;
@@ -19,10 +19,14 @@ use perfvec_ml::schedule::StepDecay;
 use perfvec_serve::registry::{LoadedModel, ModelRegistry};
 use perfvec_serve::server::named_workload_features;
 use perfvec_serve::{start, EngineConfig, ServerConfig};
-use perfvec_sim::sample::{training_population, DEFAULT_MARCH_SEED};
+use perfvec_sim::reference::simulate_reference;
+use perfvec_sim::sample::{
+    predefined_configs, sample_configs, training_population, DEFAULT_MARCH_SEED, DEFAULT_POPULATION,
+};
+use perfvec_sim::{simulate, CoreKind};
 use perfvec_trace::features::FeatureMask;
 use perfvec_trace::ProgramData;
-use perfvec_workloads::training_suite;
+use perfvec_workloads::{suite, training_suite};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -98,7 +102,15 @@ fn run_phase(
     requests: usize,
     mix: &Arc<RequestMix>,
 ) -> PhaseResult {
-    let handle = start(registry, ServerConfig { port: 0, engine, ..ServerConfig::default() }).expect("server start");
+    let handle = start(
+        registry,
+        ServerConfig {
+            port: 0,
+            engine,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
     let addr = handle.addr;
     let next = Arc::new(AtomicUsize::new(0));
     let t0 = Instant::now();
@@ -167,18 +179,20 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     let scale = spec.scale;
     let t0 = Instant::now();
     let (dim, context) = match scale {
-        Scale::Quick => (16usize, 8usize),
+        Scale::Quick | Scale::Auto => (16usize, 8usize),
         Scale::Full => (32, 12),
     };
     let batch = spec.param_usize("batch", 32)?;
-    let default_workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
     let workers = spec.param_usize("workers", default_workers)?;
     let conns = spec.param_usize("conns", 16)?;
     let requests = spec.param_usize(
         "requests",
         match scale {
-            Scale::Quick => 160,
+            Scale::Quick | Scale::Auto => 160,
             Scale::Full => 480,
         },
     )?;
@@ -194,7 +208,12 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         registry,
         ServerConfig {
             port: 0,
-            engine: EngineConfig { batch, queue_depth: 1024, workers, cache_entries: 64 },
+            engine: EngineConfig {
+                batch,
+                queue_depth: 1024,
+                workers,
+                cache_entries: 64,
+            },
             ..ServerConfig::default()
         },
     )
@@ -212,8 +231,11 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         .unwrap();
     let feats = named_workload_features(program, trace_len).unwrap();
     let rep = program_representation(&offline_foundation, &feats);
-    let offline =
-        predict_total_tenths(&rep, offline_table.rep(march), offline_foundation.target_scale);
+    let offline = predict_total_tenths(
+        &rep,
+        offline_table.rep(march),
+        offline_foundation.target_scale,
+    );
     if served.to_bits() != offline.to_bits() {
         return Err(RunError(format!(
             "[serve_bench] PARITY FAILURE: served {served} vs offline {offline}"
@@ -238,9 +260,14 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
          {workers} workers, LSTM-2-{dim} c={context}"
     );
     let mix = Arc::new(RequestMix {
-        programs: vec!["525.x264-like", "557.xz-like", "999.specrand-like", "508.namd-like"],
+        programs: vec![
+            "525.x264-like",
+            "557.xz-like",
+            "999.specrand-like",
+            "508.namd-like",
+        ],
         base_len: match scale {
-            Scale::Quick => 1_500,
+            Scale::Quick | Scale::Auto => 1_500,
             Scale::Full => 4_000,
         },
         marches: offline_table.k,
@@ -249,7 +276,12 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     let unbatched = run_phase(
         "unbatched",
         bench_model(dim, context).0,
-        EngineConfig { batch: 1, queue_depth: 1024, workers, cache_entries: 0 },
+        EngineConfig {
+            batch: 1,
+            queue_depth: 1024,
+            workers,
+            cache_entries: 0,
+        },
         conns,
         requests,
         &mix,
@@ -261,7 +293,12 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     let batched = run_phase(
         "batched",
         bench_model(dim, context).0,
-        EngineConfig { batch, queue_depth: 1024, workers, cache_entries: 0 },
+        EngineConfig {
+            batch,
+            queue_depth: 1024,
+            workers,
+            cache_entries: 0,
+        },
         conns,
         requests,
         &mix,
@@ -300,7 +337,10 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
     ]);
     std::fs::write("BENCH_serve.json", format!("{bench}\n")).expect("write BENCH_serve.json");
-    eprintln!("[serve_bench] wrote BENCH_serve.json (total {:.1}s)", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[serve_bench] wrote BENCH_serve.json (total {:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
     report.metric_f64("speedup", speedup);
     report.metric_f64("cache_hit_rps", cache_rps);
     report.metric("parity", Json::Str("bit-identical".into()));
@@ -328,11 +368,17 @@ fn bench_datasets(spec: &ExperimentSpec, report: &mut Report) -> Vec<ProgramData
     let cache = spec.dataset_cache();
     let workloads: Vec<_> = training_suite().into_iter().take(3).collect();
     let trace_len = spec.trace_len_or(match spec.scale {
-        Scale::Quick => 6_000,
+        Scale::Quick | Scale::Auto => 6_000,
         Scale::Full => 20_000,
     });
-    let (data, stats) =
-        workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
+    let (data, stats) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        spec.shard_plan(),
+    );
     eprintln!("[train_bench] datasets ready ({})", stats.summary());
     report.absorb_cache(stats);
     data
@@ -340,7 +386,7 @@ fn bench_datasets(spec: &ExperimentSpec, report: &mut Report) -> Vec<ProgramData
 
 fn bench_config(scale: Scale, batch: usize) -> TrainConfig {
     let (dim, context) = match scale {
-        Scale::Quick => (16usize, 8usize),
+        Scale::Quick | Scale::Auto => (16usize, 8usize),
         Scale::Full => (32, 12),
     };
     TrainConfig {
@@ -348,7 +394,11 @@ fn bench_config(scale: Scale, batch: usize) -> TrainConfig {
         context,
         batch_size: batch,
         val_windows: 0,
-        schedule: StepDecay { initial: 3e-3, gamma: 0.3, every: 10 },
+        schedule: StepDecay {
+            initial: 3e-3,
+            gamma: 0.3,
+            every: 10,
+        },
         ..TrainConfig::default()
     }
 }
@@ -393,7 +443,9 @@ fn resume_smoke(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunErr
     if resumed.report.train_loss != straight.report.train_loss
         || resumed.report.val_loss != straight.report.val_loss
     {
-        return Err(RunError("[train_bench] RESUME FAILURE: loss history differs".into()));
+        return Err(RunError(
+            "[train_bench] RESUME FAILURE: loss history differs".into(),
+        ));
     }
     println!(
         "train_bench: resume ok — snapshot at epoch 2/4 resumes to a byte-identical checkpoint \
@@ -418,7 +470,7 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     let steps = spec.param_usize(
         "steps",
         match scale {
-            Scale::Quick => 60,
+            Scale::Quick | Scale::Auto => 60,
             Scale::Full => 120,
         },
     )?;
@@ -439,8 +491,10 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     let pb = train_foundation(&data, &parity_cfg);
     parity_cfg.batched = false;
     let ps = train_foundation(&data, &parity_cfg);
-    let (b_bytes, s_bytes) =
-        (checkpoint_bytes(&pb, parity_cfg.arch), checkpoint_bytes(&ps, parity_cfg.arch));
+    let (b_bytes, s_bytes) = (
+        checkpoint_bytes(&pb, parity_cfg.arch),
+        checkpoint_bytes(&ps, parity_cfg.arch),
+    );
     if b_bytes != s_bytes {
         return Err(RunError(
             "[train_bench] PARITY FAILURE: batched and scalar checkpoints differ".into(),
@@ -460,7 +514,9 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     eprintln!(
         "[train_bench] measuring: {steps} gradient steps x batch {batch} windows, {} (c={}), \
          k={} machines",
-        cfg.arch.dim, cfg.context, data[0].num_marches()
+        cfg.arch.dim,
+        cfg.context,
+        data[0].num_marches()
     );
     let t_measure = Instant::now();
     let mut sps = [0.0f64; 2];
@@ -487,7 +543,10 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     // ---- BENCH_train.json --------------------------------------------
     let bench = obj(vec![
         ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
-        ("model", Json::Str(format!("LSTM-2-{} (c={})", cfg.arch.dim, cfg.context))),
+        (
+            "model",
+            Json::Str(format!("LSTM-2-{} (c={})", cfg.arch.dim, cfg.context)),
+        ),
         ("marches", Json::Num(data[0].num_marches() as f64)),
         ("batch", Json::Num(batch as f64)),
         ("steps", Json::Num(steps as f64)),
@@ -499,7 +558,10 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
     ]);
     std::fs::write("BENCH_train.json", format!("{bench}\n")).expect("write BENCH_train.json");
-    eprintln!("[train_bench] wrote BENCH_train.json (total {:.1}s)", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[train_bench] wrote BENCH_train.json (total {:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
     report.metric_f64("scalar_steps_per_sec", sps[0]);
     report.metric_f64("batched_steps_per_sec", sps[1]);
     report.metric_f64("speedup", speedup);
@@ -517,6 +579,179 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     if speedup < min_speedup {
         return Err(RunError(format!(
             "[train_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
+        )));
+    }
+    Ok(())
+}
+
+/// The machine list `sim_bench` sweeps. The default is the full
+/// 77-machine training population at the shared seed — exactly the
+/// grid the generation pipeline simulates, so the measured throughput
+/// is the pipeline's. Fewer `marches` truncate to the predefined cores
+/// first (a debugging aid); more extend with machines sampled at the
+/// population's ~6:1 OoO:in-order mix.
+fn sim_bench_configs(marches: usize) -> Vec<perfvec_sim::MicroArchConfig> {
+    let mut configs = predefined_configs();
+    let marches = marches.max(1);
+    if marches <= configs.len() {
+        configs.truncate(marches);
+    } else {
+        let extra = marches - configs.len();
+        let n_inorder = extra / 7;
+        configs.extend(sample_configs(
+            DEFAULT_MARCH_SEED,
+            extra - n_inorder,
+            n_inorder,
+        ));
+    }
+    configs
+}
+
+/// `sim_bench`: dense-array simulator throughput with a bit-identity
+/// gate against the reference implementation (the seed's data
+/// structures, kept verbatim in `perfvec_sim::reference`) over the full
+/// workload suite. Writes `BENCH_sim.json`; `assert_speedup` turns a
+/// kernel regression into a hard failure.
+///
+/// Measurement: per grid cell (machine x workload), both
+/// implementations run back to back, `rounds` times, and each cell
+/// keeps its best time per implementation. Interleaving at cell
+/// granularity (~hundreds of microseconds) makes the ratio robust to
+/// the tens-of-percent timing swings shared CI machines show over
+/// seconds; best-of-N discards the slow outliers entirely. The first
+/// round also checks every result pair bit-for-bit.
+pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
+    let scale = spec.scale;
+    let t0 = Instant::now();
+    // Mirror the generation pipeline's trace lengths, so the measured
+    // number is the cold-grid throughput `suite_datasets` actually sees.
+    let trace_len = spec.trace_len_or(scale.trace_len());
+    let marches = spec.param_usize("marches", DEFAULT_POPULATION)?;
+    let rounds = spec.param_usize("rounds", 3)?.max(1);
+    let configs = sim_bench_configs(marches);
+    let workloads = suite();
+    eprintln!(
+        "[sim_bench] tracing {} workloads at {trace_len} instructions...",
+        workloads.len()
+    );
+    let t_trace = Instant::now();
+    let traces: Vec<_> = workloads.iter().map(|w| w.trace(trace_len)).collect();
+    report.phase("traces", t_trace.elapsed().as_secs_f64());
+    let grid = traces.len() * configs.len();
+    let sim_insts: u64 = traces.iter().map(|t| t.len() as u64).sum::<u64>() * configs.len() as u64;
+
+    eprintln!(
+        "[sim_bench] simulating {} programs x {} machines, both implementations, \
+         best of {rounds} interleaved rounds...",
+        traces.len(),
+        configs.len()
+    );
+    // Warm the flat path's thread-local scratch outside the timed region.
+    let _ = simulate(&traces[0], &configs[0]);
+    let mut flat_best = vec![f64::MAX; grid];
+    let mut ref_best = vec![f64::MAX; grid];
+    let t_bench = Instant::now();
+    for round in 0..rounds {
+        let mut cell = 0usize;
+        for (ci, c) in configs.iter().enumerate() {
+            for (wi, t) in traces.iter().enumerate() {
+                let tf = Instant::now();
+                let f = simulate(t, c);
+                flat_best[cell] = flat_best[cell].min(tf.elapsed().as_secs_f64());
+                let tr = Instant::now();
+                let r = simulate_reference(t, c);
+                ref_best[cell] = ref_best[cell].min(tr.elapsed().as_secs_f64());
+                if round == 0 && !f.bits_identical(&r) {
+                    return Err(RunError(format!(
+                        "[sim_bench] IDENTITY FAILURE: {} on {} diverges from the \
+                         reference (flat {:?} vs reference {:?})",
+                        workloads[wi].name, configs[ci].name, f.stats, r.stats
+                    )));
+                }
+                cell += 1;
+            }
+        }
+        if round == 0 {
+            eprintln!("[sim_bench] identity ok: {grid} grid points bit-identical to the reference");
+        }
+    }
+    report.phase("bench", t_bench.elapsed().as_secs_f64());
+
+    // Sum of per-cell bests, overall and split by core kind.
+    let mut flat_secs = 0.0f64;
+    let mut ref_secs = 0.0f64;
+    let mut kind_secs = [[0.0f64; 2]; 2]; // [ooo, inorder] x [flat, ref]
+    for (ci, c) in configs.iter().enumerate() {
+        let k = if c.core == CoreKind::OutOfOrder { 0 } else { 1 };
+        for wi in 0..traces.len() {
+            let cell = ci * traces.len() + wi;
+            flat_secs += flat_best[cell];
+            ref_secs += ref_best[cell];
+            kind_secs[k][0] += flat_best[cell];
+            kind_secs[k][1] += ref_best[cell];
+        }
+    }
+
+    let minstr_s = sim_insts as f64 / flat_secs / 1e6;
+    let ref_minstr_s = sim_insts as f64 / ref_secs / 1e6;
+    let speedup = ref_secs / flat_secs;
+    let speedup_ooo = if kind_secs[0][0] > 0.0 {
+        kind_secs[0][1] / kind_secs[0][0]
+    } else {
+        1.0
+    };
+    let speedup_inorder = if kind_secs[1][0] > 0.0 {
+        kind_secs[1][1] / kind_secs[1][0]
+    } else {
+        1.0
+    };
+    println!(
+        "sim_bench: flat kernels {speedup:.2}x over reference ({ref_minstr_s:.1} -> \
+         {minstr_s:.1} Minstr/s; OoO {speedup_ooo:.2}x, in-order {speedup_inorder:.2}x; \
+         {grid} grid points x {trace_len} instrs, best of {rounds})"
+    );
+
+    // ---- BENCH_sim.json ------------------------------------------------
+    let bench = obj(vec![
+        ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
+        ("trace_len", Json::Num(trace_len as f64)),
+        ("workloads", Json::Num(traces.len() as f64)),
+        ("marches", Json::Num(configs.len() as f64)),
+        ("grid_points", Json::Num(grid as f64)),
+        ("rounds", Json::Num(rounds as f64)),
+        ("simulated_instructions", Json::Num(sim_insts as f64)),
+        ("identity", Json::Str("bit-identical".into())),
+        ("reference_seconds", Json::Num(ref_secs)),
+        ("flat_seconds", Json::Num(flat_secs)),
+        ("reference_minstr_per_sec", Json::Num(ref_minstr_s)),
+        ("flat_minstr_per_sec", Json::Num(minstr_s)),
+        ("speedup", Json::Num(speedup)),
+        ("speedup_ooo", Json::Num(speedup_ooo)),
+        ("speedup_inorder", Json::Num(speedup_inorder)),
+        ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
+    ]);
+    std::fs::write("BENCH_sim.json", format!("{bench}\n")).expect("write BENCH_sim.json");
+    eprintln!(
+        "[sim_bench] wrote BENCH_sim.json (total {:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
+    report.metric_f64("flat_minstr_per_sec", minstr_s);
+    report.metric_f64("reference_minstr_per_sec", ref_minstr_s);
+    report.metric_f64("speedup", speedup);
+    report.metric_f64("speedup_ooo", speedup_ooo);
+    report.metric_f64("speedup_inorder", speedup_inorder);
+    report.metric("identity", Json::Str("bit-identical".into()));
+
+    if speedup < 2.0 {
+        eprintln!("[sim_bench] WARNING: speedup {speedup:.2}x below the 2x target on this machine");
+    }
+    // `assert_speedup` turns a simulator-kernel regression into a hard
+    // failure (CI floors this so a de-flattened inner loop cannot land
+    // silently).
+    let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
+    if speedup < min_speedup {
+        return Err(RunError(format!(
+            "[sim_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
         )));
     }
     Ok(())

@@ -33,8 +33,7 @@ fn train_config(spec: &ExperimentSpec) -> Result<TrainConfig, RunError> {
         cfg.arch.dim = spec.param_usize("dim", cfg.arch.dim)?;
         cfg.context = spec.param_usize("context", cfg.context)?;
         cfg.epochs = spec.param_usize("epochs", cfg.epochs as usize)? as u32;
-        cfg.windows_per_epoch =
-            spec.param_usize("windows_per_epoch", cfg.windows_per_epoch)?;
+        cfg.windows_per_epoch = spec.param_usize("windows_per_epoch", cfg.windows_per_epoch)?;
         cfg.val_windows = spec.param_usize("val_windows", cfg.val_windows)?;
         cfg.batch_size = spec.param_usize("batch_size", cfg.batch_size)?;
     }
@@ -62,6 +61,7 @@ pub fn fig3_like(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
         &configs,
         spec.trace_len_or(scale.trace_len()),
         spec.feature_mask,
+        spec.shard_plan(),
     );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
@@ -134,11 +134,15 @@ pub fn fig4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         &configs,
         spec.trace_len_or(scale.trace_len()),
         spec.feature_mask,
+        spec.shard_plan(),
     );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!("[fig4] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    eprintln!(
+        "[fig4] datasets ready in {data_secs:.1}s ({})",
+        cstats.summary()
+    );
     let cfg = scale.train_config();
 
     eprintln!("[fig4] training on the Table II split (lbm unseen)...");
@@ -159,7 +163,9 @@ pub fn fig4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         }
     }
     let moved = SuiteData { train, test };
-    eprintln!("[fig4] base model in {base_secs:.1}s; retraining with 519.lbm-like in the training set...");
+    eprintln!(
+        "[fig4] base model in {base_secs:.1}s; retraining with 519.lbm-like in the training set..."
+    );
     let t_retrain = std::time::Instant::now();
     let updated = train_and_refit(&moved, &cfg);
     let retrain_secs = t_retrain.elapsed().as_secs_f64();
@@ -171,14 +177,24 @@ pub fn fig4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         .find(|r| r.program.contains("lbm"))
         .map(|r| r.mean)
         .unwrap_or(f64::NAN);
-    let lbm_after =
-        rows.iter().find(|r| r.program.contains("lbm")).map(|r| r.mean).unwrap_or(f64::NAN);
+    let lbm_after = rows
+        .iter()
+        .find(|r| r.program.contains("lbm"))
+        .map(|r| r.mean)
+        .unwrap_or(f64::NAN);
 
     println!(
         "{}",
-        error_chart("Figure 4: accuracy after moving 519.lbm-like into training", &rows)
+        error_chart(
+            "Figure 4: accuracy after moving 519.lbm-like into training",
+            &rows
+        )
     );
-    println!("519.lbm-like mean error: {:.1}% (unseen) -> {:.1}% (seen)", lbm_before * 100.0, lbm_after * 100.0);
+    println!(
+        "519.lbm-like mean error: {:.1}% (unseen) -> {:.1}% (seen)",
+        lbm_before * 100.0,
+        lbm_after * 100.0
+    );
     println!(
         "unseen mean error: {:.1}% (before) -> {:.1}% (after, excl. lbm)",
         subset_mean(&base_rows, false) * 100.0,
@@ -213,11 +229,20 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let cache = spec.dataset_cache();
     let trace_len = spec.trace_len_or(scale.trace_len());
     let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_with(&cache, &configs, trace_len, spec.feature_mask);
+    let (data, cstats) = suite_datasets_with(
+        &cache,
+        &configs,
+        trace_len,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!("[fig5] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    eprintln!(
+        "[fig5] datasets ready in {data_secs:.1}s ({})",
+        cstats.summary()
+    );
     let t_train = std::time::Instant::now();
     let trained = train_and_refit(&data, &scale.train_config());
     let train_secs = t_train.elapsed().as_secs_f64();
@@ -225,14 +250,30 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
 
     // 10 fresh machines; tuning data = 3 seen programs simulated on them.
     let unseen = unseen_population(spec.seed);
-    eprintln!("[fig5] fine-tuning representations of {} unseen machines...", unseen.len());
+    eprintln!(
+        "[fig5] fine-tuning representations of {} unseen machines...",
+        unseen.len()
+    );
     let t_ft = std::time::Instant::now();
-    let tuning_workloads: Vec<Workload> =
-        suite().into_iter().filter(|w| w.role == SuiteRole::Training).take(3).collect();
-    let (tuning, tstats) =
-        workload_datasets(&cache, &tuning_workloads, trace_len, &unseen, spec.feature_mask);
+    let tuning_workloads: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|w| w.role == SuiteRole::Training)
+        .take(3)
+        .collect();
+    let (tuning, tstats) = workload_datasets(
+        &cache,
+        &tuning_workloads,
+        trace_len,
+        &unseen,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     report.absorb_cache(tstats);
-    let ft = FinetuneConfig { windows: 5_000, epochs: 40, ..Default::default() };
+    let ft = FinetuneConfig {
+        windows: 5_000,
+        epochs: 40,
+        ..Default::default()
+    };
     let (march_table, ft_loss) = learn_march_reps(&trained.foundation, &tuning, &ft);
     let ft_secs = t_ft.elapsed().as_secs_f64();
     report.phase("finetune", ft_secs);
@@ -243,8 +284,14 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
 
     // Evaluate every program on the unseen machines.
     let t_eval = std::time::Instant::now();
-    let (eval_data, estats) =
-        workload_datasets(&cache, &suite(), trace_len, &unseen, spec.feature_mask);
+    let (eval_data, estats) = workload_datasets(
+        &cache,
+        &suite(),
+        trace_len,
+        &unseen,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     report.absorb_cache(estats);
     let mut rows = Vec::new();
     for (w, d) in suite().iter().zip(&eval_data) {
@@ -264,10 +311,19 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     eprintln!("[fig5] evaluated in {eval_secs:.1}s ({})", estats.summary());
     println!(
         "{}",
-        error_chart("Figure 5: prediction error on 10 unseen microarchitectures", &rows)
+        error_chart(
+            "Figure 5: prediction error on 10 unseen microarchitectures",
+            &rows
+        )
     );
-    println!("seen-program mean error   {:>5.1}%", subset_mean(&rows, true) * 100.0);
-    println!("unseen-program mean error {:>5.1}%", subset_mean(&rows, false) * 100.0);
+    println!(
+        "seen-program mean error   {:>5.1}%",
+        subset_mean(&rows, true) * 100.0
+    );
+    println!(
+        "unseen-program mean error {:>5.1}%",
+        subset_mean(&rows, false) * 100.0
+    );
     println!(
         "total wall time {:.1}s (datasets {data_secs:.1}s, training {train_secs:.1}s, fine-tune {ft_secs:.1}s, eval {eval_secs:.1}s)",
         t0.elapsed().as_secs_f64()
@@ -292,27 +348,84 @@ pub fn fig6(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_with(&cache, &configs, trace_len, spec.feature_mask);
+    let (data, cstats) = suite_datasets_with(
+        &cache,
+        &configs,
+        trace_len,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!("[fig6] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    eprintln!(
+        "[fig6] datasets ready in {data_secs:.1}s ({})",
+        cstats.summary()
+    );
     let (train, test) = (data.train, data.test);
 
     let d = 32usize;
     let candidates: Vec<ArchSpec> = vec![
-        ArchSpec { kind: ArchKind::Linear, layers: 1, dim: d },
-        ArchSpec { kind: ArchKind::Mlp, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::Gru, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::BiLstm, layers: 1, dim: d },
-        ArchSpec { kind: ArchKind::Transformer, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 1, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 3, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 4, dim: d },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 8 },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 16 },
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 64 },
+        ArchSpec {
+            kind: ArchKind::Linear,
+            layers: 1,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Mlp,
+            layers: 2,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Gru,
+            layers: 2,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::BiLstm,
+            layers: 1,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Transformer,
+            layers: 2,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 1,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 2,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 3,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 4,
+            dim: d,
+        },
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 2,
+            dim: 8,
+        },
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 2,
+            dim: 16,
+        },
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 2,
+            dim: 64,
+        },
     ];
 
     let mut series = Vec::new();
@@ -334,16 +447,25 @@ pub fn fig6(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
             let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
             let rp = program_representation(&trained.foundation, &d.features);
             let row = evaluate_program(
-                &d.name, false, &rp, &trained.foundation, &trained.march_table, &truths,
+                &d.name,
+                false,
+                &rp,
+                &trained.foundation,
+                &trained.march_table,
+                &truths,
             );
             errs.push(row.mean);
             if streams {
-                let srp = program_representation_streaming(
-                    &trained.foundation, &d.features, 512, warmup,
-                )
-                .expect("streaming support checked above");
+                let srp =
+                    program_representation_streaming(&trained.foundation, &d.features, 512, warmup)
+                        .expect("streaming support checked above");
                 let srow = evaluate_program(
-                    &d.name, false, &srp, &trained.foundation, &trained.march_table, &truths,
+                    &d.name,
+                    false,
+                    &srp,
+                    &trained.foundation,
+                    &trained.march_table,
+                    &truths,
                 );
                 stream_errs.push(srow.mean);
             }
@@ -402,16 +524,28 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let cache = spec.dataset_cache();
     let trace_len = spec.trace_len_or(scale.trace_len());
     let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_with(&cache, &configs, trace_len, spec.feature_mask);
+    let (data, cstats) = suite_datasets_with(
+        &cache,
+        &configs,
+        trace_len,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!("[fig7] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    eprintln!(
+        "[fig7] datasets ready in {data_secs:.1}s ({})",
+        cstats.summary()
+    );
     let t_train = std::time::Instant::now();
     let trained = train_and_refit(&data, &scale.train_config());
     let train_secs = t_train.elapsed().as_secs_f64();
     report.phase("train", train_secs);
-    let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
+    let base = predefined_configs()
+        .into_iter()
+        .find(|c| c.name == "cortex-a7-like")
+        .unwrap();
     let grid = CacheGrid::default();
     let points = grid.points();
 
@@ -422,10 +556,14 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let mut sampled = points.clone();
     sampled.shuffle(&mut rng);
     sampled.truncate(18);
-    let tune_configs: Vec<_> =
-        sampled.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
-    let tune_params: Vec<Vec<f32>> =
-        sampled.iter().map(|&(l1, l2)| cache_param_vector(l1, l2)).collect();
+    let tune_configs: Vec<_> = sampled
+        .iter()
+        .map(|&(l1, l2)| with_cache_sizes(&base, l1, l2))
+        .collect();
+    let tune_params: Vec<Vec<f32>> = sampled
+        .iter()
+        .map(|&(l1, l2)| cache_param_vector(l1, l2))
+        .collect();
     eprintln!("[fig7] collecting DSE tuning data (18 configs x 3 programs)...");
     let t_tune = std::time::Instant::now();
     let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
@@ -435,6 +573,7 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         trace_len,
         &tune_configs,
         spec.feature_mask,
+        spec.shard_plan(),
     );
     report.absorb_cache(tstats);
     eprintln!(
@@ -452,7 +591,10 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         &tune_params,
         trained.foundation.dim(),
         trained.foundation.target_scale,
-        &MarchModelConfig { epochs: 80, ..Default::default() },
+        &MarchModelConfig {
+            epochs: 80,
+            ..Default::default()
+        },
     );
     eprintln!("[fig7] representation model trained (loss {loss:.4}); sweeping the grid...");
 
@@ -474,7 +616,11 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
             pred_obj.push(objective(l1, l2, pred_t.max(0.0)));
         }
         let arg_min = |v: &[f64]| {
-            v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+            v.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap()
         };
         let outcome = DseOutcome {
             program: w.name.to_string(),
@@ -496,11 +642,21 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     if let Some((sim_s, pred_s)) = namd_surfaces {
         println!(
             "{}",
-            surface("Figure 7a: 508.namd-like objective surface (simulation)", &row_labels, &col_labels, &sim_s)
+            surface(
+                "Figure 7a: 508.namd-like objective surface (simulation)",
+                &row_labels,
+                &col_labels,
+                &sim_s
+            )
         );
         println!(
             "{}",
-            surface("Figure 7b: 508.namd-like objective surface (PerfVec)", &row_labels, &col_labels, &pred_s)
+            surface(
+                "Figure 7b: 508.namd-like objective surface (PerfVec)",
+                &row_labels,
+                &col_labels,
+                &pred_s
+            )
         );
     }
     let mut optimal = 0;
@@ -549,11 +705,15 @@ pub fn fig8(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         &configs,
         spec.trace_len_or(scale.trace_len()),
         spec.feature_mask,
+        spec.shard_plan(),
     );
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!("[fig8] datasets ready in {data_secs:.1}s ({})", cstats.summary());
+    eprintln!(
+        "[fig8] datasets ready in {data_secs:.1}s ({})",
+        cstats.summary()
+    );
     let t_train = std::time::Instant::now();
     let trained = train_and_refit(&data, &scale.train_config());
     let train_secs = t_train.elapsed().as_secs_f64();
@@ -561,9 +721,14 @@ pub fn fig8(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let t_tiles = std::time::Instant::now();
     // cortex-a7-like is one of the 7 predefined training machines: its
     // representation comes straight from the learned table.
-    let a7_idx = configs.iter().position(|c| c.name == "cortex-a7-like").ok_or_else(|| {
-        RunError("fig8 needs cortex-a7-like in the march population (don't subset it away)".into())
-    })?;
+    let a7_idx = configs
+        .iter()
+        .position(|c| c.name == "cortex-a7-like")
+        .ok_or_else(|| {
+            RunError(
+                "fig8 needs cortex-a7-like in the march population (don't subset it away)".into(),
+            )
+        })?;
     let a7_rep = trained.march_table.rep(a7_idx).to_vec();
     let a7 = &configs[a7_idx];
 
@@ -574,7 +739,9 @@ pub fn fig8(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let mut pred_ms = Vec::new();
     for &tile in &tiles {
         let prog = matmul_tiled(n, tile);
-        let trace = Emulator::new(&prog).run(20_000_000).expect("matmul executes");
+        let trace = Emulator::new(&prog)
+            .run(20_000_000)
+            .expect("matmul executes");
         assert!(trace.halted, "matmul must run to completion");
         let sim = simulate(&trace, a7);
         let feats = extract_features(&trace, spec.feature_mask);

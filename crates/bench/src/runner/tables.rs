@@ -62,7 +62,10 @@ pub fn table3(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let simnet = SimNet::train(
         &sn_feats,
         &sim.inc_latency_tenths,
-        &SimNetConfig { epochs: 4, ..Default::default() },
+        &SimNetConfig {
+            epochs: 4,
+            ..Default::default()
+        },
     );
     let t = Instant::now();
     let _ = simnet.predict_total_tenths(&sn_feats);
@@ -72,7 +75,10 @@ pub fn table3(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let ithemal = Ithemal::train(
         &base,
         &sim.inc_latency_tenths,
-        &IthemalConfig { epochs: 4, ..Default::default() },
+        &IthemalConfig {
+            epochs: 4,
+            ..Default::default()
+        },
     );
     let t = Instant::now();
     let _ = ithemal.predict_total_tenths(&base);
@@ -82,8 +88,14 @@ pub fn table3(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     //     instant dot-product predictions ---
     let t_data = Instant::now();
     let cache = spec.dataset_cache();
-    let (mut datasets, dstats) =
-        workload_datasets(&cache, &workloads, trace_len, &configs, spec.feature_mask);
+    let (mut datasets, dstats) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     let data = datasets.remove(0);
     report.absorb_cache(dstats);
     report.phase("datasets", t_data.elapsed().as_secs_f64());
@@ -97,7 +109,11 @@ pub fn table3(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
         context: 12,
         epochs: 4,
         windows_per_epoch: 1_500,
-        schedule: StepDecay { initial: 5e-3, gamma: 0.3, every: 4 },
+        schedule: StepDecay {
+            initial: 5e-3,
+            gamma: 0.3,
+            every: 4,
+        },
         ..TrainConfig::default()
     };
     let trained = train_foundation(&[data], &cfg);
@@ -202,7 +218,11 @@ fn quality(true_obj: &[Vec<f64>], picks: &[usize]) -> f64 {
 }
 
 fn arg_min(v: &[f64]) -> usize {
-    v.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+    v.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap()
 }
 
 /// **Table IV**: DSE method comparison — overhead and selection
@@ -212,23 +232,37 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let t0 = Instant::now();
     let grid = CacheGrid::default();
     let points = grid.points();
-    let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
-    let grid_configs: Vec<MicroArchConfig> =
-        points.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
+    let base = predefined_configs()
+        .into_iter()
+        .find(|c| c.name == "cortex-a7-like")
+        .unwrap();
+    let grid_configs: Vec<MicroArchConfig> = points
+        .iter()
+        .map(|&(l1, l2)| with_cache_sizes(&base, l1, l2))
+        .collect();
     let trace_len = spec.trace_len_or(scale.trace_len());
     let cache = spec.dataset_cache();
 
     eprintln!("[table4] exhaustive ground truth (17 programs x 36 configs)...");
     let t_exhaustive = Instant::now();
-    let traces: Vec<_> = suite().iter().map(|w| (w.name, w.trace(trace_len))).collect();
+    let traces: Vec<_> = suite()
+        .iter()
+        .map(|w| (w.name, w.trace(trace_len)))
+        .collect();
     // The grid datasets come from the content-addressed cache like any
     // other batch; ground-truth totals are the target column sums —
     // the harness-wide ground-truth convention (`eval_seen_unseen`),
     // within f32 rounding of the simulator's exact cycle totals (the
     // stored increments are f32; ~1e-4 relative, far below the
     // percent-scale spreads the table ranks on).
-    let (gt_data, gstats) =
-        workload_datasets(&cache, &suite(), trace_len, &grid_configs, spec.feature_mask);
+    let (gt_data, gstats) = workload_datasets(
+        &cache,
+        &suite(),
+        trace_len,
+        &grid_configs,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     let times: Vec<Vec<f64>> = gt_data
         .iter()
         .map(|d| (0..d.num_marches()).map(|j| d.total_time(j)).collect())
@@ -236,11 +270,18 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     report.absorb_cache(gstats);
     let gt_secs = t_exhaustive.elapsed().as_secs_f64();
     report.phase("ground_truth", gt_secs);
-    eprintln!("[table4] ground truth ready in {gt_secs:.1}s ({})", gstats.summary());
+    eprintln!(
+        "[table4] ground truth ready in {gt_secs:.1}s ({})",
+        gstats.summary()
+    );
     let true_obj: Vec<Vec<f64>> = times
         .iter()
         .map(|ts| {
-            points.iter().zip(ts).map(|(&(l1, l2), &t)| objective(l1, l2, t)).collect()
+            points
+                .iter()
+                .zip(ts)
+                .map(|(&(l1, l2), &t)| objective(l1, l2, t))
+                .collect()
         })
         .collect();
 
@@ -264,8 +305,10 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
         let mut idx: Vec<usize> = (0..points.len()).collect();
         idx.shuffle(&mut rng);
         let train_idx = &idx[..9];
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            train_idx.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
+        let samples: Vec<(&MicroArchConfig, f64)> = train_idx
+            .iter()
+            .map(|&i| (&grid_configs[i], times[p][i]))
+            .collect();
         let model = ProgSpecificModel::train(&samples, &ProgSpecificConfig::default());
         let pred_obj: Vec<f64> = points
             .iter()
@@ -284,9 +327,10 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let corpus_cfg_idx: Vec<usize> = (0..points.len()).step_by(3).collect();
     let mut corpus = Vec::new();
     for (p, (name, tr)) in traces.iter().enumerate() {
-        if !suite().iter().any(|w| {
-            w.name == *name && w.role == perfvec_workloads::SuiteRole::Training
-        }) {
+        if !suite()
+            .iter()
+            .any(|w| w.name == *name && w.role == perfvec_workloads::SuiteRole::Training)
+        {
             continue;
         }
         let sig = signature(tr);
@@ -298,20 +342,24 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let mut xp_picks = Vec::new();
     for (p, (_, tr)) in traces.iter().enumerate() {
         let sig = signature(tr);
-        let obs: Vec<(&MicroArchConfig, f64)> =
-            (0..5).map(|k| (&grid_configs[k * 7], times[p][k * 7])).collect();
+        let obs: Vec<(&MicroArchConfig, f64)> = (0..5)
+            .map(|k| (&grid_configs[k * 7], times[p][k * 7]))
+            .collect();
         let cal = xmodel.calibration(&sig, &obs);
         let pred_obj: Vec<f64> = points
             .iter()
             .enumerate()
             .map(|(i, &(l1, l2))| {
-                objective(l1, l2, (xmodel.predict(&sig, &grid_configs[i]) * cal).max(0.0))
+                objective(
+                    l1,
+                    l2,
+                    (xmodel.predict(&sig, &grid_configs[i]) * cal).max(0.0),
+                )
             })
             .collect();
         xp_picks.push(arg_min(&pred_obj));
     }
-    let xp_secs =
-        t_c.elapsed().as_secs_f64() + (corpus.len() as f64 + 17.0 * 5.0) * sim_cost;
+    let xp_secs = t_c.elapsed().as_secs_f64() + (corpus.len() as f64 + 17.0 * 5.0) * sim_cost;
 
     // ---- ActBoost [36]: 5 + 5 active sims per program ----
     eprintln!("[table4] ActBoost...");
@@ -322,23 +370,27 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
         let mut idx: Vec<usize> = (0..points.len()).collect();
         idx.shuffle(&mut rng);
         let mut have: Vec<usize> = idx[..5].to_vec();
-        let cfg = ActBoostConfig { rounds: 4, ..Default::default() };
+        let cfg = ActBoostConfig {
+            rounds: 4,
+            ..Default::default()
+        };
         // round 1
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            have.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
+        let samples: Vec<(&MicroArchConfig, f64)> = have
+            .iter()
+            .map(|&i| (&grid_configs[i], times[p][i]))
+            .collect();
         let model = ActBoost::train(&samples, &cfg);
         // active selection of 5 more
-        let pool: Vec<&MicroArchConfig> = idx[5..]
-            .iter()
-            .map(|&i| &grid_configs[i])
-            .collect();
+        let pool: Vec<&MicroArchConfig> = idx[5..].iter().map(|&i| &grid_configs[i]).collect();
         let picked = select_active(&model, &pool, 5);
         for c in picked {
             let i = grid_configs.iter().position(|g| g.name == c.name).unwrap();
             have.push(i);
         }
-        let samples: Vec<(&MicroArchConfig, f64)> =
-            have.iter().map(|&i| (&grid_configs[i], times[p][i])).collect();
+        let samples: Vec<(&MicroArchConfig, f64)> = have
+            .iter()
+            .map(|&i| (&grid_configs[i], times[p][i]))
+            .collect();
         let model = ActBoost::train(&samples, &cfg);
         let pred_obj: Vec<f64> = points
             .iter()
@@ -354,7 +406,13 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     eprintln!("[table4] PerfVec (foundation pre-training excluded, as in the paper)...");
     let configs = spec.march_configs();
     let t_data = Instant::now();
-    let (data, cstats) = suite_datasets_with(&cache, &configs, trace_len, spec.feature_mask);
+    let (data, cstats) = suite_datasets_with(
+        &cache,
+        &configs,
+        trace_len,
+        spec.feature_mask,
+        spec.shard_plan(),
+    );
     report.absorb_cache(cstats);
     report.phase("datasets", t_data.elapsed().as_secs_f64());
     eprintln!(
@@ -372,10 +430,14 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let mut sampled = points.clone();
     sampled.shuffle(&mut rng);
     sampled.truncate(18);
-    let tune_configs: Vec<_> =
-        sampled.iter().map(|&(l1, l2)| with_cache_sizes(&base, l1, l2)).collect();
-    let tune_params: Vec<Vec<f32>> =
-        sampled.iter().map(|&(l1, l2)| cache_param_vector(l1, l2)).collect();
+    let tune_configs: Vec<_> = sampled
+        .iter()
+        .map(|&(l1, l2)| with_cache_sizes(&base, l1, l2))
+        .collect();
+    let tune_params: Vec<Vec<f32>> = sampled
+        .iter()
+        .map(|&(l1, l2)| cache_param_vector(l1, l2))
+        .collect();
     let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
     let (tuning, tstats) = workload_datasets(
         &cache,
@@ -383,6 +445,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
         trace_len,
         &tune_configs,
         spec.feature_mask,
+        spec.shard_plan(),
     );
     report.absorb_cache(tstats);
     eprintln!("[table4] PerfVec tuning data ready ({})", tstats.summary());
@@ -392,7 +455,10 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
         &tune_params,
         trained.foundation.dim(),
         trained.foundation.target_scale,
-        &MarchModelConfig { epochs: 80, ..Default::default() },
+        &MarchModelConfig {
+            epochs: 80,
+            ..Default::default()
+        },
     );
     let mut pv_picks = Vec::new();
     for (_, tr) in &traces {
@@ -401,7 +467,13 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
         let pred_obj: Vec<f64> = points
             .iter()
             .map(|&(l1, l2)| {
-                objective(l1, l2, march_model.predict_total_tenths(&rp, &cache_param_vector(l1, l2)).max(0.0))
+                objective(
+                    l1,
+                    l2,
+                    march_model
+                        .predict_total_tenths(&rp, &cache_param_vector(l1, l2))
+                        .max(0.0),
+                )
             })
             .collect();
         pv_picks.push(arg_min(&pred_obj));
@@ -417,13 +489,34 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     );
     let rows = [
         ("exhaustive simulation", exhaustive_secs, 0.0, 17 * 36),
-        ("MLP predictor [28]", mlp_secs, quality(&true_obj, &mlp_picks), 17 * 9),
-        ("cross-program [21]", xp_secs, quality(&true_obj, &xp_picks), corpus.len() + 17 * 5),
-        ("ActBoost [36]", ab_secs, quality(&true_obj, &ab_picks), 17 * 10),
+        (
+            "MLP predictor [28]",
+            mlp_secs,
+            quality(&true_obj, &mlp_picks),
+            17 * 9,
+        ),
+        (
+            "cross-program [21]",
+            xp_secs,
+            quality(&true_obj, &xp_picks),
+            corpus.len() + 17 * 5,
+        ),
+        (
+            "ActBoost [36]",
+            ab_secs,
+            quality(&true_obj, &ab_picks),
+            17 * 10,
+        ),
         ("PerfVec", pv_secs, quality(&true_obj, &pv_picks), 18 * 3),
     ];
     for (name, secs, q, sims) in rows {
-        println!("{:<28} {:>14.1} {:>11.1}% {:>16}", name, secs, q * 100.0, sims);
+        println!(
+            "{:<28} {:>14.1} {:>11.1}% {:>16}",
+            name,
+            secs,
+            q * 100.0,
+            sims
+        );
     }
     report.metric(
         "methods",

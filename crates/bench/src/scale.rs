@@ -26,7 +26,8 @@ pub fn arg_value(name: &str) -> Option<String> {
         return args.get(i + 1).cloned();
     }
     let eq = format!("{name}=");
-    args.iter().find_map(|a| a.strip_prefix(&eq).map(str::to_string))
+    args.iter()
+        .find_map(|a| a.strip_prefix(&eq).map(str::to_string))
 }
 
 /// Parse the value of `--name V` (or `--name=V`), defaulting only when
@@ -60,12 +61,19 @@ pub fn arg_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
 pub enum Scale {
     /// Minutes-scale runs (default; what `EXPERIMENTS.md` records).
     Quick,
+    /// `Quick`'s protocol with machine-adaptive dataset sharding: cold
+    /// grid generation is sized from detected RAM and cores (see
+    /// [`crate::shard::ShardPlan`]). Scale never changes *what* is
+    /// computed — outputs are byte-identical to `Quick` — only how
+    /// generation is scheduled.
+    Auto,
     /// Larger traces, wider models, more epochs.
     Full,
 }
 
 impl Scale {
-    /// Parse from process args (`--scale quick|full`), default `Quick`.
+    /// Parse from process args (`--scale quick|full|auto`), default
+    /// `Quick`.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         for i in 0..args.len() {
@@ -73,6 +81,7 @@ impl Scale {
                 if let Some(v) = args.get(i + 1) {
                     return match v.as_str() {
                         "full" => Scale::Full,
+                        "auto" => Scale::Auto,
                         _ => Scale::Quick,
                     };
                 }
@@ -84,7 +93,7 @@ impl Scale {
     /// Dynamic instructions collected per workload trace.
     pub fn trace_len(&self) -> u64 {
         match self {
-            Scale::Quick => 20_000,
+            Scale::Quick | Scale::Auto => 20_000,
             Scale::Full => 60_000,
         }
     }
@@ -92,14 +101,18 @@ impl Scale {
     /// Training configuration for the foundation model.
     pub fn train_config(&self) -> TrainConfig {
         match self {
-            Scale::Quick => TrainConfig {
+            Scale::Quick | Scale::Auto => TrainConfig {
                 arch: ArchSpec::default_lstm(32),
                 context: 12,
                 epochs: 26,
                 batch_size: 32,
                 windows_per_epoch: 6_000,
                 val_windows: 2_000,
-                schedule: StepDecay { initial: 5e-3, gamma: 0.3, every: 9 },
+                schedule: StepDecay {
+                    initial: 5e-3,
+                    gamma: 0.3,
+                    every: 9,
+                },
                 ..TrainConfig::default()
             },
             Scale::Full => TrainConfig {
@@ -109,7 +122,11 @@ impl Scale {
                 batch_size: 32,
                 windows_per_epoch: 12_000,
                 val_windows: 4_000,
-                schedule: StepDecay { initial: 3e-3, gamma: 0.3, every: 10 },
+                schedule: StepDecay {
+                    initial: 3e-3,
+                    gamma: 0.3,
+                    every: 10,
+                },
                 ..TrainConfig::default()
             },
         }
@@ -134,5 +151,20 @@ mod tests {
         let f = Scale::Full.train_config();
         assert!(q.arch.dim <= f.arch.dim);
         assert!(q.epochs <= f.epochs);
+    }
+
+    #[test]
+    fn auto_matches_quick_protocol_exactly() {
+        // `auto` is a scheduling choice, never a protocol change: any
+        // divergence here would silently invalidate cached datasets and
+        // recorded experiment numbers.
+        assert_eq!(Scale::Auto.trace_len(), Scale::Quick.trace_len());
+        assert_eq!(Scale::Auto.march_seed(), Scale::Quick.march_seed());
+        let a = Scale::Auto.train_config();
+        let q = Scale::Quick.train_config();
+        assert_eq!(a.arch.dim, q.arch.dim);
+        assert_eq!(a.context, q.context);
+        assert_eq!(a.epochs, q.epochs);
+        assert_eq!(a.windows_per_epoch, q.windows_per_epoch);
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::cache::DatasetCache;
 use crate::scale::{arg_value, flag, Scale};
+use crate::shard::ShardPlan;
 use perfvec_json::{obj, ConvertError, FromJson, Json, ToJson};
 use perfvec_sim::sample::{training_population, DEFAULT_MARCH_SEED};
 use perfvec_sim::MicroArchConfig;
@@ -52,6 +53,8 @@ pub enum ExperimentKind {
     ServeBench,
     /// Batch-major training throughput harness (`BENCH_train.json`).
     TrainBench,
+    /// Simulator throughput + bit-identity gate (`BENCH_sim.json`).
+    SimBench,
     /// The generic train-and-evaluate pipeline with every knob open:
     /// march subset x feature mask x trace length x training params.
     /// Only reachable through a spec (CLI flags or config file) — no
@@ -61,7 +64,7 @@ pub enum ExperimentKind {
 
 impl ExperimentKind {
     /// Every kind, in `perfvec list` order.
-    pub const ALL: [ExperimentKind; 15] = [
+    pub const ALL: [ExperimentKind; 16] = [
         ExperimentKind::Fig3,
         ExperimentKind::Fig4,
         ExperimentKind::Fig5,
@@ -76,6 +79,7 @@ impl ExperimentKind {
         ExperimentKind::TuneRidge,
         ExperimentKind::ServeBench,
         ExperimentKind::TrainBench,
+        ExperimentKind::SimBench,
         ExperimentKind::Custom,
     ];
 
@@ -98,6 +102,7 @@ impl ExperimentKind {
             ExperimentKind::TuneRidge => "tune_ridge",
             ExperimentKind::ServeBench => "serve_bench",
             ExperimentKind::TrainBench => "train_bench",
+            ExperimentKind::SimBench => "sim_bench",
             ExperimentKind::Custom => "custom",
         }
     }
@@ -119,7 +124,12 @@ impl ExperimentKind {
             ExperimentKind::TuneRidge => "refit ridge-strength sweep",
             ExperimentKind::ServeBench => "serving throughput/latency (writes BENCH_serve.json)",
             ExperimentKind::TrainBench => "training throughput + parity (writes BENCH_train.json)",
-            ExperimentKind::Custom => "generic pipeline: march subset x feature mask x trace length",
+            ExperimentKind::SimBench => {
+                "simulator throughput + bit-identity (writes BENCH_sim.json)"
+            }
+            ExperimentKind::Custom => {
+                "generic pipeline: march subset x feature mask x trace length"
+            }
         }
     }
 
@@ -135,12 +145,16 @@ impl ExperimentKind {
             ExperimentKind::ServeBench => {
                 &["batch", "workers", "conns", "requests", "assert_speedup"]
             }
-            ExperimentKind::TrainBench => {
-                &["batch", "steps", "assert_speedup", "resume_smoke"]
-            }
-            ExperimentKind::Custom => {
-                &["dim", "context", "epochs", "windows_per_epoch", "val_windows", "batch_size"]
-            }
+            ExperimentKind::TrainBench => &["batch", "steps", "assert_speedup", "resume_smoke"],
+            ExperimentKind::SimBench => &["marches", "rounds", "assert_speedup"],
+            ExperimentKind::Custom => &[
+                "dim",
+                "context",
+                "epochs",
+                "windows_per_epoch",
+                "val_windows",
+                "batch_size",
+            ],
             _ => &[],
         }
     }
@@ -160,10 +174,11 @@ impl ExperimentKind {
             ExperimentKind::AblationFeatures => &["features"],
             // The serving bench uses the fixed shared population and
             // its own request mix.
-            ExperimentKind::ServeBench => {
-                &["seed", "features", "march_subset", "trace_len"]
-            }
+            ExperimentKind::ServeBench => &["seed", "features", "march_subset", "trace_len"],
             ExperimentKind::TrainBench => &["features", "march_subset"],
+            // The simulator bench measures the raw kernels on its own
+            // machine list (`marches` param); nothing is trained.
+            ExperimentKind::SimBench => &["seed", "features", "march_subset"],
             _ => &[],
         }
     }
@@ -314,7 +329,8 @@ impl ExperimentSpec {
                 param("steps", "--steps", int);
                 param("assert_speedup", "--assert-speedup", num);
                 if flag("--resume-smoke") {
-                    spec.params.push(("resume_smoke".to_string(), Json::Bool(true)));
+                    spec.params
+                        .push(("resume_smoke".to_string(), Json::Bool(true)));
                 }
             }
             _ => {}
@@ -337,8 +353,9 @@ impl ExperimentSpec {
             "report",
             "params",
         ];
-        let fields =
-            v.as_obj().ok_or_else(|| ConvertError::expected("a spec object", v))?;
+        let fields = v
+            .as_obj()
+            .ok_or_else(|| ConvertError::expected("a spec object", v))?;
         for (k, _) in fields {
             if !KNOWN.contains(&k.as_str()) {
                 return Err(ConvertError::new(format!(
@@ -410,7 +427,10 @@ impl ExperimentSpec {
         for (k, v) in &self.params {
             if !allowed.contains(&k.as_str()) {
                 return Err(if allowed.is_empty() {
-                    format!("experiment {:?} takes no params, got {k:?}", self.kind.name())
+                    format!(
+                        "experiment {:?} takes no params, got {k:?}",
+                        self.kind.name()
+                    )
                 } else {
                     format!(
                         "unknown param {k:?} for {:?} (allowed: {})",
@@ -451,7 +471,10 @@ impl ExperimentSpec {
             ("experiment", Json::Str(self.kind.name().to_string())),
             ("scale", Json::Str(scale_name(self.scale).to_string())),
             ("seed", self.seed.to_json()),
-            ("features", Json::Str(mask_name(self.feature_mask).to_string())),
+            (
+                "features",
+                Json::Str(mask_name(self.feature_mask).to_string()),
+            ),
             ("march_subset", self.march_subset.to_json()),
             ("cache", Json::Str(self.cache.name().to_string())),
             ("trace_len", self.trace_len.to_json()),
@@ -464,6 +487,21 @@ impl ExperimentSpec {
             ),
             ("params", Json::Obj(self.params.clone())),
         ])
+    }
+
+    /// The dataset-generation schedule this spec's scale implies:
+    /// `auto` sizes waves from detected RAM and cores (honoring an
+    /// explicit `trace_len` override in the memory estimate), other
+    /// scales keep the historical policy. Scheduling only — the
+    /// generated bytes are identical for every plan.
+    pub fn shard_plan(&self) -> ShardPlan {
+        match self.scale {
+            Scale::Auto => ShardPlan::auto(
+                self.trace_len.unwrap_or_else(|| self.scale.trace_len()),
+                self.march_configs().len(),
+            ),
+            Scale::Quick | Scale::Full => ShardPlan::legacy(),
+        }
     }
 
     /// The dataset cache this spec's policy selects.
@@ -530,12 +568,13 @@ pub fn parse_param_value(raw: &str) -> Json {
     Json::parse(raw).unwrap_or_else(|_| Json::Str(raw.to_string()))
 }
 
-/// Parse a scale name (`quick` | `full`).
+/// Parse a scale name (`quick` | `full` | `auto`).
 pub fn parse_scale(s: &str) -> Result<Scale, String> {
     match s {
         "quick" => Ok(Scale::Quick),
         "full" => Ok(Scale::Full),
-        other => Err(format!("unknown scale {other:?} (quick | full)")),
+        "auto" => Ok(Scale::Auto),
+        other => Err(format!("unknown scale {other:?} (quick | full | auto)")),
     }
 }
 
@@ -544,6 +583,7 @@ pub fn scale_name(s: Scale) -> &'static str {
     match s {
         Scale::Quick => "quick",
         Scale::Full => "full",
+        Scale::Auto => "auto",
     }
 }
 
@@ -552,7 +592,9 @@ pub fn parse_mask(s: &str) -> Result<FeatureMask, String> {
     match s {
         "full" => Ok(FeatureMask::Full),
         "no_mem_branch" => Ok(FeatureMask::NoMemBranch),
-        other => Err(format!("unknown feature mask {other:?} (full | no_mem_branch)")),
+        other => Err(format!(
+            "unknown feature mask {other:?} (full | no_mem_branch)"
+        )),
     }
 }
 
@@ -594,18 +636,28 @@ mod tests {
     #[test]
     fn unknown_fields_params_and_indices_are_loud() {
         let bad = Json::parse(r#"{"experiment":"fig3","scal":"quick"}"#).unwrap();
-        assert!(ExperimentSpec::from_json(&bad).unwrap_err().to_string().contains("scal"));
+        assert!(ExperimentSpec::from_json(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("scal"));
 
         let bad = Json::parse(r#"{"experiment":"nope"}"#).unwrap();
-        assert!(ExperimentSpec::from_json(&bad).unwrap_err().to_string().contains("nope"));
+        assert!(ExperimentSpec::from_json(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("nope"));
 
-        let bad =
-            Json::parse(r#"{"experiment":"fig3","params":{"batch":2}}"#).unwrap();
-        assert!(ExperimentSpec::from_json(&bad).unwrap_err().to_string().contains("batch"));
+        let bad = Json::parse(r#"{"experiment":"fig3","params":{"batch":2}}"#).unwrap();
+        assert!(ExperimentSpec::from_json(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("batch"));
 
-        let bad =
-            Json::parse(r#"{"experiment":"custom","march_subset":[0,500]}"#).unwrap();
-        assert!(ExperimentSpec::from_json(&bad).unwrap_err().to_string().contains("500"));
+        let bad = Json::parse(r#"{"experiment":"custom","march_subset":[0,500]}"#).unwrap();
+        assert!(ExperimentSpec::from_json(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("500"));
     }
 
     #[test]

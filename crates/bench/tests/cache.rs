@@ -3,6 +3,7 @@
 //! exact write path the harness uses.
 
 use perfvec_bench::cache::{workload_datasets, DatasetCache};
+use perfvec_bench::shard::ShardPlan;
 use perfvec_sim::sample::predefined_configs;
 use perfvec_trace::binio;
 use perfvec_trace::features::{FeatureMask, Matrix, NUM_FEATURES};
@@ -13,7 +14,8 @@ use std::path::PathBuf;
 
 /// A fresh, empty cache root unique to one test.
 fn test_root(tag: &str) -> PathBuf {
-    let root = std::env::temp_dir().join(format!("perfvec-cache-test-{}-{tag}", std::process::id()));
+    let root =
+        std::env::temp_dir().join(format!("perfvec-cache-test-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     root
 }
@@ -22,7 +24,11 @@ fn test_root(tag: &str) -> PathBuf {
 /// short traces, so every test exercises the genuine emulate → extract
 /// → simulate path in well under a second per program.
 fn small_inputs() -> (Vec<Workload>, u64, Vec<perfvec_sim::MicroArchConfig>) {
-    (suite(), 1_200, predefined_configs().into_iter().take(3).collect())
+    (
+        suite(),
+        1_200,
+        predefined_configs().into_iter().take(3).collect(),
+    )
 }
 
 fn assert_same(a: &ProgramData, b: &ProgramData) {
@@ -37,16 +43,36 @@ fn cold_run_misses_warm_run_hits_and_both_equal_fresh_generation() {
     let root = test_root("equiv");
     let cache = DatasetCache::at(&root);
 
-    let (cold, s_cold) = workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
+    let (cold, s_cold) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s_cold.hits, 0);
     assert_eq!(s_cold.misses, workloads.len());
 
-    let (warm, s_warm) = workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
+    let (warm, s_warm) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s_warm.hits, workloads.len(), "second run must be all hits");
     assert_eq!(s_warm.misses, 0);
 
-    let (fresh, s_off) =
-        workload_datasets(&DatasetCache::disabled(), &workloads, trace_len, &configs, FeatureMask::Full);
+    let (fresh, s_off) = workload_datasets(
+        &DatasetCache::disabled(),
+        &workloads,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert!(!s_off.enabled);
 
     for ((c, w), f) in cold.iter().zip(&warm).zip(&fresh) {
@@ -62,20 +88,40 @@ fn corrupt_and_truncated_entries_are_regenerated_with_identical_results() {
     let root = test_root("corrupt");
     let cache = DatasetCache::at(&root);
 
-    let (original, _) = workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
+    let (original, _) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
 
     // Vandalize two entries: one overwritten with garbage, one truncated
     // mid-payload (a crash-mid-write shape the atomic rename prevents,
     // but bit rot can still produce).
-    let p0 = cache.entry_path(workloads[0].name, trace_len, &configs, FeatureMask::Full).unwrap();
+    let p0 = cache
+        .entry_path(workloads[0].name, trace_len, &configs, FeatureMask::Full)
+        .unwrap();
     std::fs::write(&p0, b"not a dataset at all").unwrap();
-    let p1 = cache.entry_path(workloads[1].name, trace_len, &configs, FeatureMask::Full).unwrap();
+    let p1 = cache
+        .entry_path(workloads[1].name, trace_len, &configs, FeatureMask::Full)
+        .unwrap();
     let bytes = std::fs::read(&p1).unwrap();
     std::fs::write(&p1, &bytes[..bytes.len() / 2]).unwrap();
 
-    let (recovered, stats) =
-        workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
-    assert_eq!(stats.recovered, 2, "both vandalized entries must be detected");
+    let (recovered, stats) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
+    assert_eq!(
+        stats.recovered, 2,
+        "both vandalized entries must be detected"
+    );
     assert_eq!(stats.misses, 2);
     assert_eq!(stats.hits, workloads.len() - 2);
     for (r, o) in recovered.iter().zip(&original) {
@@ -83,7 +129,14 @@ fn corrupt_and_truncated_entries_are_regenerated_with_identical_results() {
     }
 
     // The bad entries were overwritten in place: a third run is all hits.
-    let (_, s3) = workload_datasets(&cache, &workloads, trace_len, &configs, FeatureMask::Full);
+    let (_, s3) = workload_datasets(
+        &cache,
+        &workloads,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s3.hits, workloads.len());
     assert_eq!(s3.recovered, 0);
     let _ = std::fs::remove_dir_all(&root);
@@ -96,20 +149,55 @@ fn changing_any_key_ingredient_misses_instead_of_serving_stale_data() {
     let root = test_root("keys");
     let cache = DatasetCache::at(&root);
 
-    let (_, s) = workload_datasets(&cache, &few, trace_len, &configs, FeatureMask::Full);
+    let (_, s) = workload_datasets(
+        &cache,
+        &few,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s.misses, 2);
 
     // Different trace length → different content → no hits.
-    let (_, s) = workload_datasets(&cache, &few, trace_len / 2, &configs, FeatureMask::Full);
+    let (_, s) = workload_datasets(
+        &cache,
+        &few,
+        trace_len / 2,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s.hits, 0);
     // Different machine population → no hits.
-    let (_, s) = workload_datasets(&cache, &few, trace_len, &configs[..2], FeatureMask::Full);
+    let (_, s) = workload_datasets(
+        &cache,
+        &few,
+        trace_len,
+        &configs[..2],
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s.hits, 0);
     // Different feature mask → no hits.
-    let (_, s) = workload_datasets(&cache, &few, trace_len, &configs, FeatureMask::NoMemBranch);
+    let (_, s) = workload_datasets(
+        &cache,
+        &few,
+        trace_len,
+        &configs,
+        FeatureMask::NoMemBranch,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s.hits, 0);
     // Original tuple still hits.
-    let (_, s) = workload_datasets(&cache, &few, trace_len, &configs, FeatureMask::Full);
+    let (_, s) = workload_datasets(
+        &cache,
+        &few,
+        trace_len,
+        &configs,
+        FeatureMask::Full,
+        ShardPlan::legacy(),
+    );
     assert_eq!(s.hits, 2);
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -25,19 +25,30 @@ fn unknown_subcommand_is_loud_and_exits_2() {
     let out = perfvec().arg("frobnicate").output().unwrap();
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     assert!(stderr(&out).contains("frobnicate"), "{}", stderr(&out));
-    assert!(stderr(&out).contains("run | list | report"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("run | list | report"),
+        "{}",
+        stderr(&out)
+    );
 }
 
 #[test]
 fn missing_subcommand_is_loud_and_exits_2() {
     let out = perfvec().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    assert!(stderr(&out).contains("missing subcommand"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("missing subcommand"),
+        "{}",
+        stderr(&out)
+    );
 }
 
 #[test]
 fn unknown_flag_is_loud_and_exits_2() {
-    let out = perfvec().args(["run", "fig3", "--scael", "quick"]).output().unwrap();
+    let out = perfvec()
+        .args(["run", "fig3", "--scael", "quick"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("--scael"), "{}", stderr(&out));
 }
@@ -55,11 +66,17 @@ fn missing_flag_value_and_bad_values_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("missing value"), "{}", stderr(&out));
 
-    let out = perfvec().args(["run", "fig3", "--seed", "pony"]).output().unwrap();
+    let out = perfvec()
+        .args(["run", "fig3", "--seed", "pony"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("pony"), "{}", stderr(&out));
 
-    let out = perfvec().args(["run", "fig3", "--march-subset", "5..3"]).output().unwrap();
+    let out = perfvec()
+        .args(["run", "fig3", "--march-subset", "5..3"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("empty range"), "{}", stderr(&out));
 }
@@ -67,7 +84,10 @@ fn missing_flag_value_and_bad_values_exit_2() {
 #[test]
 fn params_are_validated_per_experiment() {
     // fig3 takes no params: a typo'd --set must not silently run.
-    let out = perfvec().args(["run", "fig3", "--set", "batch=16"]).output().unwrap();
+    let out = perfvec()
+        .args(["run", "fig3", "--set", "batch=16"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("batch"), "{}", stderr(&out));
 }
@@ -76,16 +96,20 @@ fn params_are_validated_per_experiment() {
 fn fields_an_experiment_ignores_are_rejected() {
     // serve_bench doesn't honor march_subset: running it anyway would
     // emit a report whose spec echo lies about what executed.
-    let out =
-        perfvec().args(["run", "serve_bench", "--march-subset", "0,1"]).output().unwrap();
+    let out = perfvec()
+        .args(["run", "serve_bench", "--march-subset", "0,1"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("march_subset"), "{}", stderr(&out));
 }
 
 #[test]
 fn config_conflicts_with_per_run_flags() {
-    let out =
-        perfvec().args(["run", "fig3", "--config", "x.json"]).output().unwrap();
+    let out = perfvec()
+        .args(["run", "fig3", "--config", "x.json"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("--config"), "{}", stderr(&out));
 }
@@ -96,11 +120,27 @@ fn list_names_every_experiment() {
     assert!(out.status.success());
     let text = stdout(&out);
     for name in [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4",
-        "ablation_data", "ablation_features", "train_opt", "tune_ridge",
-        "serve_bench", "train_bench", "custom",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table3",
+        "table4",
+        "ablation_data",
+        "ablation_features",
+        "train_opt",
+        "tune_ridge",
+        "serve_bench",
+        "train_bench",
+        "sim_bench",
+        "custom",
     ] {
-        assert!(text.lines().any(|l| l.starts_with(name)), "missing {name} in:\n{text}");
+        assert!(
+            text.lines().any(|l| l.starts_with(name)),
+            "missing {name} in:\n{text}"
+        );
     }
 }
 
@@ -110,12 +150,18 @@ fn report_subcommand_rejects_invalid_documents() {
     std::fs::create_dir_all(&dir).unwrap();
     let bad = dir.join("bad.json");
     std::fs::write(&bad, "{\"schema_version\": 99}").unwrap();
-    let out = perfvec().args(["report", bad.to_str().unwrap()]).output().unwrap();
+    let out = perfvec()
+        .args(["report", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("schema_version"), "{}", stderr(&out));
 
     let missing = dir.join("nope.json");
-    let out = perfvec().args(["report", missing.to_str().unwrap()]).output().unwrap();
+    let out = perfvec()
+        .args(["report", missing.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -166,11 +212,16 @@ fn config_file_sweep_runs_scenarios_no_legacy_bin_can_express() {
         stdout(&out),
         stderr(&out)
     );
-    assert!(stderr(&out).contains("sweep complete: 2/2"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("sweep complete: 2/2"),
+        "{}",
+        stderr(&out)
+    );
 
-    for (i, mask, subset) in
-        [(0usize, "full", vec![0u64, 1, 2, 3]), (1, "no_mem_branch", vec![0, 2, 4, 6])]
-    {
+    for (i, mask, subset) in [
+        (0usize, "full", vec![0u64, 1, 2, 3]),
+        (1, "no_mem_branch", vec![0, 2, 4, 6]),
+    ] {
         let path = dir.join(format!("reports/custom-{i}.json"));
         let report = read_report(&path);
         assert_eq!(
@@ -191,11 +242,17 @@ fn config_file_sweep_runs_scenarios_no_legacy_bin_can_express() {
         let metrics = report.get("metrics").expect("metrics");
         assert_eq!(metrics.get("marches").and_then(Json::as_f64), Some(4.0));
         for key in ["seen_mean_error", "unseen_mean_error", "rows"] {
-            assert!(metrics.get(key).is_some(), "missing metric {key} in {path:?}");
+            assert!(
+                metrics.get(key).is_some(),
+                "missing metric {key} in {path:?}"
+            );
         }
 
         // `perfvec report` accepts its own output.
-        let out = perfvec().args(["report", path.to_str().unwrap()]).output().unwrap();
+        let out = perfvec()
+            .args(["report", path.to_str().unwrap()])
+            .output()
+            .unwrap();
         assert!(out.status.success(), "{}", stderr(&out));
         assert!(stdout(&out).contains("valid report"), "{}", stdout(&out));
     }
@@ -204,8 +261,8 @@ fn config_file_sweep_runs_scenarios_no_legacy_bin_can_express() {
 
 /// Read + parse + schema-validate one report file.
 fn read_report(path: &Path) -> Json {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
     let v = Json::parse(&text).unwrap_or_else(|e| panic!("{path:?} does not parse: {e}"));
     perfvec_bench::report::validate(&v)
         .unwrap_or_else(|e| panic!("{path:?} does not validate: {e}"));

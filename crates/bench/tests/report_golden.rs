@@ -29,7 +29,12 @@ fn golden_report() -> (Report, ExperimentSpec) {
     r.metric_f64("seen_mean_error", 0.043);
     r.metric_f64("unseen_mean_error", 0.101);
     r.metric("model", Json::Str("LSTM-2-32 (c=12)".to_string()));
-    r.absorb_cache(CacheStats { hits: 17, misses: 0, recovered: 0, enabled: true });
+    r.absorb_cache(CacheStats {
+        hits: 17,
+        misses: 0,
+        recovered: 0,
+        enabled: true,
+    });
     (r, spec)
 }
 
@@ -75,7 +80,10 @@ fn assert_sorted(v: &Json, path: &str) {
 fn golden_file_is_sorted_versioned_and_valid() {
     let v = Json::parse(GOLDEN).expect("golden parses");
     assert_sorted(&v, "$");
-    assert_eq!(v.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+    assert_eq!(
+        v.get("schema_version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION)
+    );
     for key in REQUIRED_KEYS {
         assert!(v.get(key).is_some(), "golden is missing {key:?}");
     }

@@ -68,7 +68,10 @@ pub fn best_variants(points: &[SweepPoint]) -> (usize, usize) {
             .map(|(i, _)| i)
             .unwrap_or(0)
     };
-    (arg_min(|p| p.simulated_tenths), arg_min(|p| p.predicted_tenths))
+    (
+        arg_min(|p| p.simulated_tenths),
+        arg_min(|p| p.predicted_tenths),
+    )
 }
 
 #[cfg(test)]
@@ -76,7 +79,11 @@ mod tests {
     use super::*;
 
     fn pt(label: &str, sim: f64, pred: f64) -> SweepPoint {
-        SweepPoint { label: label.into(), simulated_tenths: sim, predicted_tenths: pred }
+        SweepPoint {
+            label: label.into(),
+            simulated_tenths: sim,
+            predicted_tenths: pred,
+        }
     }
 
     #[test]

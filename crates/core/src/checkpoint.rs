@@ -201,9 +201,8 @@ pub fn decode(buf: &[u8]) -> Result<(Foundation, ArchSpec, Option<MarchTable>), 
     if layers == 0 || layers > MAX_LAYERS || dim == 0 || dim > MAX_DIM || context > MAX_CONTEXT {
         return Err(CheckpointError::BadHeader);
     }
-    let target_scale = f32::from_bits(
-        bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?,
-    );
+    let target_scale =
+        f32::from_bits(bytesless::get_u32(buf, &mut off).ok_or(CheckpointError::Truncated)?);
     // Training always produces a positive finite scale; anything else
     // is corruption and would turn every prediction into NaN/Inf.
     if !target_scale.is_finite() || target_scale <= 0.0 {
@@ -388,7 +387,11 @@ mod tests {
     use perfvec_trace::NUM_FEATURES;
 
     fn sample_foundation(kind: ArchKind) -> (Foundation, ArchSpec) {
-        let spec = ArchSpec { kind, layers: 2, dim: 8 };
+        let spec = ArchSpec {
+            kind,
+            layers: 2,
+            dim: 8,
+        };
         (Foundation::new(spec, 4, 0.5, 42), spec)
     }
 
@@ -439,7 +442,10 @@ mod tests {
     fn truncated_payload_is_rejected() {
         let (f, spec) = sample_foundation(ArchKind::Gru);
         let bytes = encode(&f, spec, None);
-        assert!(matches!(decode(&bytes[..bytes.len() - 3]), Err(CheckpointError::Truncated)));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 3]),
+            Err(CheckpointError::Truncated)
+        ));
     }
 
     #[test]
@@ -448,9 +454,11 @@ mod tests {
         // prefix of a valid encoding may decode, panic, or allocate its
         // way to an abort — each must return a clean error.
         let table = MarchTable::new(3, 8, 9);
-        for (kind, with_table) in
-            [(ArchKind::Lstm, true), (ArchKind::Gru, false), (ArchKind::Transformer, true)]
-        {
+        for (kind, with_table) in [
+            (ArchKind::Lstm, true),
+            (ArchKind::Gru, false),
+            (ArchKind::Transformer, true),
+        ] {
             let (f, spec) = sample_foundation(kind);
             let bytes = encode(&f, spec, with_table.then_some(&table));
             assert!(decode(&bytes).is_ok());
@@ -494,10 +502,18 @@ mod tests {
         let (f, spec) = sample_foundation(ArchKind::Lstm);
         let valid = encode(&f, spec, None);
         // target_scale sits at bytes 20..24.
-        for bits in [f32::NAN.to_bits(), f32::INFINITY.to_bits(), 0u32, (-1.0f32).to_bits()] {
+        for bits in [
+            f32::NAN.to_bits(),
+            f32::INFINITY.to_bits(),
+            0u32,
+            (-1.0f32).to_bits(),
+        ] {
             let mut bytes = valid.clone();
             bytes[20..24].copy_from_slice(&bits.to_le_bytes());
-            assert!(matches!(decode(&bytes), Err(CheckpointError::BadHeader)), "bits {bits:#x}");
+            assert!(
+                matches!(decode(&bytes), Err(CheckpointError::BadHeader)),
+                "bits {bits:#x}"
+            );
         }
     }
 
@@ -509,7 +525,10 @@ mod tests {
         for (off, v) in [(8usize, u32::MAX), (8, 0), (12, u32::MAX), (12, 0)] {
             let mut bytes = valid.clone();
             bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
-            assert!(matches!(decode(&bytes), Err(CheckpointError::BadHeader)), "offset {off}");
+            assert!(
+                matches!(decode(&bytes), Err(CheckpointError::BadHeader)),
+                "offset {off}"
+            );
         }
         // A plausible-looking dim with far too few parameter bytes must
         // be caught by the lower-bound check, not by building the model.
@@ -545,7 +564,10 @@ mod tests {
         let bytes = encode_snapshot(&s);
         let s2 = decode_snapshot(&bytes).unwrap();
         assert_eq!(s2.spec, s.spec);
-        assert_eq!(s2.foundation.model.get_params(), s.foundation.model.get_params());
+        assert_eq!(
+            s2.foundation.model.get_params(),
+            s.foundation.model.get_params()
+        );
         assert_eq!(s2.table.reps, s.table.reps);
         assert_eq!(s2.next_epoch, s.next_epoch);
         assert_eq!(s2.best_epoch, s.best_epoch);
@@ -556,7 +578,10 @@ mod tests {
         assert_eq!(s2.best_val.to_bits(), s.best_val.to_bits());
         assert_eq!(s2.best_params, s.best_params);
         assert_eq!(
-            s2.train_loss.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            s2.train_loss
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
             s.train_loss.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
         assert_eq!(s2.val_loss, s.val_loss);
@@ -569,7 +594,10 @@ mod tests {
         for cut in 0..bytes.len() {
             let err = decode_snapshot(&bytes[..cut]).err();
             assert!(
-                matches!(err, Some(CheckpointError::Truncated | CheckpointError::BadHeader)),
+                matches!(
+                    err,
+                    Some(CheckpointError::Truncated | CheckpointError::BadHeader)
+                ),
                 "prefix of {cut}/{} bytes gave {err:?}",
                 bytes.len()
             );
@@ -580,7 +608,10 @@ mod tests {
     fn snapshot_trailing_bytes_are_rejected() {
         let mut bytes = encode_snapshot(&sample_snapshot());
         bytes.push(0);
-        assert!(matches!(decode_snapshot(&bytes), Err(CheckpointError::Trailing)));
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(CheckpointError::Trailing)
+        ));
     }
 
     #[test]
@@ -589,7 +620,10 @@ mod tests {
         // versa): the formats fail closed against each other.
         let (f, spec) = sample_foundation(ArchKind::Lstm);
         let ckpt = encode(&f, spec, None);
-        assert!(matches!(decode_snapshot(&ckpt), Err(CheckpointError::BadHeader)));
+        assert!(matches!(
+            decode_snapshot(&ckpt),
+            Err(CheckpointError::BadHeader)
+        ));
         let snap = encode_snapshot(&sample_snapshot());
         assert!(matches!(decode(&snap), Err(CheckpointError::BadHeader)));
     }
@@ -599,7 +633,10 @@ mod tests {
         let mut s = sample_snapshot();
         s.adam_m.pop();
         let bytes = encode_snapshot(&s);
-        assert!(matches!(decode_snapshot(&bytes), Err(CheckpointError::Truncated)));
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(CheckpointError::Truncated)
+        ));
     }
 
     #[test]
@@ -609,7 +646,10 @@ mod tests {
         let path = dir.join("epoch.pfs");
         let s = sample_snapshot();
         save_snapshot(&s, &path).unwrap();
-        assert!(!path.with_extension("tmp").exists(), "temp file must be renamed away");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file must be renamed away"
+        );
         let s2 = load_snapshot(&path).unwrap();
         assert_eq!(s2.best_params, s.best_params);
         std::fs::remove_file(&path).ok();

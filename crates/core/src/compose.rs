@@ -115,11 +115,25 @@ pub fn program_representations_coalesced(
             );
             pending.push((req, i));
             if pending.len() == block {
-                run_window_block(foundation, &mut pending, &seqbuf, programs, &mut accs, &mut totals);
+                run_window_block(
+                    foundation,
+                    &mut pending,
+                    &seqbuf,
+                    programs,
+                    &mut accs,
+                    &mut totals,
+                );
             }
         }
     }
-    run_window_block(foundation, &mut pending, &seqbuf, programs, &mut accs, &mut totals);
+    run_window_block(
+        foundation,
+        &mut pending,
+        &seqbuf,
+        programs,
+        &mut accs,
+        &mut totals,
+    );
     totals
 }
 
@@ -142,7 +156,9 @@ fn run_window_block(
         // unbatched block-1 serving measures against).
         foundation.model.forward(&seqbuf[..w * NUM_FEATURES], w).0
     } else {
-        foundation.model.forward_batch(&seqbuf[..b * w * NUM_FEATURES], w, b)
+        foundation
+            .model
+            .forward_batch(&seqbuf[..b * w * NUM_FEATURES], w, b)
     };
     for (s, &(req, i)) in pending.iter().enumerate() {
         for (a, &v) in accs[req].iter_mut().zip(&outs[s * d..(s + 1) * d]) {
@@ -204,7 +220,9 @@ pub fn program_representation_streaming(
         let lo = c * chunk;
         let hi = (lo + chunk).min(n);
         let start = lo.saturating_sub(warmup);
-        let mut state = model.stream_state().expect("streaming support checked above");
+        let mut state = model
+            .stream_state()
+            .expect("streaming support checked above");
         let mut out = vec![0.0f32; d];
         let mut acc = vec![0.0f32; d];
         for i in start..hi {
@@ -284,7 +302,11 @@ mod tests {
         let dot: f32 = windowed.iter().zip(&streamed).map(|(a, b)| a * b).sum();
         let na: f32 = windowed.iter().map(|a| a * a).sum::<f32>().sqrt();
         let nb: f32 = streamed.iter().map(|b| b * b).sum::<f32>().sqrt();
-        assert!(dot / (na * nb) > 0.9, "cosine similarity too low: {}", dot / (na * nb));
+        assert!(
+            dot / (na * nb) > 0.9,
+            "cosine similarity too low: {}",
+            dot / (na * nb)
+        );
     }
 
     #[test]
@@ -308,7 +330,16 @@ mod tests {
             (ArchKind::Lstm, true),
             (ArchKind::Gru, true),
         ] {
-            let f = Foundation::new(ArchSpec { kind, layers: 1, dim: 8 }, 3, 0.1, 1);
+            let f = Foundation::new(
+                ArchSpec {
+                    kind,
+                    layers: 1,
+                    dim: 8,
+                },
+                3,
+                0.1,
+                1,
+            );
             assert_eq!(
                 program_representation_streaming(&f, &toy_features(10), 4, 2).is_some(),
                 streams,
@@ -321,7 +352,16 @@ mod tests {
     fn gru_streaming_chunking_is_consistent() {
         // The GRU fast path must show the same chunk-invariance as the
         // LSTM one: with warmup >= the full prefix, chunked == one pass.
-        let f = Foundation::new(ArchSpec { kind: ArchKind::Gru, layers: 2, dim: 8 }, 3, 0.1, 11);
+        let f = Foundation::new(
+            ArchSpec {
+                kind: ArchKind::Gru,
+                layers: 2,
+                dim: 8,
+            },
+            3,
+            0.1,
+            11,
+        );
         let feats = toy_features(120);
         let one = program_representation_streaming(&f, &feats, 400, 0).unwrap();
         let many = program_representation_streaming(&f, &feats, 30, 120).unwrap();
@@ -332,14 +372,27 @@ mod tests {
 
     #[test]
     fn gru_streaming_approaches_windowed_with_enough_warmup() {
-        let f = Foundation::new(ArchSpec { kind: ArchKind::Gru, layers: 2, dim: 8 }, 12, 0.1, 11);
+        let f = Foundation::new(
+            ArchSpec {
+                kind: ArchKind::Gru,
+                layers: 2,
+                dim: 8,
+            },
+            12,
+            0.1,
+            11,
+        );
         let feats = toy_features(400);
         let windowed = program_representation(&f, &feats);
         let streamed = program_representation_streaming(&f, &feats, 64, 48).unwrap();
         let dot: f32 = windowed.iter().zip(&streamed).map(|(a, b)| a * b).sum();
         let na: f32 = windowed.iter().map(|a| a * a).sum::<f32>().sqrt();
         let nb: f32 = streamed.iter().map(|b| b * b).sum::<f32>().sqrt();
-        assert!(dot / (na * nb) > 0.9, "cosine similarity too low: {}", dot / (na * nb));
+        assert!(
+            dot / (na * nb) > 0.9,
+            "cosine similarity too low: {}",
+            dot / (na * nb)
+        );
     }
 
     #[test]
@@ -348,7 +401,16 @@ mod tests {
         // served-equals-offline parity guarantee, across architectures
         // (specialized batched paths and the generic fallback alike).
         for kind in [ArchKind::Lstm, ArchKind::Gru, ArchKind::Transformer] {
-            let f = Foundation::new(ArchSpec { kind, layers: 2, dim: 8 }, 3, 0.1, 7);
+            let f = Foundation::new(
+                ArchSpec {
+                    kind,
+                    layers: 2,
+                    dim: 8,
+                },
+                3,
+                0.1,
+                7,
+            );
             let feats = toy_features(100);
             let reference = program_representation(&f, &feats);
             for block in [1usize, 7, 32, 256] {
@@ -364,14 +426,26 @@ mod tests {
         // program's representation must still equal the windowed
         // reference exactly — the serving engine's parity foundation.
         for kind in [ArchKind::Lstm, ArchKind::Gru] {
-            let f = Foundation::new(ArchSpec { kind, layers: 2, dim: 8 }, 3, 0.1, 7);
-            let feats: Vec<Matrix> =
-                (0..5).map(|s| toy_features(40 + 13 * s)).collect();
+            let f = Foundation::new(
+                ArchSpec {
+                    kind,
+                    layers: 2,
+                    dim: 8,
+                },
+                3,
+                0.1,
+                7,
+            );
+            let feats: Vec<Matrix> = (0..5).map(|s| toy_features(40 + 13 * s)).collect();
             let refs: Vec<&Matrix> = feats.iter().collect();
             for block in [1usize, 3, 8, 64] {
                 let reps = program_representations_coalesced(&f, &refs, block);
                 for (m, rep) in feats.iter().zip(&reps) {
-                    assert_eq!(rep, &program_representation(&f, m), "{kind:?} block {block}");
+                    assert_eq!(
+                        rep,
+                        &program_representation(&f, m),
+                        "{kind:?} block {block}"
+                    );
                 }
             }
         }

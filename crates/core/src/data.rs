@@ -74,7 +74,11 @@ pub fn build_program_data(
             targets.row_mut(i)[j] = v;
         }
     }
-    ProgramData { name: name.to_string(), features, targets }
+    ProgramData {
+        name: name.to_string(),
+        features,
+        targets,
+    }
 }
 
 /// Total simulated execution times (0.1 ns) per microarchitecture for a

@@ -58,8 +58,14 @@ impl CacheGrid {
 pub fn with_cache_sizes(base: &MicroArchConfig, l1_kb: u64, l2_kb: u64) -> MicroArchConfig {
     let mut cfg = base.clone();
     cfg.name = format!("{}-l1_{}k-l2_{}k", base.name, l1_kb, l2_kb);
-    cfg.l1d = CacheConfig { size_bytes: l1_kb * 1024, ..base.l1d };
-    cfg.l2 = CacheConfig { size_bytes: l2_kb * 1024, ..base.l2 };
+    cfg.l1d = CacheConfig {
+        size_bytes: l1_kb * 1024,
+        ..base.l1d
+    };
+    cfg.l2 = CacheConfig {
+        size_bytes: l2_kb * 1024,
+        ..base.l2
+    };
     cfg
 }
 
@@ -121,7 +127,10 @@ mod tests {
 
     #[test]
     fn derived_configs_change_only_cache_sizes() {
-        let base = predefined_configs().into_iter().find(|c| c.name == "cortex-a7-like").unwrap();
+        let base = predefined_configs()
+            .into_iter()
+            .find(|c| c.name == "cortex-a7-like")
+            .unwrap();
         let derived = with_cache_sizes(&base, 64, 2048);
         assert_eq!(derived.l1d.size_bytes, 64 * 1024);
         assert_eq!(derived.l2.size_bytes, 2048 * 1024);

@@ -36,7 +36,13 @@ pub struct FinetuneConfig {
 
 impl Default for FinetuneConfig {
     fn default() -> FinetuneConfig {
-        FinetuneConfig { epochs: 30, batch_size: 64, windows: 4_000, lr: 5e-3, seed: 0xf1e7 }
+        FinetuneConfig {
+            epochs: 30,
+            batch_size: 64,
+            windows: 4_000,
+            lr: 5e-3,
+            seed: 0xf1e7,
+        }
     }
 }
 
@@ -73,7 +79,14 @@ pub fn cache_representations(
     });
     let targets = pool
         .iter()
-        .map(|&(p, i)| tuning[p].targets.row(i).iter().map(|&t| t * scale).collect())
+        .map(|&(p, i)| {
+            tuning[p]
+                .targets
+                .row(i)
+                .iter()
+                .map(|&t| t * scale)
+                .collect()
+        })
         .collect();
     CachedReps { reps, targets }
 }
@@ -123,8 +136,10 @@ pub fn learn_march_reps(
             col_scale[j] += v.abs() as f64;
         }
     }
-    let col_scale: Vec<f32> =
-        col_scale.iter().map(|s| ((s / n as f64) as f32).max(1e-3)).collect();
+    let col_scale: Vec<f32> = col_scale
+        .iter()
+        .map(|s| ((s / n as f64) as f32).max(1e-3))
+        .collect();
 
     // Warm start: with the foundation frozen the problem is linear least
     // squares, so the closed-form ridge solution over the cached windows
@@ -147,19 +162,20 @@ pub fn learn_march_reps(
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for batch in order.chunks(cfg.batch_size) {
-            let (loss, grads) = step.accumulate_items(batch.len(), table.num_params(), |b, grads| {
-                let i = batch[b];
-                let r = &cached.reps[i];
-                let t = &cached.targets[i];
-                let mut loss = 0.0f64;
-                let inv_k = 2.0 / k as f32;
-                for j in 0..k {
-                    let err = dot(r, table.rep(j)) - t[j] / col_scale[j];
-                    loss += (err * err) as f64;
-                    axpy(inv_k * err, r, &mut grads[j * d..(j + 1) * d]);
-                }
-                loss / k as f64
-            });
+            let (loss, grads) =
+                step.accumulate_items(batch.len(), table.num_params(), |b, grads| {
+                    let i = batch[b];
+                    let r = &cached.reps[i];
+                    let t = &cached.targets[i];
+                    let mut loss = 0.0f64;
+                    let inv_k = 2.0 / k as f32;
+                    for j in 0..k {
+                        let err = dot(r, table.rep(j)) - t[j] / col_scale[j];
+                        loss += (err * err) as f64;
+                        axpy(inv_k * err, r, &mut grads[j * d..(j + 1) * d]);
+                    }
+                    loss / k as f64
+                });
             let inv = 1.0 / batch.len() as f32;
             let mean_grads: Vec<f32> = grads.iter().map(|g| g * inv).collect();
             opt.step(&mut table.reps, &mean_grads, cfg.lr);
@@ -188,11 +204,16 @@ mod tests {
     /// Synthetic tuning data whose targets are exactly linear in the
     /// (frozen, random) foundation representations: fine-tuning must
     /// recover the generating vectors.
-    fn synthetic_tuning(foundation: &Foundation, k: usize, n: usize) -> (Vec<ProgramData>, Vec<Vec<f32>>) {
+    fn synthetic_tuning(
+        foundation: &Foundation,
+        k: usize,
+        n: usize,
+    ) -> (Vec<ProgramData>, Vec<Vec<f32>>) {
         let d = foundation.dim();
         let mut rng = seeded_rng(99);
-        let true_reps: Vec<Vec<f32>> =
-            (0..k).map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0f32)).collect()).collect();
+        let true_reps: Vec<Vec<f32>> = (0..k)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+            .collect();
         let mut features = Matrix::zeros(n, NUM_FEATURES);
         for i in 0..n {
             for j in 0..8 {
@@ -207,7 +228,14 @@ mod tests {
                 targets.row_mut(i)[j] = dot(&r, tr) / foundation.target_scale;
             }
         }
-        (vec![ProgramData { name: "synthetic".into(), features, targets }], true_reps)
+        (
+            vec![ProgramData {
+                name: "synthetic".into(),
+                features,
+                targets,
+            }],
+            true_reps,
+        )
     }
 
     #[test]
@@ -217,9 +245,17 @@ mod tests {
         // check is *prediction* agreement on held-out windows.
         let foundation = Foundation::new(ArchSpec::default_lstm(8), 3, 0.5, 17);
         let (tuning, true_reps) = synthetic_tuning(&foundation, 3, 400);
-        let cfg = FinetuneConfig { epochs: 60, windows: 300, lr: 1e-2, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 60,
+            windows: 300,
+            lr: 1e-2,
+            ..Default::default()
+        };
         let (table, loss) = learn_march_reps(&foundation, &tuning, &cfg);
-        assert!(loss < 0.3, "fine-tuning should fit a linear target, loss {loss}");
+        assert!(
+            loss < 0.3,
+            "fine-tuning should fit a linear target, loss {loss}"
+        );
         // Held-out windows: the last 50 instructions (sampling may have
         // seen some; representations still generalize within-distribution).
         let feats = &tuning[0].features;

@@ -43,7 +43,11 @@ impl ArchSpec {
     /// The paper's default foundation architecture, scaled to `dim`
     /// (`LSTM-2-256` at full scale).
     pub fn default_lstm(dim: usize) -> ArchSpec {
-        ArchSpec { kind: ArchKind::Lstm, layers: 2, dim }
+        ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 2,
+            dim,
+        }
     }
 
     /// Instantiate the model for a given window length.
@@ -76,7 +80,11 @@ pub struct Foundation {
 impl Foundation {
     /// Fresh, untrained foundation model.
     pub fn new(spec: ArchSpec, context: usize, target_scale: f32, seed: u64) -> Foundation {
-        Foundation { model: spec.build(context + 1, seed), context, target_scale }
+        Foundation {
+            model: spec.build(context + 1, seed),
+            context,
+            target_scale,
+        }
     }
 
     /// Window length (`c + 1`).
@@ -119,7 +127,11 @@ mod tests {
             ArchKind::Gru,
             ArchKind::Transformer,
         ] {
-            let spec = ArchSpec { kind, layers: 2, dim: 8 };
+            let spec = ArchSpec {
+                kind,
+                layers: 2,
+                dim: 8,
+            };
             let f = Foundation::new(spec, 3, 0.1, 7);
             assert_eq!(f.dim(), 8);
             assert_eq!(f.window(), 4);
@@ -138,7 +150,10 @@ mod tests {
         let r9 = f.repr_at(&m, 9);
         assert_eq!(r0.len(), 8);
         assert!(r0.iter().all(|v| v.is_finite()));
-        assert_ne!(r0, r9, "different contexts should give different representations");
+        assert_ne!(
+            r0, r9,
+            "different contexts should give different representations"
+        );
     }
 
     #[test]

@@ -77,6 +77,6 @@ pub use compose::{
 };
 pub use foundation::{ArchKind, ArchSpec, Foundation};
 pub use march_table::MarchTable;
-pub use refit::refit_march_table;
 pub use predict::{evaluate_program, mean_error, predict_total_tenths, EvalRow};
+pub use refit::refit_march_table;
 pub use trainer::{train_foundation, TrainConfig, TrainedFoundation};

@@ -35,7 +35,13 @@ pub struct MarchModelConfig {
 
 impl Default for MarchModelConfig {
     fn default() -> MarchModelConfig {
-        MarchModelConfig { hidden: 16, epochs: 40, batch_size: 64, lr: 3e-3, seed: 0xd5e }
+        MarchModelConfig {
+            hidden: 16,
+            epochs: 40,
+            batch_size: 64,
+            lr: 3e-3,
+            seed: 0xd5e,
+        }
     }
 }
 
@@ -129,13 +135,15 @@ mod tests {
     /// model must interpolate to configurations between training points.
     fn synthetic(k: usize, n: usize, d: usize) -> (CachedReps, Vec<Vec<f32>>) {
         let mut rng = seeded_rng(5);
-        let reps: Vec<Vec<f32>> =
-            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0f32)).collect()).collect();
-        let march_params: Vec<Vec<f32>> =
-            (0..k).map(|j| vec![j as f32 / (k - 1) as f32]).collect();
+        let reps: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0f32)).collect())
+            .collect();
+        let march_params: Vec<Vec<f32>> = (0..k).map(|j| vec![j as f32 / (k - 1) as f32]).collect();
         // True latent rep: M(x) = [1 + x, 2 - x, x, ...]
         let true_rep = |x: f32| -> Vec<f32> {
-            (0..d).map(|i| ((i as f32 + 1.0) * 0.3) * (1.0 - x) + (i as f32 * 0.2) * x).collect()
+            (0..d)
+                .map(|i| ((i as f32 + 1.0) * 0.3) * (1.0 - x) + (i as f32 * 0.2) * x)
+                .collect()
         };
         let targets: Vec<Vec<f32>> = reps
             .iter()
@@ -152,7 +160,11 @@ mod tests {
     #[test]
     fn fits_and_interpolates_a_smooth_configuration_response() {
         let (cached, params) = synthetic(6, 400, 8);
-        let cfg = MarchModelConfig { epochs: 300, lr: 5e-3, ..Default::default() };
+        let cfg = MarchModelConfig {
+            epochs: 300,
+            lr: 5e-3,
+            ..Default::default()
+        };
         let (model, loss) = train_march_model(&cached, &params, 8, 1.0, &cfg);
         assert!(loss < 5e-3, "training loss {loss}");
         // Interpolation: predict at x = 0.3 (between training points 0.2 and 0.4).
@@ -169,8 +181,7 @@ mod tests {
     #[test]
     fn rep_dimensionality_matches() {
         let (cached, params) = synthetic(3, 50, 4);
-        let (model, _) =
-            train_march_model(&cached, &params, 4, 0.1, &MarchModelConfig::default());
+        let (model, _) = train_march_model(&cached, &params, 4, 0.1, &MarchModelConfig::default());
         assert_eq!(model.rep(&params[0]).len(), 4);
     }
 }

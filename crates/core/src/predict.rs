@@ -68,7 +68,14 @@ pub fn evaluate_program(
         })
         .collect();
     let (mean, std, min, max) = error_stats(&errors);
-    EvalRow { program: name.to_string(), seen, mean, std, min, max }
+    EvalRow {
+        program: name.to_string(),
+        seen,
+        mean,
+        std,
+        min,
+        max,
+    }
 }
 
 /// Mean error across a set of rows (the scalar the ablations report).

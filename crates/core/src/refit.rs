@@ -32,7 +32,13 @@ pub struct NormalEq {
 impl NormalEq {
     /// Empty accumulator for a `d`-wide head with `k` right-hand sides.
     pub fn zeros(d: usize, k: usize) -> NormalEq {
-        NormalEq { xtx: vec![0.0; d * d], xty: vec![0.0; d * k], d, k, count: 0 }
+        NormalEq {
+            xtx: vec![0.0; d * d],
+            xty: vec![0.0; d * k],
+            d,
+            k,
+            count: 0,
+        }
     }
 
     fn merge(mut self, other: NormalEq) -> NormalEq {
@@ -68,10 +74,7 @@ impl NormalEq {
 
 /// Accumulate the normal equations over every instruction of every
 /// program (chunk-parallel).
-pub fn accumulate_normal_equations(
-    foundation: &Foundation,
-    data: &[ProgramData],
-) -> NormalEq {
+pub fn accumulate_normal_equations(foundation: &Foundation, data: &[ProgramData]) -> NormalEq {
     let d = foundation.dim();
     let k = data[0].num_marches();
     let scale = foundation.target_scale;
@@ -99,7 +102,9 @@ pub fn accumulate_normal_equations(
         }
         eq
     });
-    partials.into_iter().fold(NormalEq::zeros(d, k), NormalEq::merge)
+    partials
+        .into_iter()
+        .fold(NormalEq::zeros(d, k), NormalEq::merge)
 }
 
 /// Solve the accumulated system into a fresh table, or `None` if the
@@ -145,8 +150,9 @@ mod tests {
     fn synthetic(foundation: &Foundation, k: usize, n: usize) -> (Vec<ProgramData>, Vec<Vec<f32>>) {
         let d = foundation.dim();
         let mut rng = seeded_rng(31);
-        let true_reps: Vec<Vec<f32>> =
-            (0..k).map(|_| (0..d).map(|_| rng.gen_range(-0.5..0.5f32)).collect()).collect();
+        let true_reps: Vec<Vec<f32>> = (0..k)
+            .map(|_| (0..d).map(|_| rng.gen_range(-0.5..0.5f32)).collect())
+            .collect();
         let mut features = Matrix::zeros(n, NUM_FEATURES);
         for i in 0..n {
             for j in 0..6 {
@@ -160,7 +166,14 @@ mod tests {
                 targets.row_mut(i)[j] = dot(&r, tr) / foundation.target_scale;
             }
         }
-        (vec![ProgramData { name: "syn".into(), features, targets }], true_reps)
+        (
+            vec![ProgramData {
+                name: "syn".into(),
+                features,
+                targets,
+            }],
+            true_reps,
+        )
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl Default for TrainConfig {
             // at this reproduction's scale (far fewer steps, far smaller
             // models) a proportionally higher initial rate converges to
             // the same place.
-            schedule: StepDecay { initial: 3e-3, gamma: 0.1, every: 10 },
+            schedule: StepDecay {
+                initial: 3e-3,
+                gamma: 0.1,
+                every: 10,
+            },
             seed: 0xbeef,
             reuse: true,
             target_scale: 1.0,
@@ -276,7 +280,9 @@ fn batched_chunk_pass(
         }
         loss += item_loss / k as f64;
     }
-    foundation.model.backward_batch(&xs, w, b, &cache, &douts, g_model);
+    foundation
+        .model
+        .backward_batch(&xs, w, b, &cache, &douts, g_model);
     loss
 }
 
@@ -285,7 +291,10 @@ fn batched_chunk_pass(
 pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFoundation {
     assert!(!data.is_empty(), "training requires at least one program");
     let k = data[0].num_marches();
-    assert!(data.iter().all(|d| d.num_marches() == k), "inconsistent microarchitecture count");
+    assert!(
+        data.iter().all(|d| d.num_marches() == k),
+        "inconsistent microarchitecture count"
+    );
     // Fail a misconfigured snapshot setup before any epoch runs, not at
     // the first snapshot boundary hours into a long run.
     assert!(
@@ -339,7 +348,10 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
     if let Some(path) = &cfg.resume_from {
         let snap = crate::checkpoint::load_snapshot(path)
             .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
-        assert_eq!(snap.spec, cfg.arch, "snapshot architecture differs from TrainConfig::arch");
+        assert_eq!(
+            snap.spec, cfg.arch,
+            "snapshot architecture differs from TrainConfig::arch"
+        );
         assert_eq!(
             snap.foundation.context, cfg.context,
             "snapshot context differs from TrainConfig::context"
@@ -349,7 +361,10 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
             total_len,
             "snapshot parameter count mismatch"
         );
-        assert!(snap.next_epoch <= cfg.epochs, "snapshot is beyond this run's epoch budget");
+        assert!(
+            snap.next_epoch <= cfg.epochs,
+            "snapshot is beyond this run's epoch budget"
+        );
         params[..model_len].copy_from_slice(&snap.foundation.model.get_params());
         params[model_len..].copy_from_slice(&snap.table.reps);
         foundation.model.set_params(&params[..model_len]);
@@ -414,8 +429,11 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
             let inv = 1.0 / batch.len() as f32;
             let mut mean_grads: Vec<f32> = grads.iter().map(|g| g * inv).collect();
             if let Some(max_norm) = cfg.clip_norm {
-                let norm = mean_grads.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt()
-                    as f32;
+                let norm = mean_grads
+                    .iter()
+                    .map(|g| (*g as f64) * (*g as f64))
+                    .sum::<f64>()
+                    .sqrt() as f32;
                 if norm > max_norm {
                     let s = max_norm / norm;
                     for g in &mut mean_grads {
@@ -483,7 +501,11 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
         }
     }
     report.wall_seconds = start.elapsed().as_secs_f64();
-    TrainedFoundation { foundation, march_table: table, report }
+    TrainedFoundation {
+        foundation,
+        march_table: table,
+        report,
+    }
 }
 
 /// Mean magnitude of each target column over the dataset (after
@@ -500,7 +522,9 @@ pub fn column_scales(data: &[ProgramData], target_scale: f32) -> Vec<f32> {
             n += 1;
         }
     }
-    sums.iter().map(|s| ((s / n.max(1) as f64) as f32).max(1e-3)).collect()
+    sums.iter()
+        .map(|s| ((s / n.max(1) as f64) as f32).max(1e-3))
+        .collect()
 }
 
 /// Mean per-window validation loss (on normalized targets).
@@ -520,7 +544,9 @@ pub fn validation_loss(
         let (p, i) = items[b];
         let mut buf = vec![0.0f32; w * NUM_FEATURES];
         let mut preds = vec![0.0f32; k];
-        window_pass(foundation, table, &data[p], i, inv_scale, &mut buf, &mut preds, None, 0, true)
+        window_pass(
+            foundation, table, &data[p], i, inv_scale, &mut buf, &mut preds, None, 0, true,
+        )
     });
     loss / items.len() as f64
 }
@@ -569,7 +595,11 @@ mod tests {
         let mut cfg = tiny_cfg();
         cfg.epochs = 16;
         cfg.windows_per_epoch = 1_000;
-        cfg.schedule = StepDecay { initial: 1e-2, gamma: 0.5, every: 6 };
+        cfg.schedule = StepDecay {
+            initial: 1e-2,
+            gamma: 0.5,
+            every: 6,
+        };
         let trained = train_foundation(&data, &cfg);
 
         let mean_total_err = |f: &Foundation, table: &MarchTable| -> f64 {
@@ -612,12 +642,28 @@ mod tests {
         let mut g_naive = vec![0.0f32; total];
         let inv_scale = vec![1.0f32; table.k];
         let l1 = window_pass(
-            &foundation, &table, &data[0], 42, &inv_scale, &mut buf, &mut preds,
-            Some(&mut g_reuse), model_len, true,
+            &foundation,
+            &table,
+            &data[0],
+            42,
+            &inv_scale,
+            &mut buf,
+            &mut preds,
+            Some(&mut g_reuse),
+            model_len,
+            true,
         );
         let l2 = window_pass(
-            &foundation, &table, &data[0], 42, &inv_scale, &mut buf, &mut preds,
-            Some(&mut g_naive), model_len, false,
+            &foundation,
+            &table,
+            &data[0],
+            42,
+            &inv_scale,
+            &mut buf,
+            &mut preds,
+            Some(&mut g_naive),
+            model_len,
+            false,
         );
         assert!((l1 - l2).abs() < 1e-9 * (1.0 + l1.abs()));
         for (a, b) in g_reuse.iter().zip(&g_naive) {
@@ -683,7 +729,11 @@ mod tests {
         use crate::foundation::ArchKind;
         let data = tiny_dataset();
         let mut cfg = tiny_cfg();
-        cfg.arch = ArchSpec { kind: ArchKind::Mlp, layers: 2, dim: 8 };
+        cfg.arch = ArchSpec {
+            kind: ArchKind::Mlp,
+            layers: 2,
+            dim: 8,
+        };
         cfg.epochs = 1;
         cfg.windows_per_epoch = 120;
         cfg.batched = true;
@@ -728,8 +778,16 @@ mod tests {
         assert_eq!(resumed.report.val_loss, straight.report.val_loss);
         assert_eq!(resumed.report.best_epoch, straight.report.best_epoch);
         assert_eq!(
-            encode(&resumed.foundation, straight_cfg.arch, Some(&resumed.march_table)),
-            encode(&straight.foundation, straight_cfg.arch, Some(&straight.march_table)),
+            encode(
+                &resumed.foundation,
+                straight_cfg.arch,
+                Some(&resumed.march_table)
+            ),
+            encode(
+                &straight.foundation,
+                straight_cfg.arch,
+                Some(&straight.march_table)
+            ),
             "resumed checkpoint must be byte-identical to the uninterrupted run"
         );
         std::fs::remove_file(&snap_path).ok();

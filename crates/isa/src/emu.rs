@@ -162,7 +162,11 @@ impl<'p> Emulator<'p> {
             let rec = self.step()?;
             records.push(rec);
         }
-        Ok(Trace { program: self.program.clone(), records, halted: self.halted })
+        Ok(Trace {
+            program: self.program.clone(),
+            records,
+            halted: self.halted,
+        })
     }
 
     /// Execute one instruction, returning its dynamic record.
@@ -180,11 +184,15 @@ impl<'p> Emulator<'p> {
         match inst.op {
             // ---- integer ALU ----
             Op::Add => {
-                let v = self.read_x(inst.srcs()[0]).wrapping_add(self.src1_or_imm(&inst));
+                let v = self
+                    .read_x(inst.srcs()[0])
+                    .wrapping_add(self.src1_or_imm(&inst));
                 self.write_x(inst.dsts()[0], v);
             }
             Op::Sub => {
-                let v = self.read_x(inst.srcs()[0]).wrapping_sub(self.src1_or_imm(&inst));
+                let v = self
+                    .read_x(inst.srcs()[0])
+                    .wrapping_sub(self.src1_or_imm(&inst));
                 self.write_x(inst.dsts()[0], v);
             }
             Op::And => {
@@ -210,7 +218,9 @@ impl<'p> Emulator<'p> {
                 self.write_x(inst.dsts()[0], v as i64);
             }
             Op::Sra => {
-                let v = self.read_x(inst.srcs()[0]).wrapping_shr(self.src1_or_imm(&inst) as u32 & 63);
+                let v = self
+                    .read_x(inst.srcs()[0])
+                    .wrapping_shr(self.src1_or_imm(&inst) as u32 & 63);
                 self.write_x(inst.dsts()[0], v);
             }
             Op::Slt => {
@@ -218,7 +228,8 @@ impl<'p> Emulator<'p> {
                 self.write_x(inst.dsts()[0], v);
             }
             Op::Sltu => {
-                let v = ((self.read_x(inst.srcs()[0]) as u64) < (self.src1_or_imm(&inst) as u64)) as i64;
+                let v = ((self.read_x(inst.srcs()[0]) as u64) < (self.src1_or_imm(&inst) as u64))
+                    as i64;
                 self.write_x(inst.dsts()[0], v);
             }
             Op::Li => {
@@ -234,7 +245,9 @@ impl<'p> Emulator<'p> {
                 self.write_x(inst.dsts()[0], v);
             }
             Op::Mul => {
-                let v = self.read_x(inst.srcs()[0]).wrapping_mul(self.src1_or_imm(&inst));
+                let v = self
+                    .read_x(inst.srcs()[0])
+                    .wrapping_mul(self.src1_or_imm(&inst));
                 self.write_x(inst.dsts()[0], v);
             }
             Op::Div => {
@@ -449,7 +462,13 @@ impl<'p> Emulator<'p> {
 
         self.pc_idx = next;
         self.executed += 1;
-        Ok(DynInst { sidx: idx as u32, next_sidx: next as u32, addr, taken, fault })
+        Ok(DynInst {
+            sidx: idx as u32,
+            next_sidx: next as u32,
+            addr,
+            taken,
+            fault,
+        })
     }
 }
 

@@ -33,12 +33,24 @@ pub struct MemRef {
 impl MemRef {
     /// A plain `base + offset` reference.
     pub fn base_offset(base: Reg, offset: i64, size: u8) -> MemRef {
-        MemRef { base, index: None, scale: 1, offset, size }
+        MemRef {
+            base,
+            index: None,
+            scale: 1,
+            offset,
+            size,
+        }
     }
 
     /// A `base + index*scale + offset` reference.
     pub fn indexed(base: Reg, index: Reg, scale: u8, offset: i64, size: u8) -> MemRef {
-        MemRef { base, index: Some(index), scale, offset, size }
+        MemRef {
+            base,
+            index: Some(index),
+            scale,
+            offset,
+            size,
+        }
     }
 }
 
@@ -88,7 +100,10 @@ impl Inst {
 
     /// Add a destination register. Panics beyond [`MAX_DST`].
     pub fn with_dst(mut self, r: Reg) -> Inst {
-        assert!((self.n_dst as usize) < MAX_DST, "too many destination registers");
+        assert!(
+            (self.n_dst as usize) < MAX_DST,
+            "too many destination registers"
+        );
         self.dsts[self.n_dst as usize] = r;
         self.n_dst += 1;
         self
@@ -171,7 +186,10 @@ mod tests {
 
     #[test]
     fn builder_tracks_operand_counts() {
-        let i = Inst::new(Op::Add).with_dst(Reg::x(1)).with_src(Reg::x(2)).with_src(Reg::x(3));
+        let i = Inst::new(Op::Add)
+            .with_dst(Reg::x(1))
+            .with_src(Reg::x(2))
+            .with_src(Reg::x(3));
         assert_eq!(i.dsts(), &[Reg::x(1)]);
         assert_eq!(i.srcs(), &[Reg::x(2), Reg::x(3)]);
         assert!(!i.uses_imm);
@@ -187,7 +205,10 @@ mod tests {
 
     #[test]
     fn imm_form_flags() {
-        let i = Inst::new(Op::Add).with_dst(Reg::x(1)).with_src(Reg::x(1)).with_imm(4);
+        let i = Inst::new(Op::Add)
+            .with_dst(Reg::x(1))
+            .with_src(Reg::x(1))
+            .with_imm(4);
         assert!(i.uses_imm);
         assert_eq!(i.imm, 4);
     }
@@ -203,7 +224,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let i = Inst::new(Op::Beq).with_src(Reg::x(1)).with_src(Reg::x(2)).with_target(7);
+        let i = Inst::new(Op::Beq)
+            .with_src(Reg::x(1))
+            .with_src(Reg::x(2))
+            .with_target(7);
         let s = i.to_string();
         assert!(s.contains("beq"));
         assert!(s.contains("@7"));

@@ -42,7 +42,9 @@ impl Memory {
     #[inline]
     pub fn write_u8(&mut self, addr: u64, val: u8) {
         let (pn, off) = Self::page_of(addr);
-        self.pages.entry(pn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))[off] = val;
+        self.pages
+            .entry(pn)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))[off] = val;
     }
 
     /// Read `N` little-endian bytes starting at `addr` (may straddle pages).
@@ -71,7 +73,10 @@ impl Memory {
     pub fn write_bytes<const N: usize>(&mut self, addr: u64, bytes: [u8; N]) {
         let (pn, off) = Self::page_of(addr);
         if off + N <= PAGE_SIZE {
-            let page = self.pages.entry(pn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let page = self
+                .pages
+                .entry(pn)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
             page[off..off + N].copy_from_slice(&bytes);
         } else {
             for (i, b) in bytes.iter().enumerate() {
@@ -146,7 +151,12 @@ mod tests {
     #[test]
     fn roundtrip_all_sizes() {
         let mut m = Memory::new();
-        for (size, val) in [(1u8, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+        for (size, val) in [
+            (1u8, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, 0x0123_4567_89ab_cdef),
+        ] {
             m.write_uint(0x1000, val, size);
             assert_eq!(m.read_uint(0x1000, size), val);
         }

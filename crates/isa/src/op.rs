@@ -196,7 +196,10 @@ impl Op {
 
     /// True for direct (target known statically) control flow.
     pub const fn is_direct_branch(self) -> bool {
-        matches!(self, Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::J | Op::Jal)
+        matches!(
+            self,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::J | Op::Jal
+        )
     }
 
     /// True for indirect control flow.
@@ -312,9 +315,9 @@ mod tests {
         use Op::*;
         let all = [
             Add, Sub, And, Or, Xor, Shl, Shr, Sra, Slt, Sltu, Li, Mov, Mul, Div, Rem, Fadd, Fsub,
-            Fmul, Fdiv, Fsqrt, Fmadd, Fmin, Fmax, Fneg, Fclt, Icvtf, Fcvti, Fmov, Vadd, Vmul,
-            Vfma, Vsplat, Vredsum, Ld, St, Fld, Fst, Vld, Vst, Beq, Bne, Blt, Bge, J, Jal, Jr,
-            Fence, Nop, Halt,
+            Fmul, Fdiv, Fsqrt, Fmadd, Fmin, Fmax, Fneg, Fclt, Icvtf, Fcvti, Fmov, Vadd, Vmul, Vfma,
+            Vsplat, Vredsum, Ld, St, Fld, Fst, Vld, Vst, Beq, Bne, Blt, Bge, J, Jal, Jr, Fence,
+            Nop, Halt,
         ];
         for op in all {
             // every load is mem, every branch kind implies is_branch, etc.

@@ -113,15 +113,26 @@ impl ProgramBuilder {
         for &i in &self.fixups {
             let lbl = self.insts[i].target.expect("fixup without label id") as usize;
             let bound = self.labels[lbl];
-            assert!(bound != u32::MAX, "label {lbl} used but never bound (inst {i})");
+            assert!(
+                bound != u32::MAX,
+                "label {lbl} used but never bound (inst {i})"
+            );
             self.insts[i].target = Some(bound);
         }
         for &(i, lbl) in &self.addr_fixups {
             let bound = self.labels[lbl];
-            assert!(bound != u32::MAX, "label {lbl} used but never bound (inst {i})");
+            assert!(
+                bound != u32::MAX,
+                "label {lbl} used but never bound (inst {i})"
+            );
             self.insts[i].imm = (CODE_BASE + bound as u64 * INST_BYTES) as i64;
         }
-        Program { name: self.name, insts: self.insts, data: self.data, entry: 0 }
+        Program {
+            name: self.name,
+            insts: self.insts,
+            data: self.data,
+            entry: 0,
+        }
     }
 
     /// Current instruction index (where the next emitted instruction goes).
@@ -189,13 +200,19 @@ impl ProgramBuilder {
 
     /// Allocate a slice of `f64` values.
     pub fn alloc_f64_slice(&mut self, vals: &[f64]) -> u64 {
-        let bytes = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bytes = vals
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         self.alloc_data(bytes)
     }
 
     /// Allocate a slice of `f32` values.
     pub fn alloc_f32_slice(&mut self, vals: &[f32]) -> u64 {
-        let bytes = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bytes = vals
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         self.alloc_data(bytes)
     }
 
@@ -210,41 +227,77 @@ impl ProgramBuilder {
     }
 
     /// `d = a + b`
-    pub fn add(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Add, d, a, b) }
+    pub fn add(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Add, d, a, b)
+    }
     /// `d = a + imm`
-    pub fn addi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Add, d, a, imm) }
+    pub fn addi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Add, d, a, imm)
+    }
     /// `d = a - b`
-    pub fn sub(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Sub, d, a, b) }
+    pub fn sub(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Sub, d, a, b)
+    }
     /// `d = a - imm`
-    pub fn subi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Sub, d, a, imm) }
+    pub fn subi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Sub, d, a, imm)
+    }
     /// `d = a & b`
-    pub fn and(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::And, d, a, b) }
+    pub fn and(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::And, d, a, b)
+    }
     /// `d = a & imm`
-    pub fn andi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::And, d, a, imm) }
+    pub fn andi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::And, d, a, imm)
+    }
     /// `d = a | b`
-    pub fn or(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Or, d, a, b) }
+    pub fn or(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Or, d, a, b)
+    }
     /// `d = a | imm`
-    pub fn ori(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Or, d, a, imm) }
+    pub fn ori(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Or, d, a, imm)
+    }
     /// `d = a ^ b`
-    pub fn xor(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Xor, d, a, b) }
+    pub fn xor(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Xor, d, a, b)
+    }
     /// `d = a ^ imm`
-    pub fn xori(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Xor, d, a, imm) }
+    pub fn xori(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Xor, d, a, imm)
+    }
     /// `d = a << b`
-    pub fn shl(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Shl, d, a, b) }
+    pub fn shl(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Shl, d, a, b)
+    }
     /// `d = a << imm`
-    pub fn shli(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Shl, d, a, imm) }
+    pub fn shli(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Shl, d, a, imm)
+    }
     /// `d = a >> b` (logical)
-    pub fn shr(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Shr, d, a, b) }
+    pub fn shr(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Shr, d, a, b)
+    }
     /// `d = a >> imm` (logical)
-    pub fn shri(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Shr, d, a, imm) }
+    pub fn shri(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Shr, d, a, imm)
+    }
     /// `d = a >> imm` (arithmetic)
-    pub fn srai(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Sra, d, a, imm) }
+    pub fn srai(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Sra, d, a, imm)
+    }
     /// `d = (a < b)` signed
-    pub fn slt(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Slt, d, a, b) }
+    pub fn slt(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Slt, d, a, b)
+    }
     /// `d = (a < imm)` signed
-    pub fn slti(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Slt, d, a, imm) }
+    pub fn slti(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Slt, d, a, imm)
+    }
     /// `d = (a < b)` unsigned
-    pub fn sltu(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Sltu, d, a, b) }
+    pub fn sltu(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Sltu, d, a, b)
+    }
     /// `d = imm`
     pub fn li(&mut self, d: Reg, imm: i64) -> u32 {
         self.emit(Inst::new(Op::Li).with_dst(d).with_imm(imm))
@@ -258,51 +311,85 @@ impl ProgramBuilder {
     }
     /// `fd = value` (FP immediate; encoded through the `Li` opcode).
     pub fn fli(&mut self, d: Reg, value: f64) -> u32 {
-        self.emit(Inst::new(Op::Li).with_dst(d).with_imm(value.to_bits() as i64))
+        self.emit(
+            Inst::new(Op::Li)
+                .with_dst(d)
+                .with_imm(value.to_bits() as i64),
+        )
     }
     /// `d = a`
     pub fn mov(&mut self, d: Reg, a: Reg) -> u32 {
         self.emit(Inst::new(Op::Mov).with_dst(d).with_src(a))
     }
     /// `d = a * b`
-    pub fn mul(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Mul, d, a, b) }
+    pub fn mul(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Mul, d, a, b)
+    }
     /// `d = a * imm`
-    pub fn muli(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Mul, d, a, imm) }
+    pub fn muli(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Mul, d, a, imm)
+    }
     /// `d = a / b` (signed; faults on b == 0)
-    pub fn div(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Div, d, a, b) }
+    pub fn div(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Div, d, a, b)
+    }
     /// `d = a % b` (signed; faults on b == 0)
-    pub fn rem(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Rem, d, a, b) }
+    pub fn rem(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Rem, d, a, b)
+    }
     /// `d = a % imm`
-    pub fn remi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 { self.alu_imm(Op::Rem, d, a, imm) }
+    pub fn remi(&mut self, d: Reg, a: Reg, imm: i64) -> u32 {
+        self.alu_imm(Op::Rem, d, a, imm)
+    }
 
     // ---- scalar FP ------------------------------------------------------
 
     /// `fd = fa + fb`
-    pub fn fadd(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Fadd, d, a, b) }
+    pub fn fadd(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Fadd, d, a, b)
+    }
     /// `fd = fa - fb`
-    pub fn fsub(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Fsub, d, a, b) }
+    pub fn fsub(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Fsub, d, a, b)
+    }
     /// `fd = fa * fb`
-    pub fn fmul(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Fmul, d, a, b) }
+    pub fn fmul(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Fmul, d, a, b)
+    }
     /// `fd = fa / fb`
-    pub fn fdiv(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Fdiv, d, a, b) }
+    pub fn fdiv(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Fdiv, d, a, b)
+    }
     /// `fd = sqrt(fa)`
     pub fn fsqrt(&mut self, d: Reg, a: Reg) -> u32 {
         self.emit(Inst::new(Op::Fsqrt).with_dst(d).with_src(a))
     }
     /// `fd = fa * fb + fc`
     pub fn fmadd(&mut self, d: Reg, a: Reg, b: Reg, c: Reg) -> u32 {
-        self.emit(Inst::new(Op::Fmadd).with_dst(d).with_src(a).with_src(b).with_src(c))
+        self.emit(
+            Inst::new(Op::Fmadd)
+                .with_dst(d)
+                .with_src(a)
+                .with_src(b)
+                .with_src(c),
+        )
     }
     /// `fd = min(fa, fb)`
-    pub fn fmin(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Fmin, d, a, b) }
+    pub fn fmin(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Fmin, d, a, b)
+    }
     /// `fd = max(fa, fb)`
-    pub fn fmax(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Fmax, d, a, b) }
+    pub fn fmax(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Fmax, d, a, b)
+    }
     /// `fd = -fa`
     pub fn fneg(&mut self, d: Reg, a: Reg) -> u32 {
         self.emit(Inst::new(Op::Fneg).with_dst(d).with_src(a))
     }
     /// `xd = (fa < fb)`
-    pub fn fclt(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Fclt, d, a, b) }
+    pub fn fclt(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Fclt, d, a, b)
+    }
     /// `fd = xa as f64`
     pub fn icvtf(&mut self, d: Reg, a: Reg) -> u32 {
         self.emit(Inst::new(Op::Icvtf).with_dst(d).with_src(a))
@@ -319,12 +406,22 @@ impl ProgramBuilder {
     // ---- SIMD -----------------------------------------------------------
 
     /// `vd = va + vb` lane-wise
-    pub fn vadd(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Vadd, d, a, b) }
+    pub fn vadd(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Vadd, d, a, b)
+    }
     /// `vd = va * vb` lane-wise
-    pub fn vmul(&mut self, d: Reg, a: Reg, b: Reg) -> u32 { self.alu3(Op::Vmul, d, a, b) }
+    pub fn vmul(&mut self, d: Reg, a: Reg, b: Reg) -> u32 {
+        self.alu3(Op::Vmul, d, a, b)
+    }
     /// `vd = va * vb + vc` lane-wise
     pub fn vfma(&mut self, d: Reg, a: Reg, b: Reg, c: Reg) -> u32 {
-        self.emit(Inst::new(Op::Vfma).with_dst(d).with_src(a).with_src(b).with_src(c))
+        self.emit(
+            Inst::new(Op::Vfma)
+                .with_dst(d)
+                .with_src(a)
+                .with_src(b)
+                .with_src(c),
+        )
     }
     /// Broadcast scalar `fa` into all lanes of `vd`.
     pub fn vsplat(&mut self, d: Reg, a: Reg) -> u32 {
@@ -339,97 +436,161 @@ impl ProgramBuilder {
 
     /// Integer load of `size` bytes: `d = mem[base + offset]`.
     pub fn ld(&mut self, d: Reg, base: Reg, offset: i64, size: u8) -> u32 {
-        self.emit(Inst::new(Op::Ld).with_dst(d).with_mem(MemRef::base_offset(base, offset, size)))
+        self.emit(
+            Inst::new(Op::Ld)
+                .with_dst(d)
+                .with_mem(MemRef::base_offset(base, offset, size)),
+        )
     }
 
     /// Indexed integer load: `d = mem[base + index*scale + offset]`.
-    pub fn ld_idx(&mut self, d: Reg, base: Reg, index: Reg, scale: u8, offset: i64, size: u8) -> u32 {
+    pub fn ld_idx(
+        &mut self,
+        d: Reg,
+        base: Reg,
+        index: Reg,
+        scale: u8,
+        offset: i64,
+        size: u8,
+    ) -> u32 {
         self.emit(
-            Inst::new(Op::Ld).with_dst(d).with_mem(MemRef::indexed(base, index, scale, offset, size)),
+            Inst::new(Op::Ld)
+                .with_dst(d)
+                .with_mem(MemRef::indexed(base, index, scale, offset, size)),
         )
     }
 
     /// Integer store of `size` bytes: `mem[base + offset] = s`.
     pub fn st(&mut self, s: Reg, base: Reg, offset: i64, size: u8) -> u32 {
-        self.emit(Inst::new(Op::St).with_src(s).with_mem(MemRef::base_offset(base, offset, size)))
+        self.emit(
+            Inst::new(Op::St)
+                .with_src(s)
+                .with_mem(MemRef::base_offset(base, offset, size)),
+        )
     }
 
     /// Indexed integer store.
-    pub fn st_idx(&mut self, s: Reg, base: Reg, index: Reg, scale: u8, offset: i64, size: u8) -> u32 {
+    pub fn st_idx(
+        &mut self,
+        s: Reg,
+        base: Reg,
+        index: Reg,
+        scale: u8,
+        offset: i64,
+        size: u8,
+    ) -> u32 {
         self.emit(
-            Inst::new(Op::St).with_src(s).with_mem(MemRef::indexed(base, index, scale, offset, size)),
+            Inst::new(Op::St)
+                .with_src(s)
+                .with_mem(MemRef::indexed(base, index, scale, offset, size)),
         )
     }
 
     /// FP load (8 bytes).
     pub fn fld(&mut self, d: Reg, base: Reg, offset: i64) -> u32 {
-        self.emit(Inst::new(Op::Fld).with_dst(d).with_mem(MemRef::base_offset(base, offset, 8)))
+        self.emit(
+            Inst::new(Op::Fld)
+                .with_dst(d)
+                .with_mem(MemRef::base_offset(base, offset, 8)),
+        )
     }
 
     /// Indexed FP load.
     pub fn fld_idx(&mut self, d: Reg, base: Reg, index: Reg, scale: u8, offset: i64) -> u32 {
         self.emit(
-            Inst::new(Op::Fld).with_dst(d).with_mem(MemRef::indexed(base, index, scale, offset, 8)),
+            Inst::new(Op::Fld)
+                .with_dst(d)
+                .with_mem(MemRef::indexed(base, index, scale, offset, 8)),
         )
     }
 
     /// Single-precision FP load (4 bytes, widened to f64 in the register).
     pub fn flw(&mut self, d: Reg, base: Reg, offset: i64) -> u32 {
-        self.emit(Inst::new(Op::Fld).with_dst(d).with_mem(MemRef::base_offset(base, offset, 4)))
+        self.emit(
+            Inst::new(Op::Fld)
+                .with_dst(d)
+                .with_mem(MemRef::base_offset(base, offset, 4)),
+        )
     }
 
     /// Indexed single-precision FP load.
     pub fn flw_idx(&mut self, d: Reg, base: Reg, index: Reg, scale: u8, offset: i64) -> u32 {
         self.emit(
-            Inst::new(Op::Fld).with_dst(d).with_mem(MemRef::indexed(base, index, scale, offset, 4)),
+            Inst::new(Op::Fld)
+                .with_dst(d)
+                .with_mem(MemRef::indexed(base, index, scale, offset, 4)),
         )
     }
 
     /// FP store (8 bytes).
     pub fn fst(&mut self, s: Reg, base: Reg, offset: i64) -> u32 {
-        self.emit(Inst::new(Op::Fst).with_src(s).with_mem(MemRef::base_offset(base, offset, 8)))
+        self.emit(
+            Inst::new(Op::Fst)
+                .with_src(s)
+                .with_mem(MemRef::base_offset(base, offset, 8)),
+        )
     }
 
     /// Single-precision FP store (4 bytes, narrowing from f64).
     pub fn fsw(&mut self, s: Reg, base: Reg, offset: i64) -> u32 {
-        self.emit(Inst::new(Op::Fst).with_src(s).with_mem(MemRef::base_offset(base, offset, 4)))
+        self.emit(
+            Inst::new(Op::Fst)
+                .with_src(s)
+                .with_mem(MemRef::base_offset(base, offset, 4)),
+        )
     }
 
     /// Indexed single-precision FP store.
     pub fn fsw_idx(&mut self, s: Reg, base: Reg, index: Reg, scale: u8, offset: i64) -> u32 {
         self.emit(
-            Inst::new(Op::Fst).with_src(s).with_mem(MemRef::indexed(base, index, scale, offset, 4)),
+            Inst::new(Op::Fst)
+                .with_src(s)
+                .with_mem(MemRef::indexed(base, index, scale, offset, 4)),
         )
     }
 
     /// Indexed FP store.
     pub fn fst_idx(&mut self, s: Reg, base: Reg, index: Reg, scale: u8, offset: i64) -> u32 {
         self.emit(
-            Inst::new(Op::Fst).with_src(s).with_mem(MemRef::indexed(base, index, scale, offset, 8)),
+            Inst::new(Op::Fst)
+                .with_src(s)
+                .with_mem(MemRef::indexed(base, index, scale, offset, 8)),
         )
     }
 
     /// SIMD load (16 bytes).
     pub fn vld(&mut self, d: Reg, base: Reg, offset: i64) -> u32 {
-        self.emit(Inst::new(Op::Vld).with_dst(d).with_mem(MemRef::base_offset(base, offset, 16)))
+        self.emit(
+            Inst::new(Op::Vld)
+                .with_dst(d)
+                .with_mem(MemRef::base_offset(base, offset, 16)),
+        )
     }
 
     /// Indexed SIMD load.
     pub fn vld_idx(&mut self, d: Reg, base: Reg, index: Reg, scale: u8, offset: i64) -> u32 {
         self.emit(
-            Inst::new(Op::Vld).with_dst(d).with_mem(MemRef::indexed(base, index, scale, offset, 16)),
+            Inst::new(Op::Vld)
+                .with_dst(d)
+                .with_mem(MemRef::indexed(base, index, scale, offset, 16)),
         )
     }
 
     /// SIMD store (16 bytes).
     pub fn vst(&mut self, s: Reg, base: Reg, offset: i64) -> u32 {
-        self.emit(Inst::new(Op::Vst).with_src(s).with_mem(MemRef::base_offset(base, offset, 16)))
+        self.emit(
+            Inst::new(Op::Vst)
+                .with_src(s)
+                .with_mem(MemRef::base_offset(base, offset, 16)),
+        )
     }
 
     /// Indexed SIMD store.
     pub fn vst_idx(&mut self, s: Reg, base: Reg, index: Reg, scale: u8, offset: i64) -> u32 {
         self.emit(
-            Inst::new(Op::Vst).with_src(s).with_mem(MemRef::indexed(base, index, scale, offset, 16)),
+            Inst::new(Op::Vst)
+                .with_src(s)
+                .with_mem(MemRef::indexed(base, index, scale, offset, 16)),
         )
     }
 

@@ -42,31 +42,49 @@ pub struct Reg {
 
 impl Reg {
     /// The always-zero integer register `x0`.
-    pub const ZERO: Reg = Reg { class: RegClass::Int, index: 0 };
+    pub const ZERO: Reg = Reg {
+        class: RegClass::Int,
+        index: 0,
+    };
     /// Conventional link register (`x30`), written by calls.
-    pub const LINK: Reg = Reg { class: RegClass::Int, index: 30 };
+    pub const LINK: Reg = Reg {
+        class: RegClass::Int,
+        index: 30,
+    };
     /// Conventional stack pointer (`x29`).
-    pub const SP: Reg = Reg { class: RegClass::Int, index: 29 };
+    pub const SP: Reg = Reg {
+        class: RegClass::Int,
+        index: 29,
+    };
 
     /// Integer register `x<i>`. Panics if `i >= 32`.
     #[inline]
     pub const fn x(i: u8) -> Reg {
         assert!(i < 32, "integer register index out of range");
-        Reg { class: RegClass::Int, index: i }
+        Reg {
+            class: RegClass::Int,
+            index: i,
+        }
     }
 
     /// Floating-point register `f<i>`. Panics if `i >= 32`.
     #[inline]
     pub const fn f(i: u8) -> Reg {
         assert!(i < 32, "fp register index out of range");
-        Reg { class: RegClass::Fp, index: i }
+        Reg {
+            class: RegClass::Fp,
+            index: i,
+        }
     }
 
     /// SIMD register `v<i>`. Panics if `i >= 16`.
     #[inline]
     pub const fn v(i: u8) -> Reg {
         assert!(i < 16, "vector register index out of range");
-        Reg { class: RegClass::Vec, index: i }
+        Reg {
+            class: RegClass::Vec,
+            index: i,
+        }
     }
 
     /// The register file this register belongs to.

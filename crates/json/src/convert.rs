@@ -72,7 +72,8 @@ impl ToJson for bool {
 
 impl FromJson for bool {
     fn from_json(v: &Json) -> Result<bool, ConvertError> {
-        v.as_bool().ok_or_else(|| ConvertError::expected("a boolean", v))
+        v.as_bool()
+            .ok_or_else(|| ConvertError::expected("a boolean", v))
     }
 }
 
@@ -84,7 +85,8 @@ impl ToJson for f64 {
 
 impl FromJson for f64 {
     fn from_json(v: &Json) -> Result<f64, ConvertError> {
-        v.as_f64().ok_or_else(|| ConvertError::expected("a number", v))
+        v.as_f64()
+            .ok_or_else(|| ConvertError::expected("a number", v))
     }
 }
 
@@ -108,7 +110,9 @@ impl ToJson for str {
 
 impl FromJson for String {
     fn from_json(v: &Json) -> Result<String, ConvertError> {
-        v.as_str().map(str::to_string).ok_or_else(|| ConvertError::expected("a string", v))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| ConvertError::expected("a string", v))
     }
 }
 
@@ -147,7 +151,9 @@ impl ToJson for i64 {
 
 impl FromJson for i64 {
     fn from_json(v: &Json) -> Result<i64, ConvertError> {
-        let f = v.as_f64().ok_or_else(|| ConvertError::expected("an integer", v))?;
+        let f = v
+            .as_f64()
+            .ok_or_else(|| ConvertError::expected("an integer", v))?;
         if f.fract() != 0.0 || f < i64::MIN as f64 || f > i64::MAX as f64 {
             return Err(ConvertError::expected("an integer", v));
         }
@@ -163,13 +169,14 @@ impl<T: ToJson> ToJson for Vec<T> {
 
 impl<T: FromJson> FromJson for Vec<T> {
     fn from_json(v: &Json) -> Result<Vec<T>, ConvertError> {
-        let items = v.as_arr().ok_or_else(|| ConvertError::expected("an array", v))?;
+        let items = v
+            .as_arr()
+            .ok_or_else(|| ConvertError::expected("an array", v))?;
         items
             .iter()
             .enumerate()
             .map(|(i, item)| {
-                T::from_json(item)
-                    .map_err(|e| ConvertError::new(format!("at index {i}: {e}")))
+                T::from_json(item).map_err(|e| ConvertError::new(format!("at index {i}: {e}")))
             })
             .collect()
     }
@@ -197,13 +204,13 @@ impl Json {
     /// Required-field lookup: [`Json::get`] that reports the missing
     /// key instead of returning `None`.
     pub fn field(&self, key: &str) -> Result<&Json, ConvertError> {
-        self.get(key).ok_or_else(|| ConvertError::new(format!("missing field {key:?}")))
+        self.get(key)
+            .ok_or_else(|| ConvertError::new(format!("missing field {key:?}")))
     }
 
     /// Typed required-field lookup.
     pub fn field_as<T: FromJson>(&self, key: &str) -> Result<T, ConvertError> {
-        T::from_json(self.field(key)?)
-            .map_err(|e| ConvertError::new(format!("field {key:?}: {e}")))
+        T::from_json(self.field(key)?).map_err(|e| ConvertError::new(format!("field {key:?}: {e}")))
     }
 
     /// Typed optional-field lookup: absent *and* `null` both map to
@@ -231,7 +238,10 @@ mod tests {
         assert_eq!(usize::from_json(&7usize.to_json()), Ok(7));
         assert_eq!(i64::from_json(&(-3i64).to_json()), Ok(-3));
         assert_eq!(String::from_json(&"hi".to_json()), Ok("hi".to_string()));
-        assert_eq!(Vec::<u64>::from_json(&vec![1u64, 2].to_json()), Ok(vec![1, 2]));
+        assert_eq!(
+            Vec::<u64>::from_json(&vec![1u64, 2].to_json()),
+            Ok(vec![1, 2])
+        );
         assert_eq!(Option::<u64>::from_json(&Json::Null), Ok(None));
         assert_eq!(Option::<u64>::from_json(&Json::Num(4.0)), Ok(Some(4)));
     }
@@ -252,8 +262,16 @@ mod tests {
     fn field_lookups_name_the_key() {
         let v = obj(vec![("n", Json::Num(3.0))]);
         assert_eq!(v.field_as::<u64>("n"), Ok(3));
-        assert!(v.field_as::<u64>("missing").unwrap_err().to_string().contains("missing"));
-        assert!(v.field_as::<bool>("n").unwrap_err().to_string().contains("\"n\""));
+        assert!(v
+            .field_as::<u64>("missing")
+            .unwrap_err()
+            .to_string()
+            .contains("missing"));
+        assert!(v
+            .field_as::<bool>("n")
+            .unwrap_err()
+            .to_string()
+            .contains("\"n\""));
         assert_eq!(v.opt_field_as::<u64>("absent"), Ok(None));
     }
 }

@@ -8,7 +8,10 @@ const MAX_DEPTH: usize = 64;
 impl Json {
     /// Parse a complete JSON document (trailing non-whitespace rejected).
     pub fn parse(s: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { b: s.as_bytes(), at: 0 };
+        let mut p = Parser {
+            b: s.as_bytes(),
+            at: 0,
+        };
         p.skip_ws();
         let v = p.value(0)?;
         p.skip_ws();
@@ -26,7 +29,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { msg: msg.to_string(), at: self.at }
+        JsonError {
+            msg: msg.to_string(),
+            at: self.at,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -162,8 +168,7 @@ impl<'a> Parser<'a> {
                                     if !(0xdc00..0xe000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let code =
-                                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
                                     char::from_u32(code)
                                 } else {
                                     return Err(self.err("lone high surrogate"));
@@ -230,9 +235,10 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.b[start..self.at]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { msg: "invalid number".into(), at: start })
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            msg: "invalid number".into(),
+            at: start,
+        })
     }
 }
 
@@ -255,8 +261,17 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "\"\\q\"", "{} extra", "\"\u{1}\""]
-        {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1.2.3",
+            "\"\\q\"",
+            "{} extra",
+            "\"\u{1}\"",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }
@@ -270,7 +285,10 @@ mod tests {
     #[test]
     fn unicode_escapes_and_surrogates() {
         assert_eq!(Json::parse(r#""\u0041""#).unwrap(), Json::Str("A".into()));
-        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".into())
+        );
         assert!(Json::parse(r#""\ud83d""#).is_err());
     }
 }

@@ -98,8 +98,10 @@ impl Json {
         match self {
             Json::Arr(items) => Json::Arr(items.iter().map(Json::sorted).collect()),
             Json::Obj(fields) => {
-                let mut out: Vec<(String, Json)> =
-                    fields.iter().map(|(k, v)| (k.clone(), v.sorted())).collect();
+                let mut out: Vec<(String, Json)> = fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.sorted()))
+                    .collect();
                 out.sort_by(|a, b| a.0.cmp(&b.0));
                 Json::Obj(out)
             }
@@ -196,7 +198,12 @@ impl fmt::Display for Json {
 
 /// Convenience constructor for an object literal.
 pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn write_num(v: f64, out: &mut String) {
@@ -232,7 +239,14 @@ mod tests {
 
     #[test]
     fn f64_round_trips_bit_exactly() {
-        for v in [0.1 + 0.2, 1.0 / 3.0, 123456.789e-5, f64::MIN_POSITIVE, -0.0, 9.87e300] {
+        for v in [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            123456.789e-5,
+            f64::MIN_POSITIVE,
+            -0.0,
+            9.87e300,
+        ] {
             let mut s = String::new();
             Json::Num(v).write(&mut s);
             let back = Json::parse(&s).unwrap().as_f64().unwrap();
@@ -242,7 +256,10 @@ mod tests {
 
     #[test]
     fn writer_escapes_and_orders_fields() {
-        let v = obj(vec![("k\"ey", Json::Str("v\\1".into())), ("n", Json::Num(3.0))]);
+        let v = obj(vec![
+            ("k\"ey", Json::Str("v\\1".into())),
+            ("n", Json::Num(3.0)),
+        ]);
         assert_eq!(v.to_string(), r#"{"k\"ey":"v\\1","n":3}"#);
     }
 
@@ -260,7 +277,10 @@ mod tests {
         let v = obj(vec![
             ("empty_arr", Json::Arr(vec![])),
             ("empty_obj", Json::Obj(vec![])),
-            ("nested", obj(vec![("xs", Json::Arr(vec![Json::Num(1.0), Json::Null]))])),
+            (
+                "nested",
+                obj(vec![("xs", Json::Arr(vec![Json::Num(1.0), Json::Null]))]),
+            ),
         ]);
         let p = v.pretty();
         assert_eq!(Json::parse(&p).unwrap(), v);

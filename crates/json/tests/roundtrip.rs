@@ -24,13 +24,15 @@ struct ArbJson {
 /// control char, a quote/backslash mix, and non-ASCII of 2–4 UTF-8
 /// bytes.
 const NASTY_CHARS: &[char] = &[
-    '"', '\\', '/', '\n', '\r', '\t', '\u{0008}', '\u{000c}', '\u{0000}', '\u{001f}', 'a',
-    '0', ' ', 'é', 'ψ', '\u{fffd}', '😀', '𝕊',
+    '"', '\\', '/', '\n', '\r', '\t', '\u{0008}', '\u{000c}', '\u{0000}', '\u{001f}', 'a', '0',
+    ' ', 'é', 'ψ', '\u{fffd}', '😀', '𝕊',
 ];
 
 fn arb_string(rng: &mut TestRng) -> String {
     let len = rng.rng.gen_range(0usize..12);
-    (0..len).map(|_| NASTY_CHARS[rng.rng.gen_range(0usize..NASTY_CHARS.len())]).collect()
+    (0..len)
+        .map(|_| NASTY_CHARS[rng.rng.gen_range(0usize..NASTY_CHARS.len())])
+        .collect()
 }
 
 fn arb_number(rng: &mut TestRng) -> f64 {
@@ -48,8 +50,14 @@ fn arb_number(rng: &mut TestRng) -> f64 {
             }
         }
         // Edge cases the shortest-roundtrip formatter must preserve.
-        3 => [-0.0, 0.0, f64::MIN_POSITIVE, f64::MAX, f64::MIN, f64::EPSILON]
-            [rng.rng.gen_range(0usize..6)],
+        3 => [
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            f64::EPSILON,
+        ][rng.rng.gen_range(0usize..6)],
         // Subnormals.
         4 => f64::from_bits(rng.rng.gen_range(1u64..(1 << 52))),
         // Arbitrary finite bit patterns.
@@ -75,7 +83,11 @@ fn arb_json(rng: &mut TestRng, depth: usize) -> Json {
         }
         _ => {
             let len = rng.rng.gen_range(0usize..5);
-            Json::Obj((0..len).map(|_| (arb_string(rng), arb_json(rng, depth - 1))).collect())
+            Json::Obj(
+                (0..len)
+                    .map(|_| (arb_string(rng), arb_json(rng, depth - 1)))
+                    .collect(),
+            )
         }
     }
 }
@@ -98,7 +110,10 @@ fn bit_eq(a: &Json, b: &Json) -> bool {
         }
         (Json::Obj(xs), Json::Obj(ys)) => {
             xs.len() == ys.len()
-                && xs.iter().zip(ys).all(|((ka, x), (kb, y))| ka == kb && bit_eq(x, y))
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, x), (kb, y))| ka == kb && bit_eq(x, y))
         }
         (x, y) => x == y,
     }

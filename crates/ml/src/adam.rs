@@ -19,7 +19,14 @@ pub struct Adam {
 impl Adam {
     /// Fresh optimizer state for `n` parameters.
     pub fn new(n: usize) -> Adam {
-        Adam { m: vec![0.0; n], v: vec![0.0; n], t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Apply one update with learning rate `lr` given gradients `grads`.
@@ -54,7 +61,14 @@ impl Adam {
     /// stepping it continues the original run bit-identically.
     pub fn from_state(m: Vec<f32>, v: Vec<f32>, t: u64) -> Adam {
         assert_eq!(m.len(), v.len(), "moment vectors must have equal length");
-        Adam { m, v, t, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Adam {
+            m,
+            v,
+            t,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -87,7 +101,10 @@ mod tests {
             ];
             opt.step(&mut p, &g, 0.01);
         }
-        assert!((p[0] - 1.0).abs() < 0.1 && (p[1] - 1.0).abs() < 0.15, "got {p:?}");
+        assert!(
+            (p[0] - 1.0).abs() < 0.1 && (p[1] - 1.0).abs() < 0.15,
+            "got {p:?}"
+        );
     }
 
     #[test]

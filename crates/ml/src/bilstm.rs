@@ -82,7 +82,15 @@ impl BiLstm {
         let (ob, cb) = self.bwd.forward(&rev_xs, t_steps);
         let mut out = of;
         out.extend_from_slice(&ob);
-        (out, BiLstmCache { fwd: cf, bwd: cb, rev_xs, t_steps })
+        (
+            out,
+            BiLstmCache {
+                fwd: cf,
+                bwd: cb,
+                rev_xs,
+                t_steps,
+            },
+        )
     }
 
     /// Backward; `grads` has [`BiLstm::num_params`] entries laid out as
@@ -91,7 +99,8 @@ impl BiLstm {
         let nf = self.fwd.params().len();
         let (gf, gb) = grads.split_at_mut(nf);
         self.fwd.backward(xs, &cache.fwd, &dout[..self.half], gf);
-        self.bwd.backward(&cache.rev_xs, &cache.bwd, &dout[self.half..], gb);
+        self.bwd
+            .backward(&cache.rev_xs, &cache.bwd, &dout[self.half..], gb);
         let _ = cache.t_steps;
     }
 }
@@ -126,8 +135,11 @@ mod tests {
         xs2[(t - 1) * 2] += 1.0;
         let (o1, _) = m.forward(&xs, t);
         let (o2, _) = m.forward(&xs2, t);
-        let back_diff: f32 =
-            o1[2..].iter().zip(&o2[2..]).map(|(a, b)| (a - b).abs()).sum();
+        let back_diff: f32 = o1[2..]
+            .iter()
+            .zip(&o2[2..])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(back_diff > 1e-4);
     }
 

@@ -182,7 +182,13 @@ impl GruLayerShape {
             for (g, &d) in g_b.iter_mut().zip(&dz_pre) {
                 *g += d;
             }
-            gemv_t_acc(w_ih, &dz_pre, &mut dxs[t * i_dim..(t + 1) * i_dim], 3 * h, i_dim);
+            gemv_t_acc(
+                w_ih,
+                &dz_pre,
+                &mut dxs[t * i_dim..(t + 1) * i_dim],
+                3 * h,
+                i_dim,
+            );
             // recurrent weight grads + recurrent dh contributions
             outer_acc(g_hr, &dz_pre[..h], h_prev);
             outer_acc(g_hz, &dz_pre[h..2 * h], h_prev);
@@ -364,7 +370,8 @@ impl GruLayerShape {
                 let hp: &[f32] = if t == 0 {
                     &zero_row
                 } else {
-                    &cache.hs[(t - 1) * h * batch + k * batch..(t - 1) * h * batch + (k + 1) * batch]
+                    &cache.hs
+                        [(t - 1) * h * batch + k * batch..(t - 1) * h * batch + (k + 1) * batch]
                 };
                 let dht = &dh_t[k * batch..(k + 1) * batch];
                 let dhr = &mut dh_rec[k * batch..(k + 1) * batch];
@@ -400,7 +407,14 @@ impl GruLayerShape {
             // but never reads them — skipping is parity-safe).
             if t > 0 {
                 gemm_bm_t_acc(w_hr, &dz[..h * batch], &mut dh_rec, h, h, batch);
-                gemm_bm_t_acc(w_hz, &dz[h * batch..2 * h * batch], &mut dh_rec, h, h, batch);
+                gemm_bm_t_acc(
+                    w_hz,
+                    &dz[h * batch..2 * h * batch],
+                    &mut dh_rec,
+                    h,
+                    h,
+                    batch,
+                );
                 gemm_bm_t_acc(w_hn, dn_un, &mut dh_rec, h, h, batch);
             }
         }
@@ -481,7 +495,10 @@ impl Gru {
         assert!(n_layers >= 1);
         let mut layers = Vec::with_capacity(n_layers);
         for l in 0..n_layers {
-            layers.push(GruLayerShape { in_dim: if l == 0 { in_dim } else { hidden }, hidden });
+            layers.push(GruLayerShape {
+                in_dim: if l == 0 { in_dim } else { hidden },
+                hidden,
+            });
         }
         let total: usize = layers.iter().map(|l| l.param_len()).sum();
         let mut params = vec![0.0f32; total];
@@ -535,12 +552,20 @@ impl Gru {
         }
         let h = self.out_dim();
         let out = input[(t_steps - 1) * h..t_steps * h].to_vec();
-        (out, GruCache { layer_caches, t_steps })
+        (
+            out,
+            GruCache {
+                layer_caches,
+                t_steps,
+            },
+        )
     }
 
     /// Fresh zeroed streaming state.
     pub fn zero_state(&self) -> GruState {
-        GruState { h: self.layers.iter().map(|l| vec![0.0; l.hidden]).collect() }
+        GruState {
+            h: self.layers.iter().map(|l| vec![0.0; l.hidden]).collect(),
+        }
     }
 
     /// One streaming step: feed `x`, update `state`, and write the top
@@ -563,8 +588,11 @@ impl Gru {
         let in_dim = self.in_dim();
         debug_assert_eq!(xs.len(), batch * t_steps * in_dim);
         assert!(batch >= 1);
-        let mut h_st: Vec<Vec<f32>> =
-            self.layers.iter().map(|l| vec![0.0f32; l.hidden * batch]).collect();
+        let mut h_st: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0f32; l.hidden * batch])
+            .collect();
         let h_max = self.layers.iter().map(|l| l.hidden).max().unwrap();
         let mut x0 = vec![0.0f32; in_dim * batch];
         let mut zx = vec![0.0f32; 3 * h_max * batch];
@@ -590,7 +618,15 @@ impl Gru {
                 gemm_bm_acc(w_ih, x_bm, zx, 3 * h, shape.in_dim, batch, &mut acc);
                 let h_cur = &mut cur[0];
                 gemm_bm_acc(w_hr, h_cur, &mut zx[..h * batch], h, h, batch, &mut acc);
-                gemm_bm_acc(w_hz, h_cur, &mut zx[h * batch..2 * h * batch], h, h, batch, &mut acc);
+                gemm_bm_acc(
+                    w_hz,
+                    h_cur,
+                    &mut zx[h * batch..2 * h * batch],
+                    h,
+                    h,
+                    batch,
+                    &mut acc,
+                );
                 let un = &mut un[..h * batch];
                 un.fill(0.0);
                 gemm_bm_acc(w_hn, h_cur, un, h, h, batch, &mut acc);
@@ -680,7 +716,15 @@ impl Gru {
                 };
                 gemm_bm_acc(w_ih, x_bm, zx, 3 * h, shape.in_dim, batch, &mut acc);
                 gemm_bm_acc(w_hr, h_prev, &mut zx[..h * batch], h, h, batch, &mut acc);
-                gemm_bm_acc(w_hz, h_prev, &mut zx[h * batch..2 * h * batch], h, h, batch, &mut acc);
+                gemm_bm_acc(
+                    w_hz,
+                    h_prev,
+                    &mut zx[h * batch..2 * h * batch],
+                    h,
+                    h,
+                    batch,
+                    &mut acc,
+                );
                 let un = &mut cache.un_h[t * h * batch..(t + 1) * h * batch];
                 gemm_bm_acc(w_hn, h_prev, un, h, h, batch, &mut acc);
                 let un = &cache.un_h[t * h * batch..(t + 1) * h * batch];
@@ -730,7 +774,14 @@ impl Gru {
                 out[s * d + k] = top_hs[k * batch + s];
             }
         }
-        (out, GruBatchCache { layer_caches, t_steps, batch })
+        (
+            out,
+            GruBatchCache {
+                layer_caches,
+                t_steps,
+                batch,
+            },
+        )
     }
 
     /// Batch-major BPTT from per-sequence gradients `douts`
@@ -800,7 +851,11 @@ impl Gru {
         }
         for l in (0..self.layers.len()).rev() {
             let shape = self.layers[l];
-            let xs_l: &[f32] = if l == 0 { xs } else { &cache.layer_caches[l - 1].hs };
+            let xs_l: &[f32] = if l == 0 {
+                xs
+            } else {
+                &cache.layer_caches[l - 1].hs
+            };
             let mut dxs = vec![0.0f32; t * shape.in_dim];
             let start = ends[l] - shape.param_len();
             shape.backward(

@@ -23,7 +23,11 @@ pub struct LinearShape {
 impl LinearShape {
     /// New shape.
     pub fn new(in_dim: usize, out_dim: usize, bias: bool) -> LinearShape {
-        LinearShape { in_dim, out_dim, bias }
+        LinearShape {
+            in_dim,
+            out_dim,
+            bias,
+        }
     }
 
     /// Number of parameters.
@@ -38,7 +42,13 @@ impl LinearShape {
         if self.bias {
             y.copy_from_slice(&w[self.out_dim * self.in_dim..]);
         }
-        gemv_acc(&w[..self.out_dim * self.in_dim], x, y, self.out_dim, self.in_dim);
+        gemv_acc(
+            &w[..self.out_dim * self.in_dim],
+            x,
+            y,
+            self.out_dim,
+            self.in_dim,
+        );
     }
 
     /// Backward: accumulates parameter gradients into `grads` and input

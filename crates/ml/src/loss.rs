@@ -6,7 +6,11 @@ pub fn mse(pred: &[f32], target: &[f32]) -> f32 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f32>() / pred.len() as f32
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / pred.len() as f32
 }
 
 /// Gradient of [`mse`] with respect to the predictions.

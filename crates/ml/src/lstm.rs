@@ -155,9 +155,16 @@ impl LstmLayerShape {
         for t in (0..t_steps).rev() {
             let gates = &cache.gates[t * 4 * h..(t + 1) * 4 * h];
             let cells = &cache.cells[t * h..(t + 1) * h];
-            let c_prev: &[f32] =
-                if t == 0 { &[] } else { &cache.cells[(t - 1) * h..t * h] };
-            let h_prev: &[f32] = if t == 0 { &[] } else { &cache.hs[(t - 1) * h..t * h] };
+            let c_prev: &[f32] = if t == 0 {
+                &[]
+            } else {
+                &cache.cells[(t - 1) * h..t * h]
+            };
+            let h_prev: &[f32] = if t == 0 {
+                &[]
+            } else {
+                &cache.hs[(t - 1) * h..t * h]
+            };
             // total dh at step t = injected + recurrent
             let dh_t = &mut dh[t * h..(t + 1) * h];
             for (d, r) in dh_t.iter_mut().zip(&dh_rec) {
@@ -188,7 +195,13 @@ impl LstmLayerShape {
             for (g, &d) in g_b.iter_mut().zip(&dz) {
                 *g += d;
             }
-            gemv_t_acc(w_ih, &dz, &mut dxs[t * i_dim..(t + 1) * i_dim], 4 * h, i_dim);
+            gemv_t_acc(
+                w_ih,
+                &dz,
+                &mut dxs[t * i_dim..(t + 1) * i_dim],
+                4 * h,
+                i_dim,
+            );
             dh_rec.fill(0.0);
             if t > 0 {
                 outer_acc(g_hh, &dz, h_prev);
@@ -436,7 +449,8 @@ impl LstmLayerShape {
                 let cp: &[f32] = if t == 0 {
                     &zero_row
                 } else {
-                    &cache.cells[(t - 1) * h * batch + k * batch..(t - 1) * h * batch + (k + 1) * batch]
+                    &cache.cells
+                        [(t - 1) * h * batch + k * batch..(t - 1) * h * batch + (k + 1) * batch]
                 };
                 let dht = &dh_t[k * batch..(k + 1) * batch];
                 let dcn = &mut dc_next[k * batch..(k + 1) * batch];
@@ -540,7 +554,10 @@ impl Lstm {
         assert!(n_layers >= 1);
         let mut layers = Vec::with_capacity(n_layers);
         for l in 0..n_layers {
-            layers.push(LstmLayerShape { in_dim: if l == 0 { in_dim } else { hidden }, hidden });
+            layers.push(LstmLayerShape {
+                in_dim: if l == 0 { in_dim } else { hidden },
+                hidden,
+            });
         }
         let total: usize = layers.iter().map(|l| l.param_len()).sum();
         let mut params = vec![0.0f32; total];
@@ -617,7 +634,13 @@ impl Lstm {
         }
         let h = self.out_dim();
         let out = input[(t_steps - 1) * h..t_steps * h].to_vec();
-        (out, LstmCache { layer_caches, t_steps })
+        (
+            out,
+            LstmCache {
+                layer_caches,
+                t_steps,
+            },
+        )
     }
 
     /// Batched full-sequence forward over `batch` independent sequences
@@ -636,8 +659,11 @@ impl Lstm {
         debug_assert_eq!(xs.len(), batch * t_steps * in_dim);
         assert!(batch >= 1);
         // Batch-major per-layer states: entry `k * batch + s`.
-        let mut h_st: Vec<Vec<f32>> =
-            self.layers.iter().map(|l| vec![0.0f32; l.hidden * batch]).collect();
+        let mut h_st: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0f32; l.hidden * batch])
+            .collect();
         let mut c_st = h_st.clone();
         let h_max = self.layers.iter().map(|l| l.hidden).max().unwrap();
         let mut x0 = vec![0.0f32; in_dim * batch];
@@ -755,10 +781,12 @@ impl Lstm {
                 };
                 gemm_bm_acc(w_ih, x_bm, z, 4 * h, shape.in_dim, batch, &mut acc);
                 gemm_bm_acc(w_hh, h_prev, z, 4 * h, h, batch, &mut acc);
-                let (c_prev_all, c_new_all) =
-                    cache.cells.split_at_mut(t * h * batch);
-                let c_prev_all: &[f32] =
-                    if t == 0 { &zeros[..h * batch] } else { &c_prev_all[(t - 1) * h * batch..] };
+                let (c_prev_all, c_new_all) = cache.cells.split_at_mut(t * h * batch);
+                let c_prev_all: &[f32] = if t == 0 {
+                    &zeros[..h * batch]
+                } else {
+                    &c_prev_all[(t - 1) * h * batch..]
+                };
                 let c_new = &mut c_new_all[..h * batch];
                 let h_new_off = t * h * batch;
                 let gates_off = t * 4 * h * batch;
@@ -803,7 +831,14 @@ impl Lstm {
                 out[s * d + k] = top_hs[k * batch + s];
             }
         }
-        (out, LstmBatchCache { layer_caches, t_steps, batch })
+        (
+            out,
+            LstmBatchCache {
+                layer_caches,
+                t_steps,
+                batch,
+            },
+        )
     }
 
     /// Batch-major BPTT from per-sequence gradients `douts`
@@ -882,8 +917,11 @@ impl Lstm {
 
         for l in (0..self.layers.len()).rev() {
             let shape = self.layers[l];
-            let xs_l: &[f32] =
-                if l == 0 { xs } else { &cache.layer_caches[l - 1].hs };
+            let xs_l: &[f32] = if l == 0 {
+                xs
+            } else {
+                &cache.layer_caches[l - 1].hs
+            };
             let mut dxs = vec![0.0f32; t * shape.in_dim];
             let g_start = grad_off_ends[l] - shape.param_len();
             shape.backward(
@@ -909,7 +947,9 @@ mod tests {
         let mut model = Lstm::new(in_dim, hidden, layers, 42);
         let mut rng = seeded_rng(7);
         use rand::Rng;
-        let xs: Vec<f32> = (0..t * in_dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let xs: Vec<f32> = (0..t * in_dim)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect();
         let dout: Vec<f32> = (0..hidden).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
 
         let (_, cache) = model.forward(&xs, t);

@@ -89,7 +89,13 @@ impl Mlp {
 
     /// Backward; accumulates into `grads` and returns the gradient
     /// w.r.t. the input.
-    pub fn backward(&self, x: &[f32], cache: &MlpCache, dout: &[f32], grads: &mut [f32]) -> Vec<f32> {
+    pub fn backward(
+        &self,
+        x: &[f32],
+        cache: &MlpCache,
+        dout: &[f32],
+        grads: &mut [f32],
+    ) -> Vec<f32> {
         let mut ends: Vec<usize> = Vec::with_capacity(self.shapes.len());
         let mut acc = 0;
         for s in &self.shapes {
@@ -105,7 +111,13 @@ impl Mlp {
             let input: &[f32] = if l == 0 { x } else { &cache.acts[l - 1] };
             let mut dx = vec![0.0f32; s.in_dim];
             let start = ends[l] - s.param_len();
-            s.backward(self.layer_param(l), input, &dy, &mut grads[start..ends[l]], &mut dx);
+            s.backward(
+                self.layer_param(l),
+                input,
+                &dy,
+                &mut grads[start..ends[l]],
+                &mut dx,
+            );
             dy = dx;
         }
         dy

@@ -15,7 +15,11 @@ pub struct StepDecay {
 impl StepDecay {
     /// The paper's schedule: 1e-3, x0.1 every 10 epochs.
     pub fn paper_default() -> StepDecay {
-        StepDecay { initial: 1e-3, gamma: 0.1, every: 10 }
+        StepDecay {
+            initial: 1e-3,
+            gamma: 0.1,
+            every: 10,
+        }
     }
 
     /// Learning rate for a (0-based) epoch.
@@ -39,7 +43,11 @@ mod tests {
 
     #[test]
     fn custom_schedule() {
-        let s = StepDecay { initial: 0.01, gamma: 0.5, every: 4 };
+        let s = StepDecay {
+            initial: 0.01,
+            gamma: 0.5,
+            every: 4,
+        };
         assert_eq!(s.lr(3), 0.01);
         assert_eq!(s.lr(4), 0.005);
         assert_eq!(s.lr(8), 0.0025);

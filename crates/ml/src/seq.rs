@@ -91,12 +91,19 @@ impl SeqModel {
         let shape = LinearShape::new(in_dim * window, out_dim, true);
         let mut params = vec![0.0f32; shape.param_len()];
         shape.init(&mut params, &mut crate::init::seeded_rng(seed));
-        SeqModel::Linear { shape, params, window }
+        SeqModel::Linear {
+            shape,
+            params,
+            window,
+        }
     }
 
     /// `MLP-2-d` over a fixed window (`hidden` = d).
     pub fn mlp(in_dim: usize, out_dim: usize, window: usize, seed: u64) -> SeqModel {
-        SeqModel::Mlp { model: Mlp::new(&[in_dim * window, out_dim, out_dim], seed), window }
+        SeqModel::Mlp {
+            model: Mlp::new(&[in_dim * window, out_dim, out_dim], seed),
+            window,
+        }
     }
 
     /// `LSTM-layers-d`.
@@ -116,15 +123,23 @@ impl SeqModel {
 
     /// `Transformer-layers-d` with 4 heads (2 when `d < 16`).
     pub fn transformer(in_dim: usize, out_dim: usize, layers: usize, seed: u64) -> SeqModel {
-        let heads = if out_dim.is_multiple_of(4) && out_dim >= 16 { 4 } else { 2 };
-        SeqModel::Transformer(TransformerEncoder::new(in_dim, out_dim, layers, heads, seed))
+        let heads = if out_dim.is_multiple_of(4) && out_dim >= 16 {
+            4
+        } else {
+            2
+        };
+        SeqModel::Transformer(TransformerEncoder::new(
+            in_dim, out_dim, layers, heads, seed,
+        ))
     }
 
     /// A short architecture name in the paper's `Arch-layers-dim` format.
     pub fn describe(&self) -> String {
         match self {
             SeqModel::Linear { shape, .. } => format!("Linear-1-{}", shape.out_dim),
-            SeqModel::Mlp { model, .. } => format!("MLP-{}-{}", model.num_layers(), model.out_dim()),
+            SeqModel::Mlp { model, .. } => {
+                format!("MLP-{}-{}", model.num_layers(), model.out_dim())
+            }
             SeqModel::Lstm(m) => format!("LSTM-{}-{}", m.num_layers(), m.out_dim()),
             SeqModel::BiLstm(m) => format!("biLSTM-1-{}", m.out_dim()),
             SeqModel::Gru(m) => format!("GRU-{}-{}", m.num_layers(), m.out_dim()),
@@ -196,7 +211,11 @@ impl SeqModel {
     /// and a cache for backward.
     pub fn forward(&self, xs: &[f32], t: usize) -> (Vec<f32>, SeqCache) {
         match self {
-            SeqModel::Linear { shape, params, window } => {
+            SeqModel::Linear {
+                shape,
+                params,
+                window,
+            } => {
                 debug_assert_eq!(t, *window, "linear window model has a fixed window");
                 let mut y = vec![0.0f32; shape.out_dim];
                 shape.forward(params, xs, &mut y);
@@ -227,7 +246,14 @@ impl SeqModel {
     }
 
     /// Backward; accumulates into `grads` (length [`Self::num_params`]).
-    pub fn backward(&self, xs: &[f32], t: usize, cache: &SeqCache, dout: &[f32], grads: &mut [f32]) {
+    pub fn backward(
+        &self,
+        xs: &[f32],
+        t: usize,
+        cache: &SeqCache,
+        dout: &[f32],
+        grads: &mut [f32],
+    ) {
         match (self, cache) {
             (SeqModel::Linear { shape, params, .. }, SeqCache::Linear) => {
                 let mut dx = vec![0.0f32; shape.in_dim];
@@ -282,7 +308,12 @@ impl SeqModel {
     /// is bit-identical to an independent [`SeqModel::forward`] call.
     /// LSTM and GRU keep lane-blocked batch-major caches; the remaining
     /// architectures fall back to per-sequence scalar caches.
-    pub fn forward_batch_cached(&self, xs: &[f32], t: usize, batch: usize) -> (Vec<f32>, BatchCache) {
+    pub fn forward_batch_cached(
+        &self,
+        xs: &[f32],
+        t: usize,
+        batch: usize,
+    ) -> (Vec<f32>, BatchCache) {
         match self {
             SeqModel::Lstm(m) => {
                 let (out, c) = m.forward_batch_cached(xs, t, batch);
@@ -444,7 +475,9 @@ mod tests {
         // LayerNorm's outputs is the constant sum(beta) when gamma is
         // uniform), which would make the transformer's upstream
         // gradients *exactly* zero rather than reveal a bug.
-        let dout: Vec<f32> = (0..d).map(|k| if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let dout: Vec<f32> = (0..d)
+            .map(|k| if k % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         for m in all_models(in_dim, d, w) {
             let (_, cache) = m.forward(&xs, w);
             let mut grads = vec![0.0f32; m.num_params()];
@@ -463,7 +496,10 @@ mod tests {
     fn describe_uses_paper_naming() {
         assert_eq!(SeqModel::lstm(51, 256, 2, 0).describe(), "LSTM-2-256");
         assert_eq!(SeqModel::linear(51, 256, 16, 0).describe(), "Linear-1-256");
-        assert_eq!(SeqModel::transformer(51, 32, 2, 0).describe(), "Transformer-2-32");
+        assert_eq!(
+            SeqModel::transformer(51, 32, 2, 0).describe(),
+            "Transformer-2-32"
+        );
     }
 
     #[test]
@@ -484,14 +520,22 @@ mod tests {
     #[test]
     fn stream_steps_match_windowed_forward_for_recurrent_models() {
         let (in_dim, d, t) = (5, 8, 6);
-        let xs: Vec<f32> =
-            (0..t * in_dim).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.07).collect();
-        for m in [SeqModel::lstm(in_dim, d, 2, 3), SeqModel::gru(in_dim, d, 2, 5)] {
+        let xs: Vec<f32> = (0..t * in_dim)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.07)
+            .collect();
+        for m in [
+            SeqModel::lstm(in_dim, d, 2, 3),
+            SeqModel::gru(in_dim, d, 2, 5),
+        ] {
             let (win, _) = m.forward(&xs, t);
             let mut state = m.stream_state().unwrap();
             let mut out = vec![0.0f32; d];
             for step in 0..t {
-                m.stream_step(&mut state, &xs[step * in_dim..(step + 1) * in_dim], &mut out);
+                m.stream_step(
+                    &mut state,
+                    &xs[step * in_dim..(step + 1) * in_dim],
+                    &mut out,
+                );
             }
             assert_eq!(win, out, "{}", m.describe());
         }

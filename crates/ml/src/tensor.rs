@@ -81,7 +81,10 @@ pub fn gemm_bm_acc(
                     *av += wv * xv;
                 }
             }
-            for (z, &av) in z_bm[r * batch + b0..(r + 1) * batch].iter_mut().zip(a.iter()) {
+            for (z, &av) in z_bm[r * batch + b0..(r + 1) * batch]
+                .iter_mut()
+                .zip(a.iter())
+            {
                 *z += av;
             }
         }
@@ -285,8 +288,7 @@ mod tests {
         // 3x2 weights, batch of 4 inputs with distinct values.
         let w = [0.37f32, -1.2, 2.25, 0.11, -0.6, 0.93];
         let (rows, cols, batch) = (3usize, 2usize, 4usize);
-        let xs: Vec<[f32; 2]> =
-            vec![[0.1, -0.2], [1.5, 0.33], [-0.7, 0.9], [2.0, -1.25]];
+        let xs: Vec<[f32; 2]> = vec![[0.1, -0.2], [1.5, 0.33], [-0.7, 0.9], [2.0, -1.25]];
         // batch-major X and bias-initialized batch-major Z
         let mut x_bm = vec![0.0f32; cols * batch];
         for (s, x) in xs.iter().enumerate() {
@@ -405,7 +407,11 @@ mod tests {
             let mut lm = logits;
             lm[i] -= eps;
             let num = (f(&lp) - f(&lm)) / (2.0 * eps);
-            assert!((num - dp[i]).abs() < 1e-3, "dim {i}: numeric {num} vs analytic {}", dp[i]);
+            assert!(
+                (num - dp[i]).abs() < 1e-3,
+                "dim {i}: numeric {num} vs analytic {}",
+                dp[i]
+            );
         }
     }
 
@@ -422,7 +428,10 @@ mod tests {
         for i in -2000..=2000 {
             let x = i as f32 * 0.01; // [-20, 20]
             let a = tanh_apx(x);
-            assert!((-1.0..=1.0).contains(&a), "tanh_apx({x}) = {a} out of range");
+            assert!(
+                (-1.0..=1.0).contains(&a),
+                "tanh_apx({x}) = {a} out of range"
+            );
             max_err = max_err.max((a - x.tanh()).abs());
         }
         assert!(max_err < 2e-4, "max |tanh_apx - tanh| = {max_err}");

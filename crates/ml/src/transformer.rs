@@ -110,12 +110,12 @@ fn linear_rows_backward(
 /// One encoder layer's retained activations.
 #[derive(Debug, Clone)]
 struct LayerCache {
-    input: Vec<f32>,      // T x d (layer input h)
-    q: Vec<f32>,          // T x d
-    k: Vec<f32>,          // T x d
-    v: Vec<f32>,          // T x d
-    probs: Vec<f32>,      // heads x T x T softmax rows
-    attn: Vec<f32>,       // T x d (concat heads, pre-Wo)
+    input: Vec<f32>, // T x d (layer input h)
+    q: Vec<f32>,     // T x d
+    k: Vec<f32>,     // T x d
+    v: Vec<f32>,     // T x d
+    probs: Vec<f32>, // heads x T x T softmax rows
+    attn: Vec<f32>,  // T x d (concat heads, pre-Wo)
     xhat1: Vec<f32>,
     istd1: Vec<f32>,
     h1: Vec<f32>,         // post-LN1
@@ -149,7 +149,10 @@ impl TransformerEncoder {
     /// Build an encoder with model width `d` (must be divisible by
     /// `n_heads`) and feed-forward width `2*d`.
     pub fn new(in_dim: usize, d: usize, n_layers: usize, n_heads: usize, seed: u64) -> Self {
-        assert!(d.is_multiple_of(n_heads), "model dim must divide evenly into heads");
+        assert!(
+            d.is_multiple_of(n_heads),
+            "model dim must divide evenly into heads"
+        );
         let embed = LinearShape::new(in_dim, d, true);
         let qkv = LinearShape::new(d, d, true);
         let ffn1 = LinearShape::new(d, 2 * d, true);
@@ -179,7 +182,17 @@ impl TransformerEncoder {
             off += d;
         }
         debug_assert_eq!(off, total);
-        TransformerEncoder { in_dim, d, n_layers, n_heads, embed, qkv, ffn1, ffn2, params }
+        TransformerEncoder {
+            in_dim,
+            d,
+            n_layers,
+            n_heads,
+            embed,
+            qkv,
+            ffn1,
+            ffn2,
+            params,
+        }
     }
 
     /// Input feature count.
@@ -203,7 +216,10 @@ impl TransformerEncoder {
     }
 
     fn per_layer_len(&self) -> usize {
-        4 * self.qkv.param_len() + 2 * self.d + self.ffn1.param_len() + self.ffn2.param_len()
+        4 * self.qkv.param_len()
+            + 2 * self.d
+            + self.ffn1.param_len()
+            + self.ffn2.param_len()
             + 2 * self.d
     }
 
@@ -229,7 +245,12 @@ impl TransformerEncoder {
         let dh = d / self.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
         // embed + positions
-        let mut h = linear_rows(&self.embed, &self.params[..self.embed.param_len()], xs, t_steps);
+        let mut h = linear_rows(
+            &self.embed,
+            &self.params[..self.embed.param_len()],
+            xs,
+            t_steps,
+        );
         for t in 0..t_steps {
             for k in 0..d {
                 h[t * d + k] += self.positional(t, k);
@@ -269,8 +290,8 @@ impl TransformerEncoder {
             for hd in 0..self.n_heads {
                 let hoff = hd * dh;
                 for t in 0..t_steps {
-                    let row = &mut probs
-                        [(hd * t_steps + t) * t_steps..(hd * t_steps + t + 1) * t_steps];
+                    let row =
+                        &mut probs[(hd * t_steps + t) * t_steps..(hd * t_steps + t + 1) * t_steps];
                     let qv = &q[t * d + hoff..t * d + hoff + dh];
                     for (s, rv) in row.iter_mut().enumerate() {
                         *rv = scale * dot(qv, &k_m[s * d + hoff..s * d + hoff + dh]);
@@ -324,13 +345,7 @@ impl TransformerEncoder {
 
     /// Backward from `dout` w.r.t. the last position's hidden vector;
     /// accumulates into `grads` (same length as [`Self::params`]).
-    pub fn backward(
-        &self,
-        xs: &[f32],
-        cache: &TransformerCache,
-        dout: &[f32],
-        grads: &mut [f32],
-    ) {
+    pub fn backward(&self, xs: &[f32], cache: &TransformerCache, dout: &[f32], grads: &mut [f32]) {
         let d = self.d;
         let t_steps = cache.t_steps;
         let dh_dim = d / self.n_heads;
@@ -513,7 +528,10 @@ mod tests {
         let (o1, _) = m.forward(&xs, t);
         let (o2, _) = m.forward(&swapped, t);
         let diff: f32 = o1.iter().zip(&o2).map(|(a, b)| (a - b).abs()).sum();
-        assert!(diff > 1e-5, "order must matter to a transformer with positions");
+        assert!(
+            diff > 1e-5,
+            "order must matter to a transformer with positions"
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@ fn every_sequence_of_a_batch_is_bit_identical_to_forward() {
 fn batch_douts(batch: usize, d: usize) -> Vec<f32> {
     (0..batch * d)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(0xd134_2543_de82_ef95).wrapping_add(0x9e37);
+            let x = (i as u64)
+                .wrapping_mul(0xd134_2543_de82_ef95)
+                .wrapping_add(0x9e37);
             ((x >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
         })
         .collect()
@@ -128,7 +130,10 @@ fn backward_batch_of_deeper_recurrent_stacks_stays_bit_identical() {
     let (in_dim, d, t, batch) = (4, 6, 7, 5);
     let xs = batch_inputs(batch, t, in_dim);
     let douts = batch_douts(batch, d);
-    for m in [SeqModel::lstm(in_dim, d, 3, 11), SeqModel::gru(in_dim, d, 3, 13)] {
+    for m in [
+        SeqModel::lstm(in_dim, d, 3, 11),
+        SeqModel::gru(in_dim, d, 3, 13),
+    ] {
         let mut g_ref = vec![0.0f32; m.num_params()];
         for s in 0..batch {
             let seq = &xs[s * t * in_dim..(s + 1) * t * in_dim];
@@ -153,11 +158,19 @@ fn deeper_recurrent_stacks_stay_bit_identical() {
     // deeper than the default two layers.
     let (in_dim, d, t, batch) = (4, 6, 7, 5);
     let xs = batch_inputs(batch, t, in_dim);
-    for m in [SeqModel::lstm(in_dim, d, 3, 11), SeqModel::gru(in_dim, d, 3, 13)] {
+    for m in [
+        SeqModel::lstm(in_dim, d, 3, 11),
+        SeqModel::gru(in_dim, d, 3, 13),
+    ] {
         let batched = m.forward_batch(&xs, t, batch);
         for s in 0..batch {
             let (single, _) = m.forward(&xs[s * t * in_dim..(s + 1) * t * in_dim], t);
-            assert_eq!(&batched[s * d..(s + 1) * d], single.as_slice(), "{}", m.describe());
+            assert_eq!(
+                &batched[s * d..(s + 1) * d],
+                single.as_slice(),
+                "{}",
+                m.describe()
+            );
         }
     }
 }

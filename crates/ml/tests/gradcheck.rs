@@ -19,7 +19,9 @@ fn lcg_stream(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
     let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let unit = ((state >> 40) as f32) / (1u64 << 24) as f32;
             lo + unit * (hi - lo)
         })
@@ -42,7 +44,10 @@ fn finite_difference_check(mut model: SeqModel, t: usize, seed: u64) {
 
     let loss = |m: &SeqModel| -> f64 {
         let (y, _) = m.forward(&xs, t);
-        y.iter().zip(&dout).map(|(&a, &b)| a as f64 * b as f64).sum()
+        y.iter()
+            .zip(&dout)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
     };
 
     let n = model.num_params();
@@ -76,8 +81,14 @@ fn finite_difference_check(mut model: SeqModel, t: usize, seed: u64) {
         }
         checked += 1;
     }
-    assert!(checked >= 64 || checked >= n, "{name}: only {checked} params checked");
-    println!("{name}: {checked} params checked, worst abs err {:.2e} (param {})", worst.0, worst.1);
+    assert!(
+        checked >= 64 || checked >= n,
+        "{name}: only {checked} params checked"
+    );
+    println!(
+        "{name}: {checked} params checked, worst abs err {:.2e} (param {})",
+        worst.0, worst.1
+    );
 }
 
 /// The batched twin of [`finite_difference_check`]: the analytic
@@ -99,7 +110,10 @@ fn finite_difference_check_batched(mut model: SeqModel, t: usize, batch: usize, 
 
     let loss = |m: &SeqModel| -> f64 {
         let y = m.forward_batch(&xs, t, batch);
-        y.iter().zip(&douts).map(|(&a, &b)| a as f64 * b as f64).sum()
+        y.iter()
+            .zip(&douts)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
     };
 
     let n = model.num_params();
@@ -129,7 +143,10 @@ fn finite_difference_check_batched(mut model: SeqModel, t: usize, batch: usize, 
         );
         checked += 1;
     }
-    assert!(checked >= 64 || checked >= n, "{name}: only {checked} params checked");
+    assert!(
+        checked >= 64 || checked >= n,
+        "{name}: only {checked} params checked"
+    );
 }
 
 #[test]

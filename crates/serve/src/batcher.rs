@@ -26,7 +26,11 @@ pub struct BatcherConfig {
 
 impl Default for BatcherConfig {
     fn default() -> Self {
-        BatcherConfig { batch: 16, queue_depth: 256, workers: 2 }
+        BatcherConfig {
+            batch: 16,
+            queue_depth: 256,
+            workers: 2,
+        }
     }
 }
 
@@ -125,7 +129,10 @@ where
     {
         assert!(cfg.batch >= 1 && cfg.workers >= 1 && cfg.queue_depth >= 1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
             nonempty: Condvar::new(),
             batches: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
@@ -140,12 +147,19 @@ where
                 std::thread::spawn(move || worker_loop(shared, exec, batch))
             })
             .collect();
-        Batcher { shared, cfg, workers }
+        Batcher {
+            shared,
+            cfg,
+            workers,
+        }
     }
 
     /// Enqueue a job under a group key; returns a [`Ticket`] to wait on.
     pub fn submit(&self, key: K, job: J) -> Result<Ticket<R>, SubmitError> {
-        let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
         {
             let mut st = self.shared.state.lock().unwrap();
             if st.shutdown {
@@ -154,7 +168,11 @@ where
             if st.queue.len() >= self.cfg.queue_depth {
                 return Err(SubmitError::QueueFull);
             }
-            st.queue.push_back(Pending { key, job, slot: Arc::clone(&slot) });
+            st.queue.push_back(Pending {
+                key,
+                job,
+                slot: Arc::clone(&slot),
+            });
         }
         self.shared.nonempty.notify_one();
         Ok(Ticket { slot })
@@ -205,9 +223,7 @@ where
             }
             let front_key = st.queue.front().unwrap().key.clone();
             let mut taken = Vec::with_capacity(batch.min(st.queue.len()));
-            while taken.len() < batch
-                && st.queue.front().is_some_and(|p| p.key == front_key)
-            {
+            while taken.len() < batch && st.queue.front().is_some_and(|p| p.key == front_key) {
                 taken.push(st.queue.pop_front().unwrap());
             }
             taken
@@ -218,7 +234,11 @@ where
         let (jobs, slots): (Vec<J>, Vec<Arc<Slot<R>>>) =
             drained.into_iter().map(|p| (p.job, p.slot)).unzip();
         let results = exec(&key, jobs);
-        assert_eq!(results.len(), slots.len(), "executor must return one result per job");
+        assert_eq!(
+            results.len(),
+            slots.len(),
+            "executor must return one result per job"
+        );
         // Counters first: a client woken by the notify below may read
         // stats() immediately, and completed work must already be
         // visible there.
@@ -254,7 +274,11 @@ mod tests {
 
     #[test]
     fn many_jobs_all_complete_with_correct_results() {
-        let b = Arc::new(echo_batcher(BatcherConfig { batch: 4, queue_depth: 1024, workers: 3 }));
+        let b = Arc::new(echo_batcher(BatcherConfig {
+            batch: 4,
+            queue_depth: 1024,
+            workers: 3,
+        }));
         let handles: Vec<_> = (0..8)
             .map(|thread| {
                 let b = Arc::clone(&b);
@@ -282,7 +306,11 @@ mod tests {
     fn coalescing_respects_group_keys() {
         // Two keys interleaved: every executed batch must be
         // key-homogeneous, which the executor encodes into results.
-        let b = Arc::new(echo_batcher(BatcherConfig { batch: 8, queue_depth: 1024, workers: 1 }));
+        let b = Arc::new(echo_batcher(BatcherConfig {
+            batch: 8,
+            queue_depth: 1024,
+            workers: 1,
+        }));
         let handles: Vec<_> = (0..6)
             .map(|i| {
                 let b = Arc::clone(&b);
@@ -305,15 +333,21 @@ mod tests {
         // executor until allowed to proceed.
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let g2 = Arc::clone(&gate);
-        let b: Batcher<u8, u8, u8> =
-            Batcher::new(BatcherConfig { batch: 1, queue_depth: 2, workers: 1 }, move |_, jobs| {
+        let b: Batcher<u8, u8, u8> = Batcher::new(
+            BatcherConfig {
+                batch: 1,
+                queue_depth: 2,
+                workers: 1,
+            },
+            move |_, jobs| {
                 let (lock, cv) = &*g2;
                 let mut open = lock.lock().unwrap();
                 while !*open {
                     open = cv.wait(open).unwrap();
                 }
                 jobs
-            });
+            },
+        );
         // One job occupies the worker; two fill the queue; the next is shed.
         let t0 = b.submit(0, 0).unwrap();
         // Wait until the worker has drained job 0 from the queue (it

@@ -67,7 +67,9 @@ fn usage() -> ! {
 }
 
 fn parse_args() -> Args {
-    let default_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let mut args = Args {
         host: env_or("HOST", IpAddr::V4(Ipv4Addr::LOCALHOST)),
         port: env_or("PORT", 7411),
@@ -93,16 +95,13 @@ fn parse_args() -> Args {
             "--host" => args.host = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--port" => args.port = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--queue-depth" => {
-                args.queue_depth = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
+            "--queue-depth" => args.queue_depth = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--cache-entries" => {
                 args.cache_entries = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--march-seed" => {
-                args.march_seed =
-                    parse_u64_flexible(&value(&mut i)).unwrap_or_else(|| usage())
+                args.march_seed = parse_u64_flexible(&value(&mut i)).unwrap_or_else(|| usage())
             }
             "--model" => {
                 let spec = value(&mut i);
@@ -193,7 +192,10 @@ fn main() -> ExitCode {
     };
     println!(
         "serving on http://{} (batch {}, queue {}, workers {}, cache {})",
-        handle.addr, cfg.engine.batch, cfg.engine.queue_depth, cfg.engine.workers,
+        handle.addr,
+        cfg.engine.batch,
+        cfg.engine.queue_depth,
+        cfg.engine.workers,
         cfg.engine.cache_entries
     );
     println!("try: curl -s http://{}/healthz", handle.addr);

@@ -91,7 +91,11 @@ impl<T> BoundedCache<T> {
     /// Counters snapshot.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap();
-        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() as u64 }
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len() as u64,
+        }
     }
 }
 

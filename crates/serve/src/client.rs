@@ -44,8 +44,10 @@ pub fn roundtrip(
             break;
         }
         if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length =
-                v.trim().parse().map_err(|_| bad("bad response content-length"))?;
+            content_length = v
+                .trim()
+                .parse()
+                .map_err(|_| bad("bad response content-length"))?;
         }
     }
     let mut buf = vec![0u8; content_length];

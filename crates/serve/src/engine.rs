@@ -40,7 +40,12 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { batch: 16, queue_depth: 256, workers: 2, cache_entries: 1024 }
+        EngineConfig {
+            batch: 16,
+            queue_depth: 256,
+            workers: 2,
+            cache_entries: 1024,
+        }
     }
 }
 
@@ -116,8 +121,11 @@ impl PredictEngine {
     /// Spin up the worker pool over a registry.
     pub fn new(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> PredictEngine {
         let cache = Arc::new(RepCache::new(cfg.cache_entries));
-        let batcher_cfg =
-            BatcherConfig { batch: cfg.batch, queue_depth: cfg.queue_depth, workers: cfg.workers };
+        let batcher_cfg = BatcherConfig {
+            batch: cfg.batch,
+            queue_depth: cfg.queue_depth,
+            workers: cfg.workers,
+        };
         let exec_registry = Arc::clone(&registry);
         let exec_cache = Arc::clone(&cache);
         let block = cfg.batch;
@@ -139,7 +147,12 @@ impl PredictEngine {
                 })
                 .collect()
         });
-        PredictEngine { registry, batcher, cache, requests: AtomicU64::new(0) }
+        PredictEngine {
+            registry,
+            batcher,
+            cache,
+            requests: AtomicU64::new(0),
+        }
     }
 
     /// The registry being served.
@@ -179,13 +192,23 @@ impl PredictEngine {
                 return Ok(make_outcome(m, &rep, march_row, true, 0));
             }
         }
-        let job = RepJob { features, fingerprint: fp, cache: !no_cache };
+        let job = RepJob {
+            features,
+            fingerprint: fp,
+            cache: !no_cache,
+        };
         let ticket = self
             .batcher
             .submit(m.name.clone(), job)
             .map_err(EngineError::Overloaded)?;
         let result = ticket.wait();
-        Ok(make_outcome(m, &result.rep, march_row, false, result.coalesced))
+        Ok(make_outcome(
+            m,
+            &result.rep,
+            march_row,
+            false,
+            result.coalesced,
+        ))
     }
 
     /// Counters snapshot.
@@ -207,7 +230,11 @@ fn make_outcome(
 ) -> PredictOutcome {
     let prediction_tenths =
         predict_total_tenths(rep, m.table.rep(march_row), m.foundation.target_scale);
-    PredictOutcome { prediction_tenths, cache_hit, coalesced }
+    PredictOutcome {
+        prediction_tenths,
+        cache_hit,
+        coalesced,
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +254,11 @@ mod tests {
     }
 
     fn toy_engine(cfg: EngineConfig) -> PredictEngine {
-        let spec = ArchSpec { kind: ArchKind::Lstm, layers: 2, dim: 8 };
+        let spec = ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 2,
+            dim: 8,
+        };
         let model = LoadedModel::from_parts(
             "default",
             Foundation::new(spec, 3, 0.1, 42),
@@ -258,7 +289,9 @@ mod tests {
                 std::thread::spawn(move || {
                     let feats = Arc::new(toy_features(30 + i as usize, i));
                     let row = (i as usize) % 5;
-                    let got = engine.predict(None, Arc::clone(&feats), row, false).unwrap();
+                    let got = engine
+                        .predict(None, Arc::clone(&feats), row, false)
+                        .unwrap();
                     (feats, row, got)
                 })
             })
@@ -284,7 +317,10 @@ mod tests {
         let cold = engine.predict(None, Arc::clone(&feats), 2, false).unwrap();
         let warm = engine.predict(None, Arc::clone(&feats), 2, false).unwrap();
         assert!(!cold.cache_hit && warm.cache_hit);
-        assert_eq!(cold.prediction_tenths.to_bits(), warm.prediction_tenths.to_bits());
+        assert_eq!(
+            cold.prediction_tenths.to_bits(),
+            warm.prediction_tenths.to_bits()
+        );
         // A different march against the same program is still a cache
         // hit (the representation is march-independent).
         let other = engine.predict(None, Arc::clone(&feats), 4, false).unwrap();
@@ -292,7 +328,10 @@ mod tests {
         // no_cache bypasses both read and write.
         let bypass = engine.predict(None, feats, 2, true).unwrap();
         assert!(!bypass.cache_hit);
-        assert_eq!(bypass.prediction_tenths.to_bits(), cold.prediction_tenths.to_bits());
+        assert_eq!(
+            bypass.prediction_tenths.to_bits(),
+            cold.prediction_tenths.to_bits()
+        );
     }
 
     #[test]

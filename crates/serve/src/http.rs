@@ -26,12 +26,16 @@ pub struct Request {
 impl Request {
     /// First value of a header, by lowercase name.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Whether the client asked to close the connection.
     pub fn wants_close(&self) -> bool {
-        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 }
 
@@ -87,7 +91,9 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Option<Request>> {
         if trimmed.is_empty() {
             break;
         }
-        let (k, v) = trimmed.split_once(':').ok_or_else(|| bad("malformed header"))?;
+        let (k, v) = trimmed
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
         headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
 
@@ -104,11 +110,19 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Option<Request>> {
     // the client-claimed Content-Length up front — a header alone must
     // not be able to pin 64 MiB per connection.
     let mut body = Vec::new();
-    stream.by_ref().take(content_length as u64).read_to_end(&mut body)?;
+    stream
+        .by_ref()
+        .take(content_length as u64)
+        .read_to_end(&mut body)?;
     if body.len() != content_length {
         return Err(bad("body shorter than content-length"));
     }
-    Ok(Some(Request { method, path, headers, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -159,7 +173,9 @@ mod tests {
     #[test]
     fn parses_a_post_with_body() {
         let raw = b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
-        let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/predict");
         assert_eq!(req.header("host"), Some("x"));
@@ -169,12 +185,18 @@ mod tests {
 
     #[test]
     fn clean_eof_is_none() {
-        assert!(read_request(&mut BufReader::new(&b""[..])).unwrap().is_none());
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn rejects_malformed_request_lines() {
-        for raw in [&b"GARBAGE\r\n\r\n"[..], &b"GET /\r\n\r\n"[..], &b"GET / SPDY/9\r\n\r\n"[..]] {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / SPDY/9\r\n\r\n"[..],
+        ] {
             assert!(read_request(&mut BufReader::new(raw)).is_err());
         }
     }

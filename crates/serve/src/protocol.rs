@@ -68,16 +68,23 @@ pub struct PredictRequest {
 pub fn parse_predict_request(body: &Json) -> Result<PredictRequest, String> {
     let model = match body.get("model") {
         None | Some(Json::Null) => None,
-        Some(v) => {
-            Some(v.as_str().ok_or("field \"model\" must be a string")?.to_string())
-        }
+        Some(v) => Some(
+            v.as_str()
+                .ok_or("field \"model\" must be a string")?
+                .to_string(),
+        ),
     };
     let source = match (body.get("program"), body.get("features")) {
         (Some(p), None) => {
-            let name = p.as_str().ok_or("field \"program\" must be a string")?.to_string();
+            let name = p
+                .as_str()
+                .ok_or("field \"program\" must be a string")?
+                .to_string();
             let trace_len = match body.get("trace_len") {
                 None => 20_000,
-                Some(v) => v.as_u64().ok_or("field \"trace_len\" must be a non-negative integer")?,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or("field \"trace_len\" must be a non-negative integer")?,
             };
             if trace_len == 0 || trace_len > 10_000_000 {
                 return Err("\"trace_len\" must be between 1 and 10000000".into());
@@ -89,7 +96,9 @@ pub fn parse_predict_request(body: &Json) -> Result<PredictRequest, String> {
     };
     let march = match (body.get("march_index"), body.get("march")) {
         (Some(i), None) => MarchSelector::Index(
-            i.as_u64().ok_or("field \"march_index\" must be a non-negative integer")? as usize,
+            i.as_u64()
+                .ok_or("field \"march_index\" must be a non-negative integer")?
+                as usize,
         ),
         (None, Some(m)) => MarchSelector::Config(Box::new(march_config_from_json(m)?)),
         _ => return Err("exactly one of \"march_index\" or \"march\" is required".into()),
@@ -98,7 +107,12 @@ pub fn parse_predict_request(body: &Json) -> Result<PredictRequest, String> {
         None => false,
         Some(v) => v.as_bool().ok_or("field \"no_cache\" must be a boolean")?,
     };
-    Ok(PredictRequest { model, source, march, no_cache })
+    Ok(PredictRequest {
+        model,
+        source,
+        march,
+        no_cache,
+    })
 }
 
 fn features_from_json(v: &Json) -> Result<Matrix, String> {
@@ -168,7 +182,9 @@ fn get_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
 }
 
 fn cache_from_json(v: &Json, key: &str) -> Result<CacheConfig, String> {
-    let c = v.get(key).ok_or_else(|| format!("march field \"{key}\" missing"))?;
+    let c = v
+        .get(key)
+        .ok_or_else(|| format!("march field \"{key}\" missing"))?;
     Ok(CacheConfig {
         size_bytes: get_uint(c, "size_bytes")?,
         assoc: get_uint(c, "assoc")?,
@@ -178,7 +194,9 @@ fn cache_from_json(v: &Json, key: &str) -> Result<CacheConfig, String> {
 }
 
 fn pool_from_json(v: &Json, key: &str) -> Result<FuPool, String> {
-    let p = v.get(key).ok_or_else(|| format!("march fu pool \"{key}\" missing"))?;
+    let p = v
+        .get(key)
+        .ok_or_else(|| format!("march fu pool \"{key}\" missing"))?;
     Ok(FuPool {
         count: get_uint(p, "count")?,
         latency: get_uint(p, "latency")?,
@@ -232,7 +250,11 @@ pub fn march_config_from_json(v: &Json) -> Result<MicroArchConfig, String> {
         bandwidth_gbps: get_f64(mem_v, "bandwidth_gbps")?,
     };
     Ok(MicroArchConfig {
-        name: v.get("name").and_then(Json::as_str).unwrap_or("request").to_string(),
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("request")
+            .to_string(),
         core,
         freq_ghz: get_f64(v, "freq_ghz")?,
         fetch_width: get_uint(v, "fetch_width")?,
@@ -382,13 +404,14 @@ mod tests {
 
     #[test]
     fn predict_request_parses_both_addressing_modes() {
-        let by_index = Json::parse(
-            r#"{"model":"default","program":"x264","trace_len":500,"march_index":3}"#,
-        )
-        .unwrap();
+        let by_index =
+            Json::parse(r#"{"model":"default","program":"x264","trace_len":500,"march_index":3}"#)
+                .unwrap();
         let r = parse_predict_request(&by_index).unwrap();
         assert!(matches!(r.march, MarchSelector::Index(3)));
-        assert!(matches!(r.source, ProgramSource::Named { ref name, trace_len: 500 } if name == "x264"));
+        assert!(
+            matches!(r.source, ProgramSource::Named { ref name, trace_len: 500 } if name == "x264")
+        );
         assert!(!r.no_cache);
 
         let config_json = march_config_to_json(&predefined_configs()[0]).to_string();
@@ -403,7 +426,9 @@ mod tests {
 
     #[test]
     fn predict_request_accepts_inline_features() {
-        let row: Vec<String> = (0..NUM_FEATURES).map(|i| format!("{}", i as f64 * 0.5)).collect();
+        let row: Vec<String> = (0..NUM_FEATURES)
+            .map(|i| format!("{}", i as f64 * 0.5))
+            .collect();
         let body = format!(r#"{{"features":[[{}]],"march_index":0}}"#, row.join(","));
         let r = parse_predict_request(&Json::parse(&body).unwrap()).unwrap();
         match r.source {
@@ -439,7 +464,10 @@ mod tests {
         let mut b = Matrix::zeros(3, NUM_FEATURES);
         b.row_mut(1)[5] = 0.25;
         assert_eq!(features_fingerprint("m", &a), features_fingerprint("m", &b));
-        assert_ne!(features_fingerprint("m", &a), features_fingerprint("other", &a));
+        assert_ne!(
+            features_fingerprint("m", &a),
+            features_fingerprint("other", &a)
+        );
         b.row_mut(1)[5] = 0.250001;
         assert_ne!(features_fingerprint("m", &a), features_fingerprint("m", &b));
     }

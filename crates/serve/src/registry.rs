@@ -45,7 +45,13 @@ impl LoadedModel {
         march_seed: u64,
     ) -> LoadedModel {
         let march_rows = march_map(&training_population(march_seed), table.k);
-        LoadedModel { name: name.to_string(), foundation, spec, table, march_rows }
+        LoadedModel {
+            name: name.to_string(),
+            foundation,
+            spec,
+            table,
+            march_rows,
+        }
     }
 
     /// Load a checkpoint file. Fails if the checkpoint carries no march
@@ -55,10 +61,15 @@ impl LoadedModel {
         let table = table.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("checkpoint {} has no march table; cannot serve it", path.display()),
+                format!(
+                    "checkpoint {} has no march table; cannot serve it",
+                    path.display()
+                ),
             )
         })?;
-        Ok(LoadedModel::from_parts(name, foundation, spec, table, march_seed))
+        Ok(LoadedModel::from_parts(
+            name, foundation, spec, table, march_seed,
+        ))
     }
 
     /// Resolve a full configuration to a table row, if known.
@@ -71,7 +82,11 @@ fn march_map(population: &[MicroArchConfig], table_k: usize) -> HashMap<u64, usi
     if population.len() != table_k {
         return HashMap::new();
     }
-    population.iter().enumerate().map(|(j, c)| (c.fingerprint(), j)).collect()
+    population
+        .iter()
+        .enumerate()
+        .map(|(j, c)| (c.fingerprint(), j))
+        .collect()
 }
 
 /// All models this server instance answers for.
@@ -83,7 +98,10 @@ impl ModelRegistry {
     /// Registry over already-loaded models (at least one required).
     pub fn new(models: Vec<LoadedModel>) -> io::Result<ModelRegistry> {
         if models.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no models to serve"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no models to serve",
+            ));
         }
         for i in 1..models.len() {
             if models[..i].iter().any(|m| m.name == models[i].name) {
@@ -127,7 +145,11 @@ mod tests {
     use perfvec::foundation::ArchKind;
 
     fn tiny_model(name: &str, k: usize) -> LoadedModel {
-        let spec = ArchSpec { kind: ArchKind::Lstm, layers: 1, dim: 8 };
+        let spec = ArchSpec {
+            kind: ArchKind::Lstm,
+            layers: 1,
+            dim: 8,
+        };
         LoadedModel::from_parts(
             name,
             Foundation::new(spec, 2, 0.1, 1),
@@ -139,7 +161,10 @@ mod tests {
 
     #[test]
     fn config_addressing_resolves_population_rows() {
-        let m = tiny_model("default", training_population(perfvec_sim::sample::DEFAULT_MARCH_SEED).len());
+        let m = tiny_model(
+            "default",
+            training_population(perfvec_sim::sample::DEFAULT_MARCH_SEED).len(),
+        );
         let pop = training_population(perfvec_sim::sample::DEFAULT_MARCH_SEED);
         assert_eq!(m.row_for_config(&pop[0]), Some(0));
         assert_eq!(m.row_for_config(&pop[pop.len() - 1]), Some(pop.len() - 1));
@@ -158,7 +183,10 @@ mod tests {
         assert!(ModelRegistry::new(vec![]).is_err());
         assert!(ModelRegistry::new(vec![tiny_model("a", 3), tiny_model("a", 3)]).is_err());
         let reg = ModelRegistry::new(vec![tiny_model("only", 3)]).unwrap();
-        assert!(reg.get(None).is_some(), "single model is the implicit default");
+        assert!(
+            reg.get(None).is_some(),
+            "single model is the implicit default"
+        );
         assert!(reg.get(Some("only")).is_some());
         assert!(reg.get(Some("missing")).is_none());
         let reg2 = ModelRegistry::new(vec![tiny_model("a", 3), tiny_model("default", 3)]).unwrap();

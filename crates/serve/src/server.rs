@@ -105,7 +105,10 @@ impl Drop for ServerHandle {
 /// Bind, spin up the engine worker pool, and start accepting.
 pub fn start(registry: ModelRegistry, cfg: ServerConfig) -> io::Result<ServerHandle> {
     let engine = Arc::new(PredictEngine::new(Arc::new(registry), cfg.engine));
-    let shared = Arc::new(ServerShared { engine, features: BoundedCache::new(64) });
+    let shared = Arc::new(ServerShared {
+        engine,
+        features: BoundedCache::new(64),
+    });
     let listener = TcpListener::bind((cfg.host, cfg.port))?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -129,7 +132,12 @@ pub fn start(registry: ModelRegistry, cfg: ServerConfig) -> io::Result<ServerHan
             }
         }
     });
-    Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread), shared })
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        shared,
+    })
 }
 
 fn handle_connection(
@@ -157,14 +165,21 @@ fn handle_connection(
             // as the answer to its *next* pipelined request.
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 let body = error_json(&e.to_string());
-                let _ = write_response(&mut writer, 400, "application/json", body.as_bytes(), false);
+                let _ =
+                    write_response(&mut writer, 400, "application/json", body.as_bytes(), false);
                 return Ok(());
             }
             Err(_) => return Ok(()),
         };
         let close = req.wants_close();
         let (status, body) = route(&req, shared);
-        write_response(&mut writer, status, "application/json", body.as_bytes(), !close)?;
+        write_response(
+            &mut writer,
+            status,
+            "application/json",
+            body.as_bytes(),
+            !close,
+        )?;
         if close {
             return Ok(());
         }
@@ -194,7 +209,11 @@ fn healthz(engine: &Arc<PredictEngine>) -> String {
         .iter()
         .map(|m| Json::Str(m.name.clone()))
         .collect();
-    obj(vec![("status", Json::Str("ok".into())), ("models", Json::Arr(names))]).to_string()
+    obj(vec![
+        ("status", Json::Str("ok".into())),
+        ("models", Json::Arr(names)),
+    ])
+    .to_string()
 }
 
 fn models_json(engine: &Arc<PredictEngine>) -> String {
@@ -209,7 +228,10 @@ fn models_json(engine: &Arc<PredictEngine>) -> String {
                 ("dim", Json::Num(m.foundation.dim() as f64)),
                 ("context", Json::Num(m.foundation.context as f64)),
                 ("marches", Json::Num(m.table.k as f64)),
-                ("march_configs_resolvable", Json::Bool(!m.march_rows.is_empty())),
+                (
+                    "march_configs_resolvable",
+                    Json::Bool(!m.march_rows.is_empty()),
+                ),
                 ("params", Json::Num(m.foundation.model.num_params() as f64)),
             ])
         })
@@ -219,8 +241,11 @@ fn models_json(engine: &Arc<PredictEngine>) -> String {
 
 fn stats_json(engine: &Arc<PredictEngine>) -> String {
     let s = engine.stats();
-    let mean_batch =
-        if s.batcher.batches > 0 { s.batcher.jobs as f64 / s.batcher.batches as f64 } else { 0.0 };
+    let mean_batch = if s.batcher.batches > 0 {
+        s.batcher.jobs as f64 / s.batcher.batches as f64
+    } else {
+        0.0
+    };
     obj(vec![
         ("requests", Json::Num(s.requests as f64)),
         ("batches", Json::Num(s.batcher.batches as f64)),
@@ -263,7 +288,15 @@ pub fn answer_predict(
     let model = engine
         .registry()
         .get(parsed.model.as_deref())
-        .ok_or_else(|| (404, format!("unknown model {:?}", parsed.model.as_deref().unwrap_or("<default>"))))?;
+        .ok_or_else(|| {
+            (
+                404,
+                format!(
+                    "unknown model {:?}",
+                    parsed.model.as_deref().unwrap_or("<default>")
+                ),
+            )
+        })?;
     let model_name = model.name.clone();
     let march_row = match &parsed.march {
         MarchSelector::Index(i) => *i,
@@ -280,7 +313,11 @@ pub fn answer_predict(
             let workload =
                 by_name(&name).ok_or_else(|| (404, format!("unknown workload {name:?}")))?;
             let key = named_features_key(workload.name, trace_len);
-            let cached = if parsed.no_cache { None } else { shared.features.get(key) };
+            let cached = if parsed.no_cache {
+                None
+            } else {
+                shared.features.get(key)
+            };
             let features = match cached {
                 Some(f) => f,
                 None => {
@@ -308,8 +345,14 @@ pub fn answer_predict(
         ("model", Json::Str(model_name)),
         ("march_index", Json::Num(march_row as f64)),
         ("instructions", Json::Num(rows as f64)),
-        ("predicted_total_tenths_ns", Json::Num(outcome.prediction_tenths)),
-        ("predicted_bits", Json::Str(f64_bits_hex(outcome.prediction_tenths))),
+        (
+            "predicted_total_tenths_ns",
+            Json::Num(outcome.prediction_tenths),
+        ),
+        (
+            "predicted_bits",
+            Json::Str(f64_bits_hex(outcome.prediction_tenths)),
+        ),
         ("cache_hit", Json::Bool(outcome.cache_hit)),
         ("coalesced", Json::Num(outcome.coalesced as f64)),
     ];

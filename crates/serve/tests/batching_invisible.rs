@@ -6,7 +6,7 @@
 //! `perfvec::predict` path.
 
 use perfvec::foundation::{ArchKind, ArchSpec, Foundation};
-use perfvec::{program_representation, predict_total_tenths, MarchTable};
+use perfvec::{predict_total_tenths, program_representation, MarchTable};
 use perfvec_serve::engine::{EngineConfig, PredictEngine};
 use perfvec_serve::registry::{LoadedModel, ModelRegistry};
 use perfvec_trace::features::Matrix;
@@ -17,7 +17,11 @@ use std::sync::Arc;
 const MARCHES: usize = 5;
 
 fn toy_engine(kind: ArchKind, batch: usize, workers: usize) -> PredictEngine {
-    let spec = ArchSpec { kind, layers: 2, dim: 8 };
+    let spec = ArchSpec {
+        kind,
+        layers: 2,
+        dim: 8,
+    };
     let model = LoadedModel::from_parts(
         "default",
         Foundation::new(spec, 3, 0.1, 42),
@@ -27,7 +31,12 @@ fn toy_engine(kind: ArchKind, batch: usize, workers: usize) -> PredictEngine {
     );
     PredictEngine::new(
         Arc::new(ModelRegistry::new(vec![model]).unwrap()),
-        EngineConfig { batch, queue_depth: 4096, workers, cache_entries: 0 },
+        EngineConfig {
+            batch,
+            queue_depth: 4096,
+            workers,
+            cache_entries: 0,
+        },
     )
 }
 

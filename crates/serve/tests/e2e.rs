@@ -12,14 +12,17 @@ use perfvec_serve::{start, EngineConfig, ServerConfig};
 use perfvec_sim::sample::{training_population, DEFAULT_MARCH_SEED};
 use std::net::TcpStream;
 
-
 fn tiny_registry() -> ModelRegistry {
     let spec = ArchSpec::default_lstm(16);
     let foundation = Foundation::new(spec, 4, 0.1, 42);
     let k = training_population(DEFAULT_MARCH_SEED).len();
     let table = MarchTable::new(k, 16, 7);
     ModelRegistry::new(vec![LoadedModel::from_parts(
-        "default", foundation, spec, table, DEFAULT_MARCH_SEED,
+        "default",
+        foundation,
+        spec,
+        table,
+        DEFAULT_MARCH_SEED,
     )])
     .unwrap()
 }
@@ -36,7 +39,12 @@ fn served_predictions_are_bit_identical_to_offline_predict() {
         registry,
         ServerConfig {
             port: 0,
-            engine: EngineConfig { batch: 8, queue_depth: 64, workers: 2, cache_entries: 16 },
+            engine: EngineConfig {
+                batch: 8,
+                queue_depth: 64,
+                workers: 2,
+                cache_entries: 16,
+            },
             ..ServerConfig::default()
         },
     )
@@ -51,7 +59,10 @@ fn served_predictions_are_bit_identical_to_offline_predict() {
     assert_eq!(status, 200);
     let m0 = &models.get("models").unwrap().as_arr().unwrap()[0];
     assert_eq!(m0.get("name").unwrap().as_str(), Some("default"));
-    assert_eq!(m0.get("march_configs_resolvable").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        m0.get("march_configs_resolvable").unwrap().as_bool(),
+        Some(true)
+    );
 
     // One prediction per addressing mode, checked bit-for-bit against
     // the offline path.
@@ -63,7 +74,10 @@ fn served_predictions_are_bit_identical_to_offline_predict() {
     let rep = program_representation(&model.foundation, &feats);
 
     for (march_row, body) in [
-        (3usize, format!(r#"{{"program":"{program}","trace_len":{trace_len},"march_index":3}}"#)),
+        (
+            3usize,
+            format!(r#"{{"program":"{program}","trace_len":{trace_len},"march_index":3}}"#),
+        ),
         (5usize, {
             let cfg = &training_population(DEFAULT_MARCH_SEED)[5];
             format!(
@@ -74,8 +88,11 @@ fn served_predictions_are_bit_identical_to_offline_predict() {
     ] {
         let (status, resp) = http(&mut conn, "POST", "/v1/predict", Some(&body));
         assert_eq!(status, 200, "{resp}");
-        let offline =
-            predict_total_tenths(&rep, model.table.rep(march_row), model.foundation.target_scale);
+        let offline = predict_total_tenths(
+            &rep,
+            model.table.rep(march_row),
+            model.foundation.target_scale,
+        );
         let served_bits =
             f64_from_bits_hex(resp.get("predicted_bits").unwrap().as_str().unwrap()).unwrap();
         assert_eq!(
@@ -84,10 +101,20 @@ fn served_predictions_are_bit_identical_to_offline_predict() {
             "served {served_bits} vs offline {offline}"
         );
         // The JSON number itself must also round-trip to the same bits.
-        let served_num = resp.get("predicted_total_tenths_ns").unwrap().as_f64().unwrap();
+        let served_num = resp
+            .get("predicted_total_tenths_ns")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert_eq!(served_num.to_bits(), offline.to_bits());
-        assert_eq!(resp.get("march_index").unwrap().as_u64(), Some(march_row as u64));
-        assert_eq!(resp.get("instructions").unwrap().as_u64(), Some(feats.rows as u64));
+        assert_eq!(
+            resp.get("march_index").unwrap().as_u64(),
+            Some(march_row as u64)
+        );
+        assert_eq!(
+            resp.get("instructions").unwrap().as_u64(),
+            Some(feats.rows as u64)
+        );
     }
 
     // Same query again: cache hit, same bits.
@@ -105,8 +132,14 @@ fn served_predictions_are_bit_identical_to_offline_predict() {
 
 #[test]
 fn error_paths_return_clean_json_statuses() {
-    let handle = start(tiny_registry(), ServerConfig { port: 0, ..ServerConfig::default() })
-        .unwrap();
+    let handle = start(
+        tiny_registry(),
+        ServerConfig {
+            port: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
     let mut conn = TcpStream::connect(handle.addr).unwrap();
 
     for (method, path, body, want) in [
@@ -146,15 +179,26 @@ fn error_paths_return_clean_json_statuses() {
     );
     let (status, resp) = http(&mut conn, "POST", "/v1/predict", Some(&body));
     assert_eq!(status, 404);
-    assert!(resp.get("error").unwrap().as_str().unwrap().contains("population"));
+    assert!(resp
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("population"));
 
     handle.shutdown();
 }
 
 #[test]
 fn inline_features_round_trip_through_the_wire() {
-    let handle = start(tiny_registry(), ServerConfig { port: 0, ..ServerConfig::default() })
-        .unwrap();
+    let handle = start(
+        tiny_registry(),
+        ServerConfig {
+            port: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
     let mut conn = TcpStream::connect(handle.addr).unwrap();
 
     // Two instruction rows of inline features.
@@ -180,8 +224,7 @@ fn inline_features_round_trip_through_the_wire() {
     let model = offline_model.get(None).unwrap();
     let rep = program_representation(&model.foundation, &feats);
     let offline = predict_total_tenths(&rep, model.table.rep(0), model.foundation.target_scale);
-    let served =
-        f64_from_bits_hex(resp.get("predicted_bits").unwrap().as_str().unwrap()).unwrap();
+    let served = f64_from_bits_hex(resp.get("predicted_bits").unwrap().as_str().unwrap()).unwrap();
     assert_eq!(served.to_bits(), offline.to_bits());
 
     handle.shutdown();

@@ -68,10 +68,16 @@ impl Predictor {
         match cfg.kind {
             PredictorKind::StaticNotTaken => Predictor::StaticNotTaken,
             PredictorKind::StaticBtfn => Predictor::StaticBtfn,
-            PredictorKind::Bimodal => Predictor::Bimodal { table: vec![1; entries], mask },
-            PredictorKind::GShare => {
-                Predictor::GShare { table: vec![1; entries], mask, history: 0, hist_mask }
-            }
+            PredictorKind::Bimodal => Predictor::Bimodal {
+                table: vec![1; entries],
+                mask,
+            },
+            PredictorKind::GShare => Predictor::GShare {
+                table: vec![1; entries],
+                mask,
+                history: 0,
+                hist_mask,
+            },
             PredictorKind::Tournament => Predictor::Tournament {
                 bimodal: vec![1; entries],
                 gshare: vec![1; entries],
@@ -95,11 +101,23 @@ impl Predictor {
             Predictor::StaticNotTaken => false,
             Predictor::StaticBtfn => target_pc < pc,
             Predictor::Bimodal { table, mask } => counter_taken(table[Self::pc_index(pc, *mask)]),
-            Predictor::GShare { table, mask, history, hist_mask } => {
+            Predictor::GShare {
+                table,
+                mask,
+                history,
+                hist_mask,
+            } => {
                 let idx = (((pc >> 2) ^ (history & hist_mask)) & mask) as usize;
                 counter_taken(table[idx])
             }
-            Predictor::Tournament { bimodal, gshare, choice, mask, history, hist_mask } => {
+            Predictor::Tournament {
+                bimodal,
+                gshare,
+                choice,
+                mask,
+                history,
+                hist_mask,
+            } => {
                 let pci = Self::pc_index(pc, *mask);
                 let gi = (((pc >> 2) ^ (history & hist_mask)) & mask) as usize;
                 if counter_taken(choice[pci]) {
@@ -118,12 +136,24 @@ impl Predictor {
             Predictor::Bimodal { table, mask } => {
                 counter_update(&mut table[Self::pc_index(pc, *mask)], taken);
             }
-            Predictor::GShare { table, mask, history, hist_mask } => {
+            Predictor::GShare {
+                table,
+                mask,
+                history,
+                hist_mask,
+            } => {
                 let idx = (((pc >> 2) ^ (*history & *hist_mask)) & *mask) as usize;
                 counter_update(&mut table[idx], taken);
                 *history = (*history << 1) | taken as u64;
             }
-            Predictor::Tournament { bimodal, gshare, choice, mask, history, hist_mask } => {
+            Predictor::Tournament {
+                bimodal,
+                gshare,
+                choice,
+                mask,
+                history,
+                hist_mask,
+            } => {
                 let pci = Self::pc_index(pc, *mask);
                 let gi = (((pc >> 2) ^ (*history & *hist_mask)) & *mask) as usize;
                 let b_correct = counter_taken(bimodal[pci]) == taken;
@@ -150,7 +180,10 @@ impl Btb {
     /// `entries` must be a power of two.
     pub fn new(entries: u32) -> Btb {
         let n = entries.next_power_of_two() as usize;
-        Btb { entries: vec![(u64::MAX, 0); n], mask: n as u64 - 1 }
+        Btb {
+            entries: vec![(u64::MAX, 0); n],
+            mask: n as u64 - 1,
+        }
     }
 
     /// Predicted target for the branch at `pc`, if the BTB knows it.
@@ -170,7 +203,12 @@ mod tests {
     use super::*;
 
     fn cfg(kind: PredictorKind) -> BranchConfig {
-        BranchConfig { kind, table_bits: 10, history_bits: 8, btb_entries: 512 }
+        BranchConfig {
+            kind,
+            table_bits: 10,
+            history_bits: 8,
+            btb_entries: 512,
+        }
     }
 
     #[test]
@@ -218,7 +256,10 @@ mod tests {
             p.update(0x80, taken);
             taken = !taken;
         }
-        assert!(correct > 56, "gshare should master alternation, got {correct}/64");
+        assert!(
+            correct > 56,
+            "gshare should master alternation, got {correct}/64"
+        );
     }
 
     #[test]
@@ -233,7 +274,10 @@ mod tests {
             p.update(0x80, taken);
             taken = !taken;
         }
-        assert!(correct <= 80, "bimodal should struggle with alternation, got {correct}/128");
+        assert!(
+            correct <= 80,
+            "bimodal should struggle with alternation, got {correct}/128"
+        );
     }
 
     #[test]

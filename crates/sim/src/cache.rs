@@ -4,9 +4,36 @@
 //! The hierarchy implements non-inclusive (default) or exclusive L2
 //! behaviour, write-allocate stores, and a bandwidth-limited main memory
 //! behind the L2 (see [`crate::memsys`]).
+//!
+//! The cache state is stored as two dense set-major arrays (`tags`,
+//! `last_use`) rather than a `Vec<(tag, last_use)>` of tuples: the hit
+//! path touches only the tag array (one cache line covers an 8-way
+//! set), and set indexing uses shift/mask whenever the set count is a
+//! power of two (true for every sampled and predefined geometry —
+//! division stays as a fallback for hand-built configs).
+//!
+//! Validity is tracked by an **epoch** packed into the high bits of
+//! `last_use`: an entry is resident only if its packed timestamp
+//! belongs to the current epoch. Bumping the epoch therefore
+//! invalidates the whole cache in O(1), which lets a [`CachePool`]
+//! recycle the multi-megabyte tag/LRU arrays across `simulate` calls
+//! instead of allocating and zeroing them per call (tens of
+//! microseconds per grid point on a large L2 — comparable to the
+//! simulation itself at short trace lengths). Behaviour is
+//! bit-identical to a freshly zeroed cache: same scan order, same
+//! first-free-way fill, same first-minimum LRU victim.
 
 use crate::config::CacheConfig;
 use crate::memsys::MainMemory;
+
+/// Bits of `last_use` reserved for the per-run access tick; the
+/// remaining high bits hold the epoch. One tick per access bounds a
+/// run's ticks well under 2^40 (traces are at most ~10^7 records).
+const EPOCH_SHIFT: u32 = 40;
+
+/// Epochs wrap after 2^24 − 1 pooled runs; the pool re-zeroes its
+/// buffers when that happens.
+const MAX_EPOCH: u64 = (1 << (64 - EPOCH_SHIFT)) - 1;
 
 /// Which level serviced an access (feeds the SimNet baseline's
 /// microarchitecture-dependent features and the simulator statistics).
@@ -27,30 +54,60 @@ pub enum HitLevel {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `sets[set][way] = (tag, last_use)`; `u64::MAX` tag = invalid.
-    sets: Vec<(u64, u64)>,
+    /// `tags[set * assoc + way]`; only meaningful where the entry's
+    /// epoch is current.
+    tags: Vec<u64>,
+    /// Packed `(epoch << EPOCH_SHIFT) + tick` timestamps, same layout
+    /// as `tags`. Entries below `epoch_base` are invalid.
+    last_use: Vec<u64>,
     assoc: usize,
     num_sets: u64,
+    /// Set mask / tag shift when `num_sets` is a power of two, so set
+    /// and tag extraction is shift/mask instead of div/mod on the hot
+    /// path.
+    set_mask: u64,
+    tag_shift: u32,
+    pow2: bool,
     line_shift: u32,
+    /// `epoch << EPOCH_SHIFT` for the current run.
+    epoch_base: u64,
     tick: u64,
-    hits: u64,
-    misses: u64,
 }
 
 impl Cache {
     /// Build an empty cache.
     pub fn new(cfg: CacheConfig) -> Cache {
+        Cache::from_buffers(cfg, Vec::new(), Vec::new(), 1)
+    }
+
+    /// Build a cache on recycled `tags`/`last_use` buffers. Entries the
+    /// buffers carry from previous epochs read as invalid because their
+    /// packed timestamps are below `epoch << EPOCH_SHIFT`.
+    fn from_buffers(
+        cfg: CacheConfig,
+        mut tags: Vec<u64>,
+        mut last_use: Vec<u64>,
+        epoch: u64,
+    ) -> Cache {
+        debug_assert!((1..=MAX_EPOCH).contains(&epoch));
         let num_sets = cfg.num_sets();
         let assoc = cfg.assoc as usize;
+        let ways = (num_sets as usize) * assoc;
+        tags.resize(ways, 0);
+        last_use.resize(ways, 0);
+        let pow2 = num_sets.is_power_of_two();
         Cache {
             cfg,
-            sets: vec![(u64::MAX, 0); (num_sets as usize) * assoc],
+            tags,
+            last_use,
             assoc,
             num_sets,
+            set_mask: if pow2 { num_sets - 1 } else { 0 },
+            tag_shift: if pow2 { num_sets.trailing_zeros() } else { 0 },
+            pow2,
             line_shift: cfg.line_bytes.trailing_zeros(),
+            epoch_base: epoch << EPOCH_SHIFT,
             tick: 0,
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -65,26 +122,49 @@ impl Cache {
         addr >> self.line_shift
     }
 
+    /// `(set, tag)` for a line-granular address.
     #[inline]
-    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = (line % self.num_sets) as usize;
-        set * self.assoc..(set + 1) * self.assoc
+    fn set_and_tag(&self, line: u64) -> (usize, u64) {
+        if self.pow2 {
+            ((line & self.set_mask) as usize, line >> self.tag_shift)
+        } else {
+            ((line % self.num_sets) as usize, line / self.num_sets)
+        }
+    }
+
+    /// Whether the entry at `w` belongs to the current epoch.
+    #[inline]
+    fn valid(&self, w: usize) -> bool {
+        self.last_use[w] >= self.epoch_base
     }
 
     /// Look up `addr`; on hit, refresh LRU state and return true.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
-        let line = self.line_of(addr);
-        let tag = line / self.num_sets;
-        let range = self.set_range(line);
-        for w in &mut self.sets[range] {
-            if w.0 == tag {
-                w.1 = self.tick;
-                self.hits += 1;
-                return true;
+        debug_assert!(
+            self.tick < 1 << EPOCH_SHIFT,
+            "run tick overflows epoch packing"
+        );
+        let (set, tag) = self.set_and_tag(self.line_of(addr));
+        let base = set * self.assoc;
+        // Branchless way scan: an early-exit compare-and-return
+        // mispredicts on nearly every hit (the matching way is
+        // effectively random), which costs more than unconditionally
+        // scanning a handful of ways with a conditional move. At most
+        // one valid way can match.
+        let tags = &self.tags[base..base + self.assoc];
+        let uses = &self.last_use[base..base + self.assoc];
+        let mut hit = usize::MAX;
+        for (w, (&t, &u)) in tags.iter().zip(uses).enumerate() {
+            if t == tag && u >= self.epoch_base {
+                hit = base + w;
             }
         }
-        self.misses += 1;
+        if hit != usize::MAX {
+            self.last_use[hit] = self.epoch_base + self.tick;
+            return true;
+        }
         false
     }
 
@@ -94,37 +174,46 @@ impl Cache {
     pub fn fill(&mut self, addr: u64) -> Option<u64> {
         self.tick += 1;
         let line = self.line_of(addr);
-        let tag = line / self.num_sets;
-        let set = line % self.num_sets;
-        let range = self.set_range(line);
-        let tick = self.tick;
-        let ways = &mut self.sets[range];
-        // Already present (e.g. racing fill): refresh.
-        if let Some(w) = ways.iter_mut().find(|w| w.0 == tag) {
-            w.1 = tick;
-            return None;
+        let (set, tag) = self.set_and_tag(line);
+        let base = set * self.assoc;
+        // Already present (e.g. racing fill): refresh. Track the LRU
+        // way in the same pass so a full set needs no second scan.
+        let (mut victim, mut victim_use) = (base, u64::MAX);
+        let mut free = None;
+        for w in base..base + self.assoc {
+            if !self.valid(w) {
+                if free.is_none() {
+                    free = Some(w);
+                }
+            } else if self.tags[w] == tag {
+                self.last_use[w] = self.epoch_base + self.tick;
+                return None;
+            } else if self.last_use[w] < victim_use {
+                (victim, victim_use) = (w, self.last_use[w]);
+            }
         }
         // Free way?
-        if let Some(w) = ways.iter_mut().find(|w| w.0 == u64::MAX) {
-            *w = (tag, tick);
+        if let Some(w) = free {
+            self.tags[w] = tag;
+            self.last_use[w] = self.epoch_base + self.tick;
             return None;
         }
         // Evict LRU.
-        let victim = ways.iter_mut().min_by_key(|w| w.1).expect("assoc >= 1");
-        let evicted_line = victim.0 * self.num_sets + set;
-        *victim = (tag, tick);
+        let evicted_line = self.tags[victim] * self.num_sets + set as u64;
+        self.tags[victim] = tag;
+        self.last_use[victim] = self.epoch_base + self.tick;
         Some(evicted_line)
     }
 
     /// Remove the line containing `addr` if present (used for exclusive
     /// L2 behaviour). Returns whether it was present.
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        let line = self.line_of(addr);
-        let tag = line / self.num_sets;
-        let range = self.set_range(line);
-        for w in &mut self.sets[range] {
-            if w.0 == tag {
-                *w = (u64::MAX, 0);
+        let (set, tag) = self.set_and_tag(self.line_of(addr));
+        let base = set * self.assoc;
+        for w in base..base + self.assoc {
+            if self.tags[w] == tag && self.valid(w) {
+                // Timestamp zero is below every epoch's base.
+                self.last_use[w] = 0;
                 return true;
             }
         }
@@ -139,12 +228,37 @@ impl Cache {
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().filter(|w| w.0 != u64::MAX).count()
+        self.last_use
+            .iter()
+            .filter(|&&t| t >= self.epoch_base)
+            .count()
     }
+}
 
-    /// (hits, misses) since construction.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+/// Recycled tag/LRU buffers for one thread's cache hierarchies, plus
+/// the epoch counter that invalidates them between runs. Owned by the
+/// simulator scoreboard; reference implementations deliberately do not
+/// use it.
+#[derive(Debug, Default)]
+pub struct CachePool {
+    /// `tags`/`last_use` buffer pairs for L1I, L1D, L2 (in that order).
+    bufs: [(Vec<u64>, Vec<u64>); 3],
+    epoch: u64,
+}
+
+impl CachePool {
+    /// Advance to a fresh epoch, re-zeroing the buffers on the (once
+    /// per ~16M runs) wrap.
+    fn next_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        if self.epoch > MAX_EPOCH {
+            self.epoch = 1;
+            for (tags, last_use) in &mut self.bufs {
+                tags.clear();
+                last_use.clear();
+            }
+        }
+        self.epoch
     }
 }
 
@@ -199,6 +313,45 @@ impl Hierarchy {
         }
     }
 
+    /// Like [`Hierarchy::new`], but recycling `pool`'s buffers instead
+    /// of allocating fresh arrays — the per-call constructor the hot
+    /// simulation paths use. Return the buffers with
+    /// [`Hierarchy::recycle`] when the run is done.
+    pub fn from_pool(
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        exclusive: bool,
+        mem: MainMemory,
+        pool: &mut CachePool,
+    ) -> Hierarchy {
+        let epoch = pool.next_epoch();
+        let [b0, b1, b2] = &mut pool.bufs;
+        let take =
+            |b: &mut (Vec<u64>, Vec<u64>)| (std::mem::take(&mut b.0), std::mem::take(&mut b.1));
+        let (t0, u0) = take(b0);
+        let (t1, u1) = take(b1);
+        let (t2, u2) = take(b2);
+        Hierarchy {
+            l1i_lat: l1i.latency as u64,
+            l1d_lat: l1d.latency as u64,
+            l2_lat: l2.latency as u64,
+            l1i: Cache::from_buffers(l1i, t0, u0, epoch),
+            l1d: Cache::from_buffers(l1d, t1, u1, epoch),
+            l2: Cache::from_buffers(l2, t2, u2, epoch),
+            exclusive,
+            mem,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Hand the tag/LRU buffers back to `pool` for the next run.
+    pub fn recycle(self, pool: &mut CachePool) {
+        pool.bufs[0] = (self.l1i.tags, self.l1i.last_use);
+        pool.bufs[1] = (self.l1d.tags, self.l1d.last_use);
+        pool.bufs[2] = (self.l2.tags, self.l2.last_use);
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -210,7 +363,12 @@ impl Hierarchy {
         self.l1d_lat
     }
 
-    fn access_l2_then_mem(&mut self, addr: u64, now: u64, l1_victim: Option<u64>) -> (u64, HitLevel) {
+    fn access_l2_then_mem(
+        &mut self,
+        addr: u64,
+        now: u64,
+        l1_victim: Option<u64>,
+    ) -> (u64, HitLevel) {
         // On the miss path, latency accumulates level by level.
         let mut lat = 0;
         let level;
@@ -240,6 +398,7 @@ impl Hierarchy {
 
     /// Instruction fetch of the line containing `pc` at cycle `now`.
     /// Returns (total latency in cycles, servicing level).
+    #[inline]
     pub fn access_ifetch(&mut self, pc: u64, now: u64) -> (u64, HitLevel) {
         self.stats.ifetch_accesses += 1;
         if self.l1i.access(pc) {
@@ -253,6 +412,7 @@ impl Hierarchy {
 
     /// Data access at cycle `now`. Stores are write-allocate and follow
     /// the same path as loads.
+    #[inline]
     pub fn access_data(&mut self, addr: u64, now: u64) -> (u64, HitLevel) {
         self.stats.data_accesses += 1;
         if self.l1d.access(addr) {
@@ -271,7 +431,12 @@ mod tests {
     use crate::config::{MemConfig, MemKind};
 
     fn small_cache(size: u64, assoc: u32) -> Cache {
-        Cache::new(CacheConfig { size_bytes: size, assoc, line_bytes: 64, latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: size,
+            assoc,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -315,9 +480,102 @@ mod tests {
         assert!(!c.invalidate(0x40));
     }
 
+    #[test]
+    fn non_power_of_two_sets_fall_back_to_division() {
+        // 3 sets * 1 way (192 bytes / 64 / 1): exercises the div/mod
+        // fallback path; behaviour must match the pow2 logic's contract.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 192,
+            assoc: 1,
+            line_bytes: 64,
+            latency: 1,
+        });
+        c.fill(0); // line 0 -> set 0
+        c.fill(64); // line 1 -> set 1
+        c.fill(128); // line 2 -> set 2
+        assert!(c.access(0) && c.access(64) && c.access(128));
+        // Line 3 maps back to set 0 and must evict line 0.
+        assert_eq!(c.fill(192), Some(0));
+        assert!(!c.access(0));
+        assert!(c.access(192));
+    }
+
+    /// A pooled cache whose buffers carry a previous run's state must
+    /// behave exactly like a fresh one: stale entries are invisible as
+    /// hits, count as free ways, and never pollute LRU choice.
+    #[test]
+    fn pooled_reuse_is_indistinguishable_from_fresh() {
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut pool = CachePool::default();
+        let mem = || MainMemory::new(MemConfig::typical(MemKind::Ddr4), 2.0);
+
+        // Drive an access pattern through fresh and pooled hierarchies
+        // twice; the second pooled run sees dirty buffers.
+        let pattern: Vec<u64> = (0..64u64).map(|i| (i * 769 + 13) % 16 * 64).collect();
+        let run_fresh = || {
+            let mut h = Hierarchy::new(cfg, cfg, cfg, false, mem());
+            let lats: Vec<u64> = pattern.iter().map(|&a| h.access_data(a, 0).0).collect();
+            (lats, h.stats())
+        };
+        let (fresh_lats, fresh_stats) = run_fresh();
+        for _ in 0..3 {
+            let mut h = Hierarchy::from_pool(cfg, cfg, cfg, false, mem(), &mut pool);
+            let lats: Vec<u64> = pattern.iter().map(|&a| h.access_data(a, 0).0).collect();
+            let stats = h.stats();
+            h.recycle(&mut pool);
+            assert_eq!(lats, fresh_lats);
+            assert_eq!(stats, fresh_stats);
+        }
+    }
+
+    /// Pool buffers shared across different geometries (the same
+    /// scoreboard simulates many configs) must still read as empty.
+    #[test]
+    fn pooled_reuse_across_geometries() {
+        let small = CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let big = CacheConfig {
+            size_bytes: 4096,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 2,
+        };
+        let mem = || MainMemory::new(MemConfig::typical(MemKind::Ddr4), 2.0);
+        let mut pool = CachePool::default();
+        for cfg in [small, big, small, big, small] {
+            let mut fresh = Hierarchy::new(cfg, cfg, cfg, false, mem());
+            let mut pooled = Hierarchy::from_pool(cfg, cfg, cfg, false, mem(), &mut pool);
+            for i in 0..128u64 {
+                let a = (i * 257 + 7) % 96 * 64;
+                assert_eq!(fresh.access_data(a, i), pooled.access_data(a, i));
+            }
+            assert_eq!(fresh.stats(), pooled.stats());
+            pooled.recycle(&mut pool);
+        }
+    }
+
     fn hierarchy(exclusive: bool) -> Hierarchy {
-        let l1 = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 2 };
-        let l2 = CacheConfig { size_bytes: 4096, assoc: 4, line_bytes: 64, latency: 10 };
+        let l1 = CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 2,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 4096,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 10,
+        };
         let mem = MainMemory::new(MemConfig::typical(MemKind::Ddr4), 2.0);
         Hierarchy::new(l1, l1, l2, exclusive, mem)
     }

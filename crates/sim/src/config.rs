@@ -101,7 +101,11 @@ impl MemConfig {
             MemKind::Gddr5 => (95.0, 112.0),
             MemKind::Hbm => (105.0, 256.0),
         };
-        MemConfig { kind, latency_ns, bandwidth_gbps }
+        MemConfig {
+            kind,
+            latency_ns,
+            bandwidth_gbps,
+        }
     }
 }
 
@@ -354,7 +358,11 @@ mod tests {
     fn param_vector_is_roughly_normalized() {
         for c in predefined_configs() {
             for (i, x) in c.param_vector().iter().enumerate() {
-                assert!(x.is_finite() && *x >= 0.0 && *x <= 1.5, "{} param {i} = {x}", c.name);
+                assert!(
+                    x.is_finite() && *x >= 0.0 && *x <= 1.5,
+                    "{} param {i} = {x}",
+                    c.name
+                );
             }
         }
     }
@@ -368,7 +376,12 @@ mod tests {
 
     #[test]
     fn cache_set_count() {
-        let c = CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 };
+        let c = CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 2,
+        };
         assert_eq!(c.num_sets(), 128);
     }
 
@@ -398,7 +411,10 @@ mod tests {
         // runs, platforms, or compiler versions. If an intentional
         // change to the config layout or hashing scheme alters them,
         // bump the layout version in `hash_into` and re-pin.
-        let fps: Vec<u64> = predefined_configs().iter().map(|c| c.fingerprint()).collect();
+        let fps: Vec<u64> = predefined_configs()
+            .iter()
+            .map(|c| c.fingerprint())
+            .collect();
         let pinned: [u64; 7] = [
             0x6d02a64d861ba0ec, // o3-big
             0xbd099246dff1fdfd, // o3-medium

@@ -11,7 +11,8 @@ use crate::config::MicroArchConfig;
 use crate::fu::FuState;
 use crate::latency::{RetireTracker, SimResult, SimStats};
 use crate::memsys::MainMemory;
-use perfvec_isa::{Reg, Trace};
+use crate::ooo::{decode_program, with_scoreboard, Scoreboard, REG_SLOTS};
+use perfvec_isa::Trace;
 
 /// Bubble for a correctly predicted taken branch.
 const TAKEN_REDIRECT_BUBBLE: u64 = 1;
@@ -20,23 +21,36 @@ const BTB_MISS_BUBBLE: u64 = 2;
 
 /// Simulate `trace` on the in-order machine `cfg`.
 pub fn simulate_inorder(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
+    with_scoreboard(|sb| simulate_inorder_with(trace, cfg, sb))
+}
+
+fn simulate_inorder_with(trace: &Trace, cfg: &MicroArchConfig, sb: &mut Scoreboard) -> SimResult {
     let n = trace.len();
-    let mut hier = Hierarchy::new(
+    let mut hier = Hierarchy::from_pool(
         cfg.l1i,
         cfg.l1d,
         cfg.l2,
         cfg.l2_exclusive,
         MainMemory::new(cfg.mem, cfg.freq_ghz),
+        &mut sb.caches,
     );
     let mut pred = Predictor::new(&cfg.branch);
     let mut btb = Btb::new(cfg.branch.btb_entries);
     let mut fus = FuState::new(&cfg.fus, cfg.issue_width);
     let mut retire = RetireTracker::new(cfg.retire_width);
 
-    let mut reg_ready = [0u64; Reg::NUM_FLAT];
-    let mut retire_cycles = vec![0u64; n];
+    decode_program(&trace.program, &mut sb.decoded);
+    let decoded = &sb.decoded[..];
+
+    let mut reg_ready = [0u64; REG_SLOTS];
     let mut mem_level = vec![HitLevel::None; n];
     let mut mispredicted = vec![false; n];
+
+    // Incremental latency computed inline at retirement, exactly like
+    // the out-of-order loop (see `simulate_ooo_with`).
+    let mut inc = vec![0f32; n];
+    let cycle_tenths = cfg.cycle_tenths_ns();
+    let mut prev_retire = 0u64;
 
     let mut fetch_cycle = 0u64;
     let mut fetched_in_cycle = 0u8;
@@ -53,8 +67,7 @@ pub fn simulate_inorder(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
 
     for i in 0..n {
         let rec = &trace.records[i];
-        let inst = &trace.program.insts[rec.sidx as usize];
-        let class = inst.op.class();
+        let d = &decoded[rec.sidx as usize];
         let pc = rec.pc();
 
         // ---- fetch (same structure as the OoO front end) ----
@@ -67,70 +80,80 @@ pub fn simulate_inorder(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
             }
             cur_line = line;
         }
-        if fetched_in_cycle >= cfg.fetch_width {
-            fetch_cycle += 1;
-            fetched_in_cycle = 0;
-        }
+        // Branch-free width wrap: the wrap point moves with every
+        // redirect, so a branch here is unpredictable.
+        let wrap = fetched_in_cycle >= cfg.fetch_width;
+        fetch_cycle += wrap as u64;
+        fetched_in_cycle = if wrap { 0 } else { fetched_in_cycle };
         let my_fetch = fetch_cycle;
         fetched_in_cycle += 1;
 
         // ---- issue: in order, after decode, sources ready ----
-        let mut ready = (my_fetch + front).max(last_issue);
-        for s in inst.srcs() {
-            ready = ready.max(reg_ready[s.flat_id()]);
+        let mut ready = (my_fetch + front)
+            .max(last_issue)
+            .max(reg_ready[d.srcs[0] as usize & (REG_SLOTS - 1)])
+            .max(reg_ready[d.srcs[1] as usize & (REG_SLOTS - 1)]);
+        for k in 2..d.n_src as usize {
+            ready = ready.max(reg_ready[d.srcs[k] as usize & (REG_SLOTS - 1)]);
         }
-        if inst.op.is_mem() {
+        if d.is_mem {
             ready = ready.max(mem_barrier);
         }
-        if inst.op.is_barrier() {
+        if d.is_barrier {
             ready = ready.max(max_mem_complete);
         }
-        let start = fus.issue(class, ready);
+        let start = fus.issue(d.class, ready);
         last_issue = start;
 
         // ---- execute ----
-        let mut complete = start + fus.latency(class);
-        if inst.op.is_load() {
+        let mut complete = start + fus.latency(d.class);
+        if d.is_load {
             let (lat, lvl) = hier.access_data(rec.addr, start);
             mem_level[i] = lvl;
             complete = start + lat;
-        } else if inst.op.is_store() {
+        } else if d.is_store {
             let (_, lvl) = hier.access_data(rec.addr, start);
             mem_level[i] = lvl;
             // Store buffer hides the fill latency.
             complete = start + 1;
         }
-        if inst.op.is_mem() {
+        if d.is_mem {
             max_mem_complete = max_mem_complete.max(complete);
         }
-        if inst.op.is_barrier() {
+        if d.is_barrier {
             mem_barrier = complete;
         }
-        for d in inst.dsts() {
-            reg_ready[d.flat_id()] = complete;
+        reg_ready[d.dsts[0] as usize & (REG_SLOTS - 1)] = complete;
+        for k in 1..d.n_dst as usize {
+            reg_ready[d.dsts[k] as usize & (REG_SLOTS - 1)] = complete;
         }
 
         // ---- control flow ----
-        if inst.op.is_branch() {
+        if d.is_branch {
             stats.branches += 1;
             let actual_target = rec.next_pc();
             let mispred;
             let mut bubble = 0u64;
-            if inst.op.is_cond_branch() {
-                let static_target =
-                    perfvec_isa::CODE_BASE + inst.target.unwrap_or(0) as u64 * perfvec_isa::INST_BYTES;
-                let pred_taken = pred.predict(pc, static_target);
+            if d.is_cond_branch {
+                let pred_taken = pred.predict(pc, d.static_target);
                 mispred = pred_taken != rec.taken;
                 if !mispred && rec.taken {
-                    bubble =
-                        if btb.lookup(pc).is_some() { TAKEN_REDIRECT_BUBBLE } else { BTB_MISS_BUBBLE };
+                    bubble = if btb.lookup(pc).is_some() {
+                        TAKEN_REDIRECT_BUBBLE
+                    } else {
+                        BTB_MISS_BUBBLE
+                    };
                 }
                 pred.update(pc, rec.taken);
-            } else if inst.op.is_indirect_branch() {
+            } else if d.is_indirect_branch {
                 mispred = btb.lookup(pc) != Some(actual_target);
             } else {
                 mispred = false;
-                bubble = if btb.lookup(pc).is_some() { TAKEN_REDIRECT_BUBBLE } else { BTB_MISS_BUBBLE };
+                bubble = if btb.lookup(pc).is_some() {
+                    TAKEN_REDIRECT_BUBBLE
+                } else {
+                    BTB_MISS_BUBBLE
+                };
             }
             if rec.taken {
                 btb.update(pc, actual_target);
@@ -151,21 +174,29 @@ pub fn simulate_inorder(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
         }
 
         // ---- retire ----
-        retire_cycles[i] = retire.schedule(complete);
+        let r = retire.schedule(complete);
+        debug_assert!(r >= prev_retire, "retirement must be in order");
+        inc[i] = ((r - prev_retire) as f64 * cycle_tenths) as f32;
+        prev_retire = r;
     }
 
     let cs = hier.stats();
+    hier.recycle(&mut sb.caches);
     stats.l1i_misses = cs.l1i_misses;
     stats.l1d_misses = cs.l1d_misses;
     stats.l2_misses = cs.l2_misses;
+    stats.ifetch_accesses = cs.ifetch_accesses;
+    stats.data_accesses = cs.data_accesses;
+    stats.cycles = prev_retire;
+    stats.instructions = n as u64;
 
-    SimResult::from_retire_cycles(
-        &retire_cycles,
-        cfg.cycle_tenths_ns(),
+    SimResult {
+        inc_latency_tenths: inc,
+        total_tenths: prev_retire as f64 * cycle_tenths,
         mem_level,
         mispredicted,
         stats,
-    )
+    }
 }
 
 #[cfg(test)]
@@ -173,10 +204,13 @@ mod tests {
     use super::*;
     use crate::ooo::simulate_ooo;
     use crate::sample::predefined_configs;
-    use perfvec_isa::{Emulator, ProgramBuilder};
+    use perfvec_isa::{Emulator, ProgramBuilder, Reg};
 
     fn cfg(name: &str) -> MicroArchConfig {
-        predefined_configs().into_iter().find(|c| c.name == name).unwrap()
+        predefined_configs()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap()
     }
 
     fn ilp_trace() -> Trace {
@@ -203,7 +237,11 @@ mod tests {
         let c = cfg("cortex-a7-like"); // dual issue
         let r = simulate_inorder(&t, &c);
         assert!(r.stats.ipc() <= c.issue_width as f64 + 1e-9);
-        assert!(r.stats.ipc() > 0.4, "should still make progress, ipc {}", r.stats.ipc());
+        assert!(
+            r.stats.ipc() > 0.4,
+            "should still make progress, ipc {}",
+            r.stats.ipc()
+        );
     }
 
     #[test]
@@ -226,7 +264,10 @@ mod tests {
     #[test]
     fn incremental_latency_sums_for_inorder_cores() {
         let t = ilp_trace();
-        for c in predefined_configs().iter().filter(|c| c.core == crate::config::CoreKind::InOrder) {
+        for c in predefined_configs()
+            .iter()
+            .filter(|c| c.core == crate::config::CoreKind::InOrder)
+        {
             let r = simulate_inorder(&t, c);
             assert!(
                 (r.sum_incremental() - r.total_tenths).abs() < 1e-6 * r.total_tenths.max(1.0),

@@ -23,22 +23,26 @@ pub struct RetireTracker {
 impl RetireTracker {
     /// Tracker enforcing at most `width` retirements per cycle.
     pub fn new(width: u8) -> RetireTracker {
-        RetireTracker { width: width.max(1), last_cycle: 0, count_in_cycle: 0 }
+        RetireTracker {
+            width: width.max(1),
+            last_cycle: 0,
+            count_in_cycle: 0,
+        }
     }
 
     /// Schedule the retirement of an instruction that completes
     /// execution at cycle `complete`; returns its retire cycle.
+    ///
+    /// Written branch-free: this runs once per simulated instruction
+    /// and its conditions flip with the retire pattern, so a
+    /// compare-and-branch form mispredicts constantly.
+    #[inline]
     pub fn schedule(&mut self, complete: u64) -> u64 {
         let mut r = (complete + 1).max(self.last_cycle);
-        if r == self.last_cycle && self.count_in_cycle >= self.width {
-            r += 1;
-        }
-        if r > self.last_cycle {
-            self.last_cycle = r;
-            self.count_in_cycle = 1;
-        } else {
-            self.count_in_cycle += 1;
-        }
+        r += (r == self.last_cycle && self.count_in_cycle >= self.width) as u64;
+        let fresh = r > self.last_cycle;
+        self.count_in_cycle = if fresh { 1 } else { self.count_in_cycle + 1 };
+        self.last_cycle = r;
         r
     }
 
@@ -65,6 +69,11 @@ pub struct SimStats {
     pub mispredicts: u64,
     /// Executed branch instructions.
     pub branches: u64,
+    /// I-cache accesses issued by the front end (one per fetch-line
+    /// change; pins the restart-refetch accounting).
+    pub ifetch_accesses: u64,
+    /// D-cache accesses issued by loads and stores.
+    pub data_accesses: u64,
 }
 
 impl SimStats {
@@ -128,7 +137,13 @@ impl SimResult {
         stats.cycles = prev;
         stats.instructions = retire_cycles.len() as u64;
         let total_tenths = prev as f64 * cycle_tenths;
-        SimResult { inc_latency_tenths: inc, total_tenths, mem_level, mispredicted, stats }
+        SimResult {
+            inc_latency_tenths: inc,
+            total_tenths,
+            mem_level,
+            mispredicted,
+            stats,
+        }
     }
 
     /// Number of simulated instructions.
@@ -146,6 +161,24 @@ impl SimResult {
     /// property tests assert.
     pub fn sum_incremental(&self) -> f64 {
         self.inc_latency_tenths.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Bit-exact equality with `other`: incremental latencies compared
+    /// by their IEEE-754 bit patterns (no epsilon), plus `mem_level`,
+    /// `mispredicted`, and all [`SimStats`] counters. This is the
+    /// contract the dense-array simulator kernels are held to against
+    /// the reference implementation.
+    pub fn bits_identical(&self, other: &SimResult) -> bool {
+        self.inc_latency_tenths.len() == other.inc_latency_tenths.len()
+            && self
+                .inc_latency_tenths
+                .iter()
+                .zip(&other.inc_latency_tenths)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.total_tenths.to_bits() == other.total_tenths.to_bits()
+            && self.mem_level == other.mem_level
+            && self.mispredicted == other.mispredicted
+            && self.stats == other.stats
     }
 }
 

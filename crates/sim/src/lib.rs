@@ -45,6 +45,7 @@ pub mod inorder;
 pub mod latency;
 pub mod memsys;
 pub mod ooo;
+pub mod reference;
 pub mod sample;
 
 pub use cache::HitLevel;
@@ -94,10 +95,15 @@ mod tests {
         b.halt();
         let p = b.build();
         let t = Emulator::new(&p).run(10_000).unwrap();
-        let times: Vec<f64> =
-            sample::predefined_configs().iter().map(|c| simulate(&t, c).total_tenths).collect();
+        let times: Vec<f64> = sample::predefined_configs()
+            .iter()
+            .map(|c| simulate(&t, c).total_tenths)
+            .collect();
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = times.iter().cloned().fold(0.0, f64::max);
-        assert!(max > 2.0 * min, "microarchitectures should differ: {times:?}");
+        assert!(
+            max > 2.0 * min,
+            "microarchitectures should differ: {times:?}"
+        );
     }
 }

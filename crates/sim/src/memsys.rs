@@ -15,6 +15,9 @@ pub struct MainMemory {
     latency_cycles: u64,
     /// Channel occupancy per 64-byte line transfer, in core cycles.
     transfer_cycles: f64,
+    /// `transfer_cycles.ceil()` precomputed — it is added on every
+    /// access, and `ceil` + cast is not free in the hot loop.
+    transfer_ceil: u64,
     /// Cycle at which the channel becomes free.
     busy_until: f64,
     /// Number of accesses serviced.
@@ -32,18 +35,26 @@ impl MainMemory {
         let latency_cycles = (cfg.latency_ns * freq_ghz).round().max(1.0) as u64;
         // bytes/ns = bandwidth_gbps; cycles per line = bytes / (bytes/ns) * cycles/ns
         let transfer_cycles = Self::LINE_BYTES / cfg.bandwidth_gbps * freq_ghz;
-        MainMemory { latency_cycles, transfer_cycles, busy_until: 0.0, accesses: 0, queue_delay: 0 }
+        MainMemory {
+            latency_cycles,
+            transfer_cycles,
+            transfer_ceil: transfer_cycles.ceil() as u64,
+            busy_until: 0.0,
+            accesses: 0,
+            queue_delay: 0,
+        }
     }
 
     /// Service a line fill issued at cycle `now`; returns its total
     /// latency in cycles (queueing + idle latency + transfer).
+    #[inline]
     pub fn access(&mut self, now: u64) -> u64 {
         self.accesses += 1;
         let start = self.busy_until.max(now as f64);
         let queue = (start - now as f64) as u64;
         self.queue_delay += queue;
         self.busy_until = start + self.transfer_cycles;
-        queue + self.latency_cycles + self.transfer_cycles.ceil() as u64
+        queue + self.latency_cycles + self.transfer_ceil
     }
 
     /// Idle latency in core cycles.

@@ -1,0 +1,649 @@
+//! Reference simulator: the pre-flattening implementation, kept as the
+//! bit-identity oracle for the dense-array kernels.
+//!
+//! This module preserves the original data-structure choices on
+//! purpose — per-way `(tag, last_use)` tuple scans with division/modulo
+//! set indexing in the cache, a `HashMap` store-forwarding table,
+//! branchy compare-and-swap minimum scans in the functional-unit
+//! scheduler, a float `ceil()` on every main-memory access, fresh `Vec`
+//! allocations per call, and per-record reads of the full
+//! [`perfvec_isa::Inst`] — so that `sim_bench` and the property tests
+//! can prove the optimised kernels in [`crate::ooo`], [`crate::inorder`],
+//! [`crate::cache`], and [`crate::fu`] produce **bit-identical**
+//! [`SimResult`]s while being much faster. The only semantic departure
+//! from the seed is the store-forwarding *window*: entries here carry a
+//! store sequence number, forwarding is limited to the youngest `sq`
+//! stores, and the table is cleared at memory barriers — the
+//! architecturally correct behaviour both implementations now share
+//! (the seed let entries outlive the store queue and survive fences).
+//!
+//! Do not optimise this module. Its slowness is its job.
+
+use crate::branch::{Btb, Predictor};
+use crate::cache::{CacheStats, HitLevel};
+use crate::config::{CacheConfig, CoreKind, FuConfig, MicroArchConfig};
+use crate::latency::{RetireTracker, SimResult, SimStats};
+use perfvec_isa::{OpClass, Reg, Trace};
+use std::collections::HashMap;
+
+/// Seed-structure functional-unit state: `Vec`-backed pools and ports,
+/// earliest-free slot found by a branchy first-of-minimum scan.
+#[derive(Debug, Clone)]
+struct RefFuState {
+    free_at: [Vec<u64>; OpClass::COUNT],
+    latency: [u64; OpClass::COUNT],
+    pipelined: [bool; OpClass::COUNT],
+    ports: Vec<u64>,
+}
+
+impl RefFuState {
+    fn new(cfg: &FuConfig, issue_width: u8) -> RefFuState {
+        let mut free_at: [Vec<u64>; OpClass::COUNT] = Default::default();
+        let mut latency = [1u64; OpClass::COUNT];
+        let mut pipelined = [true; OpClass::COUNT];
+        for class in OpClass::ALL {
+            let pool = cfg.pool_for(class);
+            free_at[class as usize] = vec![0u64; pool.count.max(1) as usize];
+            latency[class as usize] = pool.latency.max(1) as u64;
+            pipelined[class as usize] = pool.pipelined;
+        }
+        RefFuState {
+            free_at,
+            latency,
+            pipelined,
+            ports: vec![0u64; issue_width.max(1) as usize],
+        }
+    }
+
+    fn latency(&self, class: OpClass) -> u64 {
+        self.latency[class as usize]
+    }
+
+    fn issue(&mut self, class: OpClass, ready: u64) -> u64 {
+        let ci = class as usize;
+        let (ui, unit_free) = ref_min_slot(&self.free_at[ci]);
+        let (pi, port_free) = ref_min_slot(&self.ports);
+        let start = ready.max(unit_free).max(port_free);
+        self.ports[pi] = start + 1;
+        self.free_at[ci][ui] = if self.pipelined[ci] {
+            start + 1
+        } else {
+            start + self.latency[ci]
+        };
+        start
+    }
+}
+
+fn ref_min_slot(v: &[u64]) -> (usize, u64) {
+    let mut best = (0usize, u64::MAX);
+    for (i, &t) in v.iter().enumerate() {
+        if t < best.1 {
+            best = (i, t);
+        }
+    }
+    best
+}
+
+/// Seed-structure main memory: same queueing model as
+/// [`crate::memsys::MainMemory`], with the per-access
+/// `transfer_cycles.ceil()` the seed computed on every line fill
+/// (numerically identical to the precomputed value the optimised path
+/// adds).
+#[derive(Debug, Clone)]
+struct RefMainMemory {
+    latency_cycles: u64,
+    transfer_cycles: f64,
+    busy_until: f64,
+}
+
+impl RefMainMemory {
+    const LINE_BYTES: f64 = 64.0;
+
+    fn new(cfg: crate::config::MemConfig, freq_ghz: f64) -> RefMainMemory {
+        let latency_cycles = (cfg.latency_ns * freq_ghz).round().max(1.0) as u64;
+        let transfer_cycles = Self::LINE_BYTES / cfg.bandwidth_gbps * freq_ghz;
+        RefMainMemory {
+            latency_cycles,
+            transfer_cycles,
+            busy_until: 0.0,
+        }
+    }
+
+    fn access(&mut self, now: u64) -> u64 {
+        let start = self.busy_until.max(now as f64);
+        let queue = (start - now as f64) as u64;
+        self.busy_until = start + self.transfer_cycles;
+        queue + self.latency_cycles + self.transfer_cycles.ceil() as u64
+    }
+}
+
+/// Simulate `trace` on `cfg` with the reference implementation,
+/// dispatching on the configured core kind exactly like
+/// [`crate::simulate`].
+pub fn simulate_reference(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
+    match cfg.core {
+        CoreKind::OutOfOrder => simulate_ooo_reference(trace, cfg),
+        CoreKind::InOrder => simulate_inorder_reference(trace, cfg),
+    }
+}
+
+/// Seed-structure set-associative LRU cache: one `(tag, last_use)`
+/// tuple per way, `%`/`/` set indexing.
+#[derive(Debug, Clone)]
+struct RefCache {
+    sets: Vec<(u64, u64)>,
+    assoc: usize,
+    num_sets: u64,
+    line_shift: u32,
+    tick: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        let num_sets = cfg.num_sets();
+        let assoc = cfg.assoc as usize;
+        RefCache {
+            sets: vec![(u64::MAX, 0); (num_sets as usize) * assoc],
+            assoc,
+            num_sets,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tick: 0,
+        }
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.num_sets) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = self.line_of(addr);
+        let tag = line / self.num_sets;
+        let range = self.set_range(line);
+        for w in &mut self.sets[range] {
+            if w.0 == tag {
+                w.1 = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let line = self.line_of(addr);
+        let tag = line / self.num_sets;
+        let set = line % self.num_sets;
+        let range = self.set_range(line);
+        let tick = self.tick;
+        let ways = &mut self.sets[range];
+        if let Some(w) = ways.iter_mut().find(|w| w.0 == tag) {
+            w.1 = tick;
+            return None;
+        }
+        if let Some(w) = ways.iter_mut().find(|w| w.0 == u64::MAX) {
+            *w = (tag, tick);
+            return None;
+        }
+        let victim = ways.iter_mut().min_by_key(|w| w.1).expect("assoc >= 1");
+        let evicted_line = victim.0 * self.num_sets + set;
+        *victim = (tag, tick);
+        Some(evicted_line)
+    }
+
+    fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let tag = line / self.num_sets;
+        let range = self.set_range(line);
+        for w in &mut self.sets[range] {
+            if w.0 == tag {
+                *w = (u64::MAX, 0);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn fill_line(&mut self, line: u64) -> Option<u64> {
+        self.fill(line << self.line_shift)
+    }
+}
+
+/// Seed-structure hierarchy over [`RefCache`]s; mirrors
+/// [`crate::cache::Hierarchy`] access-for-access, backed by the
+/// seed-structure [`RefMainMemory`].
+struct RefHierarchy {
+    l1i: RefCache,
+    l1d: RefCache,
+    l2: RefCache,
+    exclusive: bool,
+    mem: RefMainMemory,
+    l1i_lat: u64,
+    l1d_lat: u64,
+    l2_lat: u64,
+    stats: CacheStats,
+}
+
+impl RefHierarchy {
+    fn new(cfg: &MicroArchConfig) -> RefHierarchy {
+        RefHierarchy {
+            l1i_lat: cfg.l1i.latency as u64,
+            l1d_lat: cfg.l1d.latency as u64,
+            l2_lat: cfg.l2.latency as u64,
+            l1i: RefCache::new(cfg.l1i),
+            l1d: RefCache::new(cfg.l1d),
+            l2: RefCache::new(cfg.l2),
+            exclusive: cfg.l2_exclusive,
+            mem: RefMainMemory::new(cfg.mem, cfg.freq_ghz),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn access_l2_then_mem(
+        &mut self,
+        addr: u64,
+        now: u64,
+        l1_victim: Option<u64>,
+    ) -> (u64, HitLevel) {
+        let mut lat = 0;
+        let level;
+        if self.l2.access(addr) {
+            lat += self.l2_lat;
+            level = HitLevel::L2;
+            if self.exclusive {
+                self.l2.invalidate(addr);
+            }
+        } else {
+            self.stats.l2_misses += 1;
+            lat += self.l2_lat + self.mem.access(now + lat);
+            level = HitLevel::Mem;
+            if !self.exclusive {
+                self.l2.fill(addr);
+            }
+        }
+        if self.exclusive {
+            if let Some(line) = l1_victim {
+                self.l2.fill_line(line);
+            }
+        }
+        (lat, level)
+    }
+
+    fn access_ifetch(&mut self, pc: u64, now: u64) -> (u64, HitLevel) {
+        self.stats.ifetch_accesses += 1;
+        if self.l1i.access(pc) {
+            return (self.l1i_lat, HitLevel::L1);
+        }
+        self.stats.l1i_misses += 1;
+        let victim = self.l1i.fill(pc);
+        let (lat, level) = self.access_l2_then_mem(pc, now, victim);
+        (self.l1i_lat + lat, level)
+    }
+
+    fn access_data(&mut self, addr: u64, now: u64) -> (u64, HitLevel) {
+        self.stats.data_accesses += 1;
+        if self.l1d.access(addr) {
+            return (self.l1d_lat, HitLevel::L1);
+        }
+        self.stats.l1d_misses += 1;
+        let victim = self.l1d.fill(addr);
+        let (lat, level) = self.access_l2_then_mem(addr, now, victim);
+        (self.l1d_lat + lat, level)
+    }
+}
+
+const OOO_TAKEN_REDIRECT_BUBBLE: u64 = 1;
+const OOO_BTB_MISS_BUBBLE: u64 = 3;
+
+fn simulate_ooo_reference(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
+    let n = trace.len();
+    let mut hier = RefHierarchy::new(cfg);
+    let mut pred = Predictor::new(&cfg.branch);
+    let mut btb = Btb::new(cfg.branch.btb_entries);
+    let mut fus = RefFuState::new(&cfg.fus, cfg.issue_width);
+    let mut retire = RetireTracker::new(cfg.retire_width);
+
+    let mut reg_ready = [0u64; Reg::NUM_FLAT];
+    let mut retire_cycles = vec![0u64; n];
+    let mut mem_level = vec![HitLevel::None; n];
+    let mut mispredicted = vec![false; n];
+
+    let mut fetch_cycle = 0u64;
+    let mut fetched_in_cycle = 0u8;
+    let mut cur_line = u64::MAX;
+    let front = cfg.front_depth as u64;
+
+    let rob = cfg.rob_size.max(8) as usize;
+    let mut rob_ring = vec![0u64; rob];
+    let lq = cfg.lq_size.max(4) as usize;
+    let mut lq_ring = vec![0u64; lq];
+    let mut loads_seen = 0usize;
+    let sq = cfg.sq_size.max(4) as usize;
+    let mut sq_ring = vec![0u64; sq];
+    let mut stores_seen = 0usize;
+
+    // Store-to-load forwarding: 8-byte block -> (data-ready cycle, store
+    // sequence number). The sequence number bounds forwarding to the
+    // youngest `sq` stores; barriers clear the table.
+    let mut store_fwd: HashMap<u64, (u64, usize)> = HashMap::new();
+    let mut mem_barrier = 0u64;
+    let mut max_mem_complete = 0u64;
+
+    let mut stats = SimStats::default();
+
+    for i in 0..n {
+        let rec = &trace.records[i];
+        let inst = &trace.program.insts[rec.sidx as usize];
+        let class = inst.op.class();
+        let pc = rec.pc();
+
+        // ---- fetch ----
+        let line = pc >> 6;
+        if line != cur_line {
+            let (lat, lvl) = hier.access_ifetch(pc, fetch_cycle);
+            if lvl != HitLevel::L1 {
+                fetch_cycle += lat;
+                fetched_in_cycle = 0;
+            }
+            cur_line = line;
+        }
+        if fetched_in_cycle >= cfg.fetch_width {
+            fetch_cycle += 1;
+            fetched_in_cycle = 0;
+        }
+        let my_fetch = fetch_cycle;
+        fetched_in_cycle += 1;
+
+        // ---- dispatch ----
+        let mut disp = my_fetch + front;
+        let rob_slot = i % rob;
+        if i >= rob {
+            disp = disp.max(rob_ring[rob_slot] + 1);
+        }
+        if inst.op.is_load() {
+            let slot = loads_seen % lq;
+            if loads_seen >= lq {
+                disp = disp.max(lq_ring[slot] + 1);
+            }
+            loads_seen += 1;
+        } else if inst.op.is_store() {
+            let slot = stores_seen % sq;
+            if stores_seen >= sq {
+                disp = disp.max(sq_ring[slot] + 1);
+            }
+            stores_seen += 1;
+        }
+
+        // ---- source readiness ----
+        let mut ready = disp;
+        for s in inst.srcs() {
+            ready = ready.max(reg_ready[s.flat_id()]);
+        }
+        if inst.op.is_mem() {
+            ready = ready.max(mem_barrier);
+        }
+        if inst.op.is_barrier() {
+            ready = ready.max(max_mem_complete);
+        }
+
+        // ---- issue + execute ----
+        let start = fus.issue(class, ready);
+        let mut complete = start + fus.latency(class);
+        if inst.op.is_load() {
+            let (lat, lvl) = hier.access_data(rec.addr, start);
+            mem_level[i] = lvl;
+            complete = start + lat;
+            if let Some(&(st_ready, seq)) = store_fwd.get(&(rec.addr >> 3)) {
+                // Only stores still inside the store-queue window may
+                // forward; older ones have drained to the cache.
+                if seq + sq > stores_seen && st_ready + 1 > start && st_ready + 1 < complete {
+                    complete = st_ready + 1;
+                }
+            }
+        } else if inst.op.is_store() {
+            let (_, lvl) = hier.access_data(rec.addr, start);
+            mem_level[i] = lvl;
+            complete = start + 1;
+            store_fwd.insert(rec.addr >> 3, (complete, stores_seen));
+            if store_fwd.len() > 16_384 {
+                store_fwd.retain(|_, &mut (_, seq)| seq + sq > stores_seen);
+            }
+        }
+        if inst.op.is_mem() {
+            max_mem_complete = max_mem_complete.max(complete);
+        }
+        if inst.op.is_barrier() {
+            mem_barrier = complete;
+            // A fence drains the store queue: nothing before it forwards.
+            store_fwd.clear();
+        }
+        for d in inst.dsts() {
+            reg_ready[d.flat_id()] = complete;
+        }
+
+        // ---- control flow ----
+        if inst.op.is_branch() {
+            stats.branches += 1;
+            let actual_target = rec.next_pc();
+            let mispred;
+            let mut bubble = 0u64;
+            if inst.op.is_cond_branch() {
+                let static_target = perfvec_isa::CODE_BASE
+                    + inst.target.unwrap_or(0) as u64 * perfvec_isa::INST_BYTES;
+                let pred_taken = pred.predict(pc, static_target);
+                mispred = pred_taken != rec.taken;
+                if !mispred && rec.taken {
+                    bubble = if btb.lookup(pc).is_some() {
+                        OOO_TAKEN_REDIRECT_BUBBLE
+                    } else {
+                        OOO_BTB_MISS_BUBBLE
+                    };
+                }
+                pred.update(pc, rec.taken);
+            } else if inst.op.is_indirect_branch() {
+                mispred = btb.lookup(pc) != Some(actual_target);
+            } else {
+                mispred = false;
+                bubble = if btb.lookup(pc).is_some() {
+                    OOO_TAKEN_REDIRECT_BUBBLE
+                } else {
+                    OOO_BTB_MISS_BUBBLE
+                };
+            }
+            if rec.taken {
+                btb.update(pc, actual_target);
+            }
+            if mispred {
+                stats.mispredicts += 1;
+                mispredicted[i] = true;
+                fetch_cycle = complete + 1;
+                fetched_in_cycle = 0;
+                cur_line = u64::MAX;
+            } else if rec.taken {
+                fetch_cycle = my_fetch + bubble;
+                fetched_in_cycle = 0;
+                cur_line = u64::MAX;
+            }
+        }
+
+        // ---- retire ----
+        let r = retire.schedule(complete);
+        retire_cycles[i] = r;
+        rob_ring[rob_slot] = r;
+        if inst.op.is_load() {
+            lq_ring[(loads_seen - 1) % lq] = r;
+        } else if inst.op.is_store() {
+            sq_ring[(stores_seen - 1) % sq] = r;
+        }
+    }
+
+    let cs = hier.stats;
+    stats.l1i_misses = cs.l1i_misses;
+    stats.l1d_misses = cs.l1d_misses;
+    stats.l2_misses = cs.l2_misses;
+    stats.ifetch_accesses = cs.ifetch_accesses;
+    stats.data_accesses = cs.data_accesses;
+
+    SimResult::from_retire_cycles(
+        &retire_cycles,
+        cfg.cycle_tenths_ns(),
+        mem_level,
+        mispredicted,
+        stats,
+    )
+}
+
+const IO_TAKEN_REDIRECT_BUBBLE: u64 = 1;
+const IO_BTB_MISS_BUBBLE: u64 = 2;
+
+fn simulate_inorder_reference(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
+    let n = trace.len();
+    let mut hier = RefHierarchy::new(cfg);
+    let mut pred = Predictor::new(&cfg.branch);
+    let mut btb = Btb::new(cfg.branch.btb_entries);
+    let mut fus = RefFuState::new(&cfg.fus, cfg.issue_width);
+    let mut retire = RetireTracker::new(cfg.retire_width);
+
+    let mut reg_ready = [0u64; Reg::NUM_FLAT];
+    let mut retire_cycles = vec![0u64; n];
+    let mut mem_level = vec![HitLevel::None; n];
+    let mut mispredicted = vec![false; n];
+
+    let mut fetch_cycle = 0u64;
+    let mut fetched_in_cycle = 0u8;
+    let mut cur_line = u64::MAX;
+    let front = cfg.front_depth as u64;
+
+    let mut last_issue = 0u64;
+    let mut mem_barrier = 0u64;
+    let mut max_mem_complete = 0u64;
+
+    let mut stats = SimStats::default();
+
+    for i in 0..n {
+        let rec = &trace.records[i];
+        let inst = &trace.program.insts[rec.sidx as usize];
+        let class = inst.op.class();
+        let pc = rec.pc();
+
+        // ---- fetch ----
+        let line = pc >> 6;
+        if line != cur_line {
+            let (lat, lvl) = hier.access_ifetch(pc, fetch_cycle);
+            if lvl != HitLevel::L1 {
+                fetch_cycle += lat;
+                fetched_in_cycle = 0;
+            }
+            cur_line = line;
+        }
+        if fetched_in_cycle >= cfg.fetch_width {
+            fetch_cycle += 1;
+            fetched_in_cycle = 0;
+        }
+        let my_fetch = fetch_cycle;
+        fetched_in_cycle += 1;
+
+        // ---- issue ----
+        let mut ready = (my_fetch + front).max(last_issue);
+        for s in inst.srcs() {
+            ready = ready.max(reg_ready[s.flat_id()]);
+        }
+        if inst.op.is_mem() {
+            ready = ready.max(mem_barrier);
+        }
+        if inst.op.is_barrier() {
+            ready = ready.max(max_mem_complete);
+        }
+        let start = fus.issue(class, ready);
+        last_issue = start;
+
+        // ---- execute ----
+        let mut complete = start + fus.latency(class);
+        if inst.op.is_load() {
+            let (lat, lvl) = hier.access_data(rec.addr, start);
+            mem_level[i] = lvl;
+            complete = start + lat;
+        } else if inst.op.is_store() {
+            let (_, lvl) = hier.access_data(rec.addr, start);
+            mem_level[i] = lvl;
+            complete = start + 1;
+        }
+        if inst.op.is_mem() {
+            max_mem_complete = max_mem_complete.max(complete);
+        }
+        if inst.op.is_barrier() {
+            mem_barrier = complete;
+        }
+        for d in inst.dsts() {
+            reg_ready[d.flat_id()] = complete;
+        }
+
+        // ---- control flow ----
+        if inst.op.is_branch() {
+            stats.branches += 1;
+            let actual_target = rec.next_pc();
+            let mispred;
+            let mut bubble = 0u64;
+            if inst.op.is_cond_branch() {
+                let static_target = perfvec_isa::CODE_BASE
+                    + inst.target.unwrap_or(0) as u64 * perfvec_isa::INST_BYTES;
+                let pred_taken = pred.predict(pc, static_target);
+                mispred = pred_taken != rec.taken;
+                if !mispred && rec.taken {
+                    bubble = if btb.lookup(pc).is_some() {
+                        IO_TAKEN_REDIRECT_BUBBLE
+                    } else {
+                        IO_BTB_MISS_BUBBLE
+                    };
+                }
+                pred.update(pc, rec.taken);
+            } else if inst.op.is_indirect_branch() {
+                mispred = btb.lookup(pc) != Some(actual_target);
+            } else {
+                mispred = false;
+                bubble = if btb.lookup(pc).is_some() {
+                    IO_TAKEN_REDIRECT_BUBBLE
+                } else {
+                    IO_BTB_MISS_BUBBLE
+                };
+            }
+            if rec.taken {
+                btb.update(pc, actual_target);
+            }
+            if mispred {
+                stats.mispredicts += 1;
+                mispredicted[i] = true;
+                fetch_cycle = complete + 1;
+                fetched_in_cycle = 0;
+                cur_line = u64::MAX;
+            } else if rec.taken {
+                fetch_cycle = my_fetch + bubble;
+                fetched_in_cycle = 0;
+                cur_line = u64::MAX;
+            }
+        }
+
+        // ---- retire ----
+        retire_cycles[i] = retire.schedule(complete);
+    }
+
+    let cs = hier.stats;
+    stats.l1i_misses = cs.l1i_misses;
+    stats.l1d_misses = cs.l1d_misses;
+    stats.l2_misses = cs.l2_misses;
+    stats.ifetch_accesses = cs.ifetch_accesses;
+    stats.data_accesses = cs.data_accesses;
+
+    SimResult::from_retire_cycles(
+        &retire_cycles,
+        cfg.cycle_tenths_ns(),
+        mem_level,
+        mispredicted,
+        stats,
+    )
+}

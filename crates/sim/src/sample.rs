@@ -23,7 +23,11 @@ pub const DEFAULT_POPULATION: usize = 77;
 pub const DEFAULT_MARCH_SEED: u64 = 0x7711_2024;
 
 fn pool(count: u8, latency: u8, pipelined: bool) -> FuPool {
-    FuPool { count, latency, pipelined }
+    FuPool {
+        count,
+        latency,
+        pipelined,
+    }
 }
 
 fn kib(k: u64) -> u64 {
@@ -31,7 +35,12 @@ fn kib(k: u64) -> u64 {
 }
 
 fn cache(size_kb: u64, assoc: u32, latency: u32) -> CacheConfig {
-    CacheConfig { size_bytes: kib(size_kb), assoc, line_bytes: 64, latency }
+    CacheConfig {
+        size_bytes: kib(size_kb),
+        assoc,
+        line_bytes: 64,
+        latency,
+    }
 }
 
 /// The seven predefined configurations (4 out-of-order, 3 in-order),
@@ -64,8 +73,12 @@ pub fn predefined_configs() -> Vec<MicroArchConfig> {
         history_bits: 12,
         btb_entries: 4096,
     };
-    let bimodal =
-        BranchConfig { kind: PredictorKind::Bimodal, table_bits: 10, history_bits: 0, btb_entries: 512 };
+    let bimodal = BranchConfig {
+        kind: PredictorKind::Bimodal,
+        table_bits: 10,
+        history_bits: 0,
+        btb_entries: 512,
+    };
 
     vec![
         MicroArchConfig {
@@ -219,7 +232,11 @@ pub fn sample_config(rng: &mut StdRng, core: CoreKind, name: String) -> MicroArc
     let ooo = core == CoreKind::OutOfOrder;
     let freq_choices = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
     let freq_ghz = freq_choices[rng.gen_range(0..freq_choices.len())];
-    let width: u8 = if ooo { rng.gen_range(2..=8) } else { rng.gen_range(1..=2) };
+    let width: u8 = if ooo {
+        rng.gen_range(2..=8)
+    } else {
+        rng.gen_range(1..=2)
+    };
     let fus = FuConfig {
         int_alu: pool(rng.gen_range(1..=width.max(2)), 1, true),
         int_mul: pool(rng.gen_range(1..=2), rng.gen_range(2..=5), true),
@@ -283,7 +300,11 @@ pub fn sample_config(rng: &mut StdRng, core: CoreKind, name: String) -> MicroArc
         fetch_width: width,
         front_depth: rng.gen_range(5..=16),
         issue_width: width,
-        retire_width: if ooo { rng.gen_range(width.max(2) - 1..=width) } else { width },
+        retire_width: if ooo {
+            rng.gen_range(width.max(2) - 1..=width)
+        } else {
+            width
+        },
         rob_size: if ooo { rng.gen_range(32..=320) } else { 0 },
         lq_size: if ooo { rng.gen_range(16..=96) } else { 0 },
         sq_size: if ooo { rng.gen_range(12..=72) } else { 0 },
@@ -302,10 +323,18 @@ pub fn sample_configs(seed: u64, n_ooo: usize, n_inorder: usize) -> Vec<MicroArc
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n_ooo + n_inorder);
     for i in 0..n_ooo {
-        out.push(sample_config(&mut rng, CoreKind::OutOfOrder, format!("rand-ooo-{i}")));
+        out.push(sample_config(
+            &mut rng,
+            CoreKind::OutOfOrder,
+            format!("rand-ooo-{i}"),
+        ));
     }
     for i in 0..n_inorder {
-        out.push(sample_config(&mut rng, CoreKind::InOrder, format!("rand-io-{i}")));
+        out.push(sample_config(
+            &mut rng,
+            CoreKind::InOrder,
+            format!("rand-io-{i}"),
+        ));
     }
     out
 }
@@ -338,7 +367,10 @@ mod tests {
     fn population_has_paper_size_and_mix() {
         let pop = training_population(7);
         assert_eq!(pop.len(), 77);
-        let ooo = pop.iter().filter(|c| c.core == CoreKind::OutOfOrder).count();
+        let ooo = pop
+            .iter()
+            .filter(|c| c.core == CoreKind::OutOfOrder)
+            .count();
         let io = pop.iter().filter(|c| c.core == CoreKind::InOrder).count();
         assert_eq!(ooo, 64); // 60 random + 4 predefined
         assert_eq!(io, 13); // 10 random + 3 predefined
@@ -377,6 +409,8 @@ mod tests {
 
     #[test]
     fn a7_config_exists_for_case_studies() {
-        assert!(predefined_configs().iter().any(|c| c.name == "cortex-a7-like"));
+        assert!(predefined_configs()
+            .iter()
+            .any(|c| c.name == "cortex-a7-like"));
     }
 }

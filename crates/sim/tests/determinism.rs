@@ -56,20 +56,38 @@ fn strided_trace(n: i64, stride: i64, buf_len: u64) -> Trace {
 fn repeated_simulation_is_bit_identical_for_both_core_models() {
     let trace = mixed_trace(800);
     let configs = predefined_configs();
-    let inorder = configs.iter().find(|c| c.core == CoreKind::InOrder).expect("inorder config");
-    let ooo = configs.iter().find(|c| c.core == CoreKind::OutOfOrder).expect("ooo config");
+    let inorder = configs
+        .iter()
+        .find(|c| c.core == CoreKind::InOrder)
+        .expect("inorder config");
+    let ooo = configs
+        .iter()
+        .find(|c| c.core == CoreKind::OutOfOrder)
+        .expect("ooo config");
     for cfg in [inorder, ooo] {
         let a = simulate(&trace, cfg);
         let b = simulate(&trace, cfg);
-        assert_eq!(a.stats.cycles, b.stats.cycles, "{}: cycle counts differ", cfg.name);
+        assert_eq!(
+            a.stats.cycles, b.stats.cycles,
+            "{}: cycle counts differ",
+            cfg.name
+        );
         assert_eq!(a.stats, b.stats, "{}: stats differ", cfg.name);
         assert_eq!(
             a.inc_latency_tenths, b.inc_latency_tenths,
             "{}: incremental latencies differ",
             cfg.name
         );
-        assert_eq!(a.mem_level, b.mem_level, "{}: cache outcomes differ", cfg.name);
-        assert_eq!(a.mispredicted, b.mispredicted, "{}: predictor outcomes differ", cfg.name);
+        assert_eq!(
+            a.mem_level, b.mem_level,
+            "{}: cache outcomes differ",
+            cfg.name
+        );
+        assert_eq!(
+            a.mispredicted, b.mispredicted,
+            "{}: predictor outcomes differ",
+            cfg.name
+        );
     }
 }
 
@@ -118,8 +136,14 @@ fn cache_hit_rate_tracks_spatial_locality_of_strides() {
     let dense_miss = dense_r.stats.l1d_misses as f64 / n as f64;
     let sparse_miss = sparse_r.stats.l1d_misses as f64 / n as f64;
 
-    assert!(dense_miss < 0.05, "dense stride should mostly hit L1: miss rate {dense_miss:.3}");
-    assert!(sparse_miss > 0.60, "line-stride stream should mostly miss: {sparse_miss:.3}");
+    assert!(
+        dense_miss < 0.05,
+        "dense stride should mostly hit L1: miss rate {dense_miss:.3}"
+    );
+    assert!(
+        sparse_miss > 0.60,
+        "line-stride stream should mostly miss: {sparse_miss:.3}"
+    );
     assert!(
         sparse_miss > 5.0 * dense_miss.max(1e-3),
         "locality must separate the two streams: {sparse_miss:.3} vs {dense_miss:.3}"
@@ -140,8 +164,15 @@ fn identical_streams_have_identical_cache_stats_across_core_models() {
     // the miss *counts* must agree even though timing differs.
     let trace = strided_trace(2048, 64, 256 * 1024);
     let configs = predefined_configs();
-    let inorder = configs.iter().find(|c| c.core == CoreKind::InOrder).unwrap();
-    let mut ooo = configs.iter().find(|c| c.core == CoreKind::OutOfOrder).unwrap().clone();
+    let inorder = configs
+        .iter()
+        .find(|c| c.core == CoreKind::InOrder)
+        .unwrap();
+    let mut ooo = configs
+        .iter()
+        .find(|c| c.core == CoreKind::OutOfOrder)
+        .unwrap()
+        .clone();
     // Align the cache geometry so the comparison isolates the core model.
     ooo.l1i = inorder.l1i;
     ooo.l1d = inorder.l1d;

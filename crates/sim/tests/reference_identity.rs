@@ -1,0 +1,197 @@
+//! The flattening contract: the dense-array simulator kernels must be
+//! **bit-identical** to the reference implementation
+//! ([`perfvec_sim::reference`]) — same incremental latencies (by IEEE
+//! bit pattern), same `mem_level`, same `mispredicted`, same counters —
+//! on random programs and random microarchitectures, and retire order
+//! must stay monotone. `sim_bench` enforces the same contract on the
+//! full workload suite; this test covers the long tail of programs the
+//! suite does not reach (random fences, dense branch soup, strided and
+//! indexed memory, division, FP).
+
+use perfvec_isa::{Emulator, Program, ProgramBuilder, Reg, Trace};
+use perfvec_sim::reference::simulate_reference;
+use perfvec_sim::sample::{predefined_configs, sample_configs};
+use perfvec_sim::{simulate, MicroArchConfig};
+use proptest::prelude::*;
+
+/// Pool of machines: every predefined config plus sampled OoO and
+/// in-order points (the property draws an index into this).
+fn config_pool() -> Vec<MicroArchConfig> {
+    let mut pool = predefined_configs();
+    pool.extend(sample_configs(0xfee1_600d, 4, 3));
+    pool
+}
+
+/// Build a loop whose body is driven by `ops`: a mix of ALU chains,
+/// masked indexed loads/stores, store-then-reload pairs, fences,
+/// data-dependent branches, division, and FP — everything that touches
+/// a distinct simulator path.
+fn random_program(ops: &[u8], iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(8192);
+    let (base, x, acc, idx, tmp, i) = (
+        Reg::x(1),
+        Reg::x(2),
+        Reg::x(3),
+        Reg::x(4),
+        Reg::x(5),
+        Reg::x(6),
+    );
+    let (fa, fb) = (Reg::f(1), Reg::f(2));
+    b.li(base, buf as i64);
+    b.li(x, 0x2545_f491);
+    b.li(acc, 1);
+    b.li(idx, 0);
+    b.li(i, 0);
+    b.fli(fa, 1.5);
+    b.fli(fb, 0.25);
+    let top = b.label();
+    for &op in ops {
+        match op % 16 {
+            0 => {
+                b.add(acc, acc, x);
+            }
+            1 => {
+                b.muli(acc, acc, 0x41c6_4e6d);
+            }
+            2 => {
+                b.xori(x, x, 0x5deece66);
+                b.shri(tmp, x, 7);
+                b.add(x, x, tmp);
+            }
+            3 => {
+                // Masked indexed load: stays inside `buf`.
+                b.andi(idx, x, 1015);
+                b.ld_idx(acc, base, idx, 8, 0, 8);
+            }
+            4 => {
+                // Masked indexed store.
+                b.andi(idx, acc, 1015);
+                b.st_idx(x, base, idx, 8, 0, 8);
+            }
+            5 => {
+                // Store-then-reload of the same slot: forwarding path.
+                b.andi(idx, x, 255);
+                b.st_idx(acc, base, idx, 8, 0, 8);
+                b.ld_idx(tmp, base, idx, 8, 0, 8);
+                b.add(acc, acc, tmp);
+            }
+            6 => {
+                b.fence();
+            }
+            7 => {
+                // Data-dependent forward branch: mispredict fodder.
+                let skip = b.fwd_label();
+                b.andi(tmp, x, 1);
+                b.beq_imm(tmp, 0, skip);
+                b.addi(acc, acc, 13);
+                b.bind(skip);
+            }
+            8 => {
+                b.ori(acc, acc, 3);
+                b.div(tmp, x, acc);
+            }
+            9 => {
+                b.fmul(fa, fa, fb);
+            }
+            10 => {
+                b.fadd(fb, fb, fa);
+            }
+            11 => {
+                b.sub(x, x, acc);
+                b.slti(tmp, x, 0);
+                b.add(x, x, tmp);
+            }
+            12 => {
+                // Strided store walk.
+                b.andi(idx, i, 127);
+                b.st_idx(i, base, idx, 8, 4096, 8);
+            }
+            13 => {
+                b.shli(tmp, acc, 1);
+                b.xor(acc, acc, tmp);
+            }
+            14 => {
+                // Load feeding the LCG: load-use dependences.
+                b.andi(idx, x, 63);
+                b.ld_idx(tmp, base, idx, 8, 2048, 8);
+                b.add(x, x, tmp);
+            }
+            _ => {
+                b.addi(acc, acc, 7);
+            }
+        }
+    }
+    b.addi(i, i, 1);
+    b.blt_imm(i, iters, top);
+    b.halt();
+    b.build()
+}
+
+fn trace_of(ops: &[u8], iters: i64) -> Trace {
+    let p = random_program(ops, iters);
+    Emulator::new(&p)
+        .run(400_000)
+        .expect("random program must run to halt")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flat_simulator_is_bit_identical_to_reference(
+        ops in prop::collection::vec(0u8..=255, 6..32),
+        iters in 20i64..160,
+        cfg_pick in 0usize..1usize << 16,
+    ) {
+        let pool = config_pool();
+        let cfg = &pool[cfg_pick % pool.len()];
+        let t = trace_of(&ops, iters);
+        let flat = simulate(&t, cfg);
+        let reference = simulate_reference(&t, cfg);
+        prop_assert!(
+            flat.bits_identical(&reference),
+            "flat and reference diverged on {} ({:?} stats {:?} vs {:?})",
+            cfg.name, ops, flat.stats, reference.stats
+        );
+    }
+
+    #[test]
+    fn retire_order_is_monotone_nondecreasing(
+        ops in prop::collection::vec(0u8..=255, 6..24),
+        iters in 20i64..120,
+        cfg_pick in 0usize..1usize << 16,
+    ) {
+        let pool = config_pool();
+        let cfg = &pool[cfg_pick % pool.len()];
+        let t = trace_of(&ops, iters);
+        let r = simulate(&t, cfg);
+        // Incremental latency is (retire[i] - retire[i-1]) * cycle_time:
+        // monotone retirement <=> every increment is non-negative (an
+        // inversion would wrap the u64 subtraction into an enormous
+        // positive value, also caught here).
+        let total: f64 = r.sum_incremental();
+        prop_assert!(r.inc_latency_tenths.iter().all(|&x| x >= 0.0 && x as f64 <= total));
+    }
+}
+
+/// The identity must also hold on real workloads end to end (quick
+/// subset here; `sim_bench` runs the full suite at full trace length).
+#[test]
+fn workload_suite_matches_reference_on_predefined_machines() {
+    for w in perfvec_workloads::suite() {
+        let t = w.trace(4_000);
+        for cfg in predefined_configs() {
+            let flat = simulate(&t, &cfg);
+            let reference = simulate_reference(&t, &cfg);
+            assert!(
+                flat.bits_identical(&reference),
+                "{} on {}: flat {:?} vs reference {:?}",
+                w.name,
+                cfg.name,
+                flat.stats,
+                reference.stats
+            );
+        }
+    }
+}

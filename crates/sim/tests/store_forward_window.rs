@@ -1,0 +1,169 @@
+//! Regression tests for the store-to-load forwarding window.
+//!
+//! The seed simulator kept a `HashMap` from 8-byte block to the last
+//! store's data-ready cycle that was never cleared: entries survived
+//! memory fences and the entire trace, so a load could "forward" from a
+//! store that architecturally drained thousands of instructions earlier,
+//! and the table grew with the number of unique blocks touched. The
+//! fixed model bounds forwarding to the youngest `sq_size` stores and
+//! clears the window at fences. These tests pin both properties.
+
+use perfvec_isa::{Emulator, ProgramBuilder, Reg, Trace};
+use perfvec_sim::reference::simulate_reference;
+use perfvec_sim::sample::predefined_configs;
+use perfvec_sim::{simulate, MicroArchConfig};
+
+fn cfg(name: &str) -> MicroArchConfig {
+    predefined_configs()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap()
+}
+
+/// Delayed-store + reload trace. The first store's data hangs off a
+/// serial multiply chain, so its data-ready cycle is far in the future
+/// when it dispatches; `intervening` independent stores to other blocks
+/// follow; finally a load reads `buf[load_slot]` with its address tied
+/// to the same chain, so it issues right as the delayed store completes
+/// — the exact shape where stale forwarding changes timing.
+fn delayed_store_reload(intervening: usize, load_slot: i64) -> Trace {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(8192);
+    let (base, chain, z, i) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
+    b.li(base, buf as i64);
+    b.li(chain, 3);
+    b.li(i, 0);
+    let top = b.label();
+    // Serial chain: delays the store's data far past its dispatch.
+    for _ in 0..12 {
+        b.muli(chain, chain, 3);
+    }
+    // The delayed store to block 0.
+    b.st(chain, base, 0, 8);
+    // Independent stores to distinct blocks (never block 0 or 1).
+    for k in 0..intervening {
+        b.st(i, base, 16 + 8 * k as i64, 8);
+    }
+    // Address depends on the chain: the load issues just after the
+    // delayed store completes, inside the forwarding timing window.
+    b.andi(z, chain, 0);
+    b.ld_idx(z, base, z, 1, load_slot * 8, 8);
+    b.add(chain, chain, z);
+    b.addi(i, i, 1);
+    b.blt_imm(i, 40, top);
+    b.halt();
+    let p = b.build();
+    Emulator::new(&p).run(200_000).unwrap()
+}
+
+/// In-window control: with few intervening stores the delayed store is
+/// still in the store queue, so reloading its block (slot 0) must
+/// forward — and time differently from loading the never-stored
+/// neighbouring block (slot 1, same cache line). This proves the trace
+/// shape actually exercises the forwarding path. (o3-medium: its two
+/// memory ports let the intervening stores drain beside the delayed
+/// store, so the reload issues inside the forwarding timing window.)
+#[test]
+fn in_window_forwarding_changes_timing() {
+    let c = cfg("o3-medium"); // sq_size = 36
+    let hit = simulate(&delayed_store_reload(4, 0), &c);
+    let miss = simulate(&delayed_store_reload(4, 1), &c);
+    assert!(
+        !hit.bits_identical(&miss),
+        "in-window reload should forward and change timing; the staleness test below would be vacuous"
+    );
+}
+
+/// The fix: once more than `sq_size` stores separate the delayed store
+/// from the reload, the store has drained — the load must behave
+/// exactly like a load from a block that was never stored at all (same
+/// cache line, so the cache path is identical by construction). The
+/// seed's unpruned map forwarded here.
+#[test]
+fn out_of_window_store_never_forwards() {
+    let c = cfg("o3-medium"); // sq_size = 36 < 40 intervening stores
+    let reload = simulate(&delayed_store_reload(40, 0), &c);
+    let fresh = simulate(&delayed_store_reload(40, 1), &c);
+    assert!(
+        reload.bits_identical(&fresh),
+        "load forwarded from a store 40 stores back — beyond the store queue"
+    );
+}
+
+/// Fence-then-reload: forwarding state must not survive a fence. The
+/// flat window (barrier watermark) and the reference (map clear)
+/// implement the drain differently; they must agree bit-for-bit, and
+/// the run must be deterministic across repeats of the same call.
+#[test]
+fn fence_then_reload_agrees_with_reference_and_is_deterministic() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(4096);
+    let (base, v, i) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    b.li(base, buf as i64);
+    b.li(i, 0);
+    let top = b.label();
+    b.st(i, base, 0, 8);
+    b.st(i, base, 64, 8);
+    b.fence();
+    b.ld(v, base, 0, 8); // reload across the fence: no forwarding
+    b.add(v, v, i);
+    b.st(v, base, 128, 8);
+    b.ld(v, base, 128, 8); // same-side reload: forwarding allowed
+    b.addi(i, i, 1);
+    b.blt_imm(i, 500, top);
+    b.halt();
+    let p = b.build();
+    let t = Emulator::new(&p).run(100_000).unwrap();
+
+    for c in predefined_configs() {
+        let flat = simulate(&t, &c);
+        let reference = simulate_reference(&t, &c);
+        assert!(
+            flat.bits_identical(&reference),
+            "fence trace diverged from reference on {}",
+            c.name
+        );
+        let again = simulate(&t, &c);
+        assert!(
+            flat.bits_identical(&again),
+            "nondeterministic on {}",
+            c.name
+        );
+    }
+}
+
+/// Long strided-store trace: more unique 8-byte blocks than the seed's
+/// 16 384-entry prune threshold. The windowed implementations must stay
+/// bounded and agree; the load at the end must see plain cache timing
+/// (every stored block left the queue long ago).
+#[test]
+fn long_strided_store_trace_stays_bounded_and_identical() {
+    let blocks = 20_000u64;
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(blocks * 8 + 64);
+    let (base, idx, v) = (Reg::x(1), Reg::x(2), Reg::x(3));
+    b.li(base, buf as i64);
+    b.li(idx, 0);
+    let top = b.label();
+    b.st_idx(idx, base, idx, 8, 0, 8);
+    b.addi(idx, idx, 1);
+    b.blt_imm(idx, blocks as i64, top);
+    b.ld(v, base, 0, 8); // block 0: stored ~20k stores ago
+    b.halt();
+    let p = b.build();
+    let t = Emulator::new(&p).run(200_000).unwrap();
+    assert!(
+        t.len() as u64 > blocks * 3,
+        "trace must cover the whole stride"
+    );
+
+    for name in ["o3-medium", "a53-like"] {
+        let c = cfg(name);
+        let flat = simulate(&t, &c);
+        let reference = simulate_reference(&t, &c);
+        assert!(
+            flat.bits_identical(&reference),
+            "strided trace diverged on {name}"
+        );
+    }
+}

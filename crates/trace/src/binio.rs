@@ -60,17 +60,24 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
-        let s = self.buf.get(self.off..self.off + n).ok_or(BinError::Truncated)?;
+        let s = self
+            .buf
+            .get(self.off..self.off + n)
+            .ok_or(BinError::Truncated)?;
         self.off += n;
         Ok(s)
     }
 
     fn get_u32_le(&mut self) -> Result<u32, BinError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
     }
 
     fn get_u64_le(&mut self) -> Result<u64, BinError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
     }
 }
 
@@ -100,9 +107,8 @@ fn get_matrix(r: &mut Reader<'_>) -> Result<Matrix, BinError> {
 
 /// Encode one program's dataset.
 pub fn encode_program_data(d: &ProgramData) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(
-        32 + d.name.len() + 4 * (d.features.data.len() + d.targets.data.len()),
-    );
+    let mut buf =
+        Vec::with_capacity(32 + d.name.len() + 4 * (d.features.data.len() + d.targets.data.len()));
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.extend_from_slice(&CODEC_VERSION.to_le_bytes());
     buf.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
@@ -125,14 +131,17 @@ pub fn decode_program_data(buf: &[u8]) -> Result<ProgramData, BinError> {
         return Err(BinError::BadHeader);
     }
     let name_len = r.get_u32_le()? as usize;
-    let name =
-        String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| BinError::BadString)?;
+    let name = String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| BinError::BadString)?;
     let features = get_matrix(&mut r)?;
     let targets = get_matrix(&mut r)?;
     if r.off != buf.len() || features.rows != targets.rows {
         return Err(BinError::Inconsistent);
     }
-    Ok(ProgramData { name, features, targets })
+    Ok(ProgramData {
+        name,
+        features,
+        targets,
+    })
 }
 
 /// Write a dataset to a file.
@@ -159,7 +168,11 @@ mod tests {
             features.row_mut(i)[i % NUM_FEATURES] = i as f32 * 0.5;
             targets.row_mut(i)[i % 3] = -(i as f32);
         }
-        ProgramData { name: "505.mcf-like".into(), features, targets }
+        ProgramData {
+            name: "505.mcf-like".into(),
+            features,
+            targets,
+        }
     }
 
     #[test]
@@ -175,7 +188,10 @@ mod tests {
     fn bad_magic_is_rejected() {
         let mut raw = encode_program_data(&sample());
         raw[0] ^= 0xff;
-        assert!(matches!(decode_program_data(&raw), Err(BinError::BadHeader)));
+        assert!(matches!(
+            decode_program_data(&raw),
+            Err(BinError::BadHeader)
+        ));
     }
 
     #[test]
@@ -196,14 +212,20 @@ mod tests {
         let dims_off = 12 + "505.mcf-like".len();
         raw[dims_off..dims_off + 8].copy_from_slice(&(1u64 << 30).to_le_bytes());
         raw[dims_off + 8..dims_off + 16].copy_from_slice(&(1u64 << 20).to_le_bytes());
-        assert!(matches!(decode_program_data(&raw), Err(BinError::Truncated)));
+        assert!(matches!(
+            decode_program_data(&raw),
+            Err(BinError::Truncated)
+        ));
     }
 
     #[test]
     fn trailing_garbage_is_rejected() {
         let mut raw = encode_program_data(&sample());
         raw.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
-        assert!(matches!(decode_program_data(&raw), Err(BinError::Inconsistent)));
+        assert!(matches!(
+            decode_program_data(&raw),
+            Err(BinError::Inconsistent)
+        ));
     }
 
     #[test]
@@ -222,7 +244,10 @@ mod tests {
         raw.extend_from_slice(d.name.as_bytes());
         put_matrix(&mut raw, &d.features);
         put_matrix(&mut raw, &Matrix::zeros(1, 1));
-        assert!(matches!(decode_program_data(&raw), Err(BinError::Inconsistent)));
+        assert!(matches!(
+            decode_program_data(&raw),
+            Err(BinError::Inconsistent)
+        ));
     }
 
     #[test]

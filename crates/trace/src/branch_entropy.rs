@@ -38,7 +38,11 @@ impl History {
         if self.len == 0 {
             return 0.0;
         }
-        let mask = if self.len == 64 { u64::MAX } else { (1u64 << self.len) - 1 };
+        let mask = if self.len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        };
         let ones = (self.bits & mask).count_ones() as f32;
         let p = ones / self.len as f32;
         shannon(p)
@@ -117,7 +121,11 @@ mod tests {
             taken = !taken;
             last = be.observe(0x40, taken);
         }
-        assert!(last.1 > 0.95, "alternation is 50/50 taken: entropy {}", last.1);
+        assert!(
+            last.1 > 0.95,
+            "alternation is 50/50 taken: entropy {}",
+            last.1
+        );
     }
 
     #[test]
@@ -150,7 +158,10 @@ mod tests {
         for i in 0..640 {
             last = be.observe(0x40, i % 8 != 0).1; // taken 7/8 of the time
         }
-        assert!(last > 0.3 && last < 0.8, "7/8 bias entropy ~0.54, got {last}");
+        assert!(
+            last > 0.3 && last < 0.8,
+            "7/8 bias entropy ~0.54, got {last}"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl ProgramData {
                 dst[jj] = src[j];
             }
         }
-        ProgramData { name: self.name.clone(), features: self.features.clone(), targets: t }
+        ProgramData {
+            name: self.name.clone(),
+            features: self.features.clone(),
+            targets: t,
+        }
     }
 }
 
@@ -146,7 +150,11 @@ mod tests {
                 targets.row_mut(i)[j] = (i * 10 + j) as f32;
             }
         }
-        ProgramData { name: "toy".into(), features, targets }
+        ProgramData {
+            name: "toy".into(),
+            features,
+            targets,
+        }
     }
 
     #[test]
@@ -199,8 +207,13 @@ mod tests {
     fn split_partitions_all_indices() {
         let s = Split::new(1000, 0.9, 0.05, 42);
         assert_eq!(s.train.len() + s.val.len() + s.test.len(), 1000);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.val).chain(&s.test).cloned().collect();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .cloned()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..1000).collect::<Vec<_>>());
         assert_eq!(s.train.len(), 900);

@@ -61,7 +61,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Borrow row `r`.
@@ -230,7 +234,7 @@ mod tests {
         assert!((row[15] - 5.0 / 33.0).abs() < 1e-6);
         assert!((row[16] - 6.0 / 33.0).abs() < 1e-6);
         assert_eq!(row[17], 0.0); // no third source
-        // categories: Int = 1
+                                  // categories: Int = 1
         assert!((row[23] - 1.0 / 3.0).abs() < 1e-6);
         // dst0 = x3
         assert!((row[31] - 4.0 / 33.0).abs() < 1e-6);
@@ -311,7 +315,10 @@ mod tests {
                 assert_eq!(masked.row(i)[j], 0.0);
             }
             // Everything outside the masked block is identical.
-            assert_eq!(&full.row(i)[..MEM_FEATURES.start], &masked.row(i)[..MEM_FEATURES.start]);
+            assert_eq!(
+                &full.row(i)[..MEM_FEATURES.start],
+                &masked.row(i)[..MEM_FEATURES.start]
+            );
         }
         assert!(saw_nonzero_full);
     }
@@ -332,7 +339,10 @@ mod tests {
         let m = extract_features(&t, FeatureMask::Full);
         for i in 0..m.rows {
             for (j, &v) in m.row(i).iter().enumerate() {
-                assert!(v.is_finite() && (0.0..=1.5).contains(&v), "row {i} col {j}: {v}");
+                assert!(
+                    v.is_finite() && (0.0..=1.5).contains(&v),
+                    "row {i} col {j}: {v}"
+                );
             }
         }
     }

@@ -36,7 +36,11 @@ impl StackDistance {
 
     /// Pre-size for an expected number of accesses.
     pub fn with_capacity(n: usize) -> StackDistance {
-        StackDistance { tree: vec![0; n + 1], last: HashMap::with_capacity(n / 4), now: 0 }
+        StackDistance {
+            tree: vec![0; n + 1],
+            last: HashMap::with_capacity(n / 4),
+            now: 0,
+        }
     }
 
     /// Ensure index `n` is addressable. Fenwick nodes cover fixed ranges
@@ -146,7 +150,10 @@ mod tests {
     #[test]
     fn classic_example() {
         // a b c b a : reuse of b skips {c} => 1; reuse of a skips {b, c} => 2.
-        assert_eq!(run(&[1, 2, 3, 2, 1]), vec![COLD_MISS, COLD_MISS, COLD_MISS, 1, 2]);
+        assert_eq!(
+            run(&[1, 2, 3, 2, 1]),
+            vec![COLD_MISS, COLD_MISS, COLD_MISS, 1, 2]
+        );
     }
 
     #[test]

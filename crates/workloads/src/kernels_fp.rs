@@ -29,11 +29,23 @@ pub fn cam4_like() -> Program {
     let src = b.alloc_f64_slice(&random_f64(0xca4, n * n, 0.0, 1.0));
     let dst = b.alloc_zeroed((n * n * 8) as u64);
 
-    let (sbase, dbase, i, j, idx, t0) =
-        (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4), Reg::x(5), Reg::x(6));
+    let (sbase, dbase, i, j, idx, t0) = (
+        Reg::x(1),
+        Reg::x(2),
+        Reg::x(3),
+        Reg::x(4),
+        Reg::x(5),
+        Reg::x(6),
+    );
     let (c0, c1) = (Reg::f(0), Reg::f(1));
-    let (u, up, un, ul, ur, acc) =
-        (Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5), Reg::f(6), Reg::f(7));
+    let (u, up, un, ul, ur, acc) = (
+        Reg::f(2),
+        Reg::f(3),
+        Reg::f(4),
+        Reg::f(5),
+        Reg::f(6),
+        Reg::f(7),
+    );
     let sweep = Reg::x(7);
 
     b.li(sbase, src as i64);
@@ -90,7 +102,9 @@ pub fn imagick_like() -> Program {
     let mut b = ProgramBuilder::new().with_name("538.imagick-like");
     let img = b.alloc_f32_slice(&random_f32(0x16c, n * n, 0.0, 255.0));
     let out = b.alloc_zeroed((n * n * 4) as u64);
-    let coeffs = b.alloc_f64_slice(&[0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625]);
+    let coeffs = b.alloc_f64_slice(&[
+        0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625,
+    ]);
 
     let (ibase, obase, cbase) = (Reg::x(1), Reg::x(2), Reg::x(3));
     let (i, j, row, t0) = (Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7));
@@ -175,10 +189,22 @@ pub fn nab_like() -> Program {
 
     let (xb, yb, zb, fb) = (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4));
     let (rng_s, pi, pj, t0, iter) = (Reg::x(5), Reg::x(6), Reg::x(7), Reg::x(8), Reg::x(9));
-    let (xi, yi, zi, xj, yj, zj) =
-        (Reg::f(0), Reg::f(1), Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5));
-    let (dx, dy, dz, r2, r, inv) =
-        (Reg::f(6), Reg::f(7), Reg::f(8), Reg::f(9), Reg::f(10), Reg::f(11));
+    let (xi, yi, zi, xj, yj, zj) = (
+        Reg::f(0),
+        Reg::f(1),
+        Reg::f(2),
+        Reg::f(3),
+        Reg::f(4),
+        Reg::f(5),
+    );
+    let (dx, dy, dz, r2, r, inv) = (
+        Reg::f(6),
+        Reg::f(7),
+        Reg::f(8),
+        Reg::f(9),
+        Reg::f(10),
+        Reg::f(11),
+    );
     let (one, eps, f, facc) = (Reg::f(12), Reg::f(13), Reg::f(14), Reg::f(15));
 
     b.li(xb, xs as i64);
@@ -301,8 +327,14 @@ pub fn cactubssn_like() -> Program {
 
     let bases: Vec<Reg> = (1..=8).map(Reg::x).collect();
     let (idx, rounds) = (Reg::x(9), Reg::x(10));
-    let (a, c, d, e, f, g) =
-        (Reg::f(0), Reg::f(1), Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5));
+    let (a, c, d, e, f, g) = (
+        Reg::f(0),
+        Reg::f(1),
+        Reg::f(2),
+        Reg::f(3),
+        Reg::f(4),
+        Reg::f(5),
+    );
     let (t1, t2, t3, det, tr, r1, r2) = (
         Reg::f(6),
         Reg::f(7),
@@ -377,10 +409,22 @@ pub fn namd_like() -> Program {
 
     let (xb, yb, fb) = (Reg::x(1), Reg::x(2), Reg::x(3));
     let (i, j, jend, t0, cmp) = (Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7), Reg::x(8));
-    let (xi, yi, xj, yj, dx, dy) =
-        (Reg::f(0), Reg::f(1), Reg::f(2), Reg::f(3), Reg::f(4), Reg::f(5));
-    let (r2, r, inv, one, cutoff, facc) =
-        (Reg::f(6), Reg::f(7), Reg::f(8), Reg::f(9), Reg::f(10), Reg::f(11));
+    let (xi, yi, xj, yj, dx, dy) = (
+        Reg::f(0),
+        Reg::f(1),
+        Reg::f(2),
+        Reg::f(3),
+        Reg::f(4),
+        Reg::f(5),
+    );
+    let (r2, r, inv, one, cutoff, facc) = (
+        Reg::f(6),
+        Reg::f(7),
+        Reg::f(8),
+        Reg::f(9),
+        Reg::f(10),
+        Reg::f(11),
+    );
 
     b.li(xb, xs as i64);
     b.li(yb, ys as i64);
@@ -440,8 +484,9 @@ pub fn lbm_like() -> Program {
     let cells = n * n;
     let mut b = ProgramBuilder::new().with_name("519.lbm-like");
     // 9 contiguous planes of f64
-    let planes: Vec<u64> =
-        (0..9).map(|k| b.alloc_f64_slice(&random_f64(0x1b0 + k, cells, 0.05, 0.15))).collect();
+    let planes: Vec<u64> = (0..9)
+        .map(|k| b.alloc_f64_slice(&random_f64(0x1b0 + k, cells, 0.05, 0.15)))
+        .collect();
 
     let pbase: Vec<Reg> = (1..=9).map(Reg::x).collect();
     let (idx, sweep) = (Reg::x(10), Reg::x(11));
@@ -484,8 +529,17 @@ pub fn lbm_like() -> Program {
             b.fmul(ux, ux, inv);
             // relax: f_k += omega * (feq_k - f_k), feq_k = w_k * rho * (1 + 3 c_k ux)
             for k in 0..9 {
-                let w = [4.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 36.0,
-                    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0][k];
+                let w = [
+                    4.0 / 9.0,
+                    1.0 / 9.0,
+                    1.0 / 9.0,
+                    1.0 / 9.0,
+                    1.0 / 9.0,
+                    1.0 / 36.0,
+                    1.0 / 36.0,
+                    1.0 / 36.0,
+                    1.0 / 36.0,
+                ][k];
                 let cx = [0.0, 1.0, 0.0, -1.0, 0.0, 1.0, -1.0, -1.0, 1.0][k];
                 b.fli(feq, 3.0 * cx);
                 b.fmul(feq, feq, ux);
@@ -520,8 +574,14 @@ pub fn wrf_like() -> Program {
     let qv = b.alloc_f64_slice(&random_f64(0x3f2, cells, 0.0, 0.02));
     let qc = b.alloc_zeroed((cells * 8) as u64);
 
-    let (tb, qb, cb, idx, cmp, step) =
-        (Reg::x(1), Reg::x(2), Reg::x(3), Reg::x(4), Reg::x(5), Reg::x(6));
+    let (tb, qb, cb, idx, cmp, step) = (
+        Reg::x(1),
+        Reg::x(2),
+        Reg::x(3),
+        Reg::x(4),
+        Reg::x(5),
+        Reg::x(6),
+    );
     let (t, q, c, qs, d, k1, k2, decay) = (
         Reg::f(0),
         Reg::f(1),

@@ -21,7 +21,10 @@ pub const DEFAULT_N: usize = 64;
 /// powers of two from 1 to 128.
 pub fn matmul_tiled(n: usize, tile: usize) -> Program {
     let tile = tile.min(n).max(1);
-    assert!(n.is_multiple_of(tile), "tile must divide the matrix dimension");
+    assert!(
+        n.is_multiple_of(tile),
+        "tile must divide the matrix dimension"
+    );
     let mut rng = StdRng::seed_from_u64(0x3a7 + tile as u64);
     let a_data: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let b_data: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -168,7 +171,11 @@ mod tests {
         for tile in [1usize, 2, 4, 8, 16] {
             // Different tiles reseed the input identically only when the
             // seed matches, so compare against the tile-specific reference.
-            let reference = if tile == 1 { reference.clone() } else { matmul_reference(n, tile) };
+            let reference = if tile == 1 {
+                reference.clone()
+            } else {
+                matmul_reference(n, tile)
+            };
             let got = run_and_read_c(n, tile);
             for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
                 assert!(

@@ -53,7 +53,12 @@ pub fn suite() -> Vec<Workload> {
     use WorkloadKind::*;
     vec![
         // ---- training, INT ----
-        Workload { name: "525.x264-like", kind: Int, role: Training, build: kernels_int::x264_like },
+        Workload {
+            name: "525.x264-like",
+            kind: Int,
+            role: Training,
+            build: kernels_int::x264_like,
+        },
         Workload {
             name: "531.deepsjeng-like",
             kind: Int,
@@ -66,7 +71,12 @@ pub fn suite() -> Vec<Workload> {
             role: Training,
             build: kernels_int::exchange2_like,
         },
-        Workload { name: "557.xz-like", kind: Int, role: Training, build: kernels_int::xz_like },
+        Workload {
+            name: "557.xz-like",
+            kind: Int,
+            role: Training,
+            build: kernels_int::xz_like,
+        },
         Workload {
             name: "999.specrand-like",
             kind: Int,
@@ -74,14 +84,24 @@ pub fn suite() -> Vec<Workload> {
             build: kernels_int::specrand_like,
         },
         // ---- training, FP ----
-        Workload { name: "527.cam4-like", kind: Fp, role: Training, build: kernels_fp::cam4_like },
+        Workload {
+            name: "527.cam4-like",
+            kind: Fp,
+            role: Training,
+            build: kernels_fp::cam4_like,
+        },
         Workload {
             name: "538.imagick-like",
             kind: Fp,
             role: Training,
             build: kernels_fp::imagick_like,
         },
-        Workload { name: "544.nab-like", kind: Fp, role: Training, build: kernels_fp::nab_like },
+        Workload {
+            name: "544.nab-like",
+            kind: Fp,
+            role: Training,
+            build: kernels_fp::nab_like,
+        },
         Workload {
             name: "549.fotonik3d-like",
             kind: Fp,
@@ -95,8 +115,18 @@ pub fn suite() -> Vec<Workload> {
             role: Testing,
             build: kernels_int::perlbench_like,
         },
-        Workload { name: "502.gcc-like", kind: Int, role: Testing, build: kernels_int::gcc_like },
-        Workload { name: "505.mcf-like", kind: Int, role: Testing, build: kernels_int::mcf_like },
+        Workload {
+            name: "502.gcc-like",
+            kind: Int,
+            role: Testing,
+            build: kernels_int::gcc_like,
+        },
+        Workload {
+            name: "505.mcf-like",
+            kind: Int,
+            role: Testing,
+            build: kernels_int::mcf_like,
+        },
         Workload {
             name: "523.xalancbmk-like",
             kind: Int,
@@ -110,25 +140,48 @@ pub fn suite() -> Vec<Workload> {
             role: Testing,
             build: kernels_fp::cactubssn_like,
         },
-        Workload { name: "508.namd-like", kind: Fp, role: Testing, build: kernels_fp::namd_like },
-        Workload { name: "519.lbm-like", kind: Fp, role: Testing, build: kernels_fp::lbm_like },
-        Workload { name: "521.wrf-like", kind: Fp, role: Testing, build: kernels_fp::wrf_like },
+        Workload {
+            name: "508.namd-like",
+            kind: Fp,
+            role: Testing,
+            build: kernels_fp::namd_like,
+        },
+        Workload {
+            name: "519.lbm-like",
+            kind: Fp,
+            role: Testing,
+            build: kernels_fp::lbm_like,
+        },
+        Workload {
+            name: "521.wrf-like",
+            kind: Fp,
+            role: Testing,
+            build: kernels_fp::wrf_like,
+        },
     ]
 }
 
 /// The nine training workloads of Table II.
 pub fn training_suite() -> Vec<Workload> {
-    suite().into_iter().filter(|w| w.role == SuiteRole::Training).collect()
+    suite()
+        .into_iter()
+        .filter(|w| w.role == SuiteRole::Training)
+        .collect()
 }
 
 /// The eight held-out testing workloads of Table II.
 pub fn testing_suite() -> Vec<Workload> {
-    suite().into_iter().filter(|w| w.role == SuiteRole::Testing).collect()
+    suite()
+        .into_iter()
+        .filter(|w| w.role == SuiteRole::Testing)
+        .collect()
 }
 
 /// Look up one workload by (full or partial) name.
 pub fn by_name(name: &str) -> Option<Workload> {
-    suite().into_iter().find(|w| w.name == name || w.name.contains(name))
+    suite()
+        .into_iter()
+        .find(|w| w.name == name || w.name.contains(name))
 }
 
 #[cfg(test)]
@@ -141,7 +194,10 @@ mod tests {
         assert_eq!(suite().len(), 17);
         assert_eq!(training_suite().len(), 9);
         assert_eq!(testing_suite().len(), 8);
-        let fp = suite().iter().filter(|w| w.kind == WorkloadKind::Fp).count();
+        let fp = suite()
+            .iter()
+            .filter(|w| w.kind == WorkloadKind::Fp)
+            .count();
         assert_eq!(fp, 8);
     }
 
@@ -149,7 +205,12 @@ mod tests {
     fn every_workload_produces_a_trace() {
         for w in suite() {
             let t = w.trace(20_000);
-            assert!(t.len() >= 10_000, "{} produced only {} instructions", w.name, t.len());
+            assert!(
+                t.len() >= 10_000,
+                "{} produced only {} instructions",
+                w.name,
+                t.len()
+            );
         }
     }
 
@@ -193,9 +254,17 @@ mod tests {
     #[test]
     fn memory_bound_kernels_touch_memory_often() {
         let t = by_name("mcf").unwrap().trace(20_000);
-        assert!(t.mem_fraction() > 0.3, "mcf mem fraction {}", t.mem_fraction());
+        assert!(
+            t.mem_fraction() > 0.3,
+            "mcf mem fraction {}",
+            t.mem_fraction()
+        );
         let t = by_name("lbm").unwrap().trace(30_000);
-        assert!(t.mem_fraction() > 0.15, "lbm mem fraction {}", t.mem_fraction());
+        assert!(
+            t.mem_fraction() > 0.15,
+            "lbm mem fraction {}",
+            t.mem_fraction()
+        );
     }
 
     #[test]
@@ -206,7 +275,10 @@ mod tests {
             .iter()
             .filter(|r| t.program.insts[r.sidx as usize].op.is_indirect_branch())
             .count();
-        assert!(indirect > 500, "gcc-like should dispatch indirectly, got {indirect}");
+        assert!(
+            indirect > 500,
+            "gcc-like should dispatch indirectly, got {indirect}"
+        );
     }
 
     #[test]
@@ -217,7 +289,10 @@ mod tests {
             .iter()
             .filter(|r| t.program.insts[r.sidx as usize].op.is_call())
             .count();
-        assert!(calls > 200, "exchange2-like should recurse, got {calls} calls");
+        assert!(
+            calls > 200,
+            "exchange2-like should recurse, got {calls} calls"
+        );
     }
 
     #[test]
@@ -232,7 +307,10 @@ mod tests {
                 let t = w.trace(15_000);
                 let mix = t.class_mix();
                 let total = t.len() as f64;
-                (w.name.to_string(), mix.iter().map(|&c| c as f64 / total).collect())
+                (
+                    w.name.to_string(),
+                    mix.iter().map(|&c| c as f64 / total).collect(),
+                )
             })
             .collect();
         let mut max_l1 = 0.0f64;
@@ -242,6 +320,9 @@ mod tests {
                 max_l1 = max_l1.max(d);
             }
         }
-        assert!(max_l1 > 0.5, "suite lacks diversity, max L1 distance {max_l1}");
+        assert!(
+            max_l1 > 0.5,
+            "suite lacks diversity, max L1 distance {max_l1}"
+        );
     }
 }

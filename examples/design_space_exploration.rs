@@ -35,22 +35,37 @@ fn main() {
             context: 8,
             epochs: 8,
             windows_per_epoch: 1_500,
-            schedule: StepDecay { initial: 5e-3, gamma: 0.5, every: 4 },
+            schedule: StepDecay {
+                initial: 5e-3,
+                gamma: 0.5,
+                every: 4,
+            },
             ..TrainConfig::default()
         },
     );
     println!("foundation ready: {}", trained.foundation.describe());
 
     // DSE over a 4x4 cache grid for one target program.
-    let a7 = base_cfgs.iter().find(|c| c.name == "cortex-a7-like").unwrap();
-    let grid = CacheGrid { l1_kb: vec![8, 16, 32, 64], l2_kb: vec![256, 512, 1024, 2048] };
+    let a7 = base_cfgs
+        .iter()
+        .find(|c| c.name == "cortex-a7-like")
+        .unwrap();
+    let grid = CacheGrid {
+        l1_kb: vec![8, 16, 32, 64],
+        l2_kb: vec![256, 512, 1024, 2048],
+    };
     let points = grid.points();
 
     // Tuning data: 6 sampled points x 2 programs.
     let sampled: Vec<(u64, u64)> = points.iter().step_by(3).cloned().collect();
-    let tune_cfgs: Vec<_> = sampled.iter().map(|&(a, b)| with_cache_sizes(a7, a, b)).collect();
-    let tune_params: Vec<Vec<f32>> =
-        sampled.iter().map(|&(a, b)| cache_param_vector(a, b)).collect();
+    let tune_cfgs: Vec<_> = sampled
+        .iter()
+        .map(|&(a, b)| with_cache_sizes(a7, a, b))
+        .collect();
+    let tune_params: Vec<Vec<f32>> = sampled
+        .iter()
+        .map(|&(a, b)| cache_param_vector(a, b))
+        .collect();
     let tuning: Vec<_> = training_suite()
         .iter()
         .take(2)
@@ -72,14 +87,21 @@ fn main() {
     let feats = extract_features(&trace, FeatureMask::Full);
     let rp = program_representation(&trained.foundation, &feats);
     println!("\n{}: objective (lower is better)", target.name);
-    println!("{:>10} {:>12} {:>12} {:>12}", "L1/L2", "predicted", "simulated", "pred. rank");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "L1/L2", "predicted", "simulated", "pred. rank"
+    );
     let mut scored: Vec<(usize, f64, f64)> = points
         .iter()
         .enumerate()
         .map(|(i, &(l1, l2))| {
             let pred_t = march_model.predict_total_tenths(&rp, &cache_param_vector(l1, l2));
             let sim_t = simulate(&trace, &with_cache_sizes(a7, l1, l2)).total_tenths;
-            (i, objective(l1, l2, pred_t.max(0.0)), objective(l1, l2, sim_t))
+            (
+                i,
+                objective(l1, l2, pred_t.max(0.0)),
+                objective(l1, l2, sim_t),
+            )
         })
         .collect();
     let by_pred = {
@@ -91,9 +113,19 @@ fn main() {
     for (i, pred_o, sim_o) in scored.iter().take(8) {
         let (l1, l2) = points[*i];
         let rank = by_pred.iter().position(|(j, _, _)| j == i).unwrap();
-        println!("{:>6}/{:<5} {:>12.2} {:>12.2} {:>12}", l1, l2, pred_o, sim_o, rank + 1);
+        println!(
+            "{:>6}/{:<5} {:>12.2} {:>12.2} {:>12}",
+            l1,
+            l2,
+            pred_o,
+            sim_o,
+            rank + 1
+        );
     }
     let best_pred = points[by_pred[0].0];
     let best_true = points[scored[0].0];
-    println!("\nPerfVec selects L1={}kB L2={}kB; the true optimum is L1={}kB L2={}kB", best_pred.0, best_pred.1, best_true.0, best_true.1);
+    println!(
+        "\nPerfVec selects L1={}kB L2={}kB; the true optimum is L1={}kB L2={}kB",
+        best_pred.0, best_pred.1, best_true.0, best_true.1
+    );
 }

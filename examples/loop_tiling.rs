@@ -29,11 +29,18 @@ fn main() {
             context: 8,
             epochs: 8,
             windows_per_epoch: 1_500,
-            schedule: StepDecay { initial: 5e-3, gamma: 0.5, every: 4 },
+            schedule: StepDecay {
+                initial: 5e-3,
+                gamma: 0.5,
+                every: 4,
+            },
             ..TrainConfig::default()
         },
     );
-    let a7_idx = configs.iter().position(|c| c.name == "cortex-a7-like").unwrap();
+    let a7_idx = configs
+        .iter()
+        .position(|c| c.name == "cortex-a7-like")
+        .unwrap();
     let a7_rep = trained.march_table.rep(a7_idx).to_vec();
 
     // Tile-size variants of a 32x32 matmul.

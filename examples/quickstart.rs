@@ -24,7 +24,10 @@ use perfvec_workloads::{by_name, training_suite};
 fn main() {
     // --- 1 + 2: datasets for three training programs on 7 machines ---
     let configs = predefined_configs();
-    println!("simulating training programs on {} machines...", configs.len());
+    println!(
+        "simulating training programs on {} machines...",
+        configs.len()
+    );
     let data: Vec<_> = training_suite()
         .iter()
         .take(3)
@@ -37,10 +40,17 @@ fn main() {
         context: 8,
         epochs: 10,
         windows_per_epoch: 2_000,
-        schedule: StepDecay { initial: 5e-3, gamma: 0.5, every: 4 },
+        schedule: StepDecay {
+            initial: 5e-3,
+            gamma: 0.5,
+            every: 4,
+        },
         ..TrainConfig::default()
     };
-    println!("training {}...", cfg.arch.build(cfg.context + 1, 0).describe());
+    println!(
+        "training {}...",
+        cfg.arch.build(cfg.context + 1, 0).describe()
+    );
     let mut trained = train_foundation(&data, &cfg);
     // Closed-form refit of the machine table against the frozen
     // foundation — the converged fixed point the short SGD schedule
@@ -56,9 +66,16 @@ fn main() {
     let trace = unseen.trace(6_000);
     let feats = extract_features(&trace, FeatureMask::Full);
     let rp = program_representation(&trained.foundation, &feats);
-    println!("\n{} on every machine (predicted vs simulated):", unseen.name);
+    println!(
+        "\n{} on every machine (predicted vs simulated):",
+        unseen.name
+    );
     for (j, cfg) in configs.iter().enumerate() {
-        let pred = predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let pred = predict_total_tenths(
+            &rp,
+            trained.march_table.rep(j),
+            trained.foundation.target_scale,
+        );
         let truth = perfvec_sim::simulate(&trace, cfg).total_tenths;
         println!(
             "  {:<16} predicted {:>9.2} us   simulated {:>9.2} us   error {:>5.1}%",

@@ -29,7 +29,11 @@ fn small_cfg() -> TrainConfig {
         context: 8,
         epochs: 12,
         windows_per_epoch: 2_000,
-        schedule: StepDecay { initial: 8e-3, gamma: 0.5, every: 5 },
+        schedule: StepDecay {
+            initial: 8e-3,
+            gamma: 0.5,
+            every: 5,
+        },
         ..TrainConfig::default()
     }
 }
@@ -43,8 +47,11 @@ fn trained_model_predicts_seen_programs_on_seen_machines() {
     for d in &data {
         let rp = program_representation(&trained.foundation, &d.features);
         for j in 0..d.num_marches() {
-            let pred =
-                predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+            let pred = predict_total_tenths(
+                &rp,
+                trained.march_table.rep(j),
+                trained.foundation.target_scale,
+            );
             let truth = d.total_time(j);
             errs.push((pred - truth).abs() / truth);
         }
@@ -67,13 +74,19 @@ fn program_representation_transfers_to_an_unseen_program() {
     let configs = predefined_configs();
     let mut errs = Vec::new();
     for (j, c) in configs.iter().enumerate() {
-        let pred =
-            predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let pred = predict_total_tenths(
+            &rp,
+            trained.march_table.rep(j),
+            trained.foundation.target_scale,
+        );
         let truth = simulate(&trace, c).total_tenths;
         errs.push((pred - truth).abs() / truth);
     }
     let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-    assert!(mean < 0.6, "unseen-program mean error {mean:.3} (small-budget bound)");
+    assert!(
+        mean < 0.6,
+        "unseen-program mean error {mean:.3} (small-budget bound)"
+    );
 }
 
 #[test]
@@ -91,8 +104,11 @@ fn compositionality_prediction_is_sum_of_per_instruction_predictions() {
     let d = &data[0];
     let rp = program_representation(&trained.foundation, &d.features);
     for j in [0usize, 3, 6] {
-        let whole =
-            predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let whole = predict_total_tenths(
+            &rp,
+            trained.march_table.rep(j),
+            trained.foundation.target_scale,
+        );
         let mut summed = 0.0f64;
         for i in 0..d.len() {
             let ri = trained.foundation.repr_at(&d.features, i);
@@ -121,8 +137,11 @@ fn march_representations_are_program_independent() {
     for d in &data {
         let rp = program_representation(&trained.foundation, &d.features);
         let j = 0;
-        let pred =
-            predict_total_tenths(&rp, trained.march_table.rep(j), trained.foundation.target_scale);
+        let pred = predict_total_tenths(
+            &rp,
+            trained.march_table.rep(j),
+            trained.foundation.target_scale,
+        );
         let truth = d.total_time(j);
         assert!(
             (pred - truth).abs() / truth < 0.5,

@@ -32,12 +32,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` style id.
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{function}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// Id carrying only a parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -89,13 +93,20 @@ fn human_time(ns: f64) -> String {
 }
 
 fn report(group: &str, name: &str, median_ns: f64, throughput: Option<Throughput>) {
-    let id = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    let id = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
             format!("  {:10.2} Melem/s", n as f64 / median_ns * 1_000.0)
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  {:10.2} MiB/s", n as f64 / median_ns * 1_000.0 * 1e6 / (1 << 20) as f64)
+            format!(
+                "  {:10.2} MiB/s",
+                n as f64 / median_ns * 1_000.0 * 1e6 / (1 << 20) as f64
+            )
         }
         None => String::new(),
     };
@@ -128,7 +139,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
         f(&mut b);
         report(&self.name, &name.to_string(), b.median_ns, self.throughput);
         self
@@ -144,7 +158,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
         f(&mut b, input);
         report(&self.name, &id.to_string(), b.median_ns, self.throughput);
         self
@@ -163,7 +180,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 10 }
+        Criterion {
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -177,7 +196,12 @@ impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None, sample_size }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size,
+        }
     }
 
     /// Run a stand-alone benchmark.

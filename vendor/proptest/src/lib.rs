@@ -126,7 +126,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            TestRng { rng: StdRng::seed_from_u64(h) }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
         }
     }
 

@@ -42,7 +42,9 @@ fn threads_for(n: usize) -> usize {
     if in_worker() {
         return 1;
     }
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     cores.min(n).max(1)
 }
 
@@ -92,7 +94,9 @@ impl RangeParIter {
         }
         let parts = threads_for(n);
         if parts == 1 {
-            return Folded { accs: vec![self.range.fold(identity(), &fold_op)] };
+            return Folded {
+                accs: vec![self.range.fold(identity(), &fold_op)],
+            };
         }
         let pieces = chunks(self.range, parts);
         let (identity, fold_op) = (&identity, &fold_op);
@@ -106,7 +110,10 @@ impl RangeParIter {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rayon stand-in worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect()
         });
         Folded { accs }
     }
@@ -123,7 +130,9 @@ impl RangeParIter {
         }
         let parts = threads_for(n);
         if parts == 1 {
-            return Mapped { items: self.range.map(&f).collect() };
+            return Mapped {
+                items: self.range.map(&f).collect(),
+            };
         }
         let pieces = chunks(self.range, parts);
         let f = &f;
@@ -184,7 +193,9 @@ impl ChunkRangesParIter {
         }
         let parts = threads_for(chunk_list.len());
         if parts == 1 {
-            return Mapped { items: chunk_list.into_iter().map(&f).collect() };
+            return Mapped {
+                items: chunk_list.into_iter().map(&f).collect(),
+            };
         }
         // Contiguous groups of chunk indices per worker; joining in
         // worker order keeps the overall output in chunk order.
@@ -222,7 +233,10 @@ impl RangeParIter {
     /// machine.
     pub fn chunk_ranges(self, size: usize) -> ChunkRangesParIter {
         assert!(size >= 1, "chunk size must be at least 1");
-        ChunkRangesParIter { range: self.range, size }
+        ChunkRangesParIter {
+            range: self.range,
+            size,
+        }
     }
 }
 
@@ -309,11 +323,17 @@ mod tests {
 
     #[test]
     fn chunk_ranges_cover_the_range_in_order() {
-        let got: Vec<std::ops::Range<usize>> =
-            (3..30usize).into_par_iter().chunk_ranges(8).map(|r| r).collect();
+        let got: Vec<std::ops::Range<usize>> = (3..30usize)
+            .into_par_iter()
+            .chunk_ranges(8)
+            .map(|r| r)
+            .collect();
         assert_eq!(got, vec![3..11, 11..19, 19..27, 27..30]);
-        let empty: Vec<std::ops::Range<usize>> =
-            (5..5usize).into_par_iter().chunk_ranges(4).map(|r| r).collect();
+        let empty: Vec<std::ops::Range<usize>> = (5..5usize)
+            .into_par_iter()
+            .chunk_ranges(4)
+            .map(|r| r)
+            .collect();
         assert!(empty.is_empty());
     }
 
@@ -324,13 +344,24 @@ mod tests {
         // the machine has more than one core (on a single-core machine
         // one worker is the correct degree, so only the non-fallback
         // path itself is asserted there).
-        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
-        let ids: Vec<std::thread::ThreadId> =
-            (0..64usize).into_par_iter().chunk_ranges(4).map(|_| std::thread::current().id()).collect();
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .chunk_ranges(4)
+            .map(|_| std::thread::current().id())
+            .collect();
         let distinct: std::collections::HashSet<_> = ids.iter().collect();
         if cores > 1 {
-            assert!(distinct.len() > 1, "expected parallel workers, saw one thread");
-            assert!(!ids.contains(&std::thread::current().id()), "chunks ran inline");
+            assert!(
+                distinct.len() > 1,
+                "expected parallel workers, saw one thread"
+            );
+            assert!(
+                !ids.contains(&std::thread::current().id()),
+                "chunks ran inline"
+            );
         } else {
             assert_eq!(distinct.len(), 1);
         }
@@ -350,7 +381,10 @@ mod tests {
                     .into_par_iter()
                     .chunk_ranges(8)
                     .map(|r| {
-                        (std::thread::current().id(), r.map(|i| (p * 40 + i) as u64).sum())
+                        (
+                            std::thread::current().id(),
+                            r.map(|i| (p * 40 + i) as u64).sum(),
+                        )
                     })
                     .collect();
                 let inline = partials.iter().all(|(id, _)| *id == outer_id);
@@ -360,7 +394,9 @@ mod tests {
         for (p, &(inline, got)) in per_outer.iter().enumerate() {
             let want: u64 = (0..40).map(|i| (p * 40 + i) as u64).sum();
             assert_eq!(got, want, "outer {p}");
-            let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+            let cores = std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1);
             if cores > 1 {
                 assert!(inline, "outer {p}: nested chunks escaped the worker guard");
             }
@@ -383,8 +419,7 @@ mod tests {
                 .fold(0.0f32, |a, &b| a + b)
         };
         let top_level = sum_chunked();
-        let nested: Vec<f32> =
-            (0..1usize).into_par_iter().map(|_| sum_chunked()).collect();
+        let nested: Vec<f32> = (0..1usize).into_par_iter().map(|_| sum_chunked()).collect();
         assert_eq!(top_level.to_bits(), nested[0].to_bits());
     }
 

@@ -68,7 +68,11 @@ fn parse_head(input: TokenStream) -> ItemHead {
             }
             tokens.push(tt);
         }
-        generics = tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+        generics = tokens
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
         // Parameter names: idents/lifetimes at depth 0, before any `:` or `=`.
         let mut names: Vec<String> = Vec::new();
         let mut d = 0usize;
@@ -102,11 +106,19 @@ fn parse_head(input: TokenStream) -> ItemHead {
         }
         generic_args = names.join(", ");
     }
-    ItemHead { name, generics, generic_args }
+    ItemHead {
+        name,
+        generics,
+        generic_args,
+    }
 }
 
 fn impl_for(head: &ItemHead, trait_params: &str, trait_path: &str) -> TokenStream {
-    let ItemHead { name, generics, generic_args } = head;
+    let ItemHead {
+        name,
+        generics,
+        generic_args,
+    } = head;
     let mut params: Vec<&str> = Vec::new();
     if !trait_params.is_empty() {
         params.push(trait_params);
@@ -114,10 +126,16 @@ fn impl_for(head: &ItemHead, trait_params: &str, trait_path: &str) -> TokenStrea
     if !generics.is_empty() {
         params.push(generics);
     }
-    let impl_generics =
-        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
-    let ty_args =
-        if generic_args.is_empty() { String::new() } else { format!("<{generic_args}>") };
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_args = if generic_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{generic_args}>")
+    };
     format!("impl{impl_generics} {trait_path} for {name}{ty_args} {{}}")
         .parse()
         .expect("serde stand-in derive: generated impl failed to parse")
