@@ -8,11 +8,14 @@
 //!
 //! (b) The batch-major refactor: at fixed `k`, the batched gradient
 //! step (`forward_batch`/`backward_batch` per lane chunk) beats the
-//! scalar per-window step at the same seed and batch size.
+//! scalar per-window step at the same seed and batch size — for the
+//! paper's LSTM and for the ablation zoo's attention (Transformer) and
+//! bidirectional (biLSTM) architectures, which share the same
+//! lane-blocked batch-major kernel substrate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perfvec::data::build_program_data;
-use perfvec::foundation::ArchSpec;
+use perfvec::foundation::{ArchKind, ArchSpec};
 use perfvec::trainer::{train_foundation, TrainConfig};
 use perfvec_ml::schedule::StepDecay;
 use perfvec_sim::sample::training_population;
@@ -20,8 +23,12 @@ use perfvec_trace::features::FeatureMask;
 use perfvec_workloads::by_name;
 
 fn bench_cfg(reuse: bool, batched: bool) -> TrainConfig {
+    arch_cfg(ArchSpec::default_lstm(16), reuse, batched)
+}
+
+fn arch_cfg(arch: ArchSpec, reuse: bool, batched: bool) -> TrainConfig {
     TrainConfig {
-        arch: ArchSpec::default_lstm(16),
+        arch,
         context: 8,
         epochs: 1,
         batch_size: 32,
@@ -80,5 +87,44 @@ fn bench_batched_vs_scalar_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_reuse_vs_naive, bench_batched_vs_scalar_step);
+/// Batched vs scalar training step for the model-zoo architectures
+/// whose batch-major paths go beyond the recurrent cell: the
+/// Transformer (attention, layer norm, FFN) and the biLSTM (dual
+/// direction stacks over a shared reversed window block).
+fn bench_batched_vs_scalar_zoo(c: &mut Criterion) {
+    let configs = training_population(7);
+    let data = vec![build_program_data(
+        "xz",
+        &by_name("xz").unwrap().trace(3_000),
+        &configs,
+        FeatureMask::Full,
+    )];
+    for (name, kind) in [
+        ("transformer", ArchKind::Transformer),
+        ("bilstm", ArchKind::BiLstm),
+    ] {
+        let mut g = c.benchmark_group(format!("train_step_{name}"));
+        g.sample_size(10);
+        let arch = ArchSpec {
+            kind,
+            layers: 2,
+            dim: 16,
+        };
+        for batched in [false, true] {
+            let cfg = arch_cfg(arch, true, batched);
+            let label = if batched { "batched" } else { "scalar" };
+            g.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+                b.iter(|| train_foundation(data, &cfg))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_reuse_vs_naive,
+    bench_batched_vs_scalar_step,
+    bench_batched_vs_scalar_zoo
+);
 criterion_main!(benches);

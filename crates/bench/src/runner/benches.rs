@@ -11,7 +11,7 @@ use crate::report::Report;
 use crate::scale::Scale;
 use crate::spec::ExperimentSpec;
 use perfvec::checkpoint::encode;
-use perfvec::foundation::{ArchSpec, Foundation};
+use perfvec::foundation::{ArchKind, ArchSpec, Foundation};
 use perfvec::trainer::{train_foundation, TrainConfig, TrainedFoundation};
 use perfvec::{predict_total_tenths, program_representation, MarchTable};
 use perfvec_json::{obj, Json};
@@ -37,18 +37,76 @@ fn http(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, J
     perfvec_serve::client::roundtrip(stream, method, path, body).expect("http round trip")
 }
 
+/// The model width and context both throughput harnesses use at each
+/// scale (full scale stays far below the paper's 256/255 so the gate
+/// runs in CI time; the kernels under test are the same).
+fn bench_scale_dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Quick | Scale::Auto => (16usize, 8usize),
+        Scale::Full => (32, 12),
+    }
+}
+
+/// The stable lowercase name of an architecture family (the `arch`
+/// param vocabulary and the per-arch key in the BENCH JSONs).
+fn arch_name(kind: ArchKind) -> &'static str {
+    match kind {
+        ArchKind::Linear => "linear",
+        ArchKind::Mlp => "mlp",
+        ArchKind::Lstm => "lstm",
+        ArchKind::BiLstm => "bilstm",
+        ArchKind::Gru => "gru",
+        ArchKind::Transformer => "transformer",
+    }
+}
+
+/// Parse the `arch` param: a comma-separated list of family names,
+/// each instantiated as the Figure 6 two-layer spec at width `dim`.
+/// Defaults to the paper's LSTM, so existing invocations measure
+/// exactly what they always did.
+fn parse_archs(spec: &ExperimentSpec, dim: usize, bench: &str) -> Result<Vec<ArchSpec>, RunError> {
+    let raw = spec.param_str("arch", "lstm")?;
+    raw.split(',')
+        .map(|name| {
+            let kind = match name.trim() {
+                "linear" => ArchKind::Linear,
+                "mlp" => ArchKind::Mlp,
+                "lstm" => ArchKind::Lstm,
+                "bilstm" => ArchKind::BiLstm,
+                "gru" => ArchKind::Gru,
+                "transformer" => ArchKind::Transformer,
+                other => {
+                    return Err(RunError(format!(
+                        "[{bench}] unknown arch {other:?} \
+                         (linear | mlp | lstm | bilstm | gru | transformer)"
+                    )))
+                }
+            };
+            Ok(ArchSpec {
+                kind,
+                layers: 2,
+                dim,
+            })
+        })
+        .collect()
+}
+
+/// Short model description, e.g. `LSTM-2-16 (c=8)`.
+fn arch_desc(arch: ArchSpec, context: usize) -> String {
+    format!("{} (c={context})", arch.build(context + 1, 42).describe())
+}
+
 /// The bench model: untrained but structurally real (training cost is
 /// irrelevant to serving throughput — the forward pass is identical).
-fn bench_model(dim: usize, context: usize) -> (ModelRegistry, Foundation, MarchTable) {
-    let spec = ArchSpec::default_lstm(dim);
+fn bench_model(arch: ArchSpec, context: usize) -> (ModelRegistry, Foundation, MarchTable) {
     let k = training_population(DEFAULT_MARCH_SEED).len();
-    let offline_foundation = Foundation::new(spec, context, 0.1, 42);
-    let offline_table = MarchTable::new(k, dim, 7);
+    let offline_foundation = Foundation::new(arch, context, 0.1, 42);
+    let offline_table = MarchTable::new(k, arch.dim, 7);
     let registry = ModelRegistry::new(vec![LoadedModel::from_parts(
         "default",
-        Foundation::new(spec, context, 0.1, 42),
-        spec,
-        MarchTable::new(k, dim, 7),
+        Foundation::new(arch, context, 0.1, 42),
+        arch,
+        MarchTable::new(k, arch.dim, 7),
         DEFAULT_MARCH_SEED,
     )])
     .unwrap();
@@ -175,13 +233,15 @@ fn phase_json(r: &PhaseResult) -> Json {
 
 /// `serve_bench`: micro-batched vs unbatched serving throughput and
 /// tail latency, with a bit-parity gate against the offline predictor.
+/// `--set arch=transformer,bilstm,...` sweeps any subset of the model
+/// zoo (default: the paper's LSTM); each architecture gets its own
+/// parity gate, both load phases, and a per-arch entry in
+/// `BENCH_serve.json` (top-level fields mirror the first arch, so
+/// existing consumers keep working).
 pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     let scale = spec.scale;
     let t0 = Instant::now();
-    let (dim, context) = match scale {
-        Scale::Quick | Scale::Auto => (16usize, 8usize),
-        Scale::Full => (32, 12),
-    };
+    let (dim, context) = bench_scale_dims(scale);
     let batch = spec.param_usize("batch", 32)?;
     let default_workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -201,64 +261,13 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             "[serve_bench] batch {batch} below 8 defeats the point of the comparison"
         )));
     }
+    let archs = parse_archs(spec, dim, "serve_bench")?;
+    // `assert_speedup` turns a throughput regression into a hard
+    // failure (CI uses a conservative floor so a serialized
+    // forward-batch path cannot land silently). With several archs it
+    // applies to every one of them.
+    let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
 
-    // ---- parity gate -------------------------------------------------
-    let (registry, offline_foundation, offline_table) = bench_model(dim, context);
-    let handle = start(
-        registry,
-        ServerConfig {
-            port: 0,
-            engine: EngineConfig {
-                batch,
-                queue_depth: 1024,
-                workers,
-                cache_entries: 64,
-            },
-            ..ServerConfig::default()
-        },
-    )
-    .expect("server start");
-    let mut conn = TcpStream::connect(handle.addr).unwrap();
-    let (program, trace_len, march) = ("999.specrand-like", 800u64, 5usize);
-    let body =
-        format!(r#"{{"program":"{program}","trace_len":{trace_len},"march_index":{march}}}"#);
-    let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
-    assert_eq!(status, 200, "parity request failed: {resp}");
-    let served = resp
-        .get("predicted_bits")
-        .and_then(Json::as_str)
-        .and_then(perfvec_serve::protocol::f64_from_bits_hex)
-        .unwrap();
-    let feats = named_workload_features(program, trace_len).unwrap();
-    let rep = program_representation(&offline_foundation, &feats);
-    let offline = predict_total_tenths(
-        &rep,
-        offline_table.rep(march),
-        offline_foundation.target_scale,
-    );
-    if served.to_bits() != offline.to_bits() {
-        return Err(RunError(format!(
-            "[serve_bench] PARITY FAILURE: served {served} vs offline {offline}"
-        )));
-    }
-    eprintln!("[serve_bench] parity ok: served == offline bit-for-bit ({offline} x 0.1ns)");
-    // Cache-hit fast path: repeat the identical request (cache on).
-    let cache_reqs = 200usize;
-    let t_cache = Instant::now();
-    for _ in 0..cache_reqs {
-        let (_, r) = http(&mut conn, "POST", "/v1/predict", &body);
-        assert_eq!(r.get("cache_hit").and_then(Json::as_bool), Some(true));
-    }
-    let cache_rps = cache_reqs as f64 / t_cache.elapsed().as_secs_f64();
-    eprintln!("[serve_bench] cache-hit serving: {cache_rps:.0} req/s (O(1) repeated queries)");
-    handle.shutdown();
-    report.phase("parity_gate", t0.elapsed().as_secs_f64());
-
-    // ---- batched vs unbatched, same worker count ---------------------
-    eprintln!(
-        "[serve_bench] measuring: {requests} unique uncached requests, {conns} connections, \
-         {workers} workers, LSTM-2-{dim} c={context}"
-    );
     let mix = Arc::new(RequestMix {
         programs: vec![
             "525.x264-like",
@@ -270,96 +279,191 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             Scale::Quick | Scale::Auto => 1_500,
             Scale::Full => 4_000,
         },
-        marches: offline_table.k,
+        marches: training_population(DEFAULT_MARCH_SEED).len(),
     });
-    let t_measure = Instant::now();
-    let unbatched = run_phase(
-        "unbatched",
-        bench_model(dim, context).0,
-        EngineConfig {
-            batch: 1,
-            queue_depth: 1024,
-            workers,
-            cache_entries: 0,
-        },
-        conns,
-        requests,
-        &mix,
-    );
-    eprintln!(
-        "[serve_bench] --batch 1 : {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms",
-        unbatched.throughput_rps, unbatched.p50_ms, unbatched.p95_ms, unbatched.p99_ms
-    );
-    let batched = run_phase(
-        "batched",
-        bench_model(dim, context).0,
-        EngineConfig {
-            batch,
-            queue_depth: 1024,
-            workers,
-            cache_entries: 0,
-        },
-        conns,
-        requests,
-        &mix,
-    );
-    eprintln!(
-        "[serve_bench] --batch {batch:<2}: {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  p99 {:6.1}ms  \
-         (mean coalesce {:.1}, max {})",
-        batched.throughput_rps,
-        batched.p50_ms,
-        batched.p95_ms,
-        batched.p99_ms,
-        batched.mean_batch,
-        batched.max_batch
-    );
-    report.phase("load_phases", t_measure.elapsed().as_secs_f64());
-    let speedup = batched.throughput_rps / unbatched.throughput_rps;
-    println!(
-        "serve_bench: micro-batching speedup {speedup:.2}x ({:.1} -> {:.1} req/s, batch {batch}, \
-         {workers} workers)",
-        unbatched.throughput_rps, batched.throughput_rps
-    );
+
+    let mut parity_secs = 0.0f64;
+    let mut measure_secs = 0.0f64;
+    let mut arch_entries: Vec<(String, Json)> = Vec::new();
+    let mut first: Option<Json> = None;
+    for arch in &archs {
+        let name = arch_name(arch.kind);
+        // ---- parity gate ---------------------------------------------
+        let t_parity = Instant::now();
+        let (registry, offline_foundation, offline_table) = bench_model(*arch, context);
+        let model_desc = offline_foundation.describe();
+        let handle = start(
+            registry,
+            ServerConfig {
+                port: 0,
+                engine: EngineConfig {
+                    batch,
+                    queue_depth: 1024,
+                    workers,
+                    cache_entries: 64,
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server start");
+        let mut conn = TcpStream::connect(handle.addr).unwrap();
+        let (program, trace_len, march) = ("999.specrand-like", 800u64, 5usize);
+        let body =
+            format!(r#"{{"program":"{program}","trace_len":{trace_len},"march_index":{march}}}"#);
+        let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
+        assert_eq!(status, 200, "parity request failed: {resp}");
+        let served = resp
+            .get("predicted_bits")
+            .and_then(Json::as_str)
+            .and_then(perfvec_serve::protocol::f64_from_bits_hex)
+            .unwrap();
+        let feats = named_workload_features(program, trace_len).unwrap();
+        let rep = program_representation(&offline_foundation, &feats);
+        let offline = predict_total_tenths(
+            &rep,
+            offline_table.rep(march),
+            offline_foundation.target_scale,
+        );
+        if served.to_bits() != offline.to_bits() {
+            return Err(RunError(format!(
+                "[serve_bench] PARITY FAILURE ({name}): served {served} vs offline {offline}"
+            )));
+        }
+        eprintln!(
+            "[serve_bench] {name}: parity ok — served == offline bit-for-bit ({offline} x 0.1ns)"
+        );
+        // Cache-hit fast path: repeat the identical request (cache on).
+        let cache_reqs = 200usize;
+        let t_cache = Instant::now();
+        for _ in 0..cache_reqs {
+            let (_, r) = http(&mut conn, "POST", "/v1/predict", &body);
+            assert_eq!(r.get("cache_hit").and_then(Json::as_bool), Some(true));
+        }
+        let cache_rps = cache_reqs as f64 / t_cache.elapsed().as_secs_f64();
+        eprintln!(
+            "[serve_bench] {name}: cache-hit serving {cache_rps:.0} req/s \
+             (O(1) repeated queries)"
+        );
+        handle.shutdown();
+        parity_secs += t_parity.elapsed().as_secs_f64();
+
+        // ---- batched vs unbatched, same worker count -----------------
+        eprintln!(
+            "[serve_bench] {name}: measuring {requests} unique uncached requests, \
+             {conns} connections, {workers} workers, {model_desc}"
+        );
+        let t_measure = Instant::now();
+        let unbatched = run_phase(
+            "unbatched",
+            bench_model(*arch, context).0,
+            EngineConfig {
+                batch: 1,
+                queue_depth: 1024,
+                workers,
+                cache_entries: 0,
+            },
+            conns,
+            requests,
+            &mix,
+        );
+        eprintln!(
+            "[serve_bench] {name}: --batch 1 : {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  \
+             p99 {:6.1}ms",
+            unbatched.throughput_rps, unbatched.p50_ms, unbatched.p95_ms, unbatched.p99_ms
+        );
+        let batched = run_phase(
+            "batched",
+            bench_model(*arch, context).0,
+            EngineConfig {
+                batch,
+                queue_depth: 1024,
+                workers,
+                cache_entries: 0,
+            },
+            conns,
+            requests,
+            &mix,
+        );
+        eprintln!(
+            "[serve_bench] {name}: --batch {batch:<2}: {:7.1} req/s  p50 {:6.1}ms  \
+             p95 {:6.1}ms  p99 {:6.1}ms  (mean coalesce {:.1}, max {})",
+            batched.throughput_rps,
+            batched.p50_ms,
+            batched.p95_ms,
+            batched.p99_ms,
+            batched.mean_batch,
+            batched.max_batch
+        );
+        measure_secs += t_measure.elapsed().as_secs_f64();
+        let speedup = batched.throughput_rps / unbatched.throughput_rps;
+        println!(
+            "serve_bench[{name}]: micro-batching speedup {speedup:.2}x ({:.1} -> {:.1} req/s, \
+             batch {batch}, {workers} workers)",
+            unbatched.throughput_rps, batched.throughput_rps
+        );
+
+        let entry = obj(vec![
+            ("model", Json::Str(model_desc)),
+            ("parity", Json::Str("bit-identical".into())),
+            ("unbatched", phase_json(&unbatched)),
+            ("batched", phase_json(&batched)),
+            ("speedup", Json::Num(speedup)),
+            ("cache_hit_rps", Json::Num(cache_rps)),
+        ]);
+        report.metric(&format!("{name}_speedup"), Json::Num(speedup));
+        if first.is_none() {
+            report.metric_f64("speedup", speedup);
+            report.metric_f64("cache_hit_rps", cache_rps);
+            report.metric("parity", Json::Str("bit-identical".into()));
+            report.metric("unbatched", phase_json(&unbatched));
+            report.metric("batched", phase_json(&batched));
+            first = Some(entry.clone());
+        }
+        arch_entries.push((name.to_string(), entry));
+        if speedup < 3.0 {
+            eprintln!(
+                "[serve_bench] WARNING: {name} speedup {speedup:.2}x below the 3x target on \
+                 this machine"
+            );
+        }
+        if speedup < min_speedup {
+            return Err(RunError(format!(
+                "[serve_bench] FAIL: {name} speedup {speedup:.2}x below the asserted minimum \
+                 {min_speedup}x"
+            )));
+        }
+    }
+    report.phase("parity_gate", parity_secs);
+    report.phase("load_phases", measure_secs);
 
     // ---- BENCH_serve.json --------------------------------------------
-    let bench = obj(vec![
+    // Top-level fields mirror the first arch (the legacy single-model
+    // layout); `archs` carries every swept architecture by name.
+    let first = first.expect("at least one arch");
+    let mut fields = vec![
         ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
-        ("model", Json::Str(format!("LSTM-2-{dim} (c={context})"))),
+        ("model", first.get("model").cloned().unwrap()),
         ("workers", Json::Num(workers as f64)),
         ("connections", Json::Num(conns as f64)),
         ("requests", Json::Num(requests as f64)),
         ("batch", Json::Num(batch as f64)),
         ("parity", Json::Str("bit-identical".into())),
-        ("unbatched", phase_json(&unbatched)),
-        ("batched", phase_json(&batched)),
-        ("speedup", Json::Num(speedup)),
-        ("cache_hit_rps", Json::Num(cache_rps)),
-        ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
-    ]);
+        ("unbatched", first.get("unbatched").cloned().unwrap()),
+        ("batched", first.get("batched").cloned().unwrap()),
+        ("speedup", first.get("speedup").cloned().unwrap()),
+        (
+            "cache_hit_rps",
+            first.get("cache_hit_rps").cloned().unwrap(),
+        ),
+    ];
+    fields.push(("archs", Json::Obj(arch_entries)));
+    fields.push(("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())));
+    let bench = obj(fields);
     std::fs::write("BENCH_serve.json", format!("{bench}\n")).expect("write BENCH_serve.json");
     eprintln!(
         "[serve_bench] wrote BENCH_serve.json (total {:.1}s)",
         t0.elapsed().as_secs_f64()
     );
-    report.metric_f64("speedup", speedup);
-    report.metric_f64("cache_hit_rps", cache_rps);
-    report.metric("parity", Json::Str("bit-identical".into()));
-    report.metric("unbatched", phase_json(&unbatched));
-    report.metric("batched", phase_json(&batched));
-    if speedup < 3.0 {
-        eprintln!(
-            "[serve_bench] WARNING: speedup {speedup:.2}x below the 3x target on this machine"
-        );
-    }
-    // `assert_speedup` turns a throughput regression into a hard
-    // failure (CI uses a conservative floor so a serialized
-    // forward-batch path cannot land silently).
-    let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
-    if speedup < min_speedup {
-        return Err(RunError(format!(
-            "[serve_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
-        )));
-    }
     Ok(())
 }
 
@@ -384,13 +488,9 @@ fn bench_datasets(spec: &ExperimentSpec, report: &mut Report) -> Vec<ProgramData
     data
 }
 
-fn bench_config(scale: Scale, batch: usize) -> TrainConfig {
-    let (dim, context) = match scale {
-        Scale::Quick | Scale::Auto => (16usize, 8usize),
-        Scale::Full => (32, 12),
-    };
+fn bench_config(arch: ArchSpec, context: usize, batch: usize) -> TrainConfig {
     TrainConfig {
-        arch: ArchSpec::default_lstm(dim),
+        arch,
         context,
         batch_size: batch,
         val_windows: 0,
@@ -416,7 +516,8 @@ fn resume_smoke(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunErr
     std::fs::create_dir_all(&dir).expect("temp dir");
     let snap = dir.join("resume_smoke.pfs");
 
-    let mut cfg = bench_config(Scale::Quick, 32);
+    let (dim, context) = bench_scale_dims(Scale::Quick);
+    let mut cfg = bench_config(ArchSpec::default_lstm(dim), context, 32);
     cfg.epochs = 4;
     cfg.windows_per_epoch = 320;
     cfg.val_windows = 200;
@@ -459,6 +560,11 @@ fn resume_smoke(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunErr
 
 /// `train_bench`: batch-major vs scalar training throughput with a
 /// byte-parity gate (or the `resume_smoke` mode's snapshot check).
+/// `--set arch=transformer,bilstm,...` sweeps any subset of the model
+/// zoo (default: the paper's LSTM); each architecture gets its own
+/// byte-parity gate, both throughput runs, and a per-arch entry in
+/// `BENCH_train.json` (top-level fields mirror the first arch, so
+/// existing consumers keep working).
 pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     if spec.param_bool("resume_smoke", false)? {
         return resume_smoke(spec, report);
@@ -479,82 +585,133 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             "[train_bench] batch {batch} below 8 defeats the point of the comparison"
         )));
     }
+    let (dim, context) = bench_scale_dims(scale);
+    let archs = parse_archs(spec, dim, "train_bench")?;
+    // `assert_speedup` turns a training-throughput regression into a
+    // hard failure (CI floors this so a de-batched step cannot land
+    // silently). With several archs it applies to every one of them.
+    let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
     let data = bench_datasets(spec, report);
 
-    // ---- parity gate -------------------------------------------------
-    let t_parity = Instant::now();
-    let mut parity_cfg = bench_config(scale, 20);
-    parity_cfg.epochs = 2;
-    parity_cfg.windows_per_epoch = 200;
-    parity_cfg.val_windows = 120;
-    parity_cfg.batched = true;
-    let pb = train_foundation(&data, &parity_cfg);
-    parity_cfg.batched = false;
-    let ps = train_foundation(&data, &parity_cfg);
-    let (b_bytes, s_bytes) = (
-        checkpoint_bytes(&pb, parity_cfg.arch),
-        checkpoint_bytes(&ps, parity_cfg.arch),
-    );
-    if b_bytes != s_bytes {
-        return Err(RunError(
-            "[train_bench] PARITY FAILURE: batched and scalar checkpoints differ".into(),
-        ));
-    }
-    eprintln!(
-        "[train_bench] parity ok: batched == scalar checkpoint byte-for-byte ({} bytes)",
-        b_bytes.len()
-    );
-    report.phase("parity_gate", t_parity.elapsed().as_secs_f64());
-
-    // ---- batched vs scalar steps/sec at equal seeds ------------------
     let windows = steps * batch;
-    let mut cfg = bench_config(scale, batch);
-    cfg.epochs = 1;
-    cfg.windows_per_epoch = windows;
-    eprintln!(
-        "[train_bench] measuring: {steps} gradient steps x batch {batch} windows, {} (c={}), \
-         k={} machines",
-        cfg.arch.dim,
-        cfg.context,
-        data[0].num_marches()
-    );
-    let t_measure = Instant::now();
-    let mut sps = [0.0f64; 2];
-    for (slot, batched) in [(0usize, false), (1, true)] {
-        cfg.batched = batched;
-        let trained = train_foundation(&data, &cfg);
-        sps[slot] = steps as f64 / trained.report.wall_seconds;
-        eprintln!(
-            "[train_bench] {}: {:7.2} steps/s ({:.2}s wall, final loss {:.4})",
-            if batched { "batched" } else { "scalar " },
-            sps[slot],
-            trained.report.wall_seconds,
-            trained.report.train_loss.last().unwrap()
+    let mut parity_secs = 0.0f64;
+    let mut measure_secs = 0.0f64;
+    let mut arch_entries: Vec<(String, Json)> = Vec::new();
+    let mut first: Option<Json> = None;
+    for arch in &archs {
+        let name = arch_name(arch.kind);
+        let model_desc = arch_desc(*arch, context);
+        // ---- parity gate ---------------------------------------------
+        let t_parity = Instant::now();
+        let mut parity_cfg = bench_config(*arch, context, 20);
+        parity_cfg.epochs = 2;
+        parity_cfg.windows_per_epoch = 200;
+        parity_cfg.val_windows = 120;
+        parity_cfg.batched = true;
+        let pb = train_foundation(&data, &parity_cfg);
+        parity_cfg.batched = false;
+        let ps = train_foundation(&data, &parity_cfg);
+        let (b_bytes, s_bytes) = (
+            checkpoint_bytes(&pb, parity_cfg.arch),
+            checkpoint_bytes(&ps, parity_cfg.arch),
         );
+        if b_bytes != s_bytes {
+            return Err(RunError(format!(
+                "[train_bench] PARITY FAILURE ({name}): batched and scalar checkpoints differ"
+            )));
+        }
+        eprintln!(
+            "[train_bench] {name}: parity ok — batched == scalar checkpoint byte-for-byte \
+             ({} bytes)",
+            b_bytes.len()
+        );
+        parity_secs += t_parity.elapsed().as_secs_f64();
+
+        // ---- batched vs scalar steps/sec at equal seeds --------------
+        let mut cfg = bench_config(*arch, context, batch);
+        cfg.epochs = 1;
+        cfg.windows_per_epoch = windows;
+        eprintln!(
+            "[train_bench] {name}: measuring {steps} gradient steps x batch {batch} windows, \
+             {model_desc}, k={} machines",
+            data[0].num_marches()
+        );
+        let t_measure = Instant::now();
+        let mut sps = [0.0f64; 2];
+        for (slot, batched) in [(0usize, false), (1, true)] {
+            cfg.batched = batched;
+            let trained = train_foundation(&data, &cfg);
+            sps[slot] = steps as f64 / trained.report.wall_seconds;
+            eprintln!(
+                "[train_bench] {name}: {}: {:7.2} steps/s ({:.2}s wall, final loss {:.4})",
+                if batched { "batched" } else { "scalar " },
+                sps[slot],
+                trained.report.wall_seconds,
+                trained.report.train_loss.last().unwrap()
+            );
+        }
+        measure_secs += t_measure.elapsed().as_secs_f64();
+        let speedup = sps[1] / sps[0];
+        println!(
+            "train_bench[{name}]: batch-major training speedup {speedup:.2}x ({:.1} -> {:.1} \
+             steps/s, batch {batch})",
+            sps[0], sps[1]
+        );
+
+        let entry = obj(vec![
+            ("model", Json::Str(model_desc)),
+            ("parity", Json::Str("byte-identical".into())),
+            ("scalar_steps_per_sec", Json::Num(sps[0])),
+            ("batched_steps_per_sec", Json::Num(sps[1])),
+            ("speedup", Json::Num(speedup)),
+        ]);
+        report.metric(&format!("{name}_speedup"), Json::Num(speedup));
+        if first.is_none() {
+            report.metric_f64("scalar_steps_per_sec", sps[0]);
+            report.metric_f64("batched_steps_per_sec", sps[1]);
+            report.metric_f64("speedup", speedup);
+            report.metric("parity", Json::Str("byte-identical".into()));
+            first = Some(entry.clone());
+        }
+        arch_entries.push((name.to_string(), entry));
+        if speedup < 1.5 {
+            eprintln!(
+                "[train_bench] WARNING: {name} speedup {speedup:.2}x below the 1.5x target on \
+                 this machine"
+            );
+        }
+        if speedup < min_speedup {
+            return Err(RunError(format!(
+                "[train_bench] FAIL: {name} speedup {speedup:.2}x below the asserted minimum \
+                 {min_speedup}x"
+            )));
+        }
     }
-    report.phase("throughput", t_measure.elapsed().as_secs_f64());
-    let speedup = sps[1] / sps[0];
-    println!(
-        "train_bench: batch-major training speedup {speedup:.2}x ({:.1} -> {:.1} steps/s, \
-         batch {batch})",
-        sps[0], sps[1]
-    );
+    report.phase("parity_gate", parity_secs);
+    report.phase("throughput", measure_secs);
 
     // ---- BENCH_train.json --------------------------------------------
+    // Top-level fields mirror the first arch (the legacy single-model
+    // layout); `archs` carries every swept architecture by name.
+    let first = first.expect("at least one arch");
     let bench = obj(vec![
         ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
-        (
-            "model",
-            Json::Str(format!("LSTM-2-{} (c={})", cfg.arch.dim, cfg.context)),
-        ),
+        ("model", first.get("model").cloned().unwrap()),
         ("marches", Json::Num(data[0].num_marches() as f64)),
         ("batch", Json::Num(batch as f64)),
         ("steps", Json::Num(steps as f64)),
         ("windows", Json::Num(windows as f64)),
         ("parity", Json::Str("byte-identical".into())),
-        ("scalar_steps_per_sec", Json::Num(sps[0])),
-        ("batched_steps_per_sec", Json::Num(sps[1])),
-        ("speedup", Json::Num(speedup)),
+        (
+            "scalar_steps_per_sec",
+            first.get("scalar_steps_per_sec").cloned().unwrap(),
+        ),
+        (
+            "batched_steps_per_sec",
+            first.get("batched_steps_per_sec").cloned().unwrap(),
+        ),
+        ("speedup", first.get("speedup").cloned().unwrap()),
+        ("archs", Json::Obj(arch_entries)),
         ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
     ]);
     std::fs::write("BENCH_train.json", format!("{bench}\n")).expect("write BENCH_train.json");
@@ -562,25 +719,6 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         "[train_bench] wrote BENCH_train.json (total {:.1}s)",
         t0.elapsed().as_secs_f64()
     );
-    report.metric_f64("scalar_steps_per_sec", sps[0]);
-    report.metric_f64("batched_steps_per_sec", sps[1]);
-    report.metric_f64("speedup", speedup);
-    report.metric("parity", Json::Str("byte-identical".into()));
-
-    if speedup < 1.5 {
-        eprintln!(
-            "[train_bench] WARNING: speedup {speedup:.2}x below the 1.5x target on this machine"
-        );
-    }
-    // `assert_speedup` turns a training-throughput regression into a
-    // hard failure (CI floors this at 1.5x so a de-batched step cannot
-    // land silently).
-    let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
-    if speedup < min_speedup {
-        return Err(RunError(format!(
-            "[train_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
-        )));
-    }
     Ok(())
 }
 

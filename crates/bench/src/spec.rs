@@ -142,10 +142,17 @@ impl ExperimentKind {
     /// loudly — a typo must not silently run a default experiment).
     pub fn allowed_params(&self) -> &'static [&'static str] {
         match self {
-            ExperimentKind::ServeBench => {
-                &["batch", "workers", "conns", "requests", "assert_speedup"]
+            ExperimentKind::ServeBench => &[
+                "arch",
+                "batch",
+                "workers",
+                "conns",
+                "requests",
+                "assert_speedup",
+            ],
+            ExperimentKind::TrainBench => {
+                &["arch", "batch", "steps", "assert_speedup", "resume_smoke"]
             }
-            ExperimentKind::TrainBench => &["batch", "steps", "assert_speedup", "resume_smoke"],
             ExperimentKind::SimBench => &["marches", "rounds", "assert_speedup"],
             ExperimentKind::Custom => &[
                 "dim",
@@ -444,6 +451,7 @@ impl ExperimentSpec {
             let typed = match k.as_str() {
                 "assert_speedup" => f64::from_json(v).map(|_| ()),
                 "resume_smoke" => bool::from_json(v).map(|_| ()),
+                "arch" => String::from_json(v).map(|_| ()),
                 _ => usize::from_json(v).map(|_| ()),
             };
             if let Err(e) = typed {
@@ -545,6 +553,16 @@ impl ExperimentSpec {
         match self.param(key) {
             None => Ok(default),
             Some(v) => usize::from_json(v).map_err(|e| format!("param {key:?}: {e}")),
+        }
+    }
+
+    /// A string param, or `default` when absent. Bare `--set key=value`
+    /// values arrive as strings via [`parse_param_value`]'s fallback,
+    /// so `--set arch=transformer` works unquoted.
+    pub fn param_str(&self, key: &str, default: &str) -> Result<String, String> {
+        match self.param(key) {
+            None => Ok(default.to_string()),
+            Some(v) => String::from_json(v).map_err(|e| format!("param {key:?}: {e}")),
         }
     }
 
@@ -695,6 +713,14 @@ mod tests {
         assert_eq!(spec.param_usize("batch", 32), Ok(16));
         assert_eq!(spec.param_usize("workers", 4), Ok(4));
         assert!(spec.param_f64("assert_speedup", 0.0).is_err());
+        // Bare `--set arch=transformer` values land as strings.
+        spec.params
+            .push(("arch".to_string(), parse_param_value("transformer,bilstm")));
+        assert_eq!(
+            spec.param_str("arch", "lstm"),
+            Ok("transformer,bilstm".to_string())
+        );
+        assert_eq!(spec.param_str("missing", "lstm"), Ok("lstm".to_string()));
     }
 
     #[test]

@@ -151,15 +151,12 @@ fn run_window_block(
     let d = foundation.dim();
     let w = foundation.window();
     let b = pending.len();
-    let outs = if b == 1 {
-        // Single window: the reference scalar forward path (what
-        // unbatched block-1 serving measures against).
-        foundation.model.forward(&seqbuf[..w * NUM_FEATURES], w).0
-    } else {
-        foundation
-            .model
-            .forward_batch(&seqbuf[..b * w * NUM_FEATURES], w, b)
-    };
+    // One code path for every block size: batch 1's batch-major layout
+    // coincides with sequence-major, and forward_batch is bit-identical
+    // per sequence to the scalar forward.
+    let outs = foundation
+        .model
+        .forward_batch(&seqbuf[..b * w * NUM_FEATURES], w, b);
     for (s, &(req, i)) in pending.iter().enumerate() {
         for (a, &v) in accs[req].iter_mut().zip(&outs[s * d..(s + 1) * d]) {
             *a += v;

@@ -2,7 +2,7 @@
 //! Figure 6): a forward stack and a backward stack, each of hidden size
 //! `d/2`, concatenated into a `d`-dimensional representation.
 
-use crate::lstm::{Lstm, LstmCache};
+use crate::lstm::{Lstm, LstmBatchCache, LstmCache};
 
 /// Bidirectional LSTM: two independent stacks over the window, one
 /// reading forward and one reading the reversed window.
@@ -31,6 +31,45 @@ fn reverse_steps(xs: &[f32], t: usize, dim: usize) -> Vec<f32> {
     out
 }
 
+/// Per-sequence step reversal of a sequence-major batch block (pure
+/// data movement: each sequence's steps are mirrored exactly as
+/// [`reverse_steps`] would for the scalar path).
+fn reverse_steps_batch(xs: &[f32], t: usize, dim: usize, batch: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; xs.len()];
+    let n = t * dim;
+    for s in 0..batch {
+        let src = &xs[s * n..(s + 1) * n];
+        let dst = &mut out[s * n..(s + 1) * n];
+        for step in 0..t {
+            dst[step * dim..(step + 1) * dim]
+                .copy_from_slice(&src[(t - 1 - step) * dim..(t - step) * dim]);
+        }
+    }
+    out
+}
+
+/// Batched forward cache: both directions' lane-blocked batch-major
+/// activations, plus the shared reversed input block the backward stack
+/// consumed.
+#[derive(Debug, Clone)]
+pub struct BiLstmBatchCache {
+    fwd: LstmBatchCache,
+    bwd: LstmBatchCache,
+    rev_xs: Vec<f32>,
+}
+
+impl BiLstmBatchCache {
+    /// Number of timesteps the cache covers.
+    pub fn t_steps(&self) -> usize {
+        self.fwd.t_steps()
+    }
+
+    /// Number of sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.fwd.batch()
+    }
+}
+
 impl BiLstm {
     /// Build a bidirectional LSTM whose concatenated output has `out_dim`
     /// dimensions (`out_dim` must be even).
@@ -53,6 +92,11 @@ impl BiLstm {
     /// Output dimensionality (both directions concatenated).
     pub fn out_dim(&self) -> usize {
         2 * self.half
+    }
+
+    /// Layer count of each direction stack.
+    pub fn num_layers(&self) -> usize {
+        self.fwd.num_layers()
     }
 
     /// Total parameter count.
@@ -91,6 +135,84 @@ impl BiLstm {
                 t_steps,
             },
         )
+    }
+
+    /// Batched forward over `batch` independent sequences: both
+    /// direction stacks run fully batched (lane-blocked batch-major
+    /// kernels) over the shared window block — the forward stack on
+    /// `xs` directly, the backward stack on one per-sequence-reversed
+    /// copy — and the per-sequence outputs are concatenated. Each
+    /// sequence's result is bit-identical to [`BiLstm::forward`].
+    pub fn forward_batch(&self, xs: &[f32], t_steps: usize, batch: usize) -> Vec<f32> {
+        let rev_xs = reverse_steps_batch(xs, t_steps, self.in_dim, batch);
+        let of = self.fwd.forward_batch(xs, t_steps, batch);
+        let ob = self.bwd.forward_batch(&rev_xs, t_steps, batch);
+        self.concat_outputs(&of, &ob, batch)
+    }
+
+    /// Batched forward retaining both stacks' batch-major activations
+    /// for [`BiLstm::backward_batch`].
+    pub fn forward_batch_cached(
+        &self,
+        xs: &[f32],
+        t_steps: usize,
+        batch: usize,
+    ) -> (Vec<f32>, BiLstmBatchCache) {
+        let rev_xs = reverse_steps_batch(xs, t_steps, self.in_dim, batch);
+        let (of, cf) = self.fwd.forward_batch_cached(xs, t_steps, batch);
+        let (ob, cb) = self.bwd.forward_batch_cached(&rev_xs, t_steps, batch);
+        let out = self.concat_outputs(&of, &ob, batch);
+        (
+            out,
+            BiLstmBatchCache {
+                fwd: cf,
+                bwd: cb,
+                rev_xs,
+            },
+        )
+    }
+
+    fn concat_outputs(&self, of: &[f32], ob: &[f32], batch: usize) -> Vec<f32> {
+        let half = self.half;
+        let d = 2 * half;
+        let mut out = vec![0.0f32; batch * d];
+        for s in 0..batch {
+            out[s * d..s * d + half].copy_from_slice(&of[s * half..(s + 1) * half]);
+            out[s * d + half..(s + 1) * d].copy_from_slice(&ob[s * half..(s + 1) * half]);
+        }
+        out
+    }
+
+    /// Batched backward from per-sequence upstream gradients `douts`
+    /// (sequence-major `batch x out_dim`), accumulating into `grads`.
+    ///
+    /// The split halves go through each stack's batch-major BPTT
+    /// ([`Lstm::backward_batch`]), whose parameter accumulation is
+    /// already sequence-ascending in scalar order; the two stacks' grad
+    /// regions are disjoint, so the result is bit-identical to calling
+    /// [`BiLstm::backward`] once per sequence in batch order.
+    pub fn backward_batch(
+        &self,
+        xs: &[f32],
+        cache: &BiLstmBatchCache,
+        douts: &[f32],
+        grads: &mut [f32],
+    ) {
+        let batch = cache.batch();
+        let half = self.half;
+        let d = 2 * half;
+        debug_assert_eq!(douts.len(), batch * d);
+        let mut douts_f = vec![0.0f32; batch * half];
+        let mut douts_b = vec![0.0f32; batch * half];
+        for s in 0..batch {
+            douts_f[s * half..(s + 1) * half].copy_from_slice(&douts[s * d..s * d + half]);
+            douts_b[s * half..(s + 1) * half].copy_from_slice(&douts[s * d + half..(s + 1) * d]);
+        }
+        let nf = self.fwd.params().len();
+        let (gf, gb) = grads.split_at_mut(nf);
+        self.fwd.backward_batch(xs, &cache.fwd, &douts_f, gf);
+        self.bwd
+            .backward_batch(&cache.rev_xs, &cache.bwd, &douts_b, gb);
     }
 
     /// Backward; `grads` has [`BiLstm::num_params`] entries laid out as

@@ -6,7 +6,7 @@ use crate::init::seeded_rng;
 // straight-line-arithmetic functions so batched inference stays
 // bit-identical to scalar inference while its inner loops vectorize
 // (see `tensor::tanh_apx`).
-use crate::lstm::{for_lane_chunks, BatchInput};
+use crate::tensor::{for_lane_chunks, BatchInput};
 use crate::tensor::{
     gemm_bm_acc, gemm_bm_t_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx,
 };

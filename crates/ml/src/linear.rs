@@ -3,7 +3,7 @@
 //! models contiguous for the optimizer and for data-parallel gradient
 //! reduction.
 
-use crate::tensor::{gemv_acc, gemv_t_acc, outer_acc};
+use crate::tensor::{fill_rows_bm, gemm_bm_acc, gemm_bm_t_acc, gemv_acc, gemv_t_acc, outer_acc};
 
 /// Shape of a linear layer `y = W x (+ b)`.
 ///
@@ -51,9 +51,36 @@ impl LinearShape {
         );
     }
 
-    /// Backward: accumulates parameter gradients into `grads` and input
-    /// gradients into `dx` given upstream `dy` and the forward input `x`.
-    pub fn backward(&self, w: &[f32], x: &[f32], dy: &[f32], grads: &mut [f32], dx: &mut [f32]) {
+    /// Batch-major forward: `Y_bm = W X_bm (+ b broadcast per lane)` for
+    /// batch-major `X_bm: in x batch`, `Y_bm: out x batch`. Each lane
+    /// sees exactly [`LinearShape::forward`]'s operation order (bias
+    /// value, then the ascending-`k` accumulator of [`gemm_bm_acc`]), so
+    /// results are bit-identical per sequence. `acc` is scratch of
+    /// length >= `batch`.
+    pub fn forward_bm(
+        &self,
+        w: &[f32],
+        x_bm: &[f32],
+        y_bm: &mut [f32],
+        batch: usize,
+        acc: &mut [f32],
+    ) {
+        debug_assert_eq!(w.len(), self.param_len());
+        let wn = self.out_dim * self.in_dim;
+        if self.bias {
+            fill_rows_bm(y_bm, &w[wn..], batch);
+        } else {
+            y_bm.fill(0.0);
+        }
+        gemm_bm_acc(&w[..wn], x_bm, y_bm, self.out_dim, self.in_dim, batch, acc);
+    }
+
+    /// The parameter-gradient half of [`LinearShape::backward`] (rank-1
+    /// weight update + bias adds, in the scalar order). The batched
+    /// backward passes transport `dx` batch-major but replay this per
+    /// sequence ascending, which reproduces the scalar path's
+    /// per-location addition order exactly.
+    pub fn backward_params(&self, x: &[f32], dy: &[f32], grads: &mut [f32]) {
         debug_assert_eq!(grads.len(), self.param_len());
         let wn = self.out_dim * self.in_dim;
         outer_acc(&mut grads[..wn], dy, x);
@@ -62,7 +89,26 @@ impl LinearShape {
                 *g += d;
             }
         }
-        gemv_t_acc(&w[..wn], dy, dx, self.out_dim, self.in_dim);
+    }
+
+    /// Batch-major input-gradient transport: `dX_bm += W^T dY_bm`
+    /// (the [`gemv_t_acc`] half of backward, amortized over the batch).
+    pub fn backward_dx_bm(&self, w: &[f32], dy_bm: &[f32], dx_bm: &mut [f32], batch: usize) {
+        let wn = self.out_dim * self.in_dim;
+        gemm_bm_t_acc(&w[..wn], dy_bm, dx_bm, self.out_dim, self.in_dim, batch);
+    }
+
+    /// Backward: accumulates parameter gradients into `grads` and input
+    /// gradients into `dx` given upstream `dy` and the forward input `x`.
+    pub fn backward(&self, w: &[f32], x: &[f32], dy: &[f32], grads: &mut [f32], dx: &mut [f32]) {
+        self.backward_params(x, dy, grads);
+        gemv_t_acc(
+            &w[..self.out_dim * self.in_dim],
+            dy,
+            dx,
+            self.out_dim,
+            self.in_dim,
+        );
     }
 
     /// Initialize parameters in place (Xavier for weights, zero bias).

@@ -11,7 +11,8 @@ use crate::init::seeded_rng;
 // functions so batched inference stays bit-identical to scalar
 // inference while its inner loops vectorize (see `tensor::tanh_apx`).
 use crate::tensor::{
-    gemm_bm_acc, gemm_bm_t_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx, tanh_apx,
+    for_lane_chunks, gemm_bm_acc, gemm_bm_t_acc, gemv_acc, gemv_t_acc, outer_acc, sigmoid_apx,
+    tanh_apx, BatchInput,
 };
 
 /// Shape of one LSTM layer with input size `in_dim` and hidden size `h`.
@@ -308,57 +309,6 @@ fn lstm_bwd_chunk<const L: usize>(
         dzf[s] = d_f * fg * (1.0 - fg);
         dzg[s] = d_g * (1.0 - ggv * ggv);
         dzo[s] = d_o * og * (1.0 - og);
-    }
-}
-
-/// Run a `<const L>` chunk helper over the whole batch: fixed-width
-/// blocks of 8 lanes, then a width-1 tail (identical math at any
-/// width, so the blocking never changes results).
-macro_rules! for_lane_chunks {
-    ($batch:expr, $s:ident, $w:ident => $body:expr) => {{
-        let mut $s = 0usize;
-        while $s + 8 <= $batch {
-            const $w: usize = 8;
-            $body;
-            $s += 8;
-        }
-        while $s < $batch {
-            const $w: usize = 1;
-            $body;
-            $s += 1;
-        }
-    }};
-}
-pub(crate) use for_lane_chunks;
-
-/// Batch-major input view for the batched backward pass: layer 0 reads
-/// the caller's sequence-major window block, higher layers read the
-/// batch-major hidden states of the layer below.
-pub enum BatchInput<'a> {
-    /// Sequence-major `batch x T x in_dim` (the `forward_batch` input).
-    Seq(&'a [f32]),
-    /// Batch-major `T x in_dim x batch` (a layer cache's `hs`).
-    Bm(&'a [f32]),
-}
-
-impl BatchInput<'_> {
-    /// Copy sequence `s`'s step-`t` input vector into `out`
-    /// (`out.len() == in_dim`). Pure data movement — no arithmetic —
-    /// so the gathered values are exactly the scalar path's inputs.
-    pub fn gather(&self, t: usize, s: usize, t_steps: usize, batch: usize, out: &mut [f32]) {
-        let in_dim = out.len();
-        match self {
-            BatchInput::Seq(xs) => {
-                let base = s * t_steps * in_dim + t * in_dim;
-                out.copy_from_slice(&xs[base..base + in_dim]);
-            }
-            BatchInput::Bm(x_bm) => {
-                let base = t * in_dim * batch;
-                for (k, o) in out.iter_mut().enumerate() {
-                    *o = x_bm[base + k * batch + s];
-                }
-            }
-        }
     }
 }
 

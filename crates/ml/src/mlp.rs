@@ -5,6 +5,7 @@
 
 use crate::init::seeded_rng;
 use crate::linear::{relu_backward_inplace, relu_inplace, LinearShape};
+use crate::tensor::{bm_to_seq, seq_to_bm};
 
 /// An MLP: `in -> hidden (ReLU) x (L-1) -> out`.
 #[derive(Debug, Clone)]
@@ -18,6 +19,23 @@ pub struct Mlp {
 pub struct MlpCache {
     /// Activation after each layer (post-ReLU for hidden layers).
     acts: Vec<Vec<f32>>,
+}
+
+/// Batch-major activations retained by [`Mlp::forward_batch_cached`]
+/// for [`Mlp::backward_batch`].
+#[derive(Debug, Clone)]
+pub struct MlpBatchCache {
+    /// Per layer: batch-major `out_dim x batch` activation (post-ReLU
+    /// for hidden layers).
+    acts_bm: Vec<Vec<f32>>,
+    batch: usize,
+}
+
+impl MlpBatchCache {
+    /// Number of sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
 }
 
 impl Mlp {
@@ -85,6 +103,125 @@ impl Mlp {
             cur = y;
         }
         (cur, MlpCache { acts })
+    }
+
+    /// Batch-major forward over `batch` independent flattened windows
+    /// (`xs` sequence-major `batch x in_dim`; result sequence-major
+    /// `batch x out_dim`). One [`LinearShape::forward_bm`] gemm per
+    /// layer for the whole batch, ReLU applied elementwise on the
+    /// batch-major buffer — bit-identical per sequence to
+    /// [`Mlp::forward`].
+    pub fn forward_batch(&self, xs: &[f32], batch: usize) -> Vec<f32> {
+        let (out, _) = self.forward_batch_inner(xs, batch, false);
+        out
+    }
+
+    /// Batch-major forward that retains every layer's batch-major
+    /// activation for [`Mlp::backward_batch`].
+    pub fn forward_batch_cached(&self, xs: &[f32], batch: usize) -> (Vec<f32>, MlpBatchCache) {
+        let (out, acts_bm) = self.forward_batch_inner(xs, batch, true);
+        (out, MlpBatchCache { acts_bm, batch })
+    }
+
+    fn forward_batch_inner(
+        &self,
+        xs: &[f32],
+        batch: usize,
+        keep: bool,
+    ) -> (Vec<f32>, Vec<Vec<f32>>) {
+        debug_assert_eq!(xs.len(), batch * self.in_dim());
+        let mut cur = vec![0.0f32; self.in_dim() * batch];
+        seq_to_bm(xs, &mut cur, self.in_dim(), batch);
+        let mut acts_bm: Vec<Vec<f32>> =
+            Vec::with_capacity(if keep { self.shapes.len() } else { 0 });
+        let mut acc = vec![0.0f32; batch];
+        for (l, s) in self.shapes.iter().enumerate() {
+            let mut y = vec![0.0f32; s.out_dim * batch];
+            s.forward_bm(self.layer_param(l), &cur, &mut y, batch, &mut acc);
+            if l + 1 < self.shapes.len() {
+                // ReLU is elementwise, so applying it on the batch-major
+                // buffer performs exactly the scalar path's clamping.
+                relu_inplace(&mut y);
+            }
+            if keep {
+                acts_bm.push(y.clone());
+            }
+            cur = y;
+        }
+        let mut out = vec![0.0f32; batch * self.out_dim()];
+        bm_to_seq(&cur, &mut out, self.out_dim(), batch);
+        (out, acts_bm)
+    }
+
+    /// Batch-major backward from per-sequence upstream gradients
+    /// `douts` (sequence-major `batch x out_dim`), accumulating into
+    /// `grads`.
+    ///
+    /// Deltas are transported batch-major (ReLU mask + one
+    /// [`LinearShape::backward_dx_bm`] gemm per layer); parameter
+    /// gradients are then replayed per sequence ascending through
+    /// [`LinearShape::backward_params`] — the scalar path's exact
+    /// per-location addition order — so the accumulated `grads` are
+    /// bit-identical to running [`Mlp::backward`] once per sequence in
+    /// batch order.
+    pub fn backward_batch(
+        &self,
+        xs: &[f32],
+        cache: &MlpBatchCache,
+        douts: &[f32],
+        grads: &mut [f32],
+    ) {
+        let batch = cache.batch;
+        debug_assert_eq!(douts.len(), batch * self.out_dim());
+        debug_assert_eq!(xs.len(), batch * self.in_dim());
+        let n_layers = self.shapes.len();
+        let mut ends: Vec<usize> = Vec::with_capacity(n_layers);
+        let mut acc = 0;
+        for s in &self.shapes {
+            acc += s.param_len();
+            ends.push(acc);
+        }
+        // Delta recursion, batch-major: dys[l] is the upstream gradient
+        // entering layer l's parameter update (post-ReLU-mask).
+        let mut dys: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+        let mut dy = vec![0.0f32; self.out_dim() * batch];
+        seq_to_bm(douts, &mut dy, self.out_dim(), batch);
+        for l in (0..n_layers).rev() {
+            let s = self.shapes[l];
+            if l + 1 < n_layers {
+                relu_backward_inplace(&cache.acts_bm[l], &mut dy);
+            }
+            let mut dx = vec![0.0f32; s.in_dim * batch];
+            if l > 0 {
+                s.backward_dx_bm(self.layer_param(l), &dy, &mut dx, batch);
+            }
+            dys[l] = std::mem::replace(&mut dy, dx);
+        }
+        // Canonical parameter accumulation: per sequence (ascending),
+        // per layer (descending) — each parameter location receives
+        // exactly the scalar backward's addition sequence.
+        let mut x_s = vec![0.0f32; self.shapes.iter().map(|s| s.in_dim).max().unwrap()];
+        let mut dy_s = vec![0.0f32; self.shapes.iter().map(|s| s.out_dim).max().unwrap()];
+        for seq in 0..batch {
+            for l in (0..n_layers).rev() {
+                let s = self.shapes[l];
+                let dy_l = &dys[l];
+                for (k, d) in dy_s[..s.out_dim].iter_mut().enumerate() {
+                    *d = dy_l[k * batch + seq];
+                }
+                let x_gathered: &[f32] = if l == 0 {
+                    &xs[seq * s.in_dim..(seq + 1) * s.in_dim]
+                } else {
+                    let below = &cache.acts_bm[l - 1];
+                    for (k, x) in x_s[..s.in_dim].iter_mut().enumerate() {
+                        *x = below[k * batch + seq];
+                    }
+                    &x_s[..s.in_dim]
+                };
+                let start = ends[l] - s.param_len();
+                s.backward_params(x_gathered, &dy_s[..s.out_dim], &mut grads[start..ends[l]]);
+            }
+        }
     }
 
     /// Backward; accumulates into `grads` and returns the gradient

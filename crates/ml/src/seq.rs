@@ -6,12 +6,13 @@
 //! representation, expose flat parameters for the optimizer, and provide
 //! manual backward passes.
 
-use crate::bilstm::{BiLstm, BiLstmCache};
+use crate::bilstm::{BiLstm, BiLstmBatchCache, BiLstmCache};
 use crate::gru::{Gru, GruBatchCache, GruCache, GruState};
 use crate::linear::LinearShape;
 use crate::lstm::{Lstm, LstmBatchCache, LstmCache, LstmState};
-use crate::mlp::{Mlp, MlpCache};
-use crate::transformer::{TransformerCache, TransformerEncoder};
+use crate::mlp::{Mlp, MlpBatchCache, MlpCache};
+use crate::tensor::{bm_to_seq, seq_to_bm};
+use crate::transformer::{TransformerBatchCache, TransformerCache, TransformerEncoder};
 
 /// A sequence model (one of the Figure 6 architectures).
 pub enum SeqModel {
@@ -57,16 +58,23 @@ pub enum StreamState {
 /// Opaque batched forward cache from [`SeqModel::forward_batch_cached`],
 /// consumed by [`SeqModel::backward_batch`].
 ///
-/// The recurrent architectures retain lane-blocked batch-major
-/// activations; the window-only architectures fall back to one scalar
-/// cache per sequence.
+/// Every architecture retains lane-blocked batch-major activations —
+/// there is exactly one batched code path per architecture, no
+/// per-sequence fallback. (A linear map needs no activations beyond the
+/// input, which the caller still holds.)
 pub enum BatchCache {
+    /// The linear model caches nothing (backward needs only the input).
+    Linear,
+    /// Batch-major MLP activations.
+    Mlp(MlpBatchCache),
     /// Batch-major LSTM activations.
     Lstm(LstmBatchCache),
+    /// Batch-major activations for both biLSTM direction stacks.
+    BiLstm(BiLstmBatchCache),
     /// Batch-major GRU activations.
     Gru(GruBatchCache),
-    /// Per-sequence scalar caches (fallback architectures).
-    PerSeq(Vec<SeqCache>),
+    /// Batch-major Transformer activations.
+    Transformer(TransformerBatchCache),
 }
 
 /// Opaque forward cache matching the architecture.
@@ -141,9 +149,9 @@ impl SeqModel {
                 format!("MLP-{}-{}", model.num_layers(), model.out_dim())
             }
             SeqModel::Lstm(m) => format!("LSTM-{}-{}", m.num_layers(), m.out_dim()),
-            SeqModel::BiLstm(m) => format!("biLSTM-1-{}", m.out_dim()),
+            SeqModel::BiLstm(m) => format!("biLSTM-{}-{}", m.num_layers(), m.out_dim()),
             SeqModel::Gru(m) => format!("GRU-{}-{}", m.num_layers(), m.out_dim()),
-            SeqModel::Transformer(m) => format!("Transformer-2-{}", m.out_dim()),
+            SeqModel::Transformer(m) => format!("Transformer-{}-{}", m.num_layers(), m.out_dim()),
         }
     }
 
@@ -274,28 +282,30 @@ impl SeqModel {
     /// Batched forward over `batch` independent `t x in_dim` sequences.
     ///
     /// `xs` is sequence-major (`batch` consecutive `t x in_dim` blocks);
-    /// the result is sequence-major (`batch x out_dim`). The recurrent
-    /// architectures (LSTM, GRU) run all sequences in lockstep so each
-    /// weight matrix is traversed once per timestep for the whole batch,
-    /// with vectorizable batch-major inner loops; the remaining
-    /// architectures fall back to per-sequence [`SeqModel::forward`].
-    /// Either way each sequence's output is bit-identical to an
-    /// independent `forward` call — batching is invisible to results.
+    /// the result is sequence-major (`batch x out_dim`). Every
+    /// architecture runs all sequences in lockstep over batch-major
+    /// buffers so each weight matrix is traversed once per use for the
+    /// whole batch, with lane-blocked (vectorizable) inner loops — and
+    /// each sequence's output is bit-identical to an independent
+    /// `forward` call, so batching is invisible to results.
     pub fn forward_batch(&self, xs: &[f32], t: usize, batch: usize) -> Vec<f32> {
+        debug_assert_eq!(xs.len(), batch * t * self.in_dim());
         match self {
-            SeqModel::Lstm(m) => m.forward_batch(xs, t, batch),
-            SeqModel::Gru(m) => m.forward_batch(xs, t, batch),
-            _ => {
-                let in_dim = self.in_dim();
-                let d = self.out_dim();
-                debug_assert_eq!(xs.len(), batch * t * in_dim);
-                let mut out = vec![0.0f32; batch * d];
-                for s in 0..batch {
-                    let (y, _) = self.forward(&xs[s * t * in_dim..(s + 1) * t * in_dim], t);
-                    out[s * d..(s + 1) * d].copy_from_slice(&y);
-                }
+            SeqModel::Linear { shape, params, .. } => {
+                let mut x_bm = vec![0.0f32; shape.in_dim * batch];
+                seq_to_bm(xs, &mut x_bm, shape.in_dim, batch);
+                let mut y_bm = vec![0.0f32; shape.out_dim * batch];
+                let mut acc = vec![0.0f32; batch];
+                shape.forward_bm(params, &x_bm, &mut y_bm, batch, &mut acc);
+                let mut out = vec![0.0f32; batch * shape.out_dim];
+                bm_to_seq(&y_bm, &mut out, shape.out_dim, batch);
                 out
             }
+            SeqModel::Mlp { model, .. } => model.forward_batch(xs, batch),
+            SeqModel::Lstm(m) => m.forward_batch(xs, t, batch),
+            SeqModel::BiLstm(m) => m.forward_batch(xs, t, batch),
+            SeqModel::Gru(m) => m.forward_batch(xs, t, batch),
+            SeqModel::Transformer(m) => m.forward_batch(xs, t, batch),
         }
     }
 
@@ -306,8 +316,7 @@ impl SeqModel {
     /// Layouts match `forward_batch` (`xs` sequence-major, result
     /// sequence-major `batch x out_dim`), and every sequence's output
     /// is bit-identical to an independent [`SeqModel::forward`] call.
-    /// LSTM and GRU keep lane-blocked batch-major caches; the remaining
-    /// architectures fall back to per-sequence scalar caches.
+    /// Every architecture keeps lane-blocked batch-major caches.
     pub fn forward_batch_cached(
         &self,
         xs: &[f32],
@@ -315,26 +324,26 @@ impl SeqModel {
         batch: usize,
     ) -> (Vec<f32>, BatchCache) {
         match self {
+            SeqModel::Linear { .. } => (self.forward_batch(xs, t, batch), BatchCache::Linear),
+            SeqModel::Mlp { model, .. } => {
+                let (out, c) = model.forward_batch_cached(xs, batch);
+                (out, BatchCache::Mlp(c))
+            }
             SeqModel::Lstm(m) => {
                 let (out, c) = m.forward_batch_cached(xs, t, batch);
                 (out, BatchCache::Lstm(c))
+            }
+            SeqModel::BiLstm(m) => {
+                let (out, c) = m.forward_batch_cached(xs, t, batch);
+                (out, BatchCache::BiLstm(c))
             }
             SeqModel::Gru(m) => {
                 let (out, c) = m.forward_batch_cached(xs, t, batch);
                 (out, BatchCache::Gru(c))
             }
-            _ => {
-                let in_dim = self.in_dim();
-                let d = self.out_dim();
-                debug_assert_eq!(xs.len(), batch * t * in_dim);
-                let mut out = vec![0.0f32; batch * d];
-                let mut caches = Vec::with_capacity(batch);
-                for s in 0..batch {
-                    let (y, c) = self.forward(&xs[s * t * in_dim..(s + 1) * t * in_dim], t);
-                    out[s * d..(s + 1) * d].copy_from_slice(&y);
-                    caches.push(c);
-                }
-                (out, BatchCache::PerSeq(caches))
+            SeqModel::Transformer(m) => {
+                let (out, c) = m.forward_batch_cached(xs, t, batch);
+                (out, BatchCache::Transformer(c))
             }
         }
     }
@@ -361,7 +370,28 @@ impl SeqModel {
     ) {
         debug_assert_eq!(douts.len(), batch * self.out_dim());
         match (self, cache) {
+            (SeqModel::Linear { shape, .. }, BatchCache::Linear) => {
+                // A linear map's whole backward IS parameter
+                // accumulation (the input gradient is discarded), so the
+                // scalar-order replay is the complete batched backward.
+                debug_assert_eq!(xs.len(), batch * shape.in_dim);
+                for s in 0..batch {
+                    shape.backward_params(
+                        &xs[s * shape.in_dim..(s + 1) * shape.in_dim],
+                        &douts[s * shape.out_dim..(s + 1) * shape.out_dim],
+                        grads,
+                    );
+                }
+            }
+            (SeqModel::Mlp { model, .. }, BatchCache::Mlp(c)) => {
+                debug_assert_eq!(c.batch(), batch);
+                model.backward_batch(xs, c, douts, grads);
+            }
             (SeqModel::Lstm(m), BatchCache::Lstm(c)) => {
+                debug_assert_eq!((c.t_steps(), c.batch()), (t, batch));
+                m.backward_batch(xs, c, douts, grads);
+            }
+            (SeqModel::BiLstm(m), BatchCache::BiLstm(c)) => {
                 debug_assert_eq!((c.t_steps(), c.batch()), (t, batch));
                 m.backward_batch(xs, c, douts, grads);
             }
@@ -369,19 +399,9 @@ impl SeqModel {
                 debug_assert_eq!((c.t_steps(), c.batch()), (t, batch));
                 m.backward_batch(xs, c, douts, grads);
             }
-            (_, BatchCache::PerSeq(caches)) => {
-                assert_eq!(caches.len(), batch, "cache batch size mismatch");
-                let in_dim = self.in_dim();
-                let d = self.out_dim();
-                for (s, c) in caches.iter().enumerate() {
-                    self.backward(
-                        &xs[s * t * in_dim..(s + 1) * t * in_dim],
-                        t,
-                        c,
-                        &douts[s * d..(s + 1) * d],
-                        grads,
-                    );
-                }
+            (SeqModel::Transformer(m), BatchCache::Transformer(c)) => {
+                debug_assert_eq!((c.t_steps(), c.batch()), (t, batch));
+                m.backward_batch(xs, c, douts, grads);
             }
             _ => panic!("batch cache does not match model architecture"),
         }
@@ -500,6 +520,8 @@ mod tests {
             SeqModel::transformer(51, 32, 2, 0).describe(),
             "Transformer-2-32"
         );
+        assert_eq!(SeqModel::bilstm(51, 64, 2, 0).describe(), "biLSTM-2-64");
+        assert_eq!(SeqModel::gru(51, 32, 3, 0).describe(), "GRU-3-32");
     }
 
     #[test]

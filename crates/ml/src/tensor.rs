@@ -1,10 +1,24 @@
 //! Dense math kernels: the small set of BLAS-1/2 routines every layer's
-//! forward and backward pass is built from.
+//! forward and backward pass is built from, plus the shared batch-major
+//! substrate all six architectures' batched paths are ported onto
+//! (layout helpers, lane-chunk driver, lane-replayed softmax).
 //!
 //! All matrices are row-major `rows x cols` slices. These routines are
 //! deliberately scalar-simple — the parallelism in this library lives at
 //! the batch level (see [`crate::parallel`]), matching how the paper
 //! trains: many independent instruction windows at once.
+//!
+//! ## The batch-major substrate
+//!
+//! A batch-major matrix stores entry `[k][s]` (feature `k` of sequence
+//! `s`) at `k * batch + s`: the batch dimension is contiguous, so inner
+//! loops run over lanes with loop-invariant weights and vectorize. The
+//! bit-identity contract every batched path obeys: per *memory
+//! location*, the batched kernels perform exactly the scalar path's
+//! sequence of floating-point operations (each lane replays the scalar
+//! op order; parameter gradients are accumulated post-recursion in
+//! scalar order, sequence-ascending). See [`gemm_bm_acc`],
+//! [`softmax_bm_inplace`], and the `for_lane_chunks!` driver.
 
 /// `y += W x` for row-major `W: rows x cols`, `x: cols`, `y: rows`.
 #[inline]
@@ -267,6 +281,214 @@ pub fn softmax_backward_inplace(p: &[f32], dp: &mut [f32]) {
     for (d, &pv) in dp.iter_mut().zip(p) {
         *d = pv * (*d - inner);
     }
+}
+
+/// Run a `<const L>` chunk helper over the whole batch: fixed-width
+/// blocks of 8 lanes, then a width-1 tail (identical math at any
+/// width, so the blocking never changes results).
+macro_rules! for_lane_chunks {
+    ($batch:expr, $s:ident, $w:ident => $body:expr) => {{
+        let mut $s = 0usize;
+        while $s + 8 <= $batch {
+            const $w: usize = 8;
+            $body;
+            $s += 8;
+        }
+        while $s < $batch {
+            const $w: usize = 1;
+            $body;
+            $s += 1;
+        }
+    }};
+}
+pub(crate) use for_lane_chunks;
+
+/// Batch-major input view for the batched backward passes: layer 0 reads
+/// the caller's sequence-major window block, higher layers read the
+/// batch-major hidden states of the layer below.
+pub enum BatchInput<'a> {
+    /// Sequence-major `batch x T x in_dim` (the `forward_batch` input).
+    Seq(&'a [f32]),
+    /// Batch-major `T x in_dim x batch` (a layer cache's activations).
+    Bm(&'a [f32]),
+}
+
+impl BatchInput<'_> {
+    /// Copy sequence `s`'s step-`t` input vector into `out`
+    /// (`out.len() == in_dim`). Pure data movement — no arithmetic —
+    /// so the gathered values are exactly the scalar path's inputs.
+    pub fn gather(&self, t: usize, s: usize, t_steps: usize, batch: usize, out: &mut [f32]) {
+        let in_dim = out.len();
+        match self {
+            BatchInput::Seq(xs) => {
+                let base = s * t_steps * in_dim + t * in_dim;
+                out.copy_from_slice(&xs[base..base + in_dim]);
+            }
+            BatchInput::Bm(x_bm) => {
+                let base = t * in_dim * batch;
+                for (k, o) in out.iter_mut().enumerate() {
+                    *o = x_bm[base + k * batch + s];
+                }
+            }
+        }
+    }
+}
+
+/// Transpose `batch` consecutive sequence-major vectors of length `n`
+/// into one batch-major `n x batch` matrix. Pure data movement.
+#[inline]
+pub fn seq_to_bm(xs: &[f32], bm: &mut [f32], n: usize, batch: usize) {
+    debug_assert_eq!(xs.len(), batch * n);
+    debug_assert_eq!(bm.len(), n * batch);
+    for s in 0..batch {
+        let x = &xs[s * n..(s + 1) * n];
+        for (k, &v) in x.iter().enumerate() {
+            bm[k * batch + s] = v;
+        }
+    }
+}
+
+/// Inverse of [`seq_to_bm`]: scatter a batch-major `n x batch` matrix
+/// back into `batch` consecutive sequence-major vectors.
+#[inline]
+pub fn bm_to_seq(bm: &[f32], xs: &mut [f32], n: usize, batch: usize) {
+    debug_assert_eq!(bm.len(), n * batch);
+    debug_assert_eq!(xs.len(), batch * n);
+    for s in 0..batch {
+        let x = &mut xs[s * n..(s + 1) * n];
+        for (k, v) in x.iter_mut().enumerate() {
+            *v = bm[k * batch + s];
+        }
+    }
+}
+
+/// Broadcast a per-row value into a batch-major `rows x batch` matrix
+/// (the batched form of initializing an output vector with a bias).
+#[inline]
+pub fn fill_rows_bm(z_bm: &mut [f32], vals: &[f32], batch: usize) {
+    debug_assert_eq!(z_bm.len(), vals.len() * batch);
+    for (r, &v) in vals.iter().enumerate() {
+        z_bm[r * batch..(r + 1) * batch].fill(v);
+    }
+}
+
+/// One lane chunk of the batch-major softmax: each lane replays
+/// [`softmax_inplace`]'s exact operation sequence (ascending max fold,
+/// `exp`, ascending sum, one reciprocal, multiply), so every lane's
+/// result is bit-identical to the scalar softmax of its column.
+#[inline]
+fn softmax_lanes_chunk<const L: usize>(v: &mut [f32], n: usize, batch: usize, s0: usize) {
+    let mut max = [f32::NEG_INFINITY; L];
+    for i in 0..n {
+        let row = &v[i * batch + s0..i * batch + s0 + L];
+        for l in 0..L {
+            max[l] = max[l].max(row[l]);
+        }
+    }
+    let mut sum = [0.0f32; L];
+    for i in 0..n {
+        let row = &mut v[i * batch + s0..i * batch + s0 + L];
+        for l in 0..L {
+            row[l] = (row[l] - max[l]).exp();
+            sum[l] += row[l];
+        }
+    }
+    let mut inv = [0.0f32; L];
+    for l in 0..L {
+        inv[l] = 1.0 / sum[l];
+    }
+    for i in 0..n {
+        let row = &mut v[i * batch + s0..i * batch + s0 + L];
+        for l in 0..L {
+            row[l] *= inv[l];
+        }
+    }
+}
+
+/// Batch-major in-place softmax over `n` entries per lane (`v` is
+/// `n x batch`): lane `s`'s column gets exactly [`softmax_inplace`]'s
+/// result bits (libm `exp` is deterministic for a given input, and each
+/// lane's fold/sum orders match the scalar routine).
+#[inline]
+pub fn softmax_bm_inplace(v: &mut [f32], n: usize, batch: usize) {
+    debug_assert_eq!(v.len(), n * batch);
+    for_lane_chunks!(batch, s, LW => softmax_lanes_chunk::<LW>(v, n, batch, s));
+}
+
+#[inline]
+fn softmax_bwd_lanes_chunk<const L: usize>(
+    p: &[f32],
+    dp: &mut [f32],
+    n: usize,
+    batch: usize,
+    s0: usize,
+) {
+    let mut inner = [0.0f32; L];
+    for i in 0..n {
+        let pr = &p[i * batch + s0..i * batch + s0 + L];
+        let dr = &dp[i * batch + s0..i * batch + s0 + L];
+        for l in 0..L {
+            inner[l] += pr[l] * dr[l];
+        }
+    }
+    for i in 0..n {
+        let pr = &p[i * batch + s0..i * batch + s0 + L];
+        let dr = &mut dp[i * batch + s0..i * batch + s0 + L];
+        for l in 0..L {
+            dr[l] = pr[l] * (dr[l] - inner[l]);
+        }
+    }
+}
+
+/// Batch-major twin of [`softmax_backward_inplace`] (`p`, `dp` are
+/// `n x batch`); each lane replays the scalar inner-product order.
+#[inline]
+pub fn softmax_backward_bm_inplace(p: &[f32], dp: &mut [f32], n: usize, batch: usize) {
+    debug_assert_eq!(p.len(), n * batch);
+    debug_assert_eq!(dp.len(), n * batch);
+    for_lane_chunks!(batch, s, LW => softmax_bwd_lanes_chunk::<LW>(p, dp, n, batch, s));
+}
+
+#[inline]
+fn lane_dot_scaled_chunk<const L: usize>(
+    a_bm: &[f32],
+    b_bm: &[f32],
+    out: &mut [f32],
+    nk: usize,
+    batch: usize,
+    s0: usize,
+    scale: f32,
+) {
+    let mut acc = [0.0f32; L];
+    for k in 0..nk {
+        let ar = &a_bm[k * batch + s0..k * batch + s0 + L];
+        let br = &b_bm[k * batch + s0..k * batch + s0 + L];
+        for l in 0..L {
+            acc[l] += ar[l] * br[l];
+        }
+    }
+    for l in 0..L {
+        out[s0 + l] = scale * acc[l];
+    }
+}
+
+/// Per-lane scaled dot product over batch-major `nk x batch` operands:
+/// `out[s] = scale * dot(a[:, s], b[:, s])`, each lane summing in the
+/// exact ascending order of [`dot`] before the single scale multiply —
+/// the batched form of an attention score row.
+#[inline]
+pub fn lane_dot_scaled_bm(
+    a_bm: &[f32],
+    b_bm: &[f32],
+    out: &mut [f32],
+    nk: usize,
+    batch: usize,
+    scale: f32,
+) {
+    debug_assert_eq!(a_bm.len(), nk * batch);
+    debug_assert_eq!(b_bm.len(), nk * batch);
+    debug_assert_eq!(out.len(), batch);
+    for_lane_chunks!(batch, s, LW => lane_dot_scaled_chunk::<LW>(a_bm, b_bm, out, nk, batch, s, scale));
 }
 
 #[cfg(test)]

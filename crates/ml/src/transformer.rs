@@ -8,7 +8,10 @@
 
 use crate::init::seeded_rng;
 use crate::linear::{relu_backward_inplace, relu_inplace, LinearShape};
-use crate::tensor::{dot, softmax_backward_inplace, softmax_inplace};
+use crate::tensor::{
+    dot, for_lane_chunks, lane_dot_scaled_bm, softmax_backward_bm_inplace,
+    softmax_backward_inplace, softmax_bm_inplace, softmax_inplace,
+};
 
 /// Layer normalization over the feature dimension.
 ///
@@ -107,6 +110,246 @@ fn linear_rows_backward(
     dx
 }
 
+/// One lane chunk of the batch-major layer norm forward: each lane
+/// replays [`layernorm_forward`]'s row loop exactly (ascending mean and
+/// variance sums, one reciprocal square root, per-feature normalize),
+/// so every lane's outputs are bit-identical to the scalar routine.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn ln_fwd_chunk<const L: usize>(
+    x_row: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    y_row: &mut [f32],
+    xh_row: &mut [f32],
+    istd_row: &mut [f32],
+    d: usize,
+    batch: usize,
+    s0: usize,
+) {
+    let mut mean = [0.0f32; L];
+    for k in 0..d {
+        let xr = &x_row[k * batch + s0..k * batch + s0 + L];
+        for l in 0..L {
+            mean[l] += xr[l];
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= d as f32;
+    }
+    let mut var = [0.0f32; L];
+    for k in 0..d {
+        let xr = &x_row[k * batch + s0..k * batch + s0 + L];
+        for l in 0..L {
+            let dv = xr[l] - mean[l];
+            var[l] += dv * dv;
+        }
+    }
+    let mut istd = [0.0f32; L];
+    for l in 0..L {
+        istd[l] = 1.0 / (var[l] / d as f32 + 1e-5).sqrt();
+        istd_row[s0 + l] = istd[l];
+    }
+    for k in 0..d {
+        let xr = &x_row[k * batch + s0..k * batch + s0 + L];
+        for l in 0..L {
+            let xh = (xr[l] - mean[l]) * istd[l];
+            xh_row[k * batch + s0 + l] = xh;
+            y_row[k * batch + s0 + l] = gamma[k] * xh + beta[k];
+        }
+    }
+}
+
+/// Batch-major layer norm forward over `rows` timesteps (`x` is
+/// `rows x d x batch`); returns `(y, xhat, inv_std)` with `inv_std`
+/// `rows x batch`. Bit-identical per lane to [`layernorm_forward`].
+fn layernorm_forward_bm(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    rows: usize,
+    d: usize,
+    batch: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut y = vec![0.0f32; rows * d * batch];
+    let mut xhat = vec![0.0f32; rows * d * batch];
+    let mut inv_std = vec![0.0f32; rows * batch];
+    for r in 0..rows {
+        let x_row = &x[r * d * batch..(r + 1) * d * batch];
+        let y_row = &mut y[r * d * batch..(r + 1) * d * batch];
+        let xh_row = &mut xhat[r * d * batch..(r + 1) * d * batch];
+        let istd_row = &mut inv_std[r * batch..(r + 1) * batch];
+        for_lane_chunks!(batch, s, LW => ln_fwd_chunk::<LW>(
+            x_row, gamma, beta, y_row, xh_row, istd_row, d, batch, s
+        ));
+    }
+    (y, xhat, inv_std)
+}
+
+/// One lane chunk of the batch-major layer norm input-gradient: the
+/// `dx` arithmetic of [`layernorm_backward`] replayed per lane (the
+/// dgamma/dbeta accumulation is replayed separately, in scalar order,
+/// by [`replay_ln_params_bm`]).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn ln_bwd_chunk<const L: usize>(
+    dy_row: &[f32],
+    xh_row: &[f32],
+    istd_row: &[f32],
+    gamma: &[f32],
+    dx_row: &mut [f32],
+    d: usize,
+    batch: usize,
+    s0: usize,
+) {
+    let mut mean_dyg = [0.0f32; L];
+    let mut mean_dyg_xh = [0.0f32; L];
+    for k in 0..d {
+        let dyr = &dy_row[k * batch + s0..k * batch + s0 + L];
+        let xhr = &xh_row[k * batch + s0..k * batch + s0 + L];
+        for l in 0..L {
+            let dyg = dyr[l] * gamma[k];
+            mean_dyg[l] += dyg;
+            mean_dyg_xh[l] += dyg * xhr[l];
+        }
+    }
+    for l in 0..L {
+        mean_dyg[l] /= d as f32;
+        mean_dyg_xh[l] /= d as f32;
+    }
+    for k in 0..d {
+        let dyr = &dy_row[k * batch + s0..k * batch + s0 + L];
+        let xhr = &xh_row[k * batch + s0..k * batch + s0 + L];
+        for l in 0..L {
+            let dyg = dyr[l] * gamma[k];
+            dx_row[k * batch + s0 + l] =
+                istd_row[s0 + l] * (dyg - mean_dyg[l] - xhr[l] * mean_dyg_xh[l]);
+        }
+    }
+}
+
+/// Batch-major layer norm input-gradient (`dy`, `xhat` are
+/// `rows x d x batch`; `inv_std` is `rows x batch`); returns `dx`.
+fn layernorm_backward_bm(
+    dy: &[f32],
+    xhat: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    rows: usize,
+    d: usize,
+    batch: usize,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; rows * d * batch];
+    for r in 0..rows {
+        let dy_row = &dy[r * d * batch..(r + 1) * d * batch];
+        let xh_row = &xhat[r * d * batch..(r + 1) * d * batch];
+        let istd_row = &inv_std[r * batch..(r + 1) * batch];
+        let dx_row = &mut dx[r * d * batch..(r + 1) * d * batch];
+        for_lane_chunks!(batch, s, LW => ln_bwd_chunk::<LW>(
+            dy_row, xh_row, istd_row, gamma, dx_row, d, batch, s
+        ));
+    }
+    dx
+}
+
+/// Replay a layer norm's dgamma/dbeta accumulation in the scalar
+/// path's per-location order: sequence ascending, row ascending,
+/// feature ascending — exactly [`layernorm_backward`]'s adds per
+/// sequence, in batch order.
+fn replay_ln_params_bm(
+    dy_bm: &[f32],
+    xhat_bm: &[f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    rows: usize,
+    d: usize,
+    batch: usize,
+) {
+    for s in 0..batch {
+        for r in 0..rows {
+            for k in 0..d {
+                let dy = dy_bm[(r * d + k) * batch + s];
+                dgamma[k] += dy * xhat_bm[(r * d + k) * batch + s];
+                dbeta[k] += dy;
+            }
+        }
+    }
+}
+
+/// Apply a linear shape over `rows` batch-major feature matrices:
+/// the batched twin of [`linear_rows`] (one [`LinearShape::forward_bm`]
+/// gemm per row for the whole batch).
+fn linear_rows_bm(
+    shape: &LinearShape,
+    w: &[f32],
+    x_bm: &[f32],
+    rows: usize,
+    batch: usize,
+    acc: &mut [f32],
+) -> Vec<f32> {
+    let mut y = vec![0.0f32; rows * shape.out_dim * batch];
+    for r in 0..rows {
+        shape.forward_bm(
+            w,
+            &x_bm[r * shape.in_dim * batch..(r + 1) * shape.in_dim * batch],
+            &mut y[r * shape.out_dim * batch..(r + 1) * shape.out_dim * batch],
+            batch,
+            acc,
+        );
+    }
+    y
+}
+
+/// The input-gradient transport half of [`linear_rows_backward`],
+/// batch-major: `dx = W^T dy` per row via [`LinearShape::backward_dx_bm`]
+/// (parameter gradients are replayed separately in scalar order by
+/// [`replay_linear_params_bm`]).
+fn linear_rows_bm_dx(
+    shape: &LinearShape,
+    w: &[f32],
+    dy_bm: &[f32],
+    rows: usize,
+    batch: usize,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; rows * shape.in_dim * batch];
+    for r in 0..rows {
+        shape.backward_dx_bm(
+            w,
+            &dy_bm[r * shape.out_dim * batch..(r + 1) * shape.out_dim * batch],
+            &mut dx[r * shape.in_dim * batch..(r + 1) * shape.in_dim * batch],
+            batch,
+        );
+    }
+    dx
+}
+
+/// Replay a rows-wise linear layer's parameter accumulation in the
+/// scalar order: sequence ascending, row ascending, one
+/// [`LinearShape::backward_params`] rank-1 update per (sequence, row) —
+/// exactly [`linear_rows_backward`]'s adds per sequence, in batch order.
+fn replay_linear_params_bm(
+    shape: &LinearShape,
+    x_bm: &[f32],
+    dy_bm: &[f32],
+    grads: &mut [f32],
+    rows: usize,
+    batch: usize,
+) {
+    let mut x_s = vec![0.0f32; shape.in_dim];
+    let mut dy_s = vec![0.0f32; shape.out_dim];
+    for s in 0..batch {
+        for r in 0..rows {
+            for (k, xv) in x_s.iter_mut().enumerate() {
+                *xv = x_bm[(r * shape.in_dim + k) * batch + s];
+            }
+            for (k, dv) in dy_s.iter_mut().enumerate() {
+                *dv = dy_bm[(r * shape.out_dim + k) * batch + s];
+            }
+            shape.backward_params(&x_s, &dy_s, grads);
+        }
+    }
+}
+
 /// One encoder layer's retained activations.
 #[derive(Debug, Clone)]
 struct LayerCache {
@@ -129,6 +372,45 @@ struct LayerCache {
 pub struct TransformerCache {
     layers: Vec<LayerCache>,
     t_steps: usize,
+}
+
+/// One encoder layer's retained batch-major activations (every buffer
+/// is the batch-major twin of its [`LayerCache`] field: feature index
+/// major, lane minor).
+#[derive(Debug, Clone)]
+struct LayerBatchCache {
+    input: Vec<f32>, // T x d x batch (layer input h)
+    q: Vec<f32>,     // T x d x batch
+    k: Vec<f32>,     // T x d x batch
+    v: Vec<f32>,     // T x d x batch
+    probs: Vec<f32>, // heads x T x T x batch softmax rows
+    attn: Vec<f32>,  // T x d x batch (concat heads, pre-Wo)
+    xhat1: Vec<f32>,
+    istd1: Vec<f32>,      // T x batch
+    h1: Vec<f32>,         // post-LN1
+    ffn_hidden: Vec<f32>, // T x ff x batch (post-ReLU)
+    xhat2: Vec<f32>,
+    istd2: Vec<f32>,
+}
+
+/// Forward cache for [`TransformerEncoder::forward_batch_cached`].
+#[derive(Debug, Clone)]
+pub struct TransformerBatchCache {
+    layers: Vec<LayerBatchCache>,
+    t_steps: usize,
+    batch: usize,
+}
+
+impl TransformerBatchCache {
+    /// Number of timesteps the cache covers.
+    pub fn t_steps(&self) -> usize {
+        self.t_steps
+    }
+
+    /// Number of sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
 }
 
 /// The Transformer encoder model.
@@ -203,6 +485,11 @@ impl TransformerEncoder {
     /// Representation dimensionality.
     pub fn out_dim(&self) -> usize {
         self.d
+    }
+
+    /// Encoder block count.
+    pub fn num_layers(&self) -> usize {
+        self.n_layers
     }
 
     /// Flat parameters.
@@ -490,6 +777,395 @@ impl TransformerEncoder {
                 g_e,
                 &mut dxs[t * self.in_dim..(t + 1) * self.in_dim],
             );
+        }
+    }
+
+    /// Batched forward over `batch` sequence-major windows
+    /// (`batch x T x in_dim`); returns the per-sequence representations
+    /// (`batch x d`, sequence-major). Every gemm, softmax, and layer
+    /// norm runs batch-major with lane-blocked kernels that replay the
+    /// scalar operation order per lane, so each sequence's result is
+    /// bit-identical to [`TransformerEncoder::forward`].
+    pub fn forward_batch(&self, xs: &[f32], t_steps: usize, batch: usize) -> Vec<f32> {
+        self.forward_batch_inner(xs, t_steps, batch, false).0
+    }
+
+    /// Batched forward retaining every layer's batch-major activations
+    /// for [`TransformerEncoder::backward_batch`].
+    pub fn forward_batch_cached(
+        &self,
+        xs: &[f32],
+        t_steps: usize,
+        batch: usize,
+    ) -> (Vec<f32>, TransformerBatchCache) {
+        let (out, layers) = self.forward_batch_inner(xs, t_steps, batch, true);
+        (
+            out,
+            TransformerBatchCache {
+                layers,
+                t_steps,
+                batch,
+            },
+        )
+    }
+
+    fn forward_batch_inner(
+        &self,
+        xs: &[f32],
+        t_steps: usize,
+        batch: usize,
+        keep: bool,
+    ) -> (Vec<f32>, Vec<LayerBatchCache>) {
+        let d = self.d;
+        let dh = d / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        debug_assert_eq!(xs.len(), batch * t_steps * self.in_dim);
+        let mut acc = vec![0.0f32; batch];
+        // embed + positions, batch-major
+        let mut x_bm = vec![0.0f32; t_steps * self.in_dim * batch];
+        for s in 0..batch {
+            let seq = &xs[s * t_steps * self.in_dim..(s + 1) * t_steps * self.in_dim];
+            for (i, &xv) in seq.iter().enumerate() {
+                x_bm[i * batch + s] = xv;
+            }
+        }
+        let mut h = linear_rows_bm(
+            &self.embed,
+            &self.params[..self.embed.param_len()],
+            &x_bm,
+            t_steps,
+            batch,
+            &mut acc,
+        );
+        drop(x_bm);
+        for t in 0..t_steps {
+            for k in 0..d {
+                let p = self.positional(t, k);
+                for hv in &mut h[(t * d + k) * batch..(t * d + k + 1) * batch] {
+                    *hv += p;
+                }
+            }
+        }
+        let mut layers = Vec::with_capacity(if keep { self.n_layers } else { 0 });
+        for l in 0..self.n_layers {
+            let mut off = self.layer_off(l);
+            let qn = self.qkv.param_len();
+            let w_q = &self.params[off..off + qn];
+            off += qn;
+            let w_k = &self.params[off..off + qn];
+            off += qn;
+            let w_v = &self.params[off..off + qn];
+            off += qn;
+            let w_o = &self.params[off..off + qn];
+            off += qn;
+            let g1 = &self.params[off..off + d];
+            off += d;
+            let b1 = &self.params[off..off + d];
+            off += d;
+            let w_f1 = &self.params[off..off + self.ffn1.param_len()];
+            off += self.ffn1.param_len();
+            let w_f2 = &self.params[off..off + self.ffn2.param_len()];
+            off += self.ffn2.param_len();
+            let g2 = &self.params[off..off + d];
+            off += d;
+            let b2 = &self.params[off..off + d];
+
+            let input = h;
+            let q = linear_rows_bm(&self.qkv, w_q, &input, t_steps, batch, &mut acc);
+            let k_m = linear_rows_bm(&self.qkv, w_k, &input, t_steps, batch, &mut acc);
+            let v = linear_rows_bm(&self.qkv, w_v, &input, t_steps, batch, &mut acc);
+            // attention per head: scores and softmax lane-replayed, then
+            // the weighted-V sum in source ascending order per location.
+            let mut probs = vec![0.0f32; self.n_heads * t_steps * t_steps * batch];
+            let mut attn = vec![0.0f32; t_steps * d * batch];
+            for hd in 0..self.n_heads {
+                let hoff = hd * dh;
+                for t in 0..t_steps {
+                    let row = &mut probs[(hd * t_steps + t) * t_steps * batch
+                        ..(hd * t_steps + t + 1) * t_steps * batch];
+                    let qv = &q[(t * d + hoff) * batch..(t * d + hoff + dh) * batch];
+                    for s_t in 0..t_steps {
+                        lane_dot_scaled_bm(
+                            qv,
+                            &k_m[(s_t * d + hoff) * batch..(s_t * d + hoff + dh) * batch],
+                            &mut row[s_t * batch..(s_t + 1) * batch],
+                            dh,
+                            batch,
+                            scale,
+                        );
+                    }
+                    softmax_bm_inplace(row, t_steps, batch);
+                    for s_t in 0..t_steps {
+                        let p_s = &row[s_t * batch..(s_t + 1) * batch];
+                        for kk in 0..dh {
+                            let vv = &v
+                                [(s_t * d + hoff + kk) * batch..(s_t * d + hoff + kk + 1) * batch];
+                            let out = &mut attn
+                                [(t * d + hoff + kk) * batch..(t * d + hoff + kk + 1) * batch];
+                            for ((o, &p), &x) in out.iter_mut().zip(p_s).zip(vv) {
+                                *o += p * x;
+                            }
+                        }
+                    }
+                }
+            }
+            let o = linear_rows_bm(&self.qkv, w_o, &attn, t_steps, batch, &mut acc);
+            let mut res1 = input.clone();
+            for (r, &ov) in res1.iter_mut().zip(&o) {
+                *r += ov;
+            }
+            let (h1, xhat1, istd1) = layernorm_forward_bm(&res1, g1, b1, t_steps, d, batch);
+            drop(res1);
+            let mut ffn_hidden = linear_rows_bm(&self.ffn1, w_f1, &h1, t_steps, batch, &mut acc);
+            relu_inplace(&mut ffn_hidden);
+            let f = linear_rows_bm(&self.ffn2, w_f2, &ffn_hidden, t_steps, batch, &mut acc);
+            let mut res2 = h1.clone();
+            for (r, &fv) in res2.iter_mut().zip(&f) {
+                *r += fv;
+            }
+            let (h2, xhat2, istd2) = layernorm_forward_bm(&res2, g2, b2, t_steps, d, batch);
+            drop(res2);
+
+            if keep {
+                layers.push(LayerBatchCache {
+                    input,
+                    q,
+                    k: k_m,
+                    v,
+                    probs,
+                    attn,
+                    xhat1,
+                    istd1,
+                    h1,
+                    ffn_hidden,
+                    xhat2,
+                    istd2,
+                });
+            }
+            h = h2;
+        }
+        let mut out = vec![0.0f32; batch * d];
+        for s in 0..batch {
+            for k in 0..d {
+                out[s * d + k] = h[((t_steps - 1) * d + k) * batch + s];
+            }
+        }
+        (out, layers)
+    }
+
+    /// Batched backward from per-sequence upstream gradients `douts`
+    /// (sequence-major `batch x d`), accumulating into `grads`.
+    ///
+    /// Gradient *transport* (layer norm dx, `W^T dy`, softmax backward,
+    /// the attention dq/dk/dv recursion) runs batch-major with
+    /// lane-replayed kernels; parameter *accumulation* is replayed per
+    /// sequence ascending, group by group, in the scalar path's
+    /// per-location addition order — so `grads` is bit-identical to
+    /// calling [`TransformerEncoder::backward`] once per sequence in
+    /// batch order.
+    pub fn backward_batch(
+        &self,
+        xs: &[f32],
+        cache: &TransformerBatchCache,
+        douts: &[f32],
+        grads: &mut [f32],
+    ) {
+        let d = self.d;
+        let t_steps = cache.t_steps;
+        let batch = cache.batch;
+        let dh_dim = d / self.n_heads;
+        let scale = 1.0 / (dh_dim as f32).sqrt();
+        let qn = self.qkv.param_len();
+        debug_assert_eq!(douts.len(), batch * d);
+
+        // dh over all positions: only the last position receives douts.
+        let mut dh = vec![0.0f32; t_steps * d * batch];
+        for s in 0..batch {
+            for k in 0..d {
+                dh[((t_steps - 1) * d + k) * batch + s] = douts[s * d + k];
+            }
+        }
+
+        for l in (0..self.n_layers).rev() {
+            let lc = &cache.layers[l];
+            let base = self.layer_off(l);
+            let mut off = base;
+            let w_q = self.params[off..off + qn].to_vec();
+            off += qn;
+            let w_k = self.params[off..off + qn].to_vec();
+            off += qn;
+            let w_v = self.params[off..off + qn].to_vec();
+            off += qn;
+            let w_o = self.params[off..off + qn].to_vec();
+            off += qn;
+            let g1 = self.params[off..off + d].to_vec();
+            off += 2 * d;
+            let w_f1 = self.params[off..off + self.ffn1.param_len()].to_vec();
+            off += self.ffn1.param_len();
+            let w_f2 = self.params[off..off + self.ffn2.param_len()].to_vec();
+            off += self.ffn2.param_len();
+            let g2 = self.params[off..off + d].to_vec();
+
+            // ---- LN2 ----
+            let ln2_start = base + 4 * qn + 2 * d + self.ffn1.param_len() + self.ffn2.param_len();
+            let dres2 = layernorm_backward_bm(&dh, &lc.xhat2, &lc.istd2, &g2, t_steps, d, batch);
+            {
+                let s = &mut grads[ln2_start..ln2_start + 2 * d];
+                let (dg2, db2) = s.split_at_mut(d);
+                replay_ln_params_bm(&dh, &lc.xhat2, dg2, db2, t_steps, d, batch);
+            }
+
+            // ---- FFN ----
+            let ffn2_start = base + 4 * qn + 2 * d + self.ffn1.param_len();
+            let mut dffn_hidden = linear_rows_bm_dx(&self.ffn2, &w_f2, &dres2, t_steps, batch);
+            replay_linear_params_bm(
+                &self.ffn2,
+                &lc.ffn_hidden,
+                &dres2,
+                &mut grads[ffn2_start..ffn2_start + self.ffn2.param_len()],
+                t_steps,
+                batch,
+            );
+            relu_backward_inplace(&lc.ffn_hidden, &mut dffn_hidden);
+            let ffn1_start = base + 4 * qn + 2 * d;
+            let dh1_from_ffn = linear_rows_bm_dx(&self.ffn1, &w_f1, &dffn_hidden, t_steps, batch);
+            replay_linear_params_bm(
+                &self.ffn1,
+                &lc.h1,
+                &dffn_hidden,
+                &mut grads[ffn1_start..ffn1_start + self.ffn1.param_len()],
+                t_steps,
+                batch,
+            );
+            // residual: dh1 = dres2 + dh1_from_ffn
+            let mut dh1 = dres2;
+            for (a, &b) in dh1.iter_mut().zip(&dh1_from_ffn) {
+                *a += b;
+            }
+
+            // ---- LN1 ----
+            let ln1_start = base + 4 * qn;
+            let dres1 = layernorm_backward_bm(&dh1, &lc.xhat1, &lc.istd1, &g1, t_steps, d, batch);
+            {
+                let s = &mut grads[ln1_start..ln1_start + 2 * d];
+                let (dg1, db1) = s.split_at_mut(d);
+                replay_ln_params_bm(&dh1, &lc.xhat1, dg1, db1, t_steps, d, batch);
+            }
+
+            // ---- attention output projection ----
+            let o_start = base + 3 * qn;
+            let dattn = linear_rows_bm_dx(&self.qkv, &w_o, &dres1, t_steps, batch);
+            replay_linear_params_bm(
+                &self.qkv,
+                &lc.attn,
+                &dres1,
+                &mut grads[o_start..o_start + qn],
+                t_steps,
+                batch,
+            );
+
+            // ---- attention core ----
+            let mut dq = vec![0.0f32; t_steps * d * batch];
+            let mut dk = vec![0.0f32; t_steps * d * batch];
+            let mut dv = vec![0.0f32; t_steps * d * batch];
+            let mut dp = vec![0.0f32; t_steps * batch];
+            for hd in 0..self.n_heads {
+                let hoff = hd * dh_dim;
+                for t in 0..t_steps {
+                    let p_row = &lc.probs[(hd * t_steps + t) * t_steps * batch
+                        ..(hd * t_steps + t + 1) * t_steps * batch];
+                    let da = &dattn[(t * d + hoff) * batch..(t * d + hoff + dh_dim) * batch];
+                    // dp and dv
+                    for s_t in 0..t_steps {
+                        lane_dot_scaled_bm(
+                            da,
+                            &lc.v[(s_t * d + hoff) * batch..(s_t * d + hoff + dh_dim) * batch],
+                            &mut dp[s_t * batch..(s_t + 1) * batch],
+                            dh_dim,
+                            batch,
+                            1.0,
+                        );
+                        let p_s = &p_row[s_t * batch..(s_t + 1) * batch];
+                        for kk in 0..dh_dim {
+                            let dvs = &mut dv
+                                [(s_t * d + hoff + kk) * batch..(s_t * d + hoff + kk + 1) * batch];
+                            let dak = &da[kk * batch..(kk + 1) * batch];
+                            for ((dvv, &p), &a) in dvs.iter_mut().zip(p_s).zip(dak) {
+                                *dvv += p * a;
+                            }
+                        }
+                    }
+                    softmax_backward_bm_inplace(p_row, &mut dp, t_steps, batch);
+                    // dq/dk with the scalar path's exact zero-skip,
+                    // replayed per lane.
+                    for s_t in 0..t_steps {
+                        for lane in 0..batch {
+                            let ds = dp[s_t * batch + lane] * scale;
+                            if ds == 0.0 {
+                                continue;
+                            }
+                            for kk in 0..dh_dim {
+                                dq[(t * d + hoff + kk) * batch + lane] +=
+                                    ds * lc.k[(s_t * d + hoff + kk) * batch + lane];
+                            }
+                            for kk in 0..dh_dim {
+                                dk[(s_t * d + hoff + kk) * batch + lane] +=
+                                    ds * lc.q[(t * d + hoff + kk) * batch + lane];
+                            }
+                        }
+                    }
+                }
+            }
+
+            // ---- q/k/v projections ----
+            let mut dinput = dres1; // residual path into the layer input
+            let dq_in = linear_rows_bm_dx(&self.qkv, &w_q, &dq, t_steps, batch);
+            replay_linear_params_bm(
+                &self.qkv,
+                &lc.input,
+                &dq,
+                &mut grads[base..base + qn],
+                t_steps,
+                batch,
+            );
+            let dk_in = linear_rows_bm_dx(&self.qkv, &w_k, &dk, t_steps, batch);
+            replay_linear_params_bm(
+                &self.qkv,
+                &lc.input,
+                &dk,
+                &mut grads[base + qn..base + 2 * qn],
+                t_steps,
+                batch,
+            );
+            let dv_in = linear_rows_bm_dx(&self.qkv, &w_v, &dv, t_steps, batch);
+            replay_linear_params_bm(
+                &self.qkv,
+                &lc.input,
+                &dv,
+                &mut grads[base + 2 * qn..base + 3 * qn],
+                t_steps,
+                batch,
+            );
+            for i in 0..dinput.len() {
+                dinput[i] += dq_in[i] + dk_in[i] + dv_in[i];
+            }
+            dh = dinput;
+        }
+
+        // ---- embedding: per-sequence replay (timestep ascending) ----
+        let g_e = &mut grads[..self.embed.param_len()];
+        let mut dy_s = vec![0.0f32; d];
+        for s in 0..batch {
+            for t in 0..t_steps {
+                for (k, dv_k) in dy_s.iter_mut().enumerate() {
+                    *dv_k = dh[(t * d + k) * batch + s];
+                }
+                self.embed.backward_params(
+                    &xs[s * t_steps * self.in_dim + t * self.in_dim..][..self.in_dim],
+                    &dy_s,
+                    g_e,
+                );
+            }
         }
     }
 }

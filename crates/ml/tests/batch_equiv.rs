@@ -50,7 +50,8 @@ fn batch_of_one_is_bit_identical_to_forward() {
 #[test]
 fn every_sequence_of_a_batch_is_bit_identical_to_forward() {
     let (in_dim, d, t) = (6, 8, 5);
-    for batch in [2usize, 3, 8, 17] {
+    // 32 exercises the widest (32-lane) gemm block, 7 every tail path.
+    for batch in [2usize, 3, 7, 8, 17, 32] {
         let xs = batch_inputs(batch, t, in_dim);
         for m in all_models(in_dim, d, t) {
             let batched = m.forward_batch(&xs, t, batch);
@@ -84,7 +85,7 @@ fn batch_douts(batch: usize, d: usize) -> Vec<f32> {
 #[test]
 fn cached_batched_forward_is_bit_identical_to_forward_batch() {
     let (in_dim, d, t) = (6, 8, 5);
-    for batch in [1usize, 3, 8, 17] {
+    for batch in [1usize, 2, 3, 7, 8, 17, 32] {
         let xs = batch_inputs(batch, t, in_dim);
         for m in all_models(in_dim, d, t) {
             let plain = m.forward_batch(&xs, t, batch);
@@ -97,7 +98,9 @@ fn cached_batched_forward_is_bit_identical_to_forward_batch() {
 #[test]
 fn backward_batch_is_bit_identical_to_per_sequence_backward() {
     let (in_dim, d, t) = (6, 8, 5);
-    for batch in [1usize, 2, 3, 8, 17] {
+    // 32 exercises the widest (32-lane) gemm block, 7 and 17 every
+    // tail path, 1 the degenerate single-lane batch.
+    for batch in [1usize, 2, 3, 7, 8, 17, 32] {
         let xs = batch_inputs(batch, t, in_dim);
         let douts = batch_douts(batch, d);
         for m in all_models(in_dim, d, t) {

@@ -194,10 +194,30 @@ fn batched_gru_gradients_match_finite_differences() {
 }
 
 #[test]
-fn batched_fallback_gradients_match_finite_differences() {
-    // The per-sequence fallback architectures ride the same
-    // backward_batch surface; spot-check one windowed and one
-    // attention-based model through it.
+fn batched_linear_gradients_match_finite_differences() {
+    finite_difference_check_batched(SeqModel::linear(6, 8, 4, 27), 4, 5, 11);
+}
+
+#[test]
+fn batched_mlp_gradients_match_finite_differences() {
     finite_difference_check_batched(SeqModel::mlp(6, 8, 4, 25), 4, 5, 9);
+}
+
+#[test]
+fn batched_transformer_gradients_match_finite_differences() {
+    // End to end through the batch-major attention backward: lane-wise
+    // score dots, softmax backward, the zero-skip dq/dk recursion, and
+    // the scalar-order parameter replays. The post-LN transformer's
+    // curvature makes the summed probe loss's O(ε²·L''') truncation
+    // grow with batch, so batch 3 keeps the FD noise inside the 1e-4
+    // tolerance; wide-batch lane-block coverage comes from the
+    // batch_equiv suite (bit-exact at batch 32, no FD noise budget).
     finite_difference_check_batched(SeqModel::transformer(6, 8, 2, 26), 4, 3, 10);
+}
+
+#[test]
+fn batched_bilstm_gradients_match_finite_differences() {
+    // Both direction stacks' batch-major BPTT over the shared reversed
+    // window block.
+    finite_difference_check_batched(SeqModel::bilstm(5, 6, 1, 28), 4, 11, 12);
 }
