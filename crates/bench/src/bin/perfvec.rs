@@ -64,6 +64,7 @@ fn die(msg: &str) -> ! {
 }
 
 fn main() -> ExitCode {
+    perfvec_obs::log::init_default(perfvec_obs::Level::Info);
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
@@ -291,17 +292,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let total = specs.len();
     for (i, spec) in specs.iter().enumerate() {
         if total > 1 {
-            eprintln!("[perfvec] run {}/{total}: {}", i + 1, spec.kind.name());
+            perfvec_obs::info!("perfvec", "[perfvec] run {}/{total}: {}", i + 1, spec.kind.name());
         }
         if !runner::execute(spec) {
             if total > 1 {
-                eprintln!("[perfvec] sweep aborted at run {}/{total}", i + 1);
+                perfvec_obs::warn!("perfvec", "[perfvec] sweep aborted at run {}/{total}", i + 1);
             }
             return ExitCode::FAILURE;
         }
     }
     if total > 1 {
-        eprintln!("[perfvec] sweep complete: {total}/{total} runs ok");
+        perfvec_obs::info!("perfvec", "[perfvec] sweep complete: {total}/{total} runs ok");
     }
     ExitCode::SUCCESS
 }

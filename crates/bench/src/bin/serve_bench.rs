@@ -36,7 +36,7 @@ fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
     let addr: SocketAddr = match addr.parse() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("[probe] bad address {addr:?}: {e}");
+            perfvec_obs::error!("probe", "[probe] bad address {addr:?}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -45,21 +45,21 @@ fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
         match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
             Ok(c) => break c,
             Err(e) if Instant::now() < deadline => {
-                eprintln!("[probe] waiting for server ({e})...");
+                perfvec_obs::info!("probe", "[probe] waiting for server ({e})...");
                 std::thread::sleep(Duration::from_millis(300));
             }
             Err(e) => {
-                eprintln!("[probe] server never came up: {e}");
+                perfvec_obs::error!("probe", "[probe] server never came up: {e}");
                 return ExitCode::FAILURE;
             }
         }
     };
     let (status, health) = http(&mut conn, "GET", "/healthz", "");
     if status != 200 {
-        eprintln!("[probe] healthz returned {status}: {health}");
+        perfvec_obs::error!("probe", "[probe] healthz returned {status}: {health}");
         return ExitCode::FAILURE;
     }
-    eprintln!("[probe] healthz ok: {health}");
+    perfvec_obs::info!("probe", "[probe] healthz ok: {health}");
 
     // One prediction, compared bit-for-bit against the offline path
     // recomputed from the same checkpoint.
@@ -72,7 +72,7 @@ fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
     );
     let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
     if status != 200 {
-        eprintln!("[probe] predict returned {status}: {resp}");
+        perfvec_obs::error!("probe", "[probe] predict returned {status}: {resp}");
         return ExitCode::FAILURE;
     }
     let served = resp
@@ -84,7 +84,7 @@ fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
     let (foundation, _, table) = match perfvec::checkpoint::load(std::path::Path::new(ckpt)) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("[probe] cannot load checkpoint {ckpt}: {e}");
+            perfvec_obs::error!("probe", "[probe] cannot load checkpoint {ckpt}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -93,7 +93,8 @@ fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
     let rep = program_representation(&foundation, &feats);
     let offline = predict_total_tenths(&rep, table.rep(march), foundation.target_scale);
     if served.to_bits() != offline.to_bits() {
-        eprintln!(
+        perfvec_obs::error!(
+            "probe",
             "[probe] PARITY FAILURE: served {served} (0x{:016x}) vs offline {offline} (0x{:016x})",
             served.to_bits(),
             offline.to_bits()
@@ -108,6 +109,7 @@ fn probe(addr: &str, ckpt: &str, model: Option<String>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    perfvec_obs::log::init_default(perfvec_obs::Level::Info);
     if let Some(addr) = arg_value("--probe") {
         let ckpt = arg_value("--ckpt").unwrap_or_else(|| {
             eprintln!("--probe requires --ckpt PATH for the offline comparison");

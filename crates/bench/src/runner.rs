@@ -63,6 +63,7 @@ pub fn run(spec: &ExperimentSpec) -> Result<Report, RunError> {
         ExperimentKind::ServeBench => benches::serve_bench(spec, &mut report),
         ExperimentKind::TrainBench => benches::train_bench(spec, &mut report),
         ExperimentKind::SimBench => benches::sim_bench(spec, &mut report),
+        ExperimentKind::ObsOverhead => benches::obs_overhead(spec, &mut report),
     }?;
     Ok(report)
 }
@@ -76,10 +77,18 @@ pub fn execute(spec: &ExperimentSpec) -> bool {
         Ok(report) => {
             if let Some(path) = &spec.report_path {
                 if let Err(e) = report.write(path, spec) {
-                    eprintln!("[perfvec] cannot write report {}: {e}", path.display());
+                    perfvec_obs::error!(
+                        "perfvec",
+                        "[perfvec] cannot write report {}: {e}",
+                        path.display()
+                    );
                     return false;
                 }
-                eprintln!("[perfvec] report written to {}", path.display());
+                perfvec_obs::info!(
+                    "perfvec",
+                    "[perfvec] report written to {}",
+                    path.display()
+                );
             }
             true
         }
@@ -97,6 +106,7 @@ pub fn execute(spec: &ExperimentSpec) -> bool {
 /// argument conventions into a spec, run it, write a report only if
 /// `--report PATH` was given.
 pub fn legacy_main(kind: ExperimentKind) -> ExitCode {
+    perfvec_obs::log::init_default(perfvec_obs::Level::Info);
     let spec = ExperimentSpec::from_legacy_args(kind);
     if execute(&spec) {
         ExitCode::SUCCESS

@@ -16,9 +16,10 @@ use perfvec::trainer::{train_foundation, TrainConfig, TrainedFoundation};
 use perfvec::{predict_total_tenths, program_representation, MarchTable};
 use perfvec_json::{obj, Json};
 use perfvec_ml::schedule::StepDecay;
+use perfvec_obs::{info, warn, Histogram, Span};
 use perfvec_serve::registry::{LoadedModel, ModelRegistry};
 use perfvec_serve::server::named_workload_features;
-use perfvec_serve::{start, EngineConfig, ServerConfig};
+use perfvec_serve::{start, EngineConfig, PredictEngine, ServerConfig};
 use perfvec_sim::reference::simulate_reference;
 use perfvec_sim::sample::{
     predefined_configs, sample_configs, training_population, DEFAULT_MARCH_SEED, DEFAULT_POPULATION,
@@ -142,16 +143,14 @@ struct PhaseResult {
     max_batch: u64,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 /// Drive `requests` unique no-cache requests over `conns` keep-alive
 /// connections against a fresh in-process server.
+///
+/// Latency quantiles come from one shared lock-free
+/// [`perfvec_obs::Histogram`] that every client thread records into —
+/// the same estimator `/metrics` exposes, with the bit-pinned bucket
+/// and rank semantics documented in `perfvec_obs::histogram` (bucket
+/// upper bounds, ≤12.5% relative error, capped at the observed max).
 fn run_phase(
     label: &'static str,
     registry: ModelRegistry,
@@ -171,18 +170,19 @@ fn run_phase(
     .expect("server start");
     let addr = handle.addr;
     let next = Arc::new(AtomicUsize::new(0));
+    let latency_us = Arc::new(Histogram::new());
     let t0 = Instant::now();
     let threads: Vec<_> = (0..conns)
         .map(|_| {
             let next = Arc::clone(&next);
             let mix = Arc::clone(mix);
+            let latency_us = Arc::clone(&latency_us);
             std::thread::spawn(move || {
                 let mut conn = TcpStream::connect(addr).expect("connect");
-                let mut latencies = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= requests {
-                        return latencies;
+                        return;
                     }
                     // `no_cache:false` + a server with `cache_entries:0`:
                     // the representation is recomputed for every request
@@ -192,25 +192,24 @@ fn run_phase(
                     let body = mix.body(i, false);
                     let t = Instant::now();
                     let (status, resp) = http(&mut conn, "POST", "/v1/predict", &body);
-                    latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                    latency_us.record(t.elapsed().as_micros() as u64);
                     assert_eq!(status, 200, "{label}: {resp}");
                 }
             })
         })
         .collect();
-    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
     for t in threads {
-        latencies.extend(t.join().expect("client thread"));
+        t.join().expect("client thread");
     }
     let wall = t0.elapsed().as_secs_f64();
     let stats = handle.engine().stats();
     handle.shutdown();
-    latencies.sort_by(f64::total_cmp);
+    let lat = latency_us.summary();
     PhaseResult {
         throughput_rps: requests as f64 / wall,
-        p50_ms: percentile(&latencies, 0.50),
-        p95_ms: percentile(&latencies, 0.95),
-        p99_ms: percentile(&latencies, 0.99),
+        p50_ms: lat.p50 as f64 / 1e3,
+        p95_ms: lat.p95 as f64 / 1e3,
+        p99_ms: lat.p99 as f64 / 1e3,
         mean_batch: if stats.batcher.batches > 0 {
             stats.batcher.jobs as f64 / stats.batcher.batches as f64
         } else {
@@ -329,7 +328,8 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
                 "[serve_bench] PARITY FAILURE ({name}): served {served} vs offline {offline}"
             )));
         }
-        eprintln!(
+        info!(
+            "serve_bench",
             "[serve_bench] {name}: parity ok — served == offline bit-for-bit ({offline} x 0.1ns)"
         );
         // Cache-hit fast path: repeat the identical request (cache on).
@@ -340,7 +340,8 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             assert_eq!(r.get("cache_hit").and_then(Json::as_bool), Some(true));
         }
         let cache_rps = cache_reqs as f64 / t_cache.elapsed().as_secs_f64();
-        eprintln!(
+        info!(
+            "serve_bench",
             "[serve_bench] {name}: cache-hit serving {cache_rps:.0} req/s \
              (O(1) repeated queries)"
         );
@@ -348,7 +349,8 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         parity_secs += t_parity.elapsed().as_secs_f64();
 
         // ---- batched vs unbatched, same worker count -----------------
-        eprintln!(
+        info!(
+            "serve_bench",
             "[serve_bench] {name}: measuring {requests} unique uncached requests, \
              {conns} connections, {workers} workers, {model_desc}"
         );
@@ -366,10 +368,14 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             requests,
             &mix,
         );
-        eprintln!(
+        info!(
+            "serve_bench",
             "[serve_bench] {name}: --batch 1 : {:7.1} req/s  p50 {:6.1}ms  p95 {:6.1}ms  \
              p99 {:6.1}ms",
-            unbatched.throughput_rps, unbatched.p50_ms, unbatched.p95_ms, unbatched.p99_ms
+            unbatched.throughput_rps,
+            unbatched.p50_ms,
+            unbatched.p95_ms,
+            unbatched.p99_ms
         );
         let batched = run_phase(
             "batched",
@@ -384,7 +390,8 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             requests,
             &mix,
         );
-        eprintln!(
+        info!(
+            "serve_bench",
             "[serve_bench] {name}: --batch {batch:<2}: {:7.1} req/s  p50 {:6.1}ms  \
              p95 {:6.1}ms  p99 {:6.1}ms  (mean coalesce {:.1}, max {})",
             batched.throughput_rps,
@@ -421,7 +428,8 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         }
         arch_entries.push((name.to_string(), entry));
         if speedup < 3.0 {
-            eprintln!(
+            warn!(
+                "serve_bench",
                 "[serve_bench] WARNING: {name} speedup {speedup:.2}x below the 3x target on \
                  this machine"
             );
@@ -460,7 +468,8 @@ pub fn serve_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
     fields.push(("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())));
     let bench = obj(fields);
     std::fs::write("BENCH_serve.json", format!("{bench}\n")).expect("write BENCH_serve.json");
-    eprintln!(
+    info!(
+        "serve_bench",
         "[serve_bench] wrote BENCH_serve.json (total {:.1}s)",
         t0.elapsed().as_secs_f64()
     );
@@ -483,7 +492,11 @@ fn bench_datasets(spec: &ExperimentSpec, report: &mut Report) -> Vec<ProgramData
         FeatureMask::Full,
         spec.shard_plan(),
     );
-    eprintln!("[train_bench] datasets ready ({})", stats.summary());
+    info!(
+        "train_bench",
+        "[train_bench] datasets ready ({})",
+        stats.summary()
+    );
     report.absorb_cache(stats);
     data
 }
@@ -620,7 +633,8 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
                 "[train_bench] PARITY FAILURE ({name}): batched and scalar checkpoints differ"
             )));
         }
-        eprintln!(
+        info!(
+            "train_bench",
             "[train_bench] {name}: parity ok — batched == scalar checkpoint byte-for-byte \
              ({} bytes)",
             b_bytes.len()
@@ -631,23 +645,35 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
         let mut cfg = bench_config(*arch, context, batch);
         cfg.epochs = 1;
         cfg.windows_per_epoch = windows;
-        eprintln!(
+        info!(
+            "train_bench",
             "[train_bench] {name}: measuring {steps} gradient steps x batch {batch} windows, \
              {model_desc}, k={} machines",
             data[0].num_marches()
         );
         let t_measure = Instant::now();
         let mut sps = [0.0f64; 2];
+        // The trainer's own per-step obs histogram: count, mean, and
+        // bit-pinned p50/p95/p99 step times in microseconds, plus its
+        // inside-the-step steps/s (excludes validation and setup).
+        let mut step_us: [Option<Json>; 2] = [None, None];
+        let mut inner_sps = [0.0f64; 2];
         for (slot, batched) in [(0usize, false), (1, true)] {
             cfg.batched = batched;
             let trained = train_foundation(&data, &cfg);
             sps[slot] = steps as f64 / trained.report.wall_seconds;
-            eprintln!(
-                "[train_bench] {name}: {}: {:7.2} steps/s ({:.2}s wall, final loss {:.4})",
+            step_us[slot] = Some(trained.report.step_time_us.to_json());
+            inner_sps[slot] = trained.report.steps_per_sec;
+            info!(
+                "train_bench",
+                "[train_bench] {name}: {}: {:7.2} steps/s ({:.2}s wall, final loss {:.4}, \
+                 step p50 {}us p99 {}us)",
                 if batched { "batched" } else { "scalar " },
                 sps[slot],
                 trained.report.wall_seconds,
-                trained.report.train_loss.last().unwrap()
+                trained.report.train_loss.last().unwrap(),
+                trained.report.step_time_us.p50,
+                trained.report.step_time_us.p99
             );
         }
         measure_secs += t_measure.elapsed().as_secs_f64();
@@ -664,6 +690,10 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             ("scalar_steps_per_sec", Json::Num(sps[0])),
             ("batched_steps_per_sec", Json::Num(sps[1])),
             ("speedup", Json::Num(speedup)),
+            ("scalar_step_us", step_us[0].clone().expect("measured")),
+            ("batched_step_us", step_us[1].clone().expect("measured")),
+            ("scalar_steps_per_sec_inner", Json::Num(inner_sps[0])),
+            ("batched_steps_per_sec_inner", Json::Num(inner_sps[1])),
         ]);
         report.metric(&format!("{name}_speedup"), Json::Num(speedup));
         if first.is_none() {
@@ -671,11 +701,13 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             report.metric_f64("batched_steps_per_sec", sps[1]);
             report.metric_f64("speedup", speedup);
             report.metric("parity", Json::Str("byte-identical".into()));
+            report.metric("batched_step_us", step_us[1].clone().expect("measured"));
             first = Some(entry.clone());
         }
         arch_entries.push((name.to_string(), entry));
         if speedup < 1.5 {
-            eprintln!(
+            warn!(
+                "train_bench",
                 "[train_bench] WARNING: {name} speedup {speedup:.2}x below the 1.5x target on \
                  this machine"
             );
@@ -711,11 +743,16 @@ pub fn train_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), Run
             first.get("batched_steps_per_sec").cloned().unwrap(),
         ),
         ("speedup", first.get("speedup").cloned().unwrap()),
+        (
+            "batched_step_us",
+            first.get("batched_step_us").cloned().unwrap(),
+        ),
         ("archs", Json::Obj(arch_entries)),
         ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
     ]);
     std::fs::write("BENCH_train.json", format!("{bench}\n")).expect("write BENCH_train.json");
-    eprintln!(
+    info!(
+        "train_bench",
         "[train_bench] wrote BENCH_train.json (total {:.1}s)",
         t0.elapsed().as_secs_f64()
     );
@@ -768,17 +805,19 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let rounds = spec.param_usize("rounds", 3)?.max(1);
     let configs = sim_bench_configs(marches);
     let workloads = suite();
-    eprintln!(
+    info!(
+        "sim_bench",
         "[sim_bench] tracing {} workloads at {trace_len} instructions...",
         workloads.len()
     );
-    let t_trace = Instant::now();
+    let trace_span = Span::start("traces");
     let traces: Vec<_> = workloads.iter().map(|w| w.trace(trace_len)).collect();
-    report.phase("traces", t_trace.elapsed().as_secs_f64());
+    report.phase_span(trace_span);
     let grid = traces.len() * configs.len();
     let sim_insts: u64 = traces.iter().map(|t| t.len() as u64).sum::<u64>() * configs.len() as u64;
 
-    eprintln!(
+    info!(
+        "sim_bench",
         "[sim_bench] simulating {} programs x {} machines, both implementations, \
          best of {rounds} interleaved rounds...",
         traces.len(),
@@ -788,14 +827,21 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let _ = simulate(&traces[0], &configs[0]);
     let mut flat_best = vec![f64::MAX; grid];
     let mut ref_best = vec![f64::MAX; grid];
-    let t_bench = Instant::now();
+    // Per-grid-cell flat-kernel wall time (all rounds) and the summed
+    // architectural counters from the first round — both observational,
+    // recorded outside the simulated state.
+    let flat_cell_us = Histogram::new();
+    let mut counters = perfvec_sim::SimStats::default();
+    let bench_span = Span::start("bench");
     for round in 0..rounds {
         let mut cell = 0usize;
         for (ci, c) in configs.iter().enumerate() {
             for (wi, t) in traces.iter().enumerate() {
                 let tf = Instant::now();
                 let f = simulate(t, c);
-                flat_best[cell] = flat_best[cell].min(tf.elapsed().as_secs_f64());
+                let dtf = tf.elapsed();
+                flat_cell_us.record(dtf.as_micros() as u64);
+                flat_best[cell] = flat_best[cell].min(dtf.as_secs_f64());
                 let tr = Instant::now();
                 let r = simulate_reference(t, c);
                 ref_best[cell] = ref_best[cell].min(tr.elapsed().as_secs_f64());
@@ -806,14 +852,29 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
                         workloads[wi].name, configs[ci].name, f.stats, r.stats
                     )));
                 }
+                if round == 0 {
+                    let s = &f.stats;
+                    counters.cycles += s.cycles;
+                    counters.instructions += s.instructions;
+                    counters.l1i_misses += s.l1i_misses;
+                    counters.l1d_misses += s.l1d_misses;
+                    counters.l2_misses += s.l2_misses;
+                    counters.mispredicts += s.mispredicts;
+                    counters.branches += s.branches;
+                    counters.ifetch_accesses += s.ifetch_accesses;
+                    counters.data_accesses += s.data_accesses;
+                }
                 cell += 1;
             }
         }
         if round == 0 {
-            eprintln!("[sim_bench] identity ok: {grid} grid points bit-identical to the reference");
+            info!(
+                "sim_bench",
+                "[sim_bench] identity ok: {grid} grid points bit-identical to the reference"
+            );
         }
     }
-    report.phase("bench", t_bench.elapsed().as_secs_f64());
+    report.phase_span(bench_span);
 
     // Sum of per-cell bests, overall and split by core kind.
     let mut flat_secs = 0.0f64;
@@ -850,6 +911,25 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     );
 
     // ---- BENCH_sim.json ------------------------------------------------
+    // Whole-grid architectural counters (first round; identical every
+    // round by the bit-identity gate) — the cache/branch behavior the
+    // measured throughput was measured under.
+    let counters_json = obj(vec![
+        ("cycles", Json::Num(counters.cycles as f64)),
+        ("instructions", Json::Num(counters.instructions as f64)),
+        ("ipc", Json::Num(counters.ipc())),
+        ("l1i_misses", Json::Num(counters.l1i_misses as f64)),
+        ("l1d_misses", Json::Num(counters.l1d_misses as f64)),
+        ("l2_misses", Json::Num(counters.l2_misses as f64)),
+        ("branches", Json::Num(counters.branches as f64)),
+        ("mispredicts", Json::Num(counters.mispredicts as f64)),
+        ("mispredict_rate", Json::Num(counters.mispredict_rate())),
+        (
+            "ifetch_accesses",
+            Json::Num(counters.ifetch_accesses as f64),
+        ),
+        ("data_accesses", Json::Num(counters.data_accesses as f64)),
+    ]);
     let bench = obj(vec![
         ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
         ("trace_len", Json::Num(trace_len as f64)),
@@ -866,10 +946,13 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
         ("speedup", Json::Num(speedup)),
         ("speedup_ooo", Json::Num(speedup_ooo)),
         ("speedup_inorder", Json::Num(speedup_inorder)),
+        ("flat_cell_us", flat_cell_us.summary().to_json()),
+        ("counters", counters_json.clone()),
         ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
     ]);
     std::fs::write("BENCH_sim.json", format!("{bench}\n")).expect("write BENCH_sim.json");
-    eprintln!(
+    info!(
+        "sim_bench",
         "[sim_bench] wrote BENCH_sim.json (total {:.1}s)",
         t0.elapsed().as_secs_f64()
     );
@@ -879,9 +962,14 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     report.metric_f64("speedup_ooo", speedup_ooo);
     report.metric_f64("speedup_inorder", speedup_inorder);
     report.metric("identity", Json::Str("bit-identical".into()));
+    report.metric("flat_cell_us", flat_cell_us.summary().to_json());
+    report.metric("counters", counters_json);
 
     if speedup < 2.0 {
-        eprintln!("[sim_bench] WARNING: speedup {speedup:.2}x below the 2x target on this machine");
+        warn!(
+            "sim_bench",
+            "[sim_bench] WARNING: speedup {speedup:.2}x below the 2x target on this machine"
+        );
     }
     // `assert_speedup` turns a simulator-kernel regression into a hard
     // failure (CI floors this so a de-flattened inner loop cannot land
@@ -890,6 +978,85 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     if speedup < min_speedup {
         return Err(RunError(format!(
             "[sim_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
+        )));
+    }
+    Ok(())
+}
+
+/// `obs_overhead`: proves the instrumentation tax on the serving hot
+/// path. One in-process [`PredictEngine`] answers the same uncached
+/// prediction stream with metrics recording enabled and with the
+/// global obs switch off ([`perfvec_obs::set_enabled`]), interleaved
+/// best-of-`rounds` so machine noise hits both modes alike; the run
+/// fails when the metrics-on wall time exceeds metrics-off by more
+/// than `max_overhead` (default 2%). Served bits are identical in both
+/// modes — the switch gates only counter/histogram recording, never
+/// the computation.
+pub fn obs_overhead(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
+    let t0 = Instant::now();
+    let (dim, context) = bench_scale_dims(spec.scale);
+    let requests = spec.param_usize("requests", 240)?.max(1);
+    let rounds = spec.param_usize("rounds", 3)?.max(1);
+    let max_overhead = spec.param_f64("max_overhead", 0.02)?;
+    let (registry, _, _) = bench_model(ArchSpec::default_lstm(dim), context);
+    let engine = PredictEngine::new(
+        Arc::new(registry),
+        EngineConfig {
+            batch: 16,
+            queue_depth: 1024,
+            workers: 2,
+            cache_entries: 0,
+        },
+    );
+    let k = training_population(DEFAULT_MARCH_SEED).len();
+    let feats = Arc::new(named_workload_features("999.specrand-like", 1_000).unwrap());
+    info!(
+        "obs_overhead",
+        "[obs_overhead] {requests} uncached engine predictions per mode, best of {rounds} \
+         interleaved rounds, gate {:.1}%",
+        max_overhead * 100.0
+    );
+    // Warm the worker pool, scratch buffers, and feature path outside
+    // the timed region.
+    engine
+        .predict(None, Arc::clone(&feats), 0, true)
+        .expect("warmup");
+    let time_mode = |label: &str| -> f64 {
+        let t = Instant::now();
+        for i in 0..requests {
+            engine
+                .predict(None, Arc::clone(&feats), i % k, true)
+                .expect(label);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let mut best = [f64::MAX; 2]; // [metrics off, metrics on]
+    for _ in 0..rounds {
+        perfvec_obs::set_enabled(true);
+        best[1] = best[1].min(time_mode("metrics on"));
+        perfvec_obs::set_enabled(false);
+        best[0] = best[0].min(time_mode("metrics off"));
+    }
+    // Never leave the process with recording off: the switch is global.
+    perfvec_obs::set_enabled(true);
+    let (rps_off, rps_on) = (requests as f64 / best[0], requests as f64 / best[1]);
+    let overhead = best[1] / best[0] - 1.0;
+    println!(
+        "obs_overhead: metrics overhead {:+.2}% (on {rps_on:.0} req/s vs off {rps_off:.0} req/s, \
+         gate <= {:.1}%)",
+        overhead * 100.0,
+        max_overhead * 100.0
+    );
+    report.metric_f64("overhead", overhead);
+    report.metric_f64("max_overhead", max_overhead);
+    report.metric_f64("throughput_on_rps", rps_on);
+    report.metric_f64("throughput_off_rps", rps_off);
+    report.phase("measure", t0.elapsed().as_secs_f64());
+    if overhead > max_overhead {
+        return Err(RunError(format!(
+            "[obs_overhead] FAIL: metrics-on overhead {:.2}% above the allowed {:.2}%",
+            overhead * 100.0,
+            max_overhead * 100.0
         )));
     }
     Ok(())

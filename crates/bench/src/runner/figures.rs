@@ -48,7 +48,7 @@ pub fn fig3_like(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let scale = spec.scale;
     let t0 = std::time::Instant::now();
     let configs = spec.march_configs();
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[{tag}] generating datasets (17 programs x {} microarchitectures)...",
         configs.len()
     );
@@ -66,7 +66,7 @@ pub fn fig3_like(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[{tag}] datasets ready in {data_secs:.1}s ({}); training foundation model...",
         cstats.summary()
     );
@@ -76,7 +76,7 @@ pub fn fig3_like(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let trained = train_and_refit(&data, &cfg);
     let train_secs = t_train.elapsed().as_secs_f64();
     report.phase("train", train_secs);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[{tag}] trained {} in {:.1}s (best epoch {}, val loss {:.4})",
         trained.foundation.describe(),
         trained.report.wall_seconds,
@@ -125,7 +125,7 @@ pub fn fig3_like(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
 pub fn fig4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     let scale = spec.scale;
     let t0 = std::time::Instant::now();
-    eprintln!("[fig4] generating datasets...");
+    perfvec_obs::info!("figures", "[fig4] generating datasets...");
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let t_data = std::time::Instant::now();
@@ -139,13 +139,13 @@ pub fn fig4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig4] datasets ready in {data_secs:.1}s ({})",
         cstats.summary()
     );
     let cfg = scale.train_config();
 
-    eprintln!("[fig4] training on the Table II split (lbm unseen)...");
+    perfvec_obs::info!("figures", "[fig4] training on the Table II split (lbm unseen)...");
     let t_train = std::time::Instant::now();
     let base = train_and_refit(&data, &cfg);
     let base_secs = t_train.elapsed().as_secs_f64();
@@ -163,7 +163,7 @@ pub fn fig4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         }
     }
     let moved = SuiteData { train, test };
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig4] base model in {base_secs:.1}s; retraining with 519.lbm-like in the training set..."
     );
     let t_retrain = std::time::Instant::now();
@@ -224,7 +224,7 @@ pub fn fig4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
 pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     let scale = spec.scale;
     let t0 = std::time::Instant::now();
-    eprintln!("[fig5] generating datasets + training foundation...");
+    perfvec_obs::info!("figures", "[fig5] generating datasets + training foundation...");
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let trace_len = spec.trace_len_or(scale.trace_len());
@@ -239,7 +239,7 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig5] datasets ready in {data_secs:.1}s ({})",
         cstats.summary()
     );
@@ -250,7 +250,7 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
 
     // 10 fresh machines; tuning data = 3 seen programs simulated on them.
     let unseen = unseen_population(spec.seed);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig5] fine-tuning representations of {} unseen machines...",
         unseen.len()
     );
@@ -277,7 +277,7 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let (march_table, ft_loss) = learn_march_reps(&trained.foundation, &tuning, &ft);
     let ft_secs = t_ft.elapsed().as_secs_f64();
     report.phase("finetune", ft_secs);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig5] fine-tuned in {ft_secs:.1}s (final loss {ft_loss:.4}, tuning {}); evaluating all programs...",
         tstats.summary()
     );
@@ -308,7 +308,7 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     }
     let eval_secs = t_eval.elapsed().as_secs_f64();
     report.phase("eval", eval_secs);
-    eprintln!("[fig5] evaluated in {eval_secs:.1}s ({})", estats.summary());
+    perfvec_obs::info!("figures", "[fig5] evaluated in {eval_secs:.1}s ({})", estats.summary());
     println!(
         "{}",
         error_chart(
@@ -344,7 +344,7 @@ pub fn fig6(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     // one another, so every candidate gets the same smaller dataset and
     // schedule.
     let trace_len = spec.trace_len_or(scale.trace_len() / 2);
-    eprintln!("[fig6] generating ablation datasets ({trace_len} instrs/program)...");
+    perfvec_obs::info!("figures", "[fig6] generating ablation datasets ({trace_len} instrs/program)...");
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let t_data = std::time::Instant::now();
@@ -358,7 +358,7 @@ pub fn fig6(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig6] datasets ready in {data_secs:.1}s ({})",
         cstats.summary()
     );
@@ -479,7 +479,7 @@ pub fn fig6(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         if streams {
             let stream_err = stream_errs.iter().sum::<f64>() / stream_errs.len() as f64;
             arch_row.push(("streaming_error".to_string(), Json::Num(stream_err)));
-            eprintln!(
+            perfvec_obs::info!("figures", 
                 "[fig6] {:<18} unseen error {:5.1}%  (streaming fast path {:5.1}%)  ({:.0}s train)",
                 name,
                 unseen_err * 100.0,
@@ -487,7 +487,7 @@ pub fn fig6(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
                 trained.report.wall_seconds
             );
         } else {
-            eprintln!(
+            perfvec_obs::info!("figures", 
                 "[fig6] {:<18} unseen error {:5.1}%  ({:.0}s train)",
                 name,
                 unseen_err * 100.0,
@@ -519,7 +519,7 @@ pub fn fig6(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
 pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     let scale = spec.scale;
     let t0 = std::time::Instant::now();
-    eprintln!("[fig7] training foundation model...");
+    perfvec_obs::info!("figures", "[fig7] training foundation model...");
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let trace_len = spec.trace_len_or(scale.trace_len());
@@ -534,7 +534,7 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig7] datasets ready in {data_secs:.1}s ({})",
         cstats.summary()
     );
@@ -564,7 +564,7 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         .iter()
         .map(|&(l1, l2)| cache_param_vector(l1, l2))
         .collect();
-    eprintln!("[fig7] collecting DSE tuning data (18 configs x 3 programs)...");
+    perfvec_obs::info!("figures", "[fig7] collecting DSE tuning data (18 configs x 3 programs)...");
     let t_tune = std::time::Instant::now();
     let tuning_workloads: Vec<_> = suite().into_iter().take(3).collect();
     let (tuning, tstats) = workload_datasets(
@@ -576,7 +576,7 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         spec.shard_plan(),
     );
     report.absorb_cache(tstats);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig7] tuning data ready in {:.1}s ({})",
         t_tune.elapsed().as_secs_f64(),
         tstats.summary()
@@ -584,7 +584,7 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     report.phase("tuning_data", t_tune.elapsed().as_secs_f64());
 
     // --- step 2: train the microarchitecture representation model.
-    eprintln!("[fig7] training the cache-size representation model...");
+    perfvec_obs::info!("figures", "[fig7] training the cache-size representation model...");
     let cached = cache_representations(&trained.foundation, &tuning, 5_000, 0x715e);
     let (march_model, loss) = train_march_model(
         &cached,
@@ -596,7 +596,7 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
             ..Default::default()
         },
     );
-    eprintln!("[fig7] representation model trained (loss {loss:.4}); sweeping the grid...");
+    perfvec_obs::info!("figures", "[fig7] representation model trained (loss {loss:.4}); sweeping the grid...");
 
     // --- step 3: sweep all programs over the full grid.
     let t_sweep = std::time::Instant::now();
@@ -696,7 +696,7 @@ pub fn fig7(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
 pub fn fig8(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     let scale = spec.scale;
     let t0 = std::time::Instant::now();
-    eprintln!("[fig8] training foundation model...");
+    perfvec_obs::info!("figures", "[fig8] training foundation model...");
     let configs = spec.march_configs();
     let cache = spec.dataset_cache();
     let t_data = std::time::Instant::now();
@@ -710,7 +710,7 @@ pub fn fig8(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
     let data_secs = t_data.elapsed().as_secs_f64();
     report.phase("datasets", data_secs);
     report.absorb_cache(cstats);
-    eprintln!(
+    perfvec_obs::info!("figures", 
         "[fig8] datasets ready in {data_secs:.1}s ({})",
         cstats.summary()
     );
@@ -750,7 +750,7 @@ pub fn fig8(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         let rp = program_representation_streaming(&trained.foundation, &feats, 8_192, 64)
             .expect("LSTM foundation streams");
         let pred = predict_total_tenths(&rp, &a7_rep, trained.foundation.target_scale);
-        eprintln!(
+        perfvec_obs::info!("figures", 
             "[fig8] tile {tile:>3}: {} instrs, sim {:.3} ms, perfvec {:.3} ms",
             trace.len(),
             sim.total_tenths * 1e-7,

@@ -42,7 +42,7 @@ use std::time::Instant;
 pub fn table3(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     let scale = spec.scale;
     let t0 = Instant::now();
-    eprintln!("[table3] preparing a common workload and small models...");
+    perfvec_obs::info!("tables", "[table3] preparing a common workload and small models...");
     let trace_len = spec.trace_len_or(scale.trace_len());
     let workloads = [by_name("xz").unwrap()];
     let trace = workloads[0].trace(trace_len);
@@ -99,7 +99,7 @@ pub fn table3(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let data = datasets.remove(0);
     report.absorb_cache(dstats);
     report.phase("datasets", t_data.elapsed().as_secs_f64());
-    eprintln!(
+    perfvec_obs::info!("tables", 
         "[table3] PerfVec dataset ready in {:.1}s ({})",
         t_data.elapsed().as_secs_f64(),
         dstats.summary()
@@ -243,7 +243,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let trace_len = spec.trace_len_or(scale.trace_len());
     let cache = spec.dataset_cache();
 
-    eprintln!("[table4] exhaustive ground truth (17 programs x 36 configs)...");
+    perfvec_obs::info!("tables", "[table4] exhaustive ground truth (17 programs x 36 configs)...");
     let t_exhaustive = Instant::now();
     let traces: Vec<_> = suite()
         .iter()
@@ -270,7 +270,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     report.absorb_cache(gstats);
     let gt_secs = t_exhaustive.elapsed().as_secs_f64();
     report.phase("ground_truth", gt_secs);
-    eprintln!(
+    perfvec_obs::info!("tables", 
         "[table4] ground truth ready in {gt_secs:.1}s ({})",
         gstats.summary()
     );
@@ -297,7 +297,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let exhaustive_secs = 17.0 * 36.0 * sim_cost;
 
     // ---- program-specific MLP predictor [28]: 9 sims per program ----
-    eprintln!("[table4] program-specific MLP predictor...");
+    perfvec_obs::info!("tables", "[table4] program-specific MLP predictor...");
     let t_m = Instant::now();
     let mut mlp_picks = Vec::new();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x28);
@@ -321,7 +321,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let mlp_secs = t_m.elapsed().as_secs_f64() + 17.0 * 9.0 * sim_cost;
 
     // ---- cross-program linear predictor [21]: corpus + 5 sims each ----
-    eprintln!("[table4] cross-program linear predictor...");
+    perfvec_obs::info!("tables", "[table4] cross-program linear predictor...");
     let t_c = Instant::now();
     // Corpus: the 9 training programs on 12 corpus configs.
     let corpus_cfg_idx: Vec<usize> = (0..points.len()).step_by(3).collect();
@@ -362,7 +362,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let xp_secs = t_c.elapsed().as_secs_f64() + (corpus.len() as f64 + 17.0 * 5.0) * sim_cost;
 
     // ---- ActBoost [36]: 5 + 5 active sims per program ----
-    eprintln!("[table4] ActBoost...");
+    perfvec_obs::info!("tables", "[table4] ActBoost...");
     let t_a = Instant::now();
     let mut ab_picks = Vec::new();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x36);
@@ -403,7 +403,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     report.phase("baselines", t_m.elapsed().as_secs_f64());
 
     // ---- PerfVec ----
-    eprintln!("[table4] PerfVec (foundation pre-training excluded, as in the paper)...");
+    perfvec_obs::info!("tables", "[table4] PerfVec (foundation pre-training excluded, as in the paper)...");
     let configs = spec.march_configs();
     let t_data = Instant::now();
     let (data, cstats) = suite_datasets_with(
@@ -415,7 +415,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     );
     report.absorb_cache(cstats);
     report.phase("datasets", t_data.elapsed().as_secs_f64());
-    eprintln!(
+    perfvec_obs::info!("tables", 
         "[table4] foundation datasets ready in {:.1}s ({})",
         t_data.elapsed().as_secs_f64(),
         cstats.summary()
@@ -448,7 +448,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
         spec.shard_plan(),
     );
     report.absorb_cache(tstats);
-    eprintln!("[table4] PerfVec tuning data ready ({})", tstats.summary());
+    perfvec_obs::info!("tables", "[table4] PerfVec tuning data ready ({})", tstats.summary());
     let cached = cache_representations(&trained.foundation, &tuning, 5_000, 0x715e);
     let (march_model, _) = train_march_model(
         &cached,

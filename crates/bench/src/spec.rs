@@ -55,6 +55,8 @@ pub enum ExperimentKind {
     TrainBench,
     /// Simulator throughput + bit-identity gate (`BENCH_sim.json`).
     SimBench,
+    /// Metrics-overhead gate: engine throughput with obs on vs off.
+    ObsOverhead,
     /// The generic train-and-evaluate pipeline with every knob open:
     /// march subset x feature mask x trace length x training params.
     /// Only reachable through a spec (CLI flags or config file) — no
@@ -64,7 +66,7 @@ pub enum ExperimentKind {
 
 impl ExperimentKind {
     /// Every kind, in `perfvec list` order.
-    pub const ALL: [ExperimentKind; 16] = [
+    pub const ALL: [ExperimentKind; 17] = [
         ExperimentKind::Fig3,
         ExperimentKind::Fig4,
         ExperimentKind::Fig5,
@@ -80,6 +82,7 @@ impl ExperimentKind {
         ExperimentKind::ServeBench,
         ExperimentKind::TrainBench,
         ExperimentKind::SimBench,
+        ExperimentKind::ObsOverhead,
         ExperimentKind::Custom,
     ];
 
@@ -103,6 +106,7 @@ impl ExperimentKind {
             ExperimentKind::ServeBench => "serve_bench",
             ExperimentKind::TrainBench => "train_bench",
             ExperimentKind::SimBench => "sim_bench",
+            ExperimentKind::ObsOverhead => "obs_overhead",
             ExperimentKind::Custom => "custom",
         }
     }
@@ -127,6 +131,7 @@ impl ExperimentKind {
             ExperimentKind::SimBench => {
                 "simulator throughput + bit-identity (writes BENCH_sim.json)"
             }
+            ExperimentKind::ObsOverhead => "metrics-overhead gate: engine throughput, obs on vs off",
             ExperimentKind::Custom => {
                 "generic pipeline: march subset x feature mask x trace length"
             }
@@ -154,6 +159,7 @@ impl ExperimentKind {
                 &["arch", "batch", "steps", "assert_speedup", "resume_smoke"]
             }
             ExperimentKind::SimBench => &["marches", "rounds", "assert_speedup"],
+            ExperimentKind::ObsOverhead => &["requests", "rounds", "max_overhead"],
             ExperimentKind::Custom => &[
                 "dim",
                 "context",
@@ -186,6 +192,9 @@ impl ExperimentKind {
             // The simulator bench measures the raw kernels on its own
             // machine list (`marches` param); nothing is trained.
             ExperimentKind::SimBench => &["seed", "features", "march_subset"],
+            // The overhead gate serves one fixed model/workload pair —
+            // the knob is only how long to measure.
+            ExperimentKind::ObsOverhead => &["seed", "features", "march_subset", "trace_len"],
             _ => &[],
         }
     }
@@ -449,7 +458,7 @@ impl ExperimentSpec {
             // Type-check up front: a bad value must fail before the
             // expensive dataset/training phases, not minutes in.
             let typed = match k.as_str() {
-                "assert_speedup" => f64::from_json(v).map(|_| ()),
+                "assert_speedup" | "max_overhead" => f64::from_json(v).map(|_| ()),
                 "resume_smoke" => bool::from_json(v).map(|_| ()),
                 "arch" => String::from_json(v).map(|_| ()),
                 _ => usize::from_json(v).map(|_| ()),

@@ -130,6 +130,15 @@ pub struct TrainReport {
     pub best_epoch: u32,
     /// Wall-clock seconds spent in training.
     pub wall_seconds: f64,
+    /// Per-gradient-step wall-time distribution in microseconds
+    /// (sample + gradients + optimizer update), from a log-bucketed
+    /// [`perfvec_obs::Histogram`]. Observational only: timestamps are
+    /// taken around the step, never inside the numeric path. All-zero
+    /// when obs recording is globally disabled.
+    pub step_time_us: perfvec_obs::HistogramSummary,
+    /// Gradient steps per second over time spent inside steps (excludes
+    /// validation and snapshot I/O; 0.0 when no steps ran).
+    pub steps_per_sec: f64,
 }
 
 /// A trained foundation model plus the learned microarchitecture table.
@@ -334,7 +343,12 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
         val_loss: Vec::new(),
         best_epoch: 0,
         wall_seconds: 0.0,
+        step_time_us: perfvec_obs::HistogramSummary::default(),
+        steps_per_sec: 0.0,
     };
+    let step_hist = perfvec_obs::Histogram::new();
+    let mut step_secs = 0.0f64;
+    let mut steps_taken = 0u64;
     let mut best_val = f64::INFINITY;
     let mut best_params = params.clone();
     let mut start_epoch = 0u32;
@@ -394,6 +408,7 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for batch in epoch_items.chunks(cfg.batch_size) {
+            let t_step = std::time::Instant::now();
             let (loss, grads) = if use_batched {
                 step.accumulate(batch.len(), total_len, |range, grads| {
                     batched_chunk_pass(
@@ -446,6 +461,10 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
             table.reps.copy_from_slice(&params[model_len..]);
             epoch_loss += loss / batch.len() as f64;
             batches += 1;
+            let dt = t_step.elapsed();
+            step_hist.record(dt.as_micros() as u64);
+            step_secs += dt.as_secs_f64();
+            steps_taken += 1;
         }
         report.train_loss.push(epoch_loss / batches.max(1) as f64);
 
@@ -501,6 +520,12 @@ pub fn train_foundation(data: &[ProgramData], cfg: &TrainConfig) -> TrainedFound
         }
     }
     report.wall_seconds = start.elapsed().as_secs_f64();
+    report.step_time_us = step_hist.summary();
+    report.steps_per_sec = if step_secs > 0.0 {
+        steps_taken as f64 / step_secs
+    } else {
+        0.0
+    };
     TrainedFoundation {
         foundation,
         march_table: table,

@@ -1,0 +1,63 @@
+//! Concurrency guarantees: increments from N threads are never lost.
+
+use std::sync::Arc;
+
+use perfvec_obs::{Counter, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads each incrementing k times always sum to exactly N*k.
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        threads in 2usize..9,
+        per_thread in 1u64..2000,
+    ) {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("incrementer thread panicked");
+        }
+        prop_assert_eq!(c.get(), threads as u64 * per_thread);
+    }
+
+    /// Histogram recording from N threads loses no samples and keeps
+    /// count == sum of bucket counts.
+    #[test]
+    fn concurrent_histogram_records_sum_exactly(
+        threads in 2usize..7,
+        per_thread in 1u64..800,
+        base in 0u64..100_000,
+    ) {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(base + t as u64 * 37 + i);
+                    }
+                })
+            })
+            .collect();
+        for jh in handles {
+            jh.join().expect("recorder thread panicked");
+        }
+        let total = threads as u64 * per_thread;
+        prop_assert_eq!(h.count(), total);
+        let mut bucket_total = 0u64;
+        h.for_each_nonzero(|_, _, c| bucket_total += c);
+        prop_assert_eq!(bucket_total, total);
+        prop_assert!(h.max() >= base);
+    }
+}

@@ -1,0 +1,34 @@
+//! The global enable switch turns recording into a no-op.
+//!
+//! Lives in its own integration-test binary because `set_enabled` is
+//! process-global: flipping it must not race other tests.
+
+use perfvec_obs::{set_enabled, Counter, Gauge, Histogram};
+
+#[test]
+fn disabled_recording_is_a_noop() {
+    let c = Counter::new();
+    let g = Gauge::new();
+    let h = Histogram::new();
+
+    set_enabled(false);
+    c.inc();
+    c.add(10);
+    g.inc();
+    g.set(9);
+    h.record(42);
+    set_enabled(true);
+
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+
+    // And back on: everything records again.
+    c.inc();
+    g.set(5);
+    h.record(7);
+    assert_eq!(c.get(), 1);
+    assert_eq!(g.get(), 5);
+    assert_eq!(h.count(), 1);
+}

@@ -7,6 +7,7 @@
 //! interleaving ≡ sequential serving) can be tested directly against
 //! deterministic executors, and the HTTP layer stays a thin shell.
 
+use perfvec_obs::{Counter, Gauge, Histogram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -63,6 +64,25 @@ pub struct BatcherStats {
     pub jobs: u64,
     /// Largest coalesced batch observed.
     pub max_batch: u64,
+    /// Submissions rejected with [`SubmitError::QueueFull`].
+    pub shed: u64,
+    /// Jobs currently queued (not yet draining).
+    pub queue_depth: u64,
+}
+
+/// Exported observability instruments for a [`Batcher`]. Pass
+/// registry-backed instruments via [`Batcher::with_obs`] to surface
+/// queue depth, shed count, and the batch-size distribution on
+/// `/metrics`; the default instruments are unregistered (recording
+/// still works, nothing renders them).
+#[derive(Clone, Default)]
+pub struct BatcherObs {
+    /// Gauge tracking jobs currently queued.
+    pub queue_depth: Arc<Gauge>,
+    /// Counter of submissions shed with [`SubmitError::QueueFull`].
+    pub shed: Arc<Counter>,
+    /// Distribution of coalesced batch sizes.
+    pub batch_size: Arc<Histogram>,
 }
 
 struct Slot<R> {
@@ -100,6 +120,8 @@ struct Shared<K, J, R> {
     batches: AtomicU64,
     jobs: AtomicU64,
     max_batch: AtomicU64,
+    shed: AtomicU64,
+    obs: BatcherObs,
 }
 
 struct QueueState<K, J, R> {
@@ -127,6 +149,14 @@ where
     where
         F: Fn(&K, Vec<J>) -> Vec<R> + Send + Sync + 'static,
     {
+        Self::with_obs(cfg, BatcherObs::default(), exec)
+    }
+
+    /// [`Batcher::new`] with registry-backed observability instruments.
+    pub fn with_obs<F>(cfg: BatcherConfig, obs: BatcherObs, exec: F) -> Batcher<K, J, R>
+    where
+        F: Fn(&K, Vec<J>) -> Vec<R> + Send + Sync + 'static,
+    {
         assert!(cfg.batch >= 1 && cfg.workers >= 1 && cfg.queue_depth >= 1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
@@ -137,6 +167,8 @@ where
             batches: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            obs,
         });
         let exec = Arc::new(exec);
         let workers = (0..cfg.workers)
@@ -166,6 +198,8 @@ where
                 return Err(SubmitError::ShuttingDown);
             }
             if st.queue.len() >= self.cfg.queue_depth {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.obs.shed.inc();
                 return Err(SubmitError::QueueFull);
             }
             st.queue.push_back(Pending {
@@ -173,6 +207,9 @@ where
                 job,
                 slot: Arc::clone(&slot),
             });
+            // set() (not inc/dec) so the gauge self-heals if recording
+            // was toggled off and back on mid-flight.
+            self.shared.obs.queue_depth.set(st.queue.len() as i64);
         }
         self.shared.nonempty.notify_one();
         Ok(Ticket { slot })
@@ -184,6 +221,8 @@ where
             batches: self.shared.batches.load(Ordering::Relaxed),
             jobs: self.shared.jobs.load(Ordering::Relaxed),
             max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            queue_depth: self.shared.state.lock().unwrap().queue.len() as u64,
         }
     }
 }
@@ -226,6 +265,7 @@ where
             while taken.len() < batch && st.queue.front().is_some_and(|p| p.key == front_key) {
                 taken.push(st.queue.pop_front().unwrap());
             }
+            shared.obs.queue_depth.set(st.queue.len() as i64);
             taken
         };
 
@@ -245,6 +285,7 @@ where
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared.jobs.fetch_add(n, Ordering::Relaxed);
         shared.max_batch.fetch_max(n, Ordering::Relaxed);
+        shared.obs.batch_size.record(n);
         for (slot, r) in slots.iter().zip(results) {
             *slot.result.lock().unwrap() = Some(r);
             slot.done.notify_all();
@@ -359,6 +400,8 @@ mod tests {
         let t2 = b.submit(0, 2).unwrap();
         let shed = b.submit(0, 3);
         assert_eq!(shed.err(), Some(SubmitError::QueueFull));
+        assert_eq!(b.stats().shed, 1);
+        assert_eq!(b.stats().queue_depth, 2);
         let (lock, cv) = &*gate;
         *lock.lock().unwrap() = true;
         cv.notify_all();

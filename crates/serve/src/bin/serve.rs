@@ -29,7 +29,7 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
         // A set-but-unparseable variable is a misconfiguration the
         // operator must hear about, not a silent fallback.
         Ok(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("error: PERFVEC_SERVE_{name}={v:?} is not a valid value");
+            perfvec_obs::error!("serve", "PERFVEC_SERVE_{name}={v:?} is not a valid value");
             std::process::exit(2);
         }),
     }
@@ -114,7 +114,7 @@ fn parse_args() -> Args {
             "--demo-checkpoint" => args.demo_checkpoint = Some(PathBuf::from(value(&mut i))),
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown flag {other:?}");
+                perfvec_obs::error!("serve", "unknown flag {other:?}");
                 usage()
             }
         }
@@ -142,24 +142,26 @@ fn write_demo_checkpoint(path: &std::path::Path, march_seed: u64) -> std::io::Re
 }
 
 fn main() -> ExitCode {
+    // Progress lines stay visible by default; PERFVEC_LOG still wins.
+    perfvec_obs::log::init_default(perfvec_obs::Level::Info);
     let args = parse_args();
     if let Some(path) = &args.demo_checkpoint {
         return match write_demo_checkpoint(path, args.march_seed) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("error: {e}");
+                perfvec_obs::error!("serve", "writing demo checkpoint: {e}");
                 ExitCode::FAILURE
             }
         };
     }
     if args.models.is_empty() {
-        eprintln!("error: at least one --model NAME=PATH is required");
+        perfvec_obs::error!("serve", "at least one --model NAME=PATH is required");
         usage();
     }
     let registry = match ModelRegistry::load(&args.models, args.march_seed) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("error loading models: {e}");
+            perfvec_obs::error!("serve", "loading models: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -186,7 +188,7 @@ fn main() -> ExitCode {
     let handle = match start(registry, cfg) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("error binding port {}: {e}", args.port);
+            perfvec_obs::error!("serve", "binding port {}: {e}", args.port);
             return ExitCode::FAILURE;
         }
     };

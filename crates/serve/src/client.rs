@@ -15,6 +15,19 @@ pub fn roundtrip(
     path: &str,
     body: &str,
 ) -> io::Result<(u16, Json)> {
+    let (status, text) = roundtrip_raw(stream, method, path, body)?;
+    let json = Json::parse(&text).map_err(|e| bad(&format!("unparseable body: {e}")))?;
+    Ok((status, json))
+}
+
+/// [`roundtrip`] without the JSON parse — for non-JSON responses
+/// (`/metrics` serves Prometheus text).
+pub fn roundtrip_raw(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
     // One write per request: fragmented small writes would hit Nagle +
     // delayed-ACK stalls (ruinous for latency measurements).
     let _ = stream.set_nodelay(true);
@@ -52,9 +65,8 @@ pub fn roundtrip(
     }
     let mut buf = vec![0u8; content_length];
     reader.read_exact(&mut buf)?;
-    let text = std::str::from_utf8(&buf).map_err(|_| bad("non-utf8 response body"))?;
-    let json = Json::parse(text).map_err(|e| bad(&format!("unparseable body: {e}")))?;
-    Ok((status, json))
+    let text = String::from_utf8(buf).map_err(|_| bad("non-utf8 response body"))?;
+    Ok((status, text))
 }
 
 fn bad(msg: &str) -> io::Error {

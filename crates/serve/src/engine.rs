@@ -13,15 +13,17 @@
 //! neither the batch size, nor which requests happen to be coalesced
 //! together, nor worker scheduling can change any result.
 
-use crate::batcher::{Batcher, BatcherConfig, BatcherStats, SubmitError};
+use crate::batcher::{Batcher, BatcherConfig, BatcherObs, BatcherStats, SubmitError};
 use crate::cache::{CacheStats, RepCache};
 use crate::registry::{LoadedModel, ModelRegistry};
 use perfvec::compose::program_representations_coalesced;
 use perfvec::predict_total_tenths;
+use perfvec_obs::{Counter, Histogram, Registry as ObsRegistry};
 use perfvec_trace::features::Matrix;
 use perfvec_trace::NUM_FEATURES;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Engine sizing (see [`BatcherConfig`] for queue semantics).
 #[derive(Debug, Clone, Copy)]
@@ -99,7 +101,7 @@ struct RepResult {
 }
 
 /// Aggregate serving counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Predictions answered.
     pub requests: u64,
@@ -107,6 +109,18 @@ pub struct EngineStats {
     pub batcher: BatcherStats,
     /// Representation-cache counters.
     pub cache: CacheStats,
+    /// Seconds since the engine was constructed.
+    pub uptime_secs: f64,
+    /// Predictions answered per model, in registry order.
+    pub per_model: Vec<(String, u64)>,
+}
+
+/// Per-model observability instruments, pre-registered at startup so
+/// the predict hot path never touches the registry lock.
+struct ModelObs {
+    name: String,
+    requests: Arc<Counter>,
+    latency_us: Arc<Histogram>,
 }
 
 /// The engine. Cheap to share (`Arc` it); drop joins the worker pool.
@@ -115,6 +129,9 @@ pub struct PredictEngine {
     batcher: Batcher<String, RepJob, RepResult>,
     cache: Arc<RepCache>,
     requests: AtomicU64,
+    started: Instant,
+    obs: Arc<ObsRegistry>,
+    model_obs: Vec<ModelObs>,
 }
 
 impl PredictEngine {
@@ -126,10 +143,45 @@ impl PredictEngine {
             queue_depth: cfg.queue_depth,
             workers: cfg.workers,
         };
+        let obs = Arc::new(ObsRegistry::new());
+        let batcher_obs = BatcherObs {
+            queue_depth: obs.gauge(
+                "perfvec_queue_depth",
+                "Requests queued in the micro-batcher, not yet draining",
+                &[],
+            ),
+            shed: obs.counter(
+                "perfvec_shed_total",
+                "Requests rejected because the bounded queue was full",
+                &[],
+            ),
+            batch_size: obs.histogram(
+                "perfvec_batch_size",
+                "Coalesced jobs per executor invocation",
+                &[],
+            ),
+        };
+        let model_obs = registry
+            .models()
+            .iter()
+            .map(|m| ModelObs {
+                name: m.name.clone(),
+                requests: obs.counter(
+                    "perfvec_engine_requests_total",
+                    "Predictions answered by the engine",
+                    &[("model", &m.name)],
+                ),
+                latency_us: obs.histogram(
+                    "perfvec_engine_predict_duration_us",
+                    "End-to-end engine predict latency in microseconds",
+                    &[("model", &m.name)],
+                ),
+            })
+            .collect();
         let exec_registry = Arc::clone(&registry);
         let exec_cache = Arc::clone(&cache);
         let block = cfg.batch;
-        let batcher = Batcher::new(batcher_cfg, move |model: &String, jobs: Vec<RepJob>| {
+        let exec = move |model: &String, jobs: Vec<RepJob>| {
             let m = exec_registry
                 .get(Some(model))
                 .expect("jobs are only submitted for registered models");
@@ -146,18 +198,29 @@ impl PredictEngine {
                     RepResult { rep, coalesced }
                 })
                 .collect()
-        });
+        };
+        let batcher = Batcher::with_obs(batcher_cfg, batcher_obs, exec);
         PredictEngine {
             registry,
             batcher,
             cache,
             requests: AtomicU64::new(0),
+            started: Instant::now(),
+            obs,
+            model_obs,
         }
     }
 
     /// The registry being served.
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// The engine's observability registry: batcher, per-model, and —
+    /// for instruments registered by the server shell — per-route
+    /// metric families. Rendered by `GET /metrics`.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs
     }
 
     /// Answer one prediction: program features against table row
@@ -186,10 +249,19 @@ impl PredictEngine {
             )));
         }
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let mobs = self.model_obs.iter().find(|o| o.name == m.name);
+        if let Some(o) = mobs {
+            o.requests.inc();
+        }
         let fp = crate::protocol::features_fingerprint(&m.name, &features);
         if !no_cache {
             if let Some(rep) = self.cache.get(fp) {
-                return Ok(make_outcome(m, &rep, march_row, true, 0));
+                let outcome = make_outcome(m, &rep, march_row, true, 0);
+                if let Some(o) = mobs {
+                    o.latency_us.record(started.elapsed().as_micros() as u64);
+                }
+                return Ok(outcome);
             }
         }
         let job = RepJob {
@@ -202,6 +274,9 @@ impl PredictEngine {
             .submit(m.name.clone(), job)
             .map_err(EngineError::Overloaded)?;
         let result = ticket.wait();
+        if let Some(o) = mobs {
+            o.latency_us.record(started.elapsed().as_micros() as u64);
+        }
         Ok(make_outcome(
             m,
             &result.rep,
@@ -217,6 +292,12 @@ impl PredictEngine {
             requests: self.requests.load(Ordering::Relaxed),
             batcher: self.batcher.stats(),
             cache: self.cache.stats(),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            per_model: self
+                .model_obs
+                .iter()
+                .map(|o| (o.name.clone(), o.requests.get()))
+                .collect(),
         }
     }
 }

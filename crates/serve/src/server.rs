@@ -6,6 +6,7 @@
 //! | `GET /healthz`     | liveness + model names                         |
 //! | `GET /v1/models`   | per-model architecture/table details           |
 //! | `GET /v1/stats`    | request, batch, and cache counters             |
+//! | `GET /metrics`     | Prometheus text exposition (version 0.0.4)     |
 //! | `POST /v1/predict` | program features + march → predicted time      |
 
 use crate::cache::BoundedCache;
@@ -16,6 +17,7 @@ use crate::protocol::{
     f64_bits_hex, parse_predict_request, MarchSelector, PredictRequest, ProgramSource,
 };
 use crate::registry::ModelRegistry;
+use perfvec_obs::{Counter, Histogram, Registry as ObsRegistry};
 use perfvec_trace::features::{extract_features, FeatureMask, Matrix};
 use perfvec_trace::fingerprint::Fingerprint;
 use perfvec_workloads::by_name;
@@ -67,6 +69,48 @@ pub struct ServerHandle {
 pub struct ServerShared {
     engine: Arc<PredictEngine>,
     features: BoundedCache<Matrix>,
+    routes: RouteObs,
+}
+
+/// Routes that get their own `route` label on the HTTP metric
+/// families; anything else folds into `"other"` so unknown paths
+/// cannot inflate series cardinality.
+const LABELED_ROUTES: [&str; 5] = ["/healthz", "/v1/models", "/v1/stats", "/v1/predict", "/metrics"];
+
+/// Per-route request counter + latency histogram, pre-registered at
+/// startup so the request path never takes the registry lock.
+struct RouteObs {
+    series: Vec<(&'static str, Arc<Counter>, Arc<Histogram>)>,
+}
+
+impl RouteObs {
+    fn new(obs: &ObsRegistry) -> RouteObs {
+        let mut series = Vec::new();
+        for route in LABELED_ROUTES.into_iter().chain(["other"]) {
+            series.push((
+                route,
+                obs.counter(
+                    "perfvec_http_requests_total",
+                    "HTTP requests handled, by route",
+                    &[("route", route)],
+                ),
+                obs.histogram(
+                    "perfvec_http_request_duration_us",
+                    "HTTP request handling latency in microseconds, by route",
+                    &[("route", route)],
+                ),
+            ));
+        }
+        RouteObs { series }
+    }
+
+    fn observe(&self, path: &str, micros: u64) {
+        let label = if LABELED_ROUTES.contains(&path) { path } else { "other" };
+        if let Some((_, reqs, lat)) = self.series.iter().find(|(r, ..)| *r == label) {
+            reqs.inc();
+            lat.record(micros);
+        }
+    }
 }
 
 impl ServerShared {
@@ -105,9 +149,11 @@ impl Drop for ServerHandle {
 /// Bind, spin up the engine worker pool, and start accepting.
 pub fn start(registry: ModelRegistry, cfg: ServerConfig) -> io::Result<ServerHandle> {
     let engine = Arc::new(PredictEngine::new(Arc::new(registry), cfg.engine));
+    let routes = RouteObs::new(engine.obs());
     let shared = Arc::new(ServerShared {
         engine,
         features: BoundedCache::new(64),
+        routes,
     });
     let listener = TcpListener::bind((cfg.host, cfg.port))?;
     listener.set_nonblocking(true)?;
@@ -172,14 +218,12 @@ fn handle_connection(
             Err(_) => return Ok(()),
         };
         let close = req.wants_close();
-        let (status, body) = route(&req, shared);
-        write_response(
-            &mut writer,
-            status,
-            "application/json",
-            body.as_bytes(),
-            !close,
-        )?;
+        let started = std::time::Instant::now();
+        let (status, body, content_type) = route(&req, shared);
+        shared
+            .routes
+            .observe(&req.path, started.elapsed().as_micros() as u64);
+        write_response(&mut writer, status, content_type, body.as_bytes(), !close)?;
         if close {
             return Ok(());
         }
@@ -190,15 +234,21 @@ fn error_json(msg: &str) -> String {
     obj(vec![("error", Json::Str(msg.to_string()))]).to_string()
 }
 
-fn route(req: &Request, shared: &Arc<ServerShared>) -> (u16, String) {
+const JSON_TYPE: &str = "application/json";
+
+fn route(req: &Request, shared: &Arc<ServerShared>) -> (u16, String, &'static str) {
     let engine = &shared.engine;
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, healthz(engine)),
-        ("GET", "/v1/models") => (200, models_json(engine)),
-        ("GET", "/v1/stats") => (200, stats_json(engine)),
-        ("POST", "/v1/predict") => predict_route(req, shared),
-        ("GET", "/v1/predict") => (405, error_json("use POST for /v1/predict")),
-        _ => (404, error_json("no such route")),
+        ("GET", "/healthz") => (200, healthz(engine), JSON_TYPE),
+        ("GET", "/v1/models") => (200, models_json(engine), JSON_TYPE),
+        ("GET", "/v1/stats") => (200, stats_json(engine), JSON_TYPE),
+        ("GET", "/metrics") => (200, engine.obs().render(), perfvec_obs::prom::CONTENT_TYPE),
+        ("POST", "/v1/predict") => {
+            let (status, body) = predict_route(req, shared);
+            (status, body, JSON_TYPE)
+        }
+        ("GET", "/v1/predict") => (405, error_json("use POST for /v1/predict"), JSON_TYPE),
+        _ => (404, error_json("no such route"), JSON_TYPE),
     }
 }
 
@@ -246,6 +296,13 @@ fn stats_json(engine: &Arc<PredictEngine>) -> String {
     } else {
         0.0
     };
+    let per_model: Vec<(&str, Json)> = s
+        .per_model
+        .iter()
+        .map(|(name, n)| (name.as_str(), Json::Num(*n as f64)))
+        .collect();
+    // New fields append after the original eight: the CI probe and any
+    // existing scraper read those by position/name unchanged.
     obj(vec![
         ("requests", Json::Num(s.requests as f64)),
         ("batches", Json::Num(s.batcher.batches as f64)),
@@ -255,6 +312,10 @@ fn stats_json(engine: &Arc<PredictEngine>) -> String {
         ("cache_hits", Json::Num(s.cache.hits as f64)),
         ("cache_misses", Json::Num(s.cache.misses as f64)),
         ("cache_entries", Json::Num(s.cache.entries as f64)),
+        ("shed", Json::Num(s.batcher.shed as f64)),
+        ("queue_depth", Json::Num(s.batcher.queue_depth as f64)),
+        ("uptime_secs", Json::Num(s.uptime_secs)),
+        ("per_model", obj(per_model)),
     ])
     .to_string()
 }

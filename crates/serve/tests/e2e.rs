@@ -131,6 +131,66 @@ fn served_predictions_are_bit_identical_to_offline_predict() {
 }
 
 #[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let handle = start(
+        tiny_registry(),
+        ServerConfig {
+            port: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut conn = TcpStream::connect(handle.addr).unwrap();
+
+    // Drive a little traffic so the histograms are non-trivial.
+    let body = r#"{"program":"999.specrand-like","trace_len":300,"march_index":1}"#;
+    for _ in 0..3 {
+        let (status, resp) = http(&mut conn, "POST", "/v1/predict", Some(body));
+        assert_eq!(status, 200, "{resp}");
+    }
+    let (status, _) = http(&mut conn, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+
+    // Scrape raw (the body is Prometheus text, not JSON) and validate
+    // the full line grammar plus histogram semantics.
+    let (status, text) =
+        perfvec_serve::client::roundtrip_raw(&mut conn, "GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    perfvec_obs::prom::validate(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+
+    // Required metric families: request latency, queue depth, shed
+    // count, batch-size distribution, per-model engine counters.
+    for family in [
+        "# TYPE perfvec_http_requests_total counter",
+        "# TYPE perfvec_http_request_duration_us histogram",
+        "# TYPE perfvec_queue_depth gauge",
+        "# TYPE perfvec_shed_total counter",
+        "# TYPE perfvec_batch_size histogram",
+        "# TYPE perfvec_engine_requests_total counter",
+        "# TYPE perfvec_engine_predict_duration_us histogram",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+    assert!(
+        text.contains("perfvec_engine_requests_total{model=\"default\"} 3"),
+        "per-model counter wrong in:\n{text}"
+    );
+    assert!(text.contains("perfvec_http_request_duration_us_bucket{route=\"/v1/predict\",le=\"+Inf\"} 3"));
+
+    // /v1/stats keeps its original fields and gains uptime + per-model.
+    let (status, stats) = http(&mut conn, "GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    assert_eq!(stats.get("requests").unwrap().as_u64(), Some(3));
+    assert!(stats.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+    assert_eq!(stats.get("shed").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("queue_depth").unwrap().as_u64(), Some(0));
+    let per_model = stats.get("per_model").unwrap();
+    assert_eq!(per_model.get("default").unwrap().as_u64(), Some(3));
+
+    handle.shutdown();
+}
+
+#[test]
 fn error_paths_return_clean_json_statuses() {
     let handle = start(
         tiny_registry(),
