@@ -24,7 +24,7 @@ use perfvec_sim::reference::simulate_reference;
 use perfvec_sim::sample::{
     predefined_configs, sample_configs, training_population, DEFAULT_MARCH_SEED, DEFAULT_POPULATION,
 };
-use perfvec_sim::{simulate, CoreKind};
+use perfvec_sim::{simulate, simulate_column, CoreKind, MicroArchConfig, SimResult};
 use perfvec_trace::features::FeatureMask;
 use perfvec_trace::ProgramData;
 use perfvec_workloads::{suite, training_suite};
@@ -785,16 +785,20 @@ fn sim_bench_configs(marches: usize) -> Vec<perfvec_sim::MicroArchConfig> {
 /// `sim_bench`: dense-array simulator throughput with a bit-identity
 /// gate against the reference implementation (the seed's data
 /// structures, kept verbatim in `perfvec_sim::reference`) over the full
-/// workload suite. Writes `BENCH_sim.json`; `assert_speedup` turns a
-/// kernel regression into a hard failure.
+/// workload suite, measured three ways — reference, per-cell flat, and
+/// lockstep columns ([`simulate_column`]). Writes `BENCH_sim.json`;
+/// `assert_speedup` / `assert_speedup_lockstep` turn a kernel
+/// regression into a hard failure.
 ///
-/// Measurement: per grid cell (machine x workload), both
-/// implementations run back to back, `rounds` times, and each cell
-/// keeps its best time per implementation. Interleaving at cell
-/// granularity (~hundreds of microseconds) makes the ratio robust to
-/// the tens-of-percent timing swings shared CI machines show over
-/// seconds; best-of-N discards the slow outliers entirely. The first
-/// round also checks every result pair bit-for-bit.
+/// Measurement: per workload, the lockstep columns (one per core kind
+/// present) run first, then per grid cell (machine x workload) both
+/// per-cell implementations run back to back; `rounds` repetitions,
+/// each cell/column keeping its best time per implementation.
+/// Interleaving at cell granularity (~hundreds of microseconds) makes
+/// the ratios robust to the tens-of-percent timing swings shared CI
+/// machines show over seconds; best-of-N discards the slow outliers
+/// entirely. The first round also checks every flat AND lockstep
+/// result bit-for-bit against the reference.
 pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> {
     let scale = spec.scale;
     let t0 = Instant::now();
@@ -818,15 +822,51 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
 
     info!(
         "sim_bench",
-        "[sim_bench] simulating {} programs x {} machines, both implementations, \
-         best of {rounds} interleaved rounds...",
+        "[sim_bench] simulating {} programs x {} machines three ways (reference, \
+         per-cell flat, lockstep columns), best of {rounds} interleaved rounds...",
         traces.len(),
         configs.len()
     );
-    // Warm the flat path's thread-local scratch outside the timed region.
-    let _ = simulate(&traces[0], &configs[0]);
+    // Machines grouped by core kind ([ooo, inorder]): the lockstep
+    // columns run per kind, and the per-kind splits below reuse the
+    // same grouping.
+    let kind_idx: [Vec<usize>; 2] = {
+        let mut k: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for (ci, c) in configs.iter().enumerate() {
+            k[usize::from(c.core != CoreKind::OutOfOrder)].push(ci);
+        }
+        k
+    };
+    let kind_cfgs: [Vec<MicroArchConfig>; 2] = [
+        kind_idx[0].iter().map(|&ci| configs[ci].clone()).collect(),
+        kind_idx[1].iter().map(|&ci| configs[ci].clone()).collect(),
+    ];
+    // Warm every core kind present outside the timed region, and gate
+    // the warmup itself on bit-identity so a cold-path divergence fails
+    // loudly instead of silently warming the wrong code.
+    for cfgs in &kind_cfgs {
+        let Some(c) = cfgs.first() else { continue };
+        let w = simulate(&traces[0], c);
+        let r = simulate_reference(&traces[0], c);
+        if !w.bits_identical(&r) {
+            return Err(RunError(format!(
+                "[sim_bench] IDENTITY FAILURE in warmup: {} diverges from the \
+                 reference (flat {:?} vs reference {:?})",
+                c.name, w.stats, r.stats
+            )));
+        }
+    }
+    // Warm the lockstep path's per-machine scratch pool (one cell per
+    // machine in the column).
+    let _ = simulate_column(&traces[0], &configs);
     let mut flat_best = vec![f64::MAX; grid];
     let mut ref_best = vec![f64::MAX; grid];
+    // Lockstep is timed per (core kind, workload) column, not per cell:
+    // the column is the unit of work the lockstep simulator executes.
+    let mut lock_best = [
+        vec![f64::MAX; traces.len()],
+        vec![f64::MAX; traces.len()],
+    ];
     // Per-grid-cell flat-kernel wall time (all rounds) and the summed
     // architectural counters from the first round — both observational,
     // recorded outside the simulated state.
@@ -834,9 +874,26 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let mut counters = perfvec_sim::SimStats::default();
     let bench_span = Span::start("bench");
     for round in 0..rounds {
-        let mut cell = 0usize;
-        for (ci, c) in configs.iter().enumerate() {
-            for (wi, t) in traces.iter().enumerate() {
+        for (wi, t) in traces.iter().enumerate() {
+            // Lockstep columns first: one per core kind present. Only
+            // round 0 keeps the results (for the identity gate).
+            let mut col: Vec<Option<SimResult>> = (0..configs.len()).map(|_| None).collect();
+            for (k, cfgs) in kind_cfgs.iter().enumerate() {
+                if cfgs.is_empty() {
+                    continue;
+                }
+                let tl = Instant::now();
+                let res = simulate_column(t, cfgs);
+                lock_best[k][wi] = lock_best[k][wi].min(tl.elapsed().as_secs_f64());
+                if round == 0 {
+                    for (r, &ci) in res.into_iter().zip(&kind_idx[k]) {
+                        col[ci] = Some(r);
+                    }
+                }
+            }
+            // Then the per-cell implementations, interleaved per cell.
+            for (ci, c) in configs.iter().enumerate() {
+                let cell = ci * traces.len() + wi;
                 let tf = Instant::now();
                 let f = simulate(t, c);
                 let dtf = tf.elapsed();
@@ -845,14 +902,22 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
                 let tr = Instant::now();
                 let r = simulate_reference(t, c);
                 ref_best[cell] = ref_best[cell].min(tr.elapsed().as_secs_f64());
-                if round == 0 && !f.bits_identical(&r) {
-                    return Err(RunError(format!(
-                        "[sim_bench] IDENTITY FAILURE: {} on {} diverges from the \
-                         reference (flat {:?} vs reference {:?})",
-                        workloads[wi].name, configs[ci].name, f.stats, r.stats
-                    )));
-                }
                 if round == 0 {
+                    if !f.bits_identical(&r) {
+                        return Err(RunError(format!(
+                            "[sim_bench] IDENTITY FAILURE: {} on {} diverges from the \
+                             reference (flat {:?} vs reference {:?})",
+                            workloads[wi].name, c.name, f.stats, r.stats
+                        )));
+                    }
+                    let l = col[ci].take().expect("lockstep simulated every cell");
+                    if !l.bits_identical(&r) {
+                        return Err(RunError(format!(
+                            "[sim_bench] IDENTITY FAILURE: {} on {} lockstep diverges \
+                             from the reference (lockstep {:?} vs reference {:?})",
+                            workloads[wi].name, c.name, l.stats, r.stats
+                        )));
+                    }
                     let s = &f.stats;
                     counters.cycles += s.cycles;
                     counters.instructions += s.instructions;
@@ -864,13 +929,17 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
                     counters.ifetch_accesses += s.ifetch_accesses;
                     counters.data_accesses += s.data_accesses;
                 }
-                cell += 1;
             }
         }
         if round == 0 {
             info!(
                 "sim_bench",
                 "[sim_bench] identity ok: {grid} grid points bit-identical to the reference"
+            );
+            info!(
+                "sim_bench",
+                "[sim_bench] lockstep identity ok: {grid} grid points bit-identical \
+                 to the reference"
             );
         }
     }
@@ -881,13 +950,25 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let mut ref_secs = 0.0f64;
     let mut kind_secs = [[0.0f64; 2]; 2]; // [ooo, inorder] x [flat, ref]
     for (ci, c) in configs.iter().enumerate() {
-        let k = if c.core == CoreKind::OutOfOrder { 0 } else { 1 };
+        let k = usize::from(c.core != CoreKind::OutOfOrder);
         for wi in 0..traces.len() {
             let cell = ci * traces.len() + wi;
             flat_secs += flat_best[cell];
             ref_secs += ref_best[cell];
             kind_secs[k][0] += flat_best[cell];
             kind_secs[k][1] += ref_best[cell];
+        }
+    }
+    // Sum of per-column bests, overall and per kind.
+    let mut lock_secs = 0.0f64;
+    let mut lock_kind = [0.0f64; 2];
+    for (k, best) in lock_best.iter().enumerate() {
+        if kind_cfgs[k].is_empty() {
+            continue;
+        }
+        for &b in best {
+            lock_secs += b;
+            lock_kind[k] += b;
         }
     }
 
@@ -904,13 +985,35 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     } else {
         1.0
     };
+    let lock_minstr_s = sim_insts as f64 / lock_secs / 1e6;
+    let speedup_lockstep = ref_secs / lock_secs;
+    let speedup_lockstep_ooo = if lock_kind[0] > 0.0 {
+        kind_secs[0][1] / lock_kind[0]
+    } else {
+        1.0
+    };
+    let speedup_lockstep_inorder = if lock_kind[1] > 0.0 {
+        kind_secs[1][1] / lock_kind[1]
+    } else {
+        1.0
+    };
     println!(
         "sim_bench: flat kernels {speedup:.2}x over reference ({ref_minstr_s:.1} -> \
          {minstr_s:.1} Minstr/s; OoO {speedup_ooo:.2}x, in-order {speedup_inorder:.2}x; \
          {grid} grid points x {trace_len} instrs, best of {rounds})"
     );
+    println!(
+        "sim_bench: lockstep columns {speedup_lockstep:.2}x over reference \
+         ({ref_minstr_s:.1} -> {lock_minstr_s:.1} Minstr/s; OoO \
+         {speedup_lockstep_ooo:.2}x, in-order {speedup_lockstep_inorder:.2}x; \
+         {grid} grid points x {trace_len} instrs, best of {rounds})"
+    );
 
     // ---- BENCH_sim.json ------------------------------------------------
+    // Lockstep-path instrumentation (per-column decode/simulate wall
+    // time, grid-cell throughput) accumulated by `perfvec-obs` across
+    // every column this process ran.
+    let lockstep_metrics = perfvec_sim::lockstep::metrics();
     // Whole-grid architectural counters (first round; identical every
     // round by the bit-identity gate) — the cache/branch behavior the
     // measured throughput was measured under.
@@ -941,12 +1044,36 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
         ("identity", Json::Str("bit-identical".into())),
         ("reference_seconds", Json::Num(ref_secs)),
         ("flat_seconds", Json::Num(flat_secs)),
+        ("lockstep_seconds", Json::Num(lock_secs)),
         ("reference_minstr_per_sec", Json::Num(ref_minstr_s)),
         ("flat_minstr_per_sec", Json::Num(minstr_s)),
+        ("lockstep_minstr_per_sec", Json::Num(lock_minstr_s)),
         ("speedup", Json::Num(speedup)),
         ("speedup_ooo", Json::Num(speedup_ooo)),
         ("speedup_inorder", Json::Num(speedup_inorder)),
+        ("speedup_lockstep", Json::Num(speedup_lockstep)),
+        ("speedup_lockstep_ooo", Json::Num(speedup_lockstep_ooo)),
+        (
+            "speedup_lockstep_inorder",
+            Json::Num(speedup_lockstep_inorder),
+        ),
         ("flat_cell_us", flat_cell_us.summary().to_json()),
+        (
+            "lockstep_column_decode_us",
+            lockstep_metrics.column_decode_us.summary().to_json(),
+        ),
+        (
+            "lockstep_column_simulate_us",
+            lockstep_metrics.column_simulate_us.summary().to_json(),
+        ),
+        (
+            "lockstep_cells",
+            Json::Num(lockstep_metrics.cells.get() as f64),
+        ),
+        (
+            "lockstep_cells_per_sec",
+            Json::Num(lockstep_metrics.cells_per_sec.get() as f64),
+        ),
         ("counters", counters_json.clone()),
         ("wall_seconds", Json::Num(t0.elapsed().as_secs_f64())),
     ]);
@@ -958,11 +1085,19 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     );
     report.metric_f64("flat_minstr_per_sec", minstr_s);
     report.metric_f64("reference_minstr_per_sec", ref_minstr_s);
+    report.metric_f64("lockstep_minstr_per_sec", lock_minstr_s);
     report.metric_f64("speedup", speedup);
     report.metric_f64("speedup_ooo", speedup_ooo);
     report.metric_f64("speedup_inorder", speedup_inorder);
+    report.metric_f64("speedup_lockstep", speedup_lockstep);
+    report.metric_f64("speedup_lockstep_ooo", speedup_lockstep_ooo);
+    report.metric_f64("speedup_lockstep_inorder", speedup_lockstep_inorder);
     report.metric("identity", Json::Str("bit-identical".into()));
     report.metric("flat_cell_us", flat_cell_us.summary().to_json());
+    report.metric(
+        "lockstep_column_simulate_us",
+        lockstep_metrics.column_simulate_us.summary().to_json(),
+    );
     report.metric("counters", counters_json);
 
     if speedup < 2.0 {
@@ -971,13 +1106,28 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
             "[sim_bench] WARNING: speedup {speedup:.2}x below the 2x target on this machine"
         );
     }
-    // `assert_speedup` turns a simulator-kernel regression into a hard
-    // failure (CI floors this so a de-flattened inner loop cannot land
-    // silently).
+    if speedup_lockstep < 2.0 {
+        warn!(
+            "sim_bench",
+            "[sim_bench] WARNING: lockstep speedup {speedup_lockstep:.2}x below the \
+             2x target on this machine"
+        );
+    }
+    // `assert_speedup` / `assert_speedup_lockstep` turn a
+    // simulator-kernel regression into a hard failure (CI floors these
+    // so a de-flattened inner loop or a de-amortized column walk cannot
+    // land silently).
     let min_speedup = spec.param_f64("assert_speedup", 0.0)?;
     if speedup < min_speedup {
         return Err(RunError(format!(
             "[sim_bench] FAIL: speedup {speedup:.2}x below the asserted minimum {min_speedup}x"
+        )));
+    }
+    let min_lockstep = spec.param_f64("assert_speedup_lockstep", 0.0)?;
+    if speedup_lockstep < min_lockstep {
+        return Err(RunError(format!(
+            "[sim_bench] FAIL: lockstep speedup {speedup_lockstep:.2}x below the \
+             asserted minimum {min_lockstep}x"
         )));
     }
     Ok(())

@@ -158,7 +158,9 @@ impl ExperimentKind {
             ExperimentKind::TrainBench => {
                 &["arch", "batch", "steps", "assert_speedup", "resume_smoke"]
             }
-            ExperimentKind::SimBench => &["marches", "rounds", "assert_speedup"],
+            ExperimentKind::SimBench => {
+                &["marches", "rounds", "assert_speedup", "assert_speedup_lockstep"]
+            }
             ExperimentKind::ObsOverhead => &["requests", "rounds", "max_overhead"],
             ExperimentKind::Custom => &[
                 "dim",
@@ -458,7 +460,9 @@ impl ExperimentSpec {
             // Type-check up front: a bad value must fail before the
             // expensive dataset/training phases, not minutes in.
             let typed = match k.as_str() {
-                "assert_speedup" | "max_overhead" => f64::from_json(v).map(|_| ()),
+                "assert_speedup" | "assert_speedup_lockstep" | "max_overhead" => {
+                    f64::from_json(v).map(|_| ())
+                }
                 "resume_smoke" => bool::from_json(v).map(|_| ()),
                 "arch" => String::from_json(v).map(|_| ()),
                 _ => usize::from_json(v).map(|_| ()),

@@ -5,8 +5,8 @@
 //! `perfvec-sim` standing in for gem5).
 
 use perfvec_isa::Trace;
-use perfvec_ml::parallel::parallel_map;
-use perfvec_sim::{simulate, MicroArchConfig};
+use perfvec_ml::parallel::{in_parallel_worker, parallel_map};
+use perfvec_sim::{simulate, simulate_column, MicroArchConfig};
 use perfvec_trace::features::{extract_features, FeatureMask, Matrix};
 use perfvec_trace::ProgramData;
 use perfvec_workloads::{suite, SuiteRole};
@@ -53,9 +53,15 @@ impl SuiteData {
 /// Build one program's dataset: `n x 51` features plus `n x k`
 /// incremental latencies (0.1 ns) for the `k` given microarchitectures.
 ///
-/// Simulations of distinct microarchitectures are independent and run in
-/// parallel; the logical trace is shared by all of them (the fact that
-/// PerfVec's representation reuse exploits during training).
+/// The machine grid is simulated with the lockstep column simulator
+/// ([`simulate_column`]): the trace is decoded once and whole machine
+/// chunks advance through it record by record, amortizing the
+/// per-record walk. Chunks of distinct microarchitectures are
+/// independent and run in parallel when this is the outermost parallel
+/// region; inside a program-parallel generation wave (where nested
+/// parallelism degrades to sequential) the whole column runs as one
+/// lockstep chunk. Per-cell results are bit-identical either way, so
+/// chunking never affects dataset contents or cache keys.
 pub fn build_program_data(
     name: &str,
     trace: &Trace,
@@ -65,8 +71,34 @@ pub fn build_program_data(
     let features = extract_features(trace, mask);
     let n = trace.len();
     let k = configs.len();
-    let columns: Vec<Vec<f32>> =
-        parallel_map(k, |j| simulate(trace, &configs[j]).inc_latency_tenths);
+    let threads = if in_parallel_worker() {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+    };
+    let n_chunks = threads.clamp(1, k.max(1));
+    // Contiguous chunk bounds covering 0..k (first `k % n_chunks`
+    // chunks get one extra machine).
+    let bounds: Vec<(usize, usize)> = (0..n_chunks)
+        .map(|c| {
+            let base = k / n_chunks;
+            let extra = k % n_chunks;
+            let start = c * base + c.min(extra);
+            (start, start + base + usize::from(c < extra))
+        })
+        .collect();
+    let columns: Vec<Vec<f32>> = parallel_map(n_chunks, |c| {
+        let (lo, hi) = bounds[c];
+        simulate_column(trace, &configs[lo..hi])
+            .into_iter()
+            .map(|r| r.inc_latency_tenths)
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut targets = Matrix::zeros(n, k);
     for (j, col) in columns.iter().enumerate() {
         debug_assert_eq!(col.len(), n);
@@ -137,6 +169,26 @@ mod tests {
                 .iter()
                 .any(|w| w.name == d.name && w.role == perfvec_workloads::SuiteRole::Training)
         }));
+    }
+
+    #[test]
+    fn lockstep_targets_match_per_cell_simulation() {
+        // The chunked column simulator must produce exactly the bits the
+        // per-cell path produces for every (instruction, machine) cell.
+        let trace = by_name("specrand").unwrap().trace(1_500);
+        let configs = predefined_configs();
+        let d = build_program_data("t", &trace, &configs, FeatureMask::Full);
+        for (j, c) in configs.iter().enumerate() {
+            let r = simulate(&trace, c);
+            for i in 0..trace.len() {
+                assert_eq!(
+                    d.targets.row(i)[j].to_bits(),
+                    r.inc_latency_tenths[i].to_bits(),
+                    "cell ({i}, {j}) diverged on {}",
+                    c.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,8 @@
 
 use rayon::prelude::*;
 
+pub use rayon::in_parallel_worker;
+
 /// Canonical lane-chunk width for gradient steps.
 ///
 /// Thirty-two lanes is the batch-major kernels' widest SIMD block

@@ -3,200 +3,22 @@
 //! Scoreboarded in-order pipeline (Cortex-A7/A53 flavour): instructions
 //! issue strictly in program order, stall on source operands (loads block
 //! at first use), share the front end's fetch/branch behaviour with the
-//! OoO model, and retire in order.
+//! OoO model, and retire in order. The timing loop lives in
+//! [`crate::machine::InorderMachine`] and is shared with the lockstep
+//! grid simulator.
 
-use crate::branch::{Btb, Predictor};
-use crate::cache::{Hierarchy, HitLevel};
 use crate::config::MicroArchConfig;
-use crate::fu::FuState;
-use crate::latency::{RetireTracker, SimResult, SimStats};
-use crate::memsys::MainMemory;
-use crate::ooo::{decode_program, with_scoreboard, Scoreboard, REG_SLOTS};
+use crate::latency::SimResult;
+use crate::machine::{run_inorder_cell, with_scratch};
 use perfvec_isa::Trace;
-
-/// Bubble for a correctly predicted taken branch.
-const TAKEN_REDIRECT_BUBBLE: u64 = 1;
-/// Bubble when a taken branch misses the BTB.
-const BTB_MISS_BUBBLE: u64 = 2;
 
 /// Simulate `trace` on the in-order machine `cfg`.
 pub fn simulate_inorder(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
-    with_scoreboard(|sb| simulate_inorder_with(trace, cfg, sb))
-}
-
-fn simulate_inorder_with(trace: &Trace, cfg: &MicroArchConfig, sb: &mut Scoreboard) -> SimResult {
-    let n = trace.len();
-    let mut hier = Hierarchy::from_pool(
-        cfg.l1i,
-        cfg.l1d,
-        cfg.l2,
-        cfg.l2_exclusive,
-        MainMemory::new(cfg.mem, cfg.freq_ghz),
-        &mut sb.caches,
-    );
-    let mut pred = Predictor::new(&cfg.branch);
-    let mut btb = Btb::new(cfg.branch.btb_entries);
-    let mut fus = FuState::new(&cfg.fus, cfg.issue_width);
-    let mut retire = RetireTracker::new(cfg.retire_width);
-
-    decode_program(&trace.program, &mut sb.decoded);
-    let decoded = &sb.decoded[..];
-
-    let mut reg_ready = [0u64; REG_SLOTS];
-    let mut mem_level = vec![HitLevel::None; n];
-    let mut mispredicted = vec![false; n];
-
-    // Incremental latency computed inline at retirement, exactly like
-    // the out-of-order loop (see `simulate_ooo_with`).
-    let mut inc = vec![0f32; n];
-    let cycle_tenths = cfg.cycle_tenths_ns();
-    let mut prev_retire = 0u64;
-
-    let mut fetch_cycle = 0u64;
-    let mut fetched_in_cycle = 0u8;
-    let mut cur_line = u64::MAX;
-    let front = cfg.front_depth as u64;
-
-    // Strict in-order issue.
-    let mut last_issue = 0u64;
-    // Fences serialize memory.
-    let mut mem_barrier = 0u64;
-    let mut max_mem_complete = 0u64;
-
-    let mut stats = SimStats::default();
-
-    for i in 0..n {
-        let rec = &trace.records[i];
-        let d = &decoded[rec.sidx as usize];
-        let pc = rec.pc();
-
-        // ---- fetch (same structure as the OoO front end) ----
-        let line = pc >> 6;
-        if line != cur_line {
-            let (lat, lvl) = hier.access_ifetch(pc, fetch_cycle);
-            if lvl != HitLevel::L1 {
-                fetch_cycle += lat;
-                fetched_in_cycle = 0;
-            }
-            cur_line = line;
-        }
-        // Branch-free width wrap: the wrap point moves with every
-        // redirect, so a branch here is unpredictable.
-        let wrap = fetched_in_cycle >= cfg.fetch_width;
-        fetch_cycle += wrap as u64;
-        fetched_in_cycle = if wrap { 0 } else { fetched_in_cycle };
-        let my_fetch = fetch_cycle;
-        fetched_in_cycle += 1;
-
-        // ---- issue: in order, after decode, sources ready ----
-        let mut ready = (my_fetch + front)
-            .max(last_issue)
-            .max(reg_ready[d.srcs[0] as usize & (REG_SLOTS - 1)])
-            .max(reg_ready[d.srcs[1] as usize & (REG_SLOTS - 1)]);
-        for k in 2..d.n_src as usize {
-            ready = ready.max(reg_ready[d.srcs[k] as usize & (REG_SLOTS - 1)]);
-        }
-        if d.is_mem {
-            ready = ready.max(mem_barrier);
-        }
-        if d.is_barrier {
-            ready = ready.max(max_mem_complete);
-        }
-        let start = fus.issue(d.class, ready);
-        last_issue = start;
-
-        // ---- execute ----
-        let mut complete = start + fus.latency(d.class);
-        if d.is_load {
-            let (lat, lvl) = hier.access_data(rec.addr, start);
-            mem_level[i] = lvl;
-            complete = start + lat;
-        } else if d.is_store {
-            let (_, lvl) = hier.access_data(rec.addr, start);
-            mem_level[i] = lvl;
-            // Store buffer hides the fill latency.
-            complete = start + 1;
-        }
-        if d.is_mem {
-            max_mem_complete = max_mem_complete.max(complete);
-        }
-        if d.is_barrier {
-            mem_barrier = complete;
-        }
-        reg_ready[d.dsts[0] as usize & (REG_SLOTS - 1)] = complete;
-        for k in 1..d.n_dst as usize {
-            reg_ready[d.dsts[k] as usize & (REG_SLOTS - 1)] = complete;
-        }
-
-        // ---- control flow ----
-        if d.is_branch {
-            stats.branches += 1;
-            let actual_target = rec.next_pc();
-            let mispred;
-            let mut bubble = 0u64;
-            if d.is_cond_branch {
-                let pred_taken = pred.predict(pc, d.static_target);
-                mispred = pred_taken != rec.taken;
-                if !mispred && rec.taken {
-                    bubble = if btb.lookup(pc).is_some() {
-                        TAKEN_REDIRECT_BUBBLE
-                    } else {
-                        BTB_MISS_BUBBLE
-                    };
-                }
-                pred.update(pc, rec.taken);
-            } else if d.is_indirect_branch {
-                mispred = btb.lookup(pc) != Some(actual_target);
-            } else {
-                mispred = false;
-                bubble = if btb.lookup(pc).is_some() {
-                    TAKEN_REDIRECT_BUBBLE
-                } else {
-                    BTB_MISS_BUBBLE
-                };
-            }
-            if rec.taken {
-                btb.update(pc, actual_target);
-            }
-            if mispred {
-                stats.mispredicts += 1;
-                mispredicted[i] = true;
-                // In-order branches resolve at execute; the refill cost is
-                // the front-end depth (applied via the fetch->issue path).
-                fetch_cycle = complete + 1;
-                fetched_in_cycle = 0;
-                cur_line = u64::MAX;
-            } else if rec.taken {
-                fetch_cycle = my_fetch + bubble;
-                fetched_in_cycle = 0;
-                cur_line = u64::MAX;
-            }
-        }
-
-        // ---- retire ----
-        let r = retire.schedule(complete);
-        debug_assert!(r >= prev_retire, "retirement must be in order");
-        inc[i] = ((r - prev_retire) as f64 * cycle_tenths) as f32;
-        prev_retire = r;
-    }
-
-    let cs = hier.stats();
-    hier.recycle(&mut sb.caches);
-    stats.l1i_misses = cs.l1i_misses;
-    stats.l1d_misses = cs.l1d_misses;
-    stats.l2_misses = cs.l2_misses;
-    stats.ifetch_accesses = cs.ifetch_accesses;
-    stats.data_accesses = cs.data_accesses;
-    stats.cycles = prev_retire;
-    stats.instructions = n as u64;
-
-    SimResult {
-        inc_latency_tenths: inc,
-        total_tenths: prev_retire as f64 * cycle_tenths,
-        mem_level,
-        mispredicted,
-        stats,
-    }
+    with_scratch(|s| {
+        s.dt.build(trace);
+        let (dt, cells) = (&s.dt, &mut s.cells);
+        run_inorder_cell(dt, cfg, &mut cells[0])
+    })
 }
 
 #[cfg(test)]

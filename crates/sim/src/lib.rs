@@ -16,6 +16,12 @@
 //! main memory in four technologies. [`sample::training_population`]
 //! reproduces the paper's 77-machine dataset recipe.
 //!
+//! For grid generation — many machines over one trace —
+//! [`simulate_column`] advances a whole machine column through the
+//! trace in lockstep, amortizing the per-record walk across the column
+//! while staying bit-identical per cell to [`simulate`] and to the
+//! frozen [`reference`] oracle.
+//!
 //! ```
 //! use perfvec_isa::{ProgramBuilder, Reg, Emulator};
 //! use perfvec_sim::{simulate, sample::predefined_configs};
@@ -43,6 +49,8 @@ pub mod config;
 pub mod fu;
 pub mod inorder;
 pub mod latency;
+pub mod lockstep;
+pub(crate) mod machine;
 pub mod memsys;
 pub mod ooo;
 pub mod reference;
@@ -51,6 +59,7 @@ pub mod sample;
 pub use cache::HitLevel;
 pub use config::{CoreKind, MicroArchConfig};
 pub use latency::{SimResult, SimStats};
+pub use lockstep::simulate_column;
 
 use perfvec_isa::Trace;
 

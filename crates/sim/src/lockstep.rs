@@ -1,0 +1,261 @@
+//! Lockstep grid simulation: one trace walk, many machines.
+//!
+//! [`simulate_column`] decodes a trace once into a flat
+//! [`perfvec_trace::DecodedTrace`] and advances machines through the
+//! trace in **record segments**: every out-of-order machine of the
+//! column runs one cache-sized segment of records ([`SEG`]) before any
+//! machine touches the next segment. The trace decode is paid once per
+//! column instead of once per (record, machine) cell, and the segment
+//! tiling means each SoA record segment is pulled from memory once and
+//! then served from close cache to the whole column — where the
+//! per-cell row-major order re-streams the whole record buffer once
+//! per machine. Machines run each segment **in pairs**
+//! ([`crate::machine::OooMachine::run_span_pair`]): two independent
+//! per-record dependency chains overlap on the host core, with each
+//! machine's hot scalar pipeline state hoisted into registers for the
+//! span. Finer interleavings (record-outer over the column, machine
+//! blocks) measured slower — machine state kept falling out of
+//! registers and L1 between records. In-order machines run whole-trace
+//! paired spans instead: their state is tiny, so segment switches cost
+//! more than the record-stream reuse saves.
+//!
+//! Machines are fully independent: each owns its scoreboard, rings,
+//! cache hierarchy, branch state, forwarding window, and — crucially —
+//! its own fetch cursor (`cur_line` / mispredict-restart state) over
+//! the shared decoded buffer, so machines whose control flow diverges
+//! (different mispredict patterns) stay bit-identical to their per-cell
+//! runs. The span runners are literally the same code
+//! ([`crate::machine`]); a machine's segment sequence covers the
+//! records contiguously in order exactly as a single whole-trace span
+//! does, and interleaving independent state machines cannot change any
+//! machine's arithmetic.
+//!
+//! Observability: per-column decode/simulate wall time and a grid-cell
+//! throughput gauge are recorded through `perfvec-obs`
+//! ([`LockstepMetrics`]) — strictly outside the simulated state.
+
+use crate::config::{CoreKind, MicroArchConfig};
+use crate::latency::SimResult;
+use crate::machine::{with_scratch, InorderMachine, MachineScratch, OooMachine, SimScratch};
+use perfvec_isa::Trace;
+use perfvec_obs::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Records per lockstep segment. Sized so one segment of SoA record
+/// data (5 columns, ~26 bytes per record — ~100KB at 4096) stays in
+/// close cache while all machines of the column run it, yet long
+/// enough that each machine's state reload per segment switch
+/// amortizes to noise (a few KB of hot state per ~4K records).
+const SEG: usize = 4096;
+
+/// Instrumentation for the lockstep path, shared by every thread.
+pub struct LockstepMetrics {
+    /// Wall time (µs) spent batch-decoding the trace, per column.
+    pub column_decode_us: Histogram,
+    /// Wall time (µs) spent stepping the machine column, per column.
+    pub column_simulate_us: Histogram,
+    /// Grid cells (machine × trace pairs) simulated via lockstep.
+    pub cells: Counter,
+    /// Most recent per-column throughput in grid cells per second.
+    pub cells_per_sec: Gauge,
+}
+
+/// The process-wide [`LockstepMetrics`] instance.
+pub fn metrics() -> &'static LockstepMetrics {
+    static METRICS: OnceLock<LockstepMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| LockstepMetrics {
+        column_decode_us: Histogram::new(),
+        column_simulate_us: Histogram::new(),
+        cells: Counter::new(),
+        cells_per_sec: Gauge::new(),
+    })
+}
+
+/// Simulate `trace` on every machine in `configs`, in lockstep, and
+/// return one [`SimResult`] per config in input order. Each result is
+/// bit-identical to `simulate(trace, &configs[j])` (and therefore to
+/// the frozen reference oracle).
+pub fn simulate_column(trace: &Trace, configs: &[MicroArchConfig]) -> Vec<SimResult> {
+    with_scratch(|s| simulate_column_with(trace, configs, s))
+}
+
+fn simulate_column_with(
+    trace: &Trace,
+    configs: &[MicroArchConfig],
+    s: &mut SimScratch,
+) -> Vec<SimResult> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let m = metrics();
+
+    let t_decode = Instant::now();
+    s.dt.build(trace);
+    m.column_decode_us.record(t_decode.elapsed().as_micros() as u64);
+
+    let SimScratch { dt, cells } = s;
+    if cells.len() < configs.len() {
+        cells.resize_with(configs.len(), MachineScratch::default);
+    }
+    let n = dt.len();
+
+    // Split the column by core kind so the per-record machine loops
+    // stay homogeneous (one predictable dispatch per group) while the
+    // caller keeps one mixed config list.
+    let mut ooo: Vec<(usize, OooMachine)> = Vec::new();
+    let mut inorder: Vec<(usize, InorderMachine)> = Vec::new();
+    for (j, cfg) in configs.iter().enumerate() {
+        match cfg.core {
+            CoreKind::OutOfOrder => ooo.push((j, OooMachine::begin(cfg, n, &mut cells[j]))),
+            CoreKind::InOrder => inorder.push((j, InorderMachine::begin(cfg, n, &mut cells[j]))),
+        }
+    }
+
+    let t_sim = Instant::now();
+    // Out-of-order machines: segment-outer, machine-inner — every
+    // machine runs the same cache-resident record segment before the
+    // column moves on, so the SoA streams come out of memory once per
+    // column instead of once per machine. Machines run the segment in
+    // pairs — two independent per-record dependency chains overlap on
+    // the host core where one machine's chain (fetch → issue → retire)
+    // is serial — with hot scalars register-resident for the whole
+    // segment (`run_span_pair`).
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + SEG).min(n);
+        let mut pairs = ooo.chunks_exact_mut(2);
+        for pair in &mut pairs {
+            let (a, b) = pair.split_at_mut(1);
+            OooMachine::run_span_pair(&mut a[0].1, &mut b[0].1, dt, lo, hi);
+        }
+        for (_, machine) in pairs.into_remainder() {
+            machine.run_span(dt, lo, hi);
+        }
+        lo = hi;
+    }
+    // In-order machines: whole-trace paired spans. Their per-machine
+    // state is tiny (no rings or forwarding window), so segment
+    // switches cost more than the record-stream reuse saves; the pair
+    // interleaving still overlaps the two serial issue chains.
+    let mut pairs = inorder.chunks_exact_mut(2);
+    for pair in &mut pairs {
+        let (a, b) = pair.split_at_mut(1);
+        InorderMachine::run_span_pair(&mut a[0].1, &mut b[0].1, dt, 0, n);
+    }
+    for (_, machine) in pairs.into_remainder() {
+        machine.run_span(dt, 0, n);
+    }
+    let sim_secs = t_sim.elapsed().as_secs_f64();
+    m.column_simulate_us.record((sim_secs * 1e6) as u64);
+    m.cells.add(configs.len() as u64);
+    if sim_secs > 0.0 {
+        m.cells_per_sec.set((configs.len() as f64 / sim_secs) as i64);
+    }
+
+    // Reassemble in the caller's config order.
+    let mut out: Vec<Option<SimResult>> = (0..configs.len()).map(|_| None).collect();
+    for (j, machine) in ooo {
+        out[j] = Some(machine.finish(&mut cells[j]));
+    }
+    for (j, machine) in inorder {
+        out[j] = Some(machine.finish(&mut cells[j]));
+    }
+    out.into_iter()
+        .map(|r| r.expect("every config simulated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::predefined_configs;
+    use crate::simulate;
+    use perfvec_isa::{Emulator, ProgramBuilder, Reg};
+
+    fn mixed_trace() -> Trace {
+        let mut b = ProgramBuilder::new();
+        let buf = b.alloc_zeroed(1024);
+        let (base, x, i) = (Reg::x(1), Reg::x(2), Reg::x(3));
+        b.li(base, buf as i64);
+        b.li(x, 7);
+        b.li(i, 0);
+        let top = b.label();
+        let skip = b.fwd_label();
+        b.muli(x, x, 1103515245);
+        b.andi(Reg::x(4), x, 1015);
+        b.st_idx(x, base, Reg::x(4), 8, 0, 8);
+        b.ld_idx(Reg::x(5), base, Reg::x(4), 8, 0, 8);
+        b.shri(Reg::x(6), x, 13);
+        b.andi(Reg::x(6), Reg::x(6), 1);
+        b.beq_imm(Reg::x(6), 0, skip);
+        b.fence();
+        b.bind(skip);
+        b.addi(i, i, 1);
+        b.blt_imm(i, 300, top);
+        b.halt();
+        let p = b.build();
+        Emulator::new(&p).run(100_000).unwrap()
+    }
+
+    #[test]
+    fn column_matches_per_cell_on_predefined_machines() {
+        let t = mixed_trace();
+        let configs = predefined_configs();
+        let col = simulate_column(&t, &configs);
+        assert_eq!(col.len(), configs.len());
+        for (r, c) in col.iter().zip(&configs) {
+            let cell = simulate(&t, c);
+            assert!(
+                r.bits_identical(&cell),
+                "{}: lockstep diverged from per-cell ({:?} vs {:?})",
+                c.name,
+                r.stats,
+                cell.stats
+            );
+        }
+    }
+
+    #[test]
+    fn column_order_follows_config_order() {
+        // Mixed kinds in an interleaved order: results must come back
+        // in input order, not grouped by core kind.
+        let t = mixed_trace();
+        let pool = predefined_configs();
+        let configs = vec![
+            pool[4].clone(), // in-order
+            pool[0].clone(), // ooo
+            pool[5].clone(), // in-order
+            pool[1].clone(), // ooo
+        ];
+        let col = simulate_column(&t, &configs);
+        for (r, c) in col.iter().zip(&configs) {
+            assert!(r.bits_identical(&simulate(&t, c)), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn empty_column_and_empty_config_list() {
+        let t = mixed_trace();
+        assert!(simulate_column(&t, &[]).is_empty());
+    }
+
+    #[test]
+    fn repeated_columns_are_deterministic() {
+        let t = mixed_trace();
+        let configs = predefined_configs();
+        let a = simulate_column(&t, &configs);
+        let b = simulate_column(&t, &configs);
+        for ((x, y), c) in a.iter().zip(&b).zip(&configs) {
+            assert!(x.bits_identical(y), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn metrics_record_cells() {
+        let t = mixed_trace();
+        let before = metrics().cells.get();
+        let _ = simulate_column(&t, &predefined_configs());
+        assert!(metrics().cells.get() >= before + predefined_configs().len() as u64);
+    }
+}

@@ -14,537 +14,26 @@
 //! * in-order, width-limited retirement (which defines incremental
 //!   latency).
 //!
-//! The inner loop works off dense preallocated arrays: the static
-//! program is decoded once per call into a flat [`DecodedInst`] table
-//! (hoisting every `Op` predicate and operand `flat_id` out of the
-//! per-record path), the occupancy rings and retire buffer live in a
-//! thread-local [`Scoreboard`] reused across calls, and store-to-load
-//! forwarding uses a ring-indexed window bounded by the store-queue
-//! size (see below) instead of a growing hash map.
+//! The timing loop itself lives in [`crate::machine::OooMachine`]: the
+//! trace is batch-decoded into a flat [`perfvec_trace::DecodedTrace`]
+//! (hoisting every `Op` predicate, operand `flat_id`, and PC
+//! computation out of the per-record path) and the machine state steps
+//! through it record by record. The same step function also powers the
+//! lockstep grid simulator ([`crate::lockstep::simulate_column`]), so
+//! the two paths are bit-identical by construction.
 
-use crate::branch::{Btb, Predictor};
-use crate::cache::{CachePool, Hierarchy, HitLevel};
 use crate::config::MicroArchConfig;
-use crate::fu::FuState;
-use crate::latency::{RetireTracker, SimResult, SimStats};
-use crate::memsys::MainMemory;
-use perfvec_isa::{OpClass, Program, Reg, Trace, MAX_DST, MAX_SRC};
-use std::cell::RefCell;
-
-/// Register scoreboard size: [`Reg::NUM_FLAT`] rounded up to a power
-/// of two, so masked indexing (`& (REG_SLOTS - 1)`) provably stays in
-/// bounds and the hot loops carry no bounds checks.
-pub(crate) const REG_SLOTS: usize = Reg::NUM_FLAT.next_power_of_two();
-
-/// Dummy operand slots in the spare `REG_SLOTS` range above
-/// `Reg::NUM_FLAT` (80): decoded operand lists are padded with these so
-/// the hot loops can read the first sources and write the first
-/// destination unconditionally. The source dummy is never written and
-/// the destination dummy is never read, so padding cannot create
-/// dependencies.
-pub(crate) const DUMMY_SRC: u8 = (REG_SLOTS - 2) as u8;
-pub(crate) const DUMMY_DST: u8 = (REG_SLOTS - 1) as u8;
-
-/// Extra front-end bubble (cycles) when a taken branch hits in the BTB.
-const TAKEN_REDIRECT_BUBBLE: u64 = 1;
-/// Front-end bubble when the target must be computed at decode (BTB miss
-/// on a direct taken branch).
-const BTB_MISS_BUBBLE: u64 = 3;
-
-/// One statically decoded instruction: opcode predicates, class, and
-/// operand flat ids resolved once per `simulate` call instead of once
-/// per dynamic record.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct DecodedInst {
-    pub class: OpClass,
-    pub is_load: bool,
-    pub is_store: bool,
-    pub is_mem: bool,
-    pub is_barrier: bool,
-    pub is_branch: bool,
-    pub is_cond_branch: bool,
-    pub is_indirect_branch: bool,
-    pub n_src: u8,
-    pub n_dst: u8,
-    /// `flat_id()` of each valid source register (fits: `Reg::NUM_FLAT`
-    /// is 80).
-    pub srcs: [u8; MAX_SRC],
-    /// `flat_id()` of each valid destination register.
-    pub dsts: [u8; MAX_DST],
-    /// Static branch target address (the predictor's taken-target key
-    /// for conditional branches).
-    pub static_target: u64,
-}
-
-/// Decode `program` into `out` (reusing its allocation).
-pub(crate) fn decode_program(program: &Program, out: &mut Vec<DecodedInst>) {
-    out.clear();
-    out.reserve(program.insts.len());
-    for inst in &program.insts {
-        let mut srcs = [DUMMY_SRC; MAX_SRC];
-        for (k, s) in inst.srcs().iter().enumerate() {
-            srcs[k] = s.flat_id() as u8;
-        }
-        let mut dsts = [DUMMY_DST; MAX_DST];
-        for (k, d) in inst.dsts().iter().enumerate() {
-            dsts[k] = d.flat_id() as u8;
-        }
-        out.push(DecodedInst {
-            class: inst.op.class(),
-            is_load: inst.op.is_load(),
-            is_store: inst.op.is_store(),
-            is_mem: inst.op.is_mem(),
-            is_barrier: inst.op.is_barrier(),
-            is_branch: inst.op.is_branch(),
-            is_cond_branch: inst.op.is_cond_branch(),
-            is_indirect_branch: inst.op.is_indirect_branch(),
-            n_src: inst.srcs().len() as u8,
-            n_dst: inst.dsts().len() as u8,
-            srcs,
-            dsts,
-            static_target: perfvec_isa::CODE_BASE
-                + inst.target.unwrap_or(0) as u64 * perfvec_isa::INST_BYTES,
-        });
-    }
-}
-
-/// Preallocated per-thread simulation scratch, reused across
-/// `simulate_*` calls so the hot loop never allocates (beyond the
-/// per-result `mem_level`/`mispredicted` vectors, which are moved into
-/// the returned [`SimResult`]).
-pub(crate) struct Scoreboard {
-    pub decoded: Vec<DecodedInst>,
-    pub caches: CachePool,
-    rob_ring: Vec<u64>,
-    lq_ring: Vec<u64>,
-    sq_ring: Vec<u64>,
-    fwd: FwdMap,
-}
-
-impl Scoreboard {
-    fn new() -> Scoreboard {
-        Scoreboard {
-            decoded: Vec::new(),
-            caches: CachePool::default(),
-            rob_ring: Vec::new(),
-            lq_ring: Vec::new(),
-            sq_ring: Vec::new(),
-            fwd: FwdMap::new(),
-        }
-    }
-
-    /// Reset a ring buffer to `len` zeroed slots.
-    fn reset(ring: &mut Vec<u64>, len: usize) {
-        ring.clear();
-        ring.resize(len, 0);
-    }
-}
-
-/// Store-to-load forwarding window: finds the youngest in-flight store
-/// to an 8-byte block among the last store-queue's worth of stores.
-///
-/// Only stores with `seq + sq > stores_seen` may forward (older ones
-/// have drained to the cache), so the whole structure is bounded by the
-/// store-queue size and stays L1-resident regardless of trace length: a
-/// ring of the last `sq` stores plus a small hash-head table chaining
-/// same-hash stores newest-first through `prev`. A lookup walks the
-/// chain and stops at the first out-of-window sequence number — every
-/// deeper entry is older still — so the first block match is exactly
-/// the youngest forwardable store, matching the reference `HashMap`
-/// (whose `insert` keeps the youngest store per block) plus its window
-/// check. A fence raises `fence_seq` instead of clearing: stores
-/// sequenced before it never forward again.
-struct FwdMap {
-    /// `head[hash(blk)]`: sequence number of the youngest store hashed
-    /// there, or `EMPTY`.
-    head: Vec<u64>,
-    /// Ring slot `seq & ring_mask` → that store's block address.
-    blk: Vec<u64>,
-    /// Ring slot → data-ready cycle.
-    ready: Vec<u64>,
-    /// Ring slot → previous (older) same-hash store's sequence number.
-    prev: Vec<u64>,
-    ring_mask: u64,
-    shift: u32,
-    /// Stores sequenced before this never forward (fence barrier).
-    fence_seq: u64,
-}
-
-const FWD_EMPTY: u64 = u64::MAX;
-
-impl FwdMap {
-    fn new() -> FwdMap {
-        FwdMap {
-            head: Vec::new(),
-            blk: Vec::new(),
-            ready: Vec::new(),
-            prev: Vec::new(),
-            ring_mask: 0,
-            shift: 63,
-            fence_seq: 0,
-        }
-    }
-
-    /// Prepare for a simulation with store-queue size `sq`.
-    fn begin(&mut self, sq: usize) {
-        let ring = sq.max(8).next_power_of_two();
-        let tab = (4 * ring).next_power_of_two();
-        if ring as u64 != self.ring_mask + 1 || self.head.len() != tab {
-            self.blk.clear();
-            self.blk.resize(ring, 0);
-            self.ready.clear();
-            self.ready.resize(ring, 0);
-            self.prev.clear();
-            self.prev.resize(ring, FWD_EMPTY);
-            self.head.clear();
-            self.head.resize(tab, FWD_EMPTY);
-            self.ring_mask = ring as u64 - 1;
-            self.shift = 64 - tab.trailing_zeros();
-        } else {
-            self.head.fill(FWD_EMPTY);
-        }
-        self.fence_seq = 0;
-    }
-
-    /// Fibonacci-hash head index for `blk`.
-    #[inline]
-    fn head_of(&self, blk: u64) -> usize {
-        (blk.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
-    }
-
-    /// A fence publishes every prior store: loads beyond it read from
-    /// the memory system, never the forwarding window. `stores_seen` is
-    /// the fence-time store count.
-    #[inline]
-    fn fence(&mut self, stores_seen: u64) {
-        self.fence_seq = stores_seen;
-    }
-
-    /// Data-ready cycle of the youngest store to `blk` still inside the
-    /// forwarding window (`stores_seen` stores issued so far, queue
-    /// size `sq`) and after the last fence.
-    #[inline]
-    fn get(&self, blk: u64, stores_seen: u64, sq: u64) -> Option<u64> {
-        let mut s = self.head[self.head_of(blk)];
-        while s != FWD_EMPTY && s + sq > stores_seen && s >= self.fence_seq {
-            let slot = (s & self.ring_mask) as usize;
-            debug_assert!(
-                s + (self.ring_mask + 1) > stores_seen,
-                "in-window store's ring slot must be intact"
-            );
-            if self.blk[slot] == blk {
-                return Some(self.ready[slot]);
-            }
-            s = self.prev[slot];
-        }
-        None
-    }
-
-    /// Record store number `seq` to `blk` with its data ready at
-    /// `ready`.
-    #[inline]
-    fn insert(&mut self, blk: u64, ready: u64, seq: u64) {
-        let h = self.head_of(blk);
-        let slot = (seq & self.ring_mask) as usize;
-        self.blk[slot] = blk;
-        self.ready[slot] = ready;
-        self.prev[slot] = self.head[h];
-        self.head[h] = seq;
-    }
-}
-
-thread_local! {
-    static SCOREBOARD: RefCell<Scoreboard> = RefCell::new(Scoreboard::new());
-}
-
-/// Run `f` with this thread's reusable [`Scoreboard`].
-pub(crate) fn with_scoreboard<R>(f: impl FnOnce(&mut Scoreboard) -> R) -> R {
-    SCOREBOARD.with(|sb| f(&mut sb.borrow_mut()))
-}
+use crate::latency::SimResult;
+use crate::machine::{run_ooo_cell, with_scratch};
+use perfvec_isa::Trace;
 
 /// Simulate `trace` on the out-of-order machine `cfg`.
 pub fn simulate_ooo(trace: &Trace, cfg: &MicroArchConfig) -> SimResult {
-    with_scoreboard(|sb| simulate_ooo_with(trace, cfg, sb))
-}
-
-fn simulate_ooo_with(trace: &Trace, cfg: &MicroArchConfig, sb: &mut Scoreboard) -> SimResult {
-    let n = trace.len();
-
-    decode_program(&trace.program, &mut sb.decoded);
-
-    // Occupancy rings: dispatch waits for the entry `size` instructions
-    // back to have retired.
-    let rob = cfg.rob_size.max(8) as usize;
-    Scoreboard::reset(&mut sb.rob_ring, rob);
-    let lq = cfg.lq_size.max(4) as usize;
-    Scoreboard::reset(&mut sb.lq_ring, lq);
-    let mut loads_seen = 0usize;
-    let sq = cfg.sq_size.max(4) as usize;
-    Scoreboard::reset(&mut sb.sq_ring, sq);
-    let mut stores_seen = 0usize;
-
-    // Store-to-load forwarding: a load forwards from the youngest prior
-    // store to its 8-byte block that is still inside the store-queue
-    // window (sequence number within `sq` of the load) and younger than
-    // the last memory barrier — older stores have architecturally
-    // drained, and a fence publishes everything before it, so entries
-    // cannot leak across fences or the whole trace.
-    sb.fwd.begin(sq);
-
-    // One destructure instead of per-iteration field loads: each piece
-    // of scratch becomes an independent borrow the optimiser can keep
-    // in registers.
-    let Scoreboard {
-        decoded,
-        caches,
-        rob_ring,
-        lq_ring,
-        sq_ring,
-        fwd,
-        ..
-    } = sb;
-    let decoded = &decoded[..];
-
-    let mut hier = Hierarchy::from_pool(
-        cfg.l1i,
-        cfg.l1d,
-        cfg.l2,
-        cfg.l2_exclusive,
-        MainMemory::new(cfg.mem, cfg.freq_ghz),
-        &mut *caches,
-    );
-    let mut pred = Predictor::new(&cfg.branch);
-    let mut btb = Btb::new(cfg.branch.btb_entries);
-    let mut fus = FuState::new(&cfg.fus, cfg.issue_width);
-    let mut retire = RetireTracker::new(cfg.retire_width);
-
-    let mut reg_ready = [0u64; REG_SLOTS];
-    let mut mem_level = vec![HitLevel::None; n];
-    let mut mispredicted = vec![false; n];
-
-    // Incremental latency is produced inline as instructions retire
-    // (one pass, no second sweep over the retire array; the reference
-    // keeps the seed's two-pass `from_retire_cycles`). The arithmetic
-    // is expression-for-expression the same, so results stay
-    // bit-identical.
-    let mut inc = vec![0f32; n];
-    let cycle_tenths = cfg.cycle_tenths_ns();
-    let mut prev_retire = 0u64;
-
-    // Fetch state.
-    let mut fetch_cycle = 0u64;
-    let mut fetched_in_cycle = 0u8;
-    let mut cur_line = u64::MAX;
-    let front = cfg.front_depth as u64;
-
-    // Ring cursors, advanced by wrap-around instead of `%` — the ring
-    // sizes are runtime values, so a modulo here is a hardware divide
-    // on the hottest path of the whole simulator.
-    let mut rob_slot = 0usize;
-    let mut lq_slot = 0usize;
-    let mut sq_slot = 0usize;
-
-    // Fence serialization.
-    let mut mem_barrier = 0u64;
-    let mut max_mem_complete = 0u64;
-
-    let mut stats = SimStats::default();
-
-    for i in 0..n {
-        let rec = &trace.records[i];
-        let d = &decoded[rec.sidx as usize];
-        let pc = rec.pc();
-
-        // ---- fetch ------------------------------------------------------
-        let line = pc >> 6;
-        if line != cur_line {
-            let (lat, lvl) = hier.access_ifetch(pc, fetch_cycle);
-            if lvl != HitLevel::L1 {
-                // A front-end miss stalls fetch until the line arrives.
-                fetch_cycle += lat;
-                fetched_in_cycle = 0;
-            }
-            cur_line = line;
-        }
-        // Branch-free width wrap: the wrap point moves with every
-        // redirect, so a branch here is unpredictable.
-        let wrap = fetched_in_cycle >= cfg.fetch_width;
-        fetch_cycle += wrap as u64;
-        fetched_in_cycle = if wrap { 0 } else { fetched_in_cycle };
-        let my_fetch = fetch_cycle;
-        fetched_in_cycle += 1;
-
-        // ---- dispatch: structural queue occupancy ------------------------
-        let mut disp = my_fetch + front;
-        if i >= rob {
-            disp = disp.max(rob_ring[rob_slot] + 1);
-        }
-        // This instruction's load- or store-queue slot (`*_seen % size`,
-        // tracked by cursor).
-        let mut mem_slot = usize::MAX;
-        if d.is_load {
-            if loads_seen >= lq {
-                disp = disp.max(lq_ring[lq_slot] + 1);
-            }
-            mem_slot = lq_slot;
-            loads_seen += 1;
-            lq_slot += 1;
-            if lq_slot == lq {
-                lq_slot = 0;
-            }
-        } else if d.is_store {
-            if stores_seen >= sq {
-                disp = disp.max(sq_ring[sq_slot] + 1);
-            }
-            mem_slot = sq_slot;
-            stores_seen += 1;
-            sq_slot += 1;
-            if sq_slot == sq {
-                sq_slot = 0;
-            }
-        }
-
-        // ---- source readiness --------------------------------------------
-        // Nearly every instruction has at most two sources; read them
-        // unconditionally (dummy-padded) and fall into a loop only for
-        // the rare wider ones.
-        let mut ready = disp
-            .max(reg_ready[d.srcs[0] as usize & (REG_SLOTS - 1)])
-            .max(reg_ready[d.srcs[1] as usize & (REG_SLOTS - 1)]);
-        for k in 2..d.n_src as usize {
-            ready = ready.max(reg_ready[d.srcs[k] as usize & (REG_SLOTS - 1)]);
-        }
-        if d.is_mem {
-            ready = ready.max(mem_barrier);
-        }
-        if d.is_barrier {
-            ready = ready.max(max_mem_complete);
-        }
-
-        // ---- issue + execute -----------------------------------------------
-        let start = fus.issue(d.class, ready);
-        let mut complete = start + fus.latency(d.class);
-        if d.is_load {
-            let (lat, lvl) = hier.access_data(rec.addr, start);
-            mem_level[i] = lvl;
-            complete = start + lat;
-            // Store-to-load forwarding beats the cache when an in-flight
-            // store to the same block has (or will have) its data. The
-            // map holds the youngest store per block; it forwards only
-            // while still inside the store-queue window — older stores
-            // have drained to the cache.
-            if let Some(st_ready) = fwd.get(rec.addr >> 3, stores_seen as u64, sq as u64) {
-                if st_ready + 1 > start && st_ready + 1 < complete {
-                    complete = st_ready + 1;
-                }
-            }
-        } else if d.is_store {
-            // Stores update cache state (write-allocate) and consume
-            // bandwidth, but retire without waiting for the fill.
-            let (_, lvl) = hier.access_data(rec.addr, start);
-            mem_level[i] = lvl;
-            complete = start + 1;
-            // This store's sequence number is `stores_seen` (already
-            // counted at dispatch).
-            fwd.insert(rec.addr >> 3, complete, stores_seen as u64);
-        }
-        if d.is_mem {
-            max_mem_complete = max_mem_complete.max(complete);
-        }
-        if d.is_barrier {
-            mem_barrier = complete;
-            fwd.fence(stores_seen as u64);
-        }
-        reg_ready[d.dsts[0] as usize & (REG_SLOTS - 1)] = complete;
-        for k in 1..d.n_dst as usize {
-            reg_ready[d.dsts[k] as usize & (REG_SLOTS - 1)] = complete;
-        }
-
-        // ---- control flow -----------------------------------------------
-        if d.is_branch {
-            stats.branches += 1;
-            let actual_target = rec.next_pc();
-            let mispred;
-            let mut bubble = 0u64;
-            if d.is_cond_branch {
-                let pred_taken = pred.predict(pc, d.static_target);
-                mispred = pred_taken != rec.taken;
-                if !mispred && rec.taken {
-                    bubble = if btb.lookup(pc).is_some() {
-                        TAKEN_REDIRECT_BUBBLE
-                    } else {
-                        BTB_MISS_BUBBLE
-                    };
-                }
-                pred.update(pc, rec.taken);
-            } else if d.is_indirect_branch {
-                mispred = btb.lookup(pc) != Some(actual_target);
-            } else {
-                // Direct unconditional: direction known; BTB miss costs a
-                // decode-stage redirect.
-                mispred = false;
-                bubble = if btb.lookup(pc).is_some() {
-                    TAKEN_REDIRECT_BUBBLE
-                } else {
-                    BTB_MISS_BUBBLE
-                };
-            }
-            if rec.taken {
-                btb.update(pc, actual_target);
-            }
-            if mispred {
-                stats.mispredicts += 1;
-                mispredicted[i] = true;
-                // Fetch restarts after the branch resolves. `cur_line`
-                // is deliberately invalidated even when the target
-                // shares the branch's line: the restarted front end
-                // re-accesses the I-cache (see the
-                // `mispredict_restart_reaccesses_icache` test, which
-                // pins this accounting).
-                fetch_cycle = complete + 1;
-                fetched_in_cycle = 0;
-                cur_line = u64::MAX;
-            } else if rec.taken {
-                fetch_cycle = my_fetch + bubble;
-                fetched_in_cycle = 0;
-                cur_line = u64::MAX;
-            }
-        }
-
-        // ---- retire --------------------------------------------------------
-        let r = retire.schedule(complete);
-        debug_assert!(r >= prev_retire, "retirement must be in order");
-        inc[i] = ((r - prev_retire) as f64 * cycle_tenths) as f32;
-        prev_retire = r;
-        rob_ring[rob_slot] = r;
-        rob_slot += 1;
-        if rob_slot == rob {
-            rob_slot = 0;
-        }
-        if d.is_load {
-            lq_ring[mem_slot] = r;
-        } else if d.is_store {
-            sq_ring[mem_slot] = r;
-        }
-    }
-
-    let cs = hier.stats();
-    hier.recycle(caches);
-    stats.l1i_misses = cs.l1i_misses;
-    stats.l1d_misses = cs.l1d_misses;
-    stats.l2_misses = cs.l2_misses;
-    stats.ifetch_accesses = cs.ifetch_accesses;
-    stats.data_accesses = cs.data_accesses;
-    stats.cycles = prev_retire;
-    stats.instructions = n as u64;
-
-    SimResult {
-        inc_latency_tenths: inc,
-        total_tenths: prev_retire as f64 * cycle_tenths,
-        mem_level,
-        mispredicted,
-        stats,
-    }
+    with_scratch(|s| {
+        s.dt.build(trace);
+        let (dt, cells) = (&s.dt, &mut s.cells);
+        run_ooo_cell(dt, cfg, &mut cells[0])
+    })
 }
 
 #[cfg(test)]
@@ -795,7 +284,7 @@ mod tests {
 
     #[test]
     fn results_are_identical_across_repeated_calls() {
-        // The reusable thread-local scoreboard must not leak state
+        // The reusable thread-local scratch must not leak state
         // between simulations (also exercised with interleaved configs).
         let t = alu_loop_trace(200);
         let t2 = alu_loop_trace(137);

@@ -1,0 +1,74 @@
+//! Manual perf probe for the three simulator paths (reference,
+//! per-cell flat, lockstep column). Ignored by default — `sim_bench`
+//! is the real gate; this exists so kernel work can iterate without
+//! rebuilding the bench crate:
+//!
+//! ```sh
+//! cargo test -p perfvec-sim --release --test perf_probe -- --ignored --nocapture
+//! ```
+
+use perfvec_sim::reference::simulate_reference;
+use perfvec_sim::sample::{training_population, DEFAULT_MARCH_SEED};
+use perfvec_sim::{simulate, simulate_column, CoreKind};
+use std::time::Instant;
+
+#[test]
+#[ignore = "manual timing probe, not a correctness gate"]
+fn three_way_timing() {
+    let trace = perfvec_workloads::by_name("specrand").unwrap().trace(20_000);
+    let configs = training_population(DEFAULT_MARCH_SEED);
+    let n_ooo = configs
+        .iter()
+        .filter(|c| c.core == CoreKind::OutOfOrder)
+        .count();
+    let cells = configs.len();
+    let insts = (trace.len() * cells) as f64;
+    println!(
+        "{} records x {} machines ({} ooo / {} inorder)",
+        trace.len(),
+        cells,
+        n_ooo,
+        cells - n_ooo
+    );
+
+    // Warm every path.
+    let _ = simulate(&trace, &configs[0]);
+    let _ = simulate_reference(&trace, &configs[0]);
+    let _ = simulate_column(&trace, &configs);
+
+    let mut best = [f64::MAX; 3];
+    for _ in 0..6 {
+        let t = Instant::now();
+        for c in &configs {
+            let _ = simulate_reference(&trace, c);
+        }
+        best[0] = best[0].min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for c in &configs {
+            let _ = simulate(&trace, c);
+        }
+        best[1] = best[1].min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let _ = simulate_column(&trace, &configs);
+        best[2] = best[2].min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "reference {:.3}s ({:.1} Minstr/s)",
+        best[0],
+        insts / best[0] / 1e6
+    );
+    println!(
+        "flat      {:.3}s ({:.1} Minstr/s, {:.2}x)",
+        best[1],
+        insts / best[1] / 1e6,
+        best[0] / best[1]
+    );
+    println!(
+        "lockstep  {:.3}s ({:.1} Minstr/s, {:.2}x)",
+        best[2],
+        insts / best[2] / 1e6,
+        best[0] / best[2]
+    );
+}

@@ -31,9 +31,11 @@
 pub mod binio;
 pub mod branch_entropy;
 pub mod dataset;
+pub mod decoded;
 pub mod features;
 pub mod fingerprint;
 pub mod stack_distance;
 
 pub use dataset::{fill_window, ProgramData, Split};
+pub use decoded::{DecodedInst, DecodedTrace};
 pub use features::{extract_features, FeatureMask, Matrix, NUM_FEATURES};

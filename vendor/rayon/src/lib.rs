@@ -33,6 +33,14 @@ fn in_worker() -> bool {
     IN_WORKER.with(Cell::get)
 }
 
+/// True when the current thread is a worker of an enclosing parallel
+/// region — i.e. a nested `into_par_iter` here would run sequentially.
+/// Callers that size their own work chunks to the core count can use
+/// this to avoid pointless splitting inside an outer parallel wave.
+pub fn in_parallel_worker() -> bool {
+    in_worker()
+}
+
 fn enter_worker() {
     IN_WORKER.with(|c| c.set(true));
 }
