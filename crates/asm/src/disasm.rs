@@ -1,0 +1,143 @@
+//! Canonical disassembler — the round-trip anchor.
+//!
+//! For any [`Program`] that follows the operand conventions of
+//! [`perfvec_isa::ProgramBuilder`] / this crate's encoder (memory base
+//! and index registers appended to the source list by `with_mem`), the
+//! emitted text re-assembles to a bit-identical program:
+//! `parse(disassemble(p)) == p` over name, instructions, data, and
+//! entry point. Labels are regenerated as `L<inst index>`.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use perfvec_isa::{Inst, Op, Program, Reg};
+
+/// Emit canonical assembly text for a program.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".name \"{}\"", escape(&p.name));
+
+    for seg in &p.data {
+        let _ = writeln!(out, ".data {:#x}", seg.addr);
+        for row in seg.bytes.chunks(16) {
+            let bytes: Vec<String> = row.iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(out, "    .byte {}", bytes.join(", "));
+        }
+    }
+
+    // Every branch target (and a nonzero entry) needs a named line.
+    let mut targets: BTreeSet<u32> = p.insts.iter().filter_map(|i| i.target).collect();
+    if p.entry != 0 {
+        targets.insert(p.entry);
+        let _ = writeln!(out, ".entry L{}", p.entry);
+    }
+
+    for (i, inst) in p.insts.iter().enumerate() {
+        if targets.contains(&(i as u32)) {
+            let _ = writeln!(out, "L{i}:");
+        }
+        let _ = writeln!(out, "    {}", inst_text(inst));
+    }
+    // A target one past the last instruction is legal (it traps as
+    // pc-out-of-range only if actually reached); bind it to a trailing
+    // label.
+    if targets.contains(&(p.insts.len() as u32)) {
+        let _ = writeln!(out, "L{}:", p.insts.len());
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Canonical text of one instruction (no label resolution beyond the
+/// `L<idx>` convention).
+pub fn inst_text(inst: &Inst) -> String {
+    use Op::*;
+    let d = |i: usize| inst.dsts()[i];
+    let s = |i: usize| inst.srcs()[i];
+    match inst.op {
+        Add | Sub | And | Or | Xor | Shl | Shr | Sra | Slt | Sltu | Mul | Div | Rem => {
+            if inst.uses_imm {
+                format!("{} {}, {}, #{}", inst.op, d(0), s(0), inst.imm)
+            } else {
+                format!("{} {}, {}, {}", inst.op, d(0), s(0), s(1))
+            }
+        }
+        Li => format!("li {}, #{}", d(0), inst.imm),
+        Mov | Fsqrt | Fneg | Fmov | Icvtf | Fcvti | Vsplat | Vredsum => {
+            format!("{} {}, {}", inst.op, d(0), s(0))
+        }
+        Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Fclt | Vadd | Vmul => {
+            format!("{} {}, {}, {}", inst.op, d(0), s(0), s(1))
+        }
+        Fmadd | Vfma => format!("{} {}, {}, {}, {}", inst.op, d(0), s(0), s(1), s(2)),
+        Ld | Fld => format!(
+            "{}.{} {}, {}",
+            inst.op,
+            inst.mem.expect("load without mem").size,
+            d(0),
+            mem_text(inst)
+        ),
+        Vld => format!("vld {}, {}", d(0), mem_text(inst)),
+        St | Fst => format!(
+            "{}.{} {}, {}",
+            inst.op,
+            inst.mem.expect("store without mem").size,
+            s(0),
+            mem_text(inst)
+        ),
+        Vst => format!("vst {}, {}", s(0), mem_text(inst)),
+        Beq | Bne | Blt | Bge => {
+            let t = inst.target.expect("cond branch without target");
+            if inst.uses_imm {
+                format!("{} {}, #{}, L{}", inst.op, s(0), inst.imm, t)
+            } else {
+                format!("{} {}, {}, L{}", inst.op, s(0), s(1), t)
+            }
+        }
+        J => format!("j L{}", inst.target.expect("jump without target")),
+        Jal => {
+            let t = inst.target.expect("call without target");
+            if d(0) == Reg::LINK {
+                format!("jal L{t}")
+            } else {
+                format!("jal {}, L{t}", d(0))
+            }
+        }
+        Jr => {
+            if s(0) == Reg::LINK {
+                "ret".to_string()
+            } else {
+                format!("jr {}", s(0))
+            }
+        }
+        Fence => "fence".to_string(),
+        Nop => "nop".to_string(),
+        Halt => "halt".to_string(),
+    }
+}
+
+fn mem_text(inst: &Inst) -> String {
+    let m = inst.mem.expect("memory op without mem operand");
+    let mut t = format!("[{}", m.base);
+    if let Some(idx) = m.index {
+        let _ = write!(t, " + {}*{}", idx, m.scale);
+    }
+    if m.offset > 0 {
+        let _ = write!(t, " + {}", m.offset);
+    } else if m.offset < 0 {
+        // Print the magnitude; i64::MIN has none, fall back to `+`.
+        match m.offset.checked_neg() {
+            Some(mag) => {
+                let _ = write!(t, " - {mag}");
+            }
+            None => {
+                let _ = write!(t, " + {}", m.offset);
+            }
+        }
+    }
+    t.push(']');
+    t
+}

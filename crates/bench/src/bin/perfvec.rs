@@ -26,7 +26,7 @@ use perfvec_bench::spec::{
     parse_mask, parse_param_value, parse_scale, CachePolicy, ExperimentKind, ExperimentSpec,
 };
 use perfvec_json::Json;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,6 +37,7 @@ USAGE:
     perfvec run --config FILE          run spec(s) from a JSON config file
     perfvec list                       list available experiments
     perfvec report PATH                validate + summarize a JSON report
+    perfvec asm <action> ...           assemble/inspect/run .pasm programs
     perfvec help                       show this message
 
 RUN FLAGS:
@@ -48,6 +49,17 @@ RUN FLAGS:
     --no-cache                    bypass the on-disk dataset cache
     --report PATH                 report destination          [default: reports/<experiment>.json]
     --set key=value               kind-specific param (repeatable)
+
+ASM ACTIONS:
+    perfvec asm assemble FILE          assemble, print a summary
+    perfvec asm disasm FILE            print the canonical disassembly
+    perfvec asm run FILE [--max N]     execute + check ;; expect: directives
+    perfvec asm stats FILE [--max N]   trace and print the class mix
+    perfvec asm test PATH...           golden-run every .pasm under PATH
+
+    Assembly errors exit 2 with line:column diagnostics; runtime traps
+    and failed expectations exit 1. External programs also run through
+    the pipeline: perfvec run custom --set program=FILE.pasm
 
 CONFIG FILE:
     A spec object — {\"experiment\": \"fig3\", \"scale\": \"quick\", ...} — or an
@@ -70,14 +82,194 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("list") => cmd_list(),
         Some("report") => cmd_report(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
         Some(other) => die(&format!(
-            "unknown subcommand {other:?} (expected run | list | report | help)"
+            "unknown subcommand {other:?} (expected run | list | report | asm | help)"
         )),
-        None => die("missing subcommand (expected run | list | report | help)"),
+        None => die("missing subcommand (expected run | list | report | asm | help)"),
+    }
+}
+
+/// `perfvec asm` — the assembler front door. Assembly errors (including
+/// unreadable files) exit 2 like every other malformed input; runtime
+/// traps and failed `;; expect:` directives exit 1 like failed runs.
+fn cmd_asm(args: &[String]) -> ExitCode {
+    let Some(action) = args.first() else {
+        die("asm needs an action (assemble | disasm | run | stats | test)");
+    };
+    let rest = &args[1..];
+    // Shared flag parsing for the single-file actions: FILE [--max N].
+    let file_and_max = || -> (String, u64) {
+        let mut file = None;
+        let mut max = 0u64;
+        let mut it = rest.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--max" => {
+                    let raw = it
+                        .next()
+                        .unwrap_or_else(|| die("missing value for --max"));
+                    max = raw
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad value {raw:?} for --max")));
+                }
+                other if other.starts_with('-') => die(&format!("unknown flag {other:?}")),
+                path => {
+                    if file.replace(path.to_string()).is_some() {
+                        die(&format!("unexpected extra argument {path:?}"));
+                    }
+                }
+            }
+        }
+        match file {
+            Some(f) => (f, max),
+            None => die("asm action needs a .pasm file"),
+        }
+    };
+    let load = |path: &str| -> perfvec_bench::programs::ExternalSource {
+        perfvec_bench::programs::load_external(path).unwrap_or_else(|e| die(&e))
+    };
+    match action.as_str() {
+        "assemble" => {
+            let (path, _) = file_and_max();
+            let src = load(&path);
+            let p = &src.ap.program;
+            let data_bytes: usize = p.data.iter().map(|s| s.bytes.len()).sum();
+            println!(
+                "{}: {} instructions, {} data segment(s) ({data_bytes} bytes), entry {}, \
+                 {} expectation(s)",
+                p.name,
+                p.insts.len(),
+                p.data.len(),
+                p.entry,
+                src.ap.expects.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "disasm" => {
+            let (path, _) = file_and_max();
+            let src = load(&path);
+            print!("{}", perfvec_asm::disassemble(&src.ap.program));
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let (path, max) = file_and_max();
+            let src = load(&path);
+            let exec = perfvec_asm::execute(&src.ap, max);
+            if let Some(trap) = &exec.trap {
+                eprintln!(
+                    "perfvec: {path}: {}",
+                    perfvec_asm::trap_diagnostic(&src.ap, trap)
+                );
+                return ExitCode::FAILURE;
+            }
+            let failures = perfvec_asm::check_expects(&src.ap, &exec);
+            for f in &failures {
+                eprintln!("perfvec: {path}: {f}");
+            }
+            println!(
+                "{}: {} instructions executed, halted={}, {} expectation(s) checked",
+                src.ap.program.name,
+                exec.executed,
+                exec.halted,
+                src.ap.expects.len()
+            );
+            if failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "stats" => {
+            let (path, max) = file_and_max();
+            let src = load(&path);
+            let exec = perfvec_asm::execute(&src.ap, max);
+            if let Some(trap) = &exec.trap {
+                eprintln!(
+                    "perfvec: {path}: {}",
+                    perfvec_asm::trap_diagnostic(&src.ap, trap)
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{}: {} instructions, halted={}",
+                src.ap.program.name, exec.executed, exec.halted
+            );
+            let total = exec.executed.max(1) as f64;
+            for class in perfvec_isa::OpClass::ALL {
+                let n = exec.class_counts[class as usize];
+                if n > 0 {
+                    println!(
+                        "  {:<8} {:>8}  {:>5.1}%",
+                        perfvec_asm::harness::class_name(class),
+                        n,
+                        n as f64 / total * 100.0
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "test" => {
+            if rest.is_empty() {
+                die("asm test needs at least one file or directory");
+            }
+            let mut files: Vec<String> = Vec::new();
+            for arg in rest {
+                let path = PathBuf::from(arg);
+                if path.is_dir() {
+                    let mut found: Vec<String> = std::fs::read_dir(&path)
+                        .unwrap_or_else(|e| die(&format!("cannot read {arg}: {e}")))
+                        .filter_map(|e| e.ok())
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|x| x == "pasm"))
+                        .map(|p| p.display().to_string())
+                        .collect();
+                    found.sort();
+                    if found.is_empty() {
+                        die(&format!("no .pasm files under {arg}"));
+                    }
+                    files.extend(found);
+                } else {
+                    files.push(arg.clone());
+                }
+            }
+            let mut failed = 0usize;
+            for path in &files {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                let stem = Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("external");
+                match perfvec_asm::golden_check(&text, stem) {
+                    Ok(summary) => println!("ok   {path}: {summary}"),
+                    Err(e) => {
+                        failed += 1;
+                        println!("FAIL {path}");
+                        for line in e.lines() {
+                            println!("     {line}");
+                        }
+                    }
+                }
+            }
+            println!(
+                "asm test: {}/{} program(s) ok",
+                files.len() - failed,
+                files.len()
+            );
+            if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => die(&format!(
+            "unknown asm action {other:?} (assemble | disasm | run | stats | test)"
+        )),
     }
 }
 

@@ -28,6 +28,7 @@
 pub mod cache;
 pub mod chart;
 pub mod pipeline;
+pub mod programs;
 pub mod report;
 pub mod runner;
 pub mod scale;

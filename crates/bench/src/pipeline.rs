@@ -66,8 +66,24 @@ pub fn suite_datasets_with(
     mask: FeatureMask,
     plan: ShardPlan,
 ) -> (SuiteData, CacheStats) {
-    let (parts, stats) = workload_datasets(cache, &suite(), trace_len, configs, mask, plan);
-    (SuiteData::assemble(parts), stats)
+    datasets_for(cache, &suite(), configs, trace_len, mask, plan)
+}
+
+/// Datasets for an explicit workload list — built-in subsets or suites
+/// mixing in external `.pasm` programs (see [`crate::programs`]) — each
+/// served from the content-addressed cache when possible. External
+/// workloads are keyed by program content, so the same `.pasm` file
+/// under any name hits the same entry.
+pub fn datasets_for(
+    cache: &DatasetCache,
+    workloads: &[perfvec_workloads::Workload],
+    configs: &[MicroArchConfig],
+    trace_len: u64,
+    mask: FeatureMask,
+    plan: ShardPlan,
+) -> (SuiteData, CacheStats) {
+    let (parts, stats) = workload_datasets(cache, workloads, trace_len, configs, mask, plan);
+    (SuiteData::assemble_from(workloads, parts), stats)
 }
 
 /// Train the foundation on the training programs and refit its

@@ -808,7 +808,11 @@ pub fn sim_bench(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let marches = spec.param_usize("marches", DEFAULT_POPULATION)?;
     let rounds = spec.param_usize("rounds", 3)?.max(1);
     let configs = sim_bench_configs(marches);
-    let workloads = suite();
+    let mut workloads = suite();
+    // `programs=` appends external `.pasm` programs to the measured
+    // suite, so adversarial off-grid kernels face the same throughput
+    // and bit-identity gates as the builtins.
+    workloads.extend(crate::programs::sim_bench_externals(spec).map_err(RunError)?);
     info!(
         "sim_bench",
         "[sim_bench] tracing {} workloads at {trace_len} instructions...",

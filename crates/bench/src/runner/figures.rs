@@ -48,18 +48,25 @@ pub fn fig3_like(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunEr
     let scale = spec.scale;
     let t0 = std::time::Instant::now();
     let configs = spec.march_configs();
-    perfvec_obs::info!("figures", 
-        "[{tag}] generating datasets (17 programs x {} microarchitectures)...",
+    let resolved = crate::programs::resolve_suite(spec).map_err(RunError)?;
+    let trace_len = spec.trace_len_or(scale.trace_len());
+    // Run every external program once before dataset generation: a trap
+    // must surface its source diagnostic, not a panic mid-pipeline.
+    crate::programs::preflight(&resolved, trace_len).map_err(RunError)?;
+    perfvec_obs::info!("figures",
+        "[{tag}] generating datasets ({} programs x {} microarchitectures)...",
+        resolved.workloads.len(),
         configs.len()
     );
     let cache = spec.dataset_cache();
     // Each phase gets its own instant: `t0` measures the whole run, so
     // reusing it per phase would misattribute earlier phases' time.
     let t_data = std::time::Instant::now();
-    let (data, cstats) = suite_datasets_with(
+    let (data, cstats) = crate::pipeline::datasets_for(
         &cache,
+        &resolved.workloads,
         &configs,
-        spec.trace_len_or(scale.trace_len()),
+        trace_len,
         spec.feature_mask,
         spec.shard_plan(),
     );
@@ -298,7 +305,7 @@ pub fn fig5(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError> 
         let rp = program_representation(&trained.foundation, &d.features);
         let truths: Vec<f64> = (0..d.num_marches()).map(|j| d.total_time(j)).collect();
         rows.push(evaluate_program(
-            w.name,
+            &w.name,
             w.role == SuiteRole::Training,
             &rp,
             &trained.foundation,

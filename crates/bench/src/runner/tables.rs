@@ -247,7 +247,7 @@ pub fn table4(spec: &ExperimentSpec, report: &mut Report) -> Result<(), RunError
     let t_exhaustive = Instant::now();
     let traces: Vec<_> = suite()
         .iter()
-        .map(|w| (w.name, w.trace(trace_len)))
+        .map(|w| (w.name.clone(), w.trace(trace_len)))
         .collect();
     // The grid datasets come from the content-addressed cache like any
     // other batch; ground-truth totals are the target column sums —

@@ -158,9 +158,13 @@ impl ExperimentKind {
             ExperimentKind::TrainBench => {
                 &["arch", "batch", "steps", "assert_speedup", "resume_smoke"]
             }
-            ExperimentKind::SimBench => {
-                &["marches", "rounds", "assert_speedup", "assert_speedup_lockstep"]
-            }
+            ExperimentKind::SimBench => &[
+                "marches",
+                "rounds",
+                "assert_speedup",
+                "assert_speedup_lockstep",
+                "programs",
+            ],
             ExperimentKind::ObsOverhead => &["requests", "rounds", "max_overhead"],
             ExperimentKind::Custom => &[
                 "dim",
@@ -169,6 +173,8 @@ impl ExperimentKind {
                 "windows_per_epoch",
                 "val_windows",
                 "batch_size",
+                "workloads",
+                "program",
             ],
             _ => &[],
         }
@@ -464,13 +470,16 @@ impl ExperimentSpec {
                     f64::from_json(v).map(|_| ())
                 }
                 "resume_smoke" => bool::from_json(v).map(|_| ()),
-                "arch" => String::from_json(v).map(|_| ()),
+                "arch" | "workloads" | "program" | "programs" => String::from_json(v).map(|_| ()),
                 _ => usize::from_json(v).map(|_| ()),
             };
             if let Err(e) = typed {
                 return Err(format!("param {k:?}: {e}"));
             }
         }
+        // Workload/program selections must resolve (known names,
+        // readable + assemblable files) before the expensive phases.
+        crate::programs::validate_params(self)?;
         if let Some(subset) = &self.march_subset {
             let k = training_population(self.seed).len();
             if subset.is_empty() {

@@ -101,11 +101,11 @@ fn corrupt_and_truncated_entries_are_regenerated_with_identical_results() {
     // mid-payload (a crash-mid-write shape the atomic rename prevents,
     // but bit rot can still produce).
     let p0 = cache
-        .entry_path(workloads[0].name, trace_len, &configs, FeatureMask::Full)
+        .entry_path(&workloads[0].name, trace_len, &configs, FeatureMask::Full)
         .unwrap();
     std::fs::write(&p0, b"not a dataset at all").unwrap();
     let p1 = cache
-        .entry_path(workloads[1].name, trace_len, &configs, FeatureMask::Full)
+        .entry_path(&workloads[1].name, trace_len, &configs, FeatureMask::Full)
         .unwrap();
     let bytes = std::fs::read(&p1).unwrap();
     std::fs::write(&p1, &bytes[..bytes.len() / 2]).unwrap();

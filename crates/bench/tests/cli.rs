@@ -268,3 +268,77 @@ fn read_report(path: &Path) -> Json {
         .unwrap_or_else(|e| panic!("{path:?} does not validate: {e}"));
     v
 }
+
+#[test]
+fn unknown_workload_is_loud_and_exits_2() {
+    let out = perfvec()
+        .args(["run", "custom", "--set", "workloads=typo"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("unknown workload \"typo\""), "{err}");
+    // The error must list what IS available, so the fix is copyable.
+    for name in ["500.perlbench-like", "519.lbm-like", "999.specrand-like"] {
+        assert!(err.contains(name), "missing {name} in: {err}");
+    }
+    assert!(err.contains(".pasm"), "should hint at program paths: {err}");
+}
+
+#[test]
+fn malformed_program_is_loud_and_exits_2_with_position() {
+    let dir = std::env::temp_dir().join(format!("perfvec_cli_badasm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.pasm");
+    std::fs::write(&bad, "li x1, #1\nbork x2\nhalt\n").unwrap();
+    let out = perfvec()
+        .args(["run", "custom", "--set"])
+        .arg(format!("program={}", bad.display()))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("bad.pasm"), "{err}");
+    assert!(err.contains("line 2:1"), "{err}");
+    assert!(err.contains("unknown mnemonic `bork`"), "{err}");
+
+    // Missing file: same loud convention.
+    let out = perfvec()
+        .args(["run", "custom", "--set", "program=nope.pasm"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("nope.pasm"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A program that traps under emulation is rejected *before* dataset
+/// generation, with the trap's pc, instruction index, and source line
+/// carried all the way to the CLI (exit 1: valid input, runtime fault).
+#[test]
+fn trapping_program_reports_pc_index_and_source_line() {
+    let program = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs/trap_bad_jump.pasm");
+    let out = perfvec()
+        .args(["run", "custom", "--set"])
+        .arg(format!("program={}", program.display()))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("trap-bad-jump"), "{err}");
+    assert!(err.contains("bad indirect jump target 0xc"), "{err}");
+    assert!(err.contains("at pc 0x10004"), "{err}");
+    assert!(err.contains("instruction index 1"), "{err}");
+    assert!(err.contains("source line 15: `jr x1`"), "{err}");
+}
+
+#[test]
+fn asm_subcommand_rejects_bad_usage_loudly() {
+    let out = perfvec().args(["asm", "frobnicate", "x.pasm"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("frobnicate"), "{}", stderr(&out));
+
+    let out = perfvec().args(["asm", "run", "nope.pasm"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("nope.pasm"), "{}", stderr(&out));
+}

@@ -29,18 +29,27 @@ impl SuiteData {
     /// error, not a data error: callers produce `parts` by iterating
     /// the suite).
     pub fn assemble(parts: Vec<ProgramData>) -> SuiteData {
-        let workloads = suite();
+        SuiteData::assemble_from(&suite(), parts)
+    }
+
+    /// Assemble per-program datasets against an explicit workload list
+    /// (built-in subsets or suites mixing in external `.pasm`
+    /// programs), routing each dataset by its workload's role.
+    ///
+    /// Panics if `parts` does not line up with `workloads` (a logic
+    /// error: callers produce `parts` by iterating the same list).
+    pub fn assemble_from(workloads: &[perfvec_workloads::Workload], parts: Vec<ProgramData>) -> SuiteData {
         assert_eq!(
             parts.len(),
             workloads.len(),
-            "SuiteData::assemble: {} datasets for a {}-workload suite",
+            "SuiteData::assemble_from: {} datasets for {} workloads",
             parts.len(),
             workloads.len()
         );
         let mut train = Vec::new();
         let mut test = Vec::new();
         for (w, d) in workloads.iter().zip(parts) {
-            debug_assert_eq!(w.name, d.name, "dataset out of suite order");
+            debug_assert_eq!(w.name, d.name, "dataset out of workload order");
             match w.role {
                 SuiteRole::Training => train.push(d),
                 SuiteRole::Testing => test.push(d),

@@ -45,7 +45,7 @@
 //! let configs = training_population(7);
 //! let data: Vec<_> = training_suite()
 //!     .iter()
-//!     .map(|w| build_program_data(w.name, &w.trace(20_000), &configs, FeatureMask::Full))
+//!     .map(|w| build_program_data(&w.name, &w.trace(20_000), &configs, FeatureMask::Full))
 //!     .collect();
 //! let trained = train_foundation(&data, &TrainConfig::default());
 //!

@@ -373,7 +373,7 @@ pub fn answer_predict(
         ProgramSource::Named { name, trace_len } => {
             let workload =
                 by_name(&name).ok_or_else(|| (404, format!("unknown workload {name:?}")))?;
-            let key = named_features_key(workload.name, trace_len);
+            let key = named_features_key(&workload.name, trace_len);
             let cached = if parsed.no_cache {
                 None
             } else {

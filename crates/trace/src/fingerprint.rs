@@ -98,6 +98,65 @@ impl Fingerprint {
     }
 }
 
+/// Content fingerprint of a [`Program`](perfvec_isa::Program): every
+/// instruction field, every data byte, and the entry point — but **not**
+/// the program name. Two programs with identical code and data hash
+/// identically regardless of what they are called, so renaming a
+/// `.pasm` file never invalidates (or worse, aliases) a cache entry.
+pub fn program_fingerprint(p: &perfvec_isa::Program) -> u64 {
+    let mut h = Fingerprint::new();
+    h.push_str("perfvec-program");
+    h.push_u32(p.entry);
+    h.push_u64(p.insts.len() as u64);
+    for i in &p.insts {
+        h.push_str(i.op.mnemonic());
+        h.push_u8(i.n_dst);
+        for r in i.dsts() {
+            h.push_u8(r.class() as u8);
+            h.push_u8(r.index());
+        }
+        h.push_u8(i.n_src);
+        for r in i.srcs() {
+            h.push_u8(r.class() as u8);
+            h.push_u8(r.index());
+        }
+        h.push_bool(i.uses_imm);
+        h.push_u64(i.imm as u64);
+        match &i.mem {
+            None => h.push_u8(0),
+            Some(m) => {
+                h.push_u8(1);
+                h.push_u8(m.base.class() as u8);
+                h.push_u8(m.base.index());
+                match m.index {
+                    None => h.push_u8(0),
+                    Some(r) => {
+                        h.push_u8(1);
+                        h.push_u8(r.class() as u8);
+                        h.push_u8(r.index());
+                    }
+                }
+                h.push_u8(m.scale);
+                h.push_u64(m.offset as u64);
+                h.push_u8(m.size);
+            }
+        }
+        match i.target {
+            None => h.push_u8(0),
+            Some(t) => {
+                h.push_u8(1);
+                h.push_u32(t);
+            }
+        }
+    }
+    h.push_u64(p.data.len() as u64);
+    for seg in &p.data {
+        h.push_u64(seg.addr);
+        h.push_len_bytes(&seg.bytes);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +199,34 @@ mod tests {
         let mut c = Fingerprint::new();
         c.push_f64(0.1 + 0.2);
         assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn program_fingerprint_ignores_name_but_nothing_else() {
+        use perfvec_isa::{ProgramBuilder, Reg};
+        let build = |name: &str, imm: i64| {
+            let mut b = ProgramBuilder::new().with_name(name);
+            b.li(Reg::x(1), imm);
+            b.addi(Reg::x(1), Reg::x(1), 1);
+            b.halt();
+            b.build()
+        };
+        let a = program_fingerprint(&build("one", 7));
+        let b = program_fingerprint(&build("two", 7));
+        let c = program_fingerprint(&build("one", 8));
+        assert_eq!(a, b, "name must not affect the content fingerprint");
+        assert_ne!(a, c, "an immediate change must affect the fingerprint");
+
+        let mut with_data = build("one", 7);
+        with_data.data.push(perfvec_isa::DataSegment {
+            addr: perfvec_isa::DATA_BASE,
+            bytes: vec![1, 2, 3],
+        });
+        assert_ne!(a, program_fingerprint(&with_data));
+
+        let mut moved_entry = build("one", 7);
+        moved_entry.entry = 1;
+        assert_ne!(a, program_fingerprint(&moved_entry));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! (Table II).
 
 use crate::{kernels_fp, kernels_int};
-use perfvec_isa::{Emulator, Program, Trace};
+use perfvec_isa::{EmuError, Emulator, Op, OpClass, Program, Trace};
+use std::sync::Arc;
 
 /// Whether a workload is integer- or floating-point-dominated (the
 /// paper's INT/FP grouping).
@@ -23,26 +24,93 @@ pub enum SuiteRole {
     Testing,
 }
 
+/// Where a workload's program comes from: the built-in kernel zoo or an
+/// externally assembled [`Program`] (e.g. a `.pasm` file).
+#[derive(Clone)]
+enum WorkloadSource {
+    /// Built-in kernel generator.
+    Builtin(fn() -> Program),
+    /// Externally supplied program (shared, immutable).
+    External(Arc<Program>),
+}
+
 /// One registered workload.
+#[derive(Clone)]
 pub struct Workload {
-    /// SPEC-style name (e.g. `505.mcf-like`).
-    pub name: &'static str,
+    /// SPEC-style name (e.g. `505.mcf-like`) or, for external programs,
+    /// the program's own name.
+    pub name: String,
     /// INT or FP.
     pub kind: WorkloadKind,
     /// Table II role.
     pub role: SuiteRole,
-    /// Program constructor.
-    pub build: fn() -> Program,
+    /// Program source.
+    source: WorkloadSource,
 }
 
 impl Workload {
+    /// Register a built-in kernel.
+    fn builtin(name: &str, kind: WorkloadKind, role: SuiteRole, build: fn() -> Program) -> Workload {
+        Workload {
+            name: name.to_string(),
+            kind,
+            role,
+            source: WorkloadSource::Builtin(build),
+        }
+    }
+
+    /// Wrap an externally assembled [`Program`] as a workload. The
+    /// INT/FP kind is inferred from the static instruction mix: any
+    /// floating-point or SIMD instruction makes the workload FP.
+    pub fn external(program: Program, role: SuiteRole) -> Workload {
+        let fp = program.insts.iter().any(|i| {
+            matches!(
+                i.op.class(),
+                OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv | OpClass::Simd
+            ) || matches!(i.op, Op::Icvtf | Op::Fcvti)
+        });
+        Workload {
+            name: program.name.clone(),
+            kind: if fp { WorkloadKind::Fp } else { WorkloadKind::Int },
+            role,
+            source: WorkloadSource::External(Arc::new(program)),
+        }
+    }
+
+    /// The workload's program (built fresh for builtins, shared for
+    /// externals).
+    pub fn program(&self) -> Arc<Program> {
+        match &self.source {
+            WorkloadSource::Builtin(build) => Arc::new(build()),
+            WorkloadSource::External(p) => Arc::clone(p),
+        }
+    }
+
+    /// The externally supplied program, if this workload wraps one.
+    /// `None` for built-in kernels.
+    pub fn external_program(&self) -> Option<&Arc<Program>> {
+        match &self.source {
+            WorkloadSource::Builtin(_) => None,
+            WorkloadSource::External(p) => Some(p),
+        }
+    }
+
+    /// Build the program and collect its dynamic trace, truncated to
+    /// `max_instrs`. Unlike [`Workload::trace`] this surfaces emulator
+    /// traps instead of panicking — external programs are untrusted.
+    pub fn try_trace(&self, max_instrs: u64) -> Result<Trace, EmuError> {
+        let program = self.program();
+        Emulator::new(&program).run(max_instrs)
+    }
+
     /// Build the program and collect its dynamic trace, truncated to
     /// `max_instrs` (the paper truncates SPEC runs at 100 M
     /// instructions; our kernels are scaled down accordingly).
+    ///
+    /// Panics on an emulator trap; use [`Workload::try_trace`] for
+    /// untrusted external programs.
     pub fn trace(&self, max_instrs: u64) -> Trace {
-        let program = (self.build)();
-        Emulator::new(&program)
-            .run(max_instrs)
+        self.try_trace(max_instrs)
             .unwrap_or_else(|e| panic!("workload {} failed to execute: {e}", self.name))
     }
 }
@@ -53,111 +121,51 @@ pub fn suite() -> Vec<Workload> {
     use WorkloadKind::*;
     vec![
         // ---- training, INT ----
-        Workload {
-            name: "525.x264-like",
-            kind: Int,
-            role: Training,
-            build: kernels_int::x264_like,
-        },
-        Workload {
-            name: "531.deepsjeng-like",
-            kind: Int,
-            role: Training,
-            build: kernels_int::deepsjeng_like,
-        },
-        Workload {
-            name: "548.exchange2-like",
-            kind: Int,
-            role: Training,
-            build: kernels_int::exchange2_like,
-        },
-        Workload {
-            name: "557.xz-like",
-            kind: Int,
-            role: Training,
-            build: kernels_int::xz_like,
-        },
-        Workload {
-            name: "999.specrand-like",
-            kind: Int,
-            role: Training,
-            build: kernels_int::specrand_like,
-        },
+        Workload::builtin("525.x264-like", Int, Training, kernels_int::x264_like),
+        Workload::builtin(
+            "531.deepsjeng-like",
+            Int,
+            Training,
+            kernels_int::deepsjeng_like,
+        ),
+        Workload::builtin(
+            "548.exchange2-like",
+            Int,
+            Training,
+            kernels_int::exchange2_like,
+        ),
+        Workload::builtin("557.xz-like", Int, Training, kernels_int::xz_like),
+        Workload::builtin("999.specrand-like", Int, Training, kernels_int::specrand_like),
         // ---- training, FP ----
-        Workload {
-            name: "527.cam4-like",
-            kind: Fp,
-            role: Training,
-            build: kernels_fp::cam4_like,
-        },
-        Workload {
-            name: "538.imagick-like",
-            kind: Fp,
-            role: Training,
-            build: kernels_fp::imagick_like,
-        },
-        Workload {
-            name: "544.nab-like",
-            kind: Fp,
-            role: Training,
-            build: kernels_fp::nab_like,
-        },
-        Workload {
-            name: "549.fotonik3d-like",
-            kind: Fp,
-            role: Training,
-            build: kernels_fp::fotonik3d_like,
-        },
+        Workload::builtin("527.cam4-like", Fp, Training, kernels_fp::cam4_like),
+        Workload::builtin("538.imagick-like", Fp, Training, kernels_fp::imagick_like),
+        Workload::builtin("544.nab-like", Fp, Training, kernels_fp::nab_like),
+        Workload::builtin(
+            "549.fotonik3d-like",
+            Fp,
+            Training,
+            kernels_fp::fotonik3d_like,
+        ),
         // ---- testing, INT ----
-        Workload {
-            name: "500.perlbench-like",
-            kind: Int,
-            role: Testing,
-            build: kernels_int::perlbench_like,
-        },
-        Workload {
-            name: "502.gcc-like",
-            kind: Int,
-            role: Testing,
-            build: kernels_int::gcc_like,
-        },
-        Workload {
-            name: "505.mcf-like",
-            kind: Int,
-            role: Testing,
-            build: kernels_int::mcf_like,
-        },
-        Workload {
-            name: "523.xalancbmk-like",
-            kind: Int,
-            role: Testing,
-            build: kernels_int::xalancbmk_like,
-        },
+        Workload::builtin(
+            "500.perlbench-like",
+            Int,
+            Testing,
+            kernels_int::perlbench_like,
+        ),
+        Workload::builtin("502.gcc-like", Int, Testing, kernels_int::gcc_like),
+        Workload::builtin("505.mcf-like", Int, Testing, kernels_int::mcf_like),
+        Workload::builtin(
+            "523.xalancbmk-like",
+            Int,
+            Testing,
+            kernels_int::xalancbmk_like,
+        ),
         // ---- testing, FP ----
-        Workload {
-            name: "507.cactuBSSN-like",
-            kind: Fp,
-            role: Testing,
-            build: kernels_fp::cactubssn_like,
-        },
-        Workload {
-            name: "508.namd-like",
-            kind: Fp,
-            role: Testing,
-            build: kernels_fp::namd_like,
-        },
-        Workload {
-            name: "519.lbm-like",
-            kind: Fp,
-            role: Testing,
-            build: kernels_fp::lbm_like,
-        },
-        Workload {
-            name: "521.wrf-like",
-            kind: Fp,
-            role: Testing,
-            build: kernels_fp::wrf_like,
-        },
+        Workload::builtin("507.cactuBSSN-like", Fp, Testing, kernels_fp::cactubssn_like),
+        Workload::builtin("508.namd-like", Fp, Testing, kernels_fp::namd_like),
+        Workload::builtin("519.lbm-like", Fp, Testing, kernels_fp::lbm_like),
+        Workload::builtin("521.wrf-like", Fp, Testing, kernels_fp::wrf_like),
     ]
 }
 

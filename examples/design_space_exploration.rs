@@ -26,7 +26,7 @@ fn main() {
     let data: Vec<_> = training_suite()
         .iter()
         .take(3)
-        .map(|w| build_program_data(w.name, &w.trace(5_000), &base_cfgs, FeatureMask::Full))
+        .map(|w| build_program_data(&w.name, &w.trace(5_000), &base_cfgs, FeatureMask::Full))
         .collect();
     let trained = train_foundation(
         &data,
@@ -69,7 +69,7 @@ fn main() {
     let tuning: Vec<_> = training_suite()
         .iter()
         .take(2)
-        .map(|w| build_program_data(w.name, &w.trace(5_000), &tune_cfgs, FeatureMask::Full))
+        .map(|w| build_program_data(&w.name, &w.trace(5_000), &tune_cfgs, FeatureMask::Full))
         .collect();
     let cached = cache_representations(&trained.foundation, &tuning, 2_000, 7);
     let (march_model, loss) = train_march_model(

@@ -20,7 +20,7 @@ fn main() {
     let data: Vec<_> = training_suite()
         .iter()
         .take(3)
-        .map(|w| build_program_data(w.name, &w.trace(5_000), &configs, FeatureMask::Full))
+        .map(|w| build_program_data(&w.name, &w.trace(5_000), &configs, FeatureMask::Full))
         .collect();
     let trained = train_foundation(
         &data,

@@ -31,7 +31,7 @@ fn main() {
     let data: Vec<_> = training_suite()
         .iter()
         .take(3)
-        .map(|w| build_program_data(w.name, &w.trace(6_000), &configs, FeatureMask::Full))
+        .map(|w| build_program_data(&w.name, &w.trace(6_000), &configs, FeatureMask::Full))
         .collect();
 
     // --- 3: train a small foundation model ---

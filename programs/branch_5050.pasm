@@ -1,0 +1,34 @@
+;; Branch-entropy ceiling: a data-dependent branch decided by one
+;; pseudo-random bit per iteration (LCG bit 16), so it is taken ~50% of
+;; the time with no exploitable pattern. History-based predictors get
+;; no traction; compare with branch_always.pasm.
+;; run: max_instrs = 40000
+;; expect: halted = true
+;; expect: trap = none
+;; expect: x3 = 4096
+;; expect: x2 > 1400
+;; expect: x2 < 2700
+;; expect: class[int_mul] > 0.1
+;; expect: class[branch] > 0.2
+
+.name "branch-5050"
+
+.entry start
+start:
+    li x1, #12345             ; LCG state
+    li x4, #1103515245        ; glibc multiplier
+    li x5, #12345             ; increment
+    li x2, #0                 ; taken count
+    li x3, #0                 ; iteration count
+    li x6, #4096
+loop:
+    mul x1, x1, x4
+    add x1, x1, x5
+    shr x7, x1, #16
+    and x7, x7, #1
+    beq x7, #0, skip          ; ~50/50, data-dependent
+    add x2, x2, #1
+skip:
+    add x3, x3, #1
+    blt x3, x6, loop
+    halt

@@ -1,0 +1,24 @@
+;; Branch-entropy floor: every conditional branch in the loop is taken
+;; on every iteration (`beq x0, #0` is a tautology). A predictor should
+;; be near-perfect here; compare with branch_5050.pasm, the entropy
+;; ceiling.
+;; run: max_instrs = 30000
+;; expect: halted = true
+;; expect: trap = none
+;; expect: executed = 24579
+;; expect: x1 = 8192
+;; expect: class[branch] > 0.66
+
+.name "branch-always"
+
+.entry start
+start:
+    li x1, #0
+    li x2, #8192
+loop:
+    add x1, x1, #1
+    beq x0, #0, skip          ; always taken: x0 is hardwired zero
+    nop                       ; never executed
+skip:
+    blt x1, x2, loop          ; taken on all but the last iteration
+    halt

@@ -1,0 +1,26 @@
+;; Deep serial dependency chain: x1 feeds a multiply-add-xor chain where
+;; every link needs the previous link's result, so an out-of-order core
+;; can extract almost no ILP — only the loop counter runs ahead.
+;; run: max_instrs = 50000
+;; expect: halted = true
+;; expect: trap = none
+;; expect: executed = 40966
+;; expect: x2 = 8192
+;; expect: class[int_mul] >= 0.19
+
+.name "dep-chain"
+
+.entry start
+start:
+    li x1, #1                 ; chain value
+    li x2, #0                 ; iteration count
+    li x3, #8192
+    li x4, #31
+    li x5, #85
+loop:
+    mul x1, x1, x4            ; serial: needs last iteration's x1
+    add x1, x1, #7
+    xor x1, x1, x5
+    add x2, x2, #1
+    blt x2, x3, loop
+    halt

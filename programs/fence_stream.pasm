@@ -1,0 +1,30 @@
+;; Fence-heavy store stream: a sequential store per iteration with a
+;; fence after every one, serializing the memory pipeline. Store
+;; buffers and write-combining get no chance to batch; throughput is
+;; bounded by the drain latency.
+;; run: max_instrs = 10000
+;; expect: halted = true
+;; expect: trap = none
+;; expect: executed = 8196
+;; expect: x2 = 2048
+;; expect: mem[0x10000000].8 = 0
+;; expect: mem[0x10003ff8].8 = 2047
+;; expect: class[store] > 0.24
+;; expect: class[other] >= 0.25
+
+.name "fence-stream"
+
+.data 0x10000000
+buf: .zero 16384
+
+.entry start
+start:
+    li x1, buf
+    li x2, #0
+    li x3, #2048
+loop:
+    st.8 x2, [x1 + x2*8]
+    fence                     ; drain after every store
+    add x2, x2, #1
+    blt x2, x3, loop
+    halt

@@ -1,0 +1,44 @@
+;; Pointer chasing through a shuffled 8-node ring, one node per
+;; 64-byte line. Every load's address depends on the previous load's
+;; value, so the chain is perfectly serial: latency is bounded by the
+;; cache hierarchy, not by issue width. 4096 hops = 512 laps, ending
+;; back at node 0.
+;; run: max_instrs = 20000
+;; expect: halted = true
+;; expect: trap = none
+;; expect: executed = 12292
+;; expect: x1 = 0x10000000
+;; expect: x3 = 4096
+;; expect: class[load] > 0.33
+;; expect: class[branch] > 0.33
+
+.name "pointer-chase"
+
+; Ring order: 0 -> 5 -> 2 -> 7 -> 1 -> 4 -> 6 -> 3 -> 0.
+.data 0x10000000
+ring: .word 0x10000140        ; node 0 -> node 5
+      .zero 56
+      .word 0x10000100        ; node 1 -> node 4
+      .zero 56
+      .word 0x100001c0        ; node 2 -> node 7
+      .zero 56
+      .word 0x10000000        ; node 3 -> node 0
+      .zero 56
+      .word 0x10000180        ; node 4 -> node 6
+      .zero 56
+      .word 0x10000080        ; node 5 -> node 2
+      .zero 56
+      .word 0x100000c0        ; node 6 -> node 3
+      .zero 56
+      .word 0x10000040        ; node 7 -> node 1
+
+.entry start
+start:
+    li x1, ring
+    li x2, #4096
+    li x3, #0
+loop:
+    ld.8 x1, [x1]             ; next = *cur: the serial dependency
+    add x3, x3, #1
+    blt x3, x2, loop
+    halt

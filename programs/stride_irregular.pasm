@@ -1,0 +1,33 @@
+;; Irregular large-stride loads: the offset advances by a prime (4073)
+;; and wraps through a 64 KiB window, so consecutive accesses are far
+;; apart, unaligned, and never settle into a simple stride a prefetcher
+;; could latch onto.
+;; run: max_instrs = 30000
+;; expect: halted = true
+;; expect: trap = none
+;; expect: executed = 24583
+;; expect: x3 = 4096
+;; expect: x6 = 0
+;; expect: class[load] > 0.16
+
+.name "stride-irregular"
+
+.data 0x10000000
+arr: .zero 65536
+
+.entry start
+start:
+    li x1, arr
+    li x2, #0                 ; raw offset
+    li x3, #0                 ; iteration count
+    li x4, #4096
+    li x5, #65535             ; window mask
+    li x6, #0                 ; checksum (stays 0: arr is zeroed)
+loop:
+    and x7, x2, x5
+    ld.8 x8, [x1 + x7]
+    add x6, x6, x8
+    add x2, x2, #4073         ; prime stride: no period the window shares
+    add x3, x3, #1
+    blt x3, x4, loop
+    halt

@@ -1,0 +1,16 @@
+;; Deliberately trapping program: an indirect jump to an address below
+;; the code segment. The golden runner passes because the trap is
+;; *expected*; feeding this file to the prediction pipeline
+;; (`perfvec run custom --set program=...`) must fail loudly with the
+;; trap's pc, instruction index, and this source line.
+;; expect: trap = bad_jump
+;; expect: executed = 1
+;; expect: halted = false
+
+.name "trap-bad-jump"
+
+.entry start
+start:
+    li x1, #12
+    jr x1                     ; 12 is not a valid code address
+    halt

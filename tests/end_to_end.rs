@@ -19,7 +19,7 @@ fn small_dataset(n_programs: usize, trace_len: u64) -> Vec<ProgramData> {
     training_suite()
         .iter()
         .take(n_programs)
-        .map(|w| build_program_data(w.name, &w.trace(trace_len), &configs, FeatureMask::Full))
+        .map(|w| build_program_data(&w.name, &w.trace(trace_len), &configs, FeatureMask::Full))
         .collect()
 }
 
